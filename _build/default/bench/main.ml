@@ -1,0 +1,481 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the ablations listed in DESIGN.md.
+
+     dune exec bench/main.exe              # everything (a few minutes)
+     dune exec bench/main.exe -- table1    # Table I only
+     dune exec bench/main.exe -- fig2      # Fig. 2 only
+     dune exec bench/main.exe -- micro     # Bechamel kernel micro-benches
+     dune exec bench/main.exe -- lut-independence
+     dune exec bench/main.exe -- cache-ablation
+     dune exec bench/main.exe -- chunk-ablation
+     dune exec bench/main.exe -- accumulator-ablation
+     dune exec bench/main.exe -- workloads
+     dune exec bench/main.exe -- round-modes
+     dune exec bench/main.exe -- per-layer
+     dune exec bench/main.exe -- device-sweep
+
+   CPU columns are measured on this host over a small image sample and
+   scaled (reported); GPU columns come from the ax_gpusim execution
+   model.  See EXPERIMENTS.md for the paper-vs-ours comparison. *)
+
+open Bechamel
+open Toolkit
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Axconv = Ax_nn.Axconv
+module Registry = Ax_arith.Registry
+module Lut = Ax_arith.Lut
+module Device = Ax_gpusim.Device
+module Cost = Ax_gpusim.Cost
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+module Experiments = Tfapprox.Experiments
+module Report = Tfapprox.Report
+
+let images_measured =
+  match Sys.getenv_opt "TFAPPROX_BENCH_IMAGES" with
+  | Some s -> int_of_string s
+  | None -> 2
+
+let section title = Format.printf "@.==== %s ====@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* E1: Table I                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  section "E1: Table I (CPU measured & scaled to 10k images; GPU modelled)";
+  Format.printf "CPU sample: %d images per network, scaled x%d@.@."
+    images_measured
+    (10_000 / images_measured);
+  let rows = Experiments.table1 ~images_measured () in
+  Report.print_table1 Format.std_formatter rows;
+  (* The paper's headline shape: speedup grows with depth. *)
+  let speedups = List.map (fun r -> r.Experiments.speedup_approx) rows in
+  let monotone =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b +. (0.15 *. b) && go rest
+      | [ _ ] | [] -> true
+    in
+    go speedups
+  in
+  Format.printf "speedup grows with depth (paper: 107x -> 213x): %b@."
+    monotone
+
+(* ------------------------------------------------------------------ *)
+(* E2: Fig. 2                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig2 () =
+  section "E2: Fig. 2 time distribution (CPU measured, GPU modelled)";
+  let rows = Experiments.fig2 ~images_measured () in
+  Report.print_fig2 Format.std_formatter rows;
+  Format.printf
+    "paper, ResNet-62: CPU 0.8/64/7/28%%, GPU 10/20/26/43%% (init/quant/LUT/rest)@."
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conv_inputs () =
+  let input = Tensor.create (Shape.make ~n:1 ~h:16 ~w:16 ~c:8) in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1. (Rng.create 3) input;
+  let filter = Filter.create ~kh:3 ~kw:3 ~in_c:8 ~out_c:16 in
+  Filter.fill_he_normal (Rng.create 4) filter;
+  let input_range = Ax_quant.Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Ax_quant.Range.make ~min:fmin ~max:fmax in
+  (input, filter, input_range, filter_range)
+
+let axconv_test ~name multiplier strategy =
+  let input, filter, input_range, filter_range = conv_inputs () in
+  let config =
+    Axconv.make_config (Registry.lut (Registry.find_exn multiplier))
+  in
+  let conv =
+    match strategy with
+    | `Gemm -> Axconv.conv ?profile:None
+    | `Direct -> Ax_nn.Conv_direct.conv ?profile:None
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (conv ~config ~input ~input_range ~filter ~filter_range
+              ~spec:Conv_spec.default ())))
+
+let micro_tests () =
+  let lut = Registry.lut (Registry.find_exn "mul8u_trunc8") in
+  let rng = Rng.create 9 in
+  let codes = Array.init 4096 (fun _ -> (Rng.int rng 256, Rng.int rng 256)) in
+  let lut_lookup =
+    Test.make ~name:"lut-lookup-4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Array.iter
+             (fun (a, b) -> acc := !acc + Lut.lookup_code lut a b)
+             codes;
+           ignore !acc))
+  in
+  let float_mac =
+    let xs = Array.init 4096 (fun i -> float_of_int i *. 0.01) in
+    Test.make ~name:"float-mac-4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           Array.iter (fun x -> acc := !acc +. (x *. 1.0001)) xs;
+           ignore !acc))
+  in
+  let input, filter, _, _ = conv_inputs () in
+  let conv_float =
+    Test.make ~name:"conv-float-gemm"
+      (Staged.stage (fun () ->
+           ignore
+             (Ax_nn.Conv_float.gemm ~input ~filter ~spec:Conv_spec.default ())))
+  in
+  let im2col =
+    let plan =
+      Ax_nn.Im2col.make (Tensor.shape input) ~kh:3 ~kw:3
+        ~spec:Conv_spec.default
+    in
+    let coeffs =
+      Ax_quant.Quantization.compute_coeffs Ax_arith.Signedness.Unsigned
+        ~rmin:(-1.) ~rmax:1.
+    in
+    Test.make ~name:"im2col-codes"
+      (Staged.stage (fun () ->
+           ignore
+             (Ax_nn.Im2col.to_codes plan input ~coeffs
+                ~round_mode:Ax_quant.Round.Nearest_even
+                ~signedness:Ax_arith.Signedness.Unsigned)))
+  in
+  [
+    lut_lookup; float_mac; conv_float; im2col;
+    axconv_test ~name:"axconv-gemm" "mul8u_trunc8" `Gemm;
+    axconv_test ~name:"axconv-direct" "mul8u_trunc8" `Direct;
+  ]
+
+let run_bechamel ~name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name ~fmt:"%s/%s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (key, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        if ns > 1e6 then
+          Format.printf "  %-34s %10.3f ms/run@." key (ns /. 1e6)
+        else if ns > 1e3 then
+          Format.printf "  %-34s %10.3f us/run@." key (ns /. 1e3)
+        else Format.printf "  %-34s %10.1f ns/run@." key ns
+      | Some _ | None -> Format.printf "  %-34s (no estimate)@." key)
+    (List.sort compare rows)
+
+let run_micro () =
+  section "Kernel micro-benchmarks (Bechamel, monotonic clock)";
+  run_bechamel ~name:"micro" (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* E5: LUT-content independence                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_lut_independence () =
+  section
+    "E5: \"The content of the LUT does not have any impact on the execution time\"";
+  let tests =
+    List.map
+      (fun m -> axconv_test ~name:("axconv-" ^ m) m `Gemm)
+      [ "mul8u_exact"; "mul8u_trunc8"; "mul8u_mitchell"; "mul8u_kulkarni" ]
+  in
+  run_bechamel ~name:"lut-independence" tests;
+  Format.printf
+    "@.identical within noise = the claim holds: time depends on geometry,@.";
+  Format.printf "not on which truth table the texture memory holds.@."
+
+(* ------------------------------------------------------------------ *)
+(* A1: texture-cache ablation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_cache_ablation () =
+  section "A1: texture-cache geometry vs LUT hit rate (ResNet-20 codes)";
+  let graph = Resnet.build ~depth:20 () in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let base = Device.gtx_1080 in
+  Format.printf "%-14s %-8s %-6s %10s %16s@." "cache" "line" "ways"
+    "hit rate" "LUT time (10k)";
+  let workloads =
+    Cost.workloads_of_graph graph
+      ~input:(Resnet.input_shape ~batch:1)
+      ~images:10_000
+  in
+  List.iter
+    (fun (size_kb, line, ways) ->
+      let device =
+        {
+          base with
+          Device.tex_cache_bytes = size_kb * 1024;
+          tex_cache_line_bytes = line;
+          tex_cache_ways = ways;
+        }
+      in
+      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample in
+      let phases =
+        Cost.approx_network device ~lut_hit_rate:rate ~chunk_size:250
+          workloads
+      in
+      Format.printf "%10d kB %5d B %6d %9.1f%% %13.2f s@." size_kb line ways
+        (100. *. rate) phases.Cost.lut_s)
+    [
+      (0, 32, 1); (2, 32, 4); (8, 32, 4); (24, 32, 4); (48, 32, 4);
+      (48, 64, 4); (48, 32, 8); (128, 32, 4); (256, 32, 4);
+    ];
+  Format.printf
+    "@.0 kB = no texture cache: every fetch pays the miss penalty — the@.";
+  Format.printf
+    "paper's motivation for routing the LUT through texture memory.@."
+
+(* ------------------------------------------------------------------ *)
+(* A2: chunk-size ablation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_chunk_ablation () =
+  section "A2: Algorithm 1 chunk size (ResNet-20, measured CPU + model)";
+  let graph = Resnet.build ~depth:20 () in
+  let images = max 4 images_measured in
+  let data = (Cifar.generate ~n:images ()).Cifar.images in
+  let workloads =
+    Cost.workloads_of_graph graph
+      ~input:(Resnet.input_shape ~batch:1)
+      ~images:10_000
+  in
+  Format.printf "%10s %16s %16s %18s@." "chunk" "cpu-gemm (meas.)"
+    "gpu model" "peak patch bytes";
+  List.iter
+    (fun chunk_size ->
+      let approx =
+        Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8"
+          ~chunk_size graph
+      in
+      let start = Unix.gettimeofday () in
+      ignore
+        (Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_gemm approx data);
+      let measured = Unix.gettimeofday () -. start in
+      let modelled =
+        Cost.total (Cost.approx_network Device.gtx_1080 ~chunk_size workloads)
+      in
+      (* Largest per-chunk patch matrix across layers. *)
+      let peak_bytes =
+        List.fold_left
+          (fun acc w ->
+            max acc (min chunk_size 10_000 * w.Cost.rows_per_image * w.Cost.taps))
+          0 workloads
+      in
+      Format.printf "%10d %14.2f s %14.2f s %15.1f MB@." chunk_size measured
+        modelled
+        (float_of_int peak_bytes /. 1e6))
+    [ 1; 25; 125; 250; 500; 1000 ];
+  Format.printf
+    "@.results are bit-identical across chunk sizes (asserted in the test@.";
+  Format.printf
+    "suite); chunking trades patch-matrix memory against launch overhead.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: per-layer timeline                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_per_layer () =
+  section "Extension: per-layer modelled time (ResNet-8, 10k images)";
+  let graph = Resnet.build ~depth:8 () in
+  let workloads =
+    Cost.workloads_of_graph graph
+      ~input:(Resnet.input_shape ~batch:1)
+      ~images:10_000
+  in
+  Format.printf "%-24s %10s %10s %10s %10s@." "layer" "quant" "LUT" "rest"
+    "total";
+  List.iter
+    (fun (label, p) ->
+      Format.printf "%-24s %8.3f s %8.3f s %8.3f s %8.3f s@." label
+        p.Cost.quantization_s p.Cost.lut_s p.Cost.other_s (Cost.total p))
+    (Cost.per_layer Device.gtx_1080 ~chunk_size:250 workloads);
+  Format.printf
+    "@.early layers pay in quantization traffic (large activations),@.";
+  Format.printf "late layers in LUT fetches (more channels per position).@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: round-mode ablation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_round_modes () =
+  section "Extension: rounding mode of the quantizer (exact LUT)";
+  let input, filter, input_range, filter_range = conv_inputs () in
+  let float_out =
+    Ax_nn.Conv_float.gemm ~input ~filter ~spec:Conv_spec.default ()
+  in
+  let lut = Registry.lut (Registry.find_exn "mul8s_exact") in
+  Format.printf "%-16s %18s@." "round mode" "max |err| vs float";
+  List.iter
+    (fun round_mode ->
+      let out =
+        Axconv.conv
+          ~config:(Axconv.make_config ~round_mode lut)
+          ~input ~input_range ~filter ~filter_range ~spec:Conv_spec.default
+          ()
+      in
+      Format.printf "%-16s %18.4f@."
+        (Ax_quant.Round.to_string round_mode)
+        (Tensor.max_abs_diff float_out out))
+    Ax_quant.Round.[ Nearest_even; Nearest_away; Toward_zero; Stochastic ];
+  Format.printf
+    "@.the paper's \"requested round mode\" input: nearest flavours tie,@.";
+  Format.printf "truncation costs roughly 2x the quantization noise.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: other workload families                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_workloads () =
+  section
+    "Extension: other workload families (GPU modelled, 10k images)";
+  Format.printf "%-22s %10s %14s %14s@." "model" "MACs/img" "GPU accurate"
+    "GPU approximate";
+  let entry ~label ~graph ~input =
+    let macs = Ax_nn.Graph.total_macs graph ~input in
+    let accurate, _ =
+      Tfapprox.Emulator.estimate_gpu_time ~graph ~input ~images:10_000 ()
+    in
+    let approx_graph =
+      Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" graph
+    in
+    let approx, _ =
+      Tfapprox.Emulator.estimate_gpu_time ~graph:approx_graph ~input
+        ~images:10_000 ()
+    in
+    let seconds = function
+      | `Accurate p | `Approximate p -> Cost.total p
+    in
+    Format.printf "%-22s %9.1fM %12.2f s %12.2f s@." label
+      (float_of_int macs /. 1e6)
+      (seconds accurate) (seconds approx)
+  in
+  entry ~label:"ResNet-20"
+    ~graph:(Resnet.build ~depth:20 ())
+    ~input:(Resnet.input_shape ~batch:1);
+  entry ~label:"MobileNet (w16, b4)"
+    ~graph:(Ax_models.Mobilenet.build ())
+    ~input:(Ax_models.Mobilenet.input_shape ~batch:1);
+  entry ~label:"LeNet (28x28x1)"
+    ~graph:(Ax_models.Lenet.build ())
+    ~input:(Ax_models.Lenet.input_shape ~batch:1);
+  Format.printf
+    "@.depthwise-separable and 5x5/maxpool networks run through the same@.";
+  Format.printf "AxConv2D / AxDepthwiseConv2D pipeline and cost model.@."
+
+(* ------------------------------------------------------------------ *)
+(* A6: accumulator-width ablation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_accumulator_ablation () =
+  section
+    "A6: accumulator width (paper: 32-bit unit; narrower saturating/wrapping)";
+  let input, filter, input_range, filter_range = conv_inputs () in
+  let lut = Registry.lut (Registry.find_exn "mul8s_exact") in
+  let reference =
+    Axconv.conv
+      ~config:(Axconv.make_config lut)
+      ~input ~input_range ~filter ~filter_range ~spec:Conv_spec.default ()
+  in
+  Format.printf "%-10s %18s %18s@." "width" "max |err| (sat)" "max |err| (wrap)";
+  List.iter
+    (fun width ->
+      let err accumulator =
+        let out =
+          Axconv.conv
+            ~config:(Axconv.make_config ~accumulator lut)
+            ~input ~input_range ~filter ~filter_range
+            ~spec:Conv_spec.default ()
+        in
+        Tensor.max_abs_diff reference out
+      in
+      Format.printf "%-10d %18.4f %18.4f@." width
+        (err (Ax_nn.Accumulator.Saturating width))
+        (err (Ax_nn.Accumulator.Wrapping width)))
+    [ 10; 12; 14; 16; 20; 24; 32 ];
+  Format.printf
+    "@.32-bit never overflows at these layer sizes (the paper's design@.";
+  Format.printf
+    "point); saturation degrades gracefully, wrap-around does not.@."
+
+(* ------------------------------------------------------------------ *)
+(* Device sweep                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_device_sweep () =
+  section "A-extra: device sweep (modelled AxConv2D, ResNet-20, 10k images)";
+  let graph = Resnet.build ~depth:20 () in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let workloads =
+    Cost.workloads_of_graph graph
+      ~input:(Resnet.input_shape ~batch:1)
+      ~images:10_000
+  in
+  Format.printf "%-18s %12s %12s %12s@." "device" "t_init" "t_comp" "hit rate";
+  List.iter
+    (fun device ->
+      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample in
+      let init =
+        Cost.transfer_init device
+          ~dataset_bytes:(float_of_int (10_000 * Cifar.image_bytes))
+          ~weight_bytes:1e6
+      in
+      let phases =
+        Cost.approx_network device ~lut_hit_rate:rate ~chunk_size:250
+          workloads
+      in
+      Format.printf "%-18s %10.2f s %10.2f s %11.1f%%@." device.Device.name
+        init.Cost.init_s (Cost.total phases)
+        (100. *. rate))
+    [ Device.gtx_1080; Device.jetson_class; Device.datacenter_class ]
+
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [
+    ("table1", run_table1);
+    ("fig2", run_fig2);
+    ("micro", run_micro);
+    ("lut-independence", run_lut_independence);
+    ("cache-ablation", run_cache_ablation);
+    ("chunk-ablation", run_chunk_ablation);
+    ("accumulator-ablation", run_accumulator_ablation);
+    ("workloads", run_workloads);
+    ("round-modes", run_round_modes);
+    ("per-layer", run_per_layer);
+    ("device-sweep", run_device_sweep);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | [ _ ] | [] -> List.map fst all_sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_sections with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown section %s (have: %s)@." name
+          (String.concat ", " (List.map fst all_sections));
+        exit 1)
+    requested

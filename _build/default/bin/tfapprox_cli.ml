@@ -1,0 +1,268 @@
+(* Command-line front end: run the paper's experiments, explore the
+   multiplier catalogue, export gate-level multipliers to Verilog, and
+   dump LUT files. *)
+
+open Cmdliner
+
+let depths_arg =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "depths: comma-separated integers expected")
+  in
+  let print ppf ds =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int ds))
+  in
+  Arg.conv (parse, print)
+
+let depths_term =
+  Arg.(
+    value
+    & opt depths_arg Ax_models.Resnet.table1_depths
+    & info [ "depths" ] ~docv:"D1,D2,..." ~doc:"ResNet depths to evaluate.")
+
+let images_term =
+  Arg.(
+    value & opt int 2
+    & info [ "images" ]
+        ~doc:"Images actually timed on the CPU (scaled to the dataset).")
+
+let dataset_term =
+  Arg.(
+    value & opt int 10_000
+    & info [ "dataset" ] ~doc:"Dataset size the results are scaled to.")
+
+let multiplier_term =
+  Arg.(
+    value & opt string "mul8u_trunc8"
+    & info [ "multiplier"; "m" ] ~doc:"Registry name of the multiplier.")
+
+let device_term =
+  let parse = function
+    | "gtx-1080" -> Ok Ax_gpusim.Device.gtx_1080
+    | "jetson" -> Ok Ax_gpusim.Device.jetson_class
+    | "datacenter" -> Ok Ax_gpusim.Device.datacenter_class
+    | s -> Error (`Msg (Printf.sprintf "unknown device %s" s))
+  in
+  let print ppf d = Format.pp_print_string ppf d.Ax_gpusim.Device.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Ax_gpusim.Device.gtx_1080
+    & info [ "device" ] ~doc:"GPU model: gtx-1080, jetson or datacenter.")
+
+let csv_term =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the table.")
+
+let table1_cmd =
+  let run device multiplier depths images dataset csv =
+    let rows =
+      Tfapprox.Experiments.table1 ~device ~multiplier ~depths
+        ~images_measured:images ~dataset_images:dataset ()
+    in
+    if csv then print_string (Tfapprox.Report.table1_csv rows)
+    else Tfapprox.Report.print_table1 Format.std_formatter rows
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table I")
+    Term.(
+      const run $ device_term $ multiplier_term $ depths_term $ images_term
+      $ dataset_term $ csv_term)
+
+let fig2_cmd =
+  let run device multiplier depths images dataset csv =
+    let rows =
+      Tfapprox.Experiments.fig2 ~device ~multiplier ~depths
+        ~images_measured:images ~dataset_images:dataset ()
+    in
+    if csv then print_string (Tfapprox.Report.fig2_csv rows)
+    else Tfapprox.Report.print_fig2 Format.std_formatter rows
+  in
+  let depths =
+    Arg.(
+      value & opt depths_arg [ 8; 32; 50; 62 ]
+      & info [ "depths" ] ~docv:"D1,D2,..." ~doc:"Configurations to profile.")
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Regenerate the Fig. 2 time breakdown")
+    Term.(
+      const run $ device_term $ multiplier_term $ depths $ images_term
+      $ dataset_term $ csv_term)
+
+let sweep_cmd =
+  let run depth images =
+    let rows = Tfapprox.Experiments.accuracy_sweep ~depth ~images () in
+    Tfapprox.Report.print_accuracy_sweep Format.std_formatter rows
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.")
+  in
+  let images =
+    Arg.(value & opt int 40 & info [ "images" ] ~doc:"Evaluation images.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Accuracy/fidelity sweep over candidate multipliers")
+    Term.(const run $ depth $ images)
+
+let multipliers_cmd =
+  let run verbose =
+    List.iter
+      (fun e ->
+        if verbose then begin
+          let m =
+            Ax_arith.Error_metrics.compute_lut (Ax_arith.Registry.lut e)
+          in
+          Format.printf "%-20s %-8s %a@." e.Ax_arith.Registry.name
+            (Ax_arith.Signedness.to_string e.Ax_arith.Registry.signedness)
+            Ax_arith.Error_metrics.pp m
+        end
+        else
+          Format.printf "%-20s %-8s %s@." e.Ax_arith.Registry.name
+            (Ax_arith.Signedness.to_string e.Ax_arith.Registry.signedness)
+            e.Ax_arith.Registry.description)
+      (Ax_arith.Registry.all ())
+  in
+  let verbose =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print full error metrics.")
+  in
+  Cmd.v (Cmd.info "multipliers" ~doc:"List the multiplier catalogue")
+    Term.(const run $ verbose)
+
+let verilog_cmd =
+  let run kind bits cut output =
+    let m =
+      match kind with
+      | "exact" -> Ax_netlist.Multipliers.unsigned_array ~bits
+      | "truncated" -> Ax_netlist.Multipliers.truncated ~bits ~cut
+      | "bam" -> Ax_netlist.Multipliers.broken_array ~bits ~hbl:2 ~vbl:cut
+      | "signed" -> Ax_netlist.Multipliers.baugh_wooley_signed ~bits
+      | other -> failwith (Printf.sprintf "unknown kind %s" other)
+    in
+    let text = Ax_netlist.Verilog.to_string m.Ax_netlist.Multipliers.circuit in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc);
+    let r = Ax_netlist.Power.analyze m.Ax_netlist.Multipliers.circuit in
+    Format.eprintf "%a@." Ax_netlist.Power.pp_report r
+  in
+  let kind =
+    Arg.(
+      value & opt string "exact"
+      & info [ "kind" ] ~doc:"exact, truncated, bam or signed.")
+  in
+  let bits = Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Operand width.") in
+  let cut =
+    Arg.(value & opt int 8 & info [ "cut" ] ~doc:"Truncation / break level.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output file (stdout otherwise).")
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Export a gate-level multiplier to Verilog")
+    Term.(const run $ kind $ bits $ cut $ output)
+
+let lut_cmd =
+  let run name output =
+    let lut = Tfapprox.Emulator.lut_of_multiplier name in
+    Ax_arith.Lut.save output lut;
+    Format.printf "wrote %s (%d bytes payload)@." output
+      Ax_arith.Lut.size_bytes
+  in
+  let mult_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MULTIPLIER" ~doc:"Registry name.")
+  in
+  let output =
+    Arg.(
+      value & opt string "multiplier.axlut"
+      & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  Cmd.v (Cmd.info "lut" ~doc:"Tabulate a multiplier into a 128 kB LUT file")
+    Term.(const run $ mult_name $ output)
+
+let search_cmd =
+  let run max_mae =
+    let trajectory = Ax_arith.Search.greedy_prune ~max_mae () in
+    Format.printf "%-8s %10s %8s %10s@." "kept" "MAE" "WCE" "area proxy";
+    List.iter
+      (fun c ->
+        Format.printf "%-8d %10.2f %8d %10.0f@." c.Ax_arith.Search.kept
+          c.Ax_arith.Search.metrics.Ax_arith.Error_metrics.mae
+          c.Ax_arith.Search.metrics.Ax_arith.Error_metrics.wce
+          c.Ax_arith.Search.area_proxy)
+      trajectory
+  in
+  let max_mae =
+    Arg.(
+      value & opt float 1000.
+      & info [ "max-mae" ] ~doc:"Stop when MAE would exceed this bound.")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Greedy partial-product pruning over the 8x8 design space")
+    Term.(const run $ max_mae)
+
+let model_cmd =
+  let run depth multiplier output =
+    let graph = Ax_models.Resnet.build ~depth () in
+    let graph =
+      match multiplier with
+      | None -> graph
+      | Some m -> Tfapprox.Emulator.approximate_model ~multiplier:m graph
+    in
+    Ax_nn.Model_io.save output graph;
+    Format.printf "wrote %s (%d nodes)@." output (Ax_nn.Graph.size graph)
+  in
+  let depth = Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.") in
+  let multiplier =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "multiplier"; "m" ]
+          ~doc:"Transform with this multiplier before saving.")
+  in
+  let output =
+    Arg.(value & opt string "model.axmdl" & info [ "o"; "output" ] ~doc:"Path.")
+  in
+  Cmd.v
+    (Cmd.info "save-model"
+       ~doc:"Build (and optionally transform) a ResNet and serialize it")
+    Term.(const run $ depth $ multiplier $ output)
+
+let analyze_cmd =
+  let run depth multiplier images =
+    let graph = Ax_models.Resnet.build ~depth () in
+    let approx = Tfapprox.Emulator.approximate_model ~multiplier graph in
+    let sample =
+      (Ax_data.Cifar.generate ~n:images ()).Ax_data.Cifar.images
+    in
+    let errors = Tfapprox.Calibrate.mean_channel_error ~sample approx in
+    Format.printf "per-layer mean |error| vs exact LUT (%s):@." multiplier;
+    List.iter
+      (fun (name, e) -> Format.printf "  %-28s %.5f@." name e)
+      errors
+  in
+  let depth = Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.") in
+  let images =
+    Arg.(value & opt int 4 & info [ "images" ] ~doc:"Analysis sample size.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Per-layer error introduced by an approximate multiplier")
+    Term.(const run $ depth $ multiplier_term $ images)
+
+let () =
+  let doc = "TFApprox-style emulation of approximate DNN accelerators" in
+  let info = Cmd.info "tfapprox" ~version:Tfapprox.Version.version ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
+            lut_cmd; search_cmd; model_cmd; analyze_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/design_search.ml: Array Ax_arith Ax_data Ax_models Ax_netlist Format List Tfapprox

@@ -1,0 +1,1 @@
+examples/finetune.ml: Array Ax_data Ax_models Ax_nn Ax_train Format Tfapprox

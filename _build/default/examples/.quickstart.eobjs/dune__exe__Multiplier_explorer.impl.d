@@ -1,0 +1,1 @@
+examples/multiplier_explorer.ml: Ax_arith Ax_data Ax_gpusim Ax_models Ax_netlist Format List Tfapprox

@@ -1,0 +1,1 @@
+examples/netlist_export.ml: Ax_arith Ax_netlist Filename Format List String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ax_arith Ax_nn Ax_tensor Float Format Tfapprox

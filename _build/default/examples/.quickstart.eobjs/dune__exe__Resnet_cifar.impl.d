@@ -1,0 +1,1 @@
+examples/resnet_cifar.ml: Array Ax_data Ax_models Format List Tfapprox

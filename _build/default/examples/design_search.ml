@@ -1,0 +1,95 @@
+(* Automated approximate-multiplier design (the Sec. V vision): search
+   the partial-product pruning space, keep the error/area Pareto front,
+   formally verify a finalist's netlist, and evaluate it end-to-end
+   inside the DNN emulator — candidate circuit to network-level accuracy
+   in one run, no hardware in the loop.
+
+   Run with: dune exec examples/design_search.exe *)
+
+module Search = Ax_arith.Search
+module Metrics = Ax_arith.Error_metrics
+module Lut = Ax_arith.Lut
+module S = Ax_arith.Signedness
+module Bdd = Ax_netlist.Bdd
+module Multipliers = Ax_netlist.Multipliers
+module Emulator = Tfapprox.Emulator
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+
+let () =
+  (* 1. Greedy design-space walk: drop the cheapest partial product at
+     each step, tracking the exact error profile. *)
+  Format.printf "1. greedy pruning trajectory (64 -> fewer partial products)@.";
+  let trajectory = Search.greedy_prune ~max_mae:900. () in
+  Format.printf "   %-8s %10s %8s %10s@." "kept" "MAE" "WCE" "area proxy";
+  List.iteri
+    (fun i c ->
+      if i mod 4 = 0 || i = List.length trajectory - 1 then
+        Format.printf "   %-8d %10.2f %8d %10.0f@." c.Search.kept
+          c.Search.metrics.Metrics.mae c.Search.metrics.Metrics.wce
+          c.Search.area_proxy)
+    trajectory;
+
+  (* 2. Against the classic hand design: truncation at matched size. *)
+  Format.printf "@.2. greedy vs plain truncation at equal size:@.";
+  List.iter
+    (fun cut ->
+      let trunc = Search.evaluate (Search.truncation_mask ~cut) in
+      match
+        List.find_opt
+          (fun c -> c.Search.kept = trunc.Search.kept)
+          trajectory
+      with
+      | Some greedy ->
+        Format.printf
+          "   %d products: greedy MAE %.2f vs truncation MAE %.2f@."
+          trunc.Search.kept greedy.Search.metrics.Metrics.mae
+          trunc.Search.metrics.Metrics.mae
+      | None -> ())
+    [ 4; 6; 8 ];
+
+  (* 3. Pick a mid-trajectory finalist; verify its gate-level netlist
+     formally against an independently constructed reference. *)
+  let finalist =
+    List.nth trajectory (List.length trajectory / 2)
+  in
+  Format.printf "@.3. finalist: %d products kept, MAE %.2f@."
+    finalist.Search.kept finalist.Search.metrics.Metrics.mae;
+  let netlist = Search.netlist_of finalist in
+  let mask = finalist.Search.mask in
+  let reference =
+    Multipliers.pruned ~bits:8
+      ~keep:(fun i j -> mask.((i * 8) + j))
+      ~name:"reference"
+  in
+  Format.printf "   BDD equivalence vs independent construction: %b@."
+    (Bdd.equivalent netlist.Multipliers.circuit
+       reference.Multipliers.circuit);
+  let hw = Search.hardware_of finalist in
+  let exact_hw =
+    Ax_netlist.Power.analyze
+      (Multipliers.unsigned_array ~bits:8).Multipliers.circuit
+  in
+  Format.printf "   gate-level: %a@." Ax_netlist.Power.pp_report hw;
+  Format.printf "   (exact:     %a)@." Ax_netlist.Power.pp_report exact_hw;
+
+  (* 4. Drop the finalist into the emulator: sign-magnitude LUT,
+     ResNet-8, classification fidelity. *)
+  let multiply =
+    Ax_arith.Exact.signed_of_unsigned (Search.multiply_of_mask mask)
+  in
+  let lut = Lut.make ~signedness:S.Signed multiply in
+  let graph = Resnet.build ~depth:8 () in
+  let dataset = Cifar.generate ~n:30 () in
+  let reference_preds =
+    Emulator.predictions graph ~backend:Emulator.Cpu_accurate
+      dataset.Cifar.images
+  in
+  let approx = Emulator.approximate_model ~lut graph in
+  let preds =
+    Emulator.predictions approx ~backend:Emulator.Cpu_gemm dataset.Cifar.images
+  in
+  Format.printf
+    "@.4. end-to-end on ResNet-8: classification fidelity %.1f%% (area -%.0f%%)@."
+    (100. *. Emulator.agreement reference_preds preds)
+    (100. *. (1. -. (hw.Ax_netlist.Power.area /. exact_hw.Ax_netlist.Power.area)))

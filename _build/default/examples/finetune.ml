@@ -1,0 +1,107 @@
+(* The retraining workflow the paper motivates (Sec. I: "determining a
+   suitable approximate implementation ... requires ... additional
+   parameter fine-tuning (i.e. re-training)"):
+
+   1. train a small CNN in float32 on the synthetic dataset;
+   2. swap its convolutions for AxConv2D with a coarse truncated
+      multiplier — accuracy drops;
+   3. fine-tune *through the emulated forward pass* (straight-through
+      gradients) — the network adapts its weights to the approximate
+      hardware and recovers accuracy.
+
+   Run with: dune exec examples/finetune.exe  (about a minute) *)
+
+module Graph = Ax_nn.Graph
+module Conv_spec = Ax_nn.Conv_spec
+module Trainer = Ax_train.Trainer
+module Cifar = Ax_data.Cifar
+
+let build_model ~seed =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let conv ~name ~seed ~in_c ~out_c src =
+    let filter =
+      Ax_models.Weights.conv_filter ~seed ~name ~kh:3 ~kw:3 ~in_c ~out_c
+    in
+    let c =
+      Graph.add b ~name
+        (Graph.Conv2d
+           {
+             filter;
+             bias = Some (Array.make out_c 0.);
+             spec = Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+           })
+        [ src ]
+    in
+    Graph.add b ~name:(name ^ "/relu") Graph.Relu [ c ]
+  in
+  let x = conv ~name:"c1" ~seed ~in_c:3 ~out_c:8 input in
+  let x = conv ~name:"c2" ~seed:(seed + 4) ~in_c:8 ~out_c:16 x in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ x ] in
+  let weights, bias =
+    Ax_models.Weights.dense ~seed ~name:"fc" ~inputs:16 ~outputs:10
+  in
+  let fc = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let sm = Graph.add b ~name:"softmax" Graph.Softmax [ fc ] in
+  Graph.finalize b ~output:sm
+
+let () =
+  let train_set = Cifar.normalize (Cifar.generate ~seed:26 ~n:80 ()) in
+  let test_set = Cifar.normalize (Cifar.generate ~seed:99 ~n:40 ()) in
+  let model = build_model ~seed:42 in
+
+  (* 1. float pre-training *)
+  Format.printf "1. float pre-training (accuracy %.0f%% before)@."
+    (100. *. Trainer.evaluate model test_set);
+  let pretrain =
+    {
+      Trainer.default_config with
+      Trainer.epochs = 20;
+      learning_rate = 0.05;
+      batch_size = 12;
+    }
+  in
+  ignore
+    (Trainer.train
+       ~log:(fun ~epoch ~loss ~accuracy ->
+         if epoch mod 5 = 0 then
+           Format.printf "   epoch %2d  loss %.3f  train acc %.0f%%@." epoch
+             loss (100. *. accuracy))
+       pretrain model train_set);
+  let float_acc = Trainer.evaluate model test_set in
+  Format.printf "   float test accuracy: %.0f%%@.@." (100. *. float_acc);
+
+  (* 2. deploy on approximate hardware *)
+  let multiplier = "mul8s_drum4" in
+  let approx = Tfapprox.Emulator.approximate_model ~multiplier model in
+  let drop_acc = Trainer.evaluate approx test_set in
+  Format.printf "2. emulated with %s: %.0f%% (%+.0f points)@.@." multiplier
+    (100. *. drop_acc)
+    (100. *. (drop_acc -. float_acc));
+
+  (* 3. hardware-aware fine-tuning: forward = emulated, backward =
+     straight-through. *)
+  Format.printf "3. fine-tuning through the emulated forward pass@.";
+  let finetune =
+    {
+      Trainer.default_config with
+      Trainer.epochs = 8;
+      learning_rate = 0.02;
+      batch_size = 12;
+    }
+  in
+  ignore
+    (Trainer.train
+       ~log:(fun ~epoch ~loss ~accuracy ->
+         Format.printf "   epoch %2d  loss %.3f  train acc %.0f%%@." epoch
+           loss (100. *. accuracy))
+       finetune approx train_set);
+  let tuned_acc = Trainer.evaluate approx test_set in
+  Format.printf
+    "   emulated test accuracy after fine-tuning: %.0f%% (%+.0f points vs untuned)@."
+    (100. *. tuned_acc)
+    (100. *. (tuned_acc -. drop_acc));
+  Format.printf
+    "@.Note: the transform shares weight storage with the original graph@.";
+  Format.printf
+    "(like TF variables), so the float model above is now tuned too.@."

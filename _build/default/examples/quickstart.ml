@@ -1,0 +1,59 @@
+(* Quickstart: the whole TFApprox workflow on one convolution.
+
+   1. pick an approximate multiplier and tabulate it into the 128 kB LUT;
+   2. build a model graph with an ordinary Conv2D;
+   3. apply the Fig. 1 transform (Conv2D -> AxConv2D + Min/Max);
+   4. run both graphs and compare outputs.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Rng = Ax_tensor.Rng
+module Graph = Ax_nn.Graph
+module Filter = Ax_nn.Filter
+
+let () =
+  (* 1. A truncated array multiplier from the catalogue, as a LUT. *)
+  let multiplier = "mul8s_trunc6" in
+  let entry = Ax_arith.Registry.find_exn multiplier in
+  let metrics = Ax_arith.Error_metrics.compute_lut (Ax_arith.Registry.lut entry) in
+  Format.printf "Multiplier %s: %a@.@." multiplier Ax_arith.Error_metrics.pp
+    metrics;
+
+  (* 2. A single-conv graph. *)
+  let filter = Filter.create ~kh:3 ~kw:3 ~in_c:3 ~out_c:8 in
+  Filter.fill_he_normal (Rng.create 42) filter;
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let conv =
+    Graph.add b ~name:"conv"
+      (Graph.Conv2d { filter; bias = None; spec = Ax_nn.Conv_spec.default })
+      [ input ]
+  in
+  let graph = Graph.finalize b ~output:conv in
+  Format.printf "Original graph (Fig. 1, left):@.%a@." Graph.pp_summary graph;
+
+  (* 3. The transform. *)
+  let approx = Tfapprox.Emulator.approximate_model ~multiplier graph in
+  Format.printf "Transformed graph (Fig. 1, right):@.%a@." Graph.pp_summary
+    approx;
+
+  (* 4. Run both on the same data. *)
+  let x = Tensor.create (Shape.make ~n:1 ~h:16 ~w:16 ~c:3) in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1. (Rng.create 7) x;
+  let exact = Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_accurate graph x in
+  let emulated = Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_gemm approx x in
+  Format.printf
+    "Output tensor %s; max |accurate - emulated| = %.4f (max |accurate| = %.4f)@."
+    (Shape.to_string (Tensor.shape emulated))
+    (Tensor.max_abs_diff exact emulated)
+    (Tensor.fold (fun acc v -> Float.max acc (abs_float v)) 0. exact);
+
+  (* Same run again with the exact multiplier: only quantization noise. *)
+  let faithful = Tfapprox.Emulator.approximate_model ~multiplier:"mul8s_exact" graph in
+  let emulated_exact =
+    Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_gemm faithful x
+  in
+  Format.printf "With the exact LUT the residual is pure quantization: %.4f@."
+    (Tensor.max_abs_diff exact emulated_exact)

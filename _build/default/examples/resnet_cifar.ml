@@ -1,0 +1,55 @@
+(* The paper's workload in miniature: CIFAR-style ResNets whose Conv2D
+   layers are swapped for AxConv2D, evaluated for accuracy impact and
+   classification fidelity across several approximate multipliers —
+   the "quantify the error introduced by approximate circuits" use-case
+   of Sec. I.
+
+   Run with: dune exec examples/resnet_cifar.exe *)
+
+module Cifar = Ax_data.Cifar
+module Resnet = Ax_models.Resnet
+module Emulator = Tfapprox.Emulator
+
+let () =
+  let depth = 8 and images = 60 in
+  Format.printf
+    "ResNet-%d (L=%d convolution layers, %.1fM MACs/image) on %d synthetic CIFAR images@.@."
+    depth
+    (Resnet.conv_layer_count depth)
+    (float_of_int (Resnet.macs_per_image ~depth) /. 1e6)
+    images;
+  let graph = Resnet.build ~depth () in
+  let dataset = Cifar.generate ~n:images () in
+  let reference =
+    Emulator.predictions graph ~backend:Emulator.Cpu_accurate
+      dataset.Cifar.images
+  in
+  let base_accuracy = Emulator.accuracy graph ~backend:Emulator.Cpu_accurate dataset in
+  Format.printf "float32 baseline accuracy: %.1f%% (synthetic labels)@.@."
+    (100. *. base_accuracy);
+  Format.printf "%-18s %10s %10s %10s@." "multiplier" "accuracy" "delta"
+    "fidelity";
+  List.iter
+    (fun multiplier ->
+      let approx = Emulator.approximate_model ~multiplier graph in
+      let preds =
+        Emulator.predictions approx ~backend:Emulator.Cpu_gemm
+          dataset.Cifar.images
+      in
+      let correct = ref 0 in
+      Array.iteri
+        (fun i p -> if p = dataset.Cifar.labels.(i) then incr correct)
+        preds;
+      let acc = float_of_int !correct /. float_of_int images in
+      Format.printf "%-18s %9.1f%% %+9.1f%% %9.1f%%@." multiplier
+        (100. *. acc)
+        (100. *. (acc -. base_accuracy))
+        (100. *. Emulator.agreement reference preds))
+    [
+      "mul8s_exact"; "mul8s_trunc6"; "mul8s_drum6"; "mul8s_drum4";
+      "mul8s_mitchell";
+    ];
+  Format.printf
+    "@.fidelity = agreement with the float model's predictions; the exact@.";
+  Format.printf
+    "LUT isolates pure quantization effects, the others add circuit error.@."

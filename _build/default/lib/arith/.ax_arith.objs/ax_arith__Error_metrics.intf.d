@@ -1,0 +1,1 @@
+lib/arith/error_metrics.mli: Format Lut Signedness

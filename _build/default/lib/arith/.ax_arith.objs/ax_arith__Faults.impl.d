@@ -1,0 +1,1 @@
+lib/arith/faults.ml: Int64

@@ -1,0 +1,1 @@
+lib/arith/lut.ml: Bigarray Bytes Char Exact Fun Signedness String

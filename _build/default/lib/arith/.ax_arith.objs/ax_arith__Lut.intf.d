@@ -1,0 +1,1 @@
+lib/arith/lut.mli: Bytes Signedness

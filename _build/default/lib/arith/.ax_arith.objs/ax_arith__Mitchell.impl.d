@@ -1,0 +1,1 @@
+lib/arith/mitchell.ml:

@@ -1,0 +1,1 @@
+lib/arith/registry.ml: Ax_netlist Drum Exact Faults Hashtbl Kulkarni Lazy List Lut Mitchell Printf Signedness String Truncation

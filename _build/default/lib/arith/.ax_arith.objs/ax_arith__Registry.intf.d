@@ -1,0 +1,1 @@
+lib/arith/registry.mli: Lut Signedness

@@ -1,0 +1,1 @@
+lib/arith/search.ml: Array Ax_netlist Error_metrics List Printf Signedness

@@ -1,0 +1,1 @@
+lib/arith/search.mli: Ax_netlist Error_metrics

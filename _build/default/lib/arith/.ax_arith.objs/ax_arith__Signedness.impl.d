@@ -1,0 +1,1 @@
+lib/arith/signedness.ml: Format Printf

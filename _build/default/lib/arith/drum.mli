@@ -1,0 +1,16 @@
+(** DRUM — Dynamic Range Unbiased Multiplier (Hashemi et al., ICCAD'15).
+
+    Each operand is reduced to its [k] most-significant bits starting at
+    the leading one; the discarded tail is compensated by forcing the
+    lowest retained bit to 1 (the unbiasing trick), and the short
+    operands are multiplied exactly and shifted back.  Error is
+    relative-magnitude-bounded, which makes DRUM popular for DNN
+    workloads. *)
+
+val multiply : k:int -> int -> int -> int
+(** [multiply ~k a b] for unsigned operands.  [k] must be at least 2.
+    Operands below [2^k] are used exactly. *)
+
+val approximate_operand : k:int -> int -> int
+(** The operand reduction step alone (exposed for tests): leading-one
+    window of width [k] with the unbiasing LSB set. *)

@@ -1,0 +1,47 @@
+type t = {
+  mae : float;
+  wce : int;
+  mre : float;
+  error_probability : float;
+  mse : float;
+  bias : float;
+  mae_percent : float;
+}
+
+let compute signedness f =
+  let lo = Signedness.min_value signedness in
+  let hi = Signedness.max_value signedness in
+  let pairs = float_of_int ((hi - lo + 1) * (hi - lo + 1)) in
+  let abs_sum = ref 0. and sq_sum = ref 0. and signed_sum = ref 0. in
+  let rel_sum = ref 0. and wrong = ref 0 and worst = ref 0 in
+  for a = lo to hi do
+    for b = lo to hi do
+      let e = f a b - (a * b) in
+      let ae = abs e in
+      if e <> 0 then incr wrong;
+      if ae > !worst then worst := ae;
+      abs_sum := !abs_sum +. float_of_int ae;
+      sq_sum := !sq_sum +. (float_of_int e *. float_of_int e);
+      signed_sum := !signed_sum +. float_of_int e;
+      rel_sum := !rel_sum +. (float_of_int ae /. float_of_int (max 1 (abs (a * b))))
+    done
+  done;
+  let mae = !abs_sum /. pairs in
+  {
+    mae;
+    wce = !worst;
+    mre = !rel_sum /. pairs;
+    error_probability = float_of_int !wrong /. pairs;
+    mse = !sq_sum /. pairs;
+    bias = !signed_sum /. pairs;
+    mae_percent =
+      100. *. mae /. float_of_int (Signedness.max_abs_product signedness);
+  }
+
+let compute_lut lut = compute (Lut.signedness lut) (Lut.to_function lut)
+let is_exact t = t.wce = 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "mae=%.2f wce=%d mre=%.4f ep=%.3f mse=%.1f bias=%.2f mae%%=%.4f" t.mae
+    t.wce t.mre t.error_probability t.mse t.bias t.mae_percent

@@ -1,0 +1,25 @@
+(** Exhaustive error characterisation of an 8-bit multiplier against the
+    exact product — the standard figure-of-merit set of the approximate
+    computing literature (cf. Mittal's survey, ref. [4] of the paper). *)
+
+type t = {
+  mae : float;          (** mean absolute error *)
+  wce : int;            (** worst-case (maximum) absolute error *)
+  mre : float;          (** mean relative error, |e| / max(1, |exact|) *)
+  error_probability : float;  (** fraction of input pairs with e <> 0 *)
+  mse : float;          (** mean squared error *)
+  bias : float;         (** mean signed error *)
+  mae_percent : float;  (** MAE normalised by the largest |product|, in % *)
+}
+
+val compute : Signedness.t -> (int -> int -> int) -> t
+(** [compute s f] sweeps the full 65 536-pair operand space of [f]
+    (value domain per [s]) against the exact product. *)
+
+val compute_lut : Lut.t -> t
+(** Characterise a tabulated multiplier. *)
+
+val is_exact : t -> bool
+(** True iff the multiplier never errs. *)
+
+val pp : Format.formatter -> t -> unit

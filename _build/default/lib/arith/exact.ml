@@ -1,0 +1,13 @@
+let mul8u a b =
+  if a < 0 || a > 255 || b < 0 || b > 255 then
+    invalid_arg "Exact.mul8u: operand out of range";
+  a * b
+
+let mul8s a b =
+  if a < -128 || a > 127 || b < -128 || b > 127 then
+    invalid_arg "Exact.mul8s: operand out of range";
+  a * b
+
+let signed_of_unsigned mulu a b =
+  let sign = (if a < 0 then -1 else 1) * if b < 0 then -1 else 1 in
+  sign * mulu (abs a) (abs b)

@@ -1,0 +1,14 @@
+(** Exact reference multipliers and the sign-magnitude adaptor used to
+    derive signed variants of unsigned approximate designs. *)
+
+val mul8u : int -> int -> int
+(** Exact product of two unsigned values in [0..255]. *)
+
+val mul8s : int -> int -> int
+(** Exact product of two signed values in [-128..127]. *)
+
+val signed_of_unsigned : (int -> int -> int) -> int -> int -> int
+(** [signed_of_unsigned mulu a b] lifts an unsigned magnitude multiplier
+    to two's-complement operands via sign-magnitude decomposition: the
+    result is [sign(a)*sign(b) * mulu |a| |b|].  Magnitudes reach 128, so
+    [mulu] must accept operands in [0..128]. *)

@@ -1,0 +1,22 @@
+(** Fault-injection wrappers over multiplier functions.
+
+    Used to model manufacturing defects or aggressive voltage scaling in
+    an otherwise exact datapath, and to stress error-resilience
+    experiments: the emulator must keep running (and the network keep
+    classifying) whatever garbage the multiplier returns. *)
+
+val stuck_at :
+  bit:int -> value:bool -> (int -> int -> int) -> int -> int -> int
+(** Force product bit [bit] to [value]. *)
+
+val bit_flip : bit:int -> (int -> int -> int) -> int -> int -> int
+(** Invert product bit [bit] unconditionally. *)
+
+val random_flip :
+  probability:float -> seed:int -> bits:int -> (int -> int -> int) ->
+  int -> int -> int
+(** Flip each product bit independently with the given probability.  The
+    decision depends deterministically on [(seed, a, b, bit)], so the
+    fault pattern is a reproducible function of the operands — i.e. it
+    behaves like a faulty LUT, which is exactly how the emulator would
+    see it. *)

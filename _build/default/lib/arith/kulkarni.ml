@@ -1,0 +1,20 @@
+let mul2x2 a b =
+  if a < 0 || a > 3 || b < 0 || b > 3 then
+    invalid_arg "Kulkarni.mul2x2: operand out of range";
+  if a = 3 && b = 3 then 7 else a * b
+
+let rec multiply ~bits a b =
+  if bits < 2 || bits land (bits - 1) <> 0 then
+    invalid_arg "Kulkarni.multiply: bits must be a power of two >= 2";
+  if bits = 2 then mul2x2 a b
+  else begin
+    let half = bits / 2 in
+    let mask = (1 lsl half) - 1 in
+    let al = a land mask and ah = a lsr half in
+    let bl = b land mask and bh = b lsr half in
+    let ll = multiply ~bits:half al bl in
+    let lh = multiply ~bits:half al bh in
+    let hl = multiply ~bits:half ah bl in
+    let hh = multiply ~bits:half ah bh in
+    ll + ((lh + hl) lsl half) + (hh lsl (2 * half))
+  end

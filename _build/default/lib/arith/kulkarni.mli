@@ -1,0 +1,12 @@
+(** Kulkarni's underdesigned multiplier (Kulkarni et al., VLSI'11).
+
+    A 2x2 block that computes every product exactly except [3*3], which
+    yields [7] instead of [9] (saving gates), composed recursively into
+    wider multipliers by the standard four-quadrant decomposition. *)
+
+val mul2x2 : int -> int -> int
+(** The underdesigned 2x2 block; operands in [0..3]. *)
+
+val multiply : bits:int -> int -> int -> int
+(** [multiply ~bits a b]: recursive composition down to the 2x2 block.
+    [bits] must be a power of two and at least 2. *)

@@ -1,0 +1,110 @@
+type t = {
+  signedness : Signedness.t;
+  table : (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t;
+}
+
+let entries = 65536
+let size_bytes = entries * 2
+let raw_index ca cb = ((ca land 0xff) lsl 8) lor (cb land 0xff)
+
+let saturate signedness p =
+  match signedness with
+  | Signedness.Unsigned -> if p < 0 then 0 else if p > 65535 then 65535 else p
+  | Signedness.Signed ->
+    if p < -32768 then -32768 else if p > 32767 then 32767 else p
+
+let make ~signedness f =
+  let table =
+    Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout entries
+  in
+  for ca = 0 to 255 do
+    let va = Signedness.value_of_code signedness ca in
+    for cb = 0 to 255 do
+      let vb = Signedness.value_of_code signedness cb in
+      let p = saturate signedness (f va vb) in
+      table.{raw_index ca cb} <- p land 0xffff
+    done
+  done;
+  { signedness; table }
+
+let exact signedness =
+  match signedness with
+  | Signedness.Unsigned -> make ~signedness Exact.mul8u
+  | Signedness.Signed -> make ~signedness Exact.mul8s
+
+let signedness t = t.signedness
+
+let decode_product signedness raw =
+  match signedness with
+  | Signedness.Unsigned -> raw
+  | Signedness.Signed -> if raw >= 32768 then raw - 65536 else raw
+
+let lookup_code t ca cb = decode_product t.signedness t.table.{raw_index ca cb}
+
+let lookup_value t a b =
+  lookup_code t
+    (Signedness.code_of_value t.signedness a)
+    (Signedness.code_of_value t.signedness b)
+
+let to_function t a b = lookup_value t a b
+
+let equal a b =
+  Signedness.equal a.signedness b.signedness
+  &&
+  let rec go i = i >= entries || (a.table.{i} = b.table.{i} && go (i + 1)) in
+  go 0
+
+let magic = "AXLUT1"
+
+let to_bytes t =
+  let buf = Bytes.create (String.length magic + 1 + size_bytes) in
+  Bytes.blit_string magic 0 buf 0 (String.length magic);
+  Bytes.set buf (String.length magic)
+    (match t.signedness with Signedness.Signed -> 's' | Signedness.Unsigned -> 'u');
+  let base = String.length magic + 1 in
+  for i = 0 to entries - 1 do
+    let v = t.table.{i} in
+    Bytes.set buf (base + (2 * i)) (Char.chr (v land 0xff));
+    Bytes.set buf (base + (2 * i) + 1) (Char.chr ((v lsr 8) land 0xff))
+  done;
+  buf
+
+let of_bytes buf ~pos =
+  let mlen = String.length magic in
+  if pos + mlen > Bytes.length buf then failwith "Lut.of_bytes: truncated";
+  if Bytes.sub_string buf pos mlen <> magic then
+    failwith "Lut.load: bad magic";
+  if pos + mlen + 1 + size_bytes > Bytes.length buf then
+    failwith "Lut.of_bytes: truncated";
+  let signedness =
+    match Bytes.get buf (pos + mlen) with
+    | 's' -> Signedness.Signed
+    | 'u' -> Signedness.Unsigned
+    | _ -> failwith "Lut.load: bad signedness byte"
+  in
+  let base = pos + mlen + 1 in
+  let table =
+    Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout entries
+  in
+  for i = 0 to entries - 1 do
+    table.{i} <-
+      Char.code (Bytes.get buf (base + (2 * i)))
+      lor (Char.code (Bytes.get buf (base + (2 * i) + 1)) lsl 8)
+  done;
+  ({ signedness; table }, base + size_bytes)
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      fst (of_bytes buf ~pos:0))

@@ -1,0 +1,61 @@
+(** The 256x256 look-up table representation of an 8-bit multiplier —
+    the paper's central data structure (Sec. II: "The approximate
+    multiplication is specified by means of its truth table. ... the
+    truth table for an 8-bit multiplier occupies only 128 kB").
+
+    Entries are 16-bit: unsigned products saturate into [0..65535],
+    signed products into [-32768..32767] (two's complement), matching a
+    16-bit hardware product register.  Lookup is by {e code}: the raw
+    8-bit operand patterns stitched into a 16-bit index, exactly the
+    [tex1Dfetch<ushort>] indexing scheme of the CUDA implementation. *)
+
+type t
+
+val entries : int
+(** Number of table entries: [65536]. *)
+
+val size_bytes : int
+(** Payload size in bytes: [131072] (the paper's 128 kB). *)
+
+val make : signedness:Signedness.t -> (int -> int -> int) -> t
+(** [make ~signedness f] tabulates [f] over the full operand range.
+    [f] receives decoded {e values} (e.g. [-128..127] when signed). *)
+
+val exact : Signedness.t -> t
+(** Table of the exact multiplier for the given signedness. *)
+
+val signedness : t -> Signedness.t
+
+val lookup_code : t -> int -> int -> int
+(** [lookup_code t ca cb] looks up operand bit patterns (0..255 each) and
+    returns the decoded product value.  This is the hot path of the
+    emulator; bounds are the caller's responsibility (values are masked
+    to 8 bits, never raising). *)
+
+val lookup_value : t -> int -> int -> int
+(** [lookup_value t a b] converts operand values through
+    {!Signedness.code_of_value} first; convenient and checked, but
+    slower than {!lookup_code}. *)
+
+val raw_index : int -> int -> int
+(** [raw_index ca cb] is the stitched 16-bit index [(ca << 8) | cb]. *)
+
+val to_function : t -> int -> int -> int
+(** The table as a value-domain multiplier function. *)
+
+val equal : t -> t -> bool
+(** Same signedness and identical entries. *)
+
+val to_bytes : t -> Bytes.t
+(** The serialised form: "AXLUT1" magic, signedness byte, then 65536
+    little-endian 16-bit entries (131 079 bytes total). *)
+
+val of_bytes : Bytes.t -> pos:int -> t * int
+(** Decode a table from a buffer at [pos]; returns the table and the
+    position past it.  Raises [Failure] on malformed input. *)
+
+val save : string -> t -> unit
+(** Persist {!to_bytes} to a file. *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] on malformed input. *)

@@ -1,0 +1,155 @@
+type provenance = Behavioural | Netlist_derived
+
+type entry = {
+  name : string;
+  description : string;
+  signedness : Signedness.t;
+  provenance : provenance;
+  multiply : int -> int -> int;
+}
+
+let behavioural name description signedness multiply =
+  { name; description; signedness; provenance = Behavioural; multiply }
+
+(* Netlist-backed entries: the gate-level circuit is built and
+   exhaustively simulated on first use, then memoised inside
+   [Multipliers.behavioural]'s lazy table. *)
+let netlist_unsigned name description make =
+  let f =
+    let table = lazy (Ax_netlist.Multipliers.behavioural (make ())) in
+    fun a b -> (Lazy.force table) a b
+  in
+  {
+    name;
+    description;
+    signedness = Signedness.Unsigned;
+    provenance = Netlist_derived;
+    multiply = f;
+  }
+
+let netlist_signed name description make =
+  let f =
+    let table = lazy (Ax_netlist.Multipliers.behavioural (make ())) in
+    fun a b ->
+      let raw =
+        (Lazy.force table)
+          (Signedness.code_of_value Signedness.Signed a)
+          (Signedness.code_of_value Signedness.Signed b)
+      in
+      if raw >= 32768 then raw - 65536 else raw
+  in
+  {
+    name;
+    description;
+    signedness = Signedness.Signed;
+    provenance = Netlist_derived;
+    multiply = f;
+  }
+
+let truncated_u cut =
+  behavioural
+    (Printf.sprintf "mul8u_trunc%d" cut)
+    (Printf.sprintf "array multiplier, partial products below 2^%d dropped"
+       cut)
+    Signedness.Unsigned
+    (Truncation.truncated ~bits:8 ~cut)
+
+let drum_u k =
+  behavioural
+    (Printf.sprintf "mul8u_drum%d" k)
+    (Printf.sprintf "DRUM with %d-bit leading-one windows" k)
+    Signedness.Unsigned
+    (Drum.multiply ~k)
+
+let drum_s k =
+  behavioural
+    (Printf.sprintf "mul8s_drum%d" k)
+    (Printf.sprintf "sign-magnitude DRUM, %d-bit windows" k)
+    Signedness.Signed
+    (Exact.signed_of_unsigned (Drum.multiply ~k))
+
+let catalogue =
+  lazy
+    [
+      behavioural "mul8u_exact" "exact unsigned product" Signedness.Unsigned
+        Exact.mul8u;
+      behavioural "mul8s_exact" "exact signed product" Signedness.Signed
+        Exact.mul8s;
+      truncated_u 4;
+      truncated_u 6;
+      truncated_u 8;
+      truncated_u 10;
+      behavioural "mul8u_bam_h2_v6"
+        "broken-array multiplier, hbl=2 vbl=6" Signedness.Unsigned
+        (Truncation.broken_array ~bits:8 ~hbl:2 ~vbl:6);
+      behavioural "mul8u_bam_h3_v8"
+        "broken-array multiplier, hbl=3 vbl=8" Signedness.Unsigned
+        (Truncation.broken_array ~bits:8 ~hbl:3 ~vbl:8);
+      drum_u 3;
+      drum_u 4;
+      drum_u 6;
+      drum_s 4;
+      drum_s 6;
+      behavioural "mul8u_mitchell" "Mitchell logarithmic multiplier"
+        Signedness.Unsigned Mitchell.multiply;
+      behavioural "mul8s_mitchell"
+        "sign-magnitude Mitchell logarithmic multiplier" Signedness.Signed
+        (Exact.signed_of_unsigned Mitchell.multiply);
+      behavioural "mul8u_kulkarni"
+        "Kulkarni underdesigned 2x2 blocks, recursive" Signedness.Unsigned
+        (Kulkarni.multiply ~bits:8);
+      behavioural "mul8s_trunc6"
+        "sign-magnitude truncated array multiplier, cut=6" Signedness.Signed
+        (Exact.signed_of_unsigned (Truncation.truncated ~bits:8 ~cut:6));
+      behavioural "mul8u_flip14_1e-3"
+        "exact product with deterministic 0.1% per-bit output faults"
+        Signedness.Unsigned
+        (Faults.random_flip ~probability:0.001 ~seed:42 ~bits:14 Exact.mul8u);
+      netlist_unsigned "mul8u_nl_exact"
+        "gate-level carry-save array multiplier (exhaustively simulated)"
+        (fun () -> Ax_netlist.Multipliers.unsigned_array ~bits:8);
+      netlist_unsigned "mul8u_nl_trunc8"
+        "gate-level truncated array multiplier, cut=8"
+        (fun () -> Ax_netlist.Multipliers.truncated ~bits:8 ~cut:8);
+      netlist_unsigned "mul8u_nl_bam_h2_v6"
+        "gate-level broken-array multiplier, hbl=2 vbl=6"
+        (fun () -> Ax_netlist.Multipliers.broken_array ~bits:8 ~hbl:2 ~vbl:6);
+      netlist_signed "mul8s_nl_exact"
+        "gate-level Baugh-Wooley signed multiplier"
+        (fun () -> Ax_netlist.Multipliers.baugh_wooley_signed ~bits:8);
+    ]
+
+let registered : entry list ref = ref []
+
+let all () = Lazy.force catalogue @ List.rev !registered
+let names () = List.map (fun e -> e.name) (all ())
+
+let register entry =
+  if List.exists (fun e -> e.name = entry.name) (all ()) then
+    invalid_arg
+      (Printf.sprintf "Registry.register: duplicate name %s" entry.name);
+  registered := entry :: !registered
+let find name = List.find_opt (fun e -> e.name = name) (all ())
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf "Registry.find_exn: unknown multiplier %s (have: %s)"
+         name
+         (String.concat ", " (names ())))
+
+let lut_cache : (string, Lut.t) Hashtbl.t = Hashtbl.create 16
+
+let lut entry =
+  match Hashtbl.find_opt lut_cache entry.name with
+  | Some t -> t
+  | None ->
+    let t = Lut.make ~signedness:entry.signedness entry.multiply in
+    Hashtbl.add lut_cache entry.name t;
+    t
+
+let exact_for = function
+  | Signedness.Unsigned -> find_exn "mul8u_exact"
+  | Signedness.Signed -> find_exn "mul8s_exact"

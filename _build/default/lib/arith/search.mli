@@ -1,0 +1,54 @@
+(** Automated design-space exploration of pruned 8x8 array multipliers —
+    the workflow the paper's conclusion points at ("automated design of
+    approximate DNN accelerators in which many candidate designs have to
+    be quickly evaluated"), and the way multiplier libraries such as
+    EvoApprox8b are produced: search over circuit simplifications,
+    characterise each candidate's error exhaustively, keep the
+    error/hardware Pareto front.
+
+    The design space here is the 64-bit partial-product keep-mask of the
+    array multiplier: bit [i*8 + j] keeps the AND term [a_i * b_j].
+    Error metrics are exact (full 65 536-pair sweep); hardware cost uses
+    a fast transistor-count proxy during search and the gate-level
+    unit-gate model of {!Ax_netlist.Power} for finalists. *)
+
+type candidate = {
+  mask : bool array;          (** 64 entries, index [i*8 + j] *)
+  kept : int;                 (** surviving partial products *)
+  metrics : Error_metrics.t;
+  area_proxy : float;         (** search-time cost estimate *)
+}
+
+val full_mask : unit -> bool array
+val truncation_mask : cut:int -> bool array
+(** The mask of {!Truncation.truncated} — the hand-designed baseline the
+    search competes against. *)
+
+val multiply_of_mask : bool array -> int -> int -> int
+(** Behavioural product under a keep-mask. *)
+
+val evaluate : bool array -> candidate
+(** Exhaustive error characterisation + proxy cost.  Raises
+    [Invalid_argument] unless the mask has exactly 64 entries. *)
+
+val hardware_of : candidate -> Ax_netlist.Power.report
+(** Gate-level cost of the candidate (builds and analyses the pruned
+    netlist). *)
+
+val netlist_of : candidate -> Ax_netlist.Multipliers.t
+(** The synthesisable circuit of a finalist. *)
+
+val greedy_prune :
+  ?max_mae:float -> unit -> candidate list
+(** Start from the exact multiplier and repeatedly drop the partial
+    product whose removal increases MAE least, recording each step,
+    until MAE would exceed [max_mae] (default 1000) or nothing remains.
+    Returns the trajectory from exact to coarsest, a ready-made
+    area/error curve. *)
+
+val pareto_front : candidate list -> candidate list
+(** Candidates not dominated in (MAE, area proxy), sorted by area. *)
+
+val random_candidates : ?seed:int -> samples:int -> unit -> candidate list
+(** Uniformly random masks (with the always-kept MSB product), for
+    comparing the greedy trajectory against blind sampling. *)

@@ -1,0 +1,35 @@
+(** Operand signedness of an 8-bit multiplier and the associated
+    value/code conversions.
+
+    A {e code} is the raw 8-bit pattern (0..255) used to index the LUT; a
+    {e value} is the integer the pattern denotes: [0..255] for unsigned
+    multipliers, [-128..127] (two's complement) for signed ones — the two
+    quantized ranges the paper supports. *)
+
+type t = Signed | Unsigned
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val min_value : t -> int
+(** Smallest representable operand value: [-128] or [0]. *)
+
+val max_value : t -> int
+(** Largest representable operand value: [127] or [255]. *)
+
+val in_range : t -> int -> bool
+
+val code_of_value : t -> int -> int
+(** [code_of_value s v] is the 8-bit pattern for [v].  Raises
+    [Invalid_argument] when [v] is out of range. *)
+
+val value_of_code : t -> int -> int
+(** [value_of_code s c] decodes pattern [c] (0..255). *)
+
+val clamp : t -> int -> int
+(** Saturate an integer into the representable operand range. *)
+
+val max_abs_product : t -> int
+(** Largest possible [|a*b|] over the operand range; normalisation
+    constant for relative error metrics. *)

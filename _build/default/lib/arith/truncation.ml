@@ -1,0 +1,15 @@
+let pruned ~bits ~keep a b =
+  let acc = ref 0 in
+  for i = 0 to bits - 1 do
+    if (a lsr i) land 1 = 1 then
+      for j = 0 to bits - 1 do
+        if (b lsr j) land 1 = 1 && keep i j then
+          acc := !acc + (1 lsl (i + j))
+      done
+  done;
+  !acc land ((1 lsl (2 * bits)) - 1)
+
+let truncated ~bits ~cut a b = pruned ~bits ~keep:(fun i j -> i + j >= cut) a b
+
+let broken_array ~bits ~hbl ~vbl a b =
+  pruned ~bits ~keep:(fun i j -> i + j >= vbl && j >= hbl) a b

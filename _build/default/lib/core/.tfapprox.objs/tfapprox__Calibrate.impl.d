@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Ax_arith Ax_nn Ax_quant Ax_tensor Bigarray List

@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Ax_nn Ax_tensor

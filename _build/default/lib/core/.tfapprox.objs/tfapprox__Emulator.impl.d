@@ -1,0 +1,1 @@
+lib/core/emulator.ml: Array Ax_arith Ax_data Ax_gpusim Ax_nn Ax_tensor List

@@ -1,0 +1,1 @@
+lib/core/emulator.mli: Ax_arith Ax_data Ax_gpusim Ax_nn Ax_quant Ax_tensor

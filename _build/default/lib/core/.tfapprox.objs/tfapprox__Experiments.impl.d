@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Ax_arith Ax_data Ax_gpusim Ax_models Ax_nn Ax_quant Ax_tensor Emulator List Printf Unix

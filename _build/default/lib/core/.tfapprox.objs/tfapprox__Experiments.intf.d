@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Ax_gpusim Ax_nn Ax_tensor

@@ -1,0 +1,1 @@
+lib/core/report.ml: Ax_nn Buffer Experiments Format List Printf

@@ -1,0 +1,142 @@
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Axconv = Ax_nn.Axconv
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Range = Ax_quant.Range
+module Lut = Ax_arith.Lut
+
+(* Evaluate one AxConv2D twice on recorded activations: once with its
+   own LUT, once with the exact LUT of the same signedness.  Returns
+   both outputs. *)
+let replay_layer ~values node =
+  match node.Graph.op with
+  | Graph.Ax_conv2d { filter; bias; spec; config } ->
+    let tensor_of id =
+      match values.(id) with
+      | Exec.Tensor t -> t
+      | Exec.Scalar _ -> invalid_arg "Calibrate: conv data input is scalar"
+    in
+    let scalar_of id =
+      match values.(id) with
+      | Exec.Scalar s -> s
+      | Exec.Tensor _ -> invalid_arg "Calibrate: range input is a tensor"
+    in
+    (match node.Graph.inputs with
+    | [ data; in_min; in_max; f_min; f_max ] ->
+      let input = tensor_of data in
+      let input_range =
+        Range.make ~min:(scalar_of in_min) ~max:(scalar_of in_max)
+      in
+      let filter_range =
+        Range.make ~min:(scalar_of f_min) ~max:(scalar_of f_max)
+      in
+      let run config =
+        Axconv.conv ~config ~input ~input_range ~filter ~filter_range ?bias
+          ~spec ()
+      in
+      let exact_config =
+        {
+          config with
+          Axconv.lut = Lut.exact (Lut.signedness config.Axconv.lut);
+        }
+      in
+      Some (run config, run exact_config, filter)
+    | _ -> invalid_arg "Calibrate: AxConv2D arity")
+  | Graph.Ax_depthwise_conv2d { filter; bias; spec; config } ->
+    let tensor_of id =
+      match values.(id) with
+      | Exec.Tensor t -> t
+      | Exec.Scalar _ -> invalid_arg "Calibrate: conv data input is scalar"
+    in
+    let scalar_of id =
+      match values.(id) with
+      | Exec.Scalar s -> s
+      | Exec.Tensor _ -> invalid_arg "Calibrate: range input is a tensor"
+    in
+    (match node.Graph.inputs with
+    | [ data; in_min; in_max; f_min; f_max ] ->
+      let input = tensor_of data in
+      let input_range =
+        Range.make ~min:(scalar_of in_min) ~max:(scalar_of in_max)
+      in
+      let filter_range =
+        Range.make ~min:(scalar_of f_min) ~max:(scalar_of f_max)
+      in
+      let run config =
+        Ax_nn.Depthwise.approx_conv ~config ~input ~input_range ~filter
+          ~filter_range ?bias ~spec ()
+      in
+      let exact_config =
+        {
+          config with
+          Axconv.lut = Lut.exact (Lut.signedness config.Axconv.lut);
+        }
+      in
+      Some (run config, run exact_config, filter)
+    | _ -> invalid_arg "Calibrate: AxDepthwiseConv2D arity")
+  | Graph.Input | Graph.Conv2d _ | Graph.Depthwise_conv2d _
+  | Graph.Min_reduce | Graph.Max_reduce | Graph.Const_scalar _ | Graph.Relu
+  | Graph.Max_pool _ | Graph.Global_avg_pool | Graph.Dense _
+  | Graph.Batch_norm _ | Graph.Add | Graph.Softmax | Graph.Shortcut_pad _ ->
+    None
+
+let per_channel_mean_diff ~approx ~exact =
+  let s = Tensor.shape exact in
+  let channels = Shape.(s.c) in
+  let sums = Array.make channels 0. in
+  let cells = Tensor.num_elements exact / channels in
+  let ab = Tensor.buffer approx and eb = Tensor.buffer exact in
+  for i = 0 to Tensor.num_elements exact - 1 do
+    sums.(i mod channels) <- sums.(i mod channels) +. (eb.{i} -. ab.{i})
+  done;
+  Array.map (fun v -> v /. float_of_int cells) sums
+
+let bias_correct ~sample g =
+  let values = Exec.run_all g ~input:sample in
+  let b = Graph.builder () in
+  let remap = Array.make (Graph.size g) (-1) in
+  Array.iter
+    (fun n ->
+      let inputs = List.map (fun i -> remap.(i)) n.Graph.inputs in
+      let op =
+        match replay_layer ~values n with
+        | Some (approx_out, exact_out, filter) ->
+          let corrections =
+            per_channel_mean_diff ~approx:approx_out ~exact:exact_out
+          in
+          (match n.Graph.op with
+          | Graph.Ax_conv2d { filter = _; bias; spec; config } ->
+            let out_c = Ax_nn.Filter.out_c filter in
+            let base =
+              match bias with Some b -> Array.copy b | None -> Array.make out_c 0.
+            in
+            Array.iteri (fun k d -> base.(k) <- base.(k) +. d) corrections;
+            Graph.Ax_conv2d { filter; bias = Some base; spec; config }
+          | Graph.Ax_depthwise_conv2d { filter = _; bias; spec; config } ->
+            let out_c = Ax_nn.Filter.in_c filter * Ax_nn.Filter.out_c filter in
+            let base =
+              match bias with Some b -> Array.copy b | None -> Array.make out_c 0.
+            in
+            Array.iteri (fun k d -> base.(k) <- base.(k) +. d) corrections;
+            Graph.Ax_depthwise_conv2d { filter; bias = Some base; spec; config }
+          | _ -> assert false)
+        | None -> n.Graph.op
+      in
+      remap.(n.Graph.id) <- Graph.add b ~name:n.Graph.name op inputs)
+    (Graph.nodes g);
+  Graph.finalize b ~output:remap.(Graph.output g)
+
+let mean_channel_error ~sample g =
+  let values = Exec.run_all g ~input:sample in
+  Array.to_list (Graph.nodes g)
+  |> List.filter_map (fun n ->
+         match replay_layer ~values n with
+         | Some (approx_out, exact_out, _) ->
+           let diffs = per_channel_mean_diff ~approx:approx_out ~exact:exact_out in
+           let mean_abs =
+             Array.fold_left (fun acc d -> acc +. abs_float d) 0. diffs
+             /. float_of_int (Array.length diffs)
+           in
+           Some (n.Graph.name, mean_abs)
+         | None -> None)

@@ -1,0 +1,25 @@
+(** Post-transform bias calibration — the ALWANN-style (ref. [12])
+    "adaptation without retraining" extension the paper's conclusions
+    point at.
+
+    Approximate multipliers with a systematic bias (Mitchell always
+    under-estimates, truncation drops mass) shift every convolution
+    output by a roughly input-independent per-channel offset.  Running a
+    calibration batch through the transformed network, comparing each
+    AxConv2D's output against the same layer evaluated with the exact
+    LUT {e on the same inputs}, and folding the mean per-channel
+    difference into the layer bias removes that shift — no retraining,
+    no weight updates. *)
+
+val bias_correct :
+  sample:Ax_tensor.Tensor.t -> Ax_nn.Graph.t -> Ax_nn.Graph.t
+(** [bias_correct ~sample g] returns a copy of [g] where every
+    [Ax_conv2d] node's bias absorbs the layer's mean per-channel error,
+    measured on [sample] with activations taken from the approximate
+    forward pass.  Graphs without [Ax_conv2d] nodes are returned
+    unchanged (structurally rebuilt). *)
+
+val mean_channel_error :
+  sample:Ax_tensor.Tensor.t -> Ax_nn.Graph.t -> (string * float) list
+(** Diagnostic: per-layer mean absolute output error (approximate vs
+    exact LUT on identical inputs), keyed by node name. *)

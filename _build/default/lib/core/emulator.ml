@@ -1,0 +1,87 @@
+module Registry = Ax_arith.Registry
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Axconv = Ax_nn.Axconv
+module Transform = Ax_nn.Transform
+module Layers = Ax_nn.Layers
+
+let lut_of_multiplier name = Registry.lut (Registry.find_exn name)
+
+let approximate_model ?multiplier ?lut ?round_mode ?chunk_size g =
+  let lut =
+    match (multiplier, lut) with
+    | Some name, None -> lut_of_multiplier name
+    | None, Some lut -> lut
+    | Some _, Some _ ->
+      invalid_arg "Emulator.approximate_model: both multiplier and lut given"
+    | None, None ->
+      invalid_arg "Emulator.approximate_model: need a multiplier or a lut"
+  in
+  let config = Axconv.make_config ?round_mode ?chunk_size lut in
+  Transform.approximate ~config g
+
+type backend = Cpu_accurate | Cpu_direct | Cpu_gemm
+
+let strategy_of_backend = function
+  | Cpu_accurate | Cpu_gemm -> Exec.Cpu_gemm
+  | Cpu_direct -> Exec.Cpu_direct
+
+let run ?profile ~backend g input =
+  Exec.run ?profile ~strategy:(strategy_of_backend backend) g ~input
+
+let predictions g ~backend input =
+  Layers.argmax_channels (run ~backend g input)
+
+let accuracy g ~backend dataset =
+  let preds = predictions g ~backend dataset.Ax_data.Cifar.images in
+  let labels = dataset.Ax_data.Cifar.labels in
+  if Array.length preds <> Array.length labels then
+    invalid_arg "Emulator.accuracy: prediction/label count mismatch";
+  let correct = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr correct) preds;
+  float_of_int !correct /. float_of_int (Array.length labels)
+
+let agreement a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Emulator.agreement: length mismatch";
+  if Array.length a = 0 then invalid_arg "Emulator.agreement: empty";
+  let same = ref 0 in
+  Array.iteri (fun i p -> if p = b.(i) then incr same) a;
+  float_of_int !same /. float_of_int (Array.length a)
+
+let estimate_gpu_time ?(device = Ax_gpusim.Device.gtx_1080)
+    ?(lut_hit_rate = 0.9) ~graph ~input ~images () =
+  let workloads = Ax_gpusim.Cost.workloads_of_graph graph ~input ~images in
+  let dataset_bytes =
+    4. *. float_of_int images
+    *. float_of_int
+         Ax_tensor.Shape.(input.h * input.w * input.c)
+  in
+  let weight_bytes =
+    float_of_int
+      (List.fold_left
+         (fun acc w -> acc + (w.Ax_gpusim.Cost.filter_elems * 4))
+         0 workloads)
+  in
+  let init =
+    Ax_gpusim.Cost.transfer_init device ~dataset_bytes ~weight_bytes
+  in
+  let ax_chunk =
+    List.find_map
+      (fun n ->
+        match n.Graph.op with
+        | Graph.Ax_conv2d { config; _ }
+        | Graph.Ax_depthwise_conv2d { config; _ } ->
+          Some config.Axconv.chunk_size
+        | _ -> None)
+      (Array.to_list (Graph.nodes graph))
+  in
+  let kernels =
+    match ax_chunk with
+    | Some chunk_size ->
+      `Approximate
+        (Ax_gpusim.Cost.approx_network device ~lut_hit_rate ~chunk_size
+           workloads)
+    | None -> `Accurate (Ax_gpusim.Cost.accurate_network device workloads)
+  in
+  (kernels, init)

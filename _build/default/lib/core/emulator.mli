@@ -1,0 +1,61 @@
+(** High-level emulator API — the operations a TFApprox user performs:
+    pick a multiplier, transform a model, run inference on a backend,
+    measure the accuracy impact. *)
+
+val lut_of_multiplier : string -> Ax_arith.Lut.t
+(** Tabulate a multiplier from {!Ax_arith.Registry} by name (raises
+    [Failure] listing known names on a typo).  Cached. *)
+
+val approximate_model :
+  ?multiplier:string ->
+  ?lut:Ax_arith.Lut.t ->
+  ?round_mode:Ax_quant.Round.t ->
+  ?chunk_size:int ->
+  Ax_nn.Graph.t ->
+  Ax_nn.Graph.t
+(** The design flow of Sec. II: replace every Conv2D by AxConv2D wired
+    to Min/Max range nodes.  Pass either a registry [multiplier] name or
+    a prebuilt [lut] (exactly one; raises [Invalid_argument] otherwise). *)
+
+type backend =
+  | Cpu_accurate    (** float GEMM convolution, no emulation *)
+  | Cpu_direct      (** LUT emulation, nested-loop baseline of ref. [12] *)
+  | Cpu_gemm        (** LUT emulation, Algorithm 1 on the CPU *)
+
+val run :
+  ?profile:Ax_nn.Profile.t ->
+  backend:backend ->
+  Ax_nn.Graph.t ->
+  Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+(** Execute a (possibly transformed) graph.  [Cpu_accurate] on a
+    transformed graph still emulates — the backend selects the AxConv2D
+    strategy, it does not undo the transform. *)
+
+val predictions : Ax_nn.Graph.t -> backend:backend ->
+  Ax_tensor.Tensor.t -> int array
+(** Class ids from the graph's softmax output. *)
+
+val accuracy : Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
+(** Top-1 accuracy against dataset labels, in [0, 1]. *)
+
+val agreement : int array -> int array -> float
+(** Fraction of matching predictions — the "classification fidelity"
+    metric for approximate-vs-exact comparisons.  Raises on length
+    mismatch. *)
+
+val estimate_gpu_time :
+  ?device:Ax_gpusim.Device.t ->
+  ?lut_hit_rate:float ->
+  graph:Ax_nn.Graph.t ->
+  input:Ax_tensor.Shape.t ->
+  images:int ->
+  unit ->
+  [ `Accurate of Ax_gpusim.Cost.phases | `Approximate of Ax_gpusim.Cost.phases ]
+  * Ax_gpusim.Cost.phases
+(** The GPU-backend counterpart of {!run}: predicted execution phases
+    for the graph on the device model, as
+    [(kernel time tagged by pipeline kind, transfer/init time)].  A
+    graph containing any Ax layer is costed as the approximate pipeline
+    (chunk size taken from the first Ax layer), otherwise as the
+    accurate cuDNN-style pipeline. *)

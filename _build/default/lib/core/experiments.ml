@@ -1,0 +1,244 @@
+module Device = Ax_gpusim.Device
+module Cost = Ax_gpusim.Cost
+module Graph = Ax_nn.Graph
+module Profile = Ax_nn.Profile
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Q = Ax_quant.Quantization
+module Round = Ax_quant.Round
+module Lut = Ax_arith.Lut
+module S = Ax_arith.Signedness
+
+type timing = { t_init : float; t_comp : float }
+
+type table1_row = {
+  depth : int;
+  layers : int;
+  macs_per_image : int;
+  cpu_accurate : timing;
+  gpu_accurate : timing;
+  cpu_approx : timing;
+  gpu_approx : timing;
+  approx_overhead_cpu : float;
+  approx_overhead_gpu : float;
+  speedup_accurate : float;
+  speedup_approx : float;
+  lut_hit_rate : float;
+}
+
+let wall f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. start, result)
+
+let total t = t.t_init +. t.t_comp
+
+(* First convolution layer of the graph, its input being the graph
+   input: enough to sample a realistic LUT access stream. *)
+let measured_lut_hit_rate ~device ~graph ~sample =
+  let conv =
+    match Graph.conv_layers graph with
+    | [] -> invalid_arg "Experiments.measured_lut_hit_rate: no conv layer"
+    | c :: _ -> c
+  in
+  let filter, spec, config =
+    match conv.Graph.op with
+    | Graph.Conv2d { filter; spec; _ } ->
+      (filter, spec, Ax_nn.Axconv.make_config (Lut.exact S.Unsigned))
+    | Graph.Ax_conv2d { filter; spec; config; _ } -> (filter, spec, config)
+    | _ -> assert false
+  in
+  let signedness = Lut.signedness config.Ax_nn.Axconv.lut in
+  let mn, mx = Tensor.min_max sample in
+  let coeffs = Q.compute_coeffs signedness ~rmin:mn ~rmax:mx in
+  let plan =
+    Ax_nn.Im2col.make (Tensor.shape sample) ~kh:(Ax_nn.Filter.kh filter)
+      ~kw:(Ax_nn.Filter.kw filter) ~spec
+  in
+  let mp, _ =
+    Ax_nn.Im2col.to_codes plan sample ~coeffs
+      ~round_mode:config.Ax_nn.Axconv.round_mode ~signedness
+  in
+  let fmin, fmax = Ax_nn.Filter.min_max filter in
+  let fcoeffs = Q.compute_coeffs signedness ~rmin:fmin ~rmax:fmax in
+  let mf_t, _ =
+    Ax_nn.Axconv.quantize_filters signedness fcoeffs
+      config.Ax_nn.Axconv.round_mode filter
+  in
+  Cost.measure_hit_rate device ~mp ~mf_t ~rows:plan.Ax_nn.Im2col.rows
+    ~taps:(Ax_nn.Filter.taps filter) ~out_c:(Ax_nn.Filter.out_c filter)
+    ~sample_rows:128
+
+let default_multiplier = "mul8u_trunc8"
+
+let table1_row ~device ~multiplier ~images_measured ~dataset_images depth =
+  let scale = float_of_int dataset_images /. float_of_int images_measured in
+  let build_time, graph = wall (fun () -> Resnet.build ~depth ()) in
+  let _, sample = wall (fun () -> Cifar.generate ~n:images_measured ()) in
+  let images = sample.Cifar.images in
+  let transform_time, approx_graph =
+    wall (fun () ->
+        Emulator.approximate_model ~multiplier ~chunk_size:250 graph)
+  in
+  (* CPU accurate: measured float inference, scaled to the dataset. *)
+  let t_acc, _ = wall (fun () -> Emulator.run ~backend:Emulator.Cpu_accurate graph images) in
+  let cpu_accurate = { t_init = build_time; t_comp = t_acc *. scale } in
+  (* CPU approximate: the direct nested-loop baseline of ref. [12]. *)
+  let t_apx, _ =
+    wall (fun () -> Emulator.run ~backend:Emulator.Cpu_direct approx_graph images)
+  in
+  let cpu_approx =
+    { t_init = build_time +. transform_time; t_comp = t_apx *. scale }
+  in
+  (* GPU columns: the execution model over the same per-layer geometry. *)
+  let workloads =
+    Cost.workloads_of_graph graph ~input:(Resnet.input_shape ~batch:1)
+      ~images:dataset_images
+  in
+  let dataset_bytes = float_of_int (dataset_images * Cifar.image_bytes) in
+  let weight_bytes =
+    float_of_int
+      (List.fold_left
+         (fun acc w -> acc + (w.Cost.filter_elems * 4))
+         0 workloads)
+  in
+  let init = Cost.transfer_init device ~dataset_bytes ~weight_bytes in
+  let gpu_acc = Cost.accurate_network device workloads in
+  let hit_rate = measured_lut_hit_rate ~device ~graph ~sample:images in
+  let gpu_apx =
+    Cost.approx_network device ~lut_hit_rate:hit_rate ~chunk_size:250
+      workloads
+  in
+  let gpu_accurate =
+    { t_init = init.Cost.init_s; t_comp = Cost.total gpu_acc }
+  in
+  let gpu_approx = { t_init = init.Cost.init_s; t_comp = Cost.total gpu_apx } in
+  {
+    depth;
+    layers = Resnet.conv_layer_count depth;
+    macs_per_image = Resnet.macs_per_image ~depth;
+    cpu_accurate;
+    gpu_accurate;
+    cpu_approx;
+    gpu_approx;
+    approx_overhead_cpu = total cpu_approx -. total cpu_accurate;
+    approx_overhead_gpu = total gpu_approx -. total gpu_accurate;
+    speedup_accurate = total cpu_accurate /. total gpu_accurate;
+    speedup_approx = total cpu_approx /. total gpu_approx;
+    lut_hit_rate = hit_rate;
+  }
+
+let table1 ?(device = Device.gtx_1080) ?(multiplier = default_multiplier)
+    ?(depths = Resnet.table1_depths) ?(images_measured = 4)
+    ?(dataset_images = 10_000) () =
+  if images_measured <= 0 then invalid_arg "Experiments.table1: images_measured";
+  List.map
+    (table1_row ~device ~multiplier ~images_measured ~dataset_images)
+    depths
+
+type fig2_config = { label : string; depth : int }
+
+type fig2_row = {
+  config : fig2_config;
+  cpu : Profile.breakdown;
+  gpu : Profile.breakdown;
+}
+
+let fig2_row ~device ~multiplier ~images_measured ~dataset_images depth =
+  let graph = Resnet.build ~depth () in
+  let approx_graph =
+    Emulator.approximate_model ~multiplier ~chunk_size:250 graph
+  in
+  let sample = Cifar.generate ~n:images_measured () in
+  (* CPU: measured phase attribution of the direct baseline, plus a
+     scaled share of the initialization (model build) time. *)
+  let profile = Profile.create () in
+  let build_time, _ = wall (fun () -> Resnet.build ~depth ()) in
+  ignore
+    (Emulator.run ~profile ~backend:Emulator.Cpu_direct approx_graph
+       sample.Cifar.images);
+  (* Scale the measured phases to the dataset; init does not scale. *)
+  let scale = float_of_int dataset_images /. float_of_int images_measured in
+  let scaled = Profile.create () in
+  Profile.add_seconds scaled Profile.Init build_time;
+  List.iter
+    (fun phase ->
+      Profile.add_seconds scaled phase (scale *. Profile.seconds profile phase))
+    [ Profile.Quantization; Profile.Lut; Profile.Other ];
+  Profile.add_seconds scaled Profile.Other
+    (scale *. Profile.seconds profile Profile.Init);
+  let cpu = Profile.breakdown scaled in
+  (* GPU: the cost model's phase attribution. *)
+  let workloads =
+    Cost.workloads_of_graph graph ~input:(Resnet.input_shape ~batch:1)
+      ~images:dataset_images
+  in
+  let hit_rate =
+    measured_lut_hit_rate ~device ~graph ~sample:sample.Cifar.images
+  in
+  let init =
+    Cost.transfer_init device
+      ~dataset_bytes:(float_of_int (dataset_images * Cifar.image_bytes))
+      ~weight_bytes:1e6
+  in
+  let gpu =
+    Cost.breakdown
+      (Cost.add init
+         (Cost.approx_network device ~lut_hit_rate:hit_rate ~chunk_size:250
+            workloads))
+  in
+  { config = { label = Printf.sprintf "ResNet-%d" depth; depth }; cpu; gpu }
+
+let fig2 ?(device = Device.gtx_1080) ?(multiplier = default_multiplier)
+    ?(depths = [ 8; 32; 50; 62 ]) ?(images_measured = 2)
+    ?(dataset_images = 10_000) () =
+  List.map
+    (fig2_row ~device ~multiplier ~images_measured ~dataset_images)
+    depths
+
+type accuracy_row = {
+  multiplier : string;
+  emulated_accuracy : float;
+  fidelity : float;
+  lut_mae : float;
+}
+
+let accuracy_sweep ?(depth = 8) ?(images = 40) ?multipliers () =
+  let multipliers =
+    match multipliers with
+    | Some m -> m
+    | None ->
+      [
+        "mul8s_exact"; "mul8s_trunc6"; "mul8s_drum4"; "mul8s_drum6";
+        "mul8s_mitchell";
+      ]
+  in
+  let graph = Resnet.build ~depth () in
+  let dataset = Cifar.generate ~n:images () in
+  let reference =
+    Emulator.predictions graph ~backend:Emulator.Cpu_accurate
+      dataset.Cifar.images
+  in
+  List.map
+    (fun name ->
+      let entry = Ax_arith.Registry.find_exn name in
+      let metrics = Ax_arith.Error_metrics.compute_lut (Ax_arith.Registry.lut entry) in
+      let approx = Emulator.approximate_model ~multiplier:name graph in
+      let preds =
+        Emulator.predictions approx ~backend:Emulator.Cpu_gemm
+          dataset.Cifar.images
+      in
+      let correct = ref 0 in
+      Array.iteri
+        (fun i p -> if p = dataset.Cifar.labels.(i) then incr correct)
+        preds;
+      {
+        multiplier = name;
+        emulated_accuracy =
+          float_of_int !correct /. float_of_int (Array.length preds);
+        fidelity = Emulator.agreement reference preds;
+        lut_mae = metrics.Ax_arith.Error_metrics.mae;
+      })
+    multipliers

@@ -1,0 +1,81 @@
+(** Drivers that regenerate the paper's evaluation artefacts.
+
+    CPU columns are {e measured} on this host: a sample of
+    [images_measured] images is timed end-to-end and scaled linearly to
+    [dataset_images] (legitimate because Table I's t_comp is linear in
+    the work; the sample factor is reported alongside).  GPU columns
+    come from the {!Ax_gpusim} execution model with the LUT hit rate
+    measured by replaying real quantized codes of the first layer
+    through the simulated texture cache.  EXPERIMENTS.md records the
+    paper-vs-ours comparison. *)
+
+type timing = { t_init : float; t_comp : float }
+
+type table1_row = {
+  depth : int;
+  layers : int;                 (** Table I's L *)
+  macs_per_image : int;
+  cpu_accurate : timing;
+  gpu_accurate : timing;
+  cpu_approx : timing;
+  gpu_approx : timing;
+  approx_overhead_cpu : float;  (** t(approx) - t(accurate), seconds *)
+  approx_overhead_gpu : float;
+  speedup_accurate : float;     (** CPU/GPU total-time ratio *)
+  speedup_approx : float;
+  lut_hit_rate : float;         (** measured on the texture-cache model *)
+}
+
+val table1 :
+  ?device:Ax_gpusim.Device.t ->
+  ?multiplier:string ->
+  ?depths:int list ->
+  ?images_measured:int ->
+  ?dataset_images:int ->
+  unit ->
+  table1_row list
+(** Defaults: GTX-1080 model, [mul8u_trunc8], all ten Table I depths,
+    4 images timed, scaled to the paper's 10 000-image dataset. *)
+
+type fig2_config = { label : string; depth : int }
+
+type fig2_row = {
+  config : fig2_config;
+  cpu : Ax_nn.Profile.breakdown;   (** measured, direct CPU baseline *)
+  gpu : Ax_nn.Profile.breakdown;   (** modelled AxConv2D pipeline *)
+}
+
+val fig2 :
+  ?device:Ax_gpusim.Device.t ->
+  ?multiplier:string ->
+  ?depths:int list ->
+  ?images_measured:int ->
+  ?dataset_images:int ->
+  unit ->
+  fig2_row list
+(** Time-distribution breakdowns for the Fig. 2 configurations
+    (ResNet-8/32/50/62 by default). *)
+
+val measured_lut_hit_rate :
+  device:Ax_gpusim.Device.t ->
+  graph:Ax_nn.Graph.t ->
+  sample:Ax_tensor.Tensor.t ->
+  float
+(** Replay the first convolution layer's quantized codes (GEMM access
+    order) through the device texture cache. *)
+
+type accuracy_row = {
+  multiplier : string;
+  emulated_accuracy : float;
+  fidelity : float;       (** agreement with the accurate model *)
+  lut_mae : float;        (** multiplier quality, for the Pareto view *)
+}
+
+val accuracy_sweep :
+  ?depth:int ->
+  ?images:int ->
+  ?multipliers:string list ->
+  unit ->
+  accuracy_row list
+(** The Sec. V use-case: evaluate many candidate multipliers quickly.
+    Uses the synthetic dataset and signed multipliers by default. *)

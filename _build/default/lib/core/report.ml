@@ -1,0 +1,109 @@
+let seconds s =
+  if s < 0.01 then Printf.sprintf "%.4f s" s
+  else if s < 10. then Printf.sprintf "%.2f s" s
+  else if s < 100. then Printf.sprintf "%.1f s" s
+  else Printf.sprintf "%.0f s" s
+
+let timing t =
+  Printf.sprintf "%s + %s"
+    (seconds t.Experiments.t_init)
+    (seconds t.Experiments.t_comp)
+
+let print_table1 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Table I — time to process the dataset (t_init + t_comp)@,";
+  Format.fprintf ppf
+    "%-10s %3s %9s | %-22s %-22s | %-22s %-22s | %-11s %-11s | %-9s %-9s@,"
+    "DNN" "L" "MACs/img" "Accurate CPU" "Accurate GPU" "Approx CPU"
+    "Approx GPU" "Ovh CPU" "Ovh GPU" "Spd acc" "Spd apx";
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      Format.fprintf ppf
+        "%-10s %3d %8.0fM | %-22s %-22s | %-22s %-22s | %-11s %-11s | %7.1fx %7.1fx@,"
+        (Printf.sprintf "ResNet-%d" r.Experiments.depth)
+        r.Experiments.layers
+        (float_of_int r.Experiments.macs_per_image /. 1e6)
+        (timing r.Experiments.cpu_accurate)
+        (timing r.Experiments.gpu_accurate)
+        (timing r.Experiments.cpu_approx)
+        (timing r.Experiments.gpu_approx)
+        (seconds r.Experiments.approx_overhead_cpu)
+        (seconds r.Experiments.approx_overhead_gpu)
+        r.Experiments.speedup_accurate r.Experiments.speedup_approx)
+    rows;
+  Format.fprintf ppf "@]@."
+
+let bar ppf (b : Ax_nn.Profile.breakdown) =
+  Format.fprintf ppf
+    "init %5.1f%% | quant %5.1f%% | LUT %5.1f%% | rest %5.1f%%"
+    b.Ax_nn.Profile.init_pct b.Ax_nn.Profile.quantization_pct
+    b.Ax_nn.Profile.lut_pct b.Ax_nn.Profile.other_pct
+
+let print_fig2 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Fig. 2 — distribution of the total computational time@,";
+  List.iter
+    (fun (r : Experiments.fig2_row) ->
+      Format.fprintf ppf "%-10s CPU: %a@," r.Experiments.config.Experiments.label
+        bar r.Experiments.cpu;
+      Format.fprintf ppf "%-10s GPU: %a@," r.Experiments.config.Experiments.label
+        bar r.Experiments.gpu)
+    rows;
+  Format.fprintf ppf "@]@."
+
+let print_accuracy_sweep ppf rows =
+  Format.fprintf ppf
+    "@[<v>Accuracy sweep — candidate multipliers on one model@,";
+  Format.fprintf ppf "%-18s %10s %10s %12s@," "multiplier" "accuracy"
+    "fidelity" "LUT MAE";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-18s %9.1f%% %9.1f%% %12.2f@,"
+        r.Experiments.multiplier
+        (100. *. r.Experiments.emulated_accuracy)
+        (100. *. r.Experiments.fidelity)
+        r.Experiments.lut_mae)
+    rows;
+  Format.fprintf ppf "@]@."
+
+let table1_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "dnn,layers,macs_per_image,cpu_acc_init,cpu_acc_comp,gpu_acc_init,gpu_acc_comp,cpu_apx_init,cpu_apx_comp,gpu_apx_init,gpu_apx_comp,overhead_cpu,overhead_gpu,speedup_acc,speedup_apx,lut_hit_rate\n";
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "ResNet-%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.4f\n"
+           r.Experiments.depth r.Experiments.layers
+           r.Experiments.macs_per_image
+           r.Experiments.cpu_accurate.Experiments.t_init
+           r.Experiments.cpu_accurate.Experiments.t_comp
+           r.Experiments.gpu_accurate.Experiments.t_init
+           r.Experiments.gpu_accurate.Experiments.t_comp
+           r.Experiments.cpu_approx.Experiments.t_init
+           r.Experiments.cpu_approx.Experiments.t_comp
+           r.Experiments.gpu_approx.Experiments.t_init
+           r.Experiments.gpu_approx.Experiments.t_comp
+           r.Experiments.approx_overhead_cpu r.Experiments.approx_overhead_gpu
+           r.Experiments.speedup_accurate r.Experiments.speedup_approx
+           r.Experiments.lut_hit_rate))
+    rows;
+  Buffer.contents buf
+
+let fig2_csv rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "config,implementation,init,quantization,lut,rest\n";
+  List.iter
+    (fun (r : Experiments.fig2_row) ->
+      let line impl (b : Ax_nn.Profile.breakdown) =
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%s,%.2f,%.2f,%.2f,%.2f\n"
+             r.Experiments.config.Experiments.label impl
+             b.Ax_nn.Profile.init_pct b.Ax_nn.Profile.quantization_pct
+             b.Ax_nn.Profile.lut_pct b.Ax_nn.Profile.other_pct)
+      in
+      line "cpu" r.Experiments.cpu;
+      line "gpu" r.Experiments.gpu)
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Plain-text rendering of experiment results in the layout of the
+    paper's tables and figures. *)
+
+val print_table1 : Format.formatter -> Experiments.table1_row list -> unit
+(** Table I: one row per DNN, times as "t_init + t_comp", overheads and
+    GPU-vs-CPU speedups. *)
+
+val print_fig2 : Format.formatter -> Experiments.fig2_row list -> unit
+(** Fig. 2: per-configuration percentage bars for CPU and GPU. *)
+
+val print_accuracy_sweep :
+  Format.formatter -> Experiments.accuracy_row list -> unit
+
+val seconds : float -> string
+(** Human formatting: "0.42 s", "13.1 s", "3796 s". *)
+
+val table1_csv : Experiments.table1_row list -> string
+(** Machine-readable Table I (header + one line per DNN) for plotting
+    scripts; times in seconds, speedups unitless. *)
+
+val fig2_csv : Experiments.fig2_row list -> string
+(** Machine-readable Fig. 2 percentages (one line per config and
+    implementation). *)

@@ -1,0 +1,1 @@
+lib/data/cifar.ml: Array Ax_tensor Dataset Float List

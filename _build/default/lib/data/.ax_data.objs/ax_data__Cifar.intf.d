@@ -1,0 +1,1 @@
+lib/data/cifar.mli: Ax_tensor Dataset

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Ax_tensor

@@ -1,0 +1,1 @@
+lib/data/dataset.mli: Ax_tensor

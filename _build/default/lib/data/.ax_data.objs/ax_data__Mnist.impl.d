@@ -1,0 +1,1 @@
+lib/data/mnist.ml: Array Ax_tensor Dataset Float Printf

@@ -1,0 +1,1 @@
+lib/data/mnist.mli: Ax_tensor Dataset

@@ -1,0 +1,77 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+
+type t = Dataset.t = { images : Tensor.t; labels : int array }
+
+let classes = 10
+let height = 32
+let width = 32
+let channels = 3
+let image_bytes = height * width * channels * 4
+
+(* Each class combines a per-channel colour signature (CIFAR classes
+   differ strongly in colour statistics, and it keeps the classes
+   linearly separable under average pooling) with a class-dependent
+   spatial frequency pattern; phase jitter and noise are per-image. *)
+let class_pattern ~label ~phase ~h ~w ~c =
+  let colour =
+    0.14
+    *. cos
+         ((2. *. Float.pi *. float_of_int label /. 10.)
+         +. (2.1 *. float_of_int c))
+  in
+  let fh = 0.15 +. (0.09 *. float_of_int (label mod 5)) in
+  let fw = 0.11 +. (0.07 *. float_of_int (label / 5 * 2)) in
+  let chan_shift = 0.8 *. float_of_int c in
+  0.5 +. colour
+  +. 0.25
+     *. sin ((fh *. float_of_int h) +. phase +. chan_shift)
+     *. cos ((fw *. float_of_int w) -. (0.5 *. phase))
+
+let generate ?(seed = 7) ~n () =
+  if n <= 0 then invalid_arg "Cifar.generate: n must be positive";
+  let images = Tensor.create (Shape.make ~n ~h:height ~w:width ~c:channels) in
+  let labels = Array.init n (fun i -> i mod classes) in
+  let rng = Rng.create seed in
+  for i = 0 to n - 1 do
+    let phase = 2. *. Float.pi *. Rng.float rng in
+    for h = 0 to height - 1 do
+      for w = 0 to width - 1 do
+        for c = 0 to channels - 1 do
+          let v =
+            class_pattern ~label:labels.(i) ~phase ~h ~w ~c
+            +. (0.08 *. Rng.gaussian rng)
+          in
+          let v = Float.max 0. (Float.min 1. v) in
+          Tensor.set images ~n:i ~h ~w ~c v
+        done
+      done
+    done
+  done;
+  { images; labels }
+
+let normalize t =
+  {
+    t with
+    images = Tensor.map (fun v -> (v -. 0.5) /. 0.25) t.images;
+  }
+
+let batches ?(seed = 7) ~total ~batch_size () =
+  if total <= 0 || batch_size <= 0 then
+    invalid_arg "Cifar.batches: non-positive sizes";
+  let all = generate ~seed ~n:total () in
+  let rec cut start acc =
+    if start >= total then List.rev acc
+    else begin
+      let count = min batch_size (total - start) in
+      let piece =
+        {
+          images = Tensor.slice_batch all.images ~start ~count;
+          labels = Array.sub all.labels start count;
+        }
+      in
+      cut (start + count) (piece :: acc)
+    end
+  in
+  cut 0 []

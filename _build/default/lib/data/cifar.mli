@@ -1,0 +1,38 @@
+(** Synthetic CIFAR-10-like data.
+
+    The paper evaluates on the real CIFAR-10 test set (10 000 images of
+    32x32x3, processed as 10 batches of 1000); the dataset is not
+    shipped in this container, and only the tensor geometry, value range
+    and batch structure affect the emulator, so this module generates a
+    deterministic stand-in: each of the 10 classes is a distinct
+    low-frequency pattern plus per-image phase jitter and pixel noise,
+    values in [0, 1].  Labels are the generating class, which gives the
+    accuracy examples a non-trivial (if synthetic) classification
+    problem. *)
+
+type t = Dataset.t = { images : Ax_tensor.Tensor.t; labels : int array }
+
+val classes : int
+(** 10 *)
+
+val height : int
+val width : int
+val channels : int
+
+val image_bytes : int
+(** Size of one image in float32 bytes (for transfer-cost modelling). *)
+
+val generate : ?seed:int -> n:int -> unit -> t
+(** [n] images with labels cycling through the classes. *)
+
+val batches : ?seed:int -> total:int -> batch_size:int -> unit -> t list
+(** The paper's evaluation layout ([total = 10_000],
+    [batch_size = 1000]); the last batch may be smaller when
+    [batch_size] does not divide [total]. *)
+
+val normalize : t -> t
+(** Standard training preprocessing: pixels mapped from [0, 1] to
+    zero-mean unit-ish scale, [(v - 0.5) / 0.25].  Inference-only
+    experiments use raw pixels (any affine preprocessing is absorbed by
+    the quantization ranges anyway); gradient-based training needs the
+    centred version to be well-conditioned. *)

@@ -1,0 +1,7 @@
+type t = { images : Ax_tensor.Tensor.t; labels : int array }
+
+let size t =
+  let n = (Ax_tensor.Tensor.shape t.images).Ax_tensor.Shape.n in
+  if n <> Array.length t.labels then
+    invalid_arg "Dataset.size: image/label count mismatch";
+  n

@@ -1,0 +1,8 @@
+(** The labelled-image dataset record shared by every generator, so
+    trainers and evaluators are dataset-agnostic. *)
+
+type t = { images : Ax_tensor.Tensor.t; labels : int array }
+
+val size : t -> int
+(** Number of images; raises [Invalid_argument] when images and labels
+    disagree. *)

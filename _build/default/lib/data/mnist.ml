@@ -1,0 +1,74 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+
+type t = Dataset.t = { images : Tensor.t; labels : int array }
+
+let classes = 10
+let height = 28
+let width = 28
+let channels = 1
+
+(* Standard seven-segment truth table, segments ordered a b c d e f g:
+       aaa
+      f   b
+       ggg
+      e   c
+       ddd      *)
+let segments_of_digit = function
+  | 0 -> [| true; true; true; true; true; true; false |]
+  | 1 -> [| false; true; true; false; false; false; false |]
+  | 2 -> [| true; true; false; true; true; false; true |]
+  | 3 -> [| true; true; true; true; false; false; true |]
+  | 4 -> [| false; true; true; false; false; true; true |]
+  | 5 -> [| true; false; true; true; false; true; true |]
+  | 6 -> [| true; false; true; true; true; true; true |]
+  | 7 -> [| true; true; true; false; false; false; false |]
+  | 8 -> [| true; true; true; true; true; true; true |]
+  | 9 -> [| true; true; true; true; false; true; true |]
+  | d -> invalid_arg (Printf.sprintf "Mnist.segments_of_digit: %d" d)
+
+(* Segment geometry on a 16x10 glyph box (row, col ranges), thickness 2. *)
+let segment_boxes =
+  [|
+    (0, 1, 1, 8);    (* a: top bar *)
+    (1, 7, 8, 9);    (* b: upper right *)
+    (9, 15, 8, 9);   (* c: lower right *)
+    (14, 15, 1, 8);  (* d: bottom bar *)
+    (9, 15, 0, 1);   (* e: lower left *)
+    (1, 7, 0, 1);    (* f: upper left *)
+    (7, 8, 1, 8);    (* g: middle bar *)
+  |]
+
+let generate ?(seed = 11) ~n () =
+  if n <= 0 then invalid_arg "Mnist.generate: n must be positive";
+  let images = Tensor.create (Shape.make ~n ~h:height ~w:width ~c:channels) in
+  let labels = Array.init n (fun i -> i mod classes) in
+  let rng = Rng.create seed in
+  for i = 0 to n - 1 do
+    let segs = segments_of_digit labels.(i) in
+    (* Glyph box top-left with jitter; glyph is 16x10 inside 28x28. *)
+    let top = 6 + (Rng.int rng 5 - 2) in
+    let left = 9 + (Rng.int rng 5 - 2) in
+    let intensity = 0.75 +. (0.2 *. Rng.float rng) in
+    for h = 0 to height - 1 do
+      for w = 0 to width - 1 do
+        let lit = ref false in
+        Array.iteri
+          (fun s (r0, r1, c0, c1) ->
+            if segs.(s) then begin
+              let r = h - top and c = w - left in
+              if r >= r0 && r <= r1 && c >= c0 && c <= c1 then lit := true
+            end)
+          segment_boxes;
+        let v =
+          (if !lit then intensity else 0.05) +. (0.05 *. Rng.gaussian rng)
+        in
+        Tensor.set images ~n:i ~h ~w ~c:0 (Float.max 0. (Float.min 1. v))
+      done
+    done
+  done;
+  { images; labels }
+
+let normalize t =
+  { t with images = Tensor.map (fun v -> (v -. 0.2) /. 0.3) t.images }

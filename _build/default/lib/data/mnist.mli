@@ -1,0 +1,24 @@
+(** Synthetic MNIST-like digit data.
+
+    28x28x1 images rendered as seven-segment digits with per-image
+    position jitter, stroke-intensity variation and pixel noise — a
+    second, structurally different workload domain (single-channel,
+    sparse strokes) from the CIFAR stand-in, and genuinely learnable:
+    the ten classes are the ten digit shapes. *)
+
+type t = Dataset.t = { images : Ax_tensor.Tensor.t; labels : int array }
+
+val classes : int
+val height : int
+val width : int
+val channels : int
+
+val generate : ?seed:int -> n:int -> unit -> t
+(** [n] images, labels cycling 0..9; values in [0, 1]. *)
+
+val normalize : t -> t
+(** Zero-centred variant for gradient-based training. *)
+
+val segments_of_digit : int -> bool array
+(** The seven-segment encoding (a..g) used by the renderer; exposed for
+    tests.  Raises [Invalid_argument] outside 0..9. *)

@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Array Ax_arith Ax_nn Ax_tensor Bytes Device Float List Texcache

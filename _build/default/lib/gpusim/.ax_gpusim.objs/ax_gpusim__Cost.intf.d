@@ -1,0 +1,1 @@
+lib/gpusim/cost.mli: Ax_nn Ax_tensor Bytes Device

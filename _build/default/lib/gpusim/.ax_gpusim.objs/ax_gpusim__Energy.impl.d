@@ -1,0 +1,1 @@
+lib/gpusim/energy.ml: Ax_netlist Lazy

@@ -1,0 +1,1 @@
+lib/gpusim/energy.mli: Ax_netlist Lazy

@@ -1,0 +1,1 @@
+lib/gpusim/texcache.ml: Array Device

@@ -1,0 +1,84 @@
+(** Analytical execution-time model of the CUDA kernels of Sec. III.
+
+    For each convolution layer the model counts exactly the work the
+    real kernels perform — element-wise quantization traffic, patch
+    matrix construction, tiled-GEMM tile traffic, one LUT fetch per MAC
+    through the texture cache, accumulator arithmetic, dequantization
+    with the Eq. 4 corrections, kernel launches, and host-device
+    transfers — and converts the counts to seconds using the
+    {!Device.t} throughput constants.  Phase attribution follows Fig. 2:
+    initialization / quantization / LUT lookups / rest.
+
+    The model's absolute numbers are GTX-1080-class estimates, not
+    measurements; EXPERIMENTS.md compares their *shape* against
+    Table I. *)
+
+type conv_workload = {
+  label : string;          (** layer name (graph node name or "conv") *)
+  images : int;            (** dataset size the layer processes *)
+  rows_per_image : int;    (** output positions per image *)
+  taps : int;              (** reduction length kh*kw*in_c *)
+  out_c : int;
+  in_elems_per_image : int;
+  out_elems_per_image : int;
+  filter_elems : int;
+}
+
+val workload :
+  ?label:string ->
+  input:Ax_tensor.Shape.t -> filter:Ax_nn.Filter.t ->
+  spec:Ax_nn.Conv_spec.t -> images:int -> unit -> conv_workload
+(** Geometry of one layer.  [input]'s batch dimension is ignored in
+    favour of [images]. *)
+
+val workloads_of_graph :
+  Ax_nn.Graph.t -> input:Ax_tensor.Shape.t -> images:int ->
+  conv_workload list
+(** One workload per convolution layer ([Conv2d] or [Ax_conv2d]),
+    propagating shapes through the graph. *)
+
+val lut_lookups : conv_workload -> float
+(** MACs = LUT fetches for the layer: images*rows*taps*out_c. *)
+
+val total_macs : conv_workload list -> float
+
+type phases = {
+  init_s : float;
+  quantization_s : float;
+  lut_s : float;
+  other_s : float;
+}
+
+val total : phases -> float
+val add : phases -> phases -> phases
+val breakdown : phases -> Ax_nn.Profile.breakdown
+
+val transfer_init :
+  Device.t -> dataset_bytes:float -> weight_bytes:float -> phases
+(** One-time context creation plus host-to-device copies (the paper's
+    [t_init], ~1.8-2.3 s on the GTX 1080). *)
+
+val accurate_network :
+  Device.t -> conv_workload list -> phases
+(** cuDNN-style float GEMM convolution: no quantization, no LUT. *)
+
+val approx_network :
+  Device.t -> ?lut_hit_rate:float -> chunk_size:int ->
+  conv_workload list -> phases
+(** The AxConv2D kernel pipeline of Algorithm 1.  [lut_hit_rate]
+    defaults to [0.9]; obtain a workload-specific value with
+    {!measure_hit_rate}. *)
+
+val per_layer :
+  Device.t -> ?lut_hit_rate:float -> chunk_size:int ->
+  conv_workload list -> (string * phases) list
+(** Where the modelled time goes, layer by layer (kernel phases only;
+    transfers are network-global).  Labels come from the workloads. *)
+
+val measure_hit_rate :
+  Device.t -> mp:Bytes.t -> mf_t:Bytes.t -> rows:int -> taps:int ->
+  out_c:int -> sample_rows:int -> float
+(** Replay the tiled-GEMM access order of a real quantized patch matrix
+    [mp] (rows x taps codes) against filter codes [mf_t] (out_c x taps)
+    through the device's texture cache and return the observed hit rate.
+    Only the first [sample_rows] rows are replayed. *)

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  sm_count : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  mem_bandwidth_gbps : float;
+  pcie_bandwidth_gbps : float;
+  tex_cache_bytes : int;
+  tex_cache_line_bytes : int;
+  tex_cache_ways : int;
+  tex_lookups_per_sm_per_cycle : float;
+  tex_miss_penalty_factor : float;
+  kernel_launch_overhead_s : float;
+  context_setup_s : float;
+  gemm_efficiency : float;
+  elementwise_efficiency : float;
+}
+
+let gtx_1080 =
+  {
+    name = "gtx-1080";
+    sm_count = 20;
+    cores_per_sm = 128;
+    clock_ghz = 1.73;
+    mem_bandwidth_gbps = 320.;
+    pcie_bandwidth_gbps = 12.;
+    tex_cache_bytes = 48 * 1024;
+    tex_cache_line_bytes = 32;
+    tex_cache_ways = 4;
+    tex_lookups_per_sm_per_cycle = 8.;
+    tex_miss_penalty_factor = 6.;
+    kernel_launch_overhead_s = 8e-6;
+    context_setup_s = 1.7;
+    gemm_efficiency = 0.25;
+    elementwise_efficiency = 0.04;
+  }
+
+let jetson_class =
+  {
+    name = "jetson-class";
+    sm_count = 2;
+    cores_per_sm = 128;
+    clock_ghz = 0.92;
+    mem_bandwidth_gbps = 25.;
+    pcie_bandwidth_gbps = 4.;
+    tex_cache_bytes = 32 * 1024;
+    tex_cache_line_bytes = 32;
+    tex_cache_ways = 4;
+    tex_lookups_per_sm_per_cycle = 4.;
+    tex_miss_penalty_factor = 8.;
+    kernel_launch_overhead_s = 15e-6;
+    context_setup_s = 2.5;
+    gemm_efficiency = 0.2;
+    elementwise_efficiency = 0.05;
+  }
+
+let datacenter_class =
+  {
+    name = "datacenter-class";
+    sm_count = 80;
+    cores_per_sm = 64;
+    clock_ghz = 1.38;
+    mem_bandwidth_gbps = 900.;
+    pcie_bandwidth_gbps = 16.;
+    tex_cache_bytes = 128 * 1024;
+    tex_cache_line_bytes = 32;
+    tex_cache_ways = 4;
+    tex_lookups_per_sm_per_cycle = 8.;
+    tex_miss_penalty_factor = 5.;
+    kernel_launch_overhead_s = 6e-6;
+    context_setup_s = 2.0;
+    gemm_efficiency = 0.35;
+    elementwise_efficiency = 0.06;
+  }
+
+let peak_flops d =
+  float_of_int (d.sm_count * d.cores_per_sm) *. d.clock_ghz *. 1e9
+
+let peak_lut_rate d =
+  float_of_int d.sm_count *. d.tex_lookups_per_sm_per_cycle *. d.clock_ghz
+  *. 1e9
+
+let pp ppf d =
+  Format.fprintf ppf "%s (%d SMs @ %.2f GHz, %.0f GB/s, %d kB tex$/SM)"
+    d.name d.sm_count d.clock_ghz d.mem_bandwidth_gbps
+    (d.tex_cache_bytes / 1024)

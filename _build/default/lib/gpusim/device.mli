@@ -1,0 +1,48 @@
+(** GPU device descriptions for the execution-time model.
+
+    This is the repository's substitute for running on real CUDA
+    hardware (see DESIGN.md): the constants describe a GTX-1080-class
+    part — SM count, clock, DRAM bandwidth, the per-SM texture cache the
+    paper routes LUT fetches through — plus empirical efficiency factors
+    for the kernel classes involved (tiled GEMM, element-wise
+    quantization, im2col).  Efficiencies express the achieved fraction of
+    peak for that kernel class; they are the calibration knobs and are
+    deliberately explicit rather than buried in formulas. *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  mem_bandwidth_gbps : float;  (** DRAM, GB/s *)
+  pcie_bandwidth_gbps : float; (** host-device transfers, GB/s *)
+  tex_cache_bytes : int;       (** per-SM unified L1/texture cache *)
+  tex_cache_line_bytes : int;
+  tex_cache_ways : int;
+  tex_lookups_per_sm_per_cycle : float;
+  tex_miss_penalty_factor : float;
+      (** extra cost of a missing lookup, as a multiple of a hit *)
+  kernel_launch_overhead_s : float;
+  context_setup_s : float;     (** one-time CUDA context + cuDNN init *)
+  gemm_efficiency : float;     (** achieved / peak FLOPs for tiled GEMM *)
+  elementwise_efficiency : float;
+      (** achieved / peak bandwidth for quantize / min-max / scan kernels *)
+}
+
+val gtx_1080 : t
+(** The paper's evaluation GPU. *)
+
+val jetson_class : t
+(** A small embedded part: fewer SMs, less bandwidth, smaller cache —
+    used by the device-sweep ablation. *)
+
+val datacenter_class : t
+(** A V100-class part for the same ablation. *)
+
+val peak_flops : t -> float
+(** [sm_count * cores_per_sm * clock] in FLOP/s (1 MAC = 1 FLOP here). *)
+
+val peak_lut_rate : t -> float
+(** Texture-path lookups per second at 100% hit rate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+module Power = Ax_netlist.Power
+module Multipliers = Ax_netlist.Multipliers
+
+type mac_profile = {
+  multiplier_energy : float;
+  accumulator_energy : float;
+}
+
+(* A 32-bit accumulate costs roughly four 8-bit ripple slices of
+   switching power; estimate one slice from an actual adder netlist. *)
+let accumulator_share =
+  lazy
+    (let c = Ax_netlist.Circuit.create ~name:"acc_slice" () in
+     let a = Ax_netlist.Bus.input c "a" 8 in
+     let b = Ax_netlist.Bus.input c "b" 8 in
+     let sum, carry = Ax_netlist.Adders.ripple_carry c a b in
+     Ax_netlist.Bus.output c "s" sum;
+     Ax_netlist.Circuit.output c "cout" carry;
+     4. *. (Power.analyze c).Power.power)
+
+let mac_of_circuit circuit =
+  {
+    multiplier_energy = (Power.analyze circuit).Power.power;
+    accumulator_energy = Lazy.force accumulator_share;
+  }
+
+let exact_mac =
+  lazy
+    (mac_of_circuit
+       (Multipliers.unsigned_array ~bits:8).Multipliers.circuit)
+
+let total p = p.multiplier_energy +. p.accumulator_energy
+
+let relative_mac_energy p = total p /. total (Lazy.force exact_mac)
+
+let network_energy p ~macs =
+  if macs < 0. then invalid_arg "Energy.network_energy: negative macs";
+  relative_mac_energy p *. macs
+
+let savings_percent p = 100. *. (1. -. relative_mac_energy p)

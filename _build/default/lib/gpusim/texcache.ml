@@ -1,0 +1,95 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  (* tags.(set * ways + way) = line tag, or -1 when invalid *)
+  tags : int array;
+  (* age.(set * ways + way): higher = more recently used *)
+  age : int array;
+  mutable clock : int;
+  mutable n_access : int;
+  mutable n_hit : int;
+}
+
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let create ~size_bytes ~line_bytes ~ways =
+  if size_bytes < 0 then invalid_arg "Texcache.create: negative size";
+  if size_bytes = 0 then
+    { sets = 0; ways = 0; line_bytes = 1; tags = [||]; age = [||];
+      clock = 0; n_access = 0; n_hit = 0 }
+  else begin
+    if not (is_power_of_two line_bytes) then
+      invalid_arg "Texcache.create: line size must be a power of two";
+    if ways <= 0 then invalid_arg "Texcache.create: ways";
+    if size_bytes mod (line_bytes * ways) <> 0 then
+      invalid_arg "Texcache.create: size not divisible by line*ways";
+    let sets = size_bytes / (line_bytes * ways) in
+    {
+      sets;
+      ways;
+      line_bytes;
+      tags = Array.make (sets * ways) (-1);
+      age = Array.make (sets * ways) 0;
+      clock = 0;
+      n_access = 0;
+      n_hit = 0;
+    }
+  end
+
+let of_device d =
+  create ~size_bytes:d.Device.tex_cache_bytes
+    ~line_bytes:d.Device.tex_cache_line_bytes ~ways:d.Device.tex_cache_ways
+
+let access t addr =
+  if addr < 0 then invalid_arg "Texcache.access: negative address";
+  t.n_access <- t.n_access + 1;
+  if t.sets = 0 then false
+  else begin
+    t.clock <- t.clock + 1;
+    let line = addr / t.line_bytes in
+    let set = line mod t.sets in
+    let base = set * t.ways in
+    let rec find way =
+      if way >= t.ways then None
+      else if t.tags.(base + way) = line then Some way
+      else find (way + 1)
+    in
+    match find 0 with
+    | Some way ->
+      t.age.(base + way) <- t.clock;
+      t.n_hit <- t.n_hit + 1;
+      true
+    | None ->
+      (* Evict the least recently used way. *)
+      let victim = ref 0 in
+      for way = 1 to t.ways - 1 do
+        if t.age.(base + way) < t.age.(base + !victim) then victim := way
+      done;
+      t.tags.(base + !victim) <- line;
+      t.age.(base + !victim) <- t.clock;
+      false
+  end
+
+let accesses t = t.n_access
+let hits t = t.n_hit
+
+let hit_rate t =
+  if t.n_access = 0 then 0. else float_of_int t.n_hit /. float_of_int t.n_access
+
+let reset_stats t =
+  t.n_access <- 0;
+  t.n_hit <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.clock <- 0;
+  reset_stats t
+
+let lut_address ca cb = 2 * (((ca land 0xff) lsl 8) lor (cb land 0xff))
+
+let simulate_lut_stream t pairs =
+  reset_stats t;
+  Array.iter (fun (ca, cb) -> ignore (access t (lut_address ca cb))) pairs;
+  hit_rate t

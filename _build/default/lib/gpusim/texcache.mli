@@ -1,0 +1,42 @@
+(** Set-associative LRU cache simulator for the texture path.
+
+    The paper's key trick is storing the 128 kB multiplier LUT behind
+    the texture cache, "optimized for irregular read-only access".  This
+    simulator answers the quantitative side: given a stream of LUT
+    accesses (byte addresses derived from stitched operand codes), what
+    hit rate does a given cache geometry achieve?  The cost model folds
+    that hit rate into the effective lookup throughput. *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> ways:int -> t
+(** [size_bytes = 0] models "no cache": every access misses.
+    Raises [Invalid_argument] when the geometry is inconsistent
+    (non-power-of-two line size, size not divisible by line*ways). *)
+
+val of_device : Device.t -> t
+
+val access : t -> int -> bool
+(** [access t byte_addr] returns whether the access hit, updating LRU
+    state and statistics. *)
+
+val accesses : t -> int
+val hits : t -> int
+val hit_rate : t -> float
+(** [0.] before any access. *)
+
+val reset_stats : t -> unit
+(** Clear counters but keep cache contents (for warmup-then-measure). *)
+
+val flush : t -> unit
+(** Invalidate contents and clear statistics. *)
+
+val lut_address : int -> int -> int
+(** [lut_address ca cb] is the byte address of the 16-bit LUT entry for
+    operand codes [ca], [cb] — [2 * ((ca << 8) | cb)], matching
+    [tex1Dfetch<ushort>] indexing. *)
+
+val simulate_lut_stream : t -> (int * int) array -> float
+(** Feed a stream of operand-code pairs through the cache and return the
+    hit rate of exactly that stream (statistics are reset first,
+    contents are not flushed). *)

@@ -1,0 +1,1 @@
+lib/models/lenet.ml: Array Ax_nn Ax_tensor Weights

@@ -1,0 +1,1 @@
+lib/models/lenet.mli: Ax_nn Ax_tensor

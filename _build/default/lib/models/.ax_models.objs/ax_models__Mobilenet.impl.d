@@ -1,0 +1,1 @@
+lib/models/mobilenet.ml: Ax_nn Ax_tensor Printf Weights

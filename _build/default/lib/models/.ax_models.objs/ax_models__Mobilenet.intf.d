@@ -1,0 +1,1 @@
+lib/models/mobilenet.mli: Ax_nn Ax_tensor

@@ -1,0 +1,1 @@
+lib/models/resnet.ml: Ax_nn Ax_tensor List Printf Weights

@@ -1,0 +1,1 @@
+lib/models/resnet.mli: Ax_nn Ax_tensor

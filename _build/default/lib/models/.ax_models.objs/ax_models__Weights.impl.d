@@ -1,0 +1,1 @@
+lib/models/weights.ml: Array Ax_nn Ax_tensor Char String

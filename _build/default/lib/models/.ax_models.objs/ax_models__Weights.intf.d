@@ -1,0 +1,1 @@
+lib/models/weights.mli: Ax_nn Ax_tensor

@@ -1,0 +1,43 @@
+module Shape = Ax_tensor.Shape
+module Graph = Ax_nn.Graph
+module Conv_spec = Ax_nn.Conv_spec
+
+let input_shape ~batch = Shape.make ~n:batch ~h:28 ~w:28 ~c:1
+
+let build ?(seed = 1998) ?(classes = 10) () =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let conv ~name ~in_c ~out_c ~padding src =
+    let filter = Weights.conv_filter ~seed ~name ~kh:5 ~kw:5 ~in_c ~out_c in
+    let c =
+      Graph.add b ~name
+        (Graph.Conv2d
+           {
+             filter;
+             bias = Some (Array.make out_c 0.);
+             spec = Conv_spec.make ~padding ();
+           })
+        [ src ]
+    in
+    Graph.add b ~name:(name ^ "/relu") Graph.Relu [ c ]
+  in
+  let dense ~name ~inputs ~outputs ?(relu = true) src =
+    let weights, bias = Weights.dense ~seed ~name ~inputs ~outputs in
+    let d = Graph.add b ~name (Graph.Dense { weights; bias }) [ src ] in
+    if relu then Graph.add b ~name:(name ^ "/relu") Graph.Relu [ d ] else d
+  in
+  (* 28x28x1 -> 28x28x6 -> 14x14x6 *)
+  let c1 = conv ~name:"c1" ~in_c:1 ~out_c:6 ~padding:Conv_spec.Same input in
+  let p1 = Graph.add b ~name:"p1" (Graph.Max_pool { size = 2; stride = 2 }) [ c1 ] in
+  (* -> 10x10x16 -> 5x5x16 *)
+  let c2 = conv ~name:"c2" ~in_c:6 ~out_c:16 ~padding:Conv_spec.Valid p1 in
+  let p2 = Graph.add b ~name:"p2" (Graph.Max_pool { size = 2; stride = 2 }) [ c2 ] in
+  (* dense head over the flattened 5*5*16 = 400 features *)
+  let f1 = dense ~name:"fc1" ~inputs:400 ~outputs:120 p2 in
+  let f2 = dense ~name:"fc2" ~inputs:120 ~outputs:84 f1 in
+  let logits = dense ~name:"fc3" ~inputs:84 ~outputs:classes ~relu:false f2 in
+  let probs = Graph.add b ~name:"softmax" Graph.Softmax [ logits ] in
+  Graph.finalize b ~output:probs
+
+let macs_per_image () =
+  Graph.total_macs (build ()) ~input:(input_shape ~batch:1)

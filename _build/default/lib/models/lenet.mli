@@ -1,0 +1,13 @@
+(** A LeNet-style network for the 28x28x1 synthetic digit workload:
+    5x5 convolutions with max pooling and a small dense head — the
+    classic architecture the early approximate-DNN literature
+    evaluates, and a second (single-channel, Valid-padded, maxpool-
+    heavy) exercise path for the emulator. *)
+
+val build : ?seed:int -> ?classes:int -> unit -> Ax_nn.Graph.t
+(** conv5x5(6, Same) + relu + maxpool2 -> conv5x5(16, Valid) + relu +
+    maxpool2 -> dense 120 -> relu -> dense 84 -> relu -> dense classes
+    -> softmax. *)
+
+val input_shape : batch:int -> Ax_tensor.Shape.t
+val macs_per_image : unit -> int

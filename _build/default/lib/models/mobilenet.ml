@@ -1,0 +1,70 @@
+module Shape = Ax_tensor.Shape
+module Graph = Ax_nn.Graph
+module Conv_spec = Ax_nn.Conv_spec
+
+let input_shape ~batch = Shape.make ~n:batch ~h:32 ~w:32 ~c:3
+
+let build ?(seed = 2020) ?(classes = 10) ?(width = 16) ?(blocks = 4) () =
+  if width <= 0 || blocks <= 0 then invalid_arg "Mobilenet.build: bad sizes";
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let relu ~name src = Graph.add b ~name Graph.Relu [ src ] in
+  (* Stem: ordinary 3x3 convolution. *)
+  let stem_filter =
+    Weights.conv_filter ~seed ~name:"stem" ~kh:3 ~kw:3 ~in_c:3 ~out_c:width
+  in
+  let stem =
+    Graph.add b ~name:"stem"
+      (Graph.Conv2d
+         { filter = stem_filter; bias = None; spec = Conv_spec.default })
+      [ input ]
+  in
+  let tip = ref (relu ~name:"stem/relu" stem) in
+  let tip_c = ref width in
+  for block = 0 to blocks - 1 do
+    let prefix = Printf.sprintf "block%d" block in
+    let stride = if block mod 2 = 1 then 2 else 1 in
+    let out_c = if stride = 2 then !tip_c * 2 else !tip_c in
+    (* Depthwise 3x3 (channel multiplier 1). *)
+    let dw_filter =
+      Weights.conv_filter ~seed ~name:(prefix ^ "/dw") ~kh:3 ~kw:3
+        ~in_c:!tip_c ~out_c:1
+    in
+    let dw =
+      Graph.add b ~name:(prefix ^ "/dw")
+        (Graph.Depthwise_conv2d
+           {
+             filter = dw_filter;
+             bias = None;
+             spec = Conv_spec.make ~stride ~padding:Conv_spec.Same ();
+           })
+        [ !tip ]
+    in
+    let dw = relu ~name:(prefix ^ "/dw_relu") dw in
+    (* Pointwise 1x1 expansion. *)
+    let pw_filter =
+      Weights.conv_filter ~seed ~name:(prefix ^ "/pw") ~kh:1 ~kw:1
+        ~in_c:!tip_c ~out_c
+    in
+    let pw =
+      Graph.add b ~name:(prefix ^ "/pw")
+        (Graph.Conv2d
+           { filter = pw_filter; bias = None; spec = Conv_spec.default })
+        [ dw ]
+    in
+    tip := relu ~name:(prefix ^ "/pw_relu") pw;
+    tip_c := out_c
+  done;
+  let pooled = Graph.add b ~name:"avg_pool" Graph.Global_avg_pool [ !tip ] in
+  let weights, bias =
+    Weights.dense ~seed ~name:"fc" ~inputs:!tip_c ~outputs:classes
+  in
+  let logits =
+    Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ pooled ]
+  in
+  let probs = Graph.add b ~name:"softmax" Graph.Softmax [ logits ] in
+  Graph.finalize b ~output:probs
+
+let macs_per_image ?(width = 16) ?(blocks = 4) () =
+  let g = build ~width ~blocks () in
+  Graph.total_macs g ~input:(input_shape ~batch:1)

@@ -1,0 +1,18 @@
+(** A MobileNet-style compact CNN built from depthwise-separable
+    convolutions — the workload that exercises the second approximate
+    layer type (AxDepthwiseConv2D).
+
+    Architecture (CIFAR-sized inputs): a 3x3 stem, then [blocks]
+    depthwise-separable blocks (3x3 depthwise + 1x1 pointwise, ReLU
+    after each), channel widths doubling at the stride-2 blocks, global
+    average pooling and a dense softmax head. *)
+
+val build :
+  ?seed:int -> ?classes:int -> ?width:int -> ?blocks:int -> unit ->
+  Ax_nn.Graph.t
+(** [width] is the stem channel count (default 16); [blocks] the number
+    of separable blocks (default 4, strides 1,2,1,2). *)
+
+val input_shape : batch:int -> Ax_tensor.Shape.t
+
+val macs_per_image : ?width:int -> ?blocks:int -> unit -> int

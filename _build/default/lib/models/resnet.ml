@@ -1,0 +1,84 @@
+module Shape = Ax_tensor.Shape
+module Graph = Ax_nn.Graph
+module Conv_spec = Ax_nn.Conv_spec
+
+let table1_depths = [ 8; 14; 20; 26; 32; 38; 44; 50; 56; 62 ]
+
+let check_depth depth =
+  if depth < 8 || (depth - 2) mod 6 <> 0 then
+    invalid_arg
+      (Printf.sprintf "Resnet: depth %d invalid ((d-2) mod 6 <> 0)" depth)
+
+let conv_layer_count depth =
+  check_depth depth;
+  depth - 1
+
+let input_shape ~batch = Shape.make ~n:batch ~h:32 ~w:32 ~c:3
+
+let build ?(seed = 2020) ?(classes = 10) ?(with_batch_norm = true) ~depth () =
+  check_depth depth;
+  let blocks_per_stage = (depth - 2) / 6 in
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let conv ~name ~in_c ~out_c ~stride src =
+    let filter =
+      Weights.conv_filter ~seed ~name ~kh:3 ~kw:3 ~in_c ~out_c
+    in
+    let spec = Conv_spec.make ~stride ~padding:Conv_spec.Same () in
+    Graph.add b ~name (Graph.Conv2d { filter; bias = None; spec }) [ src ]
+  in
+  let bn ~name ~channels src =
+    if with_batch_norm then begin
+      let scale, shift = Weights.batch_norm ~seed ~name ~channels in
+      Graph.add b ~name (Graph.Batch_norm { scale; shift }) [ src ]
+    end
+    else src
+  in
+  let relu ~name src = Graph.add b ~name Graph.Relu [ src ] in
+  (* Stem: 3x3 conv to 16 channels. *)
+  let stem = conv ~name:"conv0" ~in_c:3 ~out_c:16 ~stride:1 input in
+  let stem = bn ~name:"conv0/bn" ~channels:16 stem in
+  let stem = relu ~name:"conv0/relu" stem in
+  let tip = ref stem and tip_c = ref 16 in
+  List.iteri
+    (fun stage channels ->
+      for block = 0 to blocks_per_stage - 1 do
+        let prefix = Printf.sprintf "stage%d/block%d" stage block in
+        let stride = if stage > 0 && block = 0 then 2 else 1 in
+        let x = !tip in
+        let c1 =
+          conv ~name:(prefix ^ "/conv1") ~in_c:!tip_c ~out_c:channels ~stride
+            x
+        in
+        let c1 = bn ~name:(prefix ^ "/bn1") ~channels c1 in
+        let c1 = relu ~name:(prefix ^ "/relu1") c1 in
+        let c2 =
+          conv ~name:(prefix ^ "/conv2") ~in_c:channels ~out_c:channels
+            ~stride:1 c1
+        in
+        let c2 = bn ~name:(prefix ^ "/bn2") ~channels c2 in
+        (* Option-A shortcut: identity, or subsample + zero-pad when the
+           shape changes. *)
+        let shortcut =
+          if stride = 1 && !tip_c = channels then x
+          else
+            Graph.add b ~name:(prefix ^ "/shortcut")
+              (Graph.Shortcut_pad { stride; out_c = channels })
+              [ x ]
+        in
+        let joined = Graph.add b ~name:(prefix ^ "/add") Graph.Add [ c2; shortcut ] in
+        tip := relu ~name:(prefix ^ "/relu2") joined;
+        tip_c := channels
+      done)
+    [ 16; 32; 64 ];
+  let pooled = Graph.add b ~name:"avg_pool" Graph.Global_avg_pool [ !tip ] in
+  let weights, bias =
+    Weights.dense ~seed ~name:"fc" ~inputs:64 ~outputs:classes
+  in
+  let logits = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ pooled ] in
+  let probs = Graph.add b ~name:"softmax" Graph.Softmax [ logits ] in
+  Graph.finalize b ~output:probs
+
+let macs_per_image ~depth =
+  let g = build ~with_batch_norm:false ~depth () in
+  Graph.total_macs g ~input:(input_shape ~batch:1)

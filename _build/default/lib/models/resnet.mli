@@ -1,0 +1,31 @@
+(** CIFAR-style residual networks (He et al., ref. [13]) — the Table I
+    workloads.
+
+    Depth [d] must satisfy [(d - 2) mod 6 = 0]; the network is the
+    standard CIFAR ResNet: a 3x3 stem to 16 channels, three stages of
+    [(d-2)/6] basic blocks at 16/32/64 channels (spatial downsampling by
+    stride-2 at stage boundaries, option-A zero-padded identity
+    shortcuts — no projection convolutions, so the convolution count is
+    [L = d - 1], matching Table I's [L] column), global average pooling
+    and a dense softmax head. *)
+
+val table1_depths : int list
+(** The ten depths of Table I: 8, 14, ..., 62. *)
+
+val conv_layer_count : int -> int
+(** [conv_layer_count depth = depth - 1]; raises on invalid depth. *)
+
+val build :
+  ?seed:int -> ?classes:int -> ?with_batch_norm:bool -> depth:int -> unit ->
+  Ax_nn.Graph.t
+(** Construct the graph with deterministic synthetic weights.
+    [with_batch_norm] defaults to [true]; switch off for pure-conv
+    benchmarking graphs.  Raises [Invalid_argument] on invalid depth. *)
+
+val input_shape : batch:int -> Ax_tensor.Shape.t
+(** The CIFAR input geometry: [batch x 32 x 32 x 3]. *)
+
+val macs_per_image : depth:int -> int
+(** Convolution MACs for one image (Table I's "# MACs" axis — our
+    architecture's count; see EXPERIMENTS.md for the offset vs the
+    paper's figures). *)

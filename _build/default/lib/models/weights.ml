@@ -1,0 +1,34 @@
+module Rng = Ax_tensor.Rng
+module Matrix = Ax_tensor.Matrix
+
+(* FNV-1a over the layer name, folded into the global seed. *)
+let hash_name name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h
+
+let rng_for ~seed ~name = Rng.create (seed lxor hash_name name)
+
+let conv_filter ~seed ~name ~kh ~kw ~in_c ~out_c =
+  let filter = Ax_nn.Filter.create ~kh ~kw ~in_c ~out_c in
+  Ax_nn.Filter.fill_he_normal (rng_for ~seed ~name) filter;
+  filter
+
+let dense ~seed ~name ~inputs ~outputs =
+  let rng = rng_for ~seed ~name in
+  let stddev = sqrt (2. /. float_of_int inputs) in
+  let weights = Matrix.create ~rows:inputs ~cols:outputs in
+  for i = 0 to inputs - 1 do
+    for j = 0 to outputs - 1 do
+      Matrix.set weights i j (stddev *. Rng.gaussian rng)
+    done
+  done;
+  (weights, Array.make outputs 0.)
+
+let batch_norm ~seed ~name ~channels =
+  let rng = rng_for ~seed ~name in
+  let scale = Array.init channels (fun _ -> 1. +. (0.15 *. Rng.gaussian rng)) in
+  let shift = Array.init channels (fun _ -> 0.05 *. Rng.gaussian rng) in
+  (scale, shift)

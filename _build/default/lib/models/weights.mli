@@ -1,0 +1,24 @@
+(** Deterministic synthetic parameters.
+
+    The paper evaluates pre-trained CIFAR-10 ResNets but notes the LUT
+    content (and hence the weights) does not affect execution time; this
+    module provides reproducible He-style weights so every layer's
+    numeric ranges look like a trained network's without shipping
+    checkpoints.  Each layer derives its own RNG from a global seed and
+    the layer name, so adding layers never reshuffles existing ones. *)
+
+val rng_for : seed:int -> name:string -> Ax_tensor.Rng.t
+
+val conv_filter :
+  seed:int -> name:string -> kh:int -> kw:int -> in_c:int -> out_c:int ->
+  Ax_nn.Filter.t
+
+val dense :
+  seed:int -> name:string -> inputs:int -> outputs:int ->
+  Ax_tensor.Matrix.t * float array
+(** He-initialised weight matrix and zero bias. *)
+
+val batch_norm :
+  seed:int -> name:string -> channels:int -> float array * float array
+(** Folded (scale, shift): scale around 1, shift around 0, mimicking a
+    trained, folded batch-norm layer. *)

@@ -1,0 +1,1 @@
+lib/netlist/adders.ml: Array Bus Circuit List

@@ -1,0 +1,1 @@
+lib/netlist/adders.mli: Bus Circuit

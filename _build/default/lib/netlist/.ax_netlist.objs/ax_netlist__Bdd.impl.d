@@ -1,0 +1,1 @@
+lib/netlist/bdd.ml: Array Circuit Gate Hashtbl List

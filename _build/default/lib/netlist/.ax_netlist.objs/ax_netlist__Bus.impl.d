@@ -1,0 +1,1 @@
+lib/netlist/bus.ml: Array Circuit Printf

@@ -1,0 +1,1 @@
+lib/netlist/bus.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/multipliers.ml: Adders Array Bus Circuit Lazy Opt Printf Sim

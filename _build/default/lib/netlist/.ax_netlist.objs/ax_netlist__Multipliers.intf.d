@@ -1,0 +1,1 @@
+lib/netlist/multipliers.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/power.ml: Array Circuit Float Format Gate List

@@ -1,0 +1,1 @@
+lib/netlist/power.mli: Circuit Format Gate

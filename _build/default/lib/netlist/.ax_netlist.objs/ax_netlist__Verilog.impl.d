@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Buffer Circuit Gate List Multipliers Printf String

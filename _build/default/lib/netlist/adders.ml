@@ -1,0 +1,112 @@
+let half_adder c a b = (Circuit.xor_ c a b, Circuit.and_ c a b)
+
+let full_adder c a b cin =
+  let axb = Circuit.xor_ c a b in
+  let sum = Circuit.xor_ c axb cin in
+  let carry = Circuit.or_ c (Circuit.and_ c a b) (Circuit.and_ c axb cin) in
+  (sum, carry)
+
+let ripple_carry c ?carry_in a b =
+  let n = Bus.width a in
+  if Bus.width b <> n then invalid_arg "Adders.ripple_carry: width mismatch";
+  let sum = Array.make n (Circuit.const c false) in
+  let carry = ref (match carry_in with Some s -> s | None -> Circuit.const c false) in
+  for i = 0 to n - 1 do
+    let s, co = full_adder c a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := co
+  done;
+  (sum, !carry)
+
+(* Parallel prefix over (generate, propagate) pairs:
+   (g2, p2) o (g1, p1) = (g2 OR (p2 AND g1), p2 AND p1). *)
+let kogge_stone c ?carry_in a b =
+  let n = Bus.width a in
+  if Bus.width b <> n then invalid_arg "Adders.kogge_stone: width mismatch";
+  let cin = match carry_in with Some s -> s | None -> Circuit.const c false in
+  let p0 = Array.init n (fun i -> Circuit.xor_ c a.(i) b.(i)) in
+  let g = Array.init n (fun i -> Circuit.and_ c a.(i) b.(i)) in
+  let p = Array.copy p0 in
+  (* After the sweep, g.(i) is the carry generated out of bits 0..i
+     (ignoring cin) and p.(i) tells whether bits 0..i all propagate. *)
+  let stride = ref 1 in
+  while !stride < n do
+    for i = n - 1 downto !stride do
+      let j = i - !stride in
+      let new_g = Circuit.or_ c g.(i) (Circuit.and_ c p.(i) g.(j)) in
+      let new_p = Circuit.and_ c p.(i) p.(j) in
+      g.(i) <- new_g;
+      p.(i) <- new_p
+    done;
+    stride := !stride * 2
+  done;
+  (* Carry into position i: prefix generate of 0..i-1, plus cin riding
+     through a full propagate prefix. *)
+  let carry_into i =
+    if i = 0 then cin
+    else Circuit.or_ c g.(i - 1) (Circuit.and_ c p.(i - 1) cin)
+  in
+  let sum = Array.init n (fun i -> Circuit.xor_ c p0.(i) (carry_into i)) in
+  (sum, carry_into n)
+
+let lower_or c ~approx_bits a b =
+  let n = Bus.width a in
+  if Bus.width b <> n then invalid_arg "Adders.lower_or: width mismatch";
+  if approx_bits < 0 || approx_bits > n then
+    invalid_arg "Adders.lower_or: approx_bits out of range";
+  let sum = Array.make n (Circuit.const c false) in
+  for i = 0 to approx_bits - 1 do
+    sum.(i) <- Circuit.or_ c a.(i) b.(i)
+  done;
+  let carry = ref (Circuit.const c false) in
+  for i = approx_bits to n - 1 do
+    let s, co = full_adder c a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := co
+  done;
+  (sum, !carry)
+
+(* Column compression: repeatedly replace triples (full adder) and pairs
+   (half adder) in each column until no column holds more than two bits,
+   then finish with one ripple-carry addition over the two remaining
+   rows.  Columns at weight >= width are dropped, as is the final
+   carry-out, modelling a fixed-width product register. *)
+let carry_save_reduce c ~width columns =
+  let cols = Array.make width [] in
+  Array.iteri
+    (fun k bits -> if k < width then cols.(k) <- bits)
+    columns;
+  let busy () = Array.exists (fun l -> List.length l > 2) cols in
+  while busy () do
+    let next = Array.make width [] in
+    for k = 0 to width - 1 do
+      let rec crunch acc = function
+        | a :: b :: cin :: rest ->
+          let s, co = full_adder c a b cin in
+          if k + 1 < width then next.(k + 1) <- co :: next.(k + 1);
+          crunch (s :: acc) rest
+        | [ a; b ] when List.length cols.(k) > 2 ->
+          (* Only fold leftover pairs in columns that were overfull, to
+             avoid ping-ponging two-bit columns forever. *)
+          let s, co = half_adder c a b in
+          if k + 1 < width then next.(k + 1) <- co :: next.(k + 1);
+          crunch (s :: acc) []
+        | rest -> List.rev_append acc rest
+      in
+      next.(k) <- crunch [] cols.(k) @ next.(k)
+    done;
+    Array.blit next 0 cols 0 width
+  done;
+  let row_a = Array.make width (Circuit.const c false) in
+  let row_b = Array.make width (Circuit.const c false) in
+  for k = 0 to width - 1 do
+    match cols.(k) with
+    | [] -> ()
+    | [ a ] -> row_a.(k) <- a
+    | [ a; b ] ->
+      row_a.(k) <- a;
+      row_b.(k) <- b
+    | _ -> assert false
+  done;
+  let sum, _carry_out = ripple_carry c row_a row_b in
+  sum

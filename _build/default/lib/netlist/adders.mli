@@ -1,0 +1,44 @@
+(** Structural adders used by the multiplier generators. *)
+
+val half_adder :
+  Circuit.t -> Circuit.signal -> Circuit.signal ->
+  Circuit.signal * Circuit.signal
+(** [half_adder c a b] is [(sum, carry)]. *)
+
+val full_adder :
+  Circuit.t -> Circuit.signal -> Circuit.signal -> Circuit.signal ->
+  Circuit.signal * Circuit.signal
+(** [full_adder c a b cin] is [(sum, carry)]. *)
+
+val ripple_carry :
+  Circuit.t -> ?carry_in:Circuit.signal -> Bus.t -> Bus.t ->
+  Bus.t * Circuit.signal
+(** [ripple_carry c a b] adds two equal-width buses; returns the sum bus
+    and the carry out.  Raises [Invalid_argument] on width mismatch. *)
+
+val kogge_stone :
+  Circuit.t -> ?carry_in:Circuit.signal -> Bus.t -> Bus.t ->
+  Bus.t * Circuit.signal
+(** Parallel-prefix (Kogge-Stone) adder: same function as
+    {!ripple_carry} with O(log n) logic depth instead of O(n) — the
+    canonical fast-adder benchmark for the delay model.  Raises
+    [Invalid_argument] on width mismatch. *)
+
+val lower_or :
+  Circuit.t -> approx_bits:int -> Bus.t -> Bus.t -> Bus.t * Circuit.signal
+(** The Lower-part-OR Adder (LOA, Mahdiani et al.): the low
+    [approx_bits] sum bits are simple ORs of the operand bits (no carry
+    chain), the high part is an exact ripple adder with zero carry-in —
+    the classic approximate adder the accumulator-approximation
+    literature starts from.  [approx_bits = 0] degenerates to
+    {!ripple_carry}.  Raises [Invalid_argument] when [approx_bits]
+    exceeds the bus width. *)
+
+val carry_save_reduce :
+  Circuit.t -> width:int -> Circuit.signal list array -> Bus.t
+(** [carry_save_reduce c ~width columns] sums an arbitrary partial-
+    product matrix given as per-column bit lists ([columns.(k)] holds the
+    bits of weight [2^k]) using a Dadda-style column compression followed
+    by a final ripple-carry adder.  The result is truncated to [width]
+    bits (weights [>= 2^width] are discarded, matching a fixed-width
+    hardware product register). *)

@@ -1,0 +1,48 @@
+(** Reduced ordered binary decision diagrams.
+
+    The formal-verification companion to the netlist substrate: checking
+    that a generated (or hand-optimised) approximate multiplier is
+    exactly the function it claims to be, without relying on the same
+    simulator that produced it.  Variables are ordered by primary-input
+    creation index.
+
+    The manager owns the unique-node table and the operation caches;
+    nodes are plain integers, so BDDs from different managers must not
+    be mixed (checked where cheap, undefined otherwise). *)
+
+type manager
+type node = int
+
+val manager : unit -> manager
+
+val zero : node
+val one : node
+
+val var : manager -> int -> node
+(** [var m i] is the function of primary-input variable [i]. *)
+
+val not_ : manager -> node -> node
+val and_ : manager -> node -> node -> node
+val or_ : manager -> node -> node -> node
+val xor_ : manager -> node -> node -> node
+
+val node_count : manager -> int
+(** Live unique nodes (diagnostic). *)
+
+val of_circuit : manager -> Circuit.t -> (string * node) list
+(** One BDD per primary output, labelled. *)
+
+val equivalent : Circuit.t -> Circuit.t -> bool
+(** [equivalent a b] — same number of primary inputs (matched by
+    creation order), outputs matched by label; true iff every matched
+    output computes the same Boolean function.  Raises
+    [Invalid_argument] when inputs or output label sets differ. *)
+
+val satisfy_count : manager -> vars:int -> node -> float
+(** Number of satisfying assignments over [vars] variables (float to
+    allow wide supports). *)
+
+val probability_one : manager -> vars:int -> node -> float
+(** [satisfy_count / 2^vars]: the exact signal probability under
+    independent uniform inputs — the reference the approximate
+    propagation in {!Power.signal_probabilities} is tested against. *)

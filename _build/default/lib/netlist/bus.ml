@@ -1,0 +1,35 @@
+type t = Circuit.signal array
+
+let input c label n =
+  Array.init n (fun i -> Circuit.input c (Printf.sprintf "%s_%d" label i))
+
+let of_int c ~width v =
+  Array.init width (fun i -> Circuit.const c ((v lsr i) land 1 = 1))
+
+let output c label bus =
+  Array.iteri
+    (fun i s -> Circuit.output c (Printf.sprintf "%s_%d" label i) s)
+    bus
+
+let width = Array.length
+
+let zero_extend c bus w =
+  if width bus >= w then bus
+  else
+    Array.init w (fun i ->
+        if i < width bus then bus.(i) else Circuit.const c false)
+
+let sign_extend c bus w =
+  if width bus = 0 then invalid_arg "Bus.sign_extend: empty bus";
+  if width bus >= w then bus
+  else
+    let msb = bus.(width bus - 1) in
+    ignore c;
+    Array.init w (fun i -> if i < width bus then bus.(i) else msb)
+
+let slice bus ~lo ~hi =
+  if lo < 0 || hi >= width bus || lo > hi then
+    invalid_arg "Bus.slice: bad range";
+  Array.sub bus lo (hi - lo + 1)
+
+let concat_lsb_first parts = Array.concat parts

@@ -1,0 +1,29 @@
+(** Little-endian signal buses (bit 0 first) and word-level helpers used
+    by the arithmetic generators. *)
+
+type t = Circuit.signal array
+(** [t.(0)] is the least-significant bit. *)
+
+val input : Circuit.t -> string -> int -> t
+(** [input c label n] creates [n] primary inputs named [label_0..]. *)
+
+val of_int : Circuit.t -> width:int -> int -> t
+(** Constant bus holding the low [width] bits of the integer. *)
+
+val output : Circuit.t -> string -> t -> unit
+(** Register every bit as output [label_i]. *)
+
+val width : t -> int
+
+val zero_extend : Circuit.t -> t -> int -> t
+(** Pad with constant-0 bits up to the requested width (identity when
+    already wide enough). *)
+
+val sign_extend : Circuit.t -> t -> int -> t
+(** Replicate the MSB up to the requested width. *)
+
+val slice : t -> lo:int -> hi:int -> t
+(** Bits [lo..hi] inclusive; raises [Invalid_argument] on bad range. *)
+
+val concat_lsb_first : t list -> t
+(** First list element provides the least-significant bits. *)

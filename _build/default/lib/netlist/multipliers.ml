@@ -1,0 +1,88 @@
+type t = {
+  circuit : Circuit.t;
+  width_a : int;
+  width_b : int;
+  product_bits : int;
+  signed : bool;
+}
+
+let partial_product_columns c a b ~bits ~keep =
+  let columns = Array.make (2 * bits) [] in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      if keep i j then begin
+        let pp = Circuit.and_ c a.(i) b.(j) in
+        columns.(i + j) <- pp :: columns.(i + j)
+      end
+    done
+  done;
+  columns
+
+let pruned ~bits ~keep ~name =
+  let c = Circuit.create ~name () in
+  let a = Bus.input c "a" bits in
+  let b = Bus.input c "b" bits in
+  let columns = partial_product_columns c a b ~bits ~keep in
+  let product = Adders.carry_save_reduce c ~width:(2 * bits) columns in
+  Bus.output c "p" product;
+  (* The compression tree discards its final carry-out; strip that dead
+     cone so the hardware metrics reflect logic a synthesiser would
+     actually emit. *)
+  let c = Opt.strip_dead c in
+  { circuit = c; width_a = bits; width_b = bits;
+    product_bits = 2 * bits; signed = false }
+
+let unsigned_array ~bits =
+  pruned ~bits ~keep:(fun _ _ -> true)
+    ~name:(Printf.sprintf "mul%du_exact" bits)
+
+let truncated ~bits ~cut =
+  if cut < 0 || cut > 2 * bits then
+    invalid_arg "Multipliers.truncated: cut out of range";
+  pruned ~bits
+    ~keep:(fun i j -> i + j >= cut)
+    ~name:(Printf.sprintf "mul%du_trunc%d" bits cut)
+
+let broken_array ~bits ~hbl ~vbl =
+  if hbl < 0 || hbl > bits then
+    invalid_arg "Multipliers.broken_array: hbl out of range";
+  if vbl < 0 || vbl > 2 * bits then
+    invalid_arg "Multipliers.broken_array: vbl out of range";
+  let m =
+    pruned ~bits
+      ~keep:(fun i j -> i + j >= vbl && j >= hbl)
+      ~name:(Printf.sprintf "mul%du_bam_h%d_v%d" bits hbl vbl)
+  in
+  m
+
+(* Modified Baugh-Wooley: invert the partial products involving exactly
+   one sign bit, add 1 at columns [bits] and [2*bits-1]. *)
+let baugh_wooley_signed ~bits =
+  let c = Circuit.create ~name:(Printf.sprintf "mul%ds_exact" bits) () in
+  let a = Bus.input c "a" bits in
+  let b = Bus.input c "b" bits in
+  let columns = Array.make (2 * bits) [] in
+  let msb = bits - 1 in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      let pp = Circuit.and_ c a.(i) b.(j) in
+      let pp =
+        if (i = msb) <> (j = msb) then Circuit.not_ c pp else pp
+      in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  let one = Circuit.const c true in
+  columns.(bits) <- one :: columns.(bits);
+  columns.(2 * bits - 1) <- one :: columns.(2 * bits - 1);
+  let product = Adders.carry_save_reduce c ~width:(2 * bits) columns in
+  Bus.output c "p" product;
+  let c = Opt.strip_dead c in
+  { circuit = c; width_a = bits; width_b = bits;
+    product_bits = 2 * bits; signed = true }
+
+let behavioural m =
+  let table =
+    lazy (Sim.truth_table_2x m.circuit ~width_a:m.width_a ~width_b:m.width_b)
+  in
+  fun a b -> (Lazy.force table) a b

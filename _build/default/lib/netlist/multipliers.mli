@@ -1,0 +1,51 @@
+(** Structural multiplier generators.
+
+    Each generator returns a complete {!Circuit.t} with two operand
+    inputs (all bits of [a] first, LSB-first, then all bits of [b]) and a
+    product output bus, ready for simulation, characterisation, LUT
+    extraction and Verilog export.
+
+    The approximate variants implement the classic design-space knobs of
+    the approximate-multiplier literature: truncation (drop low product
+    columns), the broken-array multiplier (omit carry-save cells below a
+    break line), and arbitrary partial-product pruning. *)
+
+type t = {
+  circuit : Circuit.t;
+  width_a : int;
+  width_b : int;
+  product_bits : int;
+  signed : bool;
+}
+
+val unsigned_array : bits:int -> t
+(** Exact unsigned array multiplier: AND partial products compressed with
+    carry-save adders; [2*bits] product bits. *)
+
+val truncated : bits:int -> cut:int -> t
+(** Truncated unsigned multiplier: partial products of weight below
+    [2^cut] are never generated; the corresponding output bits are
+    constant zero.  [cut = 0] is the exact multiplier. *)
+
+val broken_array : bits:int -> hbl:int -> vbl:int -> t
+(** Broken-array multiplier (Mahdiani et al.): omits partial product
+    [a_i*b_j] when the cell lies below the horizontal break line
+    ([j >= bits - hbl] rows pruned from the bottom... here expressed as
+    [j < hbl] rows pruned from the top of the array being the low-order
+    rows) or right of the vertical break line ([i + j < vbl]).
+    Concretely a cell is kept iff [i + j >= vbl && j >= hbl].
+    [hbl = 0, vbl = 0] is exact. *)
+
+val pruned : bits:int -> keep:(int -> int -> bool) -> name:string -> t
+(** Generic pruned array multiplier: partial product [a_i*b_j] is
+    generated only when [keep i j] holds. *)
+
+val baugh_wooley_signed : bits:int -> t
+(** Exact two's-complement multiplier (modified Baugh-Wooley form),
+    [2*bits] product bits. *)
+
+val behavioural : t -> int -> int -> int
+(** [behavioural m a b] simulates the netlist exhaustively on first use
+    and returns the product for unsigned operand encodings [a], [b]
+    (two's-complement operands are passed via their unsigned bit
+    pattern).  The result is the raw output bus value. *)

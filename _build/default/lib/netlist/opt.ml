@@ -1,0 +1,56 @@
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+let strip_dead_with_stats c =
+  let n = Circuit.node_count c in
+  let live = Array.make n false in
+  (* Mark the cone of influence of every output. *)
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      List.iter mark (Gate.fanin (Circuit.gate_at c i))
+    end
+  in
+  List.iter (fun (_, s) -> mark (Circuit.index s)) (Circuit.outputs c);
+  (* Inputs survive unconditionally so the interface is unchanged. *)
+  List.iter (fun (_, s) -> live.(Circuit.index s) <- true) (Circuit.inputs c);
+  let fresh = Circuit.create ~name:(Circuit.name c) () in
+  let remap = Array.make n (-1) in
+  Circuit.iter_gates c (fun i g ->
+      if live.(i) then begin
+        let s i = Circuit.signal_of_index fresh remap.(i) in
+        let new_signal =
+          match g with
+          | Gate.Input label -> Circuit.input fresh label
+          | Gate.Const b -> Circuit.const fresh b
+          | Gate.Buf a -> Circuit.buf_ fresh (s a)
+          | Gate.Not a -> Circuit.not_ fresh (s a)
+          | Gate.And2 (a, b) -> Circuit.and_ fresh (s a) (s b)
+          | Gate.Or2 (a, b) -> Circuit.or_ fresh (s a) (s b)
+          | Gate.Xor2 (a, b) -> Circuit.xor_ fresh (s a) (s b)
+          | Gate.Nand2 (a, b) -> Circuit.nand_ fresh (s a) (s b)
+          | Gate.Nor2 (a, b) -> Circuit.nor_ fresh (s a) (s b)
+          | Gate.Xnor2 (a, b) -> Circuit.xnor_ fresh (s a) (s b)
+        in
+        remap.(i) <- Circuit.index new_signal
+      end);
+  List.iter
+    (fun (label, s) ->
+      Circuit.output fresh label
+        (Circuit.signal_of_index fresh remap.(Circuit.index s)))
+    (Circuit.outputs c);
+  let stats =
+    {
+      nodes_before = Circuit.node_count c;
+      nodes_after = Circuit.node_count fresh;
+      gates_before = Circuit.gate_count c;
+      gates_after = Circuit.gate_count fresh;
+    }
+  in
+  (fresh, stats)
+
+let strip_dead c = fst (strip_dead_with_stats c)

@@ -1,0 +1,21 @@
+(** Netlist clean-up passes.
+
+    The builder already folds constants and hash-conses structurally
+    equal gates; these passes handle what construction-time rewriting
+    cannot see — logic that no primary output depends on (common after
+    pruning partial products out of a multiplier, which strands chunks
+    of the compression tree). *)
+
+val strip_dead : Circuit.t -> Circuit.t
+(** Rebuild the circuit keeping only the cone of influence of the
+    outputs.  Primary inputs are always kept (interface stability), in
+    their original order; gate evaluation order is preserved. *)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+val strip_dead_with_stats : Circuit.t -> Circuit.t * stats

@@ -1,0 +1,74 @@
+type report = {
+  area : float;
+  delay : float;
+  power : float;
+  gates : int;
+  pdp : float;
+}
+
+(* Static CMOS transistor counts. *)
+let area_of_gate = function
+  | Gate.Input _ | Gate.Const _ | Gate.Buf _ -> 0.
+  | Gate.Not _ -> 2.
+  | Gate.Nand2 _ | Gate.Nor2 _ -> 4.
+  | Gate.And2 _ | Gate.Or2 _ -> 6.
+  | Gate.Xor2 _ | Gate.Xnor2 _ -> 8.
+
+(* Normalised logical-effort delays (FO4-ish relative units). *)
+let delay_of_gate = function
+  | Gate.Input _ | Gate.Const _ | Gate.Buf _ -> 0.
+  | Gate.Not _ -> 1.
+  | Gate.Nand2 _ | Gate.Nor2 _ -> 1.
+  | Gate.And2 _ | Gate.Or2 _ -> 1.5
+  | Gate.Xor2 _ | Gate.Xnor2 _ -> 2.
+
+let signal_probabilities c =
+  let p = Array.make (Circuit.node_count c) 0.5 in
+  Circuit.iter_gates c (fun i g ->
+      let prob j = p.(j) in
+      p.(i) <-
+        (match g with
+        | Gate.Input _ -> 0.5
+        | Gate.Const b -> if b then 1. else 0.
+        | Gate.Buf a -> prob a
+        | Gate.Not a -> 1. -. prob a
+        | Gate.And2 (a, b) -> prob a *. prob b
+        | Gate.Or2 (a, b) -> prob a +. prob b -. (prob a *. prob b)
+        | Gate.Nand2 (a, b) -> 1. -. (prob a *. prob b)
+        | Gate.Nor2 (a, b) -> 1. -. (prob a +. prob b -. (prob a *. prob b))
+        | Gate.Xor2 (a, b) ->
+          let pa = prob a and pb = prob b in
+          (pa *. (1. -. pb)) +. (pb *. (1. -. pa))
+        | Gate.Xnor2 (a, b) ->
+          let pa = prob a and pb = prob b in
+          1. -. ((pa *. (1. -. pb)) +. (pb *. (1. -. pa)))));
+  p
+
+let analyze c =
+  let probabilities = signal_probabilities c in
+  let arrival = Array.make (Circuit.node_count c) 0. in
+  let area = ref 0. and power = ref 0. and gates = ref 0 and delay = ref 0. in
+  Circuit.iter_gates c (fun i g ->
+      let ready =
+        List.fold_left (fun acc j -> Float.max acc arrival.(j)) 0.
+          (Gate.fanin g)
+      in
+      arrival.(i) <- ready +. delay_of_gate g;
+      if arrival.(i) > !delay then delay := arrival.(i);
+      area := !area +. area_of_gate g;
+      (match g with
+      | Gate.Input _ | Gate.Const _ | Gate.Buf _ -> ()
+      | Gate.Not _ | Gate.And2 _ | Gate.Or2 _ | Gate.Xor2 _ | Gate.Nand2 _
+      | Gate.Nor2 _ | Gate.Xnor2 _ ->
+        incr gates;
+        let p = probabilities.(i) in
+        let activity = 2. *. p *. (1. -. p) in
+        power := !power +. (activity *. area_of_gate g)));
+  let d = !delay in
+  { area = !area; delay = d; power = !power; gates = !gates;
+    pdp = !power *. d }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "area=%.0f delay=%.1f power=%.2f gates=%d pdp=%.2f" r.area r.delay
+    r.power r.gates r.pdp

@@ -1,0 +1,29 @@
+(** Unit-gate hardware cost model.
+
+    Area is reported in transistor-count equivalents of standard static
+    CMOS cells, delay as a unit-delay critical path weighted by per-gate
+    logical effort, and dynamic power as the sum over gates of switching
+    activity times input capacitance, under the standard zero-delay /
+    spatial-independence signal-probability model with uniform random
+    primary inputs.  These are relative figures of merit for comparing
+    approximate-circuit candidates, not absolute silicon numbers — which
+    is also how the approximate-computing literature uses them. *)
+
+type report = {
+  area : float;       (** transistor-equivalent area *)
+  delay : float;      (** critical path, unit-delay-per-effort *)
+  power : float;      (** relative dynamic (switching) power *)
+  gates : int;        (** combinational gate count *)
+  pdp : float;        (** power-delay product *)
+}
+
+val area_of_gate : Gate.t -> float
+val delay_of_gate : Gate.t -> float
+
+val signal_probabilities : Circuit.t -> float array
+(** Probability of each node being logic-1 under independent uniform
+    inputs (independence approximation at reconvergent fan-out). *)
+
+val analyze : Circuit.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,87 @@
+let eval c ins =
+  let expected = Circuit.input_count c in
+  if Array.length ins <> expected then
+    invalid_arg
+      (Printf.sprintf "Sim.eval: %d inputs given, circuit has %d"
+         (Array.length ins) expected);
+  let values = Array.make (Circuit.node_count c) false in
+  let next_input = ref 0 in
+  Circuit.iter_gates c (fun i g ->
+      match g with
+      | Gate.Input _ ->
+        values.(i) <- ins.(!next_input);
+        incr next_input
+      | g -> values.(i) <- Gate.eval g (fun j -> values.(j)));
+  let outs = Circuit.outputs c in
+  Array.of_list (List.map (fun (_, s) -> values.(Circuit.index s)) outs)
+
+let eval_words c ins =
+  let expected = Circuit.input_count c in
+  if Array.length ins <> expected then
+    invalid_arg
+      (Printf.sprintf "Sim.eval_words: %d inputs given, circuit has %d"
+         (Array.length ins) expected);
+  let values = Array.make (Circuit.node_count c) 0L in
+  let next_input = ref 0 in
+  Circuit.iter_gates c (fun i g ->
+      match g with
+      | Gate.Input _ ->
+        values.(i) <- ins.(!next_input);
+        incr next_input
+      | g -> values.(i) <- Gate.eval_word g (fun j -> values.(j)));
+  let outs = Circuit.outputs c in
+  Array.of_list (List.map (fun (_, s) -> values.(Circuit.index s)) outs)
+
+let eval_unsigned c ~input_bits x =
+  let total = List.fold_left ( + ) 0 input_bits in
+  if total <> Circuit.input_count c then
+    invalid_arg "Sim.eval_unsigned: input_bits do not cover the inputs";
+  let ins = Array.make total false in
+  for bit = 0 to total - 1 do
+    ins.(bit) <- (x lsr bit) land 1 = 1
+  done;
+  let outs = eval c ins in
+  let acc = ref 0 in
+  Array.iteri (fun bit b -> if b then acc := !acc lor (1 lsl bit)) outs;
+  !acc
+
+(* Exhaustive bit-parallel sweep: pack 64 consecutive patterns per word.
+   Pattern p = b * 2^wa + a; lane k of sweep s holds pattern s*64 + k. *)
+let truth_table_2x c ~width_a ~width_b =
+  if width_a + width_b <> Circuit.input_count c then
+    invalid_arg "Sim.truth_table_2x: widths do not match circuit inputs";
+  let patterns = 1 lsl (width_a + width_b) in
+  let sweeps = (patterns + 63) / 64 in
+  let table = Array.make patterns 0 in
+  let words = Array.make (width_a + width_b) 0L in
+  for s = 0 to sweeps - 1 do
+    let base = s * 64 in
+    for bit = 0 to width_a + width_b - 1 do
+      let w = ref 0L in
+      for lane = 0 to 63 do
+        let p = base + lane in
+        if p < patterns && (p lsr bit) land 1 = 1 then
+          w := Int64.logor !w (Int64.shift_left 1L lane)
+      done;
+      words.(bit) <- !w
+    done;
+    let outs = eval_words c words in
+    for lane = 0 to 63 do
+      let p = base + lane in
+      if p < patterns then begin
+        let v = ref 0 in
+        Array.iteri
+          (fun bit w ->
+            if Int64.logand (Int64.shift_right_logical w lane) 1L = 1L then
+              v := !v lor (1 lsl bit))
+          outs;
+        table.(p) <- !v
+      end
+    done
+  done;
+  fun a b ->
+    if a < 0 || a >= 1 lsl width_a then
+      invalid_arg "Sim.truth_table_2x: operand a out of range";
+    if b < 0 || b >= 1 lsl width_b then
+      invalid_arg "Sim.truth_table_2x: operand b out of range";
+    table.((b lsl width_a) lor a)

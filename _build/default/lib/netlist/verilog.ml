@@ -1,0 +1,122 @@
+let sanitize label =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+      | _ -> '_')
+    label
+
+let wire_name c i =
+  match Circuit.gate_at c i with
+  | Gate.Input s -> sanitize s
+  | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.And2 _
+  | Gate.Or2 _ | Gate.Xor2 _ | Gate.Nand2 _ | Gate.Nor2 _ | Gate.Xnor2 _ ->
+    Printf.sprintf "n%d" i
+
+let to_buffer c =
+  let buf = Buffer.create 4096 in
+  let ins = Circuit.inputs c and outs = Circuit.outputs c in
+  let ports =
+    List.map (fun (l, _) -> sanitize l) ins
+    @ List.map (fun (l, _) -> sanitize l) outs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" (sanitize (Circuit.name c))
+       (String.concat ", " ports));
+  List.iter
+    (fun (l, _) -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (sanitize l)))
+    ins;
+  List.iter
+    (fun (l, _) -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" (sanitize l)))
+    outs;
+  let wname i = wire_name c i in
+  Circuit.iter_gates c (fun i g ->
+      match g with
+      | Gate.Input _ -> ()
+      | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.And2 _ | Gate.Or2 _
+      | Gate.Xor2 _ | Gate.Nand2 _ | Gate.Nor2 _ | Gate.Xnor2 _ ->
+        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (wname i)));
+  Circuit.iter_gates c (fun i g ->
+      let assign rhs =
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = %s;\n" (wname i) rhs)
+      in
+      match g with
+      | Gate.Input _ -> ()
+      | Gate.Const b -> assign (if b then "1'b1" else "1'b0")
+      | Gate.Buf a -> assign (wname a)
+      | Gate.Not a -> assign (Printf.sprintf "~%s" (wname a))
+      | Gate.And2 (a, b) -> assign (Printf.sprintf "%s & %s" (wname a) (wname b))
+      | Gate.Or2 (a, b) -> assign (Printf.sprintf "%s | %s" (wname a) (wname b))
+      | Gate.Xor2 (a, b) -> assign (Printf.sprintf "%s ^ %s" (wname a) (wname b))
+      | Gate.Nand2 (a, b) ->
+        assign (Printf.sprintf "~(%s & %s)" (wname a) (wname b))
+      | Gate.Nor2 (a, b) ->
+        assign (Printf.sprintf "~(%s | %s)" (wname a) (wname b))
+      | Gate.Xnor2 (a, b) ->
+        assign (Printf.sprintf "~(%s ^ %s)" (wname a) (wname b)));
+  List.iter
+    (fun (l, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (sanitize l)
+           (wname (Circuit.index s))))
+    outs;
+  Buffer.add_string buf "endmodule\n";
+  buf
+
+let to_string c = Buffer.contents (to_buffer c)
+let to_channel oc c = Buffer.output_buffer oc (to_buffer c)
+
+(* Cheap deterministic xorshift for vector generation. *)
+let next_state s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  (s lxor (s lsl 17)) land max_int
+
+let testbench ?(vectors = 64) ?(seed = 1) ~reference m =
+  if vectors <= 0 then invalid_arg "Verilog.testbench: vectors";
+  let c = m.Multipliers.circuit in
+  let wa = m.Multipliers.width_a and wb = m.Multipliers.width_b in
+  let wp = m.Multipliers.product_bits in
+  let name = sanitize (Circuit.name c) in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "`timescale 1ns/1ps\n";
+  add "module %s_tb;\n" name;
+  add "  reg [%d:0] a;\n  reg [%d:0] b;\n  wire [%d:0] p;\n" (wa - 1)
+    (wb - 1) (wp - 1);
+  add "  integer errors;\n";
+  let a_ports =
+    String.concat ", "
+      (List.init wa (fun i -> Printf.sprintf ".a_%d(a[%d])" i i))
+  in
+  let b_ports =
+    String.concat ", "
+      (List.init wb (fun i -> Printf.sprintf ".b_%d(b[%d])" i i))
+  in
+  let p_ports =
+    String.concat ", "
+      (List.init wp (fun i -> Printf.sprintf ".p_%d(p[%d])" i i))
+  in
+  add "  %s dut (%s, %s, %s);\n" name a_ports b_ports p_ports;
+  add "  task check(input [%d:0] av, input [%d:0] bv, input [%d:0] expect_v);\n"
+    (wa - 1) (wb - 1) (wp - 1);
+  add "    begin\n      a = av; b = bv; #1;\n";
+  add "      if (p !== expect_v) begin\n";
+  add "        errors = errors + 1;\n";
+  add
+    "        $display(\"FAIL: %%0d * %%0d = %%0d (expected %%0d)\", av, bv, p, expect_v);\n";
+  add "      end\n    end\n  endtask\n";
+  add "  initial begin\n    errors = 0;\n";
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  for _ = 1 to vectors do
+    state := next_state !state;
+    let a = !state land ((1 lsl wa) - 1) in
+    state := next_state !state;
+    let b = !state land ((1 lsl wb) - 1) in
+    add "    check(%d'd%d, %d'd%d, %d'd%d);\n" wa a wb b wp (reference a b)
+  done;
+  add "    if (errors == 0) $display(\"PASS: %d vectors\");\n" vectors;
+  add "    else $display(\"%%0d ERRORS\", errors);\n";
+  add "    $finish;\n  end\nendmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Structural Verilog export.
+
+    Emits a synthesisable flat module using continuous [assign]
+    statements over [wire]s, one per netlist node, so generated
+    approximate multipliers can be taken to an actual EDA flow. *)
+
+val to_string : Circuit.t -> string
+(** [to_string c] renders [c] as a single Verilog module named after
+    [Circuit.name c]. *)
+
+val to_channel : out_channel -> Circuit.t -> unit
+
+val testbench :
+  ?vectors:int -> ?seed:int -> reference:(int -> int -> int) ->
+  Multipliers.t -> string
+(** A self-checking Verilog testbench for a generated multiplier:
+    [vectors] random operand pairs (default 64, deterministic in
+    [seed]) are applied and every product compared against the expected
+    value computed by [reference] — so the exported RTL can be validated
+    in any simulator against the exact function the emulator used. *)

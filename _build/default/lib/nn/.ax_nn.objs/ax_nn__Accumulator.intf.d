@@ -1,0 +1,1 @@
+lib/nn/accumulator.mli: Format

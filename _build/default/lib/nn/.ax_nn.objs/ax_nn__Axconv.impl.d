@@ -1,0 +1,1 @@
+lib/nn/axconv.ml: Accumulator Array Ax_arith Ax_quant Ax_tensor Bigarray Bytes Char Conv_spec Domain Filter Im2col List Profile

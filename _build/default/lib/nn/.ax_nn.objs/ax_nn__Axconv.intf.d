@@ -1,0 +1,1 @@
+lib/nn/axconv.mli: Accumulator Ax_arith Ax_quant Ax_tensor Bytes Conv_spec Filter Profile

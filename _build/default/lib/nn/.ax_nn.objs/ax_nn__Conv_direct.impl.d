@@ -1,0 +1,1 @@
+lib/nn/conv_direct.ml: Accumulator Array Ax_arith Ax_quant Ax_tensor Axconv Bigarray Bytes Char Conv_spec Filter Im2col Profile

@@ -1,0 +1,1 @@
+lib/nn/conv_direct.mli: Ax_quant Ax_tensor Axconv Conv_spec Filter Profile

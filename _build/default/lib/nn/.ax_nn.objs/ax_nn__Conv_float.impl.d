@@ -1,0 +1,1 @@
+lib/nn/conv_float.ml: Array Ax_tensor Bigarray Conv_spec Filter Im2col Profile

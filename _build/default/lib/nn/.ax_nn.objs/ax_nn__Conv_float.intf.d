@@ -1,0 +1,1 @@
+lib/nn/conv_float.mli: Ax_tensor Conv_spec Filter Profile

@@ -1,0 +1,1 @@
+lib/nn/conv_spec.ml: Ax_tensor Filter Printf

@@ -1,0 +1,1 @@
+lib/nn/conv_spec.mli: Ax_tensor Filter

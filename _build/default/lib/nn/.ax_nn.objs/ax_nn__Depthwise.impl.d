@@ -1,0 +1,1 @@
+lib/nn/depthwise.ml: Accumulator Array Ax_arith Ax_quant Ax_tensor Axconv Bigarray Bytes Char Conv_spec Filter Printf Profile

@@ -1,0 +1,1 @@
+lib/nn/depthwise.mli: Ax_quant Ax_tensor Axconv Conv_spec Filter Profile

@@ -1,0 +1,1 @@
+lib/nn/exec.ml: Array Ax_quant Ax_tensor Axconv Conv_direct Conv_float Depthwise Graph Layers List Printf Profile

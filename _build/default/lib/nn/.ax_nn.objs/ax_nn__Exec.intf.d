@@ -1,0 +1,1 @@
+lib/nn/exec.mli: Ax_tensor Graph Profile

@@ -1,0 +1,1 @@
+lib/nn/filter.ml: Array Ax_tensor Printf

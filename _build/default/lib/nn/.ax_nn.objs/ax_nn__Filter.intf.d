@@ -1,0 +1,1 @@
+lib/nn/filter.mli: Ax_tensor

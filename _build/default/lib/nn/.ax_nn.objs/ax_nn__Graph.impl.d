@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Array Ax_tensor Axconv Buffer Conv_spec Depthwise Filter Format List Printf String

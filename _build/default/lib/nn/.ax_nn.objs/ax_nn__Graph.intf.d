@@ -1,0 +1,1 @@
+lib/nn/graph.mli: Ax_tensor Axconv Conv_spec Filter Format

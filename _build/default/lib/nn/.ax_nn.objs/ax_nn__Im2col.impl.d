@@ -1,0 +1,1 @@
+lib/nn/im2col.ml: Array Ax_arith Ax_quant Ax_tensor Bigarray Bytes Char Conv_spec

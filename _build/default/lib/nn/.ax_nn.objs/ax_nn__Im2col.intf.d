@@ -1,0 +1,1 @@
+lib/nn/im2col.mli: Ax_arith Ax_quant Ax_tensor Bytes Conv_spec

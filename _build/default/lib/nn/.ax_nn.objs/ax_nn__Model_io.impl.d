@@ -1,0 +1,1 @@
+lib/nn/model_io.ml: Accumulator Array Ax_arith Ax_quant Ax_tensor Axconv Buffer Bytes Char Conv_spec Filter Fun Graph Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/nn/model_io.mli: Bytes Graph

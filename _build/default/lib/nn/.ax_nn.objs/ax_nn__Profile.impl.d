@@ -1,0 +1,1 @@
+lib/nn/profile.ml: Format Fun Unix

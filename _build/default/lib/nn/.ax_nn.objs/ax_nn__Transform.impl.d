@@ -1,0 +1,1 @@
+lib/nn/transform.ml: Array Filter Graph List Printf

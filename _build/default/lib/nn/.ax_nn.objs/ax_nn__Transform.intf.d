@@ -1,0 +1,1 @@
+lib/nn/transform.mli: Axconv Graph

@@ -1,0 +1,49 @@
+type t =
+  | Wide
+  | Saturating of int
+  | Wrapping of int
+  | Lower_or of { width : int; approx_low : int }
+
+let validate = function
+  | Wide -> ()
+  | Saturating w | Wrapping w ->
+    if w < 2 || w > 62 then
+      invalid_arg "Accumulator: width must be in 2..62"
+  | Lower_or { width; approx_low } ->
+    if width < 2 || width > 62 then
+      invalid_arg "Accumulator: width must be in 2..62";
+    if approx_low < 0 || approx_low >= width then
+      invalid_arg "Accumulator: approx_low must be below the width"
+
+let add t acc product =
+  match t with
+  | Wide -> acc + product
+  | Saturating w ->
+    let hi = (1 lsl (w - 1)) - 1 in
+    let lo = -(1 lsl (w - 1)) in
+    let sum = acc + product in
+    if sum > hi then hi else if sum < lo then lo else sum
+  | Wrapping w ->
+    let sum = (acc + product) land ((1 lsl w) - 1) in
+    if sum >= 1 lsl (w - 1) then sum - (1 lsl w) else sum
+  | Lower_or { width; approx_low } ->
+    (* Mirror the gate-level LOA on the two's-complement bit patterns:
+       OR the low bits, add the high bits with no carry-in. *)
+    let word_mask = (1 lsl width) - 1 in
+    let low_mask = (1 lsl approx_low) - 1 in
+    let ua = acc land word_mask and ub = product land word_mask in
+    let low = (ua lor ub) land low_mask in
+    let high =
+      ((ua lsr approx_low) + (ub lsr approx_low))
+      land ((1 lsl (width - approx_low)) - 1)
+    in
+    let sum = (high lsl approx_low) lor low in
+    if sum >= 1 lsl (width - 1) then sum - (1 lsl width) else sum
+
+let to_string = function
+  | Wide -> "wide"
+  | Saturating w -> Printf.sprintf "sat%d" w
+  | Wrapping w -> Printf.sprintf "wrap%d" w
+  | Lower_or { width; approx_low } -> Printf.sprintf "loa%d.%d" width approx_low
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

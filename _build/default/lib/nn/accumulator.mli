@@ -1,0 +1,30 @@
+(** Accumulator models for the emulated MAC unit.
+
+    The paper's accelerator uses "an 8-bit multiplier and 32-bit
+    accumulator" (Sec. II); 32 bits never overflow for realistic layer
+    sizes, so the default {!Wide} model (native ints) is faithful.
+    Narrower accumulators are a studied approximate-computing knob of
+    their own, so the emulator exposes them: every accumulation step
+    saturates or wraps to the configured two's-complement width, exactly
+    as the hardware adder would. *)
+
+type t =
+  | Wide               (** unbounded (the paper's 32-bit unit, in effect) *)
+  | Saturating of int  (** clamp each step to [-2^(w-1), 2^(w-1)-1] *)
+  | Wrapping of int    (** keep the low [w] bits, two's complement *)
+  | Lower_or of { width : int; approx_low : int }
+      (** the LOA approximate adder at width [width]: the low
+          [approx_low] sum bits are ORs of the operand bits (no carry
+          propagation out of them), the rest adds exactly and wraps —
+          the gate-level {!Ax_netlist.Adders.lower_or} as an
+          accumulator. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] for widths outside 2..62 or
+    [approx_low] outside the width. *)
+
+val add : t -> int -> int -> int
+(** [add t acc product] — one MAC accumulation step under the model. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

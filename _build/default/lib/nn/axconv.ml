@@ -1,0 +1,195 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Q = Ax_quant.Quantization
+module Round = Ax_quant.Round
+module Range = Ax_quant.Range
+module Lut = Ax_arith.Lut
+module S = Ax_arith.Signedness
+
+type granularity = Per_tensor | Per_channel
+
+type config = {
+  lut : Lut.t;
+  round_mode : Round.t;
+  chunk_size : int;
+  granularity : granularity;
+  accumulator : Accumulator.t;
+  domains : int;
+}
+
+let default_chunk_size = 250
+
+let make_config ?(round_mode = Round.Nearest_even)
+    ?(chunk_size = default_chunk_size) ?(granularity = Per_tensor)
+    ?(accumulator = Accumulator.Wide) ?(domains = 1) lut =
+  if chunk_size <= 0 then invalid_arg "Axconv.make_config: chunk_size";
+  if domains <= 0 || domains > 64 then
+    invalid_arg "Axconv.make_config: domains must be in 1..64";
+  Accumulator.validate accumulator;
+  { lut; round_mode; chunk_size; granularity; accumulator; domains }
+
+let filter_coeffs granularity signedness filter filter_range =
+  let out_c = Filter.out_c filter in
+  match granularity with
+  | Per_tensor ->
+    let c =
+      Q.compute_coeffs signedness ~rmin:filter_range.Range.min
+        ~rmax:filter_range.Range.max
+    in
+    Array.make out_c c
+  | Per_channel ->
+    let mins = Array.make out_c infinity in
+    let maxs = Array.make out_c neg_infinity in
+    Filter.iter filter (fun ~h:_ ~w:_ ~c:_ ~k v ->
+        if v < mins.(k) then mins.(k) <- v;
+        if v > maxs.(k) then maxs.(k) <- v);
+    Array.init out_c (fun k ->
+        Q.compute_coeffs signedness ~rmin:mins.(k) ~rmax:maxs.(k))
+
+let quantize_filters_per_channel signedness coeffs round_mode filter =
+  let taps = Filter.taps filter and out_c = Filter.out_c filter in
+  if Array.length coeffs <> out_c then
+    invalid_arg "Axconv.quantize_filters_per_channel: coeffs length";
+  let mf_t = Bytes.create (out_c * taps) in
+  let sf = Array.make out_c 0 in
+  Filter.iter filter (fun ~h ~w ~c ~k v ->
+      let ck = coeffs.(k) in
+      let q =
+        S.clamp signedness
+          (Round.apply round_mode
+             ((v /. ck.Q.alpha) +. float_of_int ck.Q.beta))
+      in
+      sf.(k) <- sf.(k) + q;
+      let tap = ((h * Filter.kw filter) + w) * Filter.in_c filter + c in
+      Bytes.unsafe_set mf_t ((k * taps) + tap) (Char.unsafe_chr (q land 0xff)));
+  (mf_t, sf)
+
+let quantize_filters signedness coeffs round_mode filter =
+  quantize_filters_per_channel signedness
+    (Array.make (Filter.out_c filter) coeffs)
+    round_mode filter
+
+let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
+    ~spec () =
+  (match bias with
+  | Some b when Array.length b <> Filter.out_c filter ->
+    invalid_arg "Axconv.conv: bias length differs from filter count"
+  | Some _ | None -> ());
+  let charge phase f =
+    match profile with Some p -> Profile.time p phase f | None -> f ()
+  in
+  let lut = config.lut in
+  let signedness = Lut.signedness lut in
+  let out_shape = Conv_spec.output_shape spec (Tensor.shape input) filter in
+  let out = charge Profile.Init (fun () -> Tensor.create out_shape) in
+  (* ComputeCoeffs for both operands, then quantize the filter bank once
+     for the whole batch. *)
+  let coeffs1, coeffs2, mf_t, sf =
+    charge Profile.Quantization (fun () ->
+        let coeffs1 =
+          Q.compute_coeffs signedness ~rmin:input_range.Range.min
+            ~rmax:input_range.Range.max
+        in
+        let coeffs2 =
+          filter_coeffs config.granularity signedness filter filter_range
+        in
+        let mf_t, sf =
+          quantize_filters_per_channel signedness coeffs2 config.round_mode
+            filter
+        in
+        (coeffs1, coeffs2, mf_t, sf))
+  in
+  let taps = Filter.taps filter and out_c = Filter.out_c filter in
+  let beta1 = coeffs1.Q.beta in
+  (* Per-channel dequantization constants (all equal when per-tensor). *)
+  let alpha12 = Array.map (fun c -> coeffs1.Q.alpha *. c.Q.alpha) coeffs2 in
+  let beta2 = Array.map (fun c -> c.Q.beta) coeffs2 in
+  let n_beta12 = Array.map (fun b2 -> taps * beta1 * b2) beta2 in
+  let in_shape = Tensor.shape input in
+  let images = Shape.(in_shape.n) in
+  let out_buf = Tensor.buffer out in
+  let out_cursor = ref 0 in
+  let start = ref 0 in
+  while !start < images do
+    let count = min config.chunk_size (images - !start) in
+    let chunk =
+      charge Profile.Other (fun () ->
+          Tensor.slice_batch input ~start:!start ~count)
+    in
+    let plan =
+      Im2col.make (Tensor.shape chunk) ~kh:(Filter.kh filter)
+        ~kw:(Filter.kw filter) ~spec
+    in
+    let mp, sp =
+      charge Profile.Quantization (fun () ->
+          Im2col.to_codes plan chunk ~coeffs:coeffs1
+            ~round_mode:config.round_mode ~signedness)
+    in
+    (* ApproxGEMM: every inner product resolved through the LUT. *)
+    let rows = plan.Im2col.rows in
+    let accumulator = config.accumulator in
+    (* One output row is produced entirely by one worker, so splitting
+       the row range across domains cannot change any result bit. *)
+    let gemm_rows lo hi =
+      let acc_row = Array.make out_c 0 in
+      for row = lo to hi - 1 do
+        let mp_base = row * taps in
+        for k = 0 to out_c - 1 do
+          let mf_base = k * taps in
+          let acc = ref 0 in
+          (match accumulator with
+          | Accumulator.Wide ->
+            (* Fast path: no per-step clamping. *)
+            for p = 0 to taps - 1 do
+              let ca = Char.code (Bytes.unsafe_get mp (mp_base + p)) in
+              let cb = Char.code (Bytes.unsafe_get mf_t (mf_base + p)) in
+              acc := !acc + Lut.lookup_code lut ca cb
+            done
+          | Accumulator.Saturating _ | Accumulator.Wrapping _
+          | Accumulator.Lower_or _ ->
+            for p = 0 to taps - 1 do
+              let ca = Char.code (Bytes.unsafe_get mp (mp_base + p)) in
+              let cb = Char.code (Bytes.unsafe_get mf_t (mf_base + p)) in
+              acc :=
+                Accumulator.add accumulator !acc
+                  (Lut.lookup_code lut ca cb)
+            done);
+          acc_row.(k) <- !acc
+        done;
+        (* Dequantize with the Eq. 4 corrections. *)
+        let sp_row = sp.(row) in
+        let out_base = !out_cursor + (row * out_c) in
+        for k = 0 to out_c - 1 do
+          let corrected =
+            acc_row.(k) - (beta2.(k) * sp_row) - (beta1 * sf.(k))
+            + n_beta12.(k)
+          in
+          let v = alpha12.(k) *. float_of_int corrected in
+          let v = match bias with Some b -> v +. b.(k) | None -> v in
+          out_buf.{out_base + k} <- v
+        done
+      done
+    in
+    charge Profile.Lut (fun () ->
+        let workers = min config.domains rows in
+        if workers <= 1 then gemm_rows 0 rows
+        else begin
+          let per = (rows + workers - 1) / workers in
+          let handles =
+            List.init (workers - 1) (fun w ->
+                let lo = (w + 1) * per in
+                let hi = min rows ((w + 2) * per) in
+                Domain.spawn (fun () -> if lo < hi then gemm_rows lo hi))
+          in
+          gemm_rows 0 (min rows per);
+          List.iter Domain.join handles
+        end);
+    (match profile with
+    | Some p ->
+      Profile.count_lut_lookups p (rows * out_c * taps);
+      Profile.count_macs p (rows * out_c * taps)
+    | None -> ());
+    out_cursor := !out_cursor + (rows * out_c);
+    start := !start + count
+  done;
+  out

@@ -1,0 +1,99 @@
+(** AxConv2D — the approximate 2D convolution of Algorithm 1.
+
+    Functionally: both inputs are quantized with independent affine
+    coefficients derived from the supplied ranges (the four extra scalar
+    inputs of the paper's layer), every 8-bit product is resolved
+    through the multiplier LUT, products accumulate into a wide
+    accumulator, and the result is dequantized with the Eq. 4 correction
+    terms — so the output is a float tensor with the same range
+    semantics as the accurate layer.
+
+    Structurally: the batch is split into fixed-size chunks (decoupling
+    memory use from batch size), each chunk is lowered to a quantized
+    patch matrix [Mp] with per-patch sums [Sp], and multiplied against
+    the quantized filter matrix with per-filter sums [Sf] — the exact
+    CPU-side mirror of the CUDA kernels. *)
+
+type granularity =
+  | Per_tensor
+      (** one (alpha2, beta2) pair for the whole filter bank, derived
+          from the supplied filter range — the paper's formulation *)
+  | Per_channel
+      (** one pair per output channel, derived from each filter's own
+          weight range (TF-style per-channel weight quantization); the
+          supplied filter range is ignored.  Eq. 4 factors out per
+          channel, so the correction algebra is unchanged. *)
+
+type config = {
+  lut : Ax_arith.Lut.t;
+  round_mode : Ax_quant.Round.t;
+  chunk_size : int;  (** images per chunk; Algorithm 1's chunking knob *)
+  granularity : granularity;
+  accumulator : Accumulator.t;
+  domains : int;
+      (** CPU parallelism for the ApproxGEMM loop (the paper's CPU
+          baselines ran on a multicore Xeon).  Each output row is
+          computed entirely by one domain, so results are bit-identical
+          for any value. *)
+}
+
+val default_chunk_size : int
+(** 250 images, the memory/parallelism compromise used as default. *)
+
+val make_config :
+  ?round_mode:Ax_quant.Round.t ->
+  ?chunk_size:int ->
+  ?granularity:granularity ->
+  ?accumulator:Accumulator.t ->
+  ?domains:int ->
+  Ax_arith.Lut.t ->
+  config
+(** Defaults: nearest-even rounding, chunk 250, per-tensor, wide
+    accumulator, single domain. *)
+
+val conv :
+  ?profile:Profile.t ->
+  config:config ->
+  input:Ax_tensor.Tensor.t ->
+  input_range:Ax_quant.Range.t ->
+  filter:Filter.t ->
+  filter_range:Ax_quant.Range.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t
+(** Raises [Invalid_argument] on shape/bias mismatches.  When [profile]
+    is given, wall-clock time is attributed to Fig. 2 phases
+    (coefficient computation and quantization passes to [Quantization],
+    the LUT-accumulate inner loop to [Lut], output assembly to [Other])
+    and LUT lookups / MACs are counted. *)
+
+val filter_coeffs :
+  granularity ->
+  Ax_arith.Signedness.t ->
+  Filter.t ->
+  Ax_quant.Range.t ->
+  Ax_quant.Quantization.coeffs array
+(** The per-output-channel quantization coefficients the convolution
+    uses ([out_c] entries; all equal under [Per_tensor]). *)
+
+val quantize_filters :
+  Ax_arith.Signedness.t ->
+  Ax_quant.Quantization.coeffs ->
+  Ax_quant.Round.t ->
+  Filter.t ->
+  Bytes.t * int array
+(** [(mf_t, sf)]: filter codes transposed to filter-major layout
+    ([out_c] rows of [taps] codes, so the GEMM inner loop streams
+    contiguously) and the per-filter sums of quantized values ([Sf] of
+    Algorithm 1, Eq. 4's third sum) — per-tensor coefficients.  Exposed
+    for the GPU cost model and for tests. *)
+
+val quantize_filters_per_channel :
+  Ax_arith.Signedness.t ->
+  Ax_quant.Quantization.coeffs array ->
+  Ax_quant.Round.t ->
+  Filter.t ->
+  Bytes.t * int array
+(** Generalisation of {!quantize_filters} with one coefficient pair per
+    output channel ([out_c] entries). *)

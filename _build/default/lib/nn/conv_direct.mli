@@ -1,0 +1,23 @@
+(** The direct (nested-loop) approximate convolution — the CPU baseline
+    of ref. [12] (ALWANN) that the paper compares against in Table I's
+    "Approximate AxConv2D / CPU" column.
+
+    Functionally identical to {!Axconv.conv} (same quantization, same
+    LUT, same Eq. 4 corrections — asserted by tests); structurally the
+    naive loop nest over batch, output pixels and output channels, which
+    re-quantizes the input window for every output channel it visits.
+    Each input element is therefore quantized [kh*kw*out_c] times
+    instead of once, which is exactly why the paper's Fig. 2 shows
+    quantization dominating (~64%) the CPU implementation's runtime. *)
+
+val conv :
+  ?profile:Profile.t ->
+  config:Axconv.config ->
+  input:Ax_tensor.Tensor.t ->
+  input_range:Ax_quant.Range.t ->
+  filter:Filter.t ->
+  filter_range:Ax_quant.Range.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t

@@ -1,0 +1,26 @@
+(** Accurate (float) 2D convolution — the "accurate Conv2D" column of
+    Table I.  Two interchangeable implementations:
+
+    - {!direct}: the textbook nested-loop form, used as an independent
+      reference in tests;
+    - {!gemm}: im2col followed by a blocked float GEMM, the optimised
+      layout production frameworks use and the one the benchmarks time.
+
+    Both accumulate in 64-bit floats and write float32 results. *)
+
+val direct :
+  input:Ax_tensor.Tensor.t ->
+  filter:Filter.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t
+
+val gemm :
+  ?profile:Profile.t ->
+  input:Ax_tensor.Tensor.t ->
+  filter:Filter.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t

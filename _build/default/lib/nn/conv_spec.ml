@@ -1,0 +1,29 @@
+module Shape = Ax_tensor.Shape
+
+type padding = Same | Valid
+type t = { stride : int; dilation : int; padding : padding }
+
+let default = { stride = 1; dilation = 1; padding = Same }
+
+let make ?(stride = 1) ?(dilation = 1) ?(padding = Same) () =
+  if stride <= 0 then invalid_arg "Conv_spec.make: stride";
+  if dilation <= 0 then invalid_arg "Conv_spec.make: dilation";
+  { stride; dilation; padding }
+
+let padding_to_poly = function Same -> `Same | Valid -> `Valid
+
+let output_shape t input filter =
+  if Shape.(input.c) <> Filter.in_c filter then
+    invalid_arg
+      (Printf.sprintf "Conv_spec.output_shape: input has %d channels, filter wants %d"
+         Shape.(input.c) (Filter.in_c filter));
+  let out_h, out_w, _, _ =
+    Shape.conv_output_dims input ~kh:(Filter.kh filter) ~kw:(Filter.kw filter)
+      ~stride:t.stride ~dilation:t.dilation
+      ~padding:(padding_to_poly t.padding)
+  in
+  Shape.make ~n:Shape.(input.n) ~h:out_h ~w:out_w ~c:(Filter.out_c filter)
+
+let macs t input filter =
+  let out = output_shape t input filter in
+  Shape.(out.n) * Shape.(out.h) * Shape.(out.w) * Filter.macs_per_position filter

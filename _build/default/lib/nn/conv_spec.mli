@@ -1,0 +1,24 @@
+(** Static description of one 2D convolution: geometry shared by the
+    float reference, the CPU-direct baseline, the GEMM emulator and the
+    GPU cost model. *)
+
+type padding = Same | Valid
+
+type t = { stride : int; dilation : int; padding : padding }
+
+val default : t
+(** stride 1, dilation 1, [Same] padding. *)
+
+val make : ?stride:int -> ?dilation:int -> ?padding:padding -> unit -> t
+
+val output_shape :
+  t -> Ax_tensor.Shape.t -> Filter.t -> Ax_tensor.Shape.t
+(** Shape of the convolution result for a given input and filter bank.
+    Raises [Invalid_argument] when the input channel count does not
+    match the filter. *)
+
+val padding_to_poly : padding -> [ `Same | `Valid ]
+
+val macs : t -> Ax_tensor.Shape.t -> Filter.t -> int
+(** Total 8-bit multiplications for the whole batch (the paper's
+    "# MACs" axis of Table I counts per-image MACs; divide by N). *)

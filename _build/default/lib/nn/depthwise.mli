@@ -1,0 +1,43 @@
+(** Depthwise 2D convolution, accurate and approximate.
+
+    The paper (Sec. II) introduces "an alternative approximate 2D
+    convolutional layer to each type of the 2D convolution" available in
+    TensorFlow; depthwise convolution (the backbone of the MobileNet
+    family) is the second such type.  Each input channel [c] is
+    convolved with its own [kh x kw x multiplier] filter slice,
+    producing output channels [c*multiplier .. c*multiplier+multiplier-1].
+
+    The filter bank reuses {!Filter.t} with [in_c] = input channels and
+    [out_c] = channel multiplier; the reduction length of Eq. 4 is
+    [N = kh*kw] (one channel deep), and the [Sp]/[Sf] corrections are
+    kept per input channel accordingly. *)
+
+val output_shape :
+  spec:Conv_spec.t -> Ax_tensor.Shape.t -> Filter.t -> Ax_tensor.Shape.t
+(** Output is [n x out_h x out_w x (in_c * multiplier)].  Raises
+    [Invalid_argument] when input channels do not match the filter. *)
+
+val macs : spec:Conv_spec.t -> Ax_tensor.Shape.t -> Filter.t -> int
+
+val float_conv :
+  input:Ax_tensor.Tensor.t ->
+  filter:Filter.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t
+(** Accurate float reference.  [bias] has [in_c * multiplier] entries. *)
+
+val approx_conv :
+  ?profile:Profile.t ->
+  config:Axconv.config ->
+  input:Ax_tensor.Tensor.t ->
+  input_range:Ax_quant.Range.t ->
+  filter:Filter.t ->
+  filter_range:Ax_quant.Range.t ->
+  ?bias:float array ->
+  spec:Conv_spec.t ->
+  unit ->
+  Ax_tensor.Tensor.t
+(** LUT-emulated depthwise convolution with Eq. 4 corrections — the
+    AxDepthwiseConv2D layer. *)

@@ -1,0 +1,118 @@
+module Tensor = Ax_tensor.Tensor
+module Range = Ax_quant.Range
+
+type value = Tensor of Tensor.t | Scalar of float
+type strategy = Cpu_gemm | Cpu_direct
+
+let tensor_of = function
+  | Tensor t -> t
+  | Scalar _ -> invalid_arg "Exec: expected a tensor value"
+
+let scalar_of = function
+  | Scalar s -> s
+  | Tensor _ -> invalid_arg "Exec: expected a scalar value"
+
+let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
+  let values : value option array = Array.make (Graph.size g) None in
+  let value_of id =
+    match values.(id) with
+    | Some v -> v
+    | None -> invalid_arg "Exec: node evaluated before its input"
+  in
+  let charge phase f =
+    match profile with Some p -> Profile.time p phase f | None -> f ()
+  in
+  Array.iter
+    (fun n ->
+      let inputs = List.map value_of n.Graph.inputs in
+      let result =
+        match (n.Graph.op, inputs) with
+        | Graph.Input, [] -> Tensor input
+        | Graph.Const_scalar v, [] -> Scalar v
+        | Graph.Min_reduce, [ v ] ->
+          charge Profile.Quantization (fun () ->
+              Scalar (fst (Tensor.min_max (tensor_of v))))
+        | Graph.Max_reduce, [ v ] ->
+          charge Profile.Quantization (fun () ->
+              Scalar (snd (Tensor.min_max (tensor_of v))))
+        | Graph.Conv2d { filter; bias; spec }, [ v ] ->
+          Tensor
+            (Conv_float.gemm ?profile ~input:(tensor_of v) ~filter ?bias
+               ~spec ())
+        | Graph.Ax_conv2d { filter; bias; spec; config },
+          [ data; in_min; in_max; f_min; f_max ] ->
+          let input_range =
+            Range.make ~min:(scalar_of in_min) ~max:(scalar_of in_max)
+          in
+          let filter_range =
+            Range.make ~min:(scalar_of f_min) ~max:(scalar_of f_max)
+          in
+          let conv =
+            match strategy with
+            | Cpu_gemm -> Axconv.conv
+            | Cpu_direct -> Conv_direct.conv
+          in
+          Tensor
+            (conv ?profile ~config ~input:(tensor_of data) ~input_range
+               ~filter ~filter_range ?bias ~spec ())
+        | Graph.Depthwise_conv2d { filter; bias; spec }, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor
+                (Depthwise.float_conv ~input:(tensor_of v) ~filter ?bias
+                   ~spec ()))
+        | Graph.Ax_depthwise_conv2d { filter; bias; spec; config },
+          [ data; in_min; in_max; f_min; f_max ] ->
+          let input_range =
+            Range.make ~min:(scalar_of in_min) ~max:(scalar_of in_max)
+          in
+          let filter_range =
+            Range.make ~min:(scalar_of f_min) ~max:(scalar_of f_max)
+          in
+          Tensor
+            (Depthwise.approx_conv ?profile ~config ~input:(tensor_of data)
+               ~input_range ~filter ~filter_range ?bias ~spec ())
+        | Graph.Relu, [ v ] ->
+          charge Profile.Other (fun () -> Tensor (Layers.relu (tensor_of v)))
+        | Graph.Max_pool { size; stride }, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Layers.max_pool ~size ~stride (tensor_of v)))
+        | Graph.Global_avg_pool, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Layers.global_avg_pool (tensor_of v)))
+        | Graph.Dense { weights; bias }, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Layers.dense ~weights ~bias (tensor_of v)))
+        | Graph.Batch_norm { scale; shift }, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Layers.batch_norm ~scale ~shift (tensor_of v)))
+        | Graph.Add, [ a; b ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Tensor.add (tensor_of a) (tensor_of b)))
+        | Graph.Softmax, [ v ] ->
+          charge Profile.Other (fun () -> Tensor (Layers.softmax (tensor_of v)))
+        | Graph.Shortcut_pad { stride; out_c }, [ v ] ->
+          charge Profile.Other (fun () ->
+              Tensor (Layers.shortcut_pad ~stride ~out_c (tensor_of v)))
+        | ( ( Graph.Input | Graph.Const_scalar _ | Graph.Min_reduce
+            | Graph.Max_reduce | Graph.Conv2d _ | Graph.Ax_conv2d _
+            | Graph.Depthwise_conv2d _ | Graph.Ax_depthwise_conv2d _
+            | Graph.Relu | Graph.Max_pool _ | Graph.Global_avg_pool
+            | Graph.Dense _ | Graph.Batch_norm _ | Graph.Add | Graph.Softmax
+            | Graph.Shortcut_pad _ ),
+            _ ) ->
+          invalid_arg
+            (Printf.sprintf "Exec: arity mismatch at node %s" n.Graph.name)
+      in
+      values.(n.Graph.id) <- Some result)
+    (Graph.nodes g);
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Exec.run_all: unevaluated node")
+    values
+
+let run_value ?profile ?strategy g ~input =
+  (run_all ?profile ?strategy g ~input).(Graph.output g)
+
+let run ?profile ?strategy g ~input =
+  tensor_of (run_value ?profile ?strategy g ~input)

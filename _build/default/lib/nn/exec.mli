@@ -1,0 +1,41 @@
+(** Graph executor.
+
+    Values flow through nodes in topological order; tensor- and
+    scalar-valued results share the {!value} type.  The executor is the
+    CPU backend of the emulator: [Conv2d] runs the float GEMM path,
+    [Ax_conv2d] runs {!Axconv.conv} (or {!Conv_direct.conv} when the
+    [`Cpu_direct] strategy is selected, reproducing the baseline of
+    ref. [12]). *)
+
+type value = Tensor of Ax_tensor.Tensor.t | Scalar of float
+
+type strategy =
+  | Cpu_gemm    (** im2col + LUT GEMM (Algorithm 1 on the CPU) *)
+  | Cpu_direct  (** nested-loop baseline *)
+
+val run :
+  ?profile:Profile.t ->
+  ?strategy:strategy ->
+  Graph.t ->
+  input:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+(** Evaluate the graph on one input batch and return the output node's
+    tensor.  Raises [Invalid_argument] when the output is scalar-valued
+    or an op receives a value of the wrong kind. *)
+
+val run_value :
+  ?profile:Profile.t ->
+  ?strategy:strategy ->
+  Graph.t ->
+  input:Ax_tensor.Tensor.t ->
+  value
+
+val run_all :
+  ?profile:Profile.t ->
+  ?strategy:strategy ->
+  Graph.t ->
+  input:Ax_tensor.Tensor.t ->
+  value array
+(** Evaluate the whole graph and return every node's value, indexed by
+    node id — the hook calibration and debugging tools use to observe
+    intermediate activations. *)

@@ -1,0 +1,47 @@
+(** Convolution filter banks in HWCK layout (Height x Width x Channels x
+    Count), the second-input format of the paper's Conv2D (Sec. III). *)
+
+type t
+
+val create : kh:int -> kw:int -> in_c:int -> out_c:int -> t
+(** Zero-filled bank of [out_c] filters of size [kh*kw*in_c]. *)
+
+val kh : t -> int
+val kw : t -> int
+val in_c : t -> int
+val out_c : t -> int
+
+val taps : t -> int
+(** Weights per filter: [kh * kw * in_c] — the reduction length [N] of
+    Eq. 2/4. *)
+
+val num_weights : t -> int
+
+val get : t -> h:int -> w:int -> c:int -> k:int -> float
+val set : t -> h:int -> w:int -> c:int -> k:int -> float -> unit
+
+val of_array : kh:int -> kw:int -> in_c:int -> out_c:int -> float array -> t
+(** Flat HWCK data (K fastest-varying); length-checked. *)
+
+val to_array : t -> float array
+
+val min_max : t -> float * float
+(** Weight range used to derive the filter quantization coefficients. *)
+
+val fill_he_normal : Ax_tensor.Rng.t -> t -> unit
+(** He-style initialisation: N(0, sqrt(2 / fan_in)). *)
+
+val macs_per_position : t -> int
+(** Multiplications per output position: [taps * out_c]. *)
+
+val iter : t -> (h:int -> w:int -> c:int -> k:int -> float -> unit) -> unit
+
+val raw_data : t -> float array
+(** The live underlying HWCK buffer (K fastest-varying) — exposed so the
+    training optimizer can update weights in place; mutating it is
+    visible to every graph node sharing this filter, mirroring how
+    TensorFlow variables behave across the Fig. 1 transform. *)
+
+val tap_index : t -> h:int -> w:int -> c:int -> int
+(** Row index of a tap in the flattened HWC ordering used by the GEMM
+    paths: [((h*kw + w)*in_c + c)]. *)

@@ -1,0 +1,232 @@
+module Shape = Ax_tensor.Shape
+
+type node_id = int
+
+type op =
+  | Input
+  | Conv2d of {
+      filter : Filter.t;
+      bias : float array option;
+      spec : Conv_spec.t;
+    }
+  | Ax_conv2d of {
+      filter : Filter.t;
+      bias : float array option;
+      spec : Conv_spec.t;
+      config : Axconv.config;
+    }
+  | Depthwise_conv2d of {
+      filter : Filter.t;
+      bias : float array option;
+      spec : Conv_spec.t;
+    }
+  | Ax_depthwise_conv2d of {
+      filter : Filter.t;
+      bias : float array option;
+      spec : Conv_spec.t;
+      config : Axconv.config;
+    }
+  | Min_reduce
+  | Max_reduce
+  | Const_scalar of float
+  | Relu
+  | Max_pool of { size : int; stride : int }
+  | Global_avg_pool
+  | Dense of { weights : Ax_tensor.Matrix.t; bias : float array }
+  | Batch_norm of { scale : float array; shift : float array }
+  | Add
+  | Softmax
+  | Shortcut_pad of { stride : int; out_c : int }
+
+type node = { id : node_id; name : string; op : op; inputs : node_id list }
+
+type t = { all : node array; output_id : node_id }
+
+let arity = function
+  | Input | Const_scalar _ -> 0
+  | Conv2d _ | Depthwise_conv2d _ | Min_reduce | Max_reduce | Relu
+  | Max_pool _ | Global_avg_pool | Dense _ | Batch_norm _ | Softmax
+  | Shortcut_pad _ ->
+    1
+  | Add -> 2
+  | Ax_conv2d _ | Ax_depthwise_conv2d _ -> 5
+
+let op_name = function
+  | Input -> "Input"
+  | Conv2d _ -> "Conv2D"
+  | Ax_conv2d _ -> "AxConv2D"
+  | Depthwise_conv2d _ -> "DepthwiseConv2D"
+  | Ax_depthwise_conv2d _ -> "AxDepthwiseConv2D"
+  | Min_reduce -> "Min"
+  | Max_reduce -> "Max"
+  | Const_scalar _ -> "Const"
+  | Relu -> "Relu"
+  | Max_pool _ -> "MaxPool"
+  | Global_avg_pool -> "GlobalAvgPool"
+  | Dense _ -> "Dense"
+  | Batch_norm _ -> "BatchNorm"
+  | Add -> "Add"
+  | Softmax -> "Softmax"
+  | Shortcut_pad _ -> "ShortcutPad"
+
+type builder = { mutable rev_nodes : node list; mutable count : int }
+
+let builder () = { rev_nodes = []; count = 0 }
+
+let add b ~name op inputs =
+  if List.length inputs <> arity op then
+    invalid_arg
+      (Printf.sprintf "Graph.add: %s takes %d inputs, %d given" (op_name op)
+         (arity op) (List.length inputs));
+  List.iter
+    (fun i ->
+      if i < 0 || i >= b.count then
+        invalid_arg (Printf.sprintf "Graph.add: unknown input node %d" i))
+    inputs;
+  let id = b.count in
+  b.rev_nodes <- { id; name; op; inputs } :: b.rev_nodes;
+  b.count <- b.count + 1;
+  id
+
+let finalize b ~output =
+  if output < 0 || output >= b.count then
+    invalid_arg "Graph.finalize: unknown output node";
+  { all = Array.of_list (List.rev b.rev_nodes); output_id = output }
+
+let nodes t = t.all
+let output t = t.output_id
+
+let node t id =
+  if id < 0 || id >= Array.length t.all then
+    invalid_arg "Graph.node: unknown id";
+  t.all.(id)
+
+let size t = Array.length t.all
+
+let find_by_name t name =
+  Array.find_opt (fun n -> n.name = name) t.all
+
+let conv_layers t =
+  Array.to_list t.all
+  |> List.filter (fun n ->
+         match n.op with
+         | Conv2d _ | Ax_conv2d _ | Depthwise_conv2d _
+         | Ax_depthwise_conv2d _ ->
+           true
+         | Input | Min_reduce | Max_reduce | Const_scalar _ | Relu
+         | Max_pool _ | Global_avg_pool | Dense _ | Batch_norm _ | Add
+         | Softmax | Shortcut_pad _ ->
+           false)
+
+let infer_shapes t ~input =
+  let shapes : Shape.t option array = Array.make (size t) None in
+  let shape_of id =
+    match shapes.(id) with
+    | Some s -> s
+    | None -> invalid_arg "Graph.infer_shapes: scalar used as tensor"
+  in
+  Array.iter
+    (fun n ->
+      let s =
+        match n.op with
+        | Input -> Some input
+        | Const_scalar _ | Min_reduce | Max_reduce -> None
+        | Conv2d { filter; spec; _ } ->
+          Some (Conv_spec.output_shape spec (shape_of (List.nth n.inputs 0)) filter)
+        | Ax_conv2d { filter; spec; _ } ->
+          Some (Conv_spec.output_shape spec (shape_of (List.nth n.inputs 0)) filter)
+        | Depthwise_conv2d { filter; spec; _ }
+        | Ax_depthwise_conv2d { filter; spec; _ } ->
+          Some
+            (Depthwise.output_shape ~spec (shape_of (List.nth n.inputs 0))
+               filter)
+        | Relu | Batch_norm _ | Softmax ->
+          Some (shape_of (List.nth n.inputs 0))
+        | Max_pool { size; stride } ->
+          let s = shape_of (List.nth n.inputs 0) in
+          Some
+            (Shape.make ~n:Shape.(s.n)
+               ~h:(((Shape.(s.h) - size) / stride) + 1)
+               ~w:(((Shape.(s.w) - size) / stride) + 1)
+               ~c:Shape.(s.c))
+        | Global_avg_pool ->
+          let s = shape_of (List.nth n.inputs 0) in
+          Some (Shape.make ~n:Shape.(s.n) ~h:1 ~w:1 ~c:Shape.(s.c))
+        | Dense { weights; _ } ->
+          let s = shape_of (List.nth n.inputs 0) in
+          Some
+            (Shape.make ~n:Shape.(s.n) ~h:1 ~w:1
+               ~c:weights.Ax_tensor.Matrix.cols)
+        | Add -> Some (shape_of (List.nth n.inputs 0))
+        | Shortcut_pad { stride; out_c } ->
+          let s = shape_of (List.nth n.inputs 0) in
+          Some
+            (Shape.make ~n:Shape.(s.n)
+               ~h:((Shape.(s.h) + stride - 1) / stride)
+               ~w:((Shape.(s.w) + stride - 1) / stride)
+               ~c:out_c)
+      in
+      shapes.(n.id) <- s)
+    t.all;
+  Array.to_list (Array.mapi (fun id s -> (id, s)) shapes)
+
+let total_macs t ~input =
+  let shapes = Array.of_list (List.map snd (infer_shapes t ~input)) in
+  Array.fold_left
+    (fun acc n ->
+      match n.op with
+      | Conv2d { filter; spec; _ } | Ax_conv2d { filter; spec; _ } ->
+        let in_shape =
+          match shapes.(List.nth n.inputs 0) with
+          | Some s -> s
+          | None -> invalid_arg "Graph.total_macs: conv over scalar"
+        in
+        acc + Conv_spec.macs spec in_shape filter
+      | Depthwise_conv2d { filter; spec; _ }
+      | Ax_depthwise_conv2d { filter; spec; _ } ->
+        let in_shape =
+          match shapes.(List.nth n.inputs 0) with
+          | Some s -> s
+          | None -> invalid_arg "Graph.total_macs: conv over scalar"
+        in
+        acc + Depthwise.macs ~spec in_shape filter
+      | Input | Min_reduce | Max_reduce | Const_scalar _ | Relu | Max_pool _
+      | Global_avg_pool | Dense _ | Batch_norm _ | Add | Softmax
+      | Shortcut_pad _ ->
+        acc)
+    0 t.all
+
+let to_dot t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph model {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  Array.iter
+    (fun n ->
+      let shape, fill =
+        match n.op with
+        | Ax_conv2d _ | Ax_depthwise_conv2d _ -> ("box", "#f4cccc")
+        | Conv2d _ | Depthwise_conv2d _ -> ("box", "#cfe2f3")
+        | Min_reduce | Max_reduce | Const_scalar _ -> ("ellipse", "#fff2cc")
+        | Input -> ("parallelogram", "#d9ead3")
+        | Relu | Max_pool _ | Global_avg_pool | Dense _ | Batch_norm _ | Add
+        | Softmax | Shortcut_pad _ ->
+          ("box", "#ffffff")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"%s\\n%s\", shape=%s, style=filled, fillcolor=\"%s\"%s];\n"
+           n.id n.name (op_name n.op) shape fill
+           (if n.id = t.output_id then ", penwidth=2" else ""));
+      List.iter
+        (fun src -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src n.id))
+        n.inputs)
+    t.all;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_summary ppf t =
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "%3d %-24s %-13s <- %s@."
+        n.id n.name (op_name n.op)
+        (String.concat ", " (List.map string_of_int n.inputs)))
+    t.all

@@ -1,0 +1,123 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Matrix = Ax_tensor.Matrix
+module Q = Ax_quant.Quantization
+module S = Ax_arith.Signedness
+
+type plan = {
+  input_shape : Shape.t;
+  kh : int;
+  kw : int;
+  stride : int;
+  dilation : int;
+  out_h : int;
+  out_w : int;
+  pad_top : int;
+  pad_left : int;
+  rows : int;
+  patch_len : int;
+}
+
+let make input ~kh ~kw ~spec =
+  let out_h, out_w, pad_top, pad_left =
+    Shape.conv_output_dims input ~kh ~kw ~stride:spec.Conv_spec.stride
+      ~dilation:spec.Conv_spec.dilation
+      ~padding:(Conv_spec.padding_to_poly spec.Conv_spec.padding)
+  in
+  {
+    input_shape = input;
+    kh;
+    kw;
+    stride = spec.Conv_spec.stride;
+    dilation = spec.Conv_spec.dilation;
+    out_h;
+    out_w;
+    pad_top;
+    pad_left;
+    rows = Shape.(input.n) * out_h * out_w;
+    patch_len = kh * kw * Shape.(input.c);
+  }
+
+(* Iterate the taps of one patch in HWC order, calling [inside] with the
+   flat input offset for real cells and [padded] for out-of-image cells.
+   Shared by both lowering flavours so they cannot disagree. *)
+let iter_patch plan ~n ~oh ~ow ~inside ~padded =
+  let s = plan.input_shape in
+  let in_h = Shape.(s.h) and in_w = Shape.(s.w) and in_c = Shape.(s.c) in
+  let base_h = (oh * plan.stride) - plan.pad_top in
+  let base_w = (ow * plan.stride) - plan.pad_left in
+  let col = ref 0 in
+  for dh = 0 to plan.kh - 1 do
+    let h = base_h + (dh * plan.dilation) in
+    for dw = 0 to plan.kw - 1 do
+      let w = base_w + (dw * plan.dilation) in
+      if h >= 0 && h < in_h && w >= 0 && w < in_w then begin
+        let base = Shape.unsafe_offset s ~n ~h ~w ~c:0 in
+        for c = 0 to in_c - 1 do
+          inside !col (base + c);
+          incr col
+        done
+      end
+      else
+        for _ = 0 to in_c - 1 do
+          padded !col;
+          incr col
+        done
+    done
+  done
+
+let to_matrix plan input =
+  if not (Shape.equal (Tensor.shape input) plan.input_shape) then
+    invalid_arg "Im2col.to_matrix: input shape differs from plan";
+  let m = Matrix.create ~rows:plan.rows ~cols:plan.patch_len in
+  let buf = Tensor.buffer input in
+  let row = ref 0 in
+  let s = plan.input_shape in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to plan.out_h - 1 do
+      for ow = 0 to plan.out_w - 1 do
+        let row_base = !row * plan.patch_len in
+        iter_patch plan ~n ~oh ~ow
+          ~inside:(fun col off -> m.Matrix.data.(row_base + col) <- buf.{off})
+          ~padded:(fun _ -> ());
+        incr row
+      done
+    done
+  done;
+  m
+
+let to_codes plan input ~coeffs ~round_mode ~signedness =
+  if not (Shape.equal (Tensor.shape input) plan.input_shape) then
+    invalid_arg "Im2col.to_codes: input shape differs from plan";
+  let mp = Bytes.create (plan.rows * plan.patch_len) in
+  let sp = Array.make plan.rows 0 in
+  let buf = Tensor.buffer input in
+  let inv_alpha = 1. /. coeffs.Q.alpha in
+  let betaf = float_of_int coeffs.Q.beta in
+  (* The zero-point code: what a zero-padding cell quantizes to. *)
+  let zero_q = coeffs.Q.beta in
+  let zero_code = zero_q land 0xff in
+  let row = ref 0 in
+  let s = plan.input_shape in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to plan.out_h - 1 do
+      for ow = 0 to plan.out_w - 1 do
+        let row_base = !row * plan.patch_len in
+        let acc = ref 0 in
+        iter_patch plan ~n ~oh ~ow
+          ~inside:(fun col off ->
+            let q =
+              Ax_quant.Round.apply round_mode ((buf.{off} *. inv_alpha) +. betaf)
+            in
+            let q = S.clamp signedness q in
+            acc := !acc + q;
+            Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr (q land 0xff)))
+          ~padded:(fun col ->
+            acc := !acc + zero_q;
+            Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr zero_code));
+        sp.(!row) <- !acc;
+        incr row
+      done
+    done
+  done;
+  (mp, sp)

@@ -1,0 +1,41 @@
+(** Image-to-columns lowering (phase (i) of Algorithm 1).
+
+    A {!plan} captures the geometry: the patch matrix has one row per
+    output position ([n * out_h * out_w] rows) and one column per filter
+    tap ([kh * kw * in_c]), so the convolution becomes a plain matrix
+    product with the HWCK filter bank.  The same plan drives the float
+    reference path and the quantized emulator path; the latter also
+    produces the per-patch dequantization sums [Sp] of Eq. 4. *)
+
+type plan = private {
+  input_shape : Ax_tensor.Shape.t;
+  kh : int;
+  kw : int;
+  stride : int;
+  dilation : int;
+  out_h : int;
+  out_w : int;
+  pad_top : int;
+  pad_left : int;
+  rows : int;       (** n * out_h * out_w *)
+  patch_len : int;  (** kh * kw * in_c *)
+}
+
+val make :
+  Ax_tensor.Shape.t -> kh:int -> kw:int -> spec:Conv_spec.t -> plan
+
+val to_matrix : plan -> Ax_tensor.Tensor.t -> Ax_tensor.Matrix.t
+(** Float patch matrix; padding cells hold 0. *)
+
+val to_codes :
+  plan ->
+  Ax_tensor.Tensor.t ->
+  coeffs:Ax_quant.Quantization.coeffs ->
+  round_mode:Ax_quant.Round.t ->
+  signedness:Ax_arith.Signedness.t ->
+  Bytes.t * int array
+(** [(mp, sp)]: the quantized patch matrix as raw LUT codes (row-major,
+    [rows * patch_len]) and the per-row sums of quantized {e values}
+    ([Sp] in Algorithm 1).  Padding cells quantize the real value 0 —
+    i.e. they hold the zero-point — so they participate in the LUT sum
+    and in [Sp] exactly as a hardware zero-padded accelerator would. *)

@@ -1,0 +1,164 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Matrix = Ax_tensor.Matrix
+
+let relu t = Tensor.map (fun v -> if v > 0. then v else 0.) t
+
+let max_pool ~size ~stride input =
+  if size <= 0 || stride <= 0 then invalid_arg "Layers.max_pool: bad params";
+  let s = Tensor.shape input in
+  if Shape.(s.h) < size || Shape.(s.w) < size then
+    invalid_arg "Layers.max_pool: window larger than input";
+  let out_h = ((Shape.(s.h) - size) / stride) + 1 in
+  let out_w = ((Shape.(s.w) - size) / stride) + 1 in
+  let out =
+    Tensor.create (Shape.make ~n:Shape.(s.n) ~h:out_h ~w:out_w ~c:Shape.(s.c))
+  in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          let best = ref neg_infinity in
+          for dh = 0 to size - 1 do
+            for dw = 0 to size - 1 do
+              let v =
+                Tensor.get input ~n ~h:((oh * stride) + dh)
+                  ~w:((ow * stride) + dw) ~c
+              in
+              if v > !best then best := v
+            done
+          done;
+          Tensor.set out ~n ~h:oh ~w:ow ~c !best
+        done
+      done
+    done
+  done;
+  out
+
+let global_avg_pool input =
+  let s = Tensor.shape input in
+  let out = Tensor.create (Shape.make ~n:Shape.(s.n) ~h:1 ~w:1 ~c:Shape.(s.c)) in
+  let cells = float_of_int (Shape.(s.h) * Shape.(s.w)) in
+  for n = 0 to Shape.(s.n) - 1 do
+    for c = 0 to Shape.(s.c) - 1 do
+      let acc = ref 0. in
+      for h = 0 to Shape.(s.h) - 1 do
+        for w = 0 to Shape.(s.w) - 1 do
+          acc := !acc +. Tensor.get input ~n ~h ~w ~c
+        done
+      done;
+      Tensor.set out ~n ~h:0 ~w:0 ~c (!acc /. cells)
+    done
+  done;
+  out
+
+let batch_norm ~scale ~shift input =
+  let s = Tensor.shape input in
+  if Array.length scale <> Shape.(s.c) || Array.length shift <> Shape.(s.c)
+  then invalid_arg "Layers.batch_norm: parameter length differs from channels";
+  let out = Tensor.copy input in
+  let buf = Tensor.buffer out in
+  let c_count = Shape.(s.c) in
+  for i = 0 to Tensor.num_elements out - 1 do
+    let c = i mod c_count in
+    buf.{i} <- (buf.{i} *. scale.(c)) +. shift.(c)
+  done;
+  out
+
+let fold_batch_norm ~gamma ~beta ~mean ~variance ~epsilon =
+  let n = Array.length gamma in
+  if
+    Array.length beta <> n || Array.length mean <> n
+    || Array.length variance <> n
+  then invalid_arg "Layers.fold_batch_norm: length mismatch";
+  let scale = Array.make n 0. and shift = Array.make n 0. in
+  for c = 0 to n - 1 do
+    let inv_std = 1. /. sqrt (variance.(c) +. epsilon) in
+    scale.(c) <- gamma.(c) *. inv_std;
+    shift.(c) <- beta.(c) -. (gamma.(c) *. mean.(c) *. inv_std)
+  done;
+  (scale, shift)
+
+let dense ~weights ~bias input =
+  let s = Tensor.shape input in
+  let features = Shape.(s.h) * Shape.(s.w) * Shape.(s.c) in
+  if weights.Matrix.rows <> features then
+    invalid_arg
+      (Printf.sprintf "Layers.dense: %d features but weights have %d rows"
+         features weights.Matrix.rows);
+  if Array.length bias <> weights.Matrix.cols then
+    invalid_arg "Layers.dense: bias length differs from output width";
+  let classes = weights.Matrix.cols in
+  let out = Tensor.create (Shape.make ~n:Shape.(s.n) ~h:1 ~w:1 ~c:classes) in
+  let in_buf = Tensor.buffer input and out_buf = Tensor.buffer out in
+  for n = 0 to Shape.(s.n) - 1 do
+    let in_base = n * features and out_base = n * classes in
+    for k = 0 to classes - 1 do
+      let acc = ref bias.(k) in
+      for f = 0 to features - 1 do
+        acc :=
+          !acc +. (in_buf.{in_base + f} *. weights.Matrix.data.((f * classes) + k))
+      done;
+      out_buf.{out_base + k} <- !acc
+    done
+  done;
+  out
+
+let softmax input =
+  let s = Tensor.shape input in
+  let out = Tensor.copy input in
+  let c_count = Shape.(s.c) in
+  let buf = Tensor.buffer out in
+  let positions = Tensor.num_elements input / c_count in
+  for p = 0 to positions - 1 do
+    let base = p * c_count in
+    let mx = ref buf.{base} in
+    for c = 1 to c_count - 1 do
+      if buf.{base + c} > !mx then mx := buf.{base + c}
+    done;
+    let sum = ref 0. in
+    for c = 0 to c_count - 1 do
+      let e = exp (buf.{base + c} -. !mx) in
+      buf.{base + c} <- e;
+      sum := !sum +. e
+    done;
+    for c = 0 to c_count - 1 do
+      buf.{base + c} <- buf.{base + c} /. !sum
+    done
+  done;
+  out
+
+let argmax_channels input =
+  let s = Tensor.shape input in
+  if Shape.(s.h) <> 1 || Shape.(s.w) <> 1 then
+    invalid_arg "Layers.argmax_channels: expected Nx1x1xC tensor";
+  Array.init Shape.(s.n) (fun n ->
+      let best = ref 0 and best_v = ref (Tensor.get input ~n ~h:0 ~w:0 ~c:0) in
+      for c = 1 to Shape.(s.c) - 1 do
+        let v = Tensor.get input ~n ~h:0 ~w:0 ~c in
+        if v > !best_v then begin
+          best_v := v;
+          best := c
+        end
+      done;
+      !best)
+
+let shortcut_pad ~stride ~out_c input =
+  if stride <= 0 then invalid_arg "Layers.shortcut_pad: stride";
+  let s = Tensor.shape input in
+  if out_c < Shape.(s.c) then
+    invalid_arg "Layers.shortcut_pad: cannot shrink channels";
+  let out_h = (Shape.(s.h) + stride - 1) / stride in
+  let out_w = (Shape.(s.w) + stride - 1) / stride in
+  let out = Tensor.create (Shape.make ~n:Shape.(s.n) ~h:out_h ~w:out_w ~c:out_c) in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          Tensor.set out ~n ~h:oh ~w:ow ~c
+            (Tensor.get input ~n ~h:(oh * stride) ~w:(ow * stride) ~c)
+        done
+      done
+    done
+  done;
+  out

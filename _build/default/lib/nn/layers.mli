@@ -1,0 +1,40 @@
+(** Non-convolutional layers of the CIFAR ResNets: activations, pooling,
+    batch norm (folded to per-channel affine), dense head, softmax, and
+    the option-A residual shortcut. *)
+
+val relu : Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+
+val max_pool :
+  size:int -> stride:int -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** Valid-padded spatial max pooling. *)
+
+val global_avg_pool : Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** NHWC -> Nx1x1xC spatial mean. *)
+
+val batch_norm :
+  scale:float array -> shift:float array -> Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+(** Per-channel [x*scale + shift] (inference-time folded form). *)
+
+val fold_batch_norm :
+  gamma:float array -> beta:float array -> mean:float array ->
+  variance:float array -> epsilon:float -> float array * float array
+(** Fold training-time statistics into the (scale, shift) pair. *)
+
+val dense :
+  weights:Ax_tensor.Matrix.t -> bias:float array -> Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+(** Flatten each image and multiply: input features must equal
+    [weights.rows]; output is Nx1x1x[weights.cols]. *)
+
+val softmax : Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** Numerically-stabilised softmax over the channel axis. *)
+
+val argmax_channels : Ax_tensor.Tensor.t -> int array
+(** Per-image arg-max over channels of an Nx1x1xC tensor (class id). *)
+
+val shortcut_pad :
+  stride:int -> out_c:int -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** ResNet option-A identity shortcut: spatial subsampling by [stride]
+    and zero-padding the channel dimension up to [out_c].  Raises
+    [Invalid_argument] if [out_c] is smaller than the input channels. *)

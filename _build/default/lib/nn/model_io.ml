@@ -1,0 +1,353 @@
+module Matrix = Ax_tensor.Matrix
+module Lut = Ax_arith.Lut
+
+let magic = "AXMDL1"
+
+(* ---- primitive writers ---- *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let w_u32 buf v =
+  if v < 0 then invalid_arg "Model_io: negative u32";
+  w_u8 buf v;
+  w_u8 buf (v lsr 8);
+  w_u8 buf (v lsr 16);
+  w_u8 buf (v lsr 24)
+
+let w_i64 buf v =
+  for byte = 0 to 7 do
+    w_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * byte)))
+  done
+
+let w_float buf v = w_i64 buf (Int64.bits_of_float v)
+
+let w_string buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_float_array buf a =
+  w_u32 buf (Array.length a);
+  Array.iter (w_float buf) a
+
+let w_float_array_opt buf = function
+  | None -> w_u8 buf 0
+  | Some a ->
+    w_u8 buf 1;
+    w_float_array buf a
+
+(* ---- primitive readers (cursor-passing) ---- *)
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let need cur n =
+  if cur.pos + n > Bytes.length cur.data then
+    failwith "Model_io: truncated input"
+
+let r_u8 cur =
+  need cur 1;
+  let v = Char.code (Bytes.get cur.data cur.pos) in
+  cur.pos <- cur.pos + 1;
+  v
+
+let r_u32 cur =
+  let a = r_u8 cur in
+  let b = r_u8 cur in
+  let c = r_u8 cur in
+  let d = r_u8 cur in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let r_i64 cur =
+  let v = ref 0L in
+  for byte = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 cur)) (8 * byte))
+  done;
+  !v
+
+let r_float cur = Int64.float_of_bits (r_i64 cur)
+
+let r_string cur =
+  let len = r_u32 cur in
+  need cur len;
+  let s = Bytes.sub_string cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let r_float_array cur = Array.init (r_u32 cur) (fun _ -> r_float cur)
+
+let r_float_array_opt cur =
+  match r_u8 cur with
+  | 0 -> None
+  | 1 -> Some (r_float_array cur)
+  | _ -> failwith "Model_io: bad option tag"
+
+(* ---- composites ---- *)
+
+let w_spec buf spec =
+  w_u8 buf spec.Conv_spec.stride;
+  w_u8 buf spec.Conv_spec.dilation;
+  w_u8 buf
+    (match spec.Conv_spec.padding with Conv_spec.Same -> 0 | Conv_spec.Valid -> 1)
+
+let r_spec cur =
+  let stride = r_u8 cur in
+  let dilation = r_u8 cur in
+  let padding =
+    match r_u8 cur with
+    | 0 -> Conv_spec.Same
+    | 1 -> Conv_spec.Valid
+    | _ -> failwith "Model_io: bad padding tag"
+  in
+  Conv_spec.make ~stride ~dilation ~padding ()
+
+let w_filter buf f =
+  w_u8 buf (Filter.kh f);
+  w_u8 buf (Filter.kw f);
+  w_u32 buf (Filter.in_c f);
+  w_u32 buf (Filter.out_c f);
+  w_float_array buf (Filter.to_array f)
+
+let r_filter cur =
+  let kh = r_u8 cur in
+  let kw = r_u8 cur in
+  let in_c = r_u32 cur in
+  let out_c = r_u32 cur in
+  let data = r_float_array cur in
+  Filter.of_array ~kh ~kw ~in_c ~out_c data
+
+let w_config buf config =
+  w_u8 buf
+    (match config.Axconv.round_mode with
+    | Ax_quant.Round.Nearest_even -> 0
+    | Ax_quant.Round.Nearest_away -> 1
+    | Ax_quant.Round.Toward_zero -> 2
+    | Ax_quant.Round.Stochastic -> 3);
+  w_u32 buf config.Axconv.chunk_size;
+  w_u8 buf
+    (match config.Axconv.granularity with
+    | Axconv.Per_tensor -> 0
+    | Axconv.Per_channel -> 1);
+  (match config.Axconv.accumulator with
+  | Accumulator.Wide ->
+    w_u8 buf 0;
+    w_u8 buf 0;
+    w_u8 buf 0
+  | Accumulator.Saturating w ->
+    w_u8 buf 1;
+    w_u8 buf w;
+    w_u8 buf 0
+  | Accumulator.Wrapping w ->
+    w_u8 buf 2;
+    w_u8 buf w;
+    w_u8 buf 0
+  | Accumulator.Lower_or { width; approx_low } ->
+    w_u8 buf 3;
+    w_u8 buf width;
+    w_u8 buf approx_low);
+  w_u8 buf config.Axconv.domains;
+  let lut_bytes = Lut.to_bytes config.Axconv.lut in
+  w_u32 buf (Bytes.length lut_bytes);
+  Buffer.add_bytes buf lut_bytes
+
+let r_config cur =
+  let round_mode =
+    match r_u8 cur with
+    | 0 -> Ax_quant.Round.Nearest_even
+    | 1 -> Ax_quant.Round.Nearest_away
+    | 2 -> Ax_quant.Round.Toward_zero
+    | 3 -> Ax_quant.Round.Stochastic
+    | _ -> failwith "Model_io: bad round mode"
+  in
+  let chunk_size = r_u32 cur in
+  let granularity =
+    match r_u8 cur with
+    | 0 -> Axconv.Per_tensor
+    | 1 -> Axconv.Per_channel
+    | _ -> failwith "Model_io: bad granularity"
+  in
+  let accumulator =
+    let tag = r_u8 cur in
+    let width = r_u8 cur in
+    let approx_low = r_u8 cur in
+    match tag with
+    | 0 -> Accumulator.Wide
+    | 1 -> Accumulator.Saturating width
+    | 2 -> Accumulator.Wrapping width
+    | 3 -> Accumulator.Lower_or { width; approx_low }
+    | _ -> failwith "Model_io: bad accumulator tag"
+  in
+  let domains = r_u8 cur in
+  let lut_len = r_u32 cur in
+  need cur lut_len;
+  let lut, consumed = Lut.of_bytes cur.data ~pos:cur.pos in
+  if consumed - cur.pos <> lut_len then failwith "Model_io: bad LUT length";
+  cur.pos <- consumed;
+  Axconv.make_config ~round_mode ~chunk_size ~granularity ~accumulator
+    ~domains lut
+
+let w_matrix buf m =
+  w_u32 buf m.Matrix.rows;
+  w_u32 buf m.Matrix.cols;
+  w_float_array buf m.Matrix.data
+
+let r_matrix cur =
+  let rows = r_u32 cur in
+  let cols = r_u32 cur in
+  let data = r_float_array cur in
+  if Array.length data <> rows * cols then
+    failwith "Model_io: matrix size mismatch";
+  let m = Matrix.create ~rows ~cols in
+  Array.blit data 0 m.Matrix.data 0 (rows * cols);
+  m
+
+(* ---- op encoding ---- *)
+
+let w_op buf op =
+  match op with
+  | Graph.Input -> w_u8 buf 0
+  | Graph.Conv2d { filter; bias; spec } ->
+    w_u8 buf 1;
+    w_filter buf filter;
+    w_float_array_opt buf bias;
+    w_spec buf spec
+  | Graph.Ax_conv2d { filter; bias; spec; config } ->
+    w_u8 buf 2;
+    w_filter buf filter;
+    w_float_array_opt buf bias;
+    w_spec buf spec;
+    w_config buf config
+  | Graph.Depthwise_conv2d { filter; bias; spec } ->
+    w_u8 buf 3;
+    w_filter buf filter;
+    w_float_array_opt buf bias;
+    w_spec buf spec
+  | Graph.Ax_depthwise_conv2d { filter; bias; spec; config } ->
+    w_u8 buf 4;
+    w_filter buf filter;
+    w_float_array_opt buf bias;
+    w_spec buf spec;
+    w_config buf config
+  | Graph.Min_reduce -> w_u8 buf 5
+  | Graph.Max_reduce -> w_u8 buf 6
+  | Graph.Const_scalar v ->
+    w_u8 buf 7;
+    w_float buf v
+  | Graph.Relu -> w_u8 buf 8
+  | Graph.Max_pool { size; stride } ->
+    w_u8 buf 9;
+    w_u8 buf size;
+    w_u8 buf stride
+  | Graph.Global_avg_pool -> w_u8 buf 10
+  | Graph.Dense { weights; bias } ->
+    w_u8 buf 11;
+    w_matrix buf weights;
+    w_float_array buf bias
+  | Graph.Batch_norm { scale; shift } ->
+    w_u8 buf 12;
+    w_float_array buf scale;
+    w_float_array buf shift
+  | Graph.Add -> w_u8 buf 13
+  | Graph.Softmax -> w_u8 buf 14
+  | Graph.Shortcut_pad { stride; out_c } ->
+    w_u8 buf 15;
+    w_u8 buf stride;
+    w_u32 buf out_c
+
+let r_op cur =
+  match r_u8 cur with
+  | 0 -> Graph.Input
+  | 1 ->
+    let filter = r_filter cur in
+    let bias = r_float_array_opt cur in
+    let spec = r_spec cur in
+    Graph.Conv2d { filter; bias; spec }
+  | 2 ->
+    let filter = r_filter cur in
+    let bias = r_float_array_opt cur in
+    let spec = r_spec cur in
+    let config = r_config cur in
+    Graph.Ax_conv2d { filter; bias; spec; config }
+  | 3 ->
+    let filter = r_filter cur in
+    let bias = r_float_array_opt cur in
+    let spec = r_spec cur in
+    Graph.Depthwise_conv2d { filter; bias; spec }
+  | 4 ->
+    let filter = r_filter cur in
+    let bias = r_float_array_opt cur in
+    let spec = r_spec cur in
+    let config = r_config cur in
+    Graph.Ax_depthwise_conv2d { filter; bias; spec; config }
+  | 5 -> Graph.Min_reduce
+  | 6 -> Graph.Max_reduce
+  | 7 -> Graph.Const_scalar (r_float cur)
+  | 8 -> Graph.Relu
+  | 9 ->
+    let size = r_u8 cur in
+    let stride = r_u8 cur in
+    Graph.Max_pool { size; stride }
+  | 10 -> Graph.Global_avg_pool
+  | 11 ->
+    let weights = r_matrix cur in
+    let bias = r_float_array cur in
+    Graph.Dense { weights; bias }
+  | 12 ->
+    let scale = r_float_array cur in
+    let shift = r_float_array cur in
+    Graph.Batch_norm { scale; shift }
+  | 13 -> Graph.Add
+  | 14 -> Graph.Softmax
+  | 15 ->
+    let stride = r_u8 cur in
+    let out_c = r_u32 cur in
+    Graph.Shortcut_pad { stride; out_c }
+  | tag -> failwith (Printf.sprintf "Model_io: unknown op tag %d" tag)
+
+(* ---- whole graphs ---- *)
+
+let to_bytes g =
+  let buf = Buffer.create (64 * 1024) in
+  Buffer.add_string buf magic;
+  w_u32 buf (Graph.size g);
+  w_u32 buf (Graph.output g);
+  Array.iter
+    (fun n ->
+      w_string buf n.Graph.name;
+      w_u8 buf (List.length n.Graph.inputs);
+      List.iter (w_u32 buf) n.Graph.inputs;
+      w_op buf n.Graph.op)
+    (Graph.nodes g);
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let cur = { data; pos = 0 } in
+  need cur (String.length magic);
+  if Bytes.sub_string data 0 (String.length magic) <> magic then
+    failwith "Model_io: bad magic";
+  cur.pos <- String.length magic;
+  let count = r_u32 cur in
+  let output = r_u32 cur in
+  let b = Graph.builder () in
+  for _ = 1 to count do
+    let name = r_string cur in
+    let arity = r_u8 cur in
+    let inputs = List.init arity (fun _ -> r_u32 cur) in
+    let op = r_op cur in
+    ignore (Graph.add b ~name op inputs)
+  done;
+  Graph.finalize b ~output
+
+let save path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes g))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let data = Bytes.create len in
+      really_input ic data 0 len;
+      of_bytes data)

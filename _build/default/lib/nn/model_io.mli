@@ -1,0 +1,17 @@
+(** Model serialization: the whole graph IR — structure, parameters,
+    and, for transformed models, the embedded 128 kB multiplier LUTs —
+    in one deterministic binary file, so a transformed accelerator model
+    is a distributable artefact (the role a SavedModel plays for the
+    original TFApprox).
+
+    Format "AXMDL1": little-endian, length-prefixed strings, float
+    parameters as raw IEEE-754 bit patterns (bit-exact roundtrip). *)
+
+val to_bytes : Graph.t -> Bytes.t
+
+val of_bytes : Bytes.t -> Graph.t
+(** Raises [Failure] on malformed input (bad magic, truncation, unknown
+    op tags). *)
+
+val save : string -> Graph.t -> unit
+val load : string -> Graph.t

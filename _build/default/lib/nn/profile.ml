@@ -1,0 +1,90 @@
+type phase = Init | Quantization | Lut | Other
+
+type t = {
+  mutable init_s : float;
+  mutable quant_s : float;
+  mutable lut_s : float;
+  mutable other_s : float;
+  mutable lookups : int;
+  mutable mac_count : int;
+  mutable active : phase option;  (* innermost running phase *)
+}
+
+let create () =
+  {
+    init_s = 0.;
+    quant_s = 0.;
+    lut_s = 0.;
+    other_s = 0.;
+    lookups = 0;
+    mac_count = 0;
+    active = None;
+  }
+
+let reset t =
+  t.init_s <- 0.;
+  t.quant_s <- 0.;
+  t.lut_s <- 0.;
+  t.other_s <- 0.;
+  t.lookups <- 0;
+  t.mac_count <- 0;
+  t.active <- None
+
+let add_seconds t phase s =
+  match phase with
+  | Init -> t.init_s <- t.init_s +. s
+  | Quantization -> t.quant_s <- t.quant_s +. s
+  | Lut -> t.lut_s <- t.lut_s +. s
+  | Other -> t.other_s <- t.other_s +. s
+
+(* Charging the inner phase and refunding the outer keeps the phase
+   totals a partition of real elapsed time. *)
+let time t phase f =
+  let outer = t.active in
+  t.active <- Some phase;
+  let start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = Unix.gettimeofday () -. start in
+      add_seconds t phase elapsed;
+      (match outer with
+      | Some p -> add_seconds t p (-.elapsed)
+      | None -> ());
+      t.active <- outer)
+    f
+
+let count_lut_lookups t n = t.lookups <- t.lookups + n
+let count_macs t n = t.mac_count <- t.mac_count + n
+
+let seconds t = function
+  | Init -> t.init_s
+  | Quantization -> t.quant_s
+  | Lut -> t.lut_s
+  | Other -> t.other_s
+
+let total_seconds t = t.init_s +. t.quant_s +. t.lut_s +. t.other_s
+let lut_lookups t = t.lookups
+let macs t = t.mac_count
+
+type breakdown = {
+  init_pct : float;
+  quantization_pct : float;
+  lut_pct : float;
+  other_pct : float;
+}
+
+let breakdown t =
+  let total = total_seconds t in
+  if total <= 0. then
+    { init_pct = 0.; quantization_pct = 0.; lut_pct = 0.; other_pct = 0. }
+  else
+    {
+      init_pct = 100. *. t.init_s /. total;
+      quantization_pct = 100. *. t.quant_s /. total;
+      lut_pct = 100. *. t.lut_s /. total;
+      other_pct = 100. *. t.other_s /. total;
+    }
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "init=%.1f%% quant=%.1f%% lut=%.1f%% other=%.1f%%"
+    b.init_pct b.quantization_pct b.lut_pct b.other_pct

@@ -1,0 +1,39 @@
+(** Phase-attributed wall-clock accounting, matching the four categories
+    of the paper's Fig. 2: initialization, quantization (including
+    dequantization and min/max), LUT lookups, and everything else
+    (Im2Cols, GEMM bookkeeping, pooling, ...). *)
+
+type phase = Init | Quantization | Lut | Other
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val time : t -> phase -> (unit -> 'a) -> 'a
+(** Run a thunk and charge its wall-clock time to a phase.  Nested calls
+    charge the inner phase and subtract from the outer one, so phases
+    never double-count. *)
+
+val add_seconds : t -> phase -> float -> unit
+(** Charge time measured externally (used by the GPU timeline import). *)
+
+val count_lut_lookups : t -> int -> unit
+val count_macs : t -> int -> unit
+
+val seconds : t -> phase -> float
+val total_seconds : t -> float
+val lut_lookups : t -> int
+val macs : t -> int
+
+type breakdown = {
+  init_pct : float;
+  quantization_pct : float;
+  lut_pct : float;
+  other_pct : float;
+}
+
+val breakdown : t -> breakdown
+(** Percentages of the total (all zero when nothing was recorded). *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

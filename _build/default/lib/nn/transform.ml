@@ -1,0 +1,90 @@
+let rewrite ~config_for g =
+  let b = Graph.builder () in
+  (* old id -> new id *)
+  let remap = Array.make (Graph.size g) (-1) in
+  Array.iter
+    (fun n ->
+      let inputs = List.map (fun i -> remap.(i)) n.Graph.inputs in
+      let new_id =
+        match (n.Graph.op, config_for n) with
+        | Graph.Conv2d { filter; bias; spec }, Some config ->
+          let data =
+            match inputs with
+            | [ d ] -> d
+            | [] | _ :: _ -> invalid_arg "Transform: conv arity"
+          in
+          let mn = Graph.add b ~name:(n.Graph.name ^ "/min") Graph.Min_reduce [ data ] in
+          let mx = Graph.add b ~name:(n.Graph.name ^ "/max") Graph.Max_reduce [ data ] in
+          let fmin, fmax = Filter.min_max filter in
+          let fmn =
+            Graph.add b ~name:(n.Graph.name ^ "/filter_min")
+              (Graph.Const_scalar fmin) []
+          in
+          let fmx =
+            Graph.add b ~name:(n.Graph.name ^ "/filter_max")
+              (Graph.Const_scalar fmax) []
+          in
+          Graph.add b ~name:n.Graph.name
+            (Graph.Ax_conv2d { filter; bias; spec; config })
+            [ data; mn; mx; fmn; fmx ]
+        | Graph.Depthwise_conv2d { filter; bias; spec }, Some config ->
+          let data =
+            match inputs with
+            | [ d ] -> d
+            | [] | _ :: _ -> invalid_arg "Transform: conv arity"
+          in
+          let mn = Graph.add b ~name:(n.Graph.name ^ "/min") Graph.Min_reduce [ data ] in
+          let mx = Graph.add b ~name:(n.Graph.name ^ "/max") Graph.Max_reduce [ data ] in
+          let fmin, fmax = Filter.min_max filter in
+          let fmn =
+            Graph.add b ~name:(n.Graph.name ^ "/filter_min")
+              (Graph.Const_scalar fmin) []
+          in
+          let fmx =
+            Graph.add b ~name:(n.Graph.name ^ "/filter_max")
+              (Graph.Const_scalar fmax) []
+          in
+          Graph.add b ~name:n.Graph.name
+            (Graph.Ax_depthwise_conv2d { filter; bias; spec; config })
+            [ data; mn; mx; fmn; fmx ]
+        | op, _ -> Graph.add b ~name:n.Graph.name op inputs
+      in
+      remap.(n.Graph.id) <- new_id)
+    (Graph.nodes g);
+  Graph.finalize b ~output:remap.(Graph.output g)
+
+let approximate ?(select = fun _ -> true) ~config g =
+  let config_for n =
+    match n.Graph.op with
+    | (Graph.Conv2d _ | Graph.Depthwise_conv2d _) when select n -> Some config
+    | Graph.Conv2d _ | Graph.Depthwise_conv2d _ | Graph.Input
+    | Graph.Ax_conv2d _ | Graph.Ax_depthwise_conv2d _ | Graph.Min_reduce
+    | Graph.Max_reduce | Graph.Const_scalar _ | Graph.Relu | Graph.Max_pool _
+    | Graph.Global_avg_pool | Graph.Dense _ | Graph.Batch_norm _ | Graph.Add
+    | Graph.Softmax | Graph.Shortcut_pad _ ->
+      None
+  in
+  rewrite ~config_for g
+
+let per_layer ~configs g =
+  List.iter
+    (fun (name, _) ->
+      match Graph.find_by_name g name with
+      | Some { Graph.op = Graph.Conv2d _ | Graph.Depthwise_conv2d _; _ } -> ()
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Transform.per_layer: %s is not a Conv2d" name)
+      | None ->
+        invalid_arg (Printf.sprintf "Transform.per_layer: no node named %s" name))
+    configs;
+  let config_for n =
+    match n.Graph.op with
+    | Graph.Conv2d _ | Graph.Depthwise_conv2d _ ->
+      List.assoc_opt n.Graph.name configs
+    | Graph.Input | Graph.Ax_conv2d _ | Graph.Ax_depthwise_conv2d _
+    | Graph.Min_reduce | Graph.Max_reduce | Graph.Const_scalar _ | Graph.Relu
+    | Graph.Max_pool _ | Graph.Global_avg_pool | Graph.Dense _
+    | Graph.Batch_norm _ | Graph.Add | Graph.Softmax | Graph.Shortcut_pad _ ->
+      None
+  in
+  rewrite ~config_for g

@@ -1,0 +1,27 @@
+(** The Fig. 1 graph rewrite: replace every [Conv2D] by [AxConv2D] and
+    wire the quantization-range inputs.
+
+    For each transformed convolution the input tensor is tapped by new
+    [Min] and [Max] reduction nodes (evaluated once per batch, so the
+    transformed graph remains usable for training-style pipelines where
+    ranges follow the data), while the filter range — the weights being
+    graph constants — is folded into two [Const] scalar nodes. *)
+
+val approximate :
+  ?select:(Graph.node -> bool) ->
+  config:Axconv.config ->
+  Graph.t ->
+  Graph.t
+(** [approximate ~config g] rewrites every [Conv2d] node accepted by
+    [select] (default: all).  Node ids change; names are preserved, with
+    the inserted range nodes named ["<conv>/min"], ["<conv>/max"],
+    ["<conv>/filter_min"], ["<conv>/filter_max"]. *)
+
+val per_layer :
+  configs:(string * Axconv.config) list ->
+  Graph.t ->
+  Graph.t
+(** ALWANN-style layer-wise assignment: each named convolution gets its
+    own multiplier configuration; convolutions absent from the list stay
+    accurate.  Raises [Invalid_argument] if a name matches no [Conv2d]
+    node. *)

@@ -1,0 +1,1 @@
+lib/quant/quantization.ml: Ax_arith Ax_tensor Bigarray Bytes Char Float Round

@@ -1,0 +1,1 @@
+lib/quant/quantization.mli: Ax_arith Ax_tensor Bytes Round

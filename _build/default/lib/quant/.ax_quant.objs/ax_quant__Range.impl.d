@@ -1,0 +1,1 @@
+lib/quant/range.ml: Ax_tensor Float Format

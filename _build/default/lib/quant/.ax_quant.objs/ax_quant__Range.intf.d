@@ -1,0 +1,1 @@
+lib/quant/range.mli: Ax_tensor Format

@@ -1,0 +1,1 @@
+lib/quant/round.ml: Float Format Int64

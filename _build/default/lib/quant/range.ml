@@ -1,0 +1,17 @@
+type t = { min : float; max : float }
+
+let make ~min ~max =
+  if Float.is_nan min || Float.is_nan max then
+    invalid_arg "Range.make: NaN bound";
+  if min > max then invalid_arg "Range.make: min > max";
+  { min; max }
+
+let of_tensor tensor =
+  let mn, mx = Ax_tensor.Tensor.min_max tensor in
+  make ~min:mn ~max:mx
+
+let union a b = { min = Float.min a.min b.min; max = Float.max a.max b.max }
+let contains t v = v >= t.min && v <= t.max
+let with_zero t = { min = Float.min t.min 0.; max = Float.max t.max 0. }
+let span t = t.max -. t.min
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.min t.max

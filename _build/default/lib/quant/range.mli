@@ -1,0 +1,16 @@
+(** Real-valued ranges — what the Min/Max nodes inserted by the Fig. 1
+    graph transform compute, one pair per input tensor per batch. *)
+
+type t = { min : float; max : float }
+
+val make : min:float -> max:float -> t
+(** Raises [Invalid_argument] when [min > max] or either is NaN. *)
+
+val of_tensor : Ax_tensor.Tensor.t -> t
+val union : t -> t -> t
+val contains : t -> float -> bool
+val with_zero : t -> t
+(** Extend to include 0 (the quantizer requirement). *)
+
+val span : t -> float
+val pp : Format.formatter -> t -> unit

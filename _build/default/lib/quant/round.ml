@@ -1,0 +1,37 @@
+type t = Nearest_even | Nearest_away | Toward_zero | Stochastic
+
+let to_string = function
+  | Nearest_even -> "nearest-even"
+  | Nearest_away -> "nearest-away"
+  | Toward_zero -> "toward-zero"
+  | Stochastic -> "stochastic"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Deterministic uniform draw in [0,1) from the bits of the input, so a
+   stochastic-rounding emulation run is reproducible. *)
+let hash_unit x =
+  let bits = Int64.bits_of_float x in
+  let open Int64 in
+  let z = add bits 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  to_float (shift_right_logical z 11) /. 9007199254740992.
+
+let apply mode x =
+  match mode with
+  | Nearest_even ->
+    let f = floor x in
+    let frac = x -. f in
+    if frac > 0.5 then int_of_float f + 1
+    else if frac < 0.5 then int_of_float f
+    else begin
+      let lo = int_of_float f in
+      if lo mod 2 = 0 then lo else lo + 1
+    end
+  | Nearest_away -> int_of_float (Float.round x)
+  | Toward_zero -> int_of_float (Float.trunc x)
+  | Stochastic ->
+    let f = floor x in
+    let frac = x -. f in
+    if hash_unit x < frac then int_of_float f + 1 else int_of_float f

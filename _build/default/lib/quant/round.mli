@@ -1,0 +1,16 @@
+(** Rounding applied during quantization — the "requested round mode"
+    input of the paper's approximate layer. *)
+
+type t =
+  | Nearest_even   (** ties to even (IEEE default) *)
+  | Nearest_away   (** ties away from zero (C's [round]) *)
+  | Toward_zero    (** truncation *)
+  | Stochastic     (** probability proportional to the fraction; the
+                       draw is a deterministic hash of the input bits so
+                       runs remain reproducible *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val apply : t -> float -> int
+(** Round a finite float to an integer under the given mode. *)

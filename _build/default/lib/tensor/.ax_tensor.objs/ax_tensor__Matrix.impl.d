@@ -1,0 +1,1 @@
+lib/tensor/matrix.ml: Array Printf

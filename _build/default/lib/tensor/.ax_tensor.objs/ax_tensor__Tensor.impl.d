@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Bigarray List Printf Rng Shape

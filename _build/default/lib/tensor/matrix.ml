@@ -1,0 +1,72 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: bad dims";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let of_arrays rows =
+  match Array.length rows with
+  | 0 -> invalid_arg "Matrix.of_arrays: empty"
+  | r ->
+    let c = Array.length rows.(0) in
+    let m = create ~rows:r ~cols:c in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> c then
+          invalid_arg "Matrix.of_arrays: ragged rows";
+        Array.iteri (fun j v -> set m i j v) row)
+      rows;
+    m
+
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+
+let block = 48
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Matrix.matmul: %dx%d times %dx%d" a.rows a.cols b.rows
+         b.cols);
+  let out = create ~rows:a.rows ~cols:b.cols in
+  let n = a.rows and k = a.cols and m = b.cols in
+  let kk = ref 0 in
+  while !kk < k do
+    let k_hi = min k (!kk + block) in
+    for i = 0 to n - 1 do
+      let a_row = i * k in
+      for p = !kk to k_hi - 1 do
+        let av = a.data.(a_row + p) in
+        if av <> 0. then begin
+          let b_row = p * m in
+          let o_row = i * m in
+          for j = 0 to m - 1 do
+            out.data.(o_row + j) <-
+              out.data.(o_row + j) +. (av *. b.data.(b_row + j))
+          done
+        end
+      done
+    done;
+    kk := k_hi
+  done;
+  out
+
+let transpose m =
+  let out = create ~rows:m.cols ~cols:m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set out j i (get m i j)
+    done
+  done;
+  out
+
+let approx_equal ?(tolerance = 1e-6) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let rec go i =
+    i >= Array.length a.data
+    || (abs_float (a.data.(i) -. b.data.(i)) <= tolerance && go (i + 1))
+  in
+  go 0

@@ -1,0 +1,18 @@
+(** Row-major float matrices and a blocked GEMM — the substrate of the
+    GEMM-based convolution (Sec. III: "we selected the General
+    Matrix-matrix multiplication (GEMM) approach"). *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : rows:int -> cols:int -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+
+val matmul : t -> t -> t
+(** [matmul a b] with [a.cols = b.rows]; cache-blocked accumulation in
+    64-bit floats.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val transpose : t -> t
+val approx_equal : ?tolerance:float -> t -> t -> bool

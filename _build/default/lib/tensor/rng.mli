@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic choice in the repository — synthetic weights,
+    synthetic datasets, stochastic rounding — flows through this module
+    with an explicit seed, so all experiments are bit-reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent generator. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val split : t -> t
+(** Derive a statistically independent child generator; the parent
+    advances by one draw. *)

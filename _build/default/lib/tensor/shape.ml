@@ -1,0 +1,44 @@
+type t = { n : int; h : int; w : int; c : int }
+
+let make ~n ~h ~w ~c =
+  if n <= 0 || h <= 0 || w <= 0 || c <= 0 then
+    invalid_arg
+      (Printf.sprintf "Shape.make: non-positive extent %dx%dx%dx%d" n h w c);
+  { n; h; w; c }
+
+let num_elements s = s.n * s.h * s.w * s.c
+
+let equal a b = a.n = b.n && a.h = b.h && a.w = b.w && a.c = b.c
+
+let to_string s = Printf.sprintf "%dx%dx%dx%d" s.n s.h s.w s.c
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let unsafe_offset s ~n ~h ~w ~c = ((((n * s.h) + h) * s.w + w) * s.c) + c
+
+let offset s ~n ~h ~w ~c =
+  if n < 0 || n >= s.n || h < 0 || h >= s.h || w < 0 || w >= s.w || c < 0
+     || c >= s.c
+  then
+    invalid_arg
+      (Printf.sprintf "Shape.offset: (%d,%d,%d,%d) out of %s" n h w c
+         (to_string s));
+  unsafe_offset s ~n ~h ~w ~c
+
+let conv_output_dims s ~kh ~kw ~stride ~dilation ~padding =
+  if stride <= 0 then invalid_arg "Shape.conv_output_dims: stride";
+  if dilation <= 0 then invalid_arg "Shape.conv_output_dims: dilation";
+  let eff_kh = ((kh - 1) * dilation) + 1 in
+  let eff_kw = ((kw - 1) * dilation) + 1 in
+  match padding with
+  | `Valid ->
+    if s.h < eff_kh || s.w < eff_kw then
+      invalid_arg "Shape.conv_output_dims: kernel larger than input";
+    let out_h = ((s.h - eff_kh) / stride) + 1 in
+    let out_w = ((s.w - eff_kw) / stride) + 1 in
+    (out_h, out_w, 0, 0)
+  | `Same ->
+    let out_h = (s.h + stride - 1) / stride in
+    let out_w = (s.w + stride - 1) / stride in
+    let pad_h = max 0 (((out_h - 1) * stride) + eff_kh - s.h) in
+    let pad_w = max 0 (((out_w - 1) * stride) + eff_kw - s.w) in
+    (out_h, out_w, pad_h / 2, pad_w / 2)

@@ -1,0 +1,27 @@
+(** NHWC tensor shapes (the layout TensorFlow's Conv2D expects, Sec. III
+    of the paper: Batch x Height x Width x Channels, channels
+    fastest-varying). *)
+
+type t = { n : int; h : int; w : int; c : int }
+
+val make : n:int -> h:int -> w:int -> c:int -> t
+(** Raises [Invalid_argument] on non-positive extents. *)
+
+val num_elements : t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val offset : t -> n:int -> h:int -> w:int -> c:int -> int
+(** Flat row-major NHWC offset; bounds-checked. *)
+
+val unsafe_offset : t -> n:int -> h:int -> w:int -> c:int -> int
+(** Unchecked variant for hot loops. *)
+
+val conv_output_dims :
+  t -> kh:int -> kw:int -> stride:int -> dilation:int ->
+  padding:[ `Same | `Valid ] -> int * int * int * int
+(** [(out_h, out_w, pad_top, pad_left)] for a convolution over this
+    input shape.  [`Same] pads so that [out = ceil(in / stride)];
+    [`Valid] uses no padding.  Raises [Invalid_argument] when the kernel
+    does not fit a [`Valid] input. *)

@@ -1,0 +1,151 @@
+type buffer =
+  (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { shape : Shape.t; data : buffer }
+
+let create shape =
+  let data =
+    Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout
+      (Shape.num_elements shape)
+  in
+  Bigarray.Array1.fill data 0.;
+  { shape; data }
+
+let shape t = t.shape
+let num_elements t = Shape.num_elements t.shape
+let buffer t = t.data
+let get t ~n ~h ~w ~c = t.data.{Shape.offset t.shape ~n ~h ~w ~c}
+let set t ~n ~h ~w ~c v = t.data.{Shape.offset t.shape ~n ~h ~w ~c} <- v
+let get_flat t i = t.data.{i}
+let set_flat t i v = t.data.{i} <- v
+let fill t v = Bigarray.Array1.fill t.data v
+
+let copy t =
+  let fresh = create t.shape in
+  Bigarray.Array1.blit t.data fresh.data;
+  fresh
+
+let of_array shape arr =
+  if Array.length arr <> Shape.num_elements shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_array: %d values for shape %s"
+         (Array.length arr) (Shape.to_string shape));
+  let t = create shape in
+  Array.iteri (fun i v -> t.data.{i} <- v) arr;
+  t
+
+let to_array t = Array.init (num_elements t) (fun i -> t.data.{i})
+
+let init shape f =
+  let t = create shape in
+  let open Shape in
+  for n = 0 to shape.n - 1 do
+    for h = 0 to shape.h - 1 do
+      for w = 0 to shape.w - 1 do
+        for c = 0 to shape.c - 1 do
+          t.data.{unsafe_offset shape ~n ~h ~w ~c} <- f ~n ~h ~w ~c
+        done
+      done
+    done
+  done;
+  t
+
+let map_inplace f t =
+  for i = 0 to num_elements t - 1 do
+    t.data.{i} <- f t.data.{i}
+  done
+
+let map f t =
+  let fresh = copy t in
+  map_inplace f fresh;
+  fresh
+
+let iteri_flat f t =
+  for i = 0 to num_elements t - 1 do
+    f i t.data.{i}
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to num_elements t - 1 do
+    acc := f !acc t.data.{i}
+  done;
+  !acc
+
+let min_max t =
+  let mn = ref t.data.{0} and mx = ref t.data.{0} in
+  for i = 1 to num_elements t - 1 do
+    let v = t.data.{i} in
+    if v < !mn then mn := v;
+    if v > !mx then mx := v
+  done;
+  (!mn, !mx)
+
+let add a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.add: shape mismatch";
+  let out = create a.shape in
+  for i = 0 to num_elements a - 1 do
+    out.data.{i} <- a.data.{i} +. b.data.{i}
+  done;
+  out
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let worst = ref 0. in
+  for i = 0 to num_elements a - 1 do
+    let d = abs_float (a.data.{i} -. b.data.{i}) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let approx_equal ?(tolerance = 1e-5) a b = max_abs_diff a b <= tolerance
+
+let fill_gaussian ?(mean = 0.) ?(stddev = 1.) rng t =
+  map_inplace (fun _ -> mean +. (stddev *. Rng.gaussian rng)) t
+
+let fill_uniform ?(lo = 0.) ?(hi = 1.) rng t =
+  map_inplace (fun _ -> lo +. ((hi -. lo) *. Rng.float rng)) t
+
+let slice_batch t ~start ~count =
+  let s = t.shape in
+  if start < 0 || count <= 0 || start + count > s.Shape.n then
+    invalid_arg "Tensor.slice_batch: range out of bounds";
+  let per_image = s.Shape.h * s.Shape.w * s.Shape.c in
+  let out =
+    create (Shape.make ~n:count ~h:s.Shape.h ~w:s.Shape.w ~c:s.Shape.c)
+  in
+  let src = Bigarray.Array1.sub t.data (start * per_image) (count * per_image) in
+  Bigarray.Array1.blit src out.data;
+  out
+
+let concat_batch pieces =
+  match pieces with
+  | [] -> invalid_arg "Tensor.concat_batch: empty list"
+  | first :: _ ->
+    let s = first.shape in
+    let per_image = s.Shape.h * s.Shape.w * s.Shape.c in
+    let total =
+      List.fold_left
+        (fun acc p ->
+          let ps = p.shape in
+          if
+            ps.Shape.h <> s.Shape.h || ps.Shape.w <> s.Shape.w
+            || ps.Shape.c <> s.Shape.c
+          then invalid_arg "Tensor.concat_batch: inner shape mismatch";
+          acc + ps.Shape.n)
+        0 pieces
+    in
+    let out =
+      create (Shape.make ~n:total ~h:s.Shape.h ~w:s.Shape.w ~c:s.Shape.c)
+    in
+    let cursor = ref 0 in
+    List.iter
+      (fun p ->
+        let len = p.shape.Shape.n * per_image in
+        let dst = Bigarray.Array1.sub out.data !cursor len in
+        Bigarray.Array1.blit p.data dst;
+        cursor := !cursor + len)
+      pieces;
+    out

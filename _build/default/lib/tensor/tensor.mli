@@ -1,0 +1,59 @@
+(** Dense float32 tensors in NHWC layout, backed by [Bigarray] so large
+    batches do not stress the OCaml heap. *)
+
+type t
+
+type buffer =
+  (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : Shape.t -> t
+(** Zero-initialised tensor. *)
+
+val shape : t -> Shape.t
+val num_elements : t -> int
+
+val buffer : t -> buffer
+(** The underlying flat buffer (row-major NHWC); shared, not copied. *)
+
+val get : t -> n:int -> h:int -> w:int -> c:int -> float
+val set : t -> n:int -> h:int -> w:int -> c:int -> float -> unit
+
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val fill : t -> float -> unit
+val copy : t -> t
+
+val of_array : Shape.t -> float array -> t
+(** Raises [Invalid_argument] when the array size does not match. *)
+
+val to_array : t -> float array
+
+val init : Shape.t -> (n:int -> h:int -> w:int -> c:int -> float) -> t
+
+val map : (float -> float) -> t -> t
+val map_inplace : (float -> float) -> t -> unit
+val iteri_flat : (int -> float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val min_max : t -> float * float
+(** The (min, max) pair that the Fig. 1 [Min]/[Max] graph nodes compute;
+    of a zero-element tensor cannot happen (shapes are positive). *)
+
+val add : t -> t -> t
+(** Elementwise sum; raises [Invalid_argument] on shape mismatch. *)
+
+val approx_equal : ?tolerance:float -> t -> t -> bool
+(** Max-absolute-difference comparison. *)
+
+val max_abs_diff : t -> t -> float
+
+val fill_gaussian : ?mean:float -> ?stddev:float -> Rng.t -> t -> unit
+val fill_uniform : ?lo:float -> ?hi:float -> Rng.t -> t -> unit
+
+val slice_batch : t -> start:int -> count:int -> t
+(** [slice_batch t ~start ~count] copies images [start .. start+count-1]
+    into a fresh tensor (the batch-chunking step of Algorithm 1). *)
+
+val concat_batch : t list -> t
+(** Inverse of chunking: stack along N.  All pieces must share H, W, C. *)

@@ -1,0 +1,1 @@
+lib/train/backprop.ml: Array Ax_nn Ax_tensor Bigarray Grad List

@@ -1,0 +1,1 @@
+lib/train/backprop.mli: Ax_nn Ax_tensor

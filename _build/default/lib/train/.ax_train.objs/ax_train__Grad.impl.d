@@ -1,0 +1,1 @@
+lib/train/grad.ml: Array Ax_nn Ax_tensor Bigarray Float

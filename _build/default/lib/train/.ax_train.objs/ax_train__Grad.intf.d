@@ -1,0 +1,1 @@
+lib/train/grad.mli: Ax_nn Ax_tensor

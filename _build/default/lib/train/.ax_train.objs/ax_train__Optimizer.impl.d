@@ -1,0 +1,1 @@
+lib/train/optimizer.ml: Array Ax_nn Ax_tensor Backprop Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/train/optimizer.mli: Ax_nn Backprop

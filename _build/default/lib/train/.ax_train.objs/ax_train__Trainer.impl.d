@@ -1,0 +1,1 @@
+lib/train/trainer.ml: Array Ax_data Ax_nn Ax_tensor Backprop Bigarray Optimizer

@@ -1,0 +1,1 @@
+lib/train/trainer.mli: Ax_data Ax_nn

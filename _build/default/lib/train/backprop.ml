@@ -1,0 +1,119 @@
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Tensor = Ax_tensor.Tensor
+
+type param_grad =
+  | Conv_grad of { filter : float array; bias : float array option }
+  | Dense_grad of { weights : float array; bias : float array }
+  | Bn_grad of { scale : float array; shift : float array }
+
+let tensor_of = function
+  | Exec.Tensor t -> t
+  | Exec.Scalar _ -> invalid_arg "Backprop: expected tensor value"
+
+let loss_and_gradients ?strategy g ~input ~labels =
+  let values = Exec.run_all ?strategy g ~input in
+  let out_id = Graph.output g in
+  let probs =
+    match (Graph.node g out_id).Graph.op with
+    | Graph.Softmax -> tensor_of values.(out_id)
+    | _ -> invalid_arg "Backprop: graph output must be Softmax"
+  in
+  let loss, dlogits = Grad.softmax_cross_entropy ~probs ~labels in
+  (* dL/d(node output); accumulated because of fan-out (residual nets). *)
+  let grads : Tensor.t option array = Array.make (Graph.size g) None in
+  let accumulate id delta =
+    match grads.(id) with
+    | None -> grads.(id) <- Some (Tensor.copy delta)
+    | Some existing ->
+      let a = Tensor.buffer existing and b = Tensor.buffer delta in
+      for i = 0 to Tensor.num_elements existing - 1 do
+        a.{i} <- a.{i} +. b.{i}
+      done
+  in
+  (* Seed at the softmax *input* (fused CE gradient skips the softmax
+     VJP, which is both faster and better conditioned). *)
+  (match (Graph.node g out_id).Graph.inputs with
+  | [ logits_id ] -> accumulate logits_id dlogits
+  | _ -> invalid_arg "Backprop: softmax arity");
+  let param_grads = ref [] in
+  let record id pg = param_grads := (id, pg) :: !param_grads in
+  for id = Graph.size g - 1 downto 0 do
+    if id <> out_id then
+      match grads.(id) with
+      | None -> ()
+      | Some dout ->
+        let n = Graph.node g id in
+        let in_tensor k = tensor_of values.(List.nth n.Graph.inputs k) in
+        (match n.Graph.op with
+        | Graph.Input | Graph.Const_scalar _ -> ()
+        | Graph.Min_reduce | Graph.Max_reduce ->
+          (* Scalar-valued; never receives a tensor gradient. *)
+          ()
+        | Graph.Conv2d { filter; bias; spec }
+        | Graph.Ax_conv2d { filter; bias; spec; _ } ->
+          let x = in_tensor 0 in
+          let dinput, dfilter, dbias =
+            Grad.conv_backward ~input:x ~filter ~spec ~dout
+          in
+          record id
+            (Conv_grad
+               {
+                 filter = dfilter;
+                 bias = (match bias with Some _ -> Some dbias | None -> None);
+               });
+          accumulate (List.nth n.Graph.inputs 0) dinput
+        | Graph.Depthwise_conv2d { filter; bias; spec }
+        | Graph.Ax_depthwise_conv2d { filter; bias; spec; _ } ->
+          let x = in_tensor 0 in
+          let dinput, dfilter, dbias =
+            Grad.depthwise_backward ~input:x ~filter ~spec ~dout
+          in
+          record id
+            (Conv_grad
+               {
+                 filter = dfilter;
+                 bias = (match bias with Some _ -> Some dbias | None -> None);
+               });
+          accumulate (List.nth n.Graph.inputs 0) dinput
+        | Graph.Dense { weights; _ } ->
+          let x = in_tensor 0 in
+          let dinput, dweights, dbias =
+            Grad.dense_backward ~input:x ~weights ~dout
+          in
+          record id (Dense_grad { weights = dweights; bias = dbias });
+          accumulate (List.nth n.Graph.inputs 0) dinput
+        | Graph.Batch_norm { scale; _ } ->
+          let x = in_tensor 0 in
+          let dinput, dscale, dshift =
+            Grad.batch_norm_backward ~input:x ~scale ~dout
+          in
+          record id (Bn_grad { scale = dscale; shift = dshift });
+          accumulate (List.nth n.Graph.inputs 0) dinput
+        | Graph.Relu ->
+          let out = tensor_of values.(id) in
+          accumulate (List.nth n.Graph.inputs 0)
+            (Grad.relu_backward ~output:out ~dout)
+        | Graph.Max_pool { size; stride } ->
+          let x = in_tensor 0 in
+          accumulate (List.nth n.Graph.inputs 0)
+            (Grad.max_pool_backward ~input:x ~size ~stride ~dout)
+        | Graph.Global_avg_pool ->
+          let x = in_tensor 0 in
+          accumulate (List.nth n.Graph.inputs 0)
+            (Grad.global_avg_pool_backward ~input_shape:(Tensor.shape x)
+               ~dout)
+        | Graph.Add ->
+          accumulate (List.nth n.Graph.inputs 0) dout;
+          accumulate (List.nth n.Graph.inputs 1) dout
+        | Graph.Softmax ->
+          let out = tensor_of values.(id) in
+          accumulate (List.nth n.Graph.inputs 0)
+            (Grad.softmax_backward ~output:out ~dout)
+        | Graph.Shortcut_pad { stride; _ } ->
+          let x = in_tensor 0 in
+          accumulate (List.nth n.Graph.inputs 0)
+            (Grad.shortcut_pad_backward ~input_shape:(Tensor.shape x)
+               ~stride ~dout))
+  done;
+  (loss, !param_grads)

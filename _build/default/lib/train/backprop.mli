@@ -1,0 +1,27 @@
+(** Reverse-mode differentiation over the graph IR.
+
+    The forward pass is an ordinary {!Ax_nn.Exec.run_all} — so
+    approximate layers genuinely emulate during training, exactly as the
+    transformed TensorFlow graph does in the paper.  The backward pass
+    treats [Ax_conv2d] / [Ax_depthwise_conv2d] with the straight-through
+    estimator: their gradient is that of the underlying float
+    convolution with the same (shared) weights, while the Min/Max range
+    nodes and range constants receive no gradient — matching the
+    paper's "minimum and maximum values ... determined once per batch"
+    semantics where ranges are batch statistics, not trainables. *)
+
+type param_grad =
+  | Conv_grad of { filter : float array; bias : float array option }
+      (** HWCK-flat filter gradient (both conv flavours). *)
+  | Dense_grad of { weights : float array; bias : float array }
+  | Bn_grad of { scale : float array; shift : float array }
+
+val loss_and_gradients :
+  ?strategy:Ax_nn.Exec.strategy ->
+  Ax_nn.Graph.t ->
+  input:Ax_tensor.Tensor.t ->
+  labels:int array ->
+  float * (Ax_nn.Graph.node_id * param_grad) list
+(** Mean softmax cross-entropy and per-node parameter gradients.  The
+    graph's output node must be [Softmax] over Nx1x1xC logits; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,282 @@
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Matrix = Ax_tensor.Matrix
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+
+let conv_geometry ~spec input filter =
+  Shape.conv_output_dims (Tensor.shape input) ~kh:(Filter.kh filter)
+    ~kw:(Filter.kw filter) ~stride:spec.Conv_spec.stride
+    ~dilation:spec.Conv_spec.dilation
+    ~padding:(Conv_spec.padding_to_poly spec.Conv_spec.padding)
+
+(* One fused scatter pass over output positions computes both dX and dW:
+   for each in-bounds tap (n, h, w, c) under output (n, oh, ow, k),
+     dW[dh,dw,c,k] += X * dY   and   dX += W * dY. *)
+let conv_backward ~input ~filter ~spec ~dout =
+  let s = Tensor.shape input in
+  let out_h, out_w, pad_top, pad_left = conv_geometry ~spec input filter in
+  let out_c = Filter.out_c filter in
+  let dinput = Tensor.create s in
+  let dfilter = Array.make (Filter.num_weights filter) 0. in
+  let dbias = Array.make out_c 0. in
+  let x = Tensor.buffer input and dx = Tensor.buffer dinput in
+  let dy = Tensor.buffer dout in
+  let w_data = Filter.raw_data filter in
+  let in_c = Shape.(s.c) in
+  let row = ref 0 in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        let dy_base = !row * out_c in
+        for k = 0 to out_c - 1 do
+          dbias.(k) <- dbias.(k) +. dy.{dy_base + k}
+        done;
+        let base_h = (oh * spec.Conv_spec.stride) - pad_top in
+        let base_w = (ow * spec.Conv_spec.stride) - pad_left in
+        for dh = 0 to Filter.kh filter - 1 do
+          let h = base_h + (dh * spec.Conv_spec.dilation) in
+          if h >= 0 && h < Shape.(s.h) then
+            for dw = 0 to Filter.kw filter - 1 do
+              let w = base_w + (dw * spec.Conv_spec.dilation) in
+              if w >= 0 && w < Shape.(s.w) then begin
+                let x_off = Shape.unsafe_offset s ~n ~h ~w ~c:0 in
+                for c = 0 to in_c - 1 do
+                  let xv = x.{x_off + c} in
+                  let w_off =
+                    (Filter.tap_index filter ~h:dh ~w:dw ~c) * out_c
+                  in
+                  let acc = ref 0. in
+                  for k = 0 to out_c - 1 do
+                    let g = dy.{dy_base + k} in
+                    dfilter.(w_off + k) <- dfilter.(w_off + k) +. (xv *. g);
+                    acc := !acc +. (w_data.(w_off + k) *. g)
+                  done;
+                  dx.{x_off + c} <- dx.{x_off + c} +. !acc
+                done
+              end
+            done
+        done;
+        incr row
+      done
+    done
+  done;
+  (dinput, dfilter, dbias)
+
+let depthwise_backward ~input ~filter ~spec ~dout =
+  let s = Tensor.shape input in
+  let out_h, out_w, pad_top, pad_left = conv_geometry ~spec input filter in
+  let mult = Filter.out_c filter in
+  let in_c = Shape.(s.c) in
+  let out_c_total = in_c * mult in
+  let dinput = Tensor.create s in
+  let dfilter = Array.make (Filter.num_weights filter) 0. in
+  let dbias = Array.make out_c_total 0. in
+  let x = Tensor.buffer input and dx = Tensor.buffer dinput in
+  let dy = Tensor.buffer dout in
+  let w_data = Filter.raw_data filter in
+  let row = ref 0 in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        let dy_base = !row * out_c_total in
+        for k = 0 to out_c_total - 1 do
+          dbias.(k) <- dbias.(k) +. dy.{dy_base + k}
+        done;
+        let base_h = (oh * spec.Conv_spec.stride) - pad_top in
+        let base_w = (ow * spec.Conv_spec.stride) - pad_left in
+        for dh = 0 to Filter.kh filter - 1 do
+          let h = base_h + (dh * spec.Conv_spec.dilation) in
+          if h >= 0 && h < Shape.(s.h) then
+            for dw = 0 to Filter.kw filter - 1 do
+              let w = base_w + (dw * spec.Conv_spec.dilation) in
+              if w >= 0 && w < Shape.(s.w) then begin
+                let x_off = Shape.unsafe_offset s ~n ~h ~w ~c:0 in
+                for c = 0 to in_c - 1 do
+                  let xv = x.{x_off + c} in
+                  let w_off =
+                    (Filter.tap_index filter ~h:dh ~w:dw ~c) * mult
+                  in
+                  let acc = ref 0. in
+                  for j = 0 to mult - 1 do
+                    let g = dy.{dy_base + (c * mult) + j} in
+                    dfilter.(w_off + j) <- dfilter.(w_off + j) +. (xv *. g);
+                    acc := !acc +. (w_data.(w_off + j) *. g)
+                  done;
+                  dx.{x_off + c} <- dx.{x_off + c} +. !acc
+                done
+              end
+            done
+        done;
+        incr row
+      done
+    done
+  done;
+  (dinput, dfilter, dbias)
+
+let dense_backward ~input ~weights ~dout =
+  let s = Tensor.shape input in
+  let features = Shape.(s.h) * Shape.(s.w) * Shape.(s.c) in
+  let classes = weights.Matrix.cols in
+  if weights.Matrix.rows <> features then
+    invalid_arg "Grad.dense_backward: feature mismatch";
+  let dinput = Tensor.create s in
+  let dweights = Array.make (features * classes) 0. in
+  let dbias = Array.make classes 0. in
+  let x = Tensor.buffer input and dx = Tensor.buffer dinput in
+  let dy = Tensor.buffer dout in
+  for n = 0 to Shape.(s.n) - 1 do
+    let x_base = n * features and y_base = n * classes in
+    for k = 0 to classes - 1 do
+      dbias.(k) <- dbias.(k) +. dy.{y_base + k}
+    done;
+    for f = 0 to features - 1 do
+      let xv = x.{x_base + f} in
+      let w_base = f * classes in
+      let acc = ref 0. in
+      for k = 0 to classes - 1 do
+        let g = dy.{y_base + k} in
+        dweights.(w_base + k) <- dweights.(w_base + k) +. (xv *. g);
+        acc := !acc +. (weights.Matrix.data.(w_base + k) *. g)
+      done;
+      dx.{x_base + f} <- !acc
+    done
+  done;
+  (dinput, dweights, dbias)
+
+let relu_backward ~output ~dout =
+  if not (Shape.equal (Tensor.shape output) (Tensor.shape dout)) then
+    invalid_arg "Grad.relu_backward: shape mismatch";
+  let dinput = Tensor.copy dout in
+  let o = Tensor.buffer output and d = Tensor.buffer dinput in
+  for i = 0 to Tensor.num_elements output - 1 do
+    if o.{i} <= 0. then d.{i} <- 0.
+  done;
+  dinput
+
+let batch_norm_backward ~input ~scale ~dout =
+  let s = Tensor.shape input in
+  let channels = Shape.(s.c) in
+  if Array.length scale <> channels then
+    invalid_arg "Grad.batch_norm_backward: scale length";
+  let dinput = Tensor.create s in
+  let dscale = Array.make channels 0. in
+  let dshift = Array.make channels 0. in
+  let x = Tensor.buffer input and dx = Tensor.buffer dinput in
+  let dy = Tensor.buffer dout in
+  for i = 0 to Tensor.num_elements input - 1 do
+    let c = i mod channels in
+    let g = dy.{i} in
+    dscale.(c) <- dscale.(c) +. (g *. x.{i});
+    dshift.(c) <- dshift.(c) +. g;
+    dx.{i} <- g *. scale.(c)
+  done;
+  (dinput, dscale, dshift)
+
+let max_pool_backward ~input ~size ~stride ~dout =
+  let s = Tensor.shape input in
+  let out_h = ((Shape.(s.h) - size) / stride) + 1 in
+  let out_w = ((Shape.(s.w) - size) / stride) + 1 in
+  let dinput = Tensor.create s in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          (* Recompute the arg-max of the window (first max wins). *)
+          let best_h = ref (oh * stride) and best_w = ref (ow * stride) in
+          let best = ref (Tensor.get input ~n ~h:!best_h ~w:!best_w ~c) in
+          for dh = 0 to size - 1 do
+            for dw = 0 to size - 1 do
+              let h = (oh * stride) + dh and w = (ow * stride) + dw in
+              let v = Tensor.get input ~n ~h ~w ~c in
+              if v > !best then begin
+                best := v;
+                best_h := h;
+                best_w := w
+              end
+            done
+          done;
+          let g = Tensor.get dout ~n ~h:oh ~w:ow ~c in
+          Tensor.set dinput ~n ~h:!best_h ~w:!best_w ~c
+            (Tensor.get dinput ~n ~h:!best_h ~w:!best_w ~c +. g)
+        done
+      done
+    done
+  done;
+  dinput
+
+let global_avg_pool_backward ~input_shape ~dout =
+  let s = input_shape in
+  let dinput = Tensor.create s in
+  let cells = float_of_int (Shape.(s.h) * Shape.(s.w)) in
+  for n = 0 to Shape.(s.n) - 1 do
+    for c = 0 to Shape.(s.c) - 1 do
+      let g = Tensor.get dout ~n ~h:0 ~w:0 ~c /. cells in
+      for h = 0 to Shape.(s.h) - 1 do
+        for w = 0 to Shape.(s.w) - 1 do
+          Tensor.set dinput ~n ~h ~w ~c g
+        done
+      done
+    done
+  done;
+  dinput
+
+let shortcut_pad_backward ~input_shape ~stride ~dout =
+  let s = input_shape in
+  let dinput = Tensor.create s in
+  let ds = Tensor.shape dout in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to Shape.(ds.h) - 1 do
+      for ow = 0 to Shape.(ds.w) - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          Tensor.set dinput ~n ~h:(oh * stride) ~w:(ow * stride) ~c
+            (Tensor.get dout ~n ~h:oh ~w:ow ~c)
+        done
+      done
+    done
+  done;
+  dinput
+
+let softmax_backward ~output ~dout =
+  let s = Tensor.shape output in
+  let channels = Shape.(s.c) in
+  let dinput = Tensor.create s in
+  let p = Tensor.buffer output and dp = Tensor.buffer dout in
+  let dx = Tensor.buffer dinput in
+  let positions = Tensor.num_elements output / channels in
+  for pos = 0 to positions - 1 do
+    let base = pos * channels in
+    let dot = ref 0. in
+    for c = 0 to channels - 1 do
+      dot := !dot +. (dp.{base + c} *. p.{base + c})
+    done;
+    for c = 0 to channels - 1 do
+      dx.{base + c} <- p.{base + c} *. (dp.{base + c} -. !dot)
+    done
+  done;
+  dinput
+
+let softmax_cross_entropy ~probs ~labels =
+  let s = Tensor.shape probs in
+  if Shape.(s.h) <> 1 || Shape.(s.w) <> 1 then
+    invalid_arg "Grad.softmax_cross_entropy: expected Nx1x1xC probs";
+  if Array.length labels <> Shape.(s.n) then
+    invalid_arg "Grad.softmax_cross_entropy: label count";
+  let classes = Shape.(s.c) in
+  let batch = Shape.(s.n) in
+  let dlogits = Tensor.create s in
+  let p = Tensor.buffer probs and d = Tensor.buffer dlogits in
+  let loss = ref 0. in
+  let inv_n = 1. /. float_of_int batch in
+  for n = 0 to batch - 1 do
+    let label = labels.(n) in
+    if label < 0 || label >= classes then
+      invalid_arg "Grad.softmax_cross_entropy: label out of range";
+    let base = n * classes in
+    loss := !loss -. log (Float.max 1e-12 p.{base + label});
+    for c = 0 to classes - 1 do
+      let target = if c = label then 1. else 0. in
+      d.{base + c} <- (p.{base + c} -. target) *. inv_n
+    done
+  done;
+  (!loss *. inv_n, dlogits)

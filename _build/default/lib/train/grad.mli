@@ -1,0 +1,68 @@
+(** Backward passes (vector-Jacobian products) for every layer of the
+    graph IR — the substrate of the fine-tuning / retraining workflow
+    the paper motivates ("determining a suitable approximate
+    implementation ... requires performing additional parameter
+    fine-tuning (i.e. re-training)", Sec. I).
+
+    All functions take the layer's forward input (or output where that
+    is cheaper) and the gradient of the loss with respect to the layer
+    output, and return input gradients plus flat parameter gradients in
+    the same memory layout as the live parameters. *)
+
+val conv_backward :
+  input:Ax_tensor.Tensor.t ->
+  filter:Ax_nn.Filter.t ->
+  spec:Ax_nn.Conv_spec.t ->
+  dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t * float array * float array
+(** [(dinput, dfilter, dbias)]; [dfilter] is HWCK-flat like
+    {!Ax_nn.Filter.raw_data}, [dbias] has [out_c] entries. *)
+
+val depthwise_backward :
+  input:Ax_tensor.Tensor.t ->
+  filter:Ax_nn.Filter.t ->
+  spec:Ax_nn.Conv_spec.t ->
+  dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t * float array * float array
+(** Same contract; [dbias] has [in_c * multiplier] entries. *)
+
+val dense_backward :
+  input:Ax_tensor.Tensor.t ->
+  weights:Ax_tensor.Matrix.t ->
+  dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t * float array * float array
+
+val relu_backward :
+  output:Ax_tensor.Tensor.t -> dout:Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** Uses the forward output: gradient passes where [output > 0]. *)
+
+val batch_norm_backward :
+  input:Ax_tensor.Tensor.t ->
+  scale:float array ->
+  dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t * float array * float array
+(** Folded-affine batch norm: [(dinput, dscale, dshift)]. *)
+
+val max_pool_backward :
+  input:Ax_tensor.Tensor.t -> size:int -> stride:int ->
+  dout:Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** Routes gradient to the arg-max cell of each window (ties go to the
+    first maximum in scan order, matching the forward). *)
+
+val global_avg_pool_backward :
+  input_shape:Ax_tensor.Shape.t -> dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+
+val shortcut_pad_backward :
+  input_shape:Ax_tensor.Shape.t -> stride:int -> dout:Ax_tensor.Tensor.t ->
+  Ax_tensor.Tensor.t
+
+val softmax_backward :
+  output:Ax_tensor.Tensor.t -> dout:Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** General softmax VJP: [dx = p * (dp - sum(dp * p))] per position. *)
+
+val softmax_cross_entropy :
+  probs:Ax_tensor.Tensor.t -> labels:int array -> float * Ax_tensor.Tensor.t
+(** Mean cross-entropy of softmax [probs] (Nx1x1xC) against integer
+    labels, and the fused gradient with respect to the {e logits}
+    (the softmax input): [(p - onehot) / N]. *)

@@ -1,0 +1,74 @@
+module Graph = Ax_nn.Graph
+module Filter = Ax_nn.Filter
+module Matrix = Ax_tensor.Matrix
+
+type t = {
+  mutable learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+  velocity : (int * string, float array) Hashtbl.t;
+}
+
+let sgd ?(momentum = 0.9) ?(weight_decay = 0.) ~learning_rate () =
+  if learning_rate <= 0. then invalid_arg "Optimizer.sgd: learning_rate";
+  if momentum < 0. || momentum >= 1. then invalid_arg "Optimizer.sgd: momentum";
+  { learning_rate; momentum; weight_decay; velocity = Hashtbl.create 64 }
+
+let learning_rate t = t.learning_rate
+
+let set_learning_rate t lr =
+  if lr <= 0. then invalid_arg "Optimizer.set_learning_rate";
+  t.learning_rate <- lr
+
+(* v <- mu*v + (g + wd*p);  p <- p - lr*v.  [decay] lets biases and batch
+   norm parameters opt out of weight decay, the usual convention. *)
+let step t ~key ~params ~grad ~decay =
+  if Array.length params <> Array.length grad then
+    invalid_arg "Optimizer.apply: gradient shape mismatch";
+  let v =
+    match Hashtbl.find_opt t.velocity key with
+    | Some v -> v
+    | None ->
+      let v = Array.make (Array.length params) 0. in
+      Hashtbl.add t.velocity key v;
+      v
+  in
+  let wd = if decay then t.weight_decay else 0. in
+  for i = 0 to Array.length params - 1 do
+    v.(i) <- (t.momentum *. v.(i)) +. grad.(i) +. (wd *. params.(i));
+    params.(i) <- params.(i) -. (t.learning_rate *. v.(i))
+  done
+
+let apply t g updates =
+  List.iter
+    (fun (id, pg) ->
+      let node = Graph.node g id in
+      match (node.Graph.op, pg) with
+      | ( ( Graph.Conv2d { filter; bias; _ }
+          | Graph.Ax_conv2d { filter; bias; _ }
+          | Graph.Depthwise_conv2d { filter; bias; _ }
+          | Graph.Ax_depthwise_conv2d { filter; bias; _ } ),
+          Backprop.Conv_grad { filter = dfilter; bias = dbias } ) ->
+        step t ~key:(id, "filter") ~params:(Filter.raw_data filter)
+          ~grad:dfilter ~decay:true;
+        (match (bias, dbias) with
+        | Some b, Some db ->
+          step t ~key:(id, "bias") ~params:b ~grad:db ~decay:false
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+          invalid_arg "Optimizer.apply: bias gradient mismatch")
+      | Graph.Dense { weights; bias }, Backprop.Dense_grad { weights = dw; bias = db }
+        ->
+        step t ~key:(id, "weights") ~params:weights.Matrix.data ~grad:dw
+          ~decay:true;
+        step t ~key:(id, "bias") ~params:bias ~grad:db ~decay:false
+      | Graph.Batch_norm { scale; shift }, Backprop.Bn_grad { scale = ds; shift = dsh }
+        ->
+        step t ~key:(id, "scale") ~params:scale ~grad:ds ~decay:false;
+        step t ~key:(id, "shift") ~params:shift ~grad:dsh ~decay:false
+      | _, (Backprop.Conv_grad _ | Backprop.Dense_grad _ | Backprop.Bn_grad _)
+        ->
+        invalid_arg
+          (Printf.sprintf "Optimizer.apply: gradient kind mismatch at %s"
+             node.Graph.name))
+    updates

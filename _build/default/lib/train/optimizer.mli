@@ -1,0 +1,24 @@
+(** SGD with momentum and weight decay, updating graph parameters in
+    place.
+
+    Parameters live inside graph nodes (filters, dense matrices, batch
+    norm vectors, biases) and are {e shared} across graphs produced by
+    the Fig. 1 transform — updating the approximate graph updates the
+    accurate one, exactly like TensorFlow variables.  Momentum state is
+    keyed by node id and parameter slot, so one optimizer instance must
+    stay with one graph. *)
+
+type t
+
+val sgd :
+  ?momentum:float -> ?weight_decay:float -> learning_rate:float -> unit -> t
+(** Defaults: momentum 0.9, weight decay 0. *)
+
+val learning_rate : t -> float
+val set_learning_rate : t -> float -> unit
+
+val apply :
+  t -> Ax_nn.Graph.t -> (Ax_nn.Graph.node_id * Backprop.param_grad) list ->
+  unit
+(** One update step.  Raises [Invalid_argument] when a gradient's shape
+    does not match the node's parameters. *)

@@ -1,0 +1,108 @@
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Rng = Ax_tensor.Rng
+module Cifar = Ax_data.Cifar
+
+type config = {
+  learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+  batch_size : int;
+  epochs : int;
+  strategy : Exec.strategy;
+  shuffle_seed : int;
+}
+
+let default_config =
+  {
+    learning_rate = 0.05;
+    momentum = 0.9;
+    weight_decay = 0.;
+    batch_size = 16;
+    epochs = 5;
+    strategy = Exec.Cpu_gemm;
+    shuffle_seed = 17;
+  }
+
+type history = {
+  epoch_losses : float array;
+  epoch_accuracies : float array;
+}
+
+let gather dataset indices =
+  let images = dataset.Cifar.images in
+  let s = Tensor.shape images in
+  let count = Array.length indices in
+  let batch =
+    Tensor.create (Shape.make ~n:count ~h:Shape.(s.h) ~w:Shape.(s.w) ~c:Shape.(s.c))
+  in
+  let per_image = Shape.(s.h) * Shape.(s.w) * Shape.(s.c) in
+  let src = Tensor.buffer images and dst = Tensor.buffer batch in
+  Array.iteri
+    (fun slot index ->
+      let from = index * per_image and into = slot * per_image in
+      for i = 0 to per_image - 1 do
+        dst.{into + i} <- src.{from + i}
+      done)
+    indices;
+  (batch, Array.map (fun i -> dataset.Cifar.labels.(i)) indices)
+
+let shuffle rng indices =
+  for i = Array.length indices - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = indices.(i) in
+    indices.(i) <- indices.(j);
+    indices.(j) <- tmp
+  done
+
+let evaluate g ?strategy dataset =
+  let out = Exec.run ?strategy g ~input:dataset.Cifar.images in
+  let preds = Ax_nn.Layers.argmax_channels out in
+  let correct = ref 0 in
+  Array.iteri
+    (fun i p -> if p = dataset.Cifar.labels.(i) then incr correct)
+    preds;
+  float_of_int !correct /. float_of_int (Array.length preds)
+
+let train ?log config g dataset =
+  let n = Array.length dataset.Cifar.labels in
+  if n = 0 then invalid_arg "Trainer.train: empty dataset";
+  if config.batch_size <= 0 || config.epochs <= 0 then
+    invalid_arg "Trainer.train: bad config";
+  let optimizer =
+    Optimizer.sgd ~momentum:config.momentum
+      ~weight_decay:config.weight_decay ~learning_rate:config.learning_rate
+      ()
+  in
+  let rng = Rng.create config.shuffle_seed in
+  let indices = Array.init n (fun i -> i) in
+  let epoch_losses = Array.make config.epochs 0. in
+  let epoch_accuracies = Array.make config.epochs 0. in
+  for epoch = 0 to config.epochs - 1 do
+    shuffle rng indices;
+    let loss_sum = ref 0. and batches = ref 0 in
+    let cursor = ref 0 in
+    while !cursor < n do
+      let count = min config.batch_size (n - !cursor) in
+      let batch_idx = Array.sub indices !cursor count in
+      let images, labels = gather dataset batch_idx in
+      let loss, grads =
+        Backprop.loss_and_gradients ~strategy:config.strategy g ~input:images
+          ~labels
+      in
+      Optimizer.apply optimizer g grads;
+      loss_sum := !loss_sum +. loss;
+      incr batches;
+      cursor := !cursor + count
+    done;
+    let mean_loss = !loss_sum /. float_of_int !batches in
+    let accuracy = evaluate g ~strategy:config.strategy dataset in
+    epoch_losses.(epoch) <- mean_loss;
+    epoch_accuracies.(epoch) <- accuracy;
+    match log with
+    | Some f -> f ~epoch ~loss:mean_loss ~accuracy
+    | None -> ()
+  done;
+  { epoch_losses; epoch_accuracies }

@@ -1,0 +1,39 @@
+(** Minibatch training loop.
+
+    With an untransformed graph this is ordinary float training; with a
+    transformed graph the forward pass emulates the approximate
+    accelerator while gradients flow straight-through — i.e. the
+    approximate-hardware-aware fine-tuning workflow the paper's
+    introduction motivates. *)
+
+type config = {
+  learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+  batch_size : int;
+  epochs : int;
+  strategy : Ax_nn.Exec.strategy;  (** forward-pass flavour *)
+  shuffle_seed : int;
+}
+
+val default_config : config
+(** lr 0.05, momentum 0.9, no decay, batch 16, 5 epochs, GEMM strategy. *)
+
+type history = {
+  epoch_losses : float array;
+  epoch_accuracies : float array;  (** training accuracy after the epoch *)
+}
+
+val train :
+  ?log:(epoch:int -> loss:float -> accuracy:float -> unit) ->
+  config ->
+  Ax_nn.Graph.t ->
+  Ax_data.Cifar.t ->
+  history
+(** Mutates the graph's parameters in place and returns the learning
+    curve.  Raises [Invalid_argument] on empty datasets or non-softmax
+    outputs. *)
+
+val evaluate : Ax_nn.Graph.t -> ?strategy:Ax_nn.Exec.strategy ->
+  Ax_data.Cifar.t -> float
+(** Top-1 accuracy. *)

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Ax_arith Ax_netlist Filename Fun List Option Printf QCheck QCheck_alcotest String Sys

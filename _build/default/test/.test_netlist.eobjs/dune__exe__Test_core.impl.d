@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ax_arith Ax_data Ax_gpusim Ax_models Ax_nn Ax_tensor Buffer Float Format List Printf String Tfapprox

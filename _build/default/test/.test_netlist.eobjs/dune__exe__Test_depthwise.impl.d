@@ -1,0 +1,1 @@
+test/test_depthwise.ml: Alcotest Array Ax_arith Ax_data Ax_models Ax_nn Ax_quant Ax_tensor List Option Printf Tfapprox

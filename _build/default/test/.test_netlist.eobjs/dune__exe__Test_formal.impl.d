@@ -1,0 +1,1 @@
+test/test_formal.ml: Alcotest Array Ax_arith Ax_netlist List Printf

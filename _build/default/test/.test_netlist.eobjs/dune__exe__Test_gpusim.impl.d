@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Ax_arith Ax_gpusim Ax_models Ax_nn Ax_quant Ax_tensor List Printf

@@ -1,0 +1,1 @@
+test/test_lenet_mnist.ml: Alcotest Array Ax_data Ax_models Ax_nn Ax_tensor Ax_train Float Fun List Printf Tfapprox

@@ -1,0 +1,1 @@
+test/test_lenet_mnist.mli:

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Ax_data Ax_models Ax_nn Ax_tensor List Printf

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Ax_netlist Ax_nn Int64 List Printf QCheck QCheck_alcotest String

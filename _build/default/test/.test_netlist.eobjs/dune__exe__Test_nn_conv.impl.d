@@ -1,0 +1,1 @@
+test/test_nn_conv.ml: Alcotest Array Ax_arith Ax_nn Ax_quant Ax_tensor Bytes Float List Printf QCheck QCheck_alcotest

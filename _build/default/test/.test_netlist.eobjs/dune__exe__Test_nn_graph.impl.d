@@ -1,0 +1,1 @@
+test/test_nn_graph.ml: Alcotest Array Ax_arith Ax_nn Ax_tensor List Option Printf String Unix

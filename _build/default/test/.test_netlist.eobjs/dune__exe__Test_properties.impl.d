@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Ax_arith Ax_data Ax_models Ax_netlist Ax_nn Ax_quant Ax_tensor Float List QCheck QCheck_alcotest Tfapprox

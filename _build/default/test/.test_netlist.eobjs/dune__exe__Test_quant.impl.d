@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Ax_arith Ax_quant Ax_tensor Bytes Float List Printf QCheck QCheck_alcotest

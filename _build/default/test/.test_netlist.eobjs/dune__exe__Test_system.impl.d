@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Ax_data Ax_gpusim Ax_models Ax_netlist Ax_nn Ax_tensor Ax_train Float Lazy Printf Tfapprox

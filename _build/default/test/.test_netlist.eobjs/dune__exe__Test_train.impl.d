@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Ax_arith Ax_data Ax_models Ax_nn Ax_tensor Ax_train Float List Option Printf Tfapprox

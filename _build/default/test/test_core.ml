@@ -1,0 +1,334 @@
+(* The tfapprox facade: emulator pipeline, experiment drivers, report
+   rendering. *)
+
+module Emulator = Tfapprox.Emulator
+module Experiments = Tfapprox.Experiments
+module Report = Tfapprox.Report
+module Graph = Ax_nn.Graph
+module Profile = Ax_nn.Profile
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+module Tensor = Ax_tensor.Tensor
+module Device = Ax_gpusim.Device
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_lut_of_multiplier () =
+  let lut = Emulator.lut_of_multiplier "mul8u_exact" in
+  check_int "exact lut" 36 (Ax_arith.Lut.lookup_value lut 4 9);
+  match Emulator.lut_of_multiplier "typo" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown multiplier must fail"
+
+let test_approximate_model_arguments () =
+  let g = Resnet.build ~depth:8 () in
+  Alcotest.check_raises "neither"
+    (Invalid_argument "Emulator.approximate_model: need a multiplier or a lut")
+    (fun () -> ignore (Emulator.approximate_model g));
+  Alcotest.check_raises "both"
+    (Invalid_argument
+       "Emulator.approximate_model: both multiplier and lut given")
+    (fun () ->
+      ignore
+        (Emulator.approximate_model ~multiplier:"mul8u_exact"
+           ~lut:(Emulator.lut_of_multiplier "mul8u_exact") g))
+
+let test_full_pipeline_accuracy_and_fidelity () =
+  let g = Resnet.build ~depth:8 () in
+  let dataset = Cifar.generate ~n:10 () in
+  let reference =
+    Emulator.predictions g ~backend:Emulator.Cpu_accurate dataset.Cifar.images
+  in
+  check_int "ten predictions" 10 (Array.length reference);
+  (* Exact LUT: fidelity should be at or near 1 (only quantization
+     noise can flip a prediction). *)
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let preds =
+    Emulator.predictions approx ~backend:Emulator.Cpu_gemm dataset.Cifar.images
+  in
+  let fidelity = Emulator.agreement reference preds in
+  check_bool (Printf.sprintf "high fidelity (%.2f)" fidelity) true
+    (fidelity >= 0.8);
+  (* A brutal multiplier should disturb predictions more than exact. *)
+  let rough = Emulator.approximate_model ~multiplier:"mul8s_mitchell" g in
+  let rough_preds =
+    Emulator.predictions rough ~backend:Emulator.Cpu_gemm dataset.Cifar.images
+  in
+  check_bool "agreement defined" true
+    (Emulator.agreement reference rough_preds <= 1.)
+
+let test_accuracy_bounds () =
+  let g = Resnet.build ~depth:8 () in
+  let dataset = Cifar.generate ~n:10 () in
+  let a = Emulator.accuracy g ~backend:Emulator.Cpu_accurate dataset in
+  check_bool "accuracy in [0,1]" true (a >= 0. && a <= 1.)
+
+let test_agreement_validation () =
+  Alcotest.check_raises "length" (Invalid_argument "Emulator.agreement: length mismatch")
+    (fun () -> ignore (Emulator.agreement [| 1 |] [| 1; 2 |]));
+  Alcotest.(check (float 1e-9)) "identical" 1. (Emulator.agreement [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Emulator.agreement [| 1; 2 |] [| 1; 3 |])
+
+(* --- experiments --- *)
+
+let tiny_table1 () =
+  Experiments.table1 ~depths:[ 8 ] ~images_measured:1 ~dataset_images:1000 ()
+
+let test_table1_row_sanity () =
+  match tiny_table1 () with
+  | [ r ] ->
+    check_int "depth" 8 r.Experiments.depth;
+    check_int "layers" 7 r.Experiments.layers;
+    check_bool "cpu approx slower than accurate" true
+      (r.Experiments.cpu_approx.Experiments.t_comp
+       > r.Experiments.cpu_accurate.Experiments.t_comp);
+    check_bool "gpu approx slower than gpu accurate" true
+      (r.Experiments.gpu_approx.Experiments.t_comp
+       > r.Experiments.gpu_accurate.Experiments.t_comp);
+    check_bool "gpu much faster than cpu for emulation" true
+      (r.Experiments.speedup_approx > 10.);
+    check_bool "overheads positive" true
+      (r.Experiments.approx_overhead_cpu > 0.
+      && r.Experiments.approx_overhead_gpu > 0.);
+    check_bool "hit rate sane" true
+      (r.Experiments.lut_hit_rate > 0.3 && r.Experiments.lut_hit_rate <= 1.)
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_table1_speedup_grows_with_depth () =
+  (* Table I: the approximate speedup grows monotonically with depth
+     (init amortises).  Use the model-side times only, via two depths. *)
+  match
+    Experiments.table1 ~depths:[ 8; 20 ] ~images_measured:1
+      ~dataset_images:10_000 ()
+  with
+  | [ r8; r20 ] ->
+    check_bool "monotone gpu t_comp" true
+      (r20.Experiments.gpu_approx.Experiments.t_comp
+       > r8.Experiments.gpu_approx.Experiments.t_comp)
+  | _ -> Alcotest.fail "expected 2 rows"
+
+let test_fig2_breakdowns () =
+  match Experiments.fig2 ~depths:[ 8 ] ~images_measured:1 () with
+  | [ r ] ->
+    let sum (b : Profile.breakdown) =
+      b.Profile.init_pct +. b.Profile.quantization_pct +. b.Profile.lut_pct
+      +. b.Profile.other_pct
+    in
+    check_bool "cpu sums to 100" true (abs_float (sum r.Experiments.cpu -. 100.) < 1e-6);
+    check_bool "gpu sums to 100" true (abs_float (sum r.Experiments.gpu -. 100.) < 1e-6);
+    (* Fig. 2 shapes: quantization dominates the CPU baseline; the GPU
+       pipeline spends a visible share in LUT lookups. *)
+    check_bool "cpu quantization-dominated" true
+      (r.Experiments.cpu.Profile.quantization_pct > 50.);
+    check_bool "gpu lut share visible" true
+      (r.Experiments.gpu.Profile.lut_pct > 5.)
+  | _ -> Alcotest.fail "expected 1 row"
+
+let test_accuracy_sweep_ranks_exact_first () =
+  let rows =
+    Experiments.accuracy_sweep ~depth:8 ~images:10
+      ~multipliers:[ "mul8s_exact"; "mul8s_mitchell" ] ()
+  in
+  match rows with
+  | [ exact; mitchell ] ->
+    check_bool "exact fidelity >= mitchell fidelity" true
+      (exact.Experiments.fidelity >= mitchell.Experiments.fidelity);
+    check_bool "exact mae is 0" true (exact.Experiments.lut_mae = 0.);
+    check_bool "mitchell mae positive" true
+      (mitchell.Experiments.lut_mae > 0.)
+  | _ -> Alcotest.fail "expected 2 rows"
+
+let test_measured_hit_rate () =
+  let g = Resnet.build ~depth:8 () in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let rate =
+    Experiments.measured_lut_hit_rate ~device:Device.gtx_1080 ~graph:g ~sample
+  in
+  check_bool (Printf.sprintf "hit rate %.3f plausible" rate) true
+    (rate > 0.3 && rate <= 1.)
+
+let test_estimate_gpu_time () =
+  let g = Resnet.build ~depth:8 () in
+  let input = Resnet.input_shape ~batch:1 in
+  let kernels, init =
+    Emulator.estimate_gpu_time ~graph:g ~input ~images:10_000 ()
+  in
+  (match kernels with
+  | `Accurate phases ->
+    check_bool "accurate pipeline positive" true
+      (Ax_gpusim.Cost.total phases > 0.)
+  | `Approximate _ -> Alcotest.fail "plain graph costed as approximate");
+  check_bool "init includes context setup" true (init.Ax_gpusim.Cost.init_s > 1.);
+  let approx = Emulator.approximate_model ~multiplier:"mul8u_trunc8" g in
+  let kernels, _ =
+    Emulator.estimate_gpu_time ~graph:approx ~input ~images:10_000 ()
+  in
+  match kernels with
+  | `Approximate phases ->
+    check_bool "approx pipeline has LUT time" true
+      (phases.Ax_gpusim.Cost.lut_s > 0.)
+  | `Accurate _ -> Alcotest.fail "transformed graph costed as accurate"
+
+(* --- calibration --- *)
+
+let test_run_all_exposes_every_node () =
+  let g = Resnet.build ~depth:8 () in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let values = Ax_nn.Exec.run_all g ~input:sample in
+  check_int "one value per node" (Graph.size g) (Array.length values);
+  match values.(Graph.output g) with
+  | Ax_nn.Exec.Tensor t ->
+    check_int "output classes" 10 (Tensor.shape t).Ax_tensor.Shape.c
+  | Ax_nn.Exec.Scalar _ -> Alcotest.fail "output is a tensor"
+
+let test_bias_correct_reduces_systematic_error () =
+  (* Mitchell's multiplier always under-estimates; bias calibration must
+     bring the network output closer to the accurate model. *)
+  let g = Resnet.build ~depth:8 () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_mitchell" g in
+  let sample = (Cifar.generate ~n:4 ()).Cifar.images in
+  let fixed = Tfapprox.Calibrate.bias_correct ~sample approx in
+  let test = (Cifar.generate ~seed:99 ~n:6 ()).Cifar.images in
+  let want = Emulator.run ~backend:Emulator.Cpu_accurate g test in
+  let before =
+    Tensor.max_abs_diff want (Emulator.run ~backend:Emulator.Cpu_gemm approx test)
+  in
+  let after =
+    Tensor.max_abs_diff want (Emulator.run ~backend:Emulator.Cpu_gemm fixed test)
+  in
+  check_bool
+    (Printf.sprintf "calibration helps (%.4f -> %.4f)" before after)
+    true (after < before)
+
+let test_bias_correct_noop_on_exact_lut () =
+  (* With the exact LUT there is no systematic error to absorb: the
+     corrections must be (numerically) zero. *)
+  let g = Resnet.build ~depth:8 () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let fixed = Tfapprox.Calibrate.bias_correct ~sample approx in
+  let test = (Cifar.generate ~seed:31 ~n:4 ()).Cifar.images in
+  let a = Emulator.run ~backend:Emulator.Cpu_gemm approx test in
+  let b = Emulator.run ~backend:Emulator.Cpu_gemm fixed test in
+  check_bool "exact LUT needs no correction" true
+    (Tensor.max_abs_diff a b < 1e-6)
+
+let test_bias_correct_preserves_plain_graphs () =
+  let g = Resnet.build ~depth:8 () in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let rebuilt = Tfapprox.Calibrate.bias_correct ~sample g in
+  let test = (Cifar.generate ~seed:5 ~n:2 ()).Cifar.images in
+  let a = Emulator.run ~backend:Emulator.Cpu_accurate g test in
+  let b = Emulator.run ~backend:Emulator.Cpu_accurate rebuilt test in
+  check_bool "no Ax layers: graph unchanged" true
+    (Tensor.max_abs_diff a b = 0.)
+
+let test_mean_channel_error_reports_layers () =
+  let g = Resnet.build ~depth:8 () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_trunc6" g in
+  let sample = (Cifar.generate ~n:2 ()).Cifar.images in
+  let errs = Tfapprox.Calibrate.mean_channel_error ~sample approx in
+  check_int "one entry per conv layer" 7 (List.length errs);
+  List.iter
+    (fun (name, e) ->
+      check_bool (Printf.sprintf "%s finite" name) true (Float.is_finite e))
+    errs
+
+(* --- report rendering --- *)
+
+let render f rows =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf rows;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_report_table1 () =
+  let out = render Report.print_table1 (tiny_table1 ()) in
+  check_bool "mentions ResNet-8" true (contains out "ResNet-8");
+  check_bool "mentions speedup header" true (contains out "Spd apx");
+  check_bool "t_init + t_comp form" true (contains out " + ")
+
+let test_report_fig2 () =
+  let rows = Experiments.fig2 ~depths:[ 8 ] ~images_measured:1 () in
+  let out = render Report.print_fig2 rows in
+  check_bool "has CPU row" true (contains out "CPU:");
+  check_bool "has GPU row" true (contains out "GPU:");
+  check_bool "has LUT column" true (contains out "LUT")
+
+let test_csv_outputs () =
+  let rows = tiny_table1 () in
+  let csv = Report.table1_csv rows in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  check_int "header + one row" 2 (List.length lines);
+  check_bool "header fields" true
+    (contains (List.hd lines) "speedup_apx,lut_hit_rate");
+  check_bool "row names the dnn" true (contains csv "ResNet-8,7,");
+  let fig2 = Experiments.fig2 ~depths:[ 8 ] ~images_measured:1 () in
+  let csv2 = Report.fig2_csv fig2 in
+  let lines2 =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv2)
+  in
+  check_int "header + cpu + gpu" 3 (List.length lines2);
+  check_bool "cpu row" true (contains csv2 "ResNet-8,cpu,");
+  check_bool "gpu row" true (contains csv2 "ResNet-8,gpu,")
+
+let test_report_seconds () =
+  Alcotest.(check string) "small" "0.0010 s" (Report.seconds 0.001);
+  Alcotest.(check string) "medium" "5.00 s" (Report.seconds 5.);
+  Alcotest.(check string) "large" "3796 s" (Report.seconds 3796.)
+
+let () =
+  Alcotest.run "tfapprox_core"
+    [
+      ( "emulator",
+        [
+          Alcotest.test_case "lut_of_multiplier" `Quick test_lut_of_multiplier;
+          Alcotest.test_case "approximate_model arguments" `Quick
+            test_approximate_model_arguments;
+          Alcotest.test_case "pipeline accuracy/fidelity" `Quick
+            test_full_pipeline_accuracy_and_fidelity;
+          Alcotest.test_case "accuracy bounds" `Quick test_accuracy_bounds;
+          Alcotest.test_case "agreement validation" `Quick
+            test_agreement_validation;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1 row sanity" `Quick test_table1_row_sanity;
+          Alcotest.test_case "gpu time grows with depth" `Quick
+            test_table1_speedup_grows_with_depth;
+          Alcotest.test_case "fig2 breakdowns" `Quick test_fig2_breakdowns;
+          Alcotest.test_case "accuracy sweep" `Quick
+            test_accuracy_sweep_ranks_exact_first;
+          Alcotest.test_case "measured hit rate" `Quick test_measured_hit_rate;
+          Alcotest.test_case "estimate_gpu_time" `Quick test_estimate_gpu_time;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "run_all exposes nodes" `Quick
+            test_run_all_exposes_every_node;
+          Alcotest.test_case "reduces systematic error" `Quick
+            test_bias_correct_reduces_systematic_error;
+          Alcotest.test_case "noop on exact LUT" `Quick
+            test_bias_correct_noop_on_exact_lut;
+          Alcotest.test_case "plain graphs preserved" `Quick
+            test_bias_correct_preserves_plain_graphs;
+          Alcotest.test_case "mean channel error" `Quick
+            test_mean_channel_error_reports_layers;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table1 text" `Quick test_report_table1;
+          Alcotest.test_case "fig2 text" `Quick test_report_fig2;
+          Alcotest.test_case "seconds" `Quick test_report_seconds;
+          Alcotest.test_case "csv outputs" `Quick test_csv_outputs;
+        ] );
+    ]

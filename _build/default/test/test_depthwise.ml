@@ -1,0 +1,331 @@
+(* Depthwise convolution (accurate + AxDepthwiseConv2D), transform
+   coverage and the MobileNet-style workload. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Depthwise = Ax_nn.Depthwise
+module Axconv = Ax_nn.Axconv
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Transform = Ax_nn.Transform
+module Q = Ax_quant.Quantization
+module Round = Ax_quant.Round
+module Range = Ax_quant.Range
+module Registry = Ax_arith.Registry
+module Mobilenet = Ax_models.Mobilenet
+module Cifar = Ax_data.Cifar
+module Emulator = Tfapprox.Emulator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_input ~seed shape =
+  let t = Tensor.create shape in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1.4 (Rng.create seed) t;
+  t
+
+let random_filter ~seed ~kh ~kw ~in_c ~mult =
+  let f = Filter.create ~kh ~kw ~in_c ~out_c:mult in
+  Filter.fill_he_normal (Rng.create seed) f;
+  f
+
+(* Independent reference: per-channel scalar loops, no shared helpers. *)
+let reference_float ~input ~filter ~spec =
+  let s = Tensor.shape input in
+  let out_h, out_w, pad_top, pad_left =
+    Shape.conv_output_dims s ~kh:(Filter.kh filter) ~kw:(Filter.kw filter)
+      ~stride:spec.Conv_spec.stride ~dilation:spec.Conv_spec.dilation
+      ~padding:(Conv_spec.padding_to_poly spec.Conv_spec.padding)
+  in
+  let mult = Filter.out_c filter in
+  let out =
+    Tensor.create
+      (Shape.make ~n:Shape.(s.n) ~h:out_h ~w:out_w ~c:(Shape.(s.c) * mult))
+  in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          for j = 0 to mult - 1 do
+            let acc = ref 0. in
+            for dh = 0 to Filter.kh filter - 1 do
+              for dw = 0 to Filter.kw filter - 1 do
+                let h = (oh * spec.Conv_spec.stride) - pad_top + (dh * spec.Conv_spec.dilation) in
+                let w = (ow * spec.Conv_spec.stride) - pad_left + (dw * spec.Conv_spec.dilation) in
+                if h >= 0 && h < Shape.(s.h) && w >= 0 && w < Shape.(s.w) then
+                  acc :=
+                    !acc
+                    +. Tensor.get input ~n ~h ~w ~c
+                       *. Filter.get filter ~h:dh ~w:dw ~c ~k:j
+              done
+            done;
+            Tensor.set out ~n ~h:oh ~w:ow ~c:((c * mult) + j) !acc
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let specs =
+  [
+    Conv_spec.make ~padding:Conv_spec.Same ();
+    Conv_spec.make ~padding:Conv_spec.Valid ();
+    Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+    Conv_spec.make ~dilation:2 ~padding:Conv_spec.Valid ();
+  ]
+
+let test_float_matches_reference () =
+  List.iteri
+    (fun i spec ->
+      List.iter
+        (fun mult ->
+          let input = random_input ~seed:(i + 40) (Shape.make ~n:2 ~h:8 ~w:8 ~c:3) in
+          let filter = random_filter ~seed:(i + 50) ~kh:3 ~kw:3 ~in_c:3 ~mult in
+          let want = reference_float ~input ~filter ~spec in
+          let got = Depthwise.float_conv ~input ~filter ~spec () in
+          check_bool
+            (Printf.sprintf "spec %d mult %d (diff %g)" i mult
+               (Tensor.max_abs_diff want got))
+            true
+            (Tensor.approx_equal ~tolerance:1e-5 want got))
+        [ 1; 2 ])
+    specs
+
+let test_output_shape_and_macs () =
+  let s = Shape.make ~n:1 ~h:8 ~w:8 ~c:4 in
+  let filter = random_filter ~seed:1 ~kh:3 ~kw:3 ~in_c:4 ~mult:2 in
+  let spec = Conv_spec.default in
+  let out = Depthwise.output_shape ~spec s filter in
+  check_bool "shape" true (Shape.equal out (Shape.make ~n:1 ~h:8 ~w:8 ~c:8));
+  (* 8*8 positions x 8 output channels x 9 taps *)
+  check_int "macs" (8 * 8 * 8 * 9) (Depthwise.macs ~spec s filter)
+
+let test_channel_mismatch_rejected () =
+  let s = Shape.make ~n:1 ~h:4 ~w:4 ~c:3 in
+  let filter = random_filter ~seed:2 ~kh:3 ~kw:3 ~in_c:4 ~mult:1 in
+  Alcotest.check_raises "channels"
+    (Invalid_argument
+       "Depthwise.output_shape: input has 3 channels, filter wants 4")
+    (fun () ->
+      ignore
+        (Depthwise.output_shape ~spec:Conv_spec.default s filter))
+
+let run_approx ~entry ~input ~filter ~spec =
+  let config = Axconv.make_config (Registry.lut entry) in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  Depthwise.approx_conv ~config ~input ~input_range ~filter ~filter_range
+    ~spec ()
+
+(* Quantize-multiply-dequantize reference in the style of the AxConv2D
+   tests: naive Eq. 3 expansion per tap. *)
+let reference_approx ~entry ~input ~filter ~spec =
+  let signedness = entry.Registry.signedness in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let c1 =
+    Q.compute_coeffs signedness ~rmin:input_range.Range.min
+      ~rmax:input_range.Range.max
+  in
+  let c2 = Q.compute_coeffs signedness ~rmin:fmin ~rmax:fmax in
+  let s = Tensor.shape input in
+  let out_h, out_w, pad_top, pad_left =
+    Shape.conv_output_dims s ~kh:(Filter.kh filter) ~kw:(Filter.kw filter)
+      ~stride:spec.Conv_spec.stride ~dilation:spec.Conv_spec.dilation
+      ~padding:(Conv_spec.padding_to_poly spec.Conv_spec.padding)
+  in
+  let mult = Filter.out_c filter in
+  let out =
+    Tensor.create
+      (Shape.make ~n:Shape.(s.n) ~h:out_h ~w:out_w ~c:(Shape.(s.c) * mult))
+  in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to out_h - 1 do
+      for ow = 0 to out_w - 1 do
+        for c = 0 to Shape.(s.c) - 1 do
+          for j = 0 to mult - 1 do
+            let acc = ref 0 in
+            for dh = 0 to Filter.kh filter - 1 do
+              for dw = 0 to Filter.kw filter - 1 do
+                let h = (oh * spec.Conv_spec.stride) - pad_top + (dh * spec.Conv_spec.dilation) in
+                let w = (ow * spec.Conv_spec.stride) - pad_left + (dw * spec.Conv_spec.dilation) in
+                let x =
+                  if h >= 0 && h < Shape.(s.h) && w >= 0 && w < Shape.(s.w)
+                  then Tensor.get input ~n ~h ~w ~c
+                  else 0.
+                in
+                let q1 = Q.quantize c1 Round.Nearest_even signedness x in
+                let q2 =
+                  Q.quantize c2 Round.Nearest_even signedness
+                    (Filter.get filter ~h:dh ~w:dw ~c ~k:j)
+                in
+                acc :=
+                  !acc
+                  + entry.Registry.multiply q1 q2
+                  - (c2.Q.beta * q1) - (c1.Q.beta * q2)
+                  + (c1.Q.beta * c2.Q.beta)
+              done
+            done;
+            Tensor.set out ~n ~h:oh ~w:ow ~c:((c * mult) + j)
+              (c1.Q.alpha *. c2.Q.alpha *. float_of_int !acc)
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let test_approx_matches_reference () =
+  List.iter
+    (fun entry_name ->
+      let entry = Registry.find_exn entry_name in
+      List.iteri
+        (fun i spec ->
+          let input = random_input ~seed:(i + 60) (Shape.make ~n:2 ~h:7 ~w:7 ~c:3) in
+          let filter = random_filter ~seed:(i + 70) ~kh:3 ~kw:3 ~in_c:3 ~mult:2 in
+          let want = reference_approx ~entry ~input ~filter ~spec in
+          let got = run_approx ~entry ~input ~filter ~spec in
+          check_bool
+            (Printf.sprintf "%s spec %d (diff %g)" entry_name i
+               (Tensor.max_abs_diff want got))
+            true
+            (Tensor.approx_equal ~tolerance:1e-4 want got))
+        specs)
+    [ "mul8s_exact"; "mul8s_trunc6"; "mul8u_exact" ]
+
+let test_approx_exact_lut_close_to_float () =
+  let input = random_input ~seed:3 (Shape.make ~n:1 ~h:10 ~w:10 ~c:4) in
+  let filter = random_filter ~seed:4 ~kh:3 ~kw:3 ~in_c:4 ~mult:1 in
+  let spec = Conv_spec.default in
+  let want = Depthwise.float_conv ~input ~filter ~spec () in
+  let got =
+    run_approx ~entry:(Registry.find_exn "mul8s_exact") ~input ~filter ~spec
+  in
+  let diff = Tensor.max_abs_diff want got in
+  check_bool (Printf.sprintf "quantization noise only (%g)" diff) true
+    (diff < 0.1)
+
+let test_bias_and_validation () =
+  let input = random_input ~seed:5 (Shape.make ~n:1 ~h:4 ~w:4 ~c:2) in
+  let filter = random_filter ~seed:6 ~kh:3 ~kw:3 ~in_c:2 ~mult:2 in
+  let spec = Conv_spec.default in
+  let without = Depthwise.float_conv ~input ~filter ~spec () in
+  let bias = [| 1.; 2.; 3.; 4. |] in
+  let with_bias = Depthwise.float_conv ~input ~filter ~bias ~spec () in
+  Alcotest.(check (float 1e-5)) "bias channel 2" 3.
+    (Tensor.get with_bias ~n:0 ~h:1 ~w:1 ~c:2
+    -. Tensor.get without ~n:0 ~h:1 ~w:1 ~c:2);
+  Alcotest.check_raises "bad bias"
+    (Invalid_argument "Depthwise: bias length differs from in_c * multiplier")
+    (fun () ->
+      ignore (Depthwise.float_conv ~input ~filter ~bias:[| 1. |] ~spec ()))
+
+(* --- graph integration --- *)
+
+let test_transform_covers_depthwise () =
+  let g = Mobilenet.build () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let remaining =
+    Array.to_list (Graph.nodes approx)
+    |> List.filter (fun n ->
+           match n.Graph.op with
+           | Graph.Conv2d _ | Graph.Depthwise_conv2d _ -> true
+           | _ -> false)
+  in
+  check_int "no accurate convolutions left" 0 (List.length remaining);
+  let ax_dw =
+    Array.to_list (Graph.nodes approx)
+    |> List.filter (fun n ->
+           match n.Graph.op with
+           | Graph.Ax_depthwise_conv2d _ -> true
+           | _ -> false)
+  in
+  check_int "four AxDepthwiseConv2D blocks" 4 (List.length ax_dw)
+
+let test_mobilenet_runs_and_transform_preserves () =
+  let g = Mobilenet.build () in
+  let data = (Cifar.generate ~n:4 ()).Cifar.images in
+  let want = Exec.run g ~input:data in
+  let s = Tensor.shape want in
+  check_bool "output shape" true
+    (Shape.equal s (Shape.make ~n:4 ~h:1 ~w:1 ~c:10));
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let got = Exec.run approx ~input:data in
+  check_bool
+    (Printf.sprintf "exact LUT close (%g)" (Tensor.max_abs_diff want got))
+    true
+    (Tensor.max_abs_diff want got < 0.25)
+
+let test_mobilenet_macs_positive_and_stable () =
+  let m = Mobilenet.macs_per_image () in
+  check_bool "macs positive" true (m > 0);
+  check_int "deterministic" m (Mobilenet.macs_per_image ());
+  (* Depthwise layers contribute: removing them (blocks=0 invalid) —
+     compare widths instead. *)
+  check_bool "wider is costlier" true
+    (Mobilenet.macs_per_image ~width:32 () > m)
+
+let test_per_layer_transform_on_depthwise () =
+  let g = Mobilenet.build () in
+  let config =
+    Axconv.make_config (Registry.lut (Registry.find_exn "mul8s_exact"))
+  in
+  let approx = Transform.per_layer ~configs:[ ("block0/dw", config) ] g in
+  match (Option.get (Graph.find_by_name approx "block0/dw")).Graph.op with
+  | Graph.Ax_depthwise_conv2d _ -> ()
+  | _ -> Alcotest.fail "block0/dw transformed"
+
+let test_calibration_covers_depthwise () =
+  let g = Mobilenet.build ~blocks:2 () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_mitchell" g in
+  let sample = (Cifar.generate ~n:3 ()).Cifar.images in
+  let fixed = Tfapprox.Calibrate.bias_correct ~sample approx in
+  let test = (Cifar.generate ~seed:77 ~n:4 ()).Cifar.images in
+  let want = Exec.run g ~input:test in
+  let before = Tensor.max_abs_diff want (Exec.run approx ~input:test) in
+  let after = Tensor.max_abs_diff want (Exec.run fixed ~input:test) in
+  check_bool
+    (Printf.sprintf "calibration helps depthwise nets (%.4f -> %.4f)" before
+       after)
+    true (after < before)
+
+let () =
+  Alcotest.run "ax_depthwise"
+    [
+      ( "float",
+        [
+          Alcotest.test_case "matches reference" `Quick
+            test_float_matches_reference;
+          Alcotest.test_case "shape and macs" `Quick
+            test_output_shape_and_macs;
+          Alcotest.test_case "channel mismatch" `Quick
+            test_channel_mismatch_rejected;
+          Alcotest.test_case "bias and validation" `Quick
+            test_bias_and_validation;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "matches quantized reference" `Quick
+            test_approx_matches_reference;
+          Alcotest.test_case "exact LUT close to float" `Quick
+            test_approx_exact_lut_close_to_float;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "transform covers depthwise" `Quick
+            test_transform_covers_depthwise;
+          Alcotest.test_case "mobilenet runs" `Quick
+            test_mobilenet_runs_and_transform_preserves;
+          Alcotest.test_case "mobilenet macs" `Quick
+            test_mobilenet_macs_positive_and_stable;
+          Alcotest.test_case "per-layer transform" `Quick
+            test_per_layer_transform_on_depthwise;
+          Alcotest.test_case "calibration covers depthwise" `Quick
+            test_calibration_covers_depthwise;
+        ] );
+    ]

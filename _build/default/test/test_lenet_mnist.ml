@@ -1,0 +1,131 @@
+(* The second workload domain: seven-segment digit data and the
+   LeNet-style model, through inference, transform, and training. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Mnist = Ax_data.Mnist
+module Lenet = Ax_models.Lenet
+module Trainer = Ax_train.Trainer
+module Emulator = Tfapprox.Emulator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- dataset --- *)
+
+let test_mnist_geometry_and_range () =
+  let d = Mnist.generate ~n:12 () in
+  check_bool "12x28x28x1" true
+    (Shape.equal (Tensor.shape d.Mnist.images)
+       (Shape.make ~n:12 ~h:28 ~w:28 ~c:1));
+  Tensor.iteri_flat
+    (fun _ v -> if v < 0. || v > 1. then Alcotest.failf "pixel %g" v)
+    d.Mnist.images;
+  check_int "labels cycle" 1 d.Mnist.labels.(11)
+
+let test_seven_segment_table () =
+  (* 8 lights everything, 1 lights exactly b and c. *)
+  check_bool "digit 8" true
+    (Array.for_all Fun.id (Mnist.segments_of_digit 8));
+  Alcotest.(check (array bool)) "digit 1"
+    [| false; true; true; false; false; false; false |]
+    (Mnist.segments_of_digit 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Mnist.segments_of_digit: 10") (fun () ->
+      ignore (Mnist.segments_of_digit 10))
+
+let test_digits_have_distinct_ink () =
+  (* Digit 8 lights every segment, digit 1 only two: mean intensity must
+     differ clearly. *)
+  let d = Mnist.generate ~n:20 () in
+  let mean_of label =
+    let acc = ref 0. and count = ref 0 in
+    Array.iteri
+      (fun i l ->
+        if l = label then begin
+          incr count;
+          for px = 0 to (28 * 28) - 1 do
+            acc := !acc +. Tensor.get_flat d.Mnist.images ((i * 28 * 28) + px)
+          done
+        end)
+      d.Mnist.labels;
+    !acc /. float_of_int (!count * 28 * 28)
+  in
+  check_bool "8 has more ink than 1" true (mean_of 8 > mean_of 1 +. 0.02)
+
+let test_mnist_deterministic () =
+  let a = Mnist.generate ~seed:3 ~n:4 () in
+  let b = Mnist.generate ~seed:3 ~n:4 () in
+  check_bool "same seed" true
+    (Tensor.max_abs_diff a.Mnist.images b.Mnist.images = 0.)
+
+(* --- lenet --- *)
+
+let test_lenet_shapes () =
+  let g = Lenet.build () in
+  let d = Mnist.generate ~n:3 () in
+  let out = Exec.run g ~input:d.Mnist.images in
+  check_bool "3x1x1x10 output" true
+    (Shape.equal (Tensor.shape out) (Shape.make ~n:3 ~h:1 ~w:1 ~c:10));
+  check_int "two conv layers" 2 (List.length (Graph.conv_layers g));
+  check_bool "macs positive" true (Lenet.macs_per_image () > 100_000)
+
+let test_lenet_transform_and_emulate () =
+  let g = Lenet.build () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let d = Mnist.generate ~n:2 () in
+  let want = Exec.run g ~input:d.Mnist.images in
+  let got = Exec.run approx ~input:d.Mnist.images in
+  check_bool
+    (Printf.sprintf "exact LUT close (%g)" (Tensor.max_abs_diff want got))
+    true
+    (Tensor.max_abs_diff want got < 0.3);
+  (* Valid padding + maxpool path also agrees across strategies. *)
+  let a = Exec.run ~strategy:Exec.Cpu_gemm approx ~input:d.Mnist.images in
+  let b = Exec.run ~strategy:Exec.Cpu_direct approx ~input:d.Mnist.images in
+  check_bool "strategies agree" true (Tensor.max_abs_diff a b = 0.)
+
+let test_lenet_learns_digits () =
+  let g = Lenet.build ~seed:5 () in
+  let data = Mnist.normalize (Mnist.generate ~seed:6 ~n:60 ()) in
+  let config =
+    {
+      Trainer.default_config with
+      Trainer.epochs = 8;
+      learning_rate = 0.05;
+      batch_size = 12;
+    }
+  in
+  let history = Trainer.train config g data in
+  let best = Array.fold_left Float.max 0. history.Trainer.epoch_accuracies in
+  check_bool
+    (Printf.sprintf "digits are learnable (best %.2f)" best)
+    true (best > 0.5);
+  (* Generalizes to fresh jitter/noise draws. *)
+  let held_out = Mnist.normalize (Mnist.generate ~seed:77 ~n:30 ()) in
+  let acc = Trainer.evaluate g held_out in
+  check_bool (Printf.sprintf "held-out %.2f" acc) true (acc > 0.3)
+
+let () =
+  Alcotest.run "ax_lenet_mnist"
+    [
+      ( "mnist",
+        [
+          Alcotest.test_case "geometry and range" `Quick
+            test_mnist_geometry_and_range;
+          Alcotest.test_case "seven-segment table" `Quick
+            test_seven_segment_table;
+          Alcotest.test_case "distinct ink per digit" `Quick
+            test_digits_have_distinct_ink;
+          Alcotest.test_case "deterministic" `Quick test_mnist_deterministic;
+        ] );
+      ( "lenet",
+        [
+          Alcotest.test_case "shapes" `Quick test_lenet_shapes;
+          Alcotest.test_case "transform and emulate" `Quick
+            test_lenet_transform_and_emulate;
+          Alcotest.test_case "learns digits" `Slow test_lenet_learns_digits;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Model serialization: structural and bit-exact functional roundtrips
+   for plain, transformed (LUT-embedding) and trained graphs. *)
+
+module Graph = Ax_nn.Graph
+module Model_io = Ax_nn.Model_io
+module Exec = Ax_nn.Exec
+module Tensor = Ax_tensor.Tensor
+module Resnet = Ax_models.Resnet
+module Mobilenet = Ax_models.Mobilenet
+module Cifar = Ax_data.Cifar
+module Emulator = Tfapprox.Emulator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip g = Model_io.of_bytes (Model_io.to_bytes g)
+
+let bitwise_same_outputs a b input =
+  Tensor.max_abs_diff (Exec.run a ~input) (Exec.run b ~input) = 0.
+
+let test_roundtrip_resnet_structure () =
+  let g = Resnet.build ~depth:14 () in
+  let g' = roundtrip g in
+  check_int "node count" (Graph.size g) (Graph.size g');
+  check_int "output id" (Graph.output g) (Graph.output g');
+  Array.iteri
+    (fun i n ->
+      let n' = (Graph.nodes g').(i) in
+      check_bool "names match" true (n.Graph.name = n'.Graph.name);
+      check_bool "inputs match" true (n.Graph.inputs = n'.Graph.inputs);
+      check_bool "op kind matches" true
+        (Graph.op_name n.Graph.op = Graph.op_name n'.Graph.op))
+    (Graph.nodes g)
+
+let test_roundtrip_resnet_bit_exact () =
+  let g = Resnet.build ~depth:8 () in
+  let g' = roundtrip g in
+  let input = (Cifar.generate ~n:3 ()).Cifar.images in
+  check_bool "outputs bit-identical" true (bitwise_same_outputs g g' input)
+
+let test_roundtrip_transformed_with_lut () =
+  let g = Resnet.build ~depth:8 () in
+  let approx =
+    Emulator.approximate_model ~multiplier:"mul8s_mitchell" ~chunk_size:7 g
+  in
+  let approx' = roundtrip approx in
+  let input = (Cifar.generate ~n:2 ()).Cifar.images in
+  check_bool "emulated outputs bit-identical" true
+    (bitwise_same_outputs approx approx' input);
+  (* The embedded LUT really is the multiplier's table. *)
+  (match (Option.get (Graph.find_by_name approx' "conv0")).Graph.op with
+  | Graph.Ax_conv2d { config; _ } ->
+    check_bool "lut roundtrips" true
+      (Ax_arith.Lut.equal config.Ax_nn.Axconv.lut
+         (Emulator.lut_of_multiplier "mul8s_mitchell"));
+    check_int "chunk size preserved" 7 config.Ax_nn.Axconv.chunk_size
+  | _ -> Alcotest.fail "conv0 should be AxConv2D")
+
+let test_roundtrip_mobilenet_depthwise () =
+  let g = Mobilenet.build ~blocks:2 () in
+  let approx = Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let approx' = roundtrip approx in
+  let input = (Cifar.generate ~n:2 ()).Cifar.images in
+  check_bool "depthwise model roundtrips" true
+    (bitwise_same_outputs approx approx' input)
+
+let test_roundtrip_per_channel_config () =
+  let g = Resnet.build ~depth:8 () in
+  let config =
+    Ax_nn.Axconv.make_config ~granularity:Ax_nn.Axconv.Per_channel
+      ~round_mode:Ax_quant.Round.Toward_zero
+      (Emulator.lut_of_multiplier "mul8u_trunc8")
+  in
+  let approx = Ax_nn.Transform.approximate ~config g in
+  let approx' = roundtrip approx in
+  match (Option.get (Graph.find_by_name approx' "conv0")).Graph.op with
+  | Graph.Ax_conv2d { config; _ } ->
+    check_bool "granularity preserved" true
+      (config.Ax_nn.Axconv.granularity = Ax_nn.Axconv.Per_channel);
+    check_bool "round mode preserved" true
+      (config.Ax_nn.Axconv.round_mode = Ax_quant.Round.Toward_zero)
+  | _ -> Alcotest.fail "conv0 should be AxConv2D"
+
+let test_file_roundtrip () =
+  let g = Resnet.build ~depth:8 () in
+  let path = Filename.temp_file "axmdl" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Model_io.save path g;
+      let g' = Model_io.load path in
+      let input = (Cifar.generate ~n:2 ()).Cifar.images in
+      check_bool "file roundtrip bit-identical" true
+        (bitwise_same_outputs g g' input))
+
+let test_rejects_garbage () =
+  (match Model_io.of_bytes (Bytes.of_string "NOTAMODELATALL") with
+  | exception Failure msg ->
+    check_bool "bad magic reported" true (msg = "Model_io: bad magic")
+  | _ -> Alcotest.fail "garbage accepted");
+  (* Truncated but correctly-headed input. *)
+  let good = Model_io.to_bytes (Resnet.build ~depth:8 ()) in
+  let cut = Bytes.sub good 0 (Bytes.length good / 3) in
+  match Model_io.of_bytes cut with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated input accepted"
+
+let test_deterministic_encoding () =
+  let g = Resnet.build ~depth:8 () in
+  check_bool "stable bytes" true
+    (Bytes.equal (Model_io.to_bytes g) (Model_io.to_bytes g))
+
+let () =
+  Alcotest.run "ax_model_io"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "resnet structure" `Quick
+            test_roundtrip_resnet_structure;
+          Alcotest.test_case "resnet bit-exact" `Quick
+            test_roundtrip_resnet_bit_exact;
+          Alcotest.test_case "transformed with LUT" `Quick
+            test_roundtrip_transformed_with_lut;
+          Alcotest.test_case "mobilenet depthwise" `Quick
+            test_roundtrip_mobilenet_depthwise;
+          Alcotest.test_case "per-channel config" `Quick
+            test_roundtrip_per_channel_config;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+          Alcotest.test_case "deterministic encoding" `Quick
+            test_deterministic_encoding;
+        ] );
+    ]

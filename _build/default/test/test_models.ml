@@ -1,0 +1,214 @@
+(* ResNet builders and the synthetic dataset. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Layers = Ax_nn.Layers
+module Resnet = Ax_models.Resnet
+module Weights = Ax_models.Weights
+module Cifar = Ax_data.Cifar
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- resnet structure --- *)
+
+let test_depths_are_table1 () =
+  Alcotest.(check (list int)) "ten depths"
+    [ 8; 14; 20; 26; 32; 38; 44; 50; 56; 62 ]
+    Resnet.table1_depths
+
+let test_conv_layer_counts_match_table1 () =
+  (* Table I: L = depth - 1 for every row. *)
+  List.iter
+    (fun depth ->
+      let g = Resnet.build ~depth () in
+      check_int
+        (Printf.sprintf "ResNet-%d conv count" depth)
+        (depth - 1)
+        (List.length (Graph.conv_layers g));
+      check_int "helper agrees" (depth - 1) (Resnet.conv_layer_count depth))
+    Resnet.table1_depths
+
+let test_macs_grow_linearly () =
+  (* Table I: t_comp and MACs grow linearly with depth; the per-6-layer
+     increment must be constant. *)
+  let macs =
+    List.map (fun depth -> Resnet.macs_per_image ~depth) Resnet.table1_depths
+  in
+  let rec increments = function
+    | a :: (b :: _ as rest) -> (b - a) :: increments rest
+    | [ _ ] | [] -> []
+  in
+  match increments macs with
+  | first :: rest ->
+    List.iter (fun d -> check_int "constant MAC increment" first d) rest
+  | [] -> Alcotest.fail "no increments"
+
+let test_invalid_depth_rejected () =
+  Alcotest.check_raises "depth 9"
+    (Invalid_argument "Resnet: depth 9 invalid ((d-2) mod 6 <> 0)") (fun () ->
+      ignore (Resnet.build ~depth:9 ()))
+
+let test_resnet8_runs_and_is_probabilistic () =
+  let g = Resnet.build ~depth:8 () in
+  let data = Cifar.generate ~n:4 () in
+  let out = Exec.run g ~input:data.Cifar.images in
+  let s = Tensor.shape out in
+  check_bool "output shape" true
+    (Shape.equal s (Shape.make ~n:4 ~h:1 ~w:1 ~c:10));
+  (* softmax rows sum to 1 *)
+  for n = 0 to 3 do
+    let sum = ref 0. in
+    for c = 0 to 9 do
+      sum := !sum +. Tensor.get out ~n ~h:0 ~w:0 ~c
+    done;
+    check_bool "row sums to 1" true (abs_float (!sum -. 1.) < 1e-4)
+  done
+
+let test_resnet_deterministic_weights () =
+  let g1 = Resnet.build ~depth:8 ~seed:3 () in
+  let g2 = Resnet.build ~depth:8 ~seed:3 () in
+  let data = Cifar.generate ~n:2 () in
+  let a = Exec.run g1 ~input:data.Cifar.images in
+  let b = Exec.run g2 ~input:data.Cifar.images in
+  check_bool "same seed, same network" true (Tensor.max_abs_diff a b = 0.);
+  let g3 = Resnet.build ~depth:8 ~seed:4 () in
+  let c = Exec.run g3 ~input:data.Cifar.images in
+  check_bool "different seed differs" true (Tensor.max_abs_diff a c > 0.)
+
+let test_shortcut_blocks_present () =
+  (* Depth 14+ has stage transitions, so ShortcutPad nodes must exist. *)
+  let g = Resnet.build ~depth:14 () in
+  let pads =
+    Array.to_list (Graph.nodes g)
+    |> List.filter (fun n ->
+           match n.Graph.op with Graph.Shortcut_pad _ -> true | _ -> false)
+  in
+  check_int "two stage transitions" 2 (List.length pads)
+
+(* --- weights --- *)
+
+let test_weights_deterministic_per_name () =
+  let f1 = Weights.conv_filter ~seed:1 ~name:"a" ~kh:3 ~kw:3 ~in_c:2 ~out_c:2 in
+  let f2 = Weights.conv_filter ~seed:1 ~name:"a" ~kh:3 ~kw:3 ~in_c:2 ~out_c:2 in
+  let f3 = Weights.conv_filter ~seed:1 ~name:"b" ~kh:3 ~kw:3 ~in_c:2 ~out_c:2 in
+  check_bool "same name same weights" true
+    (Ax_nn.Filter.to_array f1 = Ax_nn.Filter.to_array f2);
+  check_bool "different name differs" true
+    (Ax_nn.Filter.to_array f1 <> Ax_nn.Filter.to_array f3)
+
+let test_batch_norm_params_near_identity () =
+  let scale, shift = Weights.batch_norm ~seed:1 ~name:"bn" ~channels:64 in
+  Array.iter
+    (fun s -> check_bool "scale near 1" true (abs_float (s -. 1.) < 1.))
+    scale;
+  Array.iter
+    (fun s -> check_bool "shift near 0" true (abs_float s < 0.5))
+    shift
+
+(* --- cifar --- *)
+
+let test_cifar_geometry () =
+  let d = Cifar.generate ~n:12 () in
+  let s = Tensor.shape d.Cifar.images in
+  check_bool "12x32x32x3" true
+    (Shape.equal s (Shape.make ~n:12 ~h:32 ~w:32 ~c:3));
+  check_int "labels" 12 (Array.length d.Cifar.labels);
+  check_int "image bytes" (32 * 32 * 3 * 4) Cifar.image_bytes
+
+let test_cifar_values_in_range () =
+  let d = Cifar.generate ~n:5 () in
+  Tensor.iteri_flat
+    (fun _ v ->
+      if v < 0. || v > 1. then Alcotest.failf "pixel %g out of [0,1]" v)
+    d.Cifar.images
+
+let test_cifar_labels_cycle () =
+  let d = Cifar.generate ~n:25 () in
+  check_int "label 0" 0 d.Cifar.labels.(0);
+  check_int "label 9" 9 d.Cifar.labels.(9);
+  check_int "label 10 wraps" 0 d.Cifar.labels.(10);
+  check_int "label 24" 4 d.Cifar.labels.(24)
+
+let test_cifar_deterministic () =
+  let a = Cifar.generate ~seed:3 ~n:3 () in
+  let b = Cifar.generate ~seed:3 ~n:3 () in
+  check_bool "same seed" true
+    (Tensor.max_abs_diff a.Cifar.images b.Cifar.images = 0.);
+  let c = Cifar.generate ~seed:4 ~n:3 () in
+  check_bool "different seed" true
+    (Tensor.max_abs_diff a.Cifar.images c.Cifar.images > 0.)
+
+let test_cifar_batches_layout () =
+  let bs = Cifar.batches ~total:25 ~batch_size:10 () in
+  check_int "three batches" 3 (List.length bs);
+  Alcotest.(check (list int)) "sizes"
+    [ 10; 10; 5 ]
+    (List.map (fun b -> Array.length b.Cifar.labels) bs);
+  (* Batches are slices of one generation: labels keep cycling. *)
+  let second = List.nth bs 1 in
+  check_int "batch 2 first label" 0 second.Cifar.labels.(0)
+
+let test_cifar_classes_distinguishable () =
+  (* Mean image of class 0 and class 1 must differ clearly: the classes
+     encode different spatial patterns, not just noise. *)
+  let d = Cifar.generate ~n:100 () in
+  let mean_of label =
+    let acc = Array.make (32 * 32 * 3) 0. and count = ref 0 in
+    Array.iteri
+      (fun i l ->
+        if l = label then begin
+          incr count;
+          for px = 0 to (32 * 32 * 3) - 1 do
+            acc.(px) <-
+              acc.(px) +. Tensor.get_flat d.Cifar.images ((i * 32 * 32 * 3) + px)
+          done
+        end)
+      d.Cifar.labels;
+    Array.map (fun v -> v /. float_of_int !count) acc
+  in
+  let m0 = mean_of 0 and m1 = mean_of 1 in
+  let dist = ref 0. in
+  Array.iteri (fun i v -> dist := !dist +. abs_float (v -. m1.(i))) m0;
+  check_bool "class means differ" true (!dist /. 3072. > 0.05)
+
+let () =
+  Alcotest.run "ax_models_data"
+    [
+      ( "resnet",
+        [
+          Alcotest.test_case "Table I depths" `Quick test_depths_are_table1;
+          Alcotest.test_case "conv layer counts (L column)" `Quick
+            test_conv_layer_counts_match_table1;
+          Alcotest.test_case "MACs grow linearly" `Quick
+            test_macs_grow_linearly;
+          Alcotest.test_case "invalid depth rejected" `Quick
+            test_invalid_depth_rejected;
+          Alcotest.test_case "ResNet-8 runs" `Quick
+            test_resnet8_runs_and_is_probabilistic;
+          Alcotest.test_case "deterministic weights" `Quick
+            test_resnet_deterministic_weights;
+          Alcotest.test_case "shortcut blocks" `Quick
+            test_shortcut_blocks_present;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "deterministic per name" `Quick
+            test_weights_deterministic_per_name;
+          Alcotest.test_case "bn near identity" `Quick
+            test_batch_norm_params_near_identity;
+        ] );
+      ( "cifar",
+        [
+          Alcotest.test_case "geometry" `Quick test_cifar_geometry;
+          Alcotest.test_case "values in [0,1]" `Quick
+            test_cifar_values_in_range;
+          Alcotest.test_case "labels cycle" `Quick test_cifar_labels_cycle;
+          Alcotest.test_case "deterministic" `Quick test_cifar_deterministic;
+          Alcotest.test_case "batch layout" `Quick test_cifar_batches_layout;
+          Alcotest.test_case "classes distinguishable" `Quick
+            test_cifar_classes_distinguishable;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* Tests for the gate-level netlist substrate: builder invariants,
+   simulators, adders, multiplier generators, hardware cost model and
+   Verilog export. *)
+
+module Circuit = Ax_netlist.Circuit
+module Gate = Ax_netlist.Gate
+module Sim = Ax_netlist.Sim
+module Bus = Ax_netlist.Bus
+module Adders = Ax_netlist.Adders
+module Multipliers = Ax_netlist.Multipliers
+module Power = Ax_netlist.Power
+module Verilog = Ax_netlist.Verilog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- builder --- *)
+
+let test_structural_hashing () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" and b = Circuit.input c "b" in
+  let x = Circuit.and_ c a b in
+  let y = Circuit.and_ c b a in
+  check_int "AND(a,b) and AND(b,a) share one node" (Circuit.index x)
+    (Circuit.index y);
+  let n = Circuit.node_count c in
+  let _ = Circuit.and_ c a b in
+  check_int "no new node for duplicate gate" n (Circuit.node_count c)
+
+let test_constant_folding () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" in
+  let f = Circuit.const c false and t = Circuit.const c true in
+  check_int "a AND 0 = 0" (Circuit.index f) (Circuit.index (Circuit.and_ c a f));
+  check_int "a AND 1 = a" (Circuit.index a) (Circuit.index (Circuit.and_ c a t));
+  check_int "a OR 1 = 1" (Circuit.index t) (Circuit.index (Circuit.or_ c a t));
+  check_int "a OR 0 = a" (Circuit.index a) (Circuit.index (Circuit.or_ c a f));
+  check_int "a XOR 0 = a" (Circuit.index a) (Circuit.index (Circuit.xor_ c a f));
+  check_int "a XOR a = 0" (Circuit.index f) (Circuit.index (Circuit.xor_ c a a));
+  check_int "NOT NOT a = a" (Circuit.index a)
+    (Circuit.index (Circuit.not_ c (Circuit.not_ c a)))
+
+let test_duplicate_output_rejected () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" in
+  Circuit.output c "y" a;
+  Alcotest.check_raises "duplicate output label"
+    (Invalid_argument "Circuit.output: duplicate label y") (fun () ->
+      Circuit.output c "y" a)
+
+let test_levelize () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" and b = Circuit.input c "b" in
+  let x = Circuit.xor_ c a b in
+  let y = Circuit.and_ c x b in
+  let levels = Circuit.levelize c in
+  check_int "input level" 0 levels.(Circuit.index a);
+  check_int "first gate level" 1 levels.(Circuit.index x);
+  check_int "second gate level" 2 levels.(Circuit.index y)
+
+(* --- simulators --- *)
+
+let xor_circuit () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" and b = Circuit.input c "b" in
+  Circuit.output c "y" (Circuit.xor_ c a b);
+  c
+
+let test_eval_truth_table () =
+  let c = xor_circuit () in
+  List.iter
+    (fun (a, b, want) ->
+      let out = Sim.eval c [| a; b |] in
+      check_bool (Printf.sprintf "xor %b %b" a b) want out.(0))
+    [ (false, false, false); (true, false, true); (false, true, true);
+      (true, true, false) ]
+
+let test_eval_wrong_arity () =
+  let c = xor_circuit () in
+  Alcotest.check_raises "wrong input count"
+    (Invalid_argument "Sim.eval: 1 inputs given, circuit has 2") (fun () ->
+      ignore (Sim.eval c [| true |]))
+
+let test_eval_words_matches_eval () =
+  let c = xor_circuit () in
+  (* lanes 0..3 carry the four input combinations *)
+  let a = 0b0101L and b = 0b0011L in
+  let outs = Sim.eval_words c [| a; b |] in
+  check_int "bit-parallel xor" 0b0110
+    (Int64.to_int (Int64.logand outs.(0) 0xFL))
+
+let test_eval_unsigned () =
+  let c = Circuit.create () in
+  let a = Bus.input c "a" 4 and b = Bus.input c "b" 4 in
+  let sum, carry = Adders.ripple_carry c a b in
+  Bus.output c "s" sum;
+  Circuit.output c "cout" carry;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let encoded = x lor (y lsl 4) in
+      let got = Sim.eval_unsigned c ~input_bits:[ 4; 4 ] encoded in
+      check_int (Printf.sprintf "%d+%d" x y) (x + y) got
+    done
+  done
+
+(* --- adders --- *)
+
+let test_full_adder_exhaustive () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" and b = Circuit.input c "b" in
+  let cin = Circuit.input c "cin" in
+  let s, co = Adders.full_adder c a b cin in
+  Circuit.output c "s" s;
+  Circuit.output c "co" co;
+  for v = 0 to 7 do
+    let bit k = (v lsr k) land 1 = 1 in
+    let out = Sim.eval c [| bit 0; bit 1; bit 2 |] in
+    let expect = (v land 1) + ((v lsr 1) land 1) + ((v lsr 2) land 1) in
+    check_bool "sum" (expect land 1 = 1) out.(0);
+    check_bool "carry" (expect lsr 1 = 1) out.(1)
+  done
+
+let test_carry_save_reduce_constants () =
+  (* Sum three constant 4-bit rows: 5 + 9 + 14 = 28 = 0b11100. *)
+  let c = Circuit.create () in
+  let rows = List.map (fun v -> Bus.of_int c ~width:5 v) [ 5; 9; 14 ] in
+  let columns = Array.make 5 [] in
+  List.iter
+    (fun row ->
+      Array.iteri (fun k s -> columns.(k) <- s :: columns.(k)) row)
+    rows;
+  let sum = Adders.carry_save_reduce c ~width:5 columns in
+  Bus.output c "s" sum;
+  let got = Sim.eval_unsigned c ~input_bits:[] 0 in
+  check_int "carry-save constant sum" 28 got
+
+let test_kogge_stone_exhaustive () =
+  let c = Circuit.create () in
+  let a = Bus.input c "a" 8 and b = Bus.input c "b" 8 in
+  let cin = Circuit.input c "cin" in
+  let sum, carry = Adders.kogge_stone c ~carry_in:cin a b in
+  Bus.output c "s" sum;
+  Circuit.output c "cout" carry;
+  for x = 0 to 255 do
+    for y = 0 to 255 do
+      for ci = 0 to 1 do
+        let encoded = x lor (y lsl 8) lor (ci lsl 16) in
+        let got = Sim.eval_unsigned c ~input_bits:[ 8; 8; 1 ] encoded in
+        if got <> x + y + ci then
+          Alcotest.failf "KS %d+%d+%d: got %d" x y ci got
+      done
+    done
+  done
+
+let test_kogge_stone_shallower_than_ripple () =
+  (* The point of the parallel prefix: logarithmic logic depth.  The
+     unit-delay model must see it. *)
+  let delay_of build =
+    let c = Circuit.create () in
+    let a = Bus.input c "a" 16 and b = Bus.input c "b" 16 in
+    let sum, carry = build c a b in
+    Bus.output c "s" sum;
+    Circuit.output c "cout" carry;
+    (Power.analyze c).Power.delay
+  in
+  let ripple = delay_of (fun c a b -> Adders.ripple_carry c a b) in
+  let ks = delay_of (fun c a b -> Adders.kogge_stone c a b) in
+  check_bool
+    (Printf.sprintf "KS (%.1f) much shallower than ripple (%.1f)" ks ripple)
+    true
+    (ks < 0.6 *. ripple)
+
+let test_lower_or_adder () =
+  (* Gate-level LOA vs the behavioural accumulator model, exhaustive on
+     8-bit operands. *)
+  let approx_bits = 3 in
+  let c = Circuit.create () in
+  let a = Bus.input c "a" 8 and b = Bus.input c "b" 8 in
+  let sum, _carry = Adders.lower_or c ~approx_bits a b in
+  Bus.output c "s" sum;
+  let module Acc = Ax_nn.Accumulator in
+  let model = Acc.Lower_or { width = 8; approx_low = approx_bits } in
+  for x = 0 to 255 do
+    for y = 0 to 255 do
+      let got = Sim.eval_unsigned c ~input_bits:[ 8; 8 ] (x lor (y lsl 8)) in
+      (* The accumulator decodes two's complement; re-encode to compare
+         raw 8-bit patterns. *)
+      let want = Acc.add model x y land 0xff in
+      if got <> want then
+        Alcotest.failf "LOA %d+%d: netlist %d model %d" x y got want
+    done
+  done
+
+let test_lower_or_zero_is_exact () =
+  let c = Circuit.create () in
+  let a = Bus.input c "a" 6 and b = Bus.input c "b" 6 in
+  let sum, carry = Adders.lower_or c ~approx_bits:0 a b in
+  Bus.output c "s" sum;
+  Circuit.output c "cout" carry;
+  for x = 0 to 63 do
+    for y = 0 to 63 do
+      let got = Sim.eval_unsigned c ~input_bits:[ 6; 6 ] (x lor (y lsl 6)) in
+      check_int (Printf.sprintf "%d+%d" x y) (x + y) got
+    done
+  done
+
+let test_lower_or_cheaper_than_exact () =
+  let cost approx_bits =
+    let c = Circuit.create () in
+    let a = Bus.input c "a" 8 and b = Bus.input c "b" 8 in
+    let sum, _ = Adders.lower_or c ~approx_bits a b in
+    Bus.output c "s" sum;
+    (Power.analyze c).Power.area
+  in
+  check_bool "LOA cuts area" true (cost 4 < cost 0)
+
+(* --- multipliers --- *)
+
+let test_unsigned_array_exhaustive () =
+  let m = Multipliers.unsigned_array ~bits:8 in
+  let f = Multipliers.behavioural m in
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      if f a b <> a * b then
+        Alcotest.failf "mul8u %d*%d: got %d want %d" a b (f a b) (a * b)
+    done
+  done
+
+let test_baugh_wooley_exhaustive () =
+  let m = Multipliers.baugh_wooley_signed ~bits:8 in
+  let f = Multipliers.behavioural m in
+  let to_signed8 v = if v >= 128 then v - 256 else v in
+  let to_signed16 v = if v >= 32768 then v - 65536 else v in
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      let want = to_signed8 a * to_signed8 b in
+      let got = to_signed16 (f a b) in
+      if got <> want then
+        Alcotest.failf "mul8s %d*%d: got %d want %d" (to_signed8 a)
+          (to_signed8 b) got want
+    done
+  done
+
+let test_truncated_properties () =
+  let cut = 8 in
+  let m = Multipliers.truncated ~bits:8 ~cut in
+  let f = Multipliers.behavioural m in
+  (* Truncation only ever under-estimates, by less than the sum of all
+     dropped partial products. *)
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      let dropped = ref 0 in
+      for i = 0 to 7 do
+        for j = 0 to 7 do
+          if i + j < cut then
+            dropped :=
+              !dropped + (((a lsr i) land 1) * ((b lsr j) land 1) lsl (i + j))
+        done
+      done;
+      let want = (a * b) - !dropped in
+      if f a b <> want then
+        Alcotest.failf "trunc %d*%d: got %d want %d" a b (f a b) want
+    done
+  done
+
+let test_truncated_cut0_is_exact () =
+  let m = Multipliers.truncated ~bits:8 ~cut:0 in
+  let f = Multipliers.behavioural m in
+  for a = 0 to 255 do
+    let b = (a * 37) land 255 in
+    check_int "cut=0 exact" (a * b) (f a b)
+  done
+
+let test_broken_array_zero_breaks_is_exact () =
+  let m = Multipliers.broken_array ~bits:8 ~hbl:0 ~vbl:0 in
+  let f = Multipliers.behavioural m in
+  for a = 0 to 255 do
+    let b = (a * 91 + 13) land 255 in
+    check_int "bam(0,0) exact" (a * b) (f a b)
+  done
+
+let test_broken_array_smaller_area () =
+  let exact = Multipliers.unsigned_array ~bits:8 in
+  let bam = Multipliers.broken_array ~bits:8 ~hbl:2 ~vbl:6 in
+  let ra = (Power.analyze exact.Multipliers.circuit).Power.area in
+  let rb = (Power.analyze bam.Multipliers.circuit).Power.area in
+  check_bool "pruning reduces area" true (rb < ra)
+
+let test_bad_parameters_rejected () =
+  Alcotest.check_raises "cut range"
+    (Invalid_argument "Multipliers.truncated: cut out of range") (fun () ->
+      ignore (Multipliers.truncated ~bits:8 ~cut:17));
+  Alcotest.check_raises "hbl range"
+    (Invalid_argument "Multipliers.broken_array: hbl out of range") (fun () ->
+      ignore (Multipliers.broken_array ~bits:8 ~hbl:9 ~vbl:0))
+
+(* --- power model --- *)
+
+let test_power_report_sane () =
+  let m = Multipliers.unsigned_array ~bits:4 in
+  let r = Power.analyze m.Multipliers.circuit in
+  check_bool "positive area" true (r.Power.area > 0.);
+  check_bool "positive delay" true (r.Power.delay > 0.);
+  check_bool "positive power" true (r.Power.power > 0.);
+  check_bool "gates counted" true (r.Power.gates > 0);
+  check_bool "pdp consistent" true
+    (abs_float (r.Power.pdp -. (r.Power.power *. r.Power.delay)) < 1e-9)
+
+let test_signal_probabilities () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" and b = Circuit.input c "b" in
+  let y = Circuit.and_ c a b in
+  let n = Circuit.nor_ c a b in
+  let p = Power.signal_probabilities c in
+  Alcotest.(check (float 1e-9)) "p(and)" 0.25 p.(Circuit.index y);
+  Alcotest.(check (float 1e-9)) "p(nor)" 0.25 p.(Circuit.index n)
+
+let test_delay_monotone_in_depth () =
+  let shallow = Multipliers.unsigned_array ~bits:4 in
+  let deep = Multipliers.unsigned_array ~bits:8 in
+  let rs = Power.analyze shallow.Multipliers.circuit in
+  let rd = Power.analyze deep.Multipliers.circuit in
+  check_bool "wider multiplier is slower" true (rd.Power.delay > rs.Power.delay)
+
+(* --- verilog --- *)
+
+let test_verilog_structure () =
+  let m = Multipliers.unsigned_array ~bits:2 in
+  let v = Verilog.to_string m.Multipliers.circuit in
+  let contains needle =
+    let nl = String.length needle and hl = String.length v in
+    let rec go i = i + nl <= hl && (String.sub v i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "module header" true (contains "module mul2u_exact(");
+  check_bool "declares input a_0" true (contains "input a_0;");
+  check_bool "declares output p_3" true (contains "output p_3;");
+  check_bool "has assigns" true (contains "assign");
+  check_bool "endmodule" true (contains "endmodule")
+
+let test_verilog_simulation_consistency () =
+  (* The Verilog text is not executed here, but every output must be
+     driven: check each declared output appears on an assign LHS. *)
+  let m = Multipliers.truncated ~bits:4 ~cut:3 in
+  let v = Verilog.to_string m.Multipliers.circuit in
+  List.iter
+    (fun (label, _) ->
+      let needle = Printf.sprintf "assign %s =" label in
+      let nl = String.length needle and hl = String.length v in
+      let rec go i =
+        i + nl <= hl && (String.sub v i nl = needle || go (i + 1))
+      in
+      if not (go 0) then Alcotest.failf "output %s is not driven" label)
+    (Circuit.outputs m.Multipliers.circuit)
+
+let test_testbench_generation () =
+  let m = Multipliers.truncated ~bits:4 ~cut:3 in
+  let reference = Multipliers.behavioural m in
+  let tb = Verilog.testbench ~vectors:16 ~seed:3 ~reference m in
+  let contains needle =
+    let nl = String.length needle and hl = String.length tb in
+    let rec go i = i + nl <= hl && (String.sub tb i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "module header" true (contains "module mul4u_trunc3_tb;");
+  check_bool "instantiates dut" true (contains "mul4u_trunc3 dut");
+  check_bool "pass message" true (contains "PASS: 16 vectors");
+  check_bool "self-checking" true (contains "if (p !== expect_v)");
+  (* 16 check() calls with correct expected values: spot-check one. *)
+  let count_checks = ref 0 in
+  String.split_on_char '\n' tb
+  |> List.iter (fun line ->
+         if String.length line > 9 && String.sub line 4 6 = "check(" then
+           incr count_checks);
+  check_int "vector count" 16 !count_checks;
+  check_bool "deterministic" true
+    (tb = Verilog.testbench ~vectors:16 ~seed:3 ~reference m)
+
+(* --- qcheck properties --- *)
+
+let prop_pruned_le_exact =
+  QCheck.Test.make ~name:"pruned array multiplier never exceeds exact"
+    ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let m = Multipliers.truncated ~bits:8 ~cut:6 in
+      let f = Multipliers.behavioural m in
+      f a b <= a * b)
+
+let prop_mul_commutative_exact =
+  QCheck.Test.make ~name:"exact netlist multiplier is commutative" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let m = Multipliers.unsigned_array ~bits:8 in
+      let f = Multipliers.behavioural m in
+      f a b = f b a)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [ prop_pruned_le_exact; prop_mul_commutative_exact ]
+  in
+  Alcotest.run "ax_netlist"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "structural hashing" `Quick
+            test_structural_hashing;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "duplicate output rejected" `Quick
+            test_duplicate_output_rejected;
+          Alcotest.test_case "levelize" `Quick test_levelize;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "eval truth table" `Quick test_eval_truth_table;
+          Alcotest.test_case "eval wrong arity" `Quick test_eval_wrong_arity;
+          Alcotest.test_case "eval_words matches eval" `Quick
+            test_eval_words_matches_eval;
+          Alcotest.test_case "eval_unsigned adder" `Quick test_eval_unsigned;
+        ] );
+      ( "adders",
+        [
+          Alcotest.test_case "full adder exhaustive" `Quick
+            test_full_adder_exhaustive;
+          Alcotest.test_case "carry-save constants" `Quick
+            test_carry_save_reduce_constants;
+          Alcotest.test_case "kogge-stone exhaustive" `Slow
+            test_kogge_stone_exhaustive;
+          Alcotest.test_case "kogge-stone depth" `Quick
+            test_kogge_stone_shallower_than_ripple;
+          Alcotest.test_case "lower-or adder exhaustive" `Slow
+            test_lower_or_adder;
+          Alcotest.test_case "lower-or with 0 approx bits" `Quick
+            test_lower_or_zero_is_exact;
+          Alcotest.test_case "lower-or cuts area" `Quick
+            test_lower_or_cheaper_than_exact;
+        ] );
+      ( "multipliers",
+        [
+          Alcotest.test_case "mul8u exhaustive" `Slow
+            test_unsigned_array_exhaustive;
+          Alcotest.test_case "mul8s Baugh-Wooley exhaustive" `Slow
+            test_baugh_wooley_exhaustive;
+          Alcotest.test_case "truncation error model" `Slow
+            test_truncated_properties;
+          Alcotest.test_case "cut=0 is exact" `Quick
+            test_truncated_cut0_is_exact;
+          Alcotest.test_case "bam(0,0) is exact" `Quick
+            test_broken_array_zero_breaks_is_exact;
+          Alcotest.test_case "bam reduces area" `Quick
+            test_broken_array_smaller_area;
+          Alcotest.test_case "bad parameters rejected" `Quick
+            test_bad_parameters_rejected;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "report sane" `Quick test_power_report_sane;
+          Alcotest.test_case "signal probabilities" `Quick
+            test_signal_probabilities;
+          Alcotest.test_case "delay monotone in width" `Quick
+            test_delay_monotone_in_depth;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "structure" `Quick test_verilog_structure;
+          Alcotest.test_case "outputs driven" `Quick
+            test_verilog_simulation_consistency;
+          Alcotest.test_case "testbench generation" `Quick
+            test_testbench_generation;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,769 @@
+(* Convolution-path invariants:
+   - float GEMM conv == float direct conv across geometries;
+   - AxConv2D with the exact LUT == an independently-coded
+     quantize/multiply/dequantize reference (the paper's Sec. II claim);
+   - GEMM emulator strategy == direct-loop baseline strategy, bit-exact,
+     for any LUT;
+   - Eq. 4 correction-term algebra. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Conv_float = Ax_nn.Conv_float
+module Axconv = Ax_nn.Axconv
+module Conv_direct = Ax_nn.Conv_direct
+module Im2col = Ax_nn.Im2col
+module Q = Ax_quant.Quantization
+module Round = Ax_quant.Round
+module Range = Ax_quant.Range
+module S = Ax_arith.Signedness
+module Lut = Ax_arith.Lut
+module Registry = Ax_arith.Registry
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_input ~seed shape =
+  let t = Tensor.create shape in
+  Tensor.fill_uniform ~lo:(-1.2) ~hi:1.7 (Rng.create seed) t;
+  t
+
+let random_filter ~seed ~kh ~kw ~in_c ~out_c =
+  let f = Filter.create ~kh ~kw ~in_c ~out_c in
+  let rng = Rng.create seed in
+  Filter.fill_he_normal rng f;
+  f
+
+let specs_under_test =
+  [
+    Conv_spec.make ~padding:Conv_spec.Same ();
+    Conv_spec.make ~padding:Conv_spec.Valid ();
+    Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+    Conv_spec.make ~stride:2 ~padding:Conv_spec.Valid ();
+    Conv_spec.make ~dilation:2 ~padding:Conv_spec.Same ();
+    Conv_spec.make ~stride:2 ~dilation:2 ~padding:Conv_spec.Same ();
+  ]
+
+(* --- float paths agree --- *)
+
+let test_gemm_equals_direct_float () =
+  List.iteri
+    (fun i spec ->
+      let input = random_input ~seed:(100 + i) (Shape.make ~n:2 ~h:9 ~w:9 ~c:3) in
+      let filter = random_filter ~seed:(200 + i) ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+      let bias = Array.init 4 (fun k -> 0.1 *. float_of_int k) in
+      let a = Conv_float.direct ~input ~filter ~bias ~spec () in
+      let b = Conv_float.gemm ~input ~filter ~bias ~spec () in
+      check_bool
+        (Printf.sprintf "gemm = direct (spec %d), diff %g" i
+           (Tensor.max_abs_diff a b))
+        true
+        (Tensor.approx_equal ~tolerance:1e-4 a b))
+    specs_under_test
+
+let test_gemm_1x1_conv () =
+  let input = random_input ~seed:1 (Shape.make ~n:1 ~h:5 ~w:5 ~c:8) in
+  let filter = random_filter ~seed:2 ~kh:1 ~kw:1 ~in_c:8 ~out_c:3 in
+  let spec = Conv_spec.make ~padding:Conv_spec.Valid () in
+  let a = Conv_float.direct ~input ~filter ~spec () in
+  let b = Conv_float.gemm ~input ~filter ~spec () in
+  check_bool "1x1 conv" true (Tensor.approx_equal ~tolerance:1e-5 a b)
+
+(* --- quantize/multiply/dequantize reference --- *)
+
+(* Independent implementation: quantize both operands, run an integer
+   direct convolution with an arbitrary integer multiplier, dequantize
+   with the naive (non-Eq.4) formula sum alpha1(q1-b1)*alpha2(q2-b2). *)
+let reference_conv ~multiply ~signedness ~round_mode ~input ~input_range
+    ~filter ~filter_range ~spec =
+  let c1 =
+    Q.compute_coeffs signedness ~rmin:input_range.Range.min
+      ~rmax:input_range.Range.max
+  in
+  let c2 =
+    Q.compute_coeffs signedness ~rmin:filter_range.Range.min
+      ~rmax:filter_range.Range.max
+  in
+  let s = Tensor.shape input in
+  let plan =
+    Im2col.make s ~kh:(Filter.kh filter) ~kw:(Filter.kw filter) ~spec
+  in
+  let out_shape = Conv_spec.output_shape spec s filter in
+  let out = Tensor.create out_shape in
+  let q_input v = Q.quantize c1 round_mode signedness v in
+  let q_filter v = Q.quantize c2 round_mode signedness v in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to plan.Im2col.out_h - 1 do
+      for ow = 0 to plan.Im2col.out_w - 1 do
+        for k = 0 to Filter.out_c filter - 1 do
+          let acc = ref 0 in
+          let base_h = (oh * spec.Conv_spec.stride) - plan.Im2col.pad_top in
+          let base_w = (ow * spec.Conv_spec.stride) - plan.Im2col.pad_left in
+          for dh = 0 to Filter.kh filter - 1 do
+            for dw = 0 to Filter.kw filter - 1 do
+              let h = base_h + (dh * spec.Conv_spec.dilation) in
+              let w = base_w + (dw * spec.Conv_spec.dilation) in
+              for c = 0 to Shape.(s.c) - 1 do
+                let x =
+                  if h >= 0 && h < Shape.(s.h) && w >= 0 && w < Shape.(s.w)
+                  then Tensor.get input ~n ~h ~w ~c
+                  else 0.
+                in
+                let q1 = q_input x in
+                let q2 = q_filter (Filter.get filter ~h:dh ~w:dw ~c ~k) in
+                (* naive dequantized accumulation via Eq. 3 expansion *)
+                acc :=
+                  !acc + multiply q1 q2 - (c2.Q.beta * q1) - (c1.Q.beta * q2)
+                  + (c1.Q.beta * c2.Q.beta)
+              done
+            done
+          done;
+          Tensor.set out ~n ~h:oh ~w:ow ~c:k
+            (c1.Q.alpha *. c2.Q.alpha *. float_of_int !acc)
+        done
+      done
+    done
+  done;
+  out
+
+let run_axconv ?(strategy = `Gemm) ~entry ~chunk_size ~input ~filter ~spec ()
+    =
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config ~chunk_size lut in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  let conv =
+    match strategy with `Gemm -> Axconv.conv | `Direct -> Conv_direct.conv
+  in
+  conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+
+let test_axconv_matches_reference entry_name =
+  let entry = Registry.find_exn entry_name in
+  List.iteri
+    (fun i spec ->
+      let input =
+        random_input ~seed:(300 + i) (Shape.make ~n:2 ~h:8 ~w:8 ~c:3)
+      in
+      let filter =
+        random_filter ~seed:(400 + i) ~kh:3 ~kw:3 ~in_c:3 ~out_c:5
+      in
+      let input_range = Range.of_tensor input in
+      let fmin, fmax = Filter.min_max filter in
+      let filter_range = Range.make ~min:fmin ~max:fmax in
+      let want =
+        reference_conv ~multiply:entry.Registry.multiply
+          ~signedness:entry.Registry.signedness ~round_mode:Round.Nearest_even
+          ~input ~input_range ~filter ~filter_range ~spec
+      in
+      let got = run_axconv ~entry ~chunk_size:1 ~input ~filter ~spec () in
+      check_bool
+        (Printf.sprintf "axconv(%s) = reference (spec %d), diff %g" entry_name
+           i
+           (Tensor.max_abs_diff want got))
+        true
+        (Tensor.approx_equal ~tolerance:1e-4 want got))
+    specs_under_test
+
+let test_axconv_exact_lut_reference () = test_axconv_matches_reference "mul8s_exact"
+let test_axconv_trunc_lut_reference () = test_axconv_matches_reference "mul8s_trunc6"
+
+let test_axconv_unsigned_lut_reference () =
+  (* Unsigned quantization of signed data: clamping makes this the
+     stress case for the zero-point logic. *)
+  test_axconv_matches_reference "mul8u_exact"
+
+let test_axconv_exact_close_to_float () =
+  (* With the exact LUT the only deviation from the float conv is
+     quantization noise, bounded by the scales. *)
+  let input = random_input ~seed:7 (Shape.make ~n:1 ~h:10 ~w:10 ~c:3) in
+  let filter = random_filter ~seed:8 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let spec = Conv_spec.default in
+  let float_out = Conv_float.gemm ~input ~filter ~spec () in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let got = run_axconv ~entry ~chunk_size:4 ~input ~filter ~spec () in
+  let diff = Tensor.max_abs_diff float_out got in
+  (* 27 taps, per-product error ~ alpha1*|q2|max/2 + alpha2*|q1|max/2. *)
+  check_bool (Printf.sprintf "quantization noise only (%g)" diff) true
+    (diff < 0.3)
+
+let test_gemm_strategy_equals_direct_strategy () =
+  List.iter
+    (fun entry_name ->
+      let entry = Registry.find_exn entry_name in
+      List.iteri
+        (fun i spec ->
+          let input =
+            random_input ~seed:(500 + i) (Shape.make ~n:3 ~h:7 ~w:7 ~c:2)
+          in
+          let filter =
+            random_filter ~seed:(600 + i) ~kh:3 ~kw:3 ~in_c:2 ~out_c:3
+          in
+          let a = run_axconv ~strategy:`Gemm ~entry ~chunk_size:2 ~input ~filter ~spec () in
+          let b = run_axconv ~strategy:`Direct ~entry ~chunk_size:2 ~input ~filter ~spec () in
+          check_bool
+            (Printf.sprintf "strategies agree (%s, spec %d)" entry_name i)
+            true
+            (Tensor.max_abs_diff a b = 0.))
+        specs_under_test)
+    [ "mul8s_exact"; "mul8s_trunc6"; "mul8u_drum4" ]
+
+let test_chunking_invariance () =
+  (* Algorithm 1 splits the batch into chunks; results must not depend
+     on the chunk size. *)
+  let input = random_input ~seed:9 (Shape.make ~n:7 ~h:6 ~w:6 ~c:3) in
+  let filter = random_filter ~seed:10 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let spec = Conv_spec.default in
+  let entry = Registry.find_exn "mul8s_trunc6" in
+  let base = run_axconv ~entry ~chunk_size:7 ~input ~filter ~spec () in
+  List.iter
+    (fun chunk_size ->
+      let got = run_axconv ~entry ~chunk_size ~input ~filter ~spec () in
+      check_bool
+        (Printf.sprintf "chunk size %d" chunk_size)
+        true
+        (Tensor.max_abs_diff base got = 0.))
+    [ 1; 2; 3; 4; 250 ]
+
+let test_bias_applied () =
+  let input = random_input ~seed:11 (Shape.make ~n:1 ~h:4 ~w:4 ~c:1) in
+  let filter = random_filter ~seed:12 ~kh:1 ~kw:1 ~in_c:1 ~out_c:2 in
+  let spec = Conv_spec.default in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config lut in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  let without =
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+  in
+  let bias = [| 1.5; -0.5 |] in
+  let with_bias =
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~bias ~spec
+      ()
+  in
+  let d0 =
+    Tensor.get with_bias ~n:0 ~h:0 ~w:0 ~c:0
+    -. Tensor.get without ~n:0 ~h:0 ~w:0 ~c:0
+  in
+  let d1 =
+    Tensor.get with_bias ~n:0 ~h:2 ~w:3 ~c:1
+    -. Tensor.get without ~n:0 ~h:2 ~w:3 ~c:1
+  in
+  Alcotest.(check (float 1e-5)) "bias channel 0" 1.5 d0;
+  Alcotest.(check (float 1e-5)) "bias channel 1" (-0.5) d1
+
+let test_bad_bias_rejected () =
+  let input = random_input ~seed:13 (Shape.make ~n:1 ~h:4 ~w:4 ~c:1) in
+  let filter = random_filter ~seed:14 ~kh:1 ~kw:1 ~in_c:1 ~out_c:2 in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config lut in
+  let input_range = Range.of_tensor input in
+  let filter_range = Range.make ~min:(-1.) ~max:1. in
+  Alcotest.check_raises "bias mismatch"
+    (Invalid_argument "Axconv.conv: bias length differs from filter count")
+    (fun () ->
+      ignore
+        (Axconv.conv ~config ~input ~input_range ~filter ~filter_range
+           ~bias:[| 1. |] ~spec:Conv_spec.default ()))
+
+(* --- per-channel filter quantization --- *)
+
+(* A filter bank whose output channels live on very different scales:
+   the per-tensor scheme wastes almost all codes on the large channel. *)
+let scale_skewed_filter ~seed ~out_c =
+  let f = random_filter ~seed ~kh:3 ~kw:3 ~in_c:3 ~out_c in
+  let data = Filter.raw_data f in
+  Filter.iter f (fun ~h ~w ~c ~k _ ->
+      let idx = ((((h * 3) + w) * 3 + c) * out_c) + k in
+      let scale = if k = 0 then 0.01 else 1.0 in
+      data.(idx) <- data.(idx) *. scale);
+  f
+
+let run_axconv_granularity ~granularity ~entry ~input ~filter ~spec =
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config ~granularity lut in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+
+let test_per_channel_coeffs () =
+  let filter = scale_skewed_filter ~seed:31 ~out_c:3 in
+  let fmin, fmax = Filter.min_max filter in
+  let range = Range.make ~min:fmin ~max:fmax in
+  let per_tensor =
+    Axconv.filter_coeffs Axconv.Per_tensor S.Signed filter range
+  in
+  let per_channel =
+    Axconv.filter_coeffs Axconv.Per_channel S.Signed filter range
+  in
+  check_int "per-tensor entries" 3 (Array.length per_tensor);
+  check_bool "per-tensor all equal" true
+    (per_tensor.(0) = per_tensor.(1) && per_tensor.(1) = per_tensor.(2));
+  check_bool "small channel gets finer scale" true
+    (per_channel.(0).Ax_quant.Quantization.alpha
+    < 0.5 *. per_channel.(1).Ax_quant.Quantization.alpha)
+
+let test_per_channel_more_accurate_on_skewed_filters () =
+  let input = random_input ~seed:32 (Shape.make ~n:1 ~h:8 ~w:8 ~c:3) in
+  let filter = scale_skewed_filter ~seed:33 ~out_c:3 in
+  let spec = Conv_spec.default in
+  let float_out = Conv_float.gemm ~input ~filter ~spec () in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let per_tensor =
+    run_axconv_granularity ~granularity:Axconv.Per_tensor ~entry ~input
+      ~filter ~spec
+  in
+  let per_channel =
+    run_axconv_granularity ~granularity:Axconv.Per_channel ~entry ~input
+      ~filter ~spec
+  in
+  (* Compare error restricted to the small-scale channel, where the
+     per-tensor scheme loses nearly all resolution. *)
+  let channel_error out =
+    let worst = ref 0. in
+    let s = Tensor.shape out in
+    for n = 0 to Shape.(s.n) - 1 do
+      for h = 0 to Shape.(s.h) - 1 do
+        for w = 0 to Shape.(s.w) - 1 do
+          let d =
+            abs_float
+              (Tensor.get out ~n ~h ~w ~c:0 -. Tensor.get float_out ~n ~h ~w ~c:0)
+          in
+          if d > !worst then worst := d
+        done
+      done
+    done;
+    !worst
+  in
+  let pt = channel_error per_tensor and pc = channel_error per_channel in
+  check_bool
+    (Printf.sprintf "per-channel sharper on small channel (%.5f < %.5f)" pc pt)
+    true
+    (pc < 0.5 *. pt)
+
+let test_per_channel_strategies_agree () =
+  let input = random_input ~seed:34 (Shape.make ~n:2 ~h:6 ~w:6 ~c:3) in
+  let filter = scale_skewed_filter ~seed:35 ~out_c:4 in
+  let entry = Registry.find_exn "mul8s_trunc6" in
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config ~granularity:Axconv.Per_channel lut in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  let spec = Conv_spec.default in
+  let a =
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+  in
+  let b =
+    Conv_direct.conv ~config ~input ~input_range ~filter ~filter_range ~spec
+      ()
+  in
+  check_bool "per-channel strategies bit-identical" true
+    (Tensor.max_abs_diff a b = 0.)
+
+let test_per_channel_exact_lut_reference () =
+  (* Per-channel with exact LUT: channel k must match a quantize/
+     dequantize reference built with that channel's own coefficients. *)
+  let input = random_input ~seed:36 (Shape.make ~n:1 ~h:6 ~w:6 ~c:2) in
+  (* 2-in/2-out filter with channel 0 two orders of magnitude smaller. *)
+  let filter =
+    let f = random_filter ~seed:37 ~kh:3 ~kw:3 ~in_c:2 ~out_c:2 in
+    let data = Filter.raw_data f in
+    Array.iteri (fun i v -> if i mod 2 = 0 then data.(i) <- v *. 0.01) data;
+    f
+  in
+  let spec = Conv_spec.default in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let got =
+    run_axconv_granularity ~granularity:Axconv.Per_channel ~entry ~input
+      ~filter ~spec
+  in
+  (* Reference: float conv on dequantized (per-channel) operands. *)
+  let signedness = S.Signed in
+  let mn, mx = Tensor.min_max input in
+  let c1 = Q.compute_coeffs signedness ~rmin:mn ~rmax:mx in
+  let fmin, fmax = Filter.min_max filter in
+  let coeffs2 =
+    Axconv.filter_coeffs Axconv.Per_channel signedness filter
+      (Range.make ~min:fmin ~max:fmax)
+  in
+  let dq_input =
+    Tensor.map
+      (fun v ->
+        Q.dequantize c1 (Q.quantize c1 Round.Nearest_even signedness v))
+      input
+  in
+  let dq_filter = Filter.create ~kh:3 ~kw:3 ~in_c:2 ~out_c:2 in
+  Filter.iter filter (fun ~h ~w ~c ~k v ->
+      Filter.set dq_filter ~h ~w ~c ~k
+        (Q.dequantize coeffs2.(k)
+           (Q.quantize coeffs2.(k) Round.Nearest_even signedness v)));
+  let want = Conv_float.direct ~input:dq_input ~filter:dq_filter ~spec () in
+  check_bool
+    (Printf.sprintf "per-channel matches dequantized reference (%g)"
+       (Tensor.max_abs_diff want got))
+    true
+    (Tensor.approx_equal ~tolerance:1e-4 want got)
+
+(* --- accumulator models --- *)
+
+let test_accumulator_unit_semantics () =
+  let module A = Ax_nn.Accumulator in
+  check_int "wide" 100 (A.add A.Wide 70 30);
+  check_int "sat hi" 127 (A.add (A.Saturating 8) 120 30);
+  check_int "sat lo" (-128) (A.add (A.Saturating 8) (-120) (-30));
+  check_int "sat inside" 50 (A.add (A.Saturating 8) 20 30);
+  check_int "wrap" (-106) (A.add (A.Wrapping 8) 120 30);
+  check_int "wrap inside" 50 (A.add (A.Wrapping 8) 20 30);
+  Alcotest.check_raises "width range"
+    (Invalid_argument "Accumulator: width must be in 2..62") (fun () ->
+      A.validate (A.Saturating 1))
+
+let run_axconv_acc ~accumulator ~entry ~input ~filter ~spec ~strategy =
+  let lut = Registry.lut entry in
+  let config = Axconv.make_config ~accumulator lut in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  let conv =
+    match strategy with `Gemm -> Axconv.conv | `Direct -> Conv_direct.conv
+  in
+  conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+
+let test_wide_equals_sat32 () =
+  (* The paper's 32-bit accumulator never saturates at these sizes. *)
+  let input = random_input ~seed:41 (Shape.make ~n:1 ~h:8 ~w:8 ~c:3) in
+  let filter = random_filter ~seed:42 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let spec = Conv_spec.default in
+  let wide =
+    run_axconv_acc ~accumulator:Ax_nn.Accumulator.Wide ~entry ~input ~filter
+      ~spec ~strategy:`Gemm
+  in
+  let sat32 =
+    run_axconv_acc ~accumulator:(Ax_nn.Accumulator.Saturating 32) ~entry
+      ~input ~filter ~spec ~strategy:`Gemm
+  in
+  check_bool "32-bit never saturates here" true
+    (Tensor.max_abs_diff wide sat32 = 0.)
+
+let test_narrow_accumulator_deviates_and_strategies_agree () =
+  let input = random_input ~seed:43 (Shape.make ~n:1 ~h:8 ~w:8 ~c:3) in
+  let filter = random_filter ~seed:44 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let spec = Conv_spec.default in
+  let wide =
+    run_axconv_acc ~accumulator:Ax_nn.Accumulator.Wide ~entry ~input ~filter
+      ~spec ~strategy:`Gemm
+  in
+  let narrow =
+    run_axconv_acc ~accumulator:(Ax_nn.Accumulator.Saturating 12) ~entry
+      ~input ~filter ~spec ~strategy:`Gemm
+  in
+  check_bool "12-bit accumulator changes results" true
+    (Tensor.max_abs_diff wide narrow > 0.);
+  let narrow_direct =
+    run_axconv_acc ~accumulator:(Ax_nn.Accumulator.Saturating 12) ~entry
+      ~input ~filter ~spec ~strategy:`Direct
+  in
+  check_bool "strategies agree under saturation" true
+    (Tensor.max_abs_diff narrow narrow_direct = 0.)
+
+let test_saturating_less_destructive_than_wrapping () =
+  (* Classic result: on overflow, saturation degrades gracefully while
+     wrap-around is catastrophic. *)
+  let input = random_input ~seed:45 (Shape.make ~n:1 ~h:8 ~w:8 ~c:3) in
+  let filter = random_filter ~seed:46 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let spec = Conv_spec.default in
+  let reference =
+    run_axconv_acc ~accumulator:Ax_nn.Accumulator.Wide ~entry ~input ~filter
+      ~spec ~strategy:`Gemm
+  in
+  let err accumulator =
+    let out =
+      run_axconv_acc ~accumulator ~entry ~input ~filter ~spec ~strategy:`Gemm
+    in
+    Tensor.max_abs_diff reference out
+  in
+  let sat = err (Ax_nn.Accumulator.Saturating 11) in
+  let wrap = err (Ax_nn.Accumulator.Wrapping 11) in
+  check_bool
+    (Printf.sprintf "saturating (%.3f) <= wrapping (%.3f)" sat wrap)
+    true (sat <= wrap)
+
+let test_lower_or_accumulator_semantics () =
+  let module A = Ax_nn.Accumulator in
+  (* approx_low = 0 degenerates to plain wrapping. *)
+  for a = -40 to 40 do
+    for b = -40 to 40 do
+      check_int "loa(w,0) = wrap w"
+        (A.add (A.Wrapping 8) a b)
+        (A.add (A.Lower_or { width = 8; approx_low = 0 }) a b)
+    done
+  done;
+  (* The LOA error per step is bounded by 2^approx_low. *)
+  for a = 0 to 60 do
+    for b = 0 to 60 do
+      let approx = A.add (A.Lower_or { width = 8; approx_low = 3 }) a b in
+      check_bool "LOA error bound" true (abs (approx - (a + b)) < 8)
+    done
+  done;
+  Alcotest.check_raises "approx_low bound"
+    (Invalid_argument "Accumulator: approx_low must be below the width")
+    (fun () -> A.validate (A.Lower_or { width = 8; approx_low = 8 }))
+
+let test_lower_or_accumulator_in_conv () =
+  let input = random_input ~seed:47 (Shape.make ~n:1 ~h:6 ~w:6 ~c:2) in
+  let filter = random_filter ~seed:48 ~kh:3 ~kw:3 ~in_c:2 ~out_c:3 in
+  let entry = Registry.find_exn "mul8s_exact" in
+  let spec = Conv_spec.default in
+  let out =
+    run_axconv_acc
+      ~accumulator:(Ax_nn.Accumulator.Lower_or { width = 20; approx_low = 4 })
+      ~entry ~input ~filter ~spec ~strategy:`Gemm
+  in
+  Tensor.iteri_flat
+    (fun _ v -> if not (Float.is_finite v) then Alcotest.fail "non-finite")
+    out;
+  let direct =
+    run_axconv_acc
+      ~accumulator:(Ax_nn.Accumulator.Lower_or { width = 20; approx_low = 4 })
+      ~entry ~input ~filter ~spec ~strategy:`Direct
+  in
+  check_bool "strategies agree under LOA" true
+    (Tensor.max_abs_diff out direct = 0.)
+
+(* --- round modes --- *)
+
+let test_round_mode_effect_on_conv () =
+  let input = random_input ~seed:61 (Shape.make ~n:1 ~h:8 ~w:8 ~c:3) in
+  let filter = random_filter ~seed:62 ~kh:3 ~kw:3 ~in_c:3 ~out_c:4 in
+  let spec = Conv_spec.default in
+  let float_out = Conv_float.gemm ~input ~filter ~spec () in
+  let lut = Registry.lut (Registry.find_exn "mul8s_exact") in
+  let err round_mode =
+    let config = Axconv.make_config ~round_mode lut in
+    let input_range = Range.of_tensor input in
+    let fmin, fmax = Filter.min_max filter in
+    let filter_range = Range.make ~min:fmin ~max:fmax in
+    Tensor.max_abs_diff float_out
+      (Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ())
+  in
+  let nearest = err Round.Nearest_even in
+  let trunc = err Round.Toward_zero in
+  check_bool
+    (Printf.sprintf "truncation rounding hurts more (%.4f vs %.4f)" trunc
+       nearest)
+    true (trunc > nearest);
+  (* Stochastic rounding is deterministic per input (hash-based). *)
+  check_bool "stochastic reproducible" true
+    (err Round.Stochastic = err Round.Stochastic)
+
+(* --- domain parallelism --- *)
+
+let test_domains_bit_identical () =
+  let input = random_input ~seed:51 (Shape.make ~n:3 ~h:12 ~w:12 ~c:3) in
+  let filter = random_filter ~seed:52 ~kh:3 ~kw:3 ~in_c:3 ~out_c:8 in
+  let entry = Registry.find_exn "mul8s_trunc6" in
+  let spec = Conv_spec.default in
+  let run domains =
+    let config = Axconv.make_config ~domains (Registry.lut entry) in
+    let input_range = Range.of_tensor input in
+    let fmin, fmax = Filter.min_max filter in
+    let filter_range = Range.make ~min:fmin ~max:fmax in
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+  in
+  let single = run 1 in
+  List.iter
+    (fun domains ->
+      check_bool
+        (Printf.sprintf "%d domains bit-identical" domains)
+        true
+        (Tensor.max_abs_diff single (run domains) = 0.))
+    [ 2; 3; 4; 7 ]
+
+let test_domains_validation () =
+  let entry = Registry.find_exn "mul8s_exact" in
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Axconv.make_config: domains must be in 1..64")
+    (fun () ->
+      ignore (Axconv.make_config ~domains:0 (Registry.lut entry)))
+
+(* --- Eq. 4 algebra --- *)
+
+let test_eq4_correction_algebra () =
+  (* sum (q1-b1)(q2-b2) = sum q1 q2 - b2 S1 - b1 S2 + N b1 b2 for random
+     integer vectors: the identity Algorithm 1's corrections rely on. *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 100 do
+    let n = 1 + Rng.int rng 64 in
+    let q1 = Array.init n (fun _ -> Rng.int rng 256 - 128) in
+    let q2 = Array.init n (fun _ -> Rng.int rng 256 - 128) in
+    let b1 = Rng.int rng 256 - 128 and b2 = Rng.int rng 256 - 128 in
+    let lhs = ref 0 and sqq = ref 0 and s1 = ref 0 and s2 = ref 0 in
+    for i = 0 to n - 1 do
+      lhs := !lhs + ((q1.(i) - b1) * (q2.(i) - b2));
+      sqq := !sqq + (q1.(i) * q2.(i));
+      s1 := !s1 + q1.(i);
+      s2 := !s2 + q2.(i)
+    done;
+    let rhs = !sqq - (b2 * !s1) - (b1 * !s2) + (n * b1 * b2) in
+    check_int "Eq.4 identity" !lhs rhs
+  done
+
+(* --- quantize_filters --- *)
+
+let test_quantize_filters_sums () =
+  let filter = random_filter ~seed:15 ~kh:3 ~kw:3 ~in_c:2 ~out_c:3 in
+  let fmin, fmax = Filter.min_max filter in
+  let c = Q.compute_coeffs S.Signed ~rmin:fmin ~rmax:fmax in
+  let mf_t, sf =
+    Axconv.quantize_filters S.Signed c Round.Nearest_even filter
+  in
+  check_int "matrix size" (3 * 18) (Bytes.length mf_t);
+  (* Sf must equal the sum of decoded codes per filter. *)
+  for k = 0 to 2 do
+    let sum = ref 0 in
+    for tap = 0 to 17 do
+      let code = Bytes.get_uint8 mf_t ((k * 18) + tap) in
+      sum := !sum + S.value_of_code S.Signed code
+    done;
+    check_int (Printf.sprintf "Sf[%d]" k) sf.(k) !sum
+  done
+
+(* --- im2col codes --- *)
+
+let test_im2col_padding_uses_zero_point () =
+  (* An input whose range excludes zero still pads with quantized 0. *)
+  let shape = Shape.make ~n:1 ~h:2 ~w:2 ~c:1 in
+  let input = Tensor.of_array shape [| 5.; 6.; 7.; 8. |] in
+  let spec = Conv_spec.make ~padding:Conv_spec.Same () in
+  let plan = Im2col.make shape ~kh:3 ~kw:3 ~spec in
+  let coeffs = Q.compute_coeffs S.Unsigned ~rmin:5. ~rmax:8. in
+  let mp, sp =
+    Im2col.to_codes plan input ~coeffs ~round_mode:Round.Nearest_even
+      ~signedness:S.Unsigned
+  in
+  (* Top-left output position: 5 of 9 taps are padding. *)
+  let zero_code = coeffs.Q.beta land 0xff in
+  check_int "corner tap is zero-point" zero_code (Bytes.get_uint8 mp 0);
+  (* compute_coeffs extends the range to [0,8], so beta = 0 here and the
+     padding contributes 0 to Sp. *)
+  check_int "beta is 0 for [0,8]" 0 coeffs.Q.beta;
+  check_bool "sp includes only real cells" true (sp.(0) > 0)
+
+let test_im2col_shape_mismatch_rejected () =
+  let plan =
+    Im2col.make (Shape.make ~n:1 ~h:4 ~w:4 ~c:1) ~kh:3 ~kw:3
+      ~spec:Conv_spec.default
+  in
+  let wrong = Tensor.create (Shape.make ~n:1 ~h:5 ~w:5 ~c:1) in
+  Alcotest.check_raises "plan mismatch"
+    (Invalid_argument "Im2col.to_matrix: input shape differs from plan")
+    (fun () -> ignore (Im2col.to_matrix plan wrong))
+
+(* --- qcheck --- *)
+
+let prop_axconv_strategies_agree =
+  QCheck.Test.make ~name:"gemm and direct strategies bit-identical"
+    ~count:25
+    QCheck.(triple small_int (int_range 1 3) (int_range 1 2))
+    (fun (seed, stride, n) ->
+      let input =
+        random_input ~seed (Shape.make ~n ~h:6 ~w:6 ~c:2)
+      in
+      let filter =
+        random_filter ~seed:(seed + 1000) ~kh:3 ~kw:3 ~in_c:2 ~out_c:2
+      in
+      let spec = Conv_spec.make ~stride ~padding:Conv_spec.Same () in
+      let entry = Registry.find_exn "mul8s_mitchell" in
+      let a = run_axconv ~strategy:`Gemm ~entry ~chunk_size:1 ~input ~filter ~spec () in
+      let b = run_axconv ~strategy:`Direct ~entry ~chunk_size:1 ~input ~filter ~spec () in
+      Tensor.max_abs_diff a b = 0.)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_axconv_strategies_agree ] in
+  Alcotest.run "ax_nn_conv"
+    [
+      ( "float",
+        [
+          Alcotest.test_case "gemm = direct across specs" `Quick
+            test_gemm_equals_direct_float;
+          Alcotest.test_case "1x1 conv" `Quick test_gemm_1x1_conv;
+        ] );
+      ( "axconv",
+        [
+          Alcotest.test_case "exact signed LUT = reference" `Quick
+            test_axconv_exact_lut_reference;
+          Alcotest.test_case "truncated LUT = reference" `Quick
+            test_axconv_trunc_lut_reference;
+          Alcotest.test_case "unsigned LUT = reference" `Quick
+            test_axconv_unsigned_lut_reference;
+          Alcotest.test_case "exact LUT close to float conv" `Quick
+            test_axconv_exact_close_to_float;
+          Alcotest.test_case "gemm = direct strategy" `Quick
+            test_gemm_strategy_equals_direct_strategy;
+          Alcotest.test_case "chunking invariance" `Quick
+            test_chunking_invariance;
+          Alcotest.test_case "bias applied" `Quick test_bias_applied;
+          Alcotest.test_case "bad bias rejected" `Quick test_bad_bias_rejected;
+        ] );
+      ( "per-channel",
+        [
+          Alcotest.test_case "coefficient derivation" `Quick
+            test_per_channel_coeffs;
+          Alcotest.test_case "sharper on skewed filters" `Quick
+            test_per_channel_more_accurate_on_skewed_filters;
+          Alcotest.test_case "strategies agree" `Quick
+            test_per_channel_strategies_agree;
+          Alcotest.test_case "matches dequantized reference" `Quick
+            test_per_channel_exact_lut_reference;
+        ] );
+      ( "accumulator",
+        [
+          Alcotest.test_case "unit semantics" `Quick
+            test_accumulator_unit_semantics;
+          Alcotest.test_case "wide = sat32" `Quick test_wide_equals_sat32;
+          Alcotest.test_case "narrow deviates, strategies agree" `Quick
+            test_narrow_accumulator_deviates_and_strategies_agree;
+          Alcotest.test_case "saturate <= wrap damage" `Quick
+            test_saturating_less_destructive_than_wrapping;
+          Alcotest.test_case "lower-or semantics" `Quick
+            test_lower_or_accumulator_semantics;
+          Alcotest.test_case "lower-or in conv" `Quick
+            test_lower_or_accumulator_in_conv;
+        ] );
+      ( "round-modes",
+        [
+          Alcotest.test_case "truncation vs nearest on conv" `Quick
+            test_round_mode_effect_on_conv;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "bit-identical across domain counts" `Quick
+            test_domains_bit_identical;
+          Alcotest.test_case "validation" `Quick test_domains_validation;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "Eq.4 identity" `Quick
+            test_eq4_correction_algebra;
+          Alcotest.test_case "quantize_filters sums" `Quick
+            test_quantize_filters_sums;
+        ] );
+      ( "im2col",
+        [
+          Alcotest.test_case "padding uses zero-point" `Quick
+            test_im2col_padding_uses_zero_point;
+          Alcotest.test_case "shape mismatch rejected" `Quick
+            test_im2col_shape_mismatch_rejected;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,330 @@
+(* Tests for shapes, tensors, the blocked GEMM and the deterministic RNG. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Matrix = Ax_tensor.Matrix
+module Rng = Ax_tensor.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- shape --- *)
+
+let test_shape_basics () =
+  let s = Shape.make ~n:2 ~h:3 ~w:4 ~c:5 in
+  check_int "elements" 120 (Shape.num_elements s);
+  check_bool "equal" true (Shape.equal s (Shape.make ~n:2 ~h:3 ~w:4 ~c:5));
+  check_bool "unequal" false (Shape.equal s (Shape.make ~n:2 ~h:3 ~w:4 ~c:6));
+  Alcotest.(check string) "to_string" "2x3x4x5" (Shape.to_string s)
+
+let test_shape_rejects_nonpositive () =
+  Alcotest.check_raises "zero extent"
+    (Invalid_argument "Shape.make: non-positive extent 1x0x4x5") (fun () ->
+      ignore (Shape.make ~n:1 ~h:0 ~w:4 ~c:5))
+
+let test_shape_offset_layout () =
+  (* NHWC: channels fastest-varying. *)
+  let s = Shape.make ~n:2 ~h:3 ~w:4 ~c:5 in
+  check_int "c stride 1" 1
+    (Shape.offset s ~n:0 ~h:0 ~w:0 ~c:1 - Shape.offset s ~n:0 ~h:0 ~w:0 ~c:0);
+  check_int "w stride c" 5
+    (Shape.offset s ~n:0 ~h:0 ~w:1 ~c:0 - Shape.offset s ~n:0 ~h:0 ~w:0 ~c:0);
+  check_int "h stride w*c" 20
+    (Shape.offset s ~n:0 ~h:1 ~w:0 ~c:0 - Shape.offset s ~n:0 ~h:0 ~w:0 ~c:0);
+  check_int "n stride h*w*c" 60
+    (Shape.offset s ~n:1 ~h:0 ~w:0 ~c:0 - Shape.offset s ~n:0 ~h:0 ~w:0 ~c:0)
+
+let test_shape_offset_bounds () =
+  let s = Shape.make ~n:1 ~h:2 ~w:2 ~c:1 in
+  Alcotest.check_raises "h out of range"
+    (Invalid_argument "Shape.offset: (0,2,0,0) out of 1x2x2x1") (fun () ->
+      ignore (Shape.offset s ~n:0 ~h:2 ~w:0 ~c:0))
+
+let test_conv_output_dims_same () =
+  let s = Shape.make ~n:1 ~h:32 ~w:32 ~c:3 in
+  let oh, ow, pt, pl =
+    Shape.conv_output_dims s ~kh:3 ~kw:3 ~stride:1 ~dilation:1 ~padding:`Same
+  in
+  check_int "same oh" 32 oh;
+  check_int "same ow" 32 ow;
+  check_int "same pad top" 1 pt;
+  check_int "same pad left" 1 pl;
+  let oh, ow, _, _ =
+    Shape.conv_output_dims s ~kh:3 ~kw:3 ~stride:2 ~dilation:1 ~padding:`Same
+  in
+  check_int "strided oh" 16 oh;
+  check_int "strided ow" 16 ow
+
+let test_conv_output_dims_valid () =
+  let s = Shape.make ~n:1 ~h:32 ~w:32 ~c:3 in
+  let oh, ow, pt, pl =
+    Shape.conv_output_dims s ~kh:5 ~kw:5 ~stride:1 ~dilation:1 ~padding:`Valid
+  in
+  check_int "valid oh" 28 oh;
+  check_int "valid ow" 28 ow;
+  check_int "no pad" 0 (pt + pl);
+  let oh, ow, _, _ =
+    Shape.conv_output_dims s ~kh:3 ~kw:3 ~stride:1 ~dilation:2 ~padding:`Valid
+  in
+  check_int "dilated oh" 28 oh;
+  check_int "dilated ow" 28 ow
+
+let test_conv_output_dims_kernel_too_big () =
+  let s = Shape.make ~n:1 ~h:4 ~w:4 ~c:1 in
+  Alcotest.check_raises "kernel too big"
+    (Invalid_argument "Shape.conv_output_dims: kernel larger than input")
+    (fun () ->
+      ignore
+        (Shape.conv_output_dims s ~kh:5 ~kw:5 ~stride:1 ~dilation:1
+           ~padding:`Valid))
+
+(* --- tensor --- *)
+
+let test_tensor_get_set () =
+  let t = Tensor.create (Shape.make ~n:2 ~h:2 ~w:2 ~c:2) in
+  Tensor.set t ~n:1 ~h:0 ~w:1 ~c:1 3.5;
+  check_float "readback" 3.5 (Tensor.get t ~n:1 ~h:0 ~w:1 ~c:1);
+  check_float "other zero" 0. (Tensor.get t ~n:0 ~h:0 ~w:0 ~c:0)
+
+let test_tensor_of_to_array () =
+  let s = Shape.make ~n:1 ~h:2 ~w:2 ~c:1 in
+  let t = Tensor.of_array s [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (array (float 1e-6))) "roundtrip" [| 1.; 2.; 3.; 4. |]
+    (Tensor.to_array t);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Tensor.of_array: 3 values for shape 1x2x2x1")
+    (fun () -> ignore (Tensor.of_array s [| 1.; 2.; 3. |]))
+
+let test_tensor_min_max_add () =
+  let s = Shape.make ~n:1 ~h:1 ~w:4 ~c:1 in
+  let a = Tensor.of_array s [| -3.; 7.; 0.; 2. |] in
+  let mn, mx = Tensor.min_max a in
+  check_float "min" (-3.) mn;
+  check_float "max" 7. mx;
+  let b = Tensor.of_array s [| 1.; 1.; 1.; 1. |] in
+  Alcotest.(check (array (float 1e-6))) "add" [| -2.; 8.; 1.; 3. |]
+    (Tensor.to_array (Tensor.add a b))
+
+let test_tensor_float32_storage () =
+  (* Values are stored in 32-bit floats: 0.1 is not exactly representable. *)
+  let t = Tensor.create (Shape.make ~n:1 ~h:1 ~w:1 ~c:1) in
+  Tensor.set_flat t 0 0.1;
+  check_bool "f32 rounding" true (Tensor.get_flat t 0 <> 0.1);
+  check_bool "f32 close" true (abs_float (Tensor.get_flat t 0 -. 0.1) < 1e-7)
+
+let test_slice_and_concat_batch () =
+  let s = Shape.make ~n:4 ~h:1 ~w:2 ~c:1 in
+  let t = Tensor.init s (fun ~n ~h:_ ~w ~c:_ -> float_of_int ((n * 10) + w)) in
+  let chunk = Tensor.slice_batch t ~start:1 ~count:2 in
+  check_int "chunk n" 2 (Tensor.shape chunk).Shape.n;
+  check_float "chunk first" 10. (Tensor.get chunk ~n:0 ~h:0 ~w:0 ~c:0);
+  check_float "chunk last" 21. (Tensor.get chunk ~n:1 ~h:0 ~w:1 ~c:0);
+  let back =
+    Tensor.concat_batch
+      [
+        Tensor.slice_batch t ~start:0 ~count:1;
+        Tensor.slice_batch t ~start:1 ~count:2;
+        Tensor.slice_batch t ~start:3 ~count:1;
+      ]
+  in
+  check_bool "concat inverts slicing" true (Tensor.approx_equal t back)
+
+let test_slice_bounds () =
+  let t = Tensor.create (Shape.make ~n:2 ~h:1 ~w:1 ~c:1) in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Tensor.slice_batch: range out of bounds") (fun () ->
+      ignore (Tensor.slice_batch t ~start:1 ~count:2))
+
+let test_fill_gaussian_stats () =
+  let t = Tensor.create (Shape.make ~n:1 ~h:100 ~w:100 ~c:1) in
+  Tensor.fill_gaussian ~mean:2. ~stddev:0.5 (Rng.create 11) t;
+  let n = float_of_int (Tensor.num_elements t) in
+  let mean = Tensor.fold ( +. ) 0. t /. n in
+  let var =
+    Tensor.fold (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. t /. n
+  in
+  check_bool "mean near 2" true (abs_float (mean -. 2.) < 0.02);
+  check_bool "stddev near 0.5" true (abs_float (sqrt var -. 0.5) < 0.02)
+
+(* --- matrix --- *)
+
+let test_matmul_small () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Matrix.matmul a b in
+  Alcotest.(check (array (array (float 1e-9))))
+    "2x2 product"
+    [| [| 19.; 22. |]; [| 43.; 50. |] |]
+    (Matrix.to_arrays c)
+
+let test_matmul_identity () =
+  let rng = Rng.create 3 in
+  let a = Matrix.create ~rows:7 ~cols:7 in
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      Matrix.set a i j (Rng.gaussian rng)
+    done
+  done;
+  let id = Matrix.create ~rows:7 ~cols:7 in
+  for i = 0 to 6 do
+    Matrix.set id i i 1.
+  done;
+  check_bool "A*I = A" true (Matrix.approx_equal (Matrix.matmul a id) a);
+  check_bool "I*A = A" true (Matrix.approx_equal (Matrix.matmul id a) a)
+
+let test_matmul_dim_mismatch () =
+  let a = Matrix.create ~rows:2 ~cols:3 in
+  let b = Matrix.create ~rows:2 ~cols:3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Matrix.matmul: 2x3 times 2x3") (fun () ->
+      ignore (Matrix.matmul a b))
+
+let test_transpose_involution () =
+  let a = Matrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let tt = Matrix.transpose (Matrix.transpose a) in
+  check_bool "transpose twice" true (Matrix.approx_equal a tt);
+  check_float "t(0,1)=a(1,0)" 4. (Matrix.get (Matrix.transpose a) 0 1)
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different seeds" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    check_bool "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 13 in
+  let child = Rng.split parent in
+  check_bool "distinct streams" true
+    (Rng.next_int64 parent <> Rng.next_int64 child)
+
+let test_rng_copy_forks_state () =
+  let a = Rng.create 21 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  check_bool "copies agree" true (Rng.next_int64 a = Rng.next_int64 b)
+
+(* --- qcheck properties --- *)
+
+let prop_matmul_distributes =
+  (* (A+B)C = AC + BC on small random matrices. *)
+  QCheck.Test.make ~name:"matmul distributes over addition" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let mk () =
+        let m = Matrix.create ~rows:4 ~cols:4 in
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            Matrix.set m i j (Rng.gaussian rng)
+          done
+        done;
+        m
+      in
+      let a = mk () and b = mk () and c = mk () in
+      let ab = Matrix.create ~rows:4 ~cols:4 in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          Matrix.set ab i j (Matrix.get a i j +. Matrix.get b i j)
+        done
+      done;
+      let left = Matrix.matmul ab c in
+      let ac = Matrix.matmul a c and bc = Matrix.matmul b c in
+      let right = Matrix.create ~rows:4 ~cols:4 in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          Matrix.set right i j (Matrix.get ac i j +. Matrix.get bc i j)
+        done
+      done;
+      Matrix.approx_equal ~tolerance:1e-9 left right)
+
+let prop_slice_concat_roundtrip =
+  QCheck.Test.make ~name:"slice/concat batch roundtrip" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 5))
+    (fun (n, h) ->
+      let s = Shape.make ~n ~h ~w:2 ~c:3 in
+      let t = Tensor.create s in
+      Tensor.fill_uniform (Rng.create (n + (h * 100))) t;
+      let pieces =
+        List.init n (fun i -> Tensor.slice_batch t ~start:i ~count:1)
+      in
+      Tensor.approx_equal t (Tensor.concat_batch pieces))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_matmul_distributes; prop_slice_concat_roundtrip ]
+  in
+  Alcotest.run "ax_tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "basics" `Quick test_shape_basics;
+          Alcotest.test_case "rejects non-positive" `Quick
+            test_shape_rejects_nonpositive;
+          Alcotest.test_case "NHWC layout" `Quick test_shape_offset_layout;
+          Alcotest.test_case "offset bounds" `Quick test_shape_offset_bounds;
+          Alcotest.test_case "conv dims (same)" `Quick
+            test_conv_output_dims_same;
+          Alcotest.test_case "conv dims (valid)" `Quick
+            test_conv_output_dims_valid;
+          Alcotest.test_case "kernel too big" `Quick
+            test_conv_output_dims_kernel_too_big;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "get/set" `Quick test_tensor_get_set;
+          Alcotest.test_case "of/to array" `Quick test_tensor_of_to_array;
+          Alcotest.test_case "min/max/add" `Quick test_tensor_min_max_add;
+          Alcotest.test_case "float32 storage" `Quick
+            test_tensor_float32_storage;
+          Alcotest.test_case "slice/concat batch" `Quick
+            test_slice_and_concat_batch;
+          Alcotest.test_case "slice bounds" `Quick test_slice_bounds;
+          Alcotest.test_case "gaussian fill stats" `Quick
+            test_fill_gaussian_stats;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "small product" `Quick test_matmul_small;
+          Alcotest.test_case "identity" `Quick test_matmul_identity;
+          Alcotest.test_case "dim mismatch" `Quick test_matmul_dim_mismatch;
+          Alcotest.test_case "transpose involution" `Quick
+            test_transpose_involution;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "copy forks state" `Quick
+            test_rng_copy_forks_state;
+        ] );
+      ("properties", qsuite);
+    ]

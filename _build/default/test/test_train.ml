@@ -1,0 +1,462 @@
+(* Training substrate: analytic gradients vs central finite differences
+   for every layer type, optimizer semantics, the minibatch loop, and
+   straight-through gradients for approximate layers. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Matrix = Ax_tensor.Matrix
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Graph = Ax_nn.Graph
+module Exec = Ax_nn.Exec
+module Grad = Ax_train.Grad
+module Backprop = Ax_train.Backprop
+module Optimizer = Ax_train.Optimizer
+module Trainer = Ax_train.Trainer
+module Cifar = Ax_data.Cifar
+module Registry = Ax_arith.Registry
+
+let check_bool = Alcotest.(check bool)
+
+let random_filter ~seed ~kh ~kw ~in_c ~out_c =
+  let f = Filter.create ~kh ~kw ~in_c ~out_c in
+  Filter.fill_he_normal (Rng.create seed) f;
+  f
+
+let random_input ~seed shape =
+  let t = Tensor.create shape in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1. (Rng.create seed) t;
+  t
+
+let loss_of g input labels =
+  fst (Backprop.loss_and_gradients g ~input ~labels)
+
+(* Central finite difference on one parameter cell. *)
+let numeric_gradient ~params ~index ~eps ~loss =
+  let saved = params.(index) in
+  params.(index) <- saved +. eps;
+  let up = loss () in
+  params.(index) <- saved -. eps;
+  let down = loss () in
+  params.(index) <- saved;
+  (up -. down) /. (2. *. eps)
+
+let check_close ~label analytic numeric =
+  let tolerance = 0.08 *. Float.max (abs_float analytic) (abs_float numeric) in
+  let tolerance = Float.max tolerance 2e-3 in
+  if abs_float (analytic -. numeric) > tolerance then
+    Alcotest.failf "%s: analytic %.6f vs numeric %.6f" label analytic numeric
+
+(* Verify a handful of parameter gradients of a graph by perturbation.
+   [pick] selects (params array, indices) pairs after locating the node. *)
+let gradcheck ~g ~input ~labels ~samples =
+  let _, grads = Backprop.loss_and_gradients g ~input ~labels in
+  List.iter
+    (fun (node_name, slot, indices) ->
+      let node =
+        match Graph.find_by_name g node_name with
+        | Some n -> n
+        | None -> Alcotest.failf "no node %s" node_name
+      in
+      let params, grad_array =
+        let pg =
+          match List.assoc_opt node.Graph.id grads with
+          | Some pg -> pg
+          | None -> Alcotest.failf "no gradient for %s" node_name
+        in
+        match (node.Graph.op, pg, slot) with
+        | ( ( Graph.Conv2d { filter; _ } | Graph.Ax_conv2d { filter; _ }
+            | Graph.Depthwise_conv2d { filter; _ }
+            | Graph.Ax_depthwise_conv2d { filter; _ } ),
+            Backprop.Conv_grad { filter = df; _ },
+            `Filter ) ->
+          (Filter.raw_data filter, df)
+        | Graph.Dense { weights; _ }, Backprop.Dense_grad { weights = dw; _ }, `Weights
+          ->
+          (weights.Matrix.data, dw)
+        | Graph.Dense { bias; _ }, Backprop.Dense_grad { bias = db; _ }, `Bias
+          ->
+          (bias, db)
+        | Graph.Batch_norm { scale; _ }, Backprop.Bn_grad { scale = ds; _ }, `Scale
+          ->
+          (scale, ds)
+        | Graph.Batch_norm { shift; _ }, Backprop.Bn_grad { shift = dsh; _ }, `Shift
+          ->
+          (shift, dsh)
+        | _ -> Alcotest.failf "unexpected node/grad shape for %s" node_name
+      in
+      List.iter
+        (fun index ->
+          let numeric =
+            numeric_gradient ~params ~index ~eps:2e-3 ~loss:(fun () ->
+                loss_of g input labels)
+          in
+          check_close
+            ~label:(Printf.sprintf "%s[%d]" node_name index)
+            grad_array.(index) numeric)
+        indices)
+    samples
+
+let labels_for n = Array.init n (fun i -> i mod 10)
+
+(* --- per-op gradient checks --- *)
+
+let test_gradcheck_conv_gap_dense () =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let filter = random_filter ~seed:1 ~kh:3 ~kw:3 ~in_c:2 ~out_c:4 in
+  let conv =
+    Graph.add b ~name:"conv"
+      (Graph.Conv2d
+         { filter; bias = Some [| 0.1; -0.1; 0.; 0.2 |]; spec = Conv_spec.default })
+      [ input ]
+  in
+  let relu = Graph.add b ~name:"relu" Graph.Relu [ conv ] in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ relu ] in
+  let weights, bias = (Matrix.create ~rows:4 ~cols:10, Array.make 10 0.) in
+  let rng = Rng.create 2 in
+  for i = 0 to 3 do
+    for j = 0 to 9 do
+      Matrix.set weights i j (0.5 *. Rng.gaussian rng)
+    done
+  done;
+  let dense = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let softmax = Graph.add b ~name:"softmax" Graph.Softmax [ dense ] in
+  let g = Graph.finalize b ~output:softmax in
+  let input_t = random_input ~seed:3 (Shape.make ~n:3 ~h:6 ~w:6 ~c:2) in
+  gradcheck ~g ~input:input_t ~labels:(labels_for 3)
+    ~samples:
+      [
+        ("conv", `Filter, [ 0; 7; 19; 41; 71 ]);
+        ("fc", `Weights, [ 0; 13; 39 ]);
+        ("fc", `Bias, [ 0; 5 ]);
+      ]
+
+let test_gradcheck_bn_maxpool_strided_conv () =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let filter = random_filter ~seed:4 ~kh:3 ~kw:3 ~in_c:2 ~out_c:3 in
+  let conv =
+    Graph.add b ~name:"conv"
+      (Graph.Conv2d
+         {
+           filter;
+           bias = None;
+           spec = Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+         })
+      [ input ]
+  in
+  let scale = [| 1.1; 0.9; 1.05 |] and shift = [| 0.02; -0.03; 0.01 |] in
+  let bn = Graph.add b ~name:"bn" (Graph.Batch_norm { scale; shift }) [ conv ] in
+  let relu = Graph.add b ~name:"relu" Graph.Relu [ bn ] in
+  let pool =
+    Graph.add b ~name:"pool" (Graph.Max_pool { size = 2; stride = 2 }) [ relu ]
+  in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ pool ] in
+  let weights, bias = (Matrix.create ~rows:3 ~cols:10, Array.make 10 0.) in
+  let rng = Rng.create 5 in
+  for i = 0 to 2 do
+    for j = 0 to 9 do
+      Matrix.set weights i j (0.5 *. Rng.gaussian rng)
+    done
+  done;
+  let dense = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let softmax = Graph.add b ~name:"softmax" Graph.Softmax [ dense ] in
+  let g = Graph.finalize b ~output:softmax in
+  let input_t = random_input ~seed:6 (Shape.make ~n:2 ~h:8 ~w:8 ~c:2) in
+  gradcheck ~g ~input:input_t ~labels:(labels_for 2)
+    ~samples:
+      [
+        ("conv", `Filter, [ 2; 23; 50 ]);
+        ("bn", `Scale, [ 0; 2 ]);
+        ("bn", `Shift, [ 1 ]);
+      ]
+
+let test_gradcheck_residual_and_shortcut () =
+  let g = Ax_models.Resnet.build ~depth:8 ~seed:9 () in
+  let input_t = random_input ~seed:7 (Shape.make ~n:2 ~h:32 ~w:32 ~c:3) in
+  gradcheck ~g ~input:input_t ~labels:(labels_for 2)
+    ~samples:
+      [
+        ("conv0", `Filter, [ 5; 100 ]);
+        ("stage1/block0/conv1", `Filter, [ 17 ]);
+        ("stage2/block0/conv2", `Filter, [ 333 ]);
+      ]
+
+let test_gradcheck_depthwise () =
+  let g = Ax_models.Mobilenet.build ~seed:11 ~blocks:2 ~width:4 () in
+  let input_t = random_input ~seed:8 (Shape.make ~n:2 ~h:32 ~w:32 ~c:3) in
+  gradcheck ~g ~input:input_t ~labels:(labels_for 2)
+    ~samples:
+      [
+        ("block0/dw", `Filter, [ 0; 17; 35 ]);
+        ("block1/dw", `Filter, [ 9 ]);
+        ("stem", `Filter, [ 25 ]);
+      ]
+
+let test_straight_through_matches_float_gradient () =
+  (* With the exact LUT, straight-through gradients of the transformed
+     graph approximate the float graph's gradients (they differ only by
+     quantization noise in the activations). *)
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let filter = random_filter ~seed:12 ~kh:3 ~kw:3 ~in_c:2 ~out_c:4 in
+  let conv =
+    Graph.add b ~name:"conv"
+      (Graph.Conv2d { filter; bias = None; spec = Conv_spec.default })
+      [ input ]
+  in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ conv ] in
+  let weights, bias = (Matrix.create ~rows:4 ~cols:10, Array.make 10 0.) in
+  let rng = Rng.create 13 in
+  for i = 0 to 3 do
+    for j = 0 to 9 do
+      Matrix.set weights i j (0.5 *. Rng.gaussian rng)
+    done
+  done;
+  let dense = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let softmax = Graph.add b ~name:"softmax" Graph.Softmax [ dense ] in
+  let g = Graph.finalize b ~output:softmax in
+  let approx = Tfapprox.Emulator.approximate_model ~multiplier:"mul8s_exact" g in
+  let input_t = random_input ~seed:14 (Shape.make ~n:2 ~h:6 ~w:6 ~c:2) in
+  let labels = labels_for 2 in
+  let _, g_float = Backprop.loss_and_gradients g ~input:input_t ~labels in
+  let _, g_approx = Backprop.loss_and_gradients approx ~input:input_t ~labels in
+  let filter_grad grads graph =
+    let node = Option.get (Graph.find_by_name graph "conv") in
+    match List.assoc node.Graph.id grads with
+    | Backprop.Conv_grad { filter; _ } -> filter
+    | _ -> Alcotest.fail "conv grad kind"
+  in
+  let a = filter_grad g_float g and b2 = filter_grad g_approx approx in
+  let worst = ref 0. and scale = ref 0. in
+  Array.iteri
+    (fun i v ->
+      worst := Float.max !worst (abs_float (v -. b2.(i)));
+      scale := Float.max !scale (abs_float v))
+    a;
+  check_bool
+    (Printf.sprintf "straight-through close (%.4f of %.4f)" !worst !scale)
+    true
+    (!worst < 0.15 *. !scale)
+
+(* --- optimizer --- *)
+
+let tiny_training_graph ~seed =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let filter = random_filter ~seed ~kh:3 ~kw:3 ~in_c:3 ~out_c:8 in
+  let conv =
+    Graph.add b ~name:"conv"
+      (Graph.Conv2d
+         {
+           filter;
+           bias = Some (Array.make 8 0.);
+           spec = Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+         })
+      [ input ]
+  in
+  let relu = Graph.add b ~name:"relu" Graph.Relu [ conv ] in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ relu ] in
+  let weights, bias = Ax_models.Weights.dense ~seed ~name:"fc" ~inputs:8 ~outputs:10 in
+  let dense = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let softmax = Graph.add b ~name:"softmax" Graph.Softmax [ dense ] in
+  Graph.finalize b ~output:softmax
+
+let test_sgd_reduces_loss () =
+  let g = tiny_training_graph ~seed:21 in
+  let data = Cifar.generate ~seed:22 ~n:20 () in
+  let labels = data.Cifar.labels in
+  let opt = Optimizer.sgd ~momentum:0. ~learning_rate:0.1 () in
+  let first = loss_of g data.Cifar.images labels in
+  for _ = 1 to 10 do
+    let _, grads =
+      Backprop.loss_and_gradients g ~input:data.Cifar.images ~labels
+    in
+    Optimizer.apply opt g grads
+  done;
+  let last = loss_of g data.Cifar.images labels in
+  check_bool (Printf.sprintf "loss %.4f -> %.4f" first last) true (last < first)
+
+let test_weight_decay_shrinks_weights () =
+  let g = tiny_training_graph ~seed:23 in
+  let node = Option.get (Graph.find_by_name g "conv") in
+  let filter =
+    match node.Graph.op with
+    | Graph.Conv2d { filter; _ } -> filter
+    | _ -> assert false
+  in
+  let norm () =
+    Array.fold_left (fun acc v -> acc +. (v *. v)) 0. (Filter.raw_data filter)
+  in
+  let before = norm () in
+  let opt = Optimizer.sgd ~momentum:0. ~weight_decay:0.5 ~learning_rate:0.1 () in
+  (* zero gradients: only decay acts *)
+  let zero_grads =
+    [
+      ( node.Graph.id,
+        Backprop.Conv_grad
+          {
+            filter = Array.make (Filter.num_weights filter) 0.;
+            bias = Some (Array.make 8 0.);
+          } );
+    ]
+  in
+  Optimizer.apply opt g zero_grads;
+  check_bool "decay shrinks" true (norm () < before)
+
+let test_optimizer_validation () =
+  let g = tiny_training_graph ~seed:24 in
+  let node = Option.get (Graph.find_by_name g "conv") in
+  let opt = Optimizer.sgd ~learning_rate:0.1 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Optimizer.apply: gradient shape mismatch") (fun () ->
+      Optimizer.apply opt g
+        [
+          ( node.Graph.id,
+            Backprop.Conv_grad { filter = [| 1. |]; bias = None } );
+        ]);
+  match Optimizer.sgd ~learning_rate:(-1.) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative lr accepted"
+
+(* --- trainer --- *)
+
+(* Two stride-2 convolutions + GAP + dense: the smallest net that
+   reliably learns the synthetic colour/frequency classes. *)
+let learnable_graph ~seed =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let f1 =
+    Ax_models.Weights.conv_filter ~seed ~name:"c1" ~kh:3 ~kw:3 ~in_c:3
+      ~out_c:8
+  in
+  let c1 =
+    Graph.add b ~name:"c1"
+      (Graph.Conv2d
+         {
+           filter = f1;
+           bias = Some (Array.make 8 0.);
+           spec = Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+         })
+      [ input ]
+  in
+  let r1 = Graph.add b ~name:"r1" Graph.Relu [ c1 ] in
+  let f2 =
+    Ax_models.Weights.conv_filter ~seed:(seed + 4) ~name:"c2" ~kh:3 ~kw:3
+      ~in_c:8 ~out_c:16
+  in
+  let c2 =
+    Graph.add b ~name:"c2"
+      (Graph.Conv2d
+         {
+           filter = f2;
+           bias = Some (Array.make 16 0.);
+           spec = Conv_spec.make ~stride:2 ~padding:Conv_spec.Same ();
+         })
+      [ r1 ]
+  in
+  let r2 = Graph.add b ~name:"r2" Graph.Relu [ c2 ] in
+  let gap = Graph.add b ~name:"gap" Graph.Global_avg_pool [ r2 ] in
+  let weights, bias =
+    Ax_models.Weights.dense ~seed ~name:"fc" ~inputs:16 ~outputs:10
+  in
+  let dense = Graph.add b ~name:"fc" (Graph.Dense { weights; bias }) [ gap ] in
+  let softmax = Graph.add b ~name:"softmax" Graph.Softmax [ dense ] in
+  Graph.finalize b ~output:softmax
+
+let test_training_learns_synthetic_classes () =
+  let g = learnable_graph ~seed:25 in
+  let data = Cifar.normalize (Cifar.generate ~seed:26 ~n:80 ()) in
+  let before = Trainer.evaluate g data in
+  let config =
+    {
+      Trainer.default_config with
+      Trainer.epochs = 15;
+      learning_rate = 0.1;
+      batch_size = 12;
+    }
+  in
+  let history = Trainer.train config g data in
+  let best = Array.fold_left Float.max 0. history.Trainer.epoch_accuracies in
+  check_bool
+    (Printf.sprintf "accuracy improves well above chance (%.2f -> best %.2f)"
+       before best)
+    true
+    (best > 0.5);
+  (* Generalization: fresh images from the same classes. *)
+  let held_out = Cifar.normalize (Cifar.generate ~seed:99 ~n:40 ()) in
+  check_bool "generalizes above chance" true
+    (Trainer.evaluate g held_out > 0.3);
+  check_bool "loss decreases" true
+    (history.Trainer.epoch_losses.(config.Trainer.epochs - 1)
+     < history.Trainer.epoch_losses.(0) -. 0.3)
+
+let test_finetune_approximate_forward () =
+  (* Train float briefly, transform with a coarse multiplier, then
+     fine-tune with the emulated forward pass: emulated accuracy must
+     improve — the paper's retraining workflow end to end. *)
+  let g = learnable_graph ~seed:27 in
+  let data = Cifar.normalize (Cifar.generate ~seed:28 ~n:40 ()) in
+  let pre_config =
+    { Trainer.default_config with Trainer.epochs = 10; learning_rate = 0.1; batch_size = 10 }
+  in
+  ignore (Trainer.train pre_config g data);
+  let approx = Tfapprox.Emulator.approximate_model ~multiplier:"mul8s_trunc6" g in
+  let before = Trainer.evaluate approx data in
+  let tune_config =
+    { pre_config with Trainer.epochs = 3; learning_rate = 0.03 }
+  in
+  let history = Trainer.train tune_config approx data in
+  let after = Trainer.evaluate approx data in
+  check_bool
+    (Printf.sprintf "fine-tuning helps or holds (%.2f -> %.2f)" before after)
+    true
+    (after >= before);
+  check_bool "losses finite" true
+    (Array.for_all Float.is_finite history.Trainer.epoch_losses)
+
+let test_backprop_requires_softmax_output () =
+  let b = Graph.builder () in
+  let input = Graph.add b ~name:"input" Graph.Input [] in
+  let relu = Graph.add b ~name:"relu" Graph.Relu [ input ] in
+  let g = Graph.finalize b ~output:relu in
+  let x = random_input ~seed:1 (Shape.make ~n:1 ~h:2 ~w:2 ~c:1) in
+  Alcotest.check_raises "non-softmax output"
+    (Invalid_argument "Backprop: graph output must be Softmax") (fun () ->
+      ignore (Backprop.loss_and_gradients g ~input:x ~labels:[| 0 |]))
+
+let () =
+  Alcotest.run "ax_train"
+    [
+      ( "gradcheck",
+        [
+          Alcotest.test_case "conv/gap/dense" `Quick
+            test_gradcheck_conv_gap_dense;
+          Alcotest.test_case "bn/maxpool/strided conv" `Quick
+            test_gradcheck_bn_maxpool_strided_conv;
+          Alcotest.test_case "residual ResNet-8" `Slow
+            test_gradcheck_residual_and_shortcut;
+          Alcotest.test_case "depthwise MobileNet" `Slow
+            test_gradcheck_depthwise;
+          Alcotest.test_case "straight-through approx" `Quick
+            test_straight_through_matches_float_gradient;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "sgd reduces loss" `Quick test_sgd_reduces_loss;
+          Alcotest.test_case "weight decay" `Quick
+            test_weight_decay_shrinks_weights;
+          Alcotest.test_case "validation" `Quick test_optimizer_validation;
+        ] );
+      ( "trainer",
+        [
+          Alcotest.test_case "learns synthetic classes" `Slow
+            test_training_learns_synthetic_classes;
+          Alcotest.test_case "fine-tune approximate forward" `Slow
+            test_finetune_approximate_forward;
+          Alcotest.test_case "requires softmax output" `Quick
+            test_backprop_requires_softmax_output;
+        ] );
+    ]
