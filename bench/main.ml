@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- round-modes
      dune exec bench/main.exe -- per-layer
      dune exec bench/main.exe -- device-sweep
+     dune exec bench/main.exe -- trace   # Chrome trace + metrics JSON dump
 
    CPU columns are measured on this host over a small image sample and
    scaled (reported); GPU columns come from the ax_gpusim execution
@@ -228,7 +229,7 @@ let run_cache_ablation () =
           tex_cache_ways = ways;
         }
       in
-      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample in
+      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample () in
       let phases =
         Cost.approx_network device ~lut_hit_rate:rate ~chunk_size:250
           workloads
@@ -417,6 +418,46 @@ let run_accumulator_ablation () =
     "point); saturation degrades gracefully, wrap-around does not.@."
 
 (* ------------------------------------------------------------------ *)
+(* Trace mode: observability dump                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let run_trace () =
+  section "Trace: one instrumented ResNet-8 inference (Chrome trace + metrics)";
+  let graph = Resnet.build ~depth:8 () in
+  let approx =
+    Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" graph
+  in
+  let data = (Cifar.generate ~n:images_measured ()).Cifar.images in
+  let tracer = Ax_obs.Trace.create () in
+  let profile = Ax_nn.Profile.create ~trace:tracer () in
+  ignore
+    (Tfapprox.Emulator.run ~profile ~backend:Tfapprox.Emulator.Cpu_gemm approx
+       data);
+  let metrics = Ax_nn.Profile.metrics profile in
+  ignore
+    (Experiments.measured_lut_hit_rate ~metrics ~device:Device.gtx_1080
+       ~graph:approx ~sample:data ());
+  let trace_path = "tfapprox_trace_resnet8.json" in
+  let metrics_path = "tfapprox_metrics_resnet8.json" in
+  write_file trace_path (Ax_obs.Trace.chrome_json_string tracer);
+  write_file metrics_path
+    (Ax_obs.Json.to_string
+       (Ax_obs.Metrics.to_json (Ax_obs.Metrics.snapshot metrics)));
+  Format.printf "wrote %s (%d spans) and %s@." trace_path
+    (Ax_obs.Trace.span_count tracer)
+    metrics_path;
+  Format.printf "phases: %a@." Ax_nn.Profile.pp_breakdown
+    (Ax_nn.Profile.breakdown profile);
+  Format.printf "lut lookups: %d, macs: %d@."
+    (Ax_nn.Profile.lut_lookups profile)
+    (Ax_nn.Profile.macs profile)
+
+(* ------------------------------------------------------------------ *)
 (* Device sweep                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,7 +473,7 @@ let run_device_sweep () =
   Format.printf "%-18s %12s %12s %12s@." "device" "t_init" "t_comp" "hit rate";
   List.iter
     (fun device ->
-      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample in
+      let rate = Experiments.measured_lut_hit_rate ~device ~graph ~sample () in
       let init =
         Cost.transfer_init device
           ~dataset_bytes:(float_of_int (10_000 * Cifar.image_bytes))
@@ -462,6 +503,7 @@ let all_sections =
     ("round-modes", run_round_modes);
     ("per-layer", run_per_layer);
     ("device-sweep", run_device_sweep);
+    ("trace", run_trace);
   ]
 
 let () =

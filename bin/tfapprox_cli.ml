@@ -52,6 +52,50 @@ let device_term =
 let csv_term =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the table.")
 
+let trace_file_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the measured runs to $(docv) \
+           (open in chrome://tracing or Perfetto).")
+
+let metrics_file_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a metrics snapshot JSON to $(docv) (\"-\" for stdout).")
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let dump_trace tracer = function
+  | None -> ()
+  | Some path ->
+    write_file path (Ax_obs.Trace.chrome_json_string tracer);
+    Format.eprintf "wrote %s (%d spans%s)@." path
+      (Ax_obs.Trace.span_count tracer)
+      (match Ax_obs.Trace.dropped tracer with
+      | 0 -> ""
+      | n -> Printf.sprintf ", %d evicted" n)
+
+let dump_metrics metrics = function
+  | None -> ()
+  | Some path ->
+    let text =
+      Ax_obs.Json.to_string
+        (Ax_obs.Metrics.to_json (Ax_obs.Metrics.snapshot metrics))
+    in
+    if path = "-" then print_endline text
+    else begin
+      write_file path text;
+      Format.eprintf "wrote %s@." path
+    end
+
 let table1_cmd =
   let run device multiplier depths images dataset csv =
     let rows =
@@ -67,13 +111,19 @@ let table1_cmd =
       $ dataset_term $ csv_term)
 
 let fig2_cmd =
-  let run device multiplier depths images dataset csv =
+  let run device multiplier depths images dataset csv trace_file =
+    let tracer =
+      match trace_file with
+      | Some _ -> Some (Ax_obs.Trace.create ())
+      | None -> None
+    in
     let rows =
-      Tfapprox.Experiments.fig2 ~device ~multiplier ~depths
+      Tfapprox.Experiments.fig2 ?trace:tracer ~device ~multiplier ~depths
         ~images_measured:images ~dataset_images:dataset ()
     in
     if csv then print_string (Tfapprox.Report.fig2_csv rows)
-    else Tfapprox.Report.print_fig2 Format.std_formatter rows
+    else Tfapprox.Report.print_fig2 Format.std_formatter rows;
+    Option.iter (fun tracer -> dump_trace tracer trace_file) tracer
   in
   let depths =
     Arg.(
@@ -83,7 +133,7 @@ let fig2_cmd =
   Cmd.v (Cmd.info "fig2" ~doc:"Regenerate the Fig. 2 time breakdown")
     Term.(
       const run $ device_term $ multiplier_term $ depths $ images_term
-      $ dataset_term $ csv_term)
+      $ dataset_term $ csv_term $ trace_file_term)
 
 let sweep_cmd =
   let run depth images =
@@ -234,6 +284,68 @@ let model_cmd =
        ~doc:"Build (and optionally transform) a ResNet and serialize it")
     Term.(const run $ depth $ multiplier $ output)
 
+let trace_cmd =
+  let run device depth multiplier images backend trace_file metrics_file tree
+      prometheus =
+    let backend =
+      match backend with
+      | "accurate" -> Tfapprox.Emulator.Cpu_accurate
+      | "direct" -> Tfapprox.Emulator.Cpu_direct
+      | "gemm" -> Tfapprox.Emulator.Cpu_gemm
+      | other -> failwith (Printf.sprintf "unknown backend %s" other)
+    in
+    let graph =
+      Tfapprox.Emulator.approximate_model ~multiplier
+        (Ax_models.Resnet.build ~depth ())
+    in
+    let data = (Ax_data.Cifar.generate ~n:images ()).Ax_data.Cifar.images in
+    let tracer = Ax_obs.Trace.create () in
+    let profile = Ax_nn.Profile.create ~trace:tracer () in
+    ignore (Tfapprox.Emulator.run ~profile ~backend graph data);
+    let metrics = Ax_nn.Profile.metrics profile in
+    ignore
+      (Tfapprox.Experiments.measured_lut_hit_rate ~metrics ~device ~graph
+         ~sample:data ());
+    dump_trace tracer trace_file;
+    dump_metrics metrics metrics_file;
+    if tree then Format.printf "%a@." Ax_obs.Trace.pp_tree tracer;
+    if prometheus then
+      print_string (Ax_obs.Metrics.to_prometheus (Ax_obs.Metrics.snapshot metrics));
+    Format.printf "ResNet-%d, %d image(s), %s: %a@." depth images
+      (Tfapprox.Emulator.backend_name backend)
+      Ax_nn.Profile.pp_breakdown
+      (Ax_nn.Profile.breakdown profile)
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.")
+  in
+  let images =
+    Arg.(value & opt int 2 & info [ "images" ] ~doc:"Images to run.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "gemm"
+      & info [ "backend" ] ~doc:"accurate, direct or gemm.")
+  in
+  let tree =
+    Arg.(
+      value & flag & info [ "tree" ] ~doc:"Print the span tree to stdout.")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Print the metrics in Prometheus text format.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one instrumented inference and export the span trace and \
+          metrics")
+    Term.(
+      const run $ device_term $ depth $ multiplier_term $ images $ backend
+      $ trace_file_term $ metrics_file_term $ tree $ prometheus)
+
 let analyze_cmd =
   let run depth multiplier images =
     let graph = Ax_models.Resnet.build ~depth () in
@@ -264,5 +376,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
-            lut_cmd; search_cmd; model_cmd; analyze_cmd;
+            lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
           ]))

@@ -26,14 +26,55 @@ let strategy_of_backend = function
   | Cpu_accurate | Cpu_gemm -> Exec.Cpu_gemm
   | Cpu_direct -> Exec.Cpu_direct
 
+let backend_name = function
+  | Cpu_accurate -> "cpu-accurate"
+  | Cpu_direct -> "cpu-direct"
+  | Cpu_gemm -> "cpu-gemm"
+
 let run ?profile ~backend g input =
-  Exec.run ?profile ~strategy:(strategy_of_backend backend) g ~input
+  let strategy = strategy_of_backend backend in
+  match profile with
+  | None -> Exec.run ~strategy g ~input
+  | Some p ->
+    let images = Ax_tensor.Shape.((Ax_tensor.Tensor.shape input).n) in
+    let start = Unix.gettimeofday () in
+    let out =
+      Ax_nn.Profile.span p ~name:"emulator.run"
+        ~attrs:
+          [
+            ("backend", backend_name backend);
+            ("images", string_of_int images);
+          ]
+        (fun () -> Exec.run ~profile:p ~strategy g ~input)
+    in
+    let elapsed = Unix.gettimeofday () -. start in
+    if elapsed > 0. then
+      Ax_obs.Metrics.set_gauge
+        (Ax_nn.Profile.metrics p)
+        "images_per_sec"
+        (float_of_int images /. elapsed);
+    out
 
-let predictions g ~backend input =
-  Layers.argmax_channels (run ~backend g input)
+let predictions ?profile g ~backend input =
+  Layers.argmax_channels (run ?profile ~backend g input)
 
-let accuracy g ~backend dataset =
-  let preds = predictions g ~backend dataset.Ax_data.Cifar.images in
+let accuracy ?profile g ~backend dataset =
+  let batch () =
+    predictions ?profile g ~backend dataset.Ax_data.Cifar.images
+  in
+  let preds =
+    match profile with
+    | Some p ->
+      Ax_nn.Profile.span p ~name:"emulator.accuracy"
+        ~attrs:
+          [
+            ( "images",
+              string_of_int
+                (Array.length dataset.Ax_data.Cifar.labels) );
+          ]
+        batch
+    | None -> batch ()
+  in
   let labels = dataset.Ax_data.Cifar.labels in
   if Array.length preds <> Array.length labels then
     invalid_arg "Emulator.accuracy: prediction/label count mismatch";

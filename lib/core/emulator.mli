@@ -22,6 +22,9 @@ type backend =
   | Cpu_direct      (** LUT emulation, nested-loop baseline of ref. [12] *)
   | Cpu_gemm        (** LUT emulation, Algorithm 1 on the CPU *)
 
+val backend_name : backend -> string
+(** Stable label used in span attributes and reports. *)
+
 val run :
   ?profile:Ax_nn.Profile.t ->
   backend:backend ->
@@ -30,13 +33,16 @@ val run :
   Ax_tensor.Tensor.t
 (** Execute a (possibly transformed) graph.  [Cpu_accurate] on a
     transformed graph still emulates — the backend selects the AxConv2D
-    strategy, it does not undo the transform. *)
+    strategy, it does not undo the transform.  With a [profile] the run
+    is wrapped in an ["emulator.run"] span (backend and batch size as
+    attributes) and the profile's ["images_per_sec"] gauge is set. *)
 
-val predictions : Ax_nn.Graph.t -> backend:backend ->
-  Ax_tensor.Tensor.t -> int array
+val predictions : ?profile:Ax_nn.Profile.t -> Ax_nn.Graph.t ->
+  backend:backend -> Ax_tensor.Tensor.t -> int array
 (** Class ids from the graph's softmax output. *)
 
-val accuracy : Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
+val accuracy : ?profile:Ax_nn.Profile.t -> Ax_nn.Graph.t ->
+  backend:backend -> Ax_data.Cifar.t -> float
 (** Top-1 accuracy against dataset labels, in [0, 1]. *)
 
 val agreement : int array -> int array -> float

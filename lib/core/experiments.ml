@@ -37,7 +37,7 @@ let total t = t.t_init +. t.t_comp
 
 (* First convolution layer of the graph, its input being the graph
    input: enough to sample a realistic LUT access stream. *)
-let measured_lut_hit_rate ~device ~graph ~sample =
+let measured_lut_hit_rate ?metrics ~device ~graph ~sample () =
   let conv =
     match Graph.conv_layers graph with
     | [] -> invalid_arg "Experiments.measured_lut_hit_rate: no conv layer"
@@ -67,7 +67,7 @@ let measured_lut_hit_rate ~device ~graph ~sample =
     Ax_nn.Axconv.quantize_filters signedness fcoeffs
       config.Ax_nn.Axconv.round_mode filter
   in
-  Cost.measure_hit_rate device ~mp ~mf_t ~rows:plan.Ax_nn.Im2col.rows
+  Cost.measure_hit_rate ?metrics device ~mp ~mf_t ~rows:plan.Ax_nn.Im2col.rows
     ~taps:(Ax_nn.Filter.taps filter) ~out_c:(Ax_nn.Filter.out_c filter)
     ~sample_rows:128
 
@@ -106,7 +106,7 @@ let table1_row ~device ~multiplier ~images_measured ~dataset_images depth =
   in
   let init = Cost.transfer_init device ~dataset_bytes ~weight_bytes in
   let gpu_acc = Cost.accurate_network device workloads in
-  let hit_rate = measured_lut_hit_rate ~device ~graph ~sample:images in
+  let hit_rate = measured_lut_hit_rate ~device ~graph ~sample:images () in
   let gpu_apx =
     Cost.approx_network device ~lut_hit_rate:hit_rate ~chunk_size:250
       workloads
@@ -146,7 +146,8 @@ type fig2_row = {
   gpu : Profile.breakdown;
 }
 
-let fig2_row ~device ~multiplier ~images_measured ~dataset_images depth =
+let fig2_row ?trace ~device ~multiplier ~images_measured ~dataset_images depth
+    =
   let graph = Resnet.build ~depth () in
   let approx_graph =
     Emulator.approximate_model ~multiplier ~chunk_size:250 graph
@@ -154,7 +155,7 @@ let fig2_row ~device ~multiplier ~images_measured ~dataset_images depth =
   let sample = Cifar.generate ~n:images_measured () in
   (* CPU: measured phase attribution of the direct baseline, plus a
      scaled share of the initialization (model build) time. *)
-  let profile = Profile.create () in
+  let profile = Profile.create ?trace () in
   let build_time, _ = wall (fun () -> Resnet.build ~depth ()) in
   ignore
     (Emulator.run ~profile ~backend:Emulator.Cpu_direct approx_graph
@@ -176,7 +177,7 @@ let fig2_row ~device ~multiplier ~images_measured ~dataset_images depth =
       ~images:dataset_images
   in
   let hit_rate =
-    measured_lut_hit_rate ~device ~graph ~sample:sample.Cifar.images
+    measured_lut_hit_rate ~device ~graph ~sample:sample.Cifar.images ()
   in
   let init =
     Cost.transfer_init device
@@ -191,11 +192,11 @@ let fig2_row ~device ~multiplier ~images_measured ~dataset_images depth =
   in
   { config = { label = Printf.sprintf "ResNet-%d" depth; depth }; cpu; gpu }
 
-let fig2 ?(device = Device.gtx_1080) ?(multiplier = default_multiplier)
+let fig2 ?trace ?(device = Device.gtx_1080) ?(multiplier = default_multiplier)
     ?(depths = [ 8; 32; 50; 62 ]) ?(images_measured = 2)
     ?(dataset_images = 10_000) () =
   List.map
-    (fig2_row ~device ~multiplier ~images_measured ~dataset_images)
+    (fig2_row ?trace ~device ~multiplier ~images_measured ~dataset_images)
     depths
 
 type accuracy_row = {

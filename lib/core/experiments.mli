@@ -46,6 +46,7 @@ type fig2_row = {
 }
 
 val fig2 :
+  ?trace:Ax_obs.Trace.t ->
   ?device:Ax_gpusim.Device.t ->
   ?multiplier:string ->
   ?depths:int list ->
@@ -54,15 +55,20 @@ val fig2 :
   unit ->
   fig2_row list
 (** Time-distribution breakdowns for the Fig. 2 configurations
-    (ResNet-8/32/50/62 by default). *)
+    (ResNet-8/32/50/62 by default).  [trace] attaches a tracer to the
+    measured CPU runs, so the Fig. 2 numbers can be cross-checked
+    against a Chrome trace of the same inferences. *)
 
 val measured_lut_hit_rate :
+  ?metrics:Ax_obs.Metrics.t ->
   device:Ax_gpusim.Device.t ->
   graph:Ax_nn.Graph.t ->
   sample:Ax_tensor.Tensor.t ->
+  unit ->
   float
 (** Replay the first convolution layer's quantized codes (GEMM access
-    order) through the device texture cache. *)
+    order) through the device texture cache.  [metrics] receives the
+    cache's hit/miss counters via {!Ax_gpusim.Texcache.publish}. *)
 
 type accuracy_row = {
   multiplier : string;

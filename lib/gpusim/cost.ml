@@ -225,7 +225,7 @@ let per_layer d ?(lut_hit_rate = 0.9) ~chunk_size ws =
       ))
     ws
 
-let measure_hit_rate d ~mp ~mf_t ~rows ~taps ~out_c ~sample_rows =
+let measure_hit_rate ?metrics d ~mp ~mf_t ~rows ~taps ~out_c ~sample_rows =
   if Bytes.length mp < rows * taps then
     invalid_arg "Cost.measure_hit_rate: mp smaller than rows*taps";
   if Bytes.length mf_t < out_c * taps then
@@ -243,4 +243,5 @@ let measure_hit_rate d ~mp ~mf_t ~rows ~taps ~out_c ~sample_rows =
       done
     done
   done;
+  Option.iter (Texcache.publish cache) metrics;
   Texcache.hit_rate cache

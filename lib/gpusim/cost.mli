@@ -76,9 +76,11 @@ val per_layer :
     transfers are network-global).  Labels come from the workloads. *)
 
 val measure_hit_rate :
+  ?metrics:Ax_obs.Metrics.t ->
   Device.t -> mp:Bytes.t -> mf_t:Bytes.t -> rows:int -> taps:int ->
   out_c:int -> sample_rows:int -> float
 (** Replay the tiled-GEMM access order of a real quantized patch matrix
     [mp] (rows x taps codes) against filter codes [mf_t] (out_c x taps)
     through the device's texture cache and return the observed hit rate.
-    Only the first [sample_rows] rows are replayed. *)
+    Only the first [sample_rows] rows are replayed.  When [metrics] is
+    given, the cache {!Texcache.publish}es its counters there. *)

@@ -9,6 +9,10 @@ type t = {
   mutable clock : int;
   mutable n_access : int;
   mutable n_hit : int;
+  (* counts already pushed to a metrics registry, so repeated publishes
+     only add the delta *)
+  mutable pub_access : int;
+  mutable pub_hit : int;
 }
 
 let is_power_of_two x = x > 0 && x land (x - 1) = 0
@@ -17,7 +21,7 @@ let create ~size_bytes ~line_bytes ~ways =
   if size_bytes < 0 then invalid_arg "Texcache.create: negative size";
   if size_bytes = 0 then
     { sets = 0; ways = 0; line_bytes = 1; tags = [||]; age = [||];
-      clock = 0; n_access = 0; n_hit = 0 }
+      clock = 0; n_access = 0; n_hit = 0; pub_access = 0; pub_hit = 0 }
   else begin
     if not (is_power_of_two line_bytes) then
       invalid_arg "Texcache.create: line size must be a power of two";
@@ -34,6 +38,8 @@ let create ~size_bytes ~line_bytes ~ways =
       clock = 0;
       n_access = 0;
       n_hit = 0;
+      pub_access = 0;
+      pub_hit = 0;
     }
   end
 
@@ -79,7 +85,19 @@ let hit_rate t =
 
 let reset_stats t =
   t.n_access <- 0;
-  t.n_hit <- 0
+  t.n_hit <- 0;
+  t.pub_access <- 0;
+  t.pub_hit <- 0
+
+let publish t metrics =
+  let d_access = max 0 (t.n_access - t.pub_access) in
+  let d_hit = max 0 (t.n_hit - t.pub_hit) in
+  Ax_obs.Metrics.add metrics "texcache_accesses" d_access;
+  Ax_obs.Metrics.add metrics "texcache_hits" d_hit;
+  Ax_obs.Metrics.add metrics "texcache_misses" (max 0 (d_access - d_hit));
+  Ax_obs.Metrics.set_gauge metrics "texcache_hit_rate" (hit_rate t);
+  t.pub_access <- t.n_access;
+  t.pub_hit <- t.n_hit
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -26,7 +26,14 @@ val hit_rate : t -> float
 (** [0.] before any access. *)
 
 val reset_stats : t -> unit
-(** Clear counters but keep cache contents (for warmup-then-measure). *)
+(** Clear counters but keep cache contents (for warmup-then-measure).
+    Also forgets what {!publish} already pushed. *)
+
+val publish : t -> Ax_obs.Metrics.t -> unit
+(** Push the access/hit/miss counts accumulated since the last publish
+    into the registry (counters [texcache_accesses], [texcache_hits],
+    [texcache_misses]) and set the [texcache_hit_rate] gauge.
+    Idempotent between accesses: publishing twice adds nothing new. *)
 
 val flush : t -> unit
 (** Invalidate contents and clear statistics. *)

@@ -78,9 +78,27 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
   let charge phase f =
     match profile with Some p -> Profile.time p phase f | None -> f ()
   in
+  let span name attrs f =
+    match profile with
+    | Some p -> Profile.span p ~name ~attrs f
+    | None -> f ()
+  in
+  let note name n =
+    match profile with Some p -> Profile.count p name n | None -> ()
+  in
   let lut = config.lut in
   let signedness = Lut.signedness lut in
   let out_shape = Conv_spec.output_shape spec (Tensor.shape input) filter in
+  span "axconv.conv"
+    [
+      ( "out_shape",
+        Printf.sprintf "%dx%dx%dx%d" out_shape.Shape.n out_shape.Shape.h
+          out_shape.Shape.w out_shape.Shape.c );
+      ("taps", string_of_int (Filter.taps filter));
+      ("out_c", string_of_int (Filter.out_c filter));
+      ("chunk_size", string_of_int config.chunk_size);
+    ]
+  @@ fun () ->
   let out = charge Profile.Init (fun () -> Tensor.create out_shape) in
   (* ComputeCoeffs for both operands, then quantize the filter bank once
      for the whole batch. *)
@@ -110,8 +128,15 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
   let out_buf = Tensor.buffer out in
   let out_cursor = ref 0 in
   let start = ref 0 in
+  let chunk_idx = ref 0 in
   while !start < images do
     let count = min config.chunk_size (images - !start) in
+    span "axconv.chunk"
+      [
+        ("chunk", string_of_int !chunk_idx);
+        ("images", string_of_int count);
+      ]
+    @@ fun () ->
     let chunk =
       charge Profile.Other (fun () ->
           Tensor.slice_batch input ~start:!start ~count)
@@ -189,7 +214,10 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
       Profile.count_lut_lookups p (rows * out_c * taps);
       Profile.count_macs p (rows * out_c * taps)
     | None -> ());
+    note "im2col_bytes" (Bytes.length mp);
+    note "chunks" 1;
     out_cursor := !out_cursor + (rows * out_c);
-    start := !start + count
+    start := !start + count;
+    incr chunk_idx
   done;
   out

@@ -12,6 +12,8 @@ let scalar_of = function
   | Scalar s -> s
   | Tensor _ -> invalid_arg "Exec: expected a scalar value"
 
+let strategy_name = function Cpu_gemm -> "cpu-gemm" | Cpu_direct -> "cpu-direct"
+
 let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
   let values : value option array = Array.make (Graph.size g) None in
   let value_of id =
@@ -22,10 +24,22 @@ let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
   let charge phase f =
     match profile with Some p -> Profile.time p phase f | None -> f ()
   in
+  let span name attrs f =
+    match profile with
+    | Some p -> Profile.span p ~name ~attrs f
+    | None -> f ()
+  in
+  span "exec.run_all"
+    [
+      ("nodes", string_of_int (Graph.size g));
+      ("strategy", strategy_name strategy);
+      ("batch", string_of_int Ax_tensor.Shape.((Tensor.shape input).n));
+    ]
+  @@ fun () ->
   Array.iter
     (fun n ->
       let inputs = List.map value_of n.Graph.inputs in
-      let result =
+      let eval () =
         match (n.Graph.op, inputs) with
         | Graph.Input, [] -> Tensor input
         | Graph.Const_scalar v, [] -> Scalar v
@@ -102,6 +116,12 @@ let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
             _ ) ->
           invalid_arg
             (Printf.sprintf "Exec: arity mismatch at node %s" n.Graph.name)
+      in
+      let result =
+        span
+          (Graph.op_name n.Graph.op)
+          [ ("node", n.Graph.name); ("node_id", string_of_int n.Graph.id) ]
+          eval
       in
       values.(n.Graph.id) <- Some result)
     (Graph.nodes g);

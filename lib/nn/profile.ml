@@ -1,70 +1,58 @@
+module Phases = Ax_obs.Phases
+module Metrics = Ax_obs.Metrics
+module Trace = Ax_obs.Trace
+
 type phase = Init | Quantization | Lut | Other
 
+let phase_name = function
+  | Init -> "init"
+  | Quantization -> "quantization"
+  | Lut -> "lut"
+  | Other -> "other"
+
 type t = {
-  mutable init_s : float;
-  mutable quant_s : float;
-  mutable lut_s : float;
-  mutable other_s : float;
-  mutable lookups : int;
-  mutable mac_count : int;
-  mutable active : phase option;  (* innermost running phase *)
+  phases : Phases.t;
+  metrics : Metrics.t;
+  lookups : Metrics.counter;
+  mac_counter : Metrics.counter;
+  mutable tracer : Trace.t option;
 }
 
-let create () =
+let create ?trace () =
+  let metrics = Metrics.create () in
   {
-    init_s = 0.;
-    quant_s = 0.;
-    lut_s = 0.;
-    other_s = 0.;
-    lookups = 0;
-    mac_count = 0;
-    active = None;
+    phases = Phases.create ();
+    metrics;
+    lookups = Metrics.counter metrics "lut_lookups";
+    mac_counter = Metrics.counter metrics "macs";
+    tracer = trace;
   }
 
 let reset t =
-  t.init_s <- 0.;
-  t.quant_s <- 0.;
-  t.lut_s <- 0.;
-  t.other_s <- 0.;
-  t.lookups <- 0;
-  t.mac_count <- 0;
-  t.active <- None
+  Phases.reset t.phases;
+  Metrics.reset t.metrics;
+  Option.iter Trace.clear t.tracer
 
-let add_seconds t phase s =
-  match phase with
-  | Init -> t.init_s <- t.init_s +. s
-  | Quantization -> t.quant_s <- t.quant_s +. s
-  | Lut -> t.lut_s <- t.lut_s +. s
-  | Other -> t.other_s <- t.other_s +. s
+let add_seconds t phase s = Phases.add_seconds t.phases (phase_name phase) s
+let time t phase f = Phases.time t.phases (phase_name phase) f
+let count_lut_lookups t n = Metrics.incr t.lookups n
+let count_macs t n = Metrics.incr t.mac_counter n
+let count t name n = Metrics.add t.metrics name n
+let seconds t phase = Phases.seconds t.phases (phase_name phase)
 
-(* Charging the inner phase and refunding the outer keeps the phase
-   totals a partition of real elapsed time. *)
-let time t phase f =
-  let outer = t.active in
-  t.active <- Some phase;
-  let start = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () ->
-      let elapsed = Unix.gettimeofday () -. start in
-      add_seconds t phase elapsed;
-      (match outer with
-      | Some p -> add_seconds t p (-.elapsed)
-      | None -> ());
-      t.active <- outer)
-    f
+let total_seconds t =
+  seconds t Init +. seconds t Quantization +. seconds t Lut +. seconds t Other
 
-let count_lut_lookups t n = t.lookups <- t.lookups + n
-let count_macs t n = t.mac_count <- t.mac_count + n
+let lut_lookups t = Metrics.value t.lookups
+let macs t = Metrics.value t.mac_counter
+let metrics t = t.metrics
+let trace t = t.tracer
+let set_trace t tracer = t.tracer <- Some tracer
 
-let seconds t = function
-  | Init -> t.init_s
-  | Quantization -> t.quant_s
-  | Lut -> t.lut_s
-  | Other -> t.other_s
-
-let total_seconds t = t.init_s +. t.quant_s +. t.lut_s +. t.other_s
-let lut_lookups t = t.lookups
-let macs t = t.mac_count
+let span t ~name ?(attrs = []) f =
+  match t.tracer with
+  | Some tracer -> Trace.with_span tracer ~name ~attrs f
+  | None -> f ()
 
 type breakdown = {
   init_pct : float;
@@ -74,15 +62,22 @@ type breakdown = {
 }
 
 let breakdown t =
-  let total = total_seconds t in
+  (* add_seconds accepts refunds, so a phase total can go negative;
+     shares are computed over the clamped partition. *)
+  let clamped phase = Float.max 0. (seconds t phase) in
+  let init = clamped Init
+  and quant = clamped Quantization
+  and lut = clamped Lut
+  and other = clamped Other in
+  let total = init +. quant +. lut +. other in
   if total <= 0. then
     { init_pct = 0.; quantization_pct = 0.; lut_pct = 0.; other_pct = 0. }
   else
     {
-      init_pct = 100. *. t.init_s /. total;
-      quantization_pct = 100. *. t.quant_s /. total;
-      lut_pct = 100. *. t.lut_s /. total;
-      other_pct = 100. *. t.other_s /. total;
+      init_pct = 100. *. init /. total;
+      quantization_pct = 100. *. quant /. total;
+      lut_pct = 100. *. lut /. total;
+      other_pct = 100. *. other /. total;
     }
 
 let pp_breakdown ppf b =

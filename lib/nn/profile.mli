@@ -1,14 +1,28 @@
 (** Phase-attributed wall-clock accounting, matching the four categories
     of the paper's Fig. 2: initialization, quantization (including
     dequantization and min/max), LUT lookups, and everything else
-    (Im2Cols, GEMM bookkeeping, pooling, ...). *)
+    (Im2Cols, GEMM bookkeeping, pooling, ...).
+
+    Since the observability PR this is a thin view over {!Ax_obs}: the
+    four phases live in an {!Ax_obs.Phases} partition, the counters in
+    an {!Ax_obs.Metrics} registry, and an optional {!Ax_obs.Trace}
+    tracer receives the per-node / per-chunk spans opened by the
+    executor and convolution kernels. *)
 
 type phase = Init | Quantization | Lut | Other
 
+val phase_name : phase -> string
+(** Stable lower-case name used as the {!Ax_obs.Phases} key
+    (["init"], ["quantization"], ["lut"], ["other"]). *)
+
 type t
 
-val create : unit -> t
+val create : ?trace:Ax_obs.Trace.t -> unit -> t
+(** A fresh profile; [trace] attaches a tracer so instrumented code
+    records spans alongside the phase totals. *)
+
 val reset : t -> unit
+(** Zero phases and counters and clear the attached tracer (if any). *)
 
 val time : t -> phase -> (unit -> 'a) -> 'a
 (** Run a thunk and charge its wall-clock time to a phase.  Nested calls
@@ -21,10 +35,26 @@ val add_seconds : t -> phase -> float -> unit
 val count_lut_lookups : t -> int -> unit
 val count_macs : t -> int -> unit
 
+val count : t -> string -> int -> unit
+(** Increment an arbitrary named counter in {!metrics} (im2col bytes,
+    chunk count, ...). *)
+
 val seconds : t -> phase -> float
 val total_seconds : t -> float
 val lut_lookups : t -> int
 val macs : t -> int
+
+val metrics : t -> Ax_obs.Metrics.t
+(** The counter/gauge registry backing this profile ("lut_lookups" and
+    "macs" plus whatever instrumented code added). *)
+
+val trace : t -> Ax_obs.Trace.t option
+val set_trace : t -> Ax_obs.Trace.t -> unit
+
+val span :
+  t -> name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** Record a span on the attached tracer; just runs the thunk when no
+    tracer is attached, so instrumentation stays behavior-neutral. *)
 
 type breakdown = {
   init_pct : float;
@@ -34,6 +64,8 @@ type breakdown = {
 }
 
 val breakdown : t -> breakdown
-(** Percentages of the total (all zero when nothing was recorded). *)
+(** Percentages of the total (all zero when nothing was recorded).
+    Phases driven negative by {!add_seconds} refunds are clamped to 0
+    before shares are computed. *)
 
 val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,40 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability exports (Chrome traces, metrics snapshots) must be
+    machine-readable and round-trip testable without external packages,
+    so this module is self-contained: a compact printer that always
+    emits valid JSON (non-finite floats become [null]) and a strict
+    recursive-descent parser for the same grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Strict parse of one JSON document (trailing garbage is an error).
+    Raises {!Parse_error}. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing keys and non-objects. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts both [Int] and [Float] nodes. *)
+
+val get_list : t -> t list option

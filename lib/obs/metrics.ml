@@ -1,0 +1,107 @@
+type counter = { mutable count : int }
+type gauge = { mutable level : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; gauges = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add t.counters name c;
+    c
+
+let incr c n =
+  if n < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + n
+
+let value c = c.count
+let add t name n = incr (counter t name) n
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { level = 0. } in
+    Hashtbl.add t.gauges name g;
+    g
+
+let set g v = g.level <- v
+let gauge_value g = g.level
+let set_gauge t name v = set (gauge t name) v
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.level <- 0.) t.gauges
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let sorted_bindings table value =
+  Hashtbl.fold (fun name cell acc -> (name, value cell) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.count);
+    gauges = sorted_bindings t.gauges (fun g -> g.level);
+  }
+
+let diff ~before ~after =
+  {
+    counters =
+      List.map
+        (fun (name, v) ->
+          let prior =
+            match List.assoc_opt name before.counters with
+            | Some p -> p
+            | None -> 0
+          in
+          (name, max 0 (v - prior)))
+        after.counters;
+    gauges = after.gauges;
+  }
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+    ]
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let to_prometheus ?(namespace = "tfapprox") s =
+  let buf = Buffer.create 256 in
+  let emit kind name line =
+    let full = sanitize (namespace ^ "_" ^ name) in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" full kind);
+    Buffer.add_string buf (Printf.sprintf "%s %s\n" full line)
+  in
+  List.iter (fun (name, v) -> emit "counter" name (string_of_int v)) s.counters;
+  List.iter
+    (fun (name, v) -> emit "gauge" name (Printf.sprintf "%.9g" v))
+    s.gauges;
+  Buffer.contents buf
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-24s %d@," name v) s.counters;
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-24s %.4g@," name v) s.gauges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** Named counters and gauges for the emulator hot paths.
+
+    Counters are monotonic integers (LUT lookups, MACs, im2col bytes,
+    texture-cache hits); gauges are instantaneous floats (images/sec,
+    hit rate).  Handles returned by {!counter} / {!gauge} are plain
+    mutable cells, so hot-path increments cost one integer addition and
+    no hashing.  {!snapshot} / {!diff} give a before/after view of a
+    region of interest; snapshots render to JSON and Prometheus text. *)
+
+type t
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create; fresh counters start at 0. *)
+
+val incr : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment — counters are
+    monotonic by contract. *)
+
+val value : counter -> int
+
+val add : t -> string -> int -> unit
+(** [add t name n] = [incr (counter t name) n] — for cold call sites. *)
+
+val gauge : t -> string -> gauge
+(** Find-or-create; fresh gauges read 0. *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val set_gauge : t -> string -> float -> unit
+(** [set_gauge t name v] = [set (gauge t name) v]. *)
+
+val reset : t -> unit
+(** Zero every counter and gauge (handles stay valid). *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;   (** sorted by name *)
+  gauges : (string * float) list;   (** sorted by name *)
+}
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counter values become [after - before] (0 floor for counters that
+    vanished across a reset); gauges keep their [after] reading. *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+
+val to_json : snapshot -> Json.t
+(** [{"counters":{...},"gauges":{...}}]. *)
+
+val to_prometheus : ?namespace:string -> snapshot -> string
+(** Prometheus text exposition format; metric names are prefixed with
+    [namespace] (default ["tfapprox"]) and sanitized to
+    [[a-zA-Z0-9_]]. *)
+
+val pp : Format.formatter -> snapshot -> unit

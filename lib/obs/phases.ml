@@ -1,0 +1,48 @@
+type t = {
+  table : (string, float ref) Hashtbl.t;
+  mutable active : string option;  (* innermost running phase *)
+}
+
+let create () = { table = Hashtbl.create 8; active = None }
+
+let reset t =
+  Hashtbl.iter (fun _ cell -> cell := 0.) t.table;
+  t.active <- None
+
+let cell t name =
+  match Hashtbl.find_opt t.table name with
+  | Some c -> c
+  | None ->
+    let c = ref 0. in
+    Hashtbl.add t.table name c;
+    c
+
+let add_seconds t name s =
+  let c = cell t name in
+  c := !c +. s
+
+let time t name f =
+  let outer = t.active in
+  t.active <- Some name;
+  let start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = Unix.gettimeofday () -. start in
+      add_seconds t name elapsed;
+      (match outer with
+      | Some p -> add_seconds t p (-.elapsed)
+      | None -> ());
+      t.active <- outer)
+    f
+
+let seconds t name =
+  match Hashtbl.find_opt t.table name with Some c -> !c | None -> 0.
+
+let total t = Hashtbl.fold (fun _ c acc -> acc +. !c) t.table 0.
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort compare
+
+let to_json t =
+  Json.Obj (List.map (fun name -> (name, Json.Float (seconds t name))) (names t))

@@ -1,0 +1,33 @@
+(** Named wall-clock phase accounting with partition semantics.
+
+    A generalization of the Fig. 2 accumulator: phases are identified by
+    string and the timed totals always partition real elapsed time —
+    a nested {!time} charges the inner phase and refunds the outer one,
+    so no second is counted twice.  {!Ax_nn.Profile} layers its
+    four-phase view on top of this module. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Charge a thunk's wall-clock time to a phase; nested calls charge
+    the inner phase and subtract the same amount from the outer one. *)
+
+val add_seconds : t -> string -> float -> unit
+(** Charge externally measured time.  Negative values are accepted (the
+    refund path uses them); consumers that render shares clamp at 0. *)
+
+val seconds : t -> string -> float
+(** [0.] for a phase never charged. *)
+
+val total : t -> float
+(** Sum over all phases (refunds included, so this tracks real elapsed
+    time of the outermost [time] calls). *)
+
+val names : t -> string list
+(** Phases ever charged, sorted. *)
+
+val to_json : t -> Json.t
+(** [{"<phase>": seconds, ...}], sorted by phase name. *)

@@ -1,0 +1,109 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+}
+
+type t = {
+  capacity : int;
+  ring : span option array;
+  mutable next : int;      (* ring write cursor *)
+  mutable recorded : int;  (* completed spans ever, including evicted *)
+  mutable depth : int;     (* currently open spans *)
+  epoch : float;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    recorded = 0;
+    depth = 0;
+    epoch = Unix.gettimeofday ();
+  }
+
+let record t span =
+  t.ring.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.recorded <- t.recorded + 1
+
+let with_span t ~name ?(attrs = []) f =
+  let depth = t.depth in
+  t.depth <- depth + 1;
+  let start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let stop = Unix.gettimeofday () in
+      t.depth <- depth;
+      let start_us = (start -. t.epoch) *. 1e6 in
+      (* The float subtraction quantizes to ~0.1 us; floor the duration
+         so no span exports as zero-length. *)
+      let dur_us = Float.max ((stop -. start) *. 1e6) 0.001 in
+      record t { name; attrs; start_us; dur_us; depth })
+    f
+
+let spans t =
+  let n = min t.recorded t.capacity in
+  let first = if t.recorded <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some s -> s
+      | None -> assert false)
+
+let span_count t = min t.recorded t.capacity
+let dropped t = max 0 (t.recorded - t.capacity)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.recorded <- 0
+
+let to_chrome_json t =
+  let event s =
+    Json.Obj
+      [
+        ("name", Json.String s.name);
+        ("cat", Json.String "tfapprox");
+        ("ph", Json.String "X");
+        ("ts", Json.Float s.start_us);
+        ("dur", Json.Float s.dur_us);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs) );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event (spans t)));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let chrome_json_string t = Json.to_string (to_chrome_json t)
+
+let pp_tree ppf t =
+  let by_start =
+    List.stable_sort
+      (fun a b ->
+        match compare a.start_us b.start_us with
+        | 0 -> compare a.depth b.depth
+        | c -> c)
+      (spans t)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s : span) ->
+      Format.fprintf ppf "%s%s %.3f ms" (String.make (2 * s.depth) ' ')
+        s.name (s.dur_us /. 1e3);
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) s.attrs;
+      Format.fprintf ppf "@,")
+    by_start;
+  if dropped t > 0 then
+    Format.fprintf ppf "(... %d earlier spans evicted)@," (dropped t);
+  Format.fprintf ppf "@]"

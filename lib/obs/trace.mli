@@ -1,0 +1,48 @@
+(** Span-based tracer with Chrome [trace_event] export.
+
+    Spans are nestable named intervals with string attributes (layer
+    name, op kind, shape, chunk index, backend).  Completed spans land
+    in a fixed-capacity ring buffer — a long emulation run keeps the
+    most recent spans instead of growing without bound — and export as
+    Chrome trace JSON (loadable in [chrome://tracing] or Perfetto) or a
+    plain-text tree. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;  (** microseconds since the tracer was created *)
+  dur_us : float;    (** never 0: floored at 1 ns to survive clock quantization *)
+  depth : int;       (** nesting level at the time the span was open *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring-buffer capacity in spans, default 65536.  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val with_span :
+  t -> name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** Run a thunk inside a named span.  The span is recorded when the
+    thunk returns or raises ([Fun.protect] semantics). *)
+
+val spans : t -> span list
+(** Retained spans in completion order (children before their parent). *)
+
+val span_count : t -> int
+val dropped : t -> int
+(** Completed spans evicted by the ring buffer. *)
+
+val clear : t -> unit
+(** Drop retained spans and reset counters; the time origin and open
+    spans are untouched. *)
+
+val to_chrome_json : t -> Json.t
+(** [{"traceEvents":[...],"displayTimeUnit":"ms"}] with one complete
+    ("ph":"X") event per span, attributes in ["args"]. *)
+
+val chrome_json_string : t -> string
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented start-time-ordered rendering with durations and
+    attributes. *)

@@ -144,6 +144,7 @@ let test_measured_hit_rate () =
   let sample = (Cifar.generate ~n:2 ()).Cifar.images in
   let rate =
     Experiments.measured_lut_hit_rate ~device:Device.gtx_1080 ~graph:g ~sample
+      ()
   in
   check_bool (Printf.sprintf "hit rate %.3f plausible" rate) true
     (rate > 0.3 && rate <= 1.)
@@ -281,6 +282,56 @@ let test_csv_outputs () =
   check_bool "cpu row" true (contains csv2 "ResNet-8,cpu,");
   check_bool "gpu row" true (contains csv2 "ResNet-8,gpu,")
 
+(* Golden outputs: hand-built rows pin the exact CSV byte layout, so a
+   format change has to be deliberate. *)
+let test_table1_csv_golden () =
+  let t init comp = { Experiments.t_init = init; t_comp = comp } in
+  let row =
+    {
+      Experiments.depth = 8;
+      layers = 7;
+      macs_per_image = 12_345_678;
+      cpu_accurate = t 0.5 120.25;
+      gpu_accurate = t 0.125 2.5;
+      cpu_approx = t 0.75 150.5;
+      gpu_approx = t 0.25 3.125;
+      approx_overhead_cpu = 30.5;
+      approx_overhead_gpu = 0.75;
+      speedup_accurate = 46.0;
+      speedup_approx = 45.5;
+      lut_hit_rate = 0.9875;
+    }
+  in
+  let expected =
+    "dnn,layers,macs_per_image,cpu_acc_init,cpu_acc_comp,gpu_acc_init,gpu_acc_comp,cpu_apx_init,cpu_apx_comp,gpu_apx_init,gpu_apx_comp,overhead_cpu,overhead_gpu,speedup_acc,speedup_apx,lut_hit_rate\n\
+     ResNet-8,7,12345678,0.5000,120.2500,0.1250,2.5000,0.7500,150.5000,0.2500,3.1250,30.5000,0.7500,46.00,45.50,0.9875\n"
+  in
+  Alcotest.(check string) "table1 csv golden" expected
+    (Report.table1_csv [ row ])
+
+let test_fig2_csv_golden () =
+  let breakdown i q l o =
+    {
+      Ax_nn.Profile.init_pct = i;
+      quantization_pct = q;
+      lut_pct = l;
+      other_pct = o;
+    }
+  in
+  let row =
+    {
+      Experiments.config = { Experiments.label = "ResNet-8"; depth = 8 };
+      cpu = breakdown 10. 20. 30. 40.;
+      gpu = breakdown 5.25 15.75 60.5 18.5;
+    }
+  in
+  let expected =
+    "config,implementation,init,quantization,lut,rest\n\
+     ResNet-8,cpu,10.00,20.00,30.00,40.00\n\
+     ResNet-8,gpu,5.25,15.75,60.50,18.50\n"
+  in
+  Alcotest.(check string) "fig2 csv golden" expected (Report.fig2_csv [ row ])
+
 let test_report_seconds () =
   Alcotest.(check string) "small" "0.0010 s" (Report.seconds 0.001);
   Alcotest.(check string) "medium" "5.00 s" (Report.seconds 5.);
@@ -330,5 +381,7 @@ let () =
           Alcotest.test_case "fig2 text" `Quick test_report_fig2;
           Alcotest.test_case "seconds" `Quick test_report_seconds;
           Alcotest.test_case "csv outputs" `Quick test_csv_outputs;
+          Alcotest.test_case "table1 csv golden" `Quick test_table1_csv_golden;
+          Alcotest.test_case "fig2 csv golden" `Quick test_fig2_csv_golden;
         ] );
     ]

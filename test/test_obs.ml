@@ -1,0 +1,473 @@
+(* The observability layer: JSON round-trips, metrics snapshots, span
+   tracing, phase partitioning, and the guarantee that instrumentation
+   never changes emulator results. *)
+
+module Json = Ax_obs.Json
+module Metrics = Ax_obs.Metrics
+module Trace = Ax_obs.Trace
+module Phases = Ax_obs.Phases
+module Profile = Ax_nn.Profile
+module Emulator = Tfapprox.Emulator
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+module Tensor = Ax_tensor.Tensor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- json --- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "conv1 \"quoted\"\n\ttab");
+        ("count", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "round trip" true (Json.parse (Json.to_string v) = v)
+
+let test_json_floats () =
+  let v = Json.List [ Json.Float 1.5; Json.Float 3.0; Json.Float nan ] in
+  let s = Json.to_string v in
+  check_string "floats stay JSON numbers" "[1.5,3.0,null]" s;
+  match Json.parse s with
+  | Json.List [ a; b; Json.Null ] ->
+    check_bool "1.5 back" true (Json.get_float a = Some 1.5);
+    check_bool "3.0 back" true (Json.get_float b = Some 3.0)
+  | _ -> Alcotest.fail "expected a 3-element list"
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  List.iter rejects [ "{"; "[1,]"; "\"open"; "1 2"; ""; "{'a':1}"; "nul" ]
+
+let test_json_escapes () =
+  match Json.parse {|{"s":"aA\n\\"}|} with
+  | v ->
+    check_bool "escape decoding" true
+      (Option.bind (Json.member "s" v) Json.get_string = Some "aA\n\\")
+
+(* --- metrics --- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "lut_lookups" in
+  Metrics.incr c 5;
+  Metrics.incr c 7;
+  check_int "accumulates" 12 (Metrics.value c);
+  check_bool "same handle" true (Metrics.counter m "lut_lookups" == c);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr c (-1));
+  Metrics.add m "macs" 3;
+  let s = Metrics.snapshot m in
+  check_bool "snapshot lists both" true
+    (Metrics.find_counter s "lut_lookups" = Some 12
+    && Metrics.find_counter s "macs" = Some 3)
+
+let test_metrics_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.add m "lut_lookups" 100;
+  Metrics.set_gauge m "hit_rate" 0.5;
+  let before = Metrics.snapshot m in
+  Metrics.add m "lut_lookups" 23;
+  Metrics.add m "chunks" 2;
+  Metrics.set_gauge m "hit_rate" 0.75;
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot m) in
+  check_bool "existing counter diffed" true
+    (Metrics.find_counter d "lut_lookups" = Some 23);
+  check_bool "new counter full" true (Metrics.find_counter d "chunks" = Some 2);
+  check_bool "gauge keeps after value" true
+    (Metrics.find_gauge d "hit_rate" = Some 0.75)
+
+let test_metrics_json_round_trip () =
+  let m = Metrics.create () in
+  Metrics.add m "lut_lookups" 9;
+  Metrics.set_gauge m "images_per_sec" 4.5;
+  let json = Metrics.to_json (Metrics.snapshot m) in
+  let parsed = Json.parse (Json.to_string json) in
+  let counter name =
+    Option.bind (Json.member "counters" parsed) (fun c ->
+        Option.bind (Json.member name c) Json.get_int)
+  in
+  let gauge name =
+    Option.bind (Json.member "gauges" parsed) (fun g ->
+        Option.bind (Json.member name g) Json.get_float)
+  in
+  check_bool "counter exported" true (counter "lut_lookups" = Some 9);
+  check_bool "gauge exported" true (gauge "images_per_sec" = Some 4.5)
+
+let test_metrics_prometheus () =
+  let m = Metrics.create () in
+  Metrics.add m "lut lookups/total" 3;
+  Metrics.set_gauge m "hit_rate" 0.9;
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  let has needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i =
+      i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "counter type line" true
+    (has "# TYPE tfapprox_lut_lookups_total counter");
+  check_bool "sanitized sample" true (has "tfapprox_lut_lookups_total 3");
+  check_bool "gauge line" true (has "# TYPE tfapprox_hit_rate gauge")
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "macs" in
+  Metrics.incr c 4;
+  Metrics.set_gauge m "hit_rate" 0.3;
+  Metrics.reset m;
+  check_int "counter zeroed" 0 (Metrics.value c);
+  check_bool "gauge zeroed" true
+    (Metrics.gauge_value (Metrics.gauge m "hit_rate") = 0.)
+
+(* --- trace --- *)
+
+let test_span_nesting_and_order () =
+  let t = Trace.create () in
+  let r =
+    Trace.with_span t ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Trace.with_span t ~name:"inner" (fun () -> 21 * 2))
+  in
+  check_int "result threaded" 42 r;
+  match Trace.spans t with
+  | [ inner; outer ] ->
+    (* completion order: children land in the ring before parents *)
+    check_string "inner first" "inner" inner.Trace.name;
+    check_string "outer second" "outer" outer.Trace.name;
+    check_int "inner depth" 1 inner.Trace.depth;
+    check_int "outer depth" 0 outer.Trace.depth;
+    check_bool "durations positive" true
+      (inner.Trace.dur_us > 0. && outer.Trace.dur_us > 0.);
+    check_bool "inner starts inside outer" true
+      (inner.Trace.start_us >= outer.Trace.start_us);
+    check_bool "inner ends inside outer" true
+      (inner.Trace.start_us +. inner.Trace.dur_us
+      <= outer.Trace.start_us +. outer.Trace.dur_us +. 1.);
+    check_bool "outer keeps attrs" true (outer.Trace.attrs = [ ("k", "v") ])
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_recorded_on_raise () =
+  let t = Trace.create () in
+  (try
+     Trace.with_span t ~name:"boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  check_int "span survives the exception" 1 (Trace.span_count t);
+  check_bool "depth unwound" true
+    (Trace.with_span t ~name:"after" (fun () -> ());
+     match Trace.spans t with
+     | [ _; after ] -> after.Trace.depth = 0
+     | _ -> false)
+
+let test_ring_buffer_eviction () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.with_span t ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check_int "capacity bounds retention" 4 (Trace.span_count t);
+  check_int "dropped counted" 6 (Trace.dropped t);
+  check_bool "newest retained" true
+    (List.map (fun s -> s.Trace.name) (Trace.spans t)
+    = [ "s7"; "s8"; "s9"; "s10" ]);
+  Trace.clear t;
+  check_int "clear empties" 0 (Trace.span_count t);
+  check_int "clear resets dropped" 0 (Trace.dropped t)
+
+let test_chrome_export_well_formed () =
+  let t = Trace.create () in
+  Trace.with_span t ~name:"parent" ~attrs:[ ("layer", "conv1") ] (fun () ->
+      Trace.with_span t ~name:"child" (fun () -> ()));
+  let parsed = Json.parse (Trace.chrome_json_string t) in
+  match Option.bind (Json.member "traceEvents" parsed) Json.get_list with
+  | None -> Alcotest.fail "traceEvents missing"
+  | Some events ->
+    check_int "one event per span" 2 (List.length events);
+    List.iter
+      (fun e ->
+        check_bool "complete event" true
+          (Option.bind (Json.member "ph" e) Json.get_string = Some "X");
+        check_bool "has name" true
+          (Option.bind (Json.member "name" e) Json.get_string <> None);
+        check_bool "nonzero duration" true
+          (match Option.bind (Json.member "dur" e) Json.get_float with
+          | Some d -> d > 0.
+          | None -> false);
+        check_bool "has timestamp" true
+          (Option.bind (Json.member "ts" e) Json.get_float <> None))
+      events;
+    let parent =
+      List.find
+        (fun e ->
+          Option.bind (Json.member "name" e) Json.get_string = Some "parent")
+        events
+    in
+    check_bool "attrs exported as args" true
+      (Option.bind (Json.member "args" parent) (fun a ->
+           Option.bind (Json.member "layer" a) Json.get_string)
+      = Some "conv1")
+
+let test_tree_rendering () =
+  let t = Trace.create () in
+  Trace.with_span t ~name:"outer" (fun () ->
+      Trace.with_span t ~name:"inner" ~attrs:[ ("x", "1") ] (fun () -> ()));
+  let text = Format.asprintf "%a" Trace.pp_tree t in
+  let has needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i =
+      i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "outer listed" true (has "outer");
+  check_bool "inner indented" true (has "  inner");
+  check_bool "attrs printed" true (has "x=1")
+
+(* --- phases --- *)
+
+let busy () =
+  let acc = ref 0 in
+  for i = 1 to 200_000 do
+    acc := !acc + i
+  done;
+  ignore !acc
+
+let test_phases_partition () =
+  let p = Phases.create () in
+  let start = Unix.gettimeofday () in
+  Phases.time p "outer" (fun () ->
+      busy ();
+      Phases.time p "inner" busy;
+      busy ());
+  let elapsed = Unix.gettimeofday () -. start in
+  check_bool "both phases charged" true
+    (Phases.seconds p "inner" > 0. && Phases.seconds p "outer" >= 0.);
+  check_bool "phases partition elapsed time" true
+    (abs_float (Phases.total p -. elapsed) < 1e-3)
+
+let test_phases_json_and_names () =
+  let p = Phases.create () in
+  Phases.add_seconds p "lut" 1.5;
+  Phases.add_seconds p "init" 0.5;
+  check_bool "names sorted" true (Phases.names p = [ "init"; "lut" ]);
+  let parsed = Json.parse (Json.to_string (Phases.to_json p)) in
+  check_bool "phase exported" true
+    (Option.bind (Json.member "lut" parsed) Json.get_float = Some 1.5)
+
+(* --- profile regression (the Fig. 2 view) --- *)
+
+let test_profile_nested_time_partitions () =
+  let p = Profile.create () in
+  let start = Unix.gettimeofday () in
+  Profile.time p Profile.Other (fun () ->
+      busy ();
+      Profile.time p Profile.Lut busy;
+      busy ())
+  |> ignore;
+  let elapsed = Unix.gettimeofday () -. start in
+  let lut = Profile.seconds p Profile.Lut
+  and other = Profile.seconds p Profile.Other in
+  check_bool "inner charged" true (lut > 0.);
+  check_bool "outer refunded, not double-charged" true (other >= -1e-9);
+  check_bool
+    (Printf.sprintf "partition exact (%.6f vs %.6f)" (lut +. other) elapsed)
+    true
+    (abs_float (lut +. other -. elapsed) < 1e-3);
+  check_bool "total matches the partition" true
+    (abs_float (Profile.total_seconds p -. (lut +. other)) < 1e-9)
+
+let test_profile_negative_add_seconds_clamped () =
+  let p = Profile.create () in
+  Profile.add_seconds p Profile.Init (-5.);
+  Profile.add_seconds p Profile.Lut 1.;
+  let b = Profile.breakdown p in
+  check_bool "negative phase clamped to zero share" true
+    (b.Profile.init_pct = 0.);
+  check_bool "remaining shares renormalized" true
+    (abs_float (b.Profile.lut_pct -. 100.) < 1e-9);
+  check_bool "seconds still reports the raw refund" true
+    (Profile.seconds p Profile.Init = -5.)
+
+let test_profile_counters_and_reset () =
+  let tracer = Trace.create () in
+  let p = Profile.create ~trace:tracer () in
+  Profile.count_lut_lookups p 10;
+  Profile.count_macs p 20;
+  Profile.count p "im2col_bytes" 30;
+  Profile.span p ~name:"x" (fun () -> ());
+  check_int "lookups" 10 (Profile.lut_lookups p);
+  check_int "macs" 20 (Profile.macs p);
+  check_bool "custom counter in registry" true
+    (Metrics.find_counter (Metrics.snapshot (Profile.metrics p)) "im2col_bytes"
+    = Some 30);
+  check_int "span recorded" 1 (Trace.span_count tracer);
+  Profile.reset p;
+  check_int "reset zeroes lookups" 0 (Profile.lut_lookups p);
+  check_int "reset clears tracer" 0 (Trace.span_count tracer)
+
+(* --- instrumented emulation --- *)
+
+let approx_resnet8 () =
+  Emulator.approximate_model ~multiplier:"mul8u_trunc8"
+    (Resnet.build ~depth:8 ())
+
+let test_instrumentation_is_behavior_neutral () =
+  let graph = approx_resnet8 () in
+  let data = (Cifar.generate ~n:2 ()).Cifar.images in
+  let plain = Emulator.run ~backend:Emulator.Cpu_gemm graph data in
+  let profile = Profile.create ~trace:(Trace.create ()) () in
+  let traced = Emulator.run ~profile ~backend:Emulator.Cpu_gemm graph data in
+  check_bool "bit-identical outputs" true
+    (Tensor.max_abs_diff plain traced = 0.)
+
+let test_traced_run_spans_and_counters () =
+  let graph = approx_resnet8 () in
+  let data = (Cifar.generate ~n:2 ()).Cifar.images in
+  let tracer = Trace.create () in
+  let profile = Profile.create ~trace:tracer () in
+  ignore (Emulator.run ~profile ~backend:Emulator.Cpu_gemm graph data);
+  let names =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Trace.name) (Trace.spans tracer))
+  in
+  check_bool
+    (Printf.sprintf "distinct span names (%d)" (List.length names))
+    true
+    (List.length names >= 3);
+  check_bool "emulator span present" true (List.mem "emulator.run" names);
+  check_bool "node spans present" true (List.mem "AxConv2D" names);
+  check_bool "chunk spans present" true (List.mem "axconv.chunk" names);
+  List.iter
+    (fun (s : Trace.span) ->
+      check_bool (s.Trace.name ^ " has nonzero duration") true
+        (s.Trace.dur_us > 0.))
+    (Trace.spans tracer);
+  (* The metrics registry and the legacy accessors must agree. *)
+  let snap = Metrics.snapshot (Profile.metrics profile) in
+  check_bool "lut_lookups counter = Profile.lut_lookups" true
+    (Metrics.find_counter snap "lut_lookups"
+    = Some (Profile.lut_lookups profile));
+  check_bool "lookups happened" true (Profile.lut_lookups profile > 0);
+  check_bool "chunk counter" true
+    (match Metrics.find_counter snap "chunks" with
+    | Some n -> n > 0
+    | None -> false);
+  check_bool "im2col bytes counted" true
+    (match Metrics.find_counter snap "im2col_bytes" with
+    | Some n -> n > 0
+    | None -> false);
+  check_bool "images_per_sec gauge set" true
+    (match Metrics.find_gauge snap "images_per_sec" with
+    | Some v -> v > 0.
+    | None -> false);
+  (* Chrome export of the real run parses back. *)
+  let parsed = Json.parse (Trace.chrome_json_string tracer) in
+  match Option.bind (Json.member "traceEvents" parsed) Json.get_list with
+  | Some events ->
+    check_int "every span exported" (Trace.span_count tracer)
+      (List.length events)
+  | None -> Alcotest.fail "traceEvents missing"
+
+let test_texcache_publish () =
+  let cache =
+    Ax_gpusim.Texcache.create ~size_bytes:1024 ~line_bytes:32 ~ways:2
+  in
+  for i = 0 to 99 do
+    ignore (Ax_gpusim.Texcache.access cache (i mod 8 * 32))
+  done;
+  let m = Metrics.create () in
+  Ax_gpusim.Texcache.publish cache m;
+  let snap = Metrics.snapshot m in
+  check_bool "accesses published" true
+    (Metrics.find_counter snap "texcache_accesses" = Some 100);
+  check_bool "hits + misses = accesses" true
+    (match
+       ( Metrics.find_counter snap "texcache_hits",
+         Metrics.find_counter snap "texcache_misses" )
+     with
+    | Some h, Some miss -> h + miss = 100
+    | _ -> false);
+  (* Publishing again without new accesses must add nothing. *)
+  Ax_gpusim.Texcache.publish cache m;
+  check_bool "idempotent publish" true
+    (Metrics.find_counter (Metrics.snapshot m) "texcache_accesses" = Some 100);
+  check_bool "hit rate gauge" true
+    (match Metrics.find_gauge snap "texcache_hit_rate" with
+    | Some r -> r > 0. && r <= 1.
+    | None -> false)
+
+let test_fig2_accepts_tracer () =
+  let tracer = Trace.create () in
+  let rows =
+    Tfapprox.Experiments.fig2 ~trace:tracer ~depths:[ 8 ] ~images_measured:1 ()
+  in
+  check_int "one row" 1 (List.length rows);
+  check_bool "fig2 run produced spans" true (Trace.span_count tracer > 0)
+
+let () =
+  Alcotest.run "tfapprox_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "snapshot diff" `Quick test_metrics_snapshot_diff;
+          Alcotest.test_case "json round trip" `Quick
+            test_metrics_json_round_trip;
+          Alcotest.test_case "prometheus" `Quick test_metrics_prometheus;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "recorded on raise" `Quick
+            test_span_recorded_on_raise;
+          Alcotest.test_case "ring eviction" `Quick test_ring_buffer_eviction;
+          Alcotest.test_case "chrome export" `Quick
+            test_chrome_export_well_formed;
+          Alcotest.test_case "tree rendering" `Quick test_tree_rendering;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "partition" `Quick test_phases_partition;
+          Alcotest.test_case "json and names" `Quick
+            test_phases_json_and_names;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nested time partitions" `Quick
+            test_profile_nested_time_partitions;
+          Alcotest.test_case "negative add_seconds clamped" `Quick
+            test_profile_negative_add_seconds_clamped;
+          Alcotest.test_case "counters and reset" `Quick
+            test_profile_counters_and_reset;
+        ] );
+      ( "emulator",
+        [
+          Alcotest.test_case "behavior neutral" `Quick
+            test_instrumentation_is_behavior_neutral;
+          Alcotest.test_case "spans and counters" `Quick
+            test_traced_run_spans_and_counters;
+          Alcotest.test_case "texcache publish" `Quick test_texcache_publish;
+          Alcotest.test_case "fig2 tracer" `Quick test_fig2_accepts_tracer;
+        ] );
+    ]
