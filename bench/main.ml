@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- round-modes
      dune exec bench/main.exe -- per-layer
      dune exec bench/main.exe -- device-sweep
+     dune exec bench/main.exe -- pool    # sharded emulator, domains 1 vs N
      dune exec bench/main.exe -- trace   # Chrome trace + metrics JSON dump
 
    CPU columns are measured on this host over a small image sample and
@@ -97,10 +98,13 @@ let axconv_test ~name multiplier strategy =
   let config =
     Axconv.make_config (Registry.lut (Registry.find_exn multiplier))
   in
-  let conv =
+  let conv ~config ~input ~input_range ~filter ~filter_range ~spec () =
     match strategy with
-    | `Gemm -> Axconv.conv ?profile:None
-    | `Direct -> Ax_nn.Conv_direct.conv ?profile:None
+    | `Gemm ->
+      Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+    | `Direct ->
+      Ax_nn.Conv_direct.conv ~config ~input ~input_range ~filter ~filter_range
+        ~spec ()
   in
   Test.make ~name
     (Staged.stage (fun () ->
@@ -458,6 +462,57 @@ let run_trace () =
     (Ax_nn.Profile.macs profile)
 
 (* ------------------------------------------------------------------ *)
+(* Pool: sharded emulator scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_pool () =
+  section "Pool: per-image sharded emulation, domains 1 vs N (ResNet-8)";
+  let images = max images_measured 4 in
+  let graph = Resnet.build ~depth:8 () in
+  let data = (Cifar.generate ~n:images ()).Cifar.images in
+  let time_run ~domains =
+    let approx =
+      Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains
+        graph
+    in
+    let backend = Tfapprox.Emulator.Cpu_gemm in
+    (* Warm-up builds (or grows) the pool and touches every LUT page. *)
+    ignore (Tfapprox.Emulator.run ~domains ~backend approx data);
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let o = Tfapprox.Emulator.run ~domains ~backend approx data in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some o
+    done;
+    (!best, Option.get !out)
+  in
+  Format.printf "host: %d recommended domain(s); %d images per run@.@."
+    (Domain.recommended_domain_count ())
+    images;
+  let base_t, base_out = time_run ~domains:1 in
+  Format.printf "%-8s %12s %12s %9s %10s@." "domains" "best time" "images/s"
+    "speedup" "bitwise";
+  List.iter
+    (fun d ->
+      let t, out = time_run ~domains:d in
+      let identical = Tensor.max_abs_diff base_out out = 0. in
+      Format.printf "%-8d %10.1f ms %12.1f %8.2fx %10s@." d (1000. *. t)
+        (float_of_int images /. t)
+        (base_t /. t)
+        (if identical then "ok" else "DIFFERS"))
+    [ 1; 2; 4 ];
+  let s = Ax_pool.Pool.stats (Ax_pool.Pool.default ()) in
+  Format.printf
+    "@.pool: %d domain(s), %d parallel call(s), %d inline call(s), %d \
+     task(s), %.1f ms busy@."
+    (Ax_pool.Pool.default_size ())
+    s.Ax_pool.Pool.parallel_calls s.Ax_pool.Pool.inline_calls
+    s.Ax_pool.Pool.tasks
+    (1000. *. s.Ax_pool.Pool.busy_seconds)
+
+(* ------------------------------------------------------------------ *)
 (* Device sweep                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -503,6 +558,7 @@ let all_sections =
     ("round-modes", run_round_modes);
     ("per-layer", run_per_layer);
     ("device-sweep", run_device_sweep);
+    ("pool", run_pool);
     ("trace", run_trace);
   ]
 

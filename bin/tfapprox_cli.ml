@@ -36,6 +36,19 @@ let multiplier_term =
     value & opt string "mul8u_trunc8"
     & info [ "multiplier"; "m" ] ~doc:"Registry name of the multiplier.")
 
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains (1-64) for the persistent emulator pool.  \
+           Sizes the process-wide pool, parallelizes the AxConv2D \
+           Im2Cols/GEMM loops, and shards the batch per image; results \
+           are bit-identical for every N.  Defaults to the \
+           $(b,TFAPPROX_DOMAINS) environment variable, falling back to \
+           the un-sharded single-domain emulator.")
+
 let device_term =
   let parse = function
     | "gtx-1080" -> Ok Ax_gpusim.Device.gtx_1080
@@ -284,9 +297,18 @@ let model_cmd =
        ~doc:"Build (and optionally transform) a ResNet and serialize it")
     Term.(const run $ depth $ multiplier $ output)
 
+(* [--domains N] wins; otherwise an exported TFAPPROX_DOMAINS opts in
+   with its (clamped) value; otherwise the legacy un-sharded emulator. *)
+let resolve_domains = function
+  | Some _ as d -> d
+  | None -> (
+    match Sys.getenv_opt Ax_pool.Pool.env_var with
+    | Some s when String.trim s <> "" -> Some (Ax_pool.Pool.recommended ())
+    | Some _ | None -> None)
+
 let trace_cmd =
-  let run device depth multiplier images backend trace_file metrics_file tree
-      prometheus =
+  let run device depth multiplier images backend domains trace_file
+      metrics_file tree prometheus =
     let backend =
       match backend with
       | "accurate" -> Tfapprox.Emulator.Cpu_accurate
@@ -294,14 +316,18 @@ let trace_cmd =
       | "gemm" -> Tfapprox.Emulator.Cpu_gemm
       | other -> failwith (Printf.sprintf "unknown backend %s" other)
     in
+    let domains = resolve_domains domains in
+    (match domains with
+    | Some d -> Ax_pool.Pool.set_default_size d
+    | None -> ());
     let graph =
-      Tfapprox.Emulator.approximate_model ~multiplier
+      Tfapprox.Emulator.approximate_model ~multiplier ?domains
         (Ax_models.Resnet.build ~depth ())
     in
     let data = (Ax_data.Cifar.generate ~n:images ()).Ax_data.Cifar.images in
     let tracer = Ax_obs.Trace.create () in
     let profile = Ax_nn.Profile.create ~trace:tracer () in
-    ignore (Tfapprox.Emulator.run ~profile ~backend graph data);
+    ignore (Tfapprox.Emulator.run ~profile ?domains ~backend graph data);
     let metrics = Ax_nn.Profile.metrics profile in
     ignore
       (Tfapprox.Experiments.measured_lut_hit_rate ~metrics ~device ~graph
@@ -344,7 +370,8 @@ let trace_cmd =
           metrics")
     Term.(
       const run $ device_term $ depth $ multiplier_term $ images $ backend
-      $ trace_file_term $ metrics_file_term $ tree $ prometheus)
+      $ domains_term $ trace_file_term $ metrics_file_term $ tree
+      $ prometheus)
 
 let analyze_cmd =
   let run depth multiplier images =

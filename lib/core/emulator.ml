@@ -4,10 +4,14 @@ module Exec = Ax_nn.Exec
 module Axconv = Ax_nn.Axconv
 module Transform = Ax_nn.Transform
 module Layers = Ax_nn.Layers
+module Profile = Ax_nn.Profile
+module Pool = Ax_pool.Pool
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
 
 let lut_of_multiplier name = Registry.lut (Registry.find_exn name)
 
-let approximate_model ?multiplier ?lut ?round_mode ?chunk_size g =
+let approximate_model ?multiplier ?lut ?round_mode ?chunk_size ?domains g =
   let lut =
     match (multiplier, lut) with
     | Some name, None -> lut_of_multiplier name
@@ -17,7 +21,7 @@ let approximate_model ?multiplier ?lut ?round_mode ?chunk_size g =
     | None, None ->
       invalid_arg "Emulator.approximate_model: need a multiplier or a lut"
   in
-  let config = Axconv.make_config ?round_mode ?chunk_size lut in
+  let config = Axconv.make_config ?round_mode ?chunk_size ?domains lut in
   Transform.approximate ~config g
 
 type backend = Cpu_accurate | Cpu_direct | Cpu_gemm
@@ -31,36 +35,107 @@ let backend_name = function
   | Cpu_direct -> "cpu-direct"
   | Cpu_gemm -> "cpu-gemm"
 
-let run ?profile ~backend g input =
+(* Fold one shard's phase seconds and counters into the coordinator's
+   profile.  Phase seconds are float sums and counters integer sums, so
+   merging the shards in index order keeps every counter bit-identical
+   across pool sizes (the shards themselves never touch the coordinator
+   profile — [Ax_obs.Metrics] cells are not thread-safe). *)
+let merge_shard_profile ~into part =
+  List.iter
+    (fun ph -> Profile.add_seconds into ph (Profile.seconds part ph))
+    [ Profile.Init; Profile.Quantization; Profile.Lut; Profile.Other ];
+  let snap = Ax_obs.Metrics.snapshot (Profile.metrics part) in
+  List.iter
+    (fun (name, v) -> if v > 0 then Ax_obs.Metrics.add (Profile.metrics into) name v)
+    snap.Ax_obs.Metrics.counters
+
+(* Batch-level sharding: one shard per image, regardless of the domain
+   count, so the per-shard Min/Max range nodes see exactly the same data
+   for every [domains] value — outputs, counters and accuracy are
+   bit-identical between [domains:1] and [domains:N].  (Per-image ranges
+   do differ from the un-sharded whole-batch run, which is why sharding
+   is opt-in.) *)
+let run_sharded ?profile ~domains ~backend g input =
   let strategy = strategy_of_backend backend in
+  let images = Shape.((Tensor.shape input).n) in
+  let pool = Pool.ensure ~domains in
+  let run_shard i =
+    let shard = Tensor.slice_batch input ~start:i ~count:1 in
+    let shard_profile =
+      match profile with Some _ -> Some (Profile.create ()) | None -> None
+    in
+    let out = Exec.run ?profile:shard_profile ~strategy g ~input:shard in
+    (out, shard_profile)
+  in
+  let batch () =
+    let results =
+      Pool.map_array pool ~max_domains:domains run_shard
+        (Array.init images (fun i -> i))
+    in
+    (match profile with
+    | Some p ->
+      Array.iter
+        (fun (_, sp) ->
+          match sp with
+          | Some sp -> merge_shard_profile ~into:p sp
+          | None -> ())
+        results
+    | None -> ());
+    Tensor.concat_batch (Array.to_list (Array.map fst results))
+  in
   match profile with
-  | None -> Exec.run ~strategy g ~input
+  | None -> batch ()
   | Some p ->
-    let images = Ax_tensor.Shape.((Ax_tensor.Tensor.shape input).n) in
     let start = Unix.gettimeofday () in
     let out =
-      Ax_nn.Profile.span p ~name:"emulator.run"
+      Profile.span p ~name:"emulator.run"
         ~attrs:
           [
             ("backend", backend_name backend);
             ("images", string_of_int images);
+            ("domains", string_of_int domains);
+            ("sharding", "per-image");
           ]
-        (fun () -> Exec.run ~profile:p ~strategy g ~input)
+        batch
     in
     let elapsed = Unix.gettimeofday () -. start in
     if elapsed > 0. then
-      Ax_obs.Metrics.set_gauge
-        (Ax_nn.Profile.metrics p)
-        "images_per_sec"
+      Ax_obs.Metrics.set_gauge (Profile.metrics p) "images_per_sec"
         (float_of_int images /. elapsed);
+    Pool.publish pool (Profile.metrics p);
     out
 
-let predictions ?profile g ~backend input =
-  Layers.argmax_channels (run ?profile ~backend g input)
+let run ?profile ?domains ~backend g input =
+  match domains with
+  | Some d -> run_sharded ?profile ~domains:d ~backend g input
+  | None -> (
+    let strategy = strategy_of_backend backend in
+    match profile with
+    | None -> Exec.run ~strategy g ~input
+    | Some p ->
+      let images = Shape.((Tensor.shape input).n) in
+      let start = Unix.gettimeofday () in
+      let out =
+        Profile.span p ~name:"emulator.run"
+          ~attrs:
+            [
+              ("backend", backend_name backend);
+              ("images", string_of_int images);
+            ]
+          (fun () -> Exec.run ~profile:p ~strategy g ~input)
+      in
+      let elapsed = Unix.gettimeofday () -. start in
+      if elapsed > 0. then
+        Ax_obs.Metrics.set_gauge (Profile.metrics p) "images_per_sec"
+          (float_of_int images /. elapsed);
+      out)
 
-let accuracy ?profile g ~backend dataset =
+let predictions ?profile ?domains g ~backend input =
+  Layers.argmax_channels (run ?profile ?domains ~backend g input)
+
+let accuracy ?profile ?domains g ~backend dataset =
   let batch () =
-    predictions ?profile g ~backend dataset.Ax_data.Cifar.images
+    predictions ?profile ?domains g ~backend dataset.Ax_data.Cifar.images
   in
   let preds =
     match profile with

@@ -11,11 +11,14 @@ val approximate_model :
   ?lut:Ax_arith.Lut.t ->
   ?round_mode:Ax_quant.Round.t ->
   ?chunk_size:int ->
+  ?domains:int ->
   Ax_nn.Graph.t ->
   Ax_nn.Graph.t
 (** The design flow of Sec. II: replace every Conv2D by AxConv2D wired
     to Min/Max range nodes.  Pass either a registry [multiplier] name or
-    a prebuilt [lut] (exactly one; raises [Invalid_argument] otherwise). *)
+    a prebuilt [lut] (exactly one; raises [Invalid_argument] otherwise).
+    [domains] sets the AxConv2D row-level parallelism (see
+    {!Ax_nn.Axconv.make_config}). *)
 
 type backend =
   | Cpu_accurate    (** float GEMM convolution, no emulation *)
@@ -27,6 +30,7 @@ val backend_name : backend -> string
 
 val run :
   ?profile:Ax_nn.Profile.t ->
+  ?domains:int ->
   backend:backend ->
   Ax_nn.Graph.t ->
   Ax_tensor.Tensor.t ->
@@ -35,15 +39,26 @@ val run :
     transformed graph still emulates — the backend selects the AxConv2D
     strategy, it does not undo the transform.  With a [profile] the run
     is wrapped in an ["emulator.run"] span (backend and batch size as
-    attributes) and the profile's ["images_per_sec"] gauge is set. *)
+    attributes) and the profile's ["images_per_sec"] gauge is set.
 
-val predictions : ?profile:Ax_nn.Profile.t -> Ax_nn.Graph.t ->
-  backend:backend -> Ax_tensor.Tensor.t -> int array
+    Without [domains] the whole batch runs as one graph evaluation, as
+    in the original emulator.  With [domains:d] the batch is sharded
+    {e per image} on the process-wide {!Ax_pool.Pool} and the shard
+    outputs (plus per-shard profile phases and counters) are merged in
+    image order.  Shard boundaries never depend on [d], so sharded runs
+    are bit-identical for every [d] — including [domains:1], which is
+    the reference the determinism tests compare against.  Note the
+    per-image Min/Max quantization ranges legitimately differ from the
+    un-sharded whole-batch ranges, which is why sharding is opt-in. *)
+
+val predictions : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+  Ax_nn.Graph.t -> backend:backend -> Ax_tensor.Tensor.t -> int array
 (** Class ids from the graph's softmax output. *)
 
-val accuracy : ?profile:Ax_nn.Profile.t -> Ax_nn.Graph.t ->
-  backend:backend -> Ax_data.Cifar.t -> float
-(** Top-1 accuracy against dataset labels, in [0, 1]. *)
+val accuracy : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+  Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
+(** Top-1 accuracy against dataset labels, in [0, 1].  [domains] as in
+    {!run}. *)
 
 val agreement : int array -> int array -> float
 (** Fraction of matching predictions — the "classification fidelity"

@@ -5,6 +5,7 @@ module Round = Ax_quant.Round
 module Range = Ax_quant.Range
 module Lut = Ax_arith.Lut
 module S = Ax_arith.Signedness
+module Pool = Ax_pool.Pool
 
 type granularity = Per_tensor | Per_channel
 
@@ -69,12 +70,22 @@ let quantize_filters signedness coeffs round_mode filter =
     (Array.make (Filter.out_c filter) coeffs)
     round_mode filter
 
-let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
-    ~spec () =
+let conv ?profile ?pool ~config ~input ~input_range ~filter ~filter_range
+    ?bias ~spec () =
   (match bias with
   | Some b when Array.length b <> Filter.out_c filter ->
     invalid_arg "Axconv.conv: bias length differs from filter count"
   | Some _ | None -> ());
+  (* Resolve the worker pool once per conv: an explicit [pool] wins, a
+     multi-domain config borrows the process-wide pool, and the
+     single-domain default stays entirely pool-free. *)
+  let pool =
+    match pool with
+    | Some _ as p -> p
+    | None ->
+      if config.domains > 1 then Some (Pool.ensure ~domains:config.domains)
+      else None
+  in
   let charge phase f =
     match profile with Some p -> Profile.time p phase f | None -> f ()
   in
@@ -89,6 +100,11 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
   let lut = config.lut in
   let signedness = Lut.signedness lut in
   let out_shape = Conv_spec.output_shape spec (Tensor.shape input) filter in
+  let effective_domains =
+    match pool with
+    | Some p -> min config.domains (Pool.size p)
+    | None -> 1
+  in
   span "axconv.conv"
     [
       ( "out_shape",
@@ -97,6 +113,7 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
       ("taps", string_of_int (Filter.taps filter));
       ("out_c", string_of_int (Filter.out_c filter));
       ("chunk_size", string_of_int config.chunk_size);
+      ("domains", string_of_int effective_domains);
     ]
   @@ fun () ->
   let out = charge Profile.Init (fun () -> Tensor.create out_shape) in
@@ -147,8 +164,8 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
     in
     let mp, sp =
       charge Profile.Quantization (fun () ->
-          Im2col.to_codes plan chunk ~coeffs:coeffs1
-            ~round_mode:config.round_mode ~signedness)
+          Im2col.to_codes ?pool ~domains:config.domains plan chunk
+            ~coeffs:coeffs1 ~round_mode:config.round_mode ~signedness)
     in
     (* ApproxGEMM: every inner product resolved through the LUT. *)
     let rows = plan.Im2col.rows in
@@ -196,19 +213,15 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
       done
     in
     charge Profile.Lut (fun () ->
-        let workers = min config.domains rows in
-        if workers <= 1 then gemm_rows 0 rows
-        else begin
-          let per = (rows + workers - 1) / workers in
-          let handles =
-            List.init (workers - 1) (fun w ->
-                let lo = (w + 1) * per in
-                let hi = min rows ((w + 2) * per) in
-                Domain.spawn (fun () -> if lo < hi then gemm_rows lo hi))
-          in
-          gemm_rows 0 (min rows per);
-          List.iter Domain.join handles
-        end);
+        match pool with
+        | Some p ->
+          Pool.parallel_for p ~max_domains:config.domains ~lo:0 ~hi:rows
+            (fun ~lo ~hi -> gemm_rows lo hi)
+        | None -> gemm_rows 0 rows);
+    (* Per-chunk accounting runs exactly once per chunk, on the
+       coordinating domain, after the parallel region has joined — so a
+       multi-chunk batch reports the sum over its chunks no matter how
+       the rows were split. *)
     (match profile with
     | Some p ->
       Profile.count_lut_lookups p (rows * out_c * taps);
@@ -220,4 +233,7 @@ let conv ?profile ~config ~input ~input_range ~filter ~filter_range ?bias
     start := !start + count;
     incr chunk_idx
   done;
+  (match (profile, pool) with
+  | Some p, Some pl -> Pool.publish pl (Profile.metrics p)
+  | (Some _ | None), _ -> ());
   out

@@ -31,8 +31,10 @@ type config = {
   granularity : granularity;
   accumulator : Accumulator.t;
   domains : int;
-      (** CPU parallelism for the ApproxGEMM loop (the paper's CPU
-          baselines ran on a multicore Xeon).  Each output row is
+      (** CPU parallelism for the Im2Cols and ApproxGEMM loops (the
+          paper's CPU baselines ran on a multicore Xeon).  Work runs on
+          the persistent {!Ax_pool.Pool} — the process-wide default
+          unless {!conv} is handed one — and each patch/output row is
           computed entirely by one domain, so results are bit-identical
           for any value. *)
 }
@@ -53,6 +55,7 @@ val make_config :
 
 val conv :
   ?profile:Profile.t ->
+  ?pool:Ax_pool.Pool.t ->
   config:config ->
   input:Ax_tensor.Tensor.t ->
   input_range:Ax_quant.Range.t ->
@@ -65,8 +68,13 @@ val conv :
 (** Raises [Invalid_argument] on shape/bias mismatches.  When [profile]
     is given, wall-clock time is attributed to Fig. 2 phases
     (coefficient computation and quantization passes to [Quantization],
-    the LUT-accumulate inner loop to [Lut], output assembly to [Other])
-    and LUT lookups / MACs are counted. *)
+    the LUT-accumulate inner loop to [Lut], output assembly to [Other]),
+    LUT lookups / MACs / chunks are counted once per chunk on the
+    coordinating domain, and pool utilization gauges are published.
+    When [config.domains > 1] the Im2Cols and GEMM row loops run on
+    [pool] (default: the grown process-wide pool,
+    {!Ax_pool.Pool.ensure}); all counters and results are bit-identical
+    to the single-domain run. *)
 
 val filter_coeffs :
   granularity ->

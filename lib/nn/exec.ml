@@ -61,10 +61,15 @@ let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
           let filter_range =
             Range.make ~min:(scalar_of f_min) ~max:(scalar_of f_max)
           in
-          let conv =
+          let conv ?profile ~config ~input ~input_range ~filter ~filter_range
+              ?bias ~spec () =
             match strategy with
-            | Cpu_gemm -> Axconv.conv
-            | Cpu_direct -> Conv_direct.conv
+            | Cpu_gemm ->
+              Axconv.conv ?profile ~config ~input ~input_range ~filter
+                ~filter_range ?bias ~spec ()
+            | Cpu_direct ->
+              Conv_direct.conv ?profile ~config ~input ~input_range ~filter
+                ~filter_range ?bias ~spec ()
           in
           Tensor
             (conv ?profile ~config ~input:(tensor_of data) ~input_range

@@ -3,6 +3,7 @@ module Tensor = Ax_tensor.Tensor
 module Matrix = Ax_tensor.Matrix
 module Q = Ax_quant.Quantization
 module S = Ax_arith.Signedness
+module Pool = Ax_pool.Pool
 
 type plan = {
   input_shape : Shape.t;
@@ -66,27 +67,41 @@ let iter_patch plan ~n ~oh ~ow ~inside ~padded =
     done
   done
 
-let to_matrix plan input =
+(* Patch-matrix row [row] corresponds to image [n], output pixel
+   [(oh, ow)] — the fixed row order both lowering flavours and the GEMM
+   rely on.  Deriving the coordinates from the row index (instead of
+   threading a counter through nested loops) is what lets a row range
+   be filled by any domain independently. *)
+let row_coords plan row =
+  let per_image = plan.out_h * plan.out_w in
+  let n = row / per_image in
+  let rem = row mod per_image in
+  (n, rem / plan.out_w, rem mod plan.out_w)
+
+let parallelize ?pool ?(domains = 1) ~rows body =
+  match pool with
+  | Some p when domains > 1 && rows > 1 ->
+    Pool.parallel_for p ~max_domains:domains ~lo:0 ~hi:rows body
+  | Some _ | None -> body ~lo:0 ~hi:rows
+
+let to_matrix ?pool ?domains plan input =
   if not (Shape.equal (Tensor.shape input) plan.input_shape) then
     invalid_arg "Im2col.to_matrix: input shape differs from plan";
   let m = Matrix.create ~rows:plan.rows ~cols:plan.patch_len in
   let buf = Tensor.buffer input in
-  let row = ref 0 in
-  let s = plan.input_shape in
-  for n = 0 to Shape.(s.n) - 1 do
-    for oh = 0 to plan.out_h - 1 do
-      for ow = 0 to plan.out_w - 1 do
-        let row_base = !row * plan.patch_len in
-        iter_patch plan ~n ~oh ~ow
-          ~inside:(fun col off -> m.Matrix.data.(row_base + col) <- buf.{off})
-          ~padded:(fun _ -> ());
-        incr row
-      done
+  let fill_rows ~lo ~hi =
+    for row = lo to hi - 1 do
+      let n, oh, ow = row_coords plan row in
+      let row_base = row * plan.patch_len in
+      iter_patch plan ~n ~oh ~ow
+        ~inside:(fun col off -> m.Matrix.data.(row_base + col) <- buf.{off})
+        ~padded:(fun _ -> ())
     done
-  done;
+  in
+  parallelize ?pool ?domains ~rows:plan.rows fill_rows;
   m
 
-let to_codes plan input ~coeffs ~round_mode ~signedness =
+let to_codes ?pool ?domains plan input ~coeffs ~round_mode ~signedness =
   if not (Shape.equal (Tensor.shape input) plan.input_shape) then
     invalid_arg "Im2col.to_codes: input shape differs from plan";
   let mp = Bytes.create (plan.rows * plan.patch_len) in
@@ -97,27 +112,28 @@ let to_codes plan input ~coeffs ~round_mode ~signedness =
   (* The zero-point code: what a zero-padding cell quantizes to. *)
   let zero_q = coeffs.Q.beta in
   let zero_code = zero_q land 0xff in
-  let row = ref 0 in
-  let s = plan.input_shape in
-  for n = 0 to Shape.(s.n) - 1 do
-    for oh = 0 to plan.out_h - 1 do
-      for ow = 0 to plan.out_w - 1 do
-        let row_base = !row * plan.patch_len in
-        let acc = ref 0 in
-        iter_patch plan ~n ~oh ~ow
-          ~inside:(fun col off ->
-            let q =
-              Ax_quant.Round.apply round_mode ((buf.{off} *. inv_alpha) +. betaf)
-            in
-            let q = S.clamp signedness q in
-            acc := !acc + q;
-            Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr (q land 0xff)))
-          ~padded:(fun col ->
-            acc := !acc + zero_q;
-            Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr zero_code));
-        sp.(!row) <- !acc;
-        incr row
-      done
+  (* Each row writes its own [patch_len] slice of [mp] and its own
+     [sp] cell, and quantization (including the hash-based stochastic
+     rounding) is a pure function of the input value — so any row split
+     produces bit-identical codes. *)
+  let fill_rows ~lo ~hi =
+    for row = lo to hi - 1 do
+      let n, oh, ow = row_coords plan row in
+      let row_base = row * plan.patch_len in
+      let acc = ref 0 in
+      iter_patch plan ~n ~oh ~ow
+        ~inside:(fun col off ->
+          let q =
+            Ax_quant.Round.apply round_mode ((buf.{off} *. inv_alpha) +. betaf)
+          in
+          let q = S.clamp signedness q in
+          acc := !acc + q;
+          Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr (q land 0xff)))
+        ~padded:(fun col ->
+          acc := !acc + zero_q;
+          Bytes.unsafe_set mp (row_base + col) (Char.unsafe_chr zero_code));
+      sp.(row) <- !acc
     done
-  done;
+  in
+  parallelize ?pool ?domains ~rows:plan.rows fill_rows;
   (mp, sp)

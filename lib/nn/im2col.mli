@@ -24,10 +24,20 @@ type plan = private {
 val make :
   Ax_tensor.Shape.t -> kh:int -> kw:int -> spec:Conv_spec.t -> plan
 
-val to_matrix : plan -> Ax_tensor.Tensor.t -> Ax_tensor.Matrix.t
-(** Float patch matrix; padding cells hold 0. *)
+val to_matrix :
+  ?pool:Ax_pool.Pool.t ->
+  ?domains:int ->
+  plan ->
+  Ax_tensor.Tensor.t ->
+  Ax_tensor.Matrix.t
+(** Float patch matrix; padding cells hold 0.  With a [pool] and
+    [domains > 1] the rows are filled in parallel (each row touches
+    disjoint output cells, so the result is bit-identical to the serial
+    fill for any split). *)
 
 val to_codes :
+  ?pool:Ax_pool.Pool.t ->
+  ?domains:int ->
   plan ->
   Ax_tensor.Tensor.t ->
   coeffs:Ax_quant.Quantization.coeffs ->

@@ -1,0 +1,311 @@
+let max_domains_limit = 64
+
+type stats = {
+  parallel_calls : int;
+  inline_calls : int;
+  tasks : int;
+  busy_seconds : float;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  (* One job at a time: the coordinator installs [job] and bumps
+     [generation]; each worker runs the job for its own slot exactly
+     once per generation.  Static slot assignment — no queue, no
+     stealing — is what makes the execution deterministic. *)
+  mutable generation : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  mutable active : bool;  (** coordinator is inside a fan-out *)
+  mutable shut_down : bool;
+  mutable workers : unit Domain.t array;
+  worker_ids : Domain.id array;
+  (* Utilization counters; [busy_ns] is the only field workers touch,
+     under [mutex]. *)
+  mutable parallel_calls : int;
+  mutable inline_calls : int;
+  mutable tasks : int;
+  mutable busy_s : float;
+}
+
+let size t = t.size
+
+let is_worker t =
+  let me = Domain.self () in
+  Array.exists (fun id -> id = me) t.worker_ids
+
+let record_failure t slot e bt =
+  match t.failure with
+  | Some (s, _, _) when s <= slot -> ()
+  | Some _ | None -> t.failure <- Some (slot, e, bt)
+
+let worker_body t slot () =
+  let my_gen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    while (not t.shut_down) && t.generation = !my_gen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.shut_down then begin
+      Mutex.unlock t.mutex;
+      continue_ := false
+    end
+    else begin
+      my_gen := t.generation;
+      let job = match t.job with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock t.mutex;
+      let start = Unix.gettimeofday () in
+      let outcome =
+        try
+          job slot;
+          None
+        with e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      let elapsed = Unix.gettimeofday () -. start in
+      Mutex.lock t.mutex;
+      t.busy_s <- t.busy_s +. elapsed;
+      (match outcome with
+      | Some (e, bt) -> record_failure t slot e bt
+      | None -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let env_var = "TFAPPROX_DOMAINS"
+
+let clamp_domains d = max 1 (min max_domains_limit d)
+
+let recommended () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d -> clamp_domains d
+    | None -> clamp_domains (Domain.recommended_domain_count ()))
+  | None -> clamp_domains (Domain.recommended_domain_count ())
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 || d > max_domains_limit then
+        invalid_arg
+          (Printf.sprintf "Pool.create: domains must be in 1..%d"
+             max_domains_limit);
+      d
+    | None -> recommended ()
+  in
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      job = None;
+      pending = 0;
+      failure = None;
+      active = false;
+      shut_down = false;
+      workers = [||];
+      worker_ids = Array.make (max 0 (domains - 1)) (Domain.self ());
+      parallel_calls = 0;
+      inline_calls = 0;
+      tasks = 0;
+      busy_s = 0.;
+    }
+  in
+  t.workers <-
+    Array.init (domains - 1) (fun i ->
+        let slot = i + 1 in
+        let d = Domain.spawn (worker_body t slot) in
+        t.worker_ids.(i) <- Domain.get_id d;
+        d);
+  t
+
+let shutdown t =
+  if not t.shut_down then begin
+    Mutex.lock t.mutex;
+    t.shut_down <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* Run [task slot] once for each slot in [0 .. slots - 1]: slot 0 on the
+   calling domain, the rest on workers.  Falls back to an inline loop
+   when the pool cannot fan out (single worker, shut down, or called
+   from inside a task of this very pool). *)
+let run_slots t ~slots task =
+  if slots <= 1 || t.size = 1 || t.shut_down || t.active || is_worker t then begin
+    t.inline_calls <- t.inline_calls + 1;
+    t.tasks <- t.tasks + slots;
+    for s = 0 to slots - 1 do
+      task s
+    done
+  end
+  else begin
+    t.active <- true;
+    t.parallel_calls <- t.parallel_calls + 1;
+    t.tasks <- t.tasks + slots;
+    Mutex.lock t.mutex;
+    t.job <- Some (fun s -> if s < slots then task s);
+    t.generation <- t.generation + 1;
+    t.pending <- t.size - 1;
+    t.failure <- None;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    let start = Unix.gettimeofday () in
+    let own =
+      try
+        task 0;
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    let elapsed = Unix.gettimeofday () -. start in
+    Mutex.lock t.mutex;
+    t.busy_s <- t.busy_s +. elapsed;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    t.active <- false;
+    (* Slot 0 is the lowest index, so the caller's own exception wins;
+       otherwise the lowest failing worker slot.  Exactly one re-raise. *)
+    match (own, worker_failure) with
+    | Some (e, bt), _ -> Printexc.raise_with_backtrace e bt
+    | None, Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None, None -> ()
+  end
+
+let split_count t ?max_domains n =
+  let cap =
+    match max_domains with Some m -> max 1 (min m t.size) | None -> t.size
+  in
+  max 1 (min cap n)
+
+(* Sub-range [s] of the static partition of [lo, hi) into [slots]
+   pieces.  ceil-sized so every slot below the tail is full; callers
+   skip the (possible) empty tail slots. *)
+let slot_range ~lo ~hi ~slots s =
+  let n = hi - lo in
+  let per = (n + slots - 1) / slots in
+  let slo = lo + (s * per) in
+  let shi = min hi (slo + per) in
+  (slo, shi)
+
+let parallel_for t ?max_domains ~lo ~hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else begin
+    let slots = split_count t ?max_domains n in
+    run_slots t ~slots (fun s ->
+        let slo, shi = slot_range ~lo ~hi ~slots s in
+        if slo < shi then body ~lo:slo ~hi:shi)
+  end
+
+let map_reduce t ?max_domains ~lo ~hi ~map ~reduce init =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let slots = split_count t ?max_domains n in
+    let results = Array.make slots None in
+    run_slots t ~slots (fun s ->
+        let slo, shi = slot_range ~lo ~hi ~slots s in
+        if slo < shi then results.(s) <- Some (map ~lo:slo ~hi:shi));
+    Array.fold_left
+      (fun acc r -> match r with Some v -> reduce acc v | None -> acc)
+      init results
+  end
+
+let map_array t ?max_domains f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for t ?max_domains ~lo:0 ~hi:n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f items.(i))
+        done);
+    Array.map
+      (function Some v -> v | None -> assert false (* every index filled *))
+      results
+  end
+
+let stats t =
+  {
+    parallel_calls = t.parallel_calls;
+    inline_calls = t.inline_calls;
+    tasks = t.tasks;
+    busy_seconds = t.busy_s;
+  }
+
+let publish t metrics =
+  let s = stats t in
+  Ax_obs.Metrics.set_gauge metrics "pool_domains" (float_of_int t.size);
+  Ax_obs.Metrics.set_gauge metrics "pool_parallel_calls"
+    (float_of_int s.parallel_calls);
+  Ax_obs.Metrics.set_gauge metrics "pool_inline_calls"
+    (float_of_int s.inline_calls);
+  Ax_obs.Metrics.set_gauge metrics "pool_tasks" (float_of_int s.tasks);
+  Ax_obs.Metrics.set_gauge metrics "pool_busy_seconds" s.busy_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Default process-wide pool                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_mutex = Mutex.create ()
+let default_pool : t option ref = ref None
+
+let with_default_lock f =
+  Mutex.lock default_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock default_mutex) f
+
+let default () =
+  with_default_lock (fun () ->
+      match !default_pool with
+      | Some p -> p
+      | None ->
+        let p = create ~domains:(recommended ()) () in
+        default_pool := Some p;
+        p)
+
+let ensure ~domains =
+  let domains = clamp_domains domains in
+  with_default_lock (fun () ->
+      match !default_pool with
+      | Some p when p.size >= domains -> p
+      | Some p when p.active || is_worker p ->
+        (* Mid-job: growing would mean joining workers that are running
+           this very job.  The caller's fan-out will run inline. *)
+        p
+      | (Some _ | None) as existing ->
+        Option.iter shutdown existing;
+        let p = create ~domains () in
+        default_pool := Some p;
+        p)
+
+let set_default_size domains =
+  if domains < 1 || domains > max_domains_limit then
+    invalid_arg
+      (Printf.sprintf "Pool.set_default_size: domains must be in 1..%d"
+         max_domains_limit);
+  with_default_lock (fun () ->
+      (match !default_pool with Some p -> shutdown p | None -> ());
+      default_pool := Some (create ~domains ()))
+
+let default_size () = size (default ())
+
+let with_pool ~domains f =
+  let p = create ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

@@ -1,0 +1,117 @@
+(** Persistent worker-domain pool with deterministic work splitting.
+
+    The emulator's hot paths (ApproxGEMM rows, Im2Cols patch rows,
+    per-image batch shards) are embarrassingly parallel, but spawning
+    fresh domains per chunk — the seed's approach — pays domain start-up
+    cost on every convolution and caps parallelism at one layer.  A pool
+    is created once per process, its workers block on a condition
+    variable between jobs, and every [parallel_for]/[map_reduce] call
+    reuses them.
+
+    {b Determinism contract.}  Work is split by {e static range
+    partitioning}: a range [\[lo, hi)] is cut into at most
+    [min size max_domains] contiguous sub-ranges, sub-range [i] is
+    executed exactly once by exactly one domain, and reductions combine
+    sub-range results in ascending range order.  A task never observes
+    which domain runs it, so any function whose sub-ranges touch
+    disjoint state produces bit-identical results for every pool size
+    and every [max_domains] — the property the differential test suite
+    pins down.  Exceptions raised inside tasks are re-raised exactly
+    once on the calling domain (the lowest-indexed failing sub-range
+    wins, so even the error is deterministic).
+
+    Nested calls — a task that itself calls into the same pool — run
+    their tasks inline on the current domain rather than deadlocking, so
+    batch-level sharding can sit above row-level GEMM parallelism. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] workers {e including} the calling domain, so
+    [domains - 1] new domains are spawned and [create ~domains:1 ()]
+    spawns none (every call runs inline).  Default: {!recommended}.
+    Raises [Invalid_argument] unless [1 <= domains <= 64]. *)
+
+val size : t -> int
+(** Worker count, including the caller's domain. *)
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; subsequent job submissions run
+    inline on the calling domain. *)
+
+val parallel_for :
+  t -> ?max_domains:int -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] partitions [\[lo, hi)] statically and
+    calls [body ~lo ~hi] once per non-empty sub-range, the first on the
+    calling domain and the rest on workers.  [max_domains] caps the
+    sub-range count (default: pool size).  Empty ranges are a no-op.
+    The call returns when every sub-range has finished. *)
+
+val map_reduce :
+  t ->
+  ?max_domains:int ->
+  lo:int ->
+  hi:int ->
+  map:(lo:int -> hi:int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  'a ->
+  'a
+(** [map_reduce t ~lo ~hi ~map ~reduce init] runs [map] per sub-range in
+    parallel and folds the results {e in ascending range order}:
+    [reduce (... (reduce init r0) ...) rk].  With an associative exact
+    [reduce] (integer sums, ordered list concatenation) the result is
+    bit-identical for every pool size; floating-point reductions are
+    deterministic for a fixed split but may differ across splits. *)
+
+val map_array : t -> ?max_domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f items] applies [f] to every element in parallel and
+    returns results in index order.  Element [i]'s result never depends
+    on the split, so the output is bit-identical for every pool size
+    whenever [f] is deterministic per element — the primitive backing
+    per-image batch sharding. *)
+
+(** {1 Utilization} *)
+
+type stats = {
+  parallel_calls : int;  (** calls that fanned out to workers *)
+  inline_calls : int;    (** calls run entirely on the calling domain *)
+  tasks : int;           (** non-empty sub-ranges executed *)
+  busy_seconds : float;  (** summed task wall-clock across domains *)
+}
+
+val stats : t -> stats
+
+val publish : t -> Ax_obs.Metrics.t -> unit
+(** Export utilization as gauges: [pool_domains], [pool_parallel_calls],
+    [pool_inline_calls], [pool_tasks], [pool_busy_seconds].  Gauges (not
+    counters) so repeated publication is idempotent. *)
+
+(** {1 The process-wide default pool} *)
+
+val env_var : string
+(** ["TFAPPROX_DOMAINS"] — overrides the default pool size. *)
+
+val recommended : unit -> int
+(** [$TFAPPROX_DOMAINS] when set (clamped to 1..64), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The process-wide pool, created on first use with {!recommended}
+    workers. *)
+
+val ensure : domains:int -> t
+(** {!default}, grown to at least [domains] workers.  Growing replaces
+    the pool (the old workers are joined first); when called from inside
+    a pool task the current pool is returned unchanged, since a resize
+    mid-job is impossible. *)
+
+val set_default_size : int -> unit
+(** Replace the default pool with one of exactly this size (the CLI's
+    [--domains] hook).  Raises [Invalid_argument] outside 1..64. *)
+
+val default_size : unit -> int
+(** [size (default ())]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** A fresh private pool for the call, shut down on exit (also on
+    exception) — the harness the property tests use. *)

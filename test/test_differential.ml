@@ -1,0 +1,283 @@
+(* Differential harness for the approximate-convolution paths.
+
+   Sweeps ~50 seeded random configurations (batch, spatial size,
+   channels, kernel, stride, dilation, padding, chunk size) and pins
+   down, for every one of them:
+
+   - with the exact LUT, the Algorithm-1 GEMM path ([Axconv.conv]) is
+     bit-identical to the nested-loop baseline ([Conv_direct.conv]) and
+     matches the float convolution within the analytic quantization
+     error bound;
+   - with approximate LUTs, the GEMM path is bit-identical to a naive
+     per-MAC quantize/multiply/dequantize reference that never heard of
+     Eq. 4, im2col or chunking.
+
+   When TFAPPROX_DOMAINS is exported every convolution in the sweep
+   additionally runs through the persistent worker pool, so the CI
+   multi-domain leg exercises the parallel code paths against the same
+   oracles. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Conv_float = Ax_nn.Conv_float
+module Axconv = Ax_nn.Axconv
+module Conv_direct = Ax_nn.Conv_direct
+module Q = Ax_quant.Quantization
+module Round = Ax_quant.Round
+module Range = Ax_quant.Range
+module S = Ax_arith.Signedness
+module Lut = Ax_arith.Lut
+module Registry = Ax_arith.Registry
+module Pool = Ax_pool.Pool
+
+let check_bool = Alcotest.(check bool)
+
+(* The CI matrix exports TFAPPROX_DOMAINS; without it the sweep runs the
+   plain serial paths. *)
+let test_domains =
+  match Sys.getenv_opt Pool.env_var with
+  | Some s when String.trim s <> "" -> Pool.recommended ()
+  | Some _ | None -> 1
+
+type case = {
+  id : int;
+  seed : int;
+  n : int;
+  h : int;
+  w : int;
+  c : int;
+  out_c : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  dilation : int;
+  padding : Conv_spec.padding;
+  chunk_size : int;
+}
+
+let case_count = 50
+
+(* Deterministic sweep: every parameter cycles at a different period so
+   the 50 cases cover the cross product reasonably densely.  Spatial
+   size is padded past the dilated kernel so Valid configurations stay
+   non-degenerate. *)
+let cases =
+  List.init case_count (fun i ->
+      let kh = [| 1; 3; 3; 5 |].(i mod 4) in
+      let kw = [| 3; 1; 3; 5 |].((i / 4) mod 4) in
+      let dilation = 1 + ((i / 11) mod 2) in
+      let eff_kh = 1 + ((kh - 1) * dilation) in
+      let eff_kw = 1 + ((kw - 1) * dilation) in
+      {
+        id = i;
+        seed = 7000 + (13 * i);
+        n = 1 + (i mod 3);
+        h = eff_kh + 1 + (i mod 3);
+        w = eff_kw + 1 + ((i / 2) mod 3);
+        c = 1 + ((i / 3) mod 4);
+        out_c = 1 + ((i / 5) mod 5);
+        kh;
+        kw;
+        stride = 1 + ((i / 7) mod 2);
+        dilation;
+        padding = (if i mod 2 = 0 then Conv_spec.Same else Conv_spec.Valid);
+        chunk_size = [| 1; 2; 3; 250 |].((i / 3) mod 4);
+      })
+
+let case_data case =
+  let input = Tensor.create (Shape.make ~n:case.n ~h:case.h ~w:case.w ~c:case.c) in
+  Tensor.fill_uniform ~lo:(-1.2) ~hi:1.7 (Rng.create case.seed) input;
+  let filter =
+    Filter.create ~kh:case.kh ~kw:case.kw ~in_c:case.c ~out_c:case.out_c
+  in
+  Filter.fill_he_normal (Rng.create (case.seed + 1)) filter;
+  let spec =
+    Conv_spec.make ~stride:case.stride ~dilation:case.dilation
+      ~padding:case.padding ()
+  in
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  (input, filter, spec, input_range, Range.make ~min:fmin ~max:fmax)
+
+let label case what = Printf.sprintf "case %d: %s" case.id what
+
+let run_conv ~strategy ~lut case =
+  let input, filter, spec, input_range, filter_range = case_data case in
+  let config =
+    Axconv.make_config ~chunk_size:case.chunk_size ~domains:test_domains lut
+  in
+  match strategy with
+  | `Gemm ->
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+  | `Direct ->
+    Conv_direct.conv ~config ~input ~input_range ~filter ~filter_range ~spec
+      ()
+
+(* --- exact LUT: GEMM path == direct-loop baseline, bit for bit --- *)
+
+let exact_lut_for case =
+  Registry.lut
+    (Registry.find_exn
+       (if case.id mod 2 = 0 then "mul8u_exact" else "mul8s_exact"))
+
+let test_exact_gemm_equals_direct () =
+  List.iter
+    (fun case ->
+      let lut = exact_lut_for case in
+      let a = run_conv ~strategy:`Gemm ~lut case in
+      let b = run_conv ~strategy:`Direct ~lut case in
+      check_bool
+        (label case
+           (Printf.sprintf "gemm == direct, diff %g" (Tensor.max_abs_diff a b)))
+        true
+        (Tensor.max_abs_diff a b = 0.))
+    cases
+
+(* --- exact LUT: within the analytic quantization bound of float --- *)
+
+(* Each operand roundtrips within its [roundtrip_error_bound] (alpha/2
+   under nearest rounding), so one product errs by at most
+   |x| e2 + |w| e1 + e1 e2 and a patch of [taps] products by [taps]
+   times that; 1.5 slack absorbs float evaluation-order noise. *)
+let quantization_bound ~taps ~input_range ~filter_range c1 c2 =
+  let mag r = Float.max (Float.abs r.Range.min) (Float.abs r.Range.max) in
+  let e1 = Q.roundtrip_error_bound c1 and e2 = Q.roundtrip_error_bound c2 in
+  let mx = mag input_range and mw = mag filter_range in
+  1.5 *. float_of_int taps *. ((mx *. e2) +. (mw *. e1) +. (e1 *. e2))
+
+let test_exact_matches_float () =
+  List.iter
+    (fun case ->
+      let lut = exact_lut_for case in
+      let input, filter, spec, input_range, filter_range = case_data case in
+      let signedness = Lut.signedness lut in
+      let c1 =
+        Q.compute_coeffs signedness ~rmin:input_range.Range.min
+          ~rmax:input_range.Range.max
+      in
+      let c2 =
+        Q.compute_coeffs signedness ~rmin:filter_range.Range.min
+          ~rmax:filter_range.Range.max
+      in
+      let bound =
+        quantization_bound ~taps:(Filter.taps filter) ~input_range
+          ~filter_range c1 c2
+      in
+      let approx = run_conv ~strategy:`Gemm ~lut case in
+      let exact = Conv_float.gemm ~input ~filter ~spec () in
+      let diff = Tensor.max_abs_diff approx exact in
+      check_bool
+        (label case (Printf.sprintf "|ax - float| %g <= %g" diff bound))
+        true (diff <= bound))
+    cases
+
+(* --- approximate LUTs: bit-identical to a naive per-MAC reference --- *)
+
+(* Independent oracle: direct nested loops, one quantize per operand
+   per MAC, the LUT applied to quantized values, and the naive Eq. 3
+   dequantization expansion — no im2col, no per-patch/per-filter sums,
+   no chunking.  Padding contributes the real value 0, exactly like a
+   zero-padded hardware accelerator. *)
+let reference_conv ~lut case =
+  let input, filter, spec, input_range, filter_range = case_data case in
+  let signedness = Lut.signedness lut in
+  let round_mode = Round.Nearest_even in
+  let c1 =
+    Q.compute_coeffs signedness ~rmin:input_range.Range.min
+      ~rmax:input_range.Range.max
+  in
+  let c2 =
+    Q.compute_coeffs signedness ~rmin:filter_range.Range.min
+      ~rmax:filter_range.Range.max
+  in
+  let s = Tensor.shape input in
+  let out_shape = Conv_spec.output_shape spec s filter in
+  let out = Tensor.create out_shape in
+  let plan =
+    Ax_nn.Im2col.make s ~kh:case.kh ~kw:case.kw ~spec
+  in
+  for n = 0 to Shape.(s.n) - 1 do
+    for oh = 0 to Shape.(out_shape.h) - 1 do
+      for ow = 0 to Shape.(out_shape.w) - 1 do
+        for k = 0 to case.out_c - 1 do
+          let acc = ref 0 in
+          let base_h = (oh * case.stride) - plan.Ax_nn.Im2col.pad_top in
+          let base_w = (ow * case.stride) - plan.Ax_nn.Im2col.pad_left in
+          for dh = 0 to case.kh - 1 do
+            for dw = 0 to case.kw - 1 do
+              let h = base_h + (dh * case.dilation) in
+              let w = base_w + (dw * case.dilation) in
+              for c = 0 to case.c - 1 do
+                let x =
+                  if h >= 0 && h < case.h && w >= 0 && w < case.w then
+                    Tensor.get input ~n ~h ~w ~c
+                  else 0.
+                in
+                let q1 = Q.quantize c1 round_mode signedness x in
+                let q2 =
+                  Q.quantize c2 round_mode signedness
+                    (Filter.get filter ~h:dh ~w:dw ~c ~k)
+                in
+                acc :=
+                  !acc
+                  + Lut.lookup_value lut q1 q2
+                  - (c2.Q.beta * q1) - (c1.Q.beta * q2)
+                  + (c1.Q.beta * c2.Q.beta)
+              done
+            done
+          done;
+          Tensor.set out ~n ~h:oh ~w:ow ~c:k
+            (c1.Q.alpha *. c2.Q.alpha *. float_of_int !acc)
+        done
+      done
+    done
+  done;
+  out
+
+let approx_multipliers =
+  [|
+    "mul8u_trunc8";
+    "mul8s_trunc6";
+    "mul8u_drum4";
+    "mul8s_drum6";
+    "mul8u_mitchell";
+    "mul8s_mitchell";
+    "mul8u_kulkarni";
+  |]
+
+let test_approx_matches_naive_reference () =
+  List.iter
+    (fun case ->
+      let name =
+        approx_multipliers.(case.id mod Array.length approx_multipliers)
+      in
+      let lut = Registry.lut (Registry.find_exn name) in
+      let a = run_conv ~strategy:`Gemm ~lut case in
+      let b = reference_conv ~lut case in
+      check_bool
+        (label case
+           (Printf.sprintf "%s == naive reference, diff %g" name
+              (Tensor.max_abs_diff a b)))
+        true
+        (Tensor.max_abs_diff a b = 0.))
+    cases
+
+let () =
+  Alcotest.run "tfapprox_differential"
+    [
+      ( "exact-lut",
+        [
+          Alcotest.test_case "gemm == direct over 50 shapes" `Quick
+            test_exact_gemm_equals_direct;
+          Alcotest.test_case "within quantization bound of float" `Quick
+            test_exact_matches_float;
+        ] );
+      ( "approximate-lut",
+        [
+          Alcotest.test_case "gemm == naive per-MAC reference" `Quick
+            test_approx_matches_naive_reference;
+        ] );
+    ]

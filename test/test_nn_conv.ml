@@ -135,8 +135,13 @@ let run_axconv ?(strategy = `Gemm) ~entry ~chunk_size ~input ~filter ~spec ()
   let input_range = Range.of_tensor input in
   let fmin, fmax = Filter.min_max filter in
   let filter_range = Range.make ~min:fmin ~max:fmax in
-  let conv =
-    match strategy with `Gemm -> Axconv.conv | `Direct -> Conv_direct.conv
+  let conv ~config ~input ~input_range ~filter ~filter_range ~spec () =
+    match strategy with
+    | `Gemm ->
+      Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+    | `Direct ->
+      Conv_direct.conv ~config ~input ~input_range ~filter ~filter_range ~spec
+        ()
   in
   conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
 
@@ -431,8 +436,13 @@ let run_axconv_acc ~accumulator ~entry ~input ~filter ~spec ~strategy =
   let input_range = Range.of_tensor input in
   let fmin, fmax = Filter.min_max filter in
   let filter_range = Range.make ~min:fmin ~max:fmax in
-  let conv =
-    match strategy with `Gemm -> Axconv.conv | `Direct -> Conv_direct.conv
+  let conv ~config ~input ~input_range ~filter ~filter_range ~spec () =
+    match strategy with
+    | `Gemm ->
+      Axconv.conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
+    | `Direct ->
+      Conv_direct.conv ~config ~input ~input_range ~filter ~filter_range ~spec
+        ()
   in
   conv ~config ~input ~input_range ~filter ~filter_range ~spec ()
 

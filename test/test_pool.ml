@@ -1,0 +1,373 @@
+(* The worker-pool determinism contract, fuzzed and pinned:
+
+   - [Ax_pool.Pool] primitives: exact range coverage for any pool size
+     and [max_domains] (including empty ranges and ranges smaller than
+     the pool), ascending reduction order, exceptions re-raised exactly
+     once with the pool still usable afterwards;
+   - bit-identical results across domain counts for [Axconv.conv] and
+     for the per-image sharded [Emulator.run]/[Emulator.accuracy],
+     including the merged LUT/MAC counters;
+   - per-chunk metric accounting: a 3-chunk batch reports exactly the
+     summed counters, whatever the row split.
+
+   The CI matrix exports TFAPPROX_DOMAINS=4; the suite folds that value
+   into the domain counts under test. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Axconv = Ax_nn.Axconv
+module Profile = Ax_nn.Profile
+module Range = Ax_quant.Range
+module Registry = Ax_arith.Registry
+module Metrics = Ax_obs.Metrics
+module Pool = Ax_pool.Pool
+module Emulator = Tfapprox.Emulator
+module Resnet = Ax_models.Resnet
+module Cifar = Ax_data.Cifar
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Domain counts exercised everywhere below; TFAPPROX_DOMAINS (the CI
+   matrix leg) joins the list so the suite really runs at that width. *)
+let domain_counts =
+  let base = [ 1; 2; 3; 8 ] in
+  let env =
+    match Sys.getenv_opt Pool.env_var with
+    | Some s when String.trim s <> "" -> [ Pool.recommended () ]
+    | Some _ | None -> []
+  in
+  List.sort_uniq compare (base @ env)
+
+(* --- pool primitives --- *)
+
+let test_create_validation () =
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "domains=%d rejected" d)
+        (Invalid_argument "Pool.create: domains must be in 1..64")
+        (fun () -> ignore (Pool.create ~domains:d ())))
+    [ 0; -1; 65 ]
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          List.iter
+            (fun (lo, hi) ->
+              let n = max 0 (hi - lo) in
+              let hits = Array.make (max n 1) 0 in
+              Pool.parallel_for p ~lo ~hi (fun ~lo:slo ~hi:shi ->
+                  for i = slo to shi - 1 do
+                    (* Sub-ranges are disjoint, so no two domains touch
+                       the same cell. *)
+                    hits.(i - lo) <- hits.(i - lo) + 1
+                  done);
+              Array.iteri
+                (fun i c ->
+                  if i < n then
+                    check_int
+                      (Printf.sprintf "domains=%d [%d,%d) index %d" domains
+                         lo hi i)
+                      1 c)
+                hits)
+            [ (0, 0); (5, 5); (3, 4); (0, 2); (0, 7); (2, 100); (-3, 3) ]))
+    domain_counts
+
+let test_rows_fewer_than_workers () =
+  Pool.with_pool ~domains:8 (fun p ->
+      let hits = Array.make 3 0 in
+      Pool.parallel_for p ~lo:0 ~hi:3 (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check (array int)) "3 rows on 8 workers" [| 1; 1; 1 |] hits)
+
+let test_max_domains_caps_split () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let splits = Atomic.make 0 in
+      Pool.parallel_for p ~max_domains:2 ~lo:0 ~hi:100 (fun ~lo:_ ~hi:_ ->
+          Atomic.incr splits);
+      check_bool "at most 2 sub-ranges" true (Atomic.get splits <= 2))
+
+let test_map_reduce_ascending_order () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          (* Ordered concatenation is order-sensitive, so this fails if
+             sub-results are folded in completion order. *)
+          let ranges =
+            Pool.map_reduce p ~lo:0 ~hi:17
+              ~map:(fun ~lo ~hi -> [ (lo, hi) ])
+              ~reduce:(fun a b -> a @ b)
+              []
+          in
+          let flat = List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i)) ranges in
+          Alcotest.(check (list int))
+            (Printf.sprintf "domains=%d ascending" domains)
+            (List.init 17 Fun.id) flat;
+          let sum =
+            Pool.map_reduce p ~lo:1 ~hi:101
+              ~map:(fun ~lo ~hi ->
+                let s = ref 0 in
+                for i = lo to hi - 1 do
+                  s := !s + i
+                done;
+                !s)
+              ~reduce:( + ) 0
+          in
+          check_int (Printf.sprintf "domains=%d sum" domains) 5050 sum))
+    domain_counts
+
+let test_map_array_preserves_order () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let items = Array.init 23 (fun i -> i) in
+          let out = Pool.map_array p (fun i -> (i * i) + 1) items in
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d" domains)
+            (Array.map (fun i -> (i * i) + 1) items)
+            out;
+          Alcotest.(check (array int)) "empty" [||] (Pool.map_array p Fun.id [||])))
+    domain_counts
+
+exception Boom of int
+
+let test_worker_exception_reraised_once () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let raised = ref 0 in
+      (try
+         Pool.parallel_for p ~lo:0 ~hi:40 (fun ~lo ~hi:_ ->
+             if lo >= 10 then raise (Boom lo))
+       with Boom _ -> incr raised);
+      check_int "re-raised exactly once" 1 !raised;
+      (* The lowest failing sub-range wins, so the payload is
+         deterministic across pool sizes and timings. *)
+      (try
+         Pool.parallel_for p ~lo:0 ~hi:40 (fun ~lo ~hi:_ -> raise (Boom lo))
+       with Boom lo -> check_int "lowest sub-range wins" 0 lo);
+      (* The pool survives the failure. *)
+      let sum =
+        Pool.map_reduce p ~lo:0 ~hi:10
+          ~map:(fun ~lo ~hi ->
+            let s = ref 0 in
+            for i = lo to hi - 1 do
+              s := !s + i
+            done;
+            !s)
+          ~reduce:( + ) 0
+      in
+      check_int "pool reusable after exception" 45 sum)
+
+let test_nested_calls_run_inline () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let hits = Array.make 64 0 in
+      Pool.parallel_for p ~lo:0 ~hi:8 (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            (* A task calling back into its own pool must not deadlock:
+               the nested call runs inline on the current domain. *)
+            Pool.parallel_for p ~lo:(i * 8) ~hi:((i + 1) * 8)
+              (fun ~lo:jlo ~hi:jhi ->
+                for j = jlo to jhi - 1 do
+                  hits.(j) <- hits.(j) + 1
+                done)
+          done);
+      Alcotest.(check (array int)) "inner ranges all covered"
+        (Array.make 64 1) hits)
+
+let test_shutdown_idempotent_and_inline () =
+  let p = Pool.create ~domains:3 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  let hits = Array.make 5 0 in
+  Pool.parallel_for p ~lo:0 ~hi:5 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check (array int)) "runs inline after shutdown"
+    (Array.make 5 1) hits
+
+let test_stats_and_publish () =
+  Pool.with_pool ~domains:2 (fun p ->
+      Pool.parallel_for p ~lo:0 ~hi:100 (fun ~lo:_ ~hi:_ -> ());
+      Pool.parallel_for p ~lo:0 ~hi:0 (fun ~lo:_ ~hi:_ -> ());
+      Pool.parallel_for p ~lo:0 ~hi:1 (fun ~lo:_ ~hi:_ -> ());
+      let s = Pool.stats p in
+      check_bool "a parallel call" true (s.Pool.parallel_calls >= 1);
+      check_bool "an inline call" true (s.Pool.inline_calls >= 1);
+      check_bool "tasks counted" true (s.Pool.tasks >= 2);
+      check_bool "busy time non-negative" true (s.Pool.busy_seconds >= 0.);
+      let m = Metrics.create () in
+      Pool.publish p m;
+      let snap = Metrics.snapshot m in
+      Alcotest.(check (option (float 1e-9)))
+        "pool_domains gauge" (Some 2.)
+        (Metrics.find_gauge snap "pool_domains");
+      check_bool "pool_tasks gauge" true
+        (Metrics.find_gauge snap "pool_tasks" <> None))
+
+(* qcheck fuzz: coverage holds for arbitrary range/width combinations. *)
+let prop_coverage =
+  QCheck.Test.make ~count:60 ~name:"parallel_for covers any range"
+    QCheck.(triple (int_range 1 8) (int_range (-20) 20) (int_range 0 50))
+    (fun (domains, lo, len) ->
+      Pool.with_pool ~domains (fun p ->
+          let hi = lo + len in
+          let hits = Array.make (max len 1) 0 in
+          Pool.parallel_for p ~lo ~hi (fun ~lo:slo ~hi:shi ->
+              for i = slo to shi - 1 do
+                hits.(i - lo) <- hits.(i - lo) + 1
+              done);
+          Array.for_all (fun c -> c = 1) (Array.sub hits 0 len)
+          || len = 0))
+
+(* --- bit-identical convolution across domain counts --- *)
+
+let conv_with ~domains =
+  let input = Tensor.create (Shape.make ~n:5 ~h:9 ~w:9 ~c:3) in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1.5 (Rng.create 97) input;
+  let filter = Filter.create ~kh:3 ~kw:3 ~in_c:3 ~out_c:6 in
+  Filter.fill_he_normal (Rng.create 98) filter;
+  let input_range = Range.of_tensor input in
+  let fmin, fmax = Filter.min_max filter in
+  let filter_range = Range.make ~min:fmin ~max:fmax in
+  let lut = Registry.lut (Registry.find_exn "mul8u_trunc8") in
+  let config = Axconv.make_config ~chunk_size:2 ~domains lut in
+  Pool.with_pool ~domains (fun pool ->
+      Axconv.conv ~pool ~config ~input ~input_range ~filter ~filter_range
+        ~spec:Conv_spec.default ())
+
+let test_conv_bit_identical_across_domains () =
+  let reference = conv_with ~domains:1 in
+  List.iter
+    (fun domains ->
+      let out = conv_with ~domains in
+      check_bool
+        (Printf.sprintf "domains=%d bit-identical, diff %g" domains
+           (Tensor.max_abs_diff reference out))
+        true
+        (Tensor.max_abs_diff reference out = 0.))
+    domain_counts
+
+(* --- sharded emulator: outputs, accuracy and counters --- *)
+
+let sharded_run ~domains =
+  let graph =
+    Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains
+      (Resnet.build ~depth:8 ())
+  in
+  let dataset = Cifar.generate ~n:3 () in
+  let profile = Profile.create () in
+  let out =
+    Emulator.run ~profile ~domains ~backend:Emulator.Cpu_gemm graph
+      dataset.Cifar.images
+  in
+  let acc =
+    Emulator.accuracy ~domains graph ~backend:Emulator.Cpu_gemm dataset
+  in
+  (out, acc, Profile.lut_lookups profile, Profile.macs profile)
+
+let test_emulator_sharded_deterministic () =
+  let out1, acc1, lut1, macs1 = sharded_run ~domains:1 in
+  check_bool "counters populated" true (lut1 > 0 && macs1 > 0);
+  List.iter
+    (fun domains ->
+      let out, acc, lut, macs = sharded_run ~domains in
+      check_bool
+        (Printf.sprintf "domains=%d output bit-identical, diff %g" domains
+           (Tensor.max_abs_diff out1 out))
+        true
+        (Tensor.max_abs_diff out1 out = 0.);
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "domains=%d accuracy" domains)
+        acc1 acc;
+      check_int (Printf.sprintf "domains=%d lut_lookups" domains) lut1 lut;
+      check_int (Printf.sprintf "domains=%d macs" domains) macs1 macs)
+    domain_counts
+
+(* --- per-chunk metric accounting --- *)
+
+let test_three_chunk_accounting () =
+  List.iter
+    (fun domains ->
+      let input = Tensor.create (Shape.make ~n:5 ~h:6 ~w:6 ~c:2) in
+      Tensor.fill_uniform ~lo:(-1.) ~hi:1. (Rng.create 11) input;
+      let filter = Filter.create ~kh:3 ~kw:3 ~in_c:2 ~out_c:4 in
+      Filter.fill_he_normal (Rng.create 12) filter;
+      let input_range = Range.of_tensor input in
+      let fmin, fmax = Filter.min_max filter in
+      let filter_range = Range.make ~min:fmin ~max:fmax in
+      let lut = Registry.lut (Registry.find_exn "mul8u_exact") in
+      (* n=5, chunk_size=2 -> chunks of 2, 2 and 1 images. *)
+      let config = Axconv.make_config ~chunk_size:2 ~domains lut in
+      let spec = Conv_spec.default in
+      let profile = Profile.create () in
+      let out =
+        Pool.with_pool ~domains (fun pool ->
+            Axconv.conv ~profile ~pool ~config ~input ~input_range ~filter
+              ~filter_range ~spec ())
+      in
+      let out_shape = Tensor.shape out in
+      let rows = Shape.(out_shape.n * out_shape.h * out_shape.w) in
+      let taps = Filter.taps filter in
+      let expected = rows * 4 * taps in
+      let snap = Metrics.snapshot (Profile.metrics profile) in
+      let counter name =
+        match Metrics.find_counter snap name with Some v -> v | None -> 0
+      in
+      let tag = Printf.sprintf "domains=%d" domains in
+      check_int (tag ^ " chunks") 3 (counter "chunks");
+      check_int (tag ^ " lut_lookups") expected (counter "lut_lookups");
+      check_int (tag ^ " macs") expected (counter "macs");
+      check_int
+        (tag ^ " im2col bytes")
+        (rows * taps)
+        (counter "im2col_bytes"))
+    domain_counts
+
+let qsuite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_coverage ]
+
+let () =
+  Alcotest.run "tfapprox_pool"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_parallel_for_covers_range;
+          Alcotest.test_case "rows < workers" `Quick
+            test_rows_fewer_than_workers;
+          Alcotest.test_case "max_domains cap" `Quick
+            test_max_domains_caps_split;
+          Alcotest.test_case "map_reduce ascending" `Quick
+            test_map_reduce_ascending_order;
+          Alcotest.test_case "map_array order" `Quick
+            test_map_array_preserves_order;
+          Alcotest.test_case "exception re-raised once" `Quick
+            test_worker_exception_reraised_once;
+          Alcotest.test_case "nested calls inline" `Quick
+            test_nested_calls_run_inline;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent_and_inline;
+          Alcotest.test_case "stats and publish" `Quick test_stats_and_publish;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "conv bit-identical across domains" `Quick
+            test_conv_bit_identical_across_domains;
+          Alcotest.test_case "sharded emulator deterministic" `Quick
+            test_emulator_sharded_deterministic;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "3-chunk batch counters" `Quick
+            test_three_chunk_accounting;
+        ] );
+      ("fuzz", qsuite);
+    ]
