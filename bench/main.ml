@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- device-sweep
      dune exec bench/main.exe -- pool    # sharded emulator, domains 1 vs N
      dune exec bench/main.exe -- trace   # Chrome trace + metrics JSON dump
+     dune exec bench/main.exe -- resilience  # LUT-bit fault sensitivity
 
    CPU columns are measured on this host over a small image sample and
    scaled (reported); GPU columns come from the ax_gpusim execution
@@ -513,6 +514,61 @@ let run_pool () =
     (1000. *. s.Ax_pool.Pool.busy_seconds)
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: fault-injection sensitivity                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_resilience () =
+  section
+    "Resilience: LUT-bit sensitivity (ResNet-8, seeded SEU campaign)";
+  let images = max images_measured 32 in
+  let graph = Resnet.build ~depth:8 () in
+  (* Random weights classify at chance, which would flatten every
+     sensitivity row to zero — a short fine-tune on the synthetic
+     training distribution lifts the baseline well above chance so
+     degradation has room to show. *)
+  let train_set = Cifar.normalize (Cifar.generate ~seed:1 ~n:96 ()) in
+  let config =
+    {
+      Ax_train.Trainer.default_config with
+      Ax_train.Trainer.epochs = 15;
+      learning_rate = 0.02;
+      batch_size = 12;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let history = Ax_train.Trainer.train config graph train_set in
+  let dataset = Cifar.normalize (Cifar.generate ~seed:2 ~n:images ()) in
+  Format.printf
+    "fine-tune: %.1f s; best train accuracy %.1f%%; held-out float accuracy \
+     %.1f%%@.@."
+    (Unix.gettimeofday () -. t0)
+    (100.
+    *. Array.fold_left Float.max 0. history.Ax_train.Trainer.epoch_accuracies)
+    (100. *. Ax_train.Trainer.evaluate graph dataset);
+  let graph =
+    Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" graph
+  in
+  let trials =
+    Ax_resilience.Campaign.zero_fault_trial
+    :: Ax_resilience.Campaign.lut_bit_trials ~seed:42 ~sites:4096
+         ~bits:[ 0; 2; 4; 6; 8; 10; 12; 14; 15 ] ()
+  in
+  let metrics = Ax_obs.Metrics.create () in
+  let report =
+    Ax_resilience.Campaign.run ~metrics
+      { Ax_resilience.Campaign.graph; dataset;
+        backend = Tfapprox.Emulator.Cpu_gemm }
+      ~trials
+  in
+  Format.printf "%a@." Ax_resilience.Campaign.pp report;
+  Format.printf
+    "@.4096 upset truth-table entries per trial; high product bits (b14, the@.";
+  Format.printf
+    "unsigned MSB b15) should dominate the drop, low bits vanish in the@.";
+  Format.printf "approximation noise the multiplier already has.@.";
+  Format.printf "@.-- csv --@.%s" (Ax_resilience.Campaign.csv report)
+
+(* ------------------------------------------------------------------ *)
 (* Device sweep                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -560,6 +616,7 @@ let all_sections =
     ("device-sweep", run_device_sweep);
     ("pool", run_pool);
     ("trace", run_trace);
+    ("resilience", run_resilience);
   ]
 
 let () =

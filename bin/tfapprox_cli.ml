@@ -81,6 +81,31 @@ let metrics_file_term =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a metrics snapshot JSON to $(docv) (\"-\" for stdout).")
 
+(* Operator-error hardening: anything a user can get wrong at the shell
+   — a missing or corrupt artefact file, a registry-name typo, a
+   malformed comma-separated list — must exit with code 2 and one line
+   on stderr, never a backtrace.  cmdliner's own converter errors exit
+   with its reserved code 124, so list parsing happens inside the run
+   functions, under this wrapper. *)
+let guarded f =
+  try f () with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+    Format.eprintf "tfapprox: %s@." msg;
+    exit 2
+  | Ax_arith.Load_error.Error e ->
+    Format.eprintf "tfapprox: %s@." (Ax_arith.Load_error.to_string e);
+    exit 2
+
+let int_list ~what s =
+  try List.map int_of_string (String.split_on_char ',' (String.trim s))
+  with Failure _ ->
+    failwith (Printf.sprintf "%s: comma-separated integers expected, got %S" what s)
+
+let float_list ~what s =
+  try List.map float_of_string (String.split_on_char ',' (String.trim s))
+  with Failure _ ->
+    failwith (Printf.sprintf "%s: comma-separated numbers expected, got %S" what s)
+
 let write_file path text =
   let oc = open_out path in
   output_string oc text;
@@ -229,6 +254,7 @@ let verilog_cmd =
 
 let lut_cmd =
   let run name output =
+    guarded @@ fun () ->
     let lut = Tfapprox.Emulator.lut_of_multiplier name in
     Ax_arith.Lut.save output lut;
     Format.printf "wrote %s (%d bytes payload)@." output
@@ -272,6 +298,7 @@ let search_cmd =
 
 let model_cmd =
   let run depth multiplier output =
+    guarded @@ fun () ->
     let graph = Ax_models.Resnet.build ~depth () in
     let graph =
       match multiplier with
@@ -309,6 +336,7 @@ let resolve_domains = function
 let trace_cmd =
   let run device depth multiplier images backend domains trace_file
       metrics_file tree prometheus =
+    guarded @@ fun () ->
     let backend =
       match backend with
       | "accurate" -> Tfapprox.Emulator.Cpu_accurate
@@ -375,6 +403,7 @@ let trace_cmd =
 
 let analyze_cmd =
   let run depth multiplier images =
+    guarded @@ fun () ->
     let graph = Ax_models.Resnet.build ~depth () in
     let approx = Tfapprox.Emulator.approximate_model ~multiplier graph in
     let sample =
@@ -395,6 +424,174 @@ let analyze_cmd =
        ~doc:"Per-layer error introduced by an approximate multiplier")
     Term.(const run $ depth $ multiplier_term $ images)
 
+let resilience_cmd =
+  let run net depth multiplier lut_file repair_with target bits sites trials
+      rates images bit seed domains csv json_file =
+    guarded @@ fun () ->
+    let domains = resolve_domains domains in
+    (match domains with
+    | Some d -> Ax_pool.Pool.set_default_size d
+    | None -> ());
+    let graph, dataset =
+      match net with
+      | "lenet" ->
+        (Ax_models.Lenet.build (), Ax_data.Mnist.generate ~n:images ())
+      | "resnet" ->
+        (Ax_models.Resnet.build ~depth (), Ax_data.Cifar.generate ~n:images ())
+      | "mobilenet" ->
+        (Ax_models.Mobilenet.build (), Ax_data.Cifar.generate ~n:images ())
+      | other ->
+        failwith
+          (Printf.sprintf "unknown net %s (lenet, resnet or mobilenet)" other)
+    in
+    let lut =
+      match lut_file with
+      | None -> Tfapprox.Emulator.lut_of_multiplier multiplier
+      | Some path -> (
+        match Ax_resilience.Artefact.load_lut ?repair_with path with
+        | Ok (lut, Ax_resilience.Artefact.Intact) ->
+          Format.eprintf "loaded %s (checksum ok)@." path;
+          lut
+        | Ok (lut, Ax_resilience.Artefact.Repaired _) ->
+          (* the repair itself already warned on stderr *)
+          lut
+        | Error e -> failwith (Ax_arith.Load_error.to_string e))
+    in
+    let graph = Tfapprox.Emulator.approximate_model ~lut ?domains graph in
+    let trial_list =
+      match target with
+      | "lut" -> (
+        match rates with
+        | Some r ->
+          Ax_resilience.Campaign.lut_rate_trials ~seed
+            ~rates:(float_list ~what:"--rates" r)
+        | None ->
+          Ax_resilience.Campaign.lut_bit_trials ~seed ~sites
+            ~bits:(int_list ~what:"--bits" bits) ())
+      | "weights" ->
+        Ax_resilience.Campaign.weight_trials ~seed ~trials ~sites ~bit graph
+      | "activations" ->
+        Ax_resilience.Campaign.activation_trials ~seed ~trials ~sites ~bit
+          graph
+      | other ->
+        failwith
+          (Printf.sprintf "unknown target %s (lut, weights or activations)"
+             other)
+    in
+    let trial_list = Ax_resilience.Campaign.zero_fault_trial :: trial_list in
+    let metrics = Ax_obs.Metrics.create () in
+    let report =
+      Ax_resilience.Campaign.run ~metrics ?domains
+        { Ax_resilience.Campaign.graph; dataset;
+          backend = Tfapprox.Emulator.Cpu_gemm }
+        ~trials:trial_list
+    in
+    if csv then print_string (Ax_resilience.Campaign.csv report)
+    else Format.printf "%a@." Ax_resilience.Campaign.pp report;
+    match json_file with
+    | None -> ()
+    | Some path ->
+      let text =
+        Ax_obs.Json.to_string (Ax_resilience.Campaign.to_json report)
+      in
+      if path = "-" then print_endline text
+      else begin
+        write_file path text;
+        Format.eprintf "wrote %s@." path
+      end
+  in
+  let net =
+    Arg.(
+      value & opt string "resnet"
+      & info [ "net" ] ~doc:"Model family: lenet, resnet or mobilenet.")
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.")
+  in
+  let lut_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lut" ] ~docv:"FILE"
+          ~doc:
+            "Load the multiplier truth table from an AXLUT1 artefact \
+             instead of tabulating $(b,--multiplier); corruption is \
+             detected by checksum (see $(b,--repair-with)).")
+  in
+  let repair_with =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repair-with" ] ~docv:"MULTIPLIER"
+          ~doc:
+            "On a corrupt $(b,--lut) artefact, re-tabulate this registry \
+             multiplier and continue instead of failing.")
+  in
+  let target =
+    Arg.(
+      value & opt string "lut"
+      & info [ "target" ]
+          ~doc:
+            "Fault target: lut (texture memory), weights (parameter \
+             memory) or activations (inter-layer buffers).")
+  in
+  let bits =
+    Arg.(
+      value & opt string "0,4,8,12,14,15"
+      & info [ "bits" ] ~docv:"B1,B2,..."
+          ~doc:"LUT product-bit positions to sweep (target lut).")
+  in
+  let sites =
+    Arg.(
+      value & opt int 32
+      & info [ "sites" ] ~doc:"Fault sites injected per trial.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ]
+          ~doc:"Repetitions for weight/activation campaigns.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Switch the lut target to a rate sweep: per-bit upset \
+             probabilities, e.g. 1e-6,1e-5,1e-4.")
+  in
+  let images =
+    Arg.(value & opt int 16 & info [ "images" ] ~doc:"Evaluation images.")
+  in
+  let bit =
+    Arg.(
+      value & opt int 23
+      & info [ "bit" ]
+          ~doc:
+            "float32 bit position for weight/activation faults (23 = \
+             lowest exponent bit).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON to $(docv) (\"-\" for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Seeded fault-injection campaign (SEU/stuck-at) over LUT, weight \
+          or activation memory")
+    Term.(
+      const run $ net $ depth $ multiplier_term $ lut_file $ repair_with
+      $ target $ bits $ sites $ trials $ rates $ images $ bit $ seed
+      $ domains_term $ csv_term $ json_file)
+
 let () =
   let doc = "TFApprox-style emulation of approximate DNN accelerators" in
   let info = Cmd.info "tfapprox" ~version:Tfapprox.Version.version ~doc in
@@ -404,4 +601,5 @@ let () =
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
             lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
+            resilience_cmd;
           ]))

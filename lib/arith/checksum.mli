@@ -1,0 +1,21 @@
+(** CRC-32 integrity checks for the binary artefact formats.
+
+    The LUT is literal hardware state — 128 kB of texture memory — and
+    the model file embeds it verbatim, so artefact corruption (a flipped
+    bit on disk, a truncated download) must be {e detected} on load
+    rather than silently turned into garbage inference.  Both "AXLUT1"
+    and "AXMDL1" append the CRC-32 (IEEE 802.3) of everything that
+    precedes it, little-endian. *)
+
+val of_bytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes starting at [pos]; the result is in
+    [0, 0xFFFFFFFF].  Raises [Invalid_argument] when the range exceeds
+    the buffer. *)
+
+val of_string : string -> int
+
+val append_u32_le : Buffer.t -> int -> unit
+(** Append a 32-bit value little-endian (the artefact trailer layout). *)
+
+val write_u32_le : Bytes.t -> pos:int -> int -> unit
+val read_u32_le : Bytes.t -> pos:int -> int

@@ -1,0 +1,32 @@
+type t =
+  | Truncated of { what : string; needed : int; available : int }
+  | Bad_magic of { what : string; expected : string; actual : string }
+  | Bad_checksum of { what : string; expected : int; actual : int }
+  | Bad_tag of { what : string; field : string; tag : int }
+  | Malformed of { what : string; detail : string }
+
+exception Error of t
+
+let printable s =
+  String.map (fun c -> if c >= ' ' && c <= '~' then c else '?') s
+
+let to_string = function
+  | Truncated { what; needed; available } ->
+    Printf.sprintf "%s: truncated input (need %d bytes, have %d)" what needed
+      available
+  | Bad_magic { what; expected; actual } ->
+    Printf.sprintf "%s: bad magic (expected %S, found %S)" what expected
+      (printable actual)
+  | Bad_checksum { what; expected; actual } ->
+    Printf.sprintf "%s: checksum mismatch (stored 0x%08x, computed 0x%08x)"
+      what expected actual
+  | Bad_tag { what; field; tag } ->
+    Printf.sprintf "%s: bad %s tag %d" what field tag
+  | Malformed { what; detail } -> Printf.sprintf "%s: malformed input (%s)" what detail
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Ax_arith.Load_error.Error: %s" (to_string e))
+    | _ -> None)

@@ -1,0 +1,33 @@
+(** Typed decode errors shared by every binary artefact loader
+    ("AXLUT1" LUT files, "AXMDL1" model files).
+
+    Replaces the stringly [failwith] diagnostics so callers can
+    distinguish truncation from a bad magic from a failed integrity
+    check and react differently — e.g. re-tabulate a checksum-corrupted
+    LUT from its registry generator instead of aborting
+    ({!Ax_resilience.Artefact} does exactly that). *)
+
+type t =
+  | Truncated of { what : string; needed : int; available : int }
+      (** Fewer bytes than the format requires.  [needed] is the total
+          the decoder wanted at the failing read. *)
+  | Bad_magic of { what : string; expected : string; actual : string }
+  | Bad_checksum of { what : string; expected : int; actual : int }
+      (** The trailing CRC-32 does not match the content: the artefact
+          was corrupted after serialisation. *)
+  | Bad_tag of { what : string; field : string; tag : int }
+      (** An enumeration byte (signedness, op kind, round mode, ...)
+          holds a value the format does not define. *)
+  | Malformed of { what : string; detail : string }
+      (** Structurally invalid content that passed the byte-level
+          checks (e.g. a graph node referencing an unknown input). *)
+
+exception Error of t
+(** What the thin raising wrappers ([Lut.of_bytes], [Model_io.load],
+    ...) throw; registered with [Printexc] so backtraces stay
+    readable. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering (no newlines — CLI-friendly). *)
+
+val pp : Format.formatter -> t -> unit

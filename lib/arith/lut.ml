@@ -54,44 +54,87 @@ let equal a b =
   let rec go i = i >= entries || (a.table.{i} = b.table.{i} && go (i + 1)) in
   go 0
 
+let get_raw t i =
+  if i < 0 || i >= entries then invalid_arg "Lut.get_raw: index out of range";
+  t.table.{i}
+
+let set_raw t i v =
+  if i < 0 || i >= entries then invalid_arg "Lut.set_raw: index out of range";
+  t.table.{i} <- v land 0xffff
+
+let copy t =
+  let table =
+    Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout entries
+  in
+  Bigarray.Array1.blit t.table table;
+  { t with table }
+
 let magic = "AXLUT1"
+let header_bytes = String.length magic + 1
+let serialized_bytes = header_bytes + size_bytes + 4
 
 let to_bytes t =
-  let buf = Bytes.create (String.length magic + 1 + size_bytes) in
+  let buf = Bytes.create serialized_bytes in
   Bytes.blit_string magic 0 buf 0 (String.length magic);
   Bytes.set buf (String.length magic)
     (match t.signedness with Signedness.Signed -> 's' | Signedness.Unsigned -> 'u');
-  let base = String.length magic + 1 in
+  let base = header_bytes in
   for i = 0 to entries - 1 do
     let v = t.table.{i} in
     Bytes.set buf (base + (2 * i)) (Char.chr (v land 0xff));
     Bytes.set buf (base + (2 * i) + 1) (Char.chr ((v lsr 8) land 0xff))
   done;
+  let crc = Checksum.of_bytes buf ~pos:0 ~len:(header_bytes + size_bytes) in
+  Checksum.write_u32_le buf ~pos:(header_bytes + size_bytes) crc;
   buf
 
-let of_bytes buf ~pos =
+let what = "AXLUT1"
+
+let of_bytes_result buf ~pos =
+  let available = Bytes.length buf - pos in
   let mlen = String.length magic in
-  if pos + mlen > Bytes.length buf then failwith "Lut.of_bytes: truncated";
-  if Bytes.sub_string buf pos mlen <> magic then
-    failwith "Lut.load: bad magic";
-  if pos + mlen + 1 + size_bytes > Bytes.length buf then
-    failwith "Lut.of_bytes: truncated";
-  let signedness =
+  if pos < 0 || available < mlen then
+    Error
+      (Load_error.Truncated { what; needed = serialized_bytes; available = max available 0 })
+  else if Bytes.sub_string buf pos mlen <> magic then
+    Error
+      (Load_error.Bad_magic
+         { what; expected = magic; actual = Bytes.sub_string buf pos mlen })
+  else if available < serialized_bytes then
+    Error (Load_error.Truncated { what; needed = serialized_bytes; available })
+  else
     match Bytes.get buf (pos + mlen) with
-    | 's' -> Signedness.Signed
-    | 'u' -> Signedness.Unsigned
-    | _ -> failwith "Lut.load: bad signedness byte"
-  in
-  let base = pos + mlen + 1 in
-  let table =
-    Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout entries
-  in
-  for i = 0 to entries - 1 do
-    table.{i} <-
-      Char.code (Bytes.get buf (base + (2 * i)))
-      lor (Char.code (Bytes.get buf (base + (2 * i) + 1)) lsl 8)
-  done;
-  ({ signedness; table }, base + size_bytes)
+    | exception Invalid_argument _ ->
+      Error (Load_error.Truncated { what; needed = serialized_bytes; available })
+    | ('s' | 'u') as tag ->
+      let stored = Checksum.read_u32_le buf ~pos:(pos + header_bytes + size_bytes) in
+      let actual = Checksum.of_bytes buf ~pos ~len:(header_bytes + size_bytes) in
+      if stored <> actual then
+        Error (Load_error.Bad_checksum { what; expected = stored; actual })
+      else begin
+        let signedness =
+          if tag = 's' then Signedness.Signed else Signedness.Unsigned
+        in
+        let base = pos + header_bytes in
+        let table =
+          Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout
+            entries
+        in
+        for i = 0 to entries - 1 do
+          table.{i} <-
+            Char.code (Bytes.get buf (base + (2 * i)))
+            lor (Char.code (Bytes.get buf (base + (2 * i) + 1)) lsl 8)
+        done;
+        Ok ({ signedness; table }, pos + serialized_bytes)
+      end
+    | other ->
+      Error
+        (Load_error.Bad_tag { what; field = "signedness"; tag = Char.code other })
+
+let of_bytes buf ~pos =
+  match of_bytes_result buf ~pos with
+  | Ok r -> r
+  | Error e -> raise (Load_error.Error e)
 
 let save path t =
   let oc = open_out_bin path in
@@ -99,7 +142,7 @@ let save path t =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (to_bytes t))
 
-let load path =
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -107,4 +150,14 @@ let load path =
       let len = in_channel_length ic in
       let buf = Bytes.create len in
       really_input ic buf 0 len;
-      fst (of_bytes buf ~pos:0))
+      buf)
+
+let load_result path =
+  match of_bytes_result (read_file path) ~pos:0 with
+  | Ok (t, _) -> Ok t
+  | Error _ as e -> e
+
+let load path =
+  match load_result path with
+  | Ok t -> t
+  | Error e -> raise (Load_error.Error e)

@@ -46,16 +46,54 @@ val to_function : t -> int -> int -> int
 val equal : t -> t -> bool
 (** Same signedness and identical entries. *)
 
+(** {1 Raw entry access}
+
+    The table as addressable memory, for fault-injection experiments
+    ({!Ax_resilience}): a LUT {e is} the texture-memory state of the
+    accelerator, so SEU bit-flips and stuck-at faults are modelled by
+    editing raw 16-bit entries of a {!copy}. *)
+
+val get_raw : t -> int -> int
+(** Raw (undecoded) 16-bit entry at a stitched index (see {!raw_index}).
+    Raises [Invalid_argument] outside [0, entries). *)
+
+val set_raw : t -> int -> int -> unit
+(** Overwrite a raw entry (masked to 16 bits) {e in place}.  Mutating a
+    shared table is visible to every config holding it — corrupt a
+    {!copy} unless that is the point. *)
+
+val copy : t -> t
+(** A structurally independent duplicate. *)
+
+(** {1 Serialisation}
+
+    Format "AXLUT1": 6-byte magic, signedness byte, 65 536 little-endian
+    16-bit entries, then the CRC-32 of everything preceding it
+    (131 083 bytes total).  The checksum makes on-disk corruption of the
+    hardware truth table a detected condition instead of silent garbage
+    inference. *)
+
+val serialized_bytes : int
+(** Total size of {!to_bytes} output: [131083]. *)
+
 val to_bytes : t -> Bytes.t
-(** The serialised form: "AXLUT1" magic, signedness byte, then 65536
-    little-endian 16-bit entries (131 079 bytes total). *)
+
+val of_bytes_result :
+  Bytes.t -> pos:int -> (t * int, Load_error.t) result
+(** Decode a table from a buffer at [pos]; returns the table and the
+    position past it.  Every malformed input — truncation, wrong magic,
+    undefined signedness byte, checksum mismatch — maps to a typed
+    {!Load_error.t}; this function never raises on bad bytes. *)
 
 val of_bytes : Bytes.t -> pos:int -> t * int
-(** Decode a table from a buffer at [pos]; returns the table and the
-    position past it.  Raises [Failure] on malformed input. *)
+(** Thin wrapper over {!of_bytes_result}; raises {!Load_error.Error}. *)
 
 val save : string -> t -> unit
 (** Persist {!to_bytes} to a file. *)
 
+val load_result : string -> (t, Load_error.t) result
+(** Inverse of {!save}.  I/O failures (missing file, permissions) raise
+    [Sys_error] as usual; malformed {e content} is a typed error. *)
+
 val load : string -> t
-(** Inverse of {!save}.  Raises [Failure] on malformed input. *)
+(** Thin wrapper over {!load_result}; raises {!Load_error.Error}. *)

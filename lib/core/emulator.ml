@@ -55,7 +55,7 @@ let merge_shard_profile ~into part =
    bit-identical between [domains:1] and [domains:N].  (Per-image ranges
    do differ from the un-sharded whole-batch run, which is why sharding
    is opt-in.) *)
-let run_sharded ?profile ~domains ~backend g input =
+let run_sharded ?profile ?tap ~domains ~backend g input =
   let strategy = strategy_of_backend backend in
   let images = Shape.((Tensor.shape input).n) in
   let pool = Pool.ensure ~domains in
@@ -64,7 +64,7 @@ let run_sharded ?profile ~domains ~backend g input =
     let shard_profile =
       match profile with Some _ -> Some (Profile.create ()) | None -> None
     in
-    let out = Exec.run ?profile:shard_profile ~strategy g ~input:shard in
+    let out = Exec.run ?profile:shard_profile ~strategy ?tap g ~input:shard in
     (out, shard_profile)
   in
   let batch () =
@@ -105,13 +105,13 @@ let run_sharded ?profile ~domains ~backend g input =
     Pool.publish pool (Profile.metrics p);
     out
 
-let run ?profile ?domains ~backend g input =
+let run ?profile ?domains ?tap ~backend g input =
   match domains with
-  | Some d -> run_sharded ?profile ~domains:d ~backend g input
+  | Some d -> run_sharded ?profile ?tap ~domains:d ~backend g input
   | None -> (
     let strategy = strategy_of_backend backend in
     match profile with
-    | None -> Exec.run ~strategy g ~input
+    | None -> Exec.run ~strategy ?tap g ~input
     | Some p ->
       let images = Shape.((Tensor.shape input).n) in
       let start = Unix.gettimeofday () in
@@ -122,7 +122,7 @@ let run ?profile ?domains ~backend g input =
               ("backend", backend_name backend);
               ("images", string_of_int images);
             ]
-          (fun () -> Exec.run ~profile:p ~strategy g ~input)
+          (fun () -> Exec.run ~profile:p ~strategy ?tap g ~input)
       in
       let elapsed = Unix.gettimeofday () -. start in
       if elapsed > 0. then
@@ -130,12 +130,12 @@ let run ?profile ?domains ~backend g input =
           (float_of_int images /. elapsed);
       out)
 
-let predictions ?profile ?domains g ~backend input =
-  Layers.argmax_channels (run ?profile ?domains ~backend g input)
+let predictions ?profile ?domains ?tap g ~backend input =
+  Layers.argmax_channels (run ?profile ?domains ?tap ~backend g input)
 
-let accuracy ?profile ?domains g ~backend dataset =
+let accuracy ?profile ?domains ?tap g ~backend dataset =
   let batch () =
-    predictions ?profile ?domains g ~backend dataset.Ax_data.Cifar.images
+    predictions ?profile ?domains ?tap g ~backend dataset.Ax_data.Cifar.images
   in
   let preds =
     match profile with

@@ -31,6 +31,7 @@ val backend_name : backend -> string
 val run :
   ?profile:Ax_nn.Profile.t ->
   ?domains:int ->
+  ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   backend:backend ->
   Ax_nn.Graph.t ->
   Ax_tensor.Tensor.t ->
@@ -49,16 +50,23 @@ val run :
     are bit-identical for every [d] — including [domains:1], which is
     the reference the determinism tests compare against.  Note the
     per-image Min/Max quantization ranges legitimately differ from the
-    un-sharded whole-batch ranges, which is why sharding is opt-in. *)
+    un-sharded whole-batch ranges, which is why sharding is opt-in.
+
+    [tap] is forwarded to {!Ax_nn.Exec.run} on every evaluation
+    (including each per-image shard) — the activation fault-injection
+    hook of {!Ax_resilience}.  A pure tap keeps sharded runs
+    deterministic across domain counts. *)
 
 val predictions : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+  ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Ax_nn.Graph.t -> backend:backend -> Ax_tensor.Tensor.t -> int array
 (** Class ids from the graph's softmax output. *)
 
 val accuracy : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+  ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
-(** Top-1 accuracy against dataset labels, in [0, 1].  [domains] as in
-    {!run}. *)
+(** Top-1 accuracy against dataset labels, in [0, 1].  [domains] and
+    [tap] as in {!run}. *)
 
 val agreement : int array -> int array -> float
 (** Fraction of matching predictions — the "classification fidelity"

@@ -66,6 +66,26 @@ let print_accuracy_sweep ppf rows =
     rows;
   Format.fprintf ppf "@]@."
 
+(* RFC-4180-ish quoting: only fields that need it are quoted, so the
+   common numeric case stays byte-stable for golden tests. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+let csv_table ~header rows =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_field cells));
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter line rows;
+  Buffer.contents buf
+
 let table1_csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

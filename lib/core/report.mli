@@ -21,3 +21,9 @@ val table1_csv : Experiments.table1_row list -> string
 val fig2_csv : Experiments.fig2_row list -> string
 (** Machine-readable Fig. 2 percentages (one line per config and
     implementation). *)
+
+val csv_table : header:string list -> string list list -> string
+(** Generic CSV writer shared by report producers ({!Ax_resilience}
+    campaign reports among them): header line plus one line per row,
+    fields quoted per RFC 4180 only when they contain a comma, quote or
+    newline — plain numeric output is byte-stable. *)

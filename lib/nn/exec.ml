@@ -14,7 +14,7 @@ let scalar_of = function
 
 let strategy_name = function Cpu_gemm -> "cpu-gemm" | Cpu_direct -> "cpu-direct"
 
-let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
+let run_all ?profile ?(strategy = Cpu_gemm) ?tap g ~input =
   let values : value option array = Array.make (Graph.size g) None in
   let value_of id =
     match values.(id) with
@@ -128,6 +128,15 @@ let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
           [ ("node", n.Graph.name); ("node_id", string_of_int n.Graph.id) ]
           eval
       in
+      (* The activation tap observes (and may rewrite) every
+         tensor-valued node output before its consumers see it — the
+         hook fault-injection campaigns use to corrupt inter-layer
+         activation memory. *)
+      let result =
+        match (tap, result) with
+        | Some f, Tensor t -> Tensor (f n t)
+        | (Some _ | None), _ -> result
+      in
       values.(n.Graph.id) <- Some result)
     (Graph.nodes g);
   Array.map
@@ -136,8 +145,8 @@ let run_all ?profile ?(strategy = Cpu_gemm) g ~input =
       | None -> invalid_arg "Exec.run_all: unevaluated node")
     values
 
-let run_value ?profile ?strategy g ~input =
-  (run_all ?profile ?strategy g ~input).(Graph.output g)
+let run_value ?profile ?strategy ?tap g ~input =
+  (run_all ?profile ?strategy ?tap g ~input).(Graph.output g)
 
-let run ?profile ?strategy g ~input =
-  tensor_of (run_value ?profile ?strategy g ~input)
+let run ?profile ?strategy ?tap g ~input =
+  tensor_of (run_value ?profile ?strategy ?tap g ~input)

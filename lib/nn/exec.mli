@@ -16,16 +16,26 @@ type strategy =
 val run :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
   Ax_tensor.Tensor.t
 (** Evaluate the graph on one input batch and return the output node's
     tensor.  Raises [Invalid_argument] when the output is scalar-valued
-    or an op receives a value of the wrong kind. *)
+    or an op receives a value of the wrong kind.
+
+    [tap] is applied to every tensor-valued node output before its
+    consumers read it; the returned tensor replaces the node's value.
+    An identity tap is behaviour-neutral (bit-identical run); a
+    rewriting tap models faults in inter-layer activation memory
+    ({!Ax_resilience}) — downstream nodes, including the Min/Max range
+    nodes of transformed graphs, see the corrupted values exactly as
+    approximate hardware would. *)
 
 val run_value :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
   value
@@ -33,6 +43,7 @@ val run_value :
 val run_all :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
   value array

@@ -106,6 +106,22 @@ let size t = Array.length t.all
 let find_by_name t name =
   Array.find_opt (fun n -> n.name = name) t.all
 
+let map_ops f t =
+  let all =
+    Array.map
+      (fun n ->
+        let op = f n in
+        if arity op <> arity n.op then
+          invalid_arg
+            (Printf.sprintf
+               "Graph.map_ops: node %s rewritten from %s (arity %d) to %s \
+                (arity %d)"
+               n.name (op_name n.op) (arity n.op) (op_name op) (arity op));
+        { n with op })
+      t.all
+  in
+  { t with all }
+
 let conv_layers t =
   Array.to_list t.all
   |> List.filter (fun n ->

@@ -81,6 +81,13 @@ val size : t -> int
 
 val find_by_name : t -> string -> node option
 
+val map_ops : (node -> op) -> t -> t
+(** [map_ops f t] rebuilds the graph with each node's op replaced by
+    [f node], keeping ids, names and wiring — the hook fault-injection
+    and LUT-swapping tools use to substitute layer parameters (e.g. a
+    corrupted multiplier table) without re-deriving the topology.
+    Raises [Invalid_argument] if [f] changes an op's arity. *)
+
 val conv_layers : t -> node list
 (** All convolution nodes ([Conv2d], [Ax_conv2d] and their depthwise
     variants), in order — the layers Table I counts as [L]. *)

@@ -1,7 +1,19 @@
 module Matrix = Ax_tensor.Matrix
 module Lut = Ax_arith.Lut
+module Load_error = Ax_arith.Load_error
+module Checksum = Ax_arith.Checksum
 
 let magic = "AXMDL1"
+let what = "AXMDL1"
+
+let truncated ~needed ~available =
+  raise (Load_error.Error (Load_error.Truncated { what; needed; available }))
+
+let bad_tag field tag =
+  raise (Load_error.Error (Load_error.Bad_tag { what; field; tag }))
+
+let malformed detail =
+  raise (Load_error.Error (Load_error.Malformed { what; detail }))
 
 (* ---- primitive writers ---- *)
 
@@ -37,11 +49,14 @@ let w_float_array_opt buf = function
 
 (* ---- primitive readers (cursor-passing) ---- *)
 
-type cursor = { data : Bytes.t; mutable pos : int }
+(* [limit] excludes the CRC trailer, so a decoder bug that runs past the
+   payload is caught as [Truncated] instead of misreading the checksum
+   bytes as content. *)
+type cursor = { data : Bytes.t; mutable pos : int; limit : int }
 
 let need cur n =
-  if cur.pos + n > Bytes.length cur.data then
-    failwith "Model_io: truncated input"
+  if n < 0 || cur.pos + n > cur.limit then
+    truncated ~needed:(cur.pos + max n 0) ~available:cur.limit
 
 let r_u8 cur =
   need cur 1;
@@ -72,13 +87,18 @@ let r_string cur =
   cur.pos <- cur.pos + len;
   s
 
-let r_float_array cur = Array.init (r_u32 cur) (fun _ -> r_float cur)
+let r_float_array cur =
+  let n = r_u32 cur in
+  (* Bound the length by the remaining bytes before allocating, so a
+     corrupted length field cannot trigger a huge allocation. *)
+  need cur (8 * n);
+  Array.init n (fun _ -> r_float cur)
 
 let r_float_array_opt cur =
   match r_u8 cur with
   | 0 -> None
   | 1 -> Some (r_float_array cur)
-  | _ -> failwith "Model_io: bad option tag"
+  | tag -> bad_tag "option" tag
 
 (* ---- composites ---- *)
 
@@ -95,7 +115,7 @@ let r_spec cur =
     match r_u8 cur with
     | 0 -> Conv_spec.Same
     | 1 -> Conv_spec.Valid
-    | _ -> failwith "Model_io: bad padding tag"
+    | tag -> bad_tag "padding" tag
   in
   Conv_spec.make ~stride ~dilation ~padding ()
 
@@ -155,14 +175,14 @@ let r_config cur =
     | 1 -> Ax_quant.Round.Nearest_away
     | 2 -> Ax_quant.Round.Toward_zero
     | 3 -> Ax_quant.Round.Stochastic
-    | _ -> failwith "Model_io: bad round mode"
+    | tag -> bad_tag "round mode" tag
   in
   let chunk_size = r_u32 cur in
   let granularity =
     match r_u8 cur with
     | 0 -> Axconv.Per_tensor
     | 1 -> Axconv.Per_channel
-    | _ -> failwith "Model_io: bad granularity"
+    | tag -> bad_tag "granularity" tag
   in
   let accumulator =
     let tag = r_u8 cur in
@@ -173,13 +193,13 @@ let r_config cur =
     | 1 -> Accumulator.Saturating width
     | 2 -> Accumulator.Wrapping width
     | 3 -> Accumulator.Lower_or { width; approx_low }
-    | _ -> failwith "Model_io: bad accumulator tag"
+    | _ -> bad_tag "accumulator" tag
   in
   let domains = r_u8 cur in
   let lut_len = r_u32 cur in
   need cur lut_len;
   let lut, consumed = Lut.of_bytes cur.data ~pos:cur.pos in
-  if consumed - cur.pos <> lut_len then failwith "Model_io: bad LUT length";
+  if consumed - cur.pos <> lut_len then malformed "embedded LUT length mismatch";
   cur.pos <- consumed;
   Axconv.make_config ~round_mode ~chunk_size ~granularity ~accumulator
     ~domains lut
@@ -193,8 +213,7 @@ let r_matrix cur =
   let rows = r_u32 cur in
   let cols = r_u32 cur in
   let data = r_float_array cur in
-  if Array.length data <> rows * cols then
-    failwith "Model_io: matrix size mismatch";
+  if Array.length data <> rows * cols then malformed "matrix size mismatch";
   let m = Matrix.create ~rows ~cols in
   Array.blit data 0 m.Matrix.data 0 (rows * cols);
   m
@@ -300,7 +319,7 @@ let r_op cur =
     let stride = r_u8 cur in
     let out_c = r_u32 cur in
     Graph.Shortcut_pad { stride; out_c }
-  | tag -> failwith (Printf.sprintf "Model_io: unknown op tag %d" tag)
+  | tag -> bad_tag "op" tag
 
 (* ---- whole graphs ---- *)
 
@@ -316,14 +335,13 @@ let to_bytes g =
       List.iter (w_u32 buf) n.Graph.inputs;
       w_op buf n.Graph.op)
     (Graph.nodes g);
+  Checksum.append_u32_le buf (Checksum.of_string (Buffer.contents buf));
   Buffer.to_bytes buf
 
-let of_bytes data =
-  let cur = { data; pos = 0 } in
-  need cur (String.length magic);
-  if Bytes.sub_string data 0 (String.length magic) <> magic then
-    failwith "Model_io: bad magic";
-  cur.pos <- String.length magic;
+let min_bytes = String.length magic + 4 + 4 + 4 (* magic, count, output, CRC *)
+
+let decode_payload data ~limit =
+  let cur = { data; pos = String.length magic; limit } in
   let count = r_u32 cur in
   let output = r_u32 cur in
   let b = Graph.builder () in
@@ -334,7 +352,41 @@ let of_bytes data =
     let op = r_op cur in
     ignore (Graph.add b ~name op inputs)
   done;
+  if cur.pos <> limit then malformed "trailing bytes after graph";
   Graph.finalize b ~output
+
+let of_bytes_result data =
+  let len = Bytes.length data in
+  let mlen = String.length magic in
+  if len < mlen then
+    Error (Load_error.Truncated { what; needed = min_bytes; available = len })
+  else if Bytes.sub_string data 0 mlen <> magic then
+    Error
+      (Load_error.Bad_magic
+         { what; expected = magic; actual = Bytes.sub_string data 0 mlen })
+  else if len < min_bytes then
+    Error (Load_error.Truncated { what; needed = min_bytes; available = len })
+  else begin
+    let stored = Checksum.read_u32_le data ~pos:(len - 4) in
+    let actual = Checksum.of_bytes data ~pos:0 ~len:(len - 4) in
+    if stored <> actual then
+      Error (Load_error.Bad_checksum { what; expected = stored; actual })
+    else
+      (* The CRC only proves the bytes are what the writer produced;
+         graph construction can still reject structurally invalid
+         content (hand-crafted files with a valid trailer), so map
+         those exceptions to typed errors too. *)
+      match decode_payload data ~limit:(len - 4) with
+      | g -> Ok g
+      | exception Load_error.Error e -> Error e
+      | exception (Invalid_argument detail | Failure detail) ->
+        Error (Load_error.Malformed { what; detail })
+  end
+
+let of_bytes data =
+  match of_bytes_result data with
+  | Ok g -> g
+  | Error e -> raise (Load_error.Error e)
 
 let save path g =
   let oc = open_out_bin path in
@@ -342,7 +394,7 @@ let save path g =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (to_bytes g))
 
-let load path =
+let load_result path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -350,4 +402,9 @@ let load path =
       let len = in_channel_length ic in
       let data = Bytes.create len in
       really_input ic data 0 len;
-      of_bytes data)
+      of_bytes_result data)
+
+let load path =
+  match load_result path with
+  | Ok g -> g
+  | Error e -> raise (Load_error.Error e)

@@ -5,13 +5,33 @@
     original TFApprox).
 
     Format "AXMDL1": little-endian, length-prefixed strings, float
-    parameters as raw IEEE-754 bit patterns (bit-exact roundtrip). *)
+    parameters as raw IEEE-754 bit patterns (bit-exact roundtrip), and a
+    trailing CRC-32 of the whole payload so on-disk corruption is
+    detected on load instead of decoded into garbage weights.  Embedded
+    LUTs additionally carry their own "AXLUT1" checksums.
+
+    All decode failures are typed ({!Ax_arith.Load_error.t}) so callers
+    can distinguish truncation / bad magic / bad checksum; the
+    [*_result] variants never raise on malformed content, and the
+    historical raising APIs are thin wrappers over them. *)
 
 val to_bytes : Graph.t -> Bytes.t
 
+val of_bytes_result : Bytes.t -> (Graph.t, Ax_arith.Load_error.t) result
+(** Total over arbitrary byte strings: truncated, bit-flipped and
+    garbage inputs all map to [Error] (fuzzed in
+    [test/test_loader_fuzz.ml]), never to an unchecked exception or a
+    silently wrong graph. *)
+
 val of_bytes : Bytes.t -> Graph.t
-(** Raises [Failure] on malformed input (bad magic, truncation, unknown
-    op tags). *)
+(** Thin wrapper over {!of_bytes_result}; raises
+    {!Ax_arith.Load_error.Error}. *)
 
 val save : string -> Graph.t -> unit
+
+val load_result : string -> (Graph.t, Ax_arith.Load_error.t) result
+(** I/O failures (missing file) raise [Sys_error]; malformed content is
+    a typed error. *)
+
 val load : string -> Graph.t
+(** Thin wrapper over {!load_result}; raises {!Ax_arith.Load_error.Error}. *)

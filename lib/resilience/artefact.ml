@@ -1,0 +1,37 @@
+module Lut = Ax_arith.Lut
+module Load_error = Ax_arith.Load_error
+module Registry = Ax_arith.Registry
+
+type outcome = Intact | Repaired of Load_error.t
+
+let default_warn msg = Format.eprintf "[resilience] %s@."  msg
+
+let load_lut ?repair_with ?(on_warning = default_warn) path =
+  match Lut.load_result path with
+  | Ok lut -> Ok (lut, Intact)
+  | Error err -> (
+    match repair_with with
+    | None -> Error err
+    | Some name -> (
+      match Registry.find name with
+      | None ->
+        on_warning
+          (Printf.sprintf "%s: %s; cannot repair, unknown multiplier %S" path
+             (Load_error.to_string err) name);
+        Error err
+      | Some entry ->
+        let lut = Registry.lut entry in
+        let rewrote =
+          try
+            Lut.save path lut;
+            true
+          with Sys_error _ -> false
+        in
+        on_warning
+          (Printf.sprintf "%s: %s; re-tabulated from generator %S%s" path
+             (Load_error.to_string err) name
+             (if rewrote then " and rewrote the artefact"
+              else " (artefact not rewritable)"));
+        Ok (lut, Repaired err)))
+
+let load_model path = Ax_nn.Model_io.load_result path

@@ -1,0 +1,33 @@
+(** Graceful degradation for on-disk artefacts.
+
+    Both artefact formats ("AXLUT1" truth tables, "AXMDL1" models) carry
+    CRC-32 checksums, so corruption is {e detected} at load time
+    ({!Ax_arith.Load_error}).  This module adds the {e recovery} policy:
+    a truth table is derivable from its generator, so a corrupted LUT
+    artefact can be repaired by re-tabulating the named
+    {!Ax_arith.Registry} multiplier; model weights are not derivable, so
+    a corrupted model is rejected with the typed error. *)
+
+type outcome =
+  | Intact               (** artefact loaded and verified clean *)
+  | Repaired of Ax_arith.Load_error.t
+      (** artefact was damaged (the carried error says how); the
+          returned table was re-tabulated from the registry generator *)
+
+val load_lut :
+  ?repair_with:string ->
+  ?on_warning:(string -> unit) ->
+  string ->
+  (Ax_arith.Lut.t * outcome, Ax_arith.Load_error.t) result
+(** [load_lut ?repair_with path] loads an "AXLUT1" artefact.  On any
+    typed load failure: with [repair_with] naming a known registry
+    multiplier, re-tabulates it, best-effort rewrites the artefact in
+    place, reports through [on_warning] (default: one line on stderr)
+    and returns [Ok (lut, Repaired err)]; otherwise (or when the name is
+    unknown) returns the original [Error].  Missing files raise
+    [Sys_error] as usual. *)
+
+val load_model : string -> (Ax_nn.Graph.t, Ax_arith.Load_error.t) result
+(** Detect-and-reject loading of "AXMDL1" artefacts (weights cannot be
+    re-derived); alias of {!Ax_nn.Model_io.load_result}, re-exported so
+    resilience tooling has one artefact entry point. *)

@@ -1,0 +1,90 @@
+(** Fault-injection campaign runner.
+
+    A campaign takes a (typically approximate) model plus a labelled
+    dataset and measures how injected memory faults ({!Fault}) move
+    top-1 accuracy: one baseline inference, then one inference per
+    trial, each trial a named list of faults.  Trials fan out across the
+    persistent {!Ax_pool.Pool} and all accounting is done on the
+    coordinating domain in trial order, so a report is a pure function
+    of [(spec, trials)] — bit-identical for every domain count, the
+    property the determinism tests pin down. *)
+
+type trial = { label : string; faults : Fault.t list }
+
+val zero_fault_trial : trial
+(** The control row: no faults, labelled ["fault_free"].  Its row must
+    reproduce the baseline bit-for-bit (zero degradation, zero flips). *)
+
+type spec = {
+  graph : Ax_nn.Graph.t;     (** model under test, usually transformed *)
+  dataset : Ax_data.Cifar.t; (** images + labels the accuracy is over *)
+  backend : Tfapprox.Emulator.backend;
+}
+
+type row = {
+  label : string;
+  fault_count : int;
+  accuracy : float;     (** top-1 accuracy under fault, in [0, 1] *)
+  degradation : float;  (** baseline accuracy minus [accuracy] *)
+  top1_flips : int;     (** predictions that changed vs the baseline *)
+}
+
+type report = { baseline_accuracy : float; images : int; rows : row list }
+
+(** {1 Trial builders}
+
+    All seeded and pure — the same arguments always denote the same
+    fault sites. *)
+
+val lut_bit_trials :
+  ?kind:Fault.kind -> seed:int -> sites:int -> bits:int list -> unit ->
+  trial list
+(** One trial per entry of [bits]: [sites] uniformly chosen truth-table
+    entries, all faulted at that bit position (default {!Fault.Bit_flip})
+    — the "which product bit matters" sensitivity sweep.  Raises
+    [Invalid_argument] on a bit outside 0..15. *)
+
+val lut_rate_trials : seed:int -> rates:float list -> trial list
+(** One trial per rate: every table bit flipped independently with that
+    probability (so a trial's fault count is ~[rate * entries * 16]). *)
+
+val weight_trials :
+  seed:int -> trials:int -> sites:int -> bit:int -> Ax_nn.Graph.t ->
+  trial list
+(** [trials] independent repetitions of [sites] uniform weight upsets at
+    float32 bit [bit]. *)
+
+val activation_trials :
+  seed:int -> trials:int -> sites:int -> bit:int -> Ax_nn.Graph.t ->
+  trial list
+(** Like {!weight_trials} for persistent activation-buffer cells. *)
+
+(** {1 Running} *)
+
+val run :
+  ?metrics:Ax_obs.Metrics.t ->
+  ?profile:Ax_nn.Profile.t ->
+  ?domains:int ->
+  spec ->
+  trials:trial list ->
+  report
+(** Execute the campaign.  [domains] (default: the process-wide pool
+    size) parallelises {e across trials}; each trial's inference runs
+    un-sharded inside its pool task.  With [profile] the campaign is
+    wrapped in a ["resilience.campaign"] span; with [metrics] the
+    [resilience_trials], [resilience_faults_injected] and
+    [resilience_top1_flips] counters are bumped — both touched only on
+    the coordinating domain.  Raises [Invalid_argument] on an empty
+    dataset. *)
+
+(** {1 Rendering} *)
+
+val csv : report -> string
+(** Header plus a leading ["baseline"] row, then one row per trial — the
+    format the sensitivity tables in EXPERIMENTS.md are generated
+    from. *)
+
+val to_json : report -> Ax_obs.Json.t
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable table (accuracies in percent). *)

@@ -1,0 +1,112 @@
+(** Fault models over emulator state.
+
+    TFApprox keeps the approximate multiplier as a 128 kB truth table in
+    GPU texture memory, the network parameters in device global memory,
+    and inter-layer activations in reused device buffers.  This module
+    models radiation-style upsets in each of those memories — single-bit
+    flips (SEU) and stuck-at cells — as pure, seeded transformations of
+    the corresponding emulator state, so a resilience campaign is
+    exactly reproducible from [(seed, site)] with no hidden RNG state.
+
+    Faults never mutate shared state: {!corrupt_lut} edits a
+    {!Ax_arith.Lut.copy}, {!corrupt_graph} rebuilds parameter arrays,
+    and {!tap} copies each activation tensor before writing. *)
+
+type kind =
+  | Bit_flip          (** SEU: toggle the bit once *)
+  | Stuck_at of bool  (** permanent cell fault: force the bit *)
+
+type site =
+  | Lut_entry of { index : int; bit : int }
+      (** a bit of raw 16-bit truth-table entry [index] (texture
+          memory); [bit] in 0..15, [index] in [0, {!Ax_arith.Lut.entries}) *)
+  | Weight of { node : string; index : int; bit : int }
+      (** a bit of the IEEE-754 pattern of flat parameter [index] of the
+          named graph node (filter banks in HWCK order, dense matrices
+          row-major); [bit] in 0..31 *)
+  | Activation of { node : string; index : int; bit : int }
+      (** a faulty cell of the named node's output buffer, at per-image
+          offset [index mod (h*w*c)] — hit once per image, mirroring a
+          persistent bad cell in a reused device buffer; [bit] in 0..31 *)
+
+type t = { site : site; kind : kind }
+
+val kind_name : kind -> string
+val pp_site : Format.formatter -> site -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 Deterministic site selection}
+
+    SplitMix64-style mixing of [(seed, salts)]; exposed so tests can pin
+    the exact sites a seed denotes. *)
+
+val hash : seed:int -> int list -> int
+(** Non-negative 62-bit mix, a pure function of its arguments. *)
+
+val uniform : seed:int -> int list -> int -> int
+(** [uniform ~seed salts n] in [\[0, n)].  Raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val bernoulli : seed:int -> int list -> float -> bool
+(** True with probability [rate] over the salt space.  Raises
+    [Invalid_argument] outside [0, 1]. *)
+
+(** {1 Bit surgery} *)
+
+val apply_int : kind -> bit:int -> int -> int
+(** Apply the fault to one bit of an integer word. *)
+
+val apply_float32 : kind -> bit:int -> float -> float
+(** Apply the fault to one bit of the float32 pattern
+    ([Int32.bits_of_float] domain — flips of exponent/sign bits can
+    legitimately produce infinities, as on real hardware).  Raises
+    [Invalid_argument] when [bit] is outside 0..31. *)
+
+(** {1 Applying fault lists}
+
+    Each function consumes the sites of its own kind from the list and
+    ignores the rest, so one mixed campaign trial can be threaded
+    through all three. *)
+
+val corrupt_lut : Ax_arith.Lut.t -> t list -> Ax_arith.Lut.t
+(** Fresh table with every [Lut_entry] fault applied.  Raises
+    [Invalid_argument] on a bit outside 0..15 or an index outside the
+    table. *)
+
+val corrupt_graph : Ax_nn.Graph.t -> t list -> Ax_nn.Graph.t
+(** Graph with every [Weight] fault applied to a private copy of the
+    named node's parameters (topology, ids and all other state shared).
+    Raises [Invalid_argument] when a fault names a missing node, a node
+    without weight memory, or an out-of-range index. *)
+
+val tap : t list -> Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t
+(** Activation-fault hook for {!Ax_nn.Exec.run}'s [?tap] (also reachable
+    through {!Tfapprox.Emulator.run}): applies every [Activation] fault
+    addressed to the node, returning the input tensor unchanged (and
+    uncopied) for unaffected nodes. *)
+
+(** {1 Seeded site generators} *)
+
+val random_lut_sites : seed:int -> count:int -> site list
+(** [count] uniform (entry, bit) texture-memory sites (collisions
+    possible, as in repeated physical upsets). *)
+
+val random_flip : seed:int -> rate:float -> Ax_arith.Lut.t -> Ax_arith.Lut.t
+(** Independently flip each of the [entries * 16] table bits with
+    probability [rate] — the rate-sweep fault model.  The empirical flip
+    fraction (see {!flip_count}) concentrates around [rate]. *)
+
+val flip_count : Ax_arith.Lut.t -> Ax_arith.Lut.t -> int
+(** Hamming distance between two tables' raw entries. *)
+
+val random_weight_sites :
+  seed:int -> count:int -> bit:int -> Ax_nn.Graph.t -> site list
+(** [count] parameter sites, nodes weighted by their parameter count so
+    every weight in the model is equally likely.  Raises
+    [Invalid_argument] on a weightless graph. *)
+
+val random_activation_sites :
+  seed:int -> count:int -> bit:int -> Ax_nn.Graph.t -> site list
+(** [count] activation sites over the tensor-valued nodes (scalar range
+    nodes and the input placeholder excluded); offsets are reduced
+    modulo each buffer's per-image size at injection time. *)

@@ -259,11 +259,12 @@ let test_lut_save_load_roundtrip () =
       Lut.save path lut;
       let loaded = Lut.load path in
       check_bool "roundtrip equal" true (Lut.equal lut loaded);
-      (* File is header + 128 kB payload. *)
+      (* File is header + 128 kB payload + CRC-32 trailer. *)
       let ic = open_in_bin path in
       let size = in_channel_length ic in
       close_in ic;
-      check_int "file size" (6 + 1 + 131072) size)
+      check_int "file size" Lut.serialized_bytes size;
+      check_int "file size constant" (6 + 1 + 131072 + 4) size)
 
 let test_lut_load_rejects_garbage () =
   let path = Filename.temp_file "axlut" ".bin" in
@@ -273,8 +274,30 @@ let test_lut_load_rejects_garbage () =
       let oc = open_out_bin path in
       output_string oc "NOTALUT-and-some-padding";
       close_out oc;
-      Alcotest.check_raises "bad magic" (Failure "Lut.load: bad magic")
-        (fun () -> ignore (Lut.load path)))
+      (match Lut.load_result path with
+      | Error (Ax_arith.Load_error.Bad_magic _) -> ()
+      | Error e ->
+        Alcotest.failf "expected Bad_magic, got %s"
+          (Ax_arith.Load_error.to_string e)
+      | Ok _ -> Alcotest.fail "garbage accepted");
+      match Lut.load path with
+      | exception Ax_arith.Load_error.Error (Ax_arith.Load_error.Bad_magic _)
+        -> ()
+      | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "garbage accepted by raising API")
+
+let test_lut_load_detects_bit_flip () =
+  let lut = Registry.lut (Registry.find_exn "mul8u_trunc8") in
+  let bytes = Lut.to_bytes lut in
+  (* Flip one payload bit: the CRC must catch it. *)
+  let pos = 7 + 1234 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x10));
+  match Lut.of_bytes_result bytes ~pos:0 with
+  | Error (Ax_arith.Load_error.Bad_checksum _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Bad_checksum, got %s"
+      (Ax_arith.Load_error.to_string e)
+  | Ok _ -> Alcotest.fail "corrupted table accepted"
 
 (* --- error metrics --- *)
 
@@ -477,6 +500,8 @@ let () =
             test_lut_save_load_roundtrip;
           Alcotest.test_case "load rejects garbage" `Quick
             test_lut_load_rejects_garbage;
+          Alcotest.test_case "load detects bit flip" `Quick
+            test_lut_load_detects_bit_flip;
         ] );
       ( "metrics",
         [

@@ -1,0 +1,147 @@
+(* Seeded fuzzing of the two artefact loaders.
+
+   The hardened AXLUT1/AXMDL1 formats promise totality: any byte string
+   — truncated, bit-flipped, or pure garbage — decodes to a typed
+   [Ax_arith.Load_error.t], never an unchecked exception
+   (Index_out_of_bounds, Out_of_memory from a corrupted length prefix,
+   ...) and never a silent wrong success.  QCheck drives the promise
+   over three corruption families for each loader. *)
+
+module Lut = Ax_arith.Lut
+module Load_error = Ax_arith.Load_error
+module Model_io = Ax_nn.Model_io
+module Registry = Ax_arith.Registry
+
+let seed = 0xF00D
+
+let lut_bytes =
+  lazy (Lut.to_bytes (Registry.lut (Registry.find_exn "mul8u_trunc8")))
+
+let model_bytes =
+  lazy (Model_io.to_bytes (Ax_models.Lenet.build ()))
+
+(* A loader outcome is acceptable when it is [Ok] of the pristine input
+   or any typed [Error]; anything escaping as an exception fails. *)
+let total_or_fail ~what f =
+  match f () with
+  | Ok _ | Error _ -> true
+  | exception Load_error.Error _ ->
+    Alcotest.failf "%s: raising API leaked through result API" what
+  | exception e ->
+    Alcotest.failf "%s: unchecked exception %s" what (Printexc.to_string e)
+
+let lut_load bytes = Lut.of_bytes_result bytes ~pos:0
+
+let model_load bytes = Model_io.of_bytes_result bytes
+
+let truncate_test ~what ~pristine ~load =
+  QCheck.Test.make ~count:120
+    ~name:(what ^ ": truncation is a typed error")
+    QCheck.(int_range 0 (Bytes.length (Lazy.force pristine) - 1))
+    (fun len ->
+      let cut = Bytes.sub (Lazy.force pristine) 0 len in
+      total_or_fail ~what (fun () -> load cut)
+      &&
+      match load cut with
+      | Error _ -> true
+      | Ok _ ->
+        (* a strict prefix that still decodes would be a framing hole *)
+        false)
+
+let bitflip_test ~what ~pristine ~load =
+  QCheck.Test.make ~count:200
+    ~name:(what ^ ": any single bit flip is detected")
+    QCheck.(
+      pair
+        (int_range 0 (Bytes.length (Lazy.force pristine) - 1))
+        (int_range 0 7))
+    (fun (pos, bit) ->
+      let b = Bytes.copy (Lazy.force pristine) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      total_or_fail ~what (fun () -> load b)
+      &&
+      match load b with
+      | Error _ -> true
+      | Ok _ -> false (* CRC-32 detects every single-bit corruption *))
+
+let garbage_test ~what ~load =
+  QCheck.Test.make ~count:300 ~name:(what ^ ": garbage is a typed error")
+    QCheck.(string_of_size (Gen.int_range 0 4096))
+    (fun s ->
+      total_or_fail ~what (fun () -> load (Bytes.of_string s))
+      &&
+      match load (Bytes.of_string s) with
+      | Error _ -> true
+      | Ok _ -> String.length s = 0 && false)
+
+(* Garbage wearing a valid header: random payloads behind the real
+   magic, exercising the parser past the first gate. *)
+let headed_garbage_test ~what ~magic ~load =
+  QCheck.Test.make ~count:300
+    ~name:(what ^ ": garbage behind a real magic is a typed error")
+    QCheck.(string_of_size (Gen.int_range 0 4096))
+    (fun s ->
+      let b = Bytes.of_string (magic ^ s) in
+      total_or_fail ~what (fun () -> load b)
+      &&
+      match load b with Error _ -> true | Ok _ -> false)
+
+let raising_wrapper_test () =
+  (* The raising APIs must raise exactly Load_error.Error on the same
+     inputs the result APIs reject. *)
+  let bad = Bytes.of_string "AXLUT1-not-really" in
+  (match Lut.of_bytes bad ~pos:0 with
+  | exception Load_error.Error _ -> ()
+  | exception e -> Alcotest.failf "Lut wrapper: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "Lut wrapper accepted garbage");
+  match Model_io.of_bytes (Bytes.of_string "AXMDL1-not-really") with
+  | exception Load_error.Error _ -> ()
+  | exception e -> Alcotest.failf "Model_io wrapper: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "Model_io wrapper accepted garbage"
+
+let error_strings_are_one_line () =
+  let errors =
+    [
+      Load_error.Truncated { what = "AXLUT1"; needed = 10; available = 3 };
+      Load_error.Bad_magic { what = "AXMDL1"; expected = "AXMDL1"; actual = "junk\xff" };
+      Load_error.Bad_checksum { what = "AXLUT1"; expected = 1; actual = 2 };
+      Load_error.Bad_tag { what = "AXMDL1"; field = "op"; tag = 99 };
+      Load_error.Malformed { what = "AXMDL1"; detail = "trailing bytes" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = Load_error.to_string e in
+      if String.contains s '\n' then
+        Alcotest.failf "multi-line error rendering: %S" s;
+      if String.length s = 0 then Alcotest.fail "empty error rendering")
+    errors
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |])) tests)
+
+let () =
+  Alcotest.run "loader_fuzz"
+    [
+      qsuite "lut"
+        [
+          truncate_test ~what:"lut" ~pristine:lut_bytes ~load:lut_load;
+          bitflip_test ~what:"lut" ~pristine:lut_bytes ~load:lut_load;
+          garbage_test ~what:"lut" ~load:lut_load;
+          headed_garbage_test ~what:"lut" ~magic:"AXLUT1" ~load:lut_load;
+        ];
+      qsuite "model"
+        [
+          truncate_test ~what:"model" ~pristine:model_bytes ~load:model_load;
+          bitflip_test ~what:"model" ~pristine:model_bytes ~load:model_load;
+          garbage_test ~what:"model" ~load:model_load;
+          headed_garbage_test ~what:"model" ~magic:"AXMDL1" ~load:model_load;
+        ];
+      ( "wrappers",
+        [
+          Alcotest.test_case "raising APIs raise typed errors" `Quick
+            raising_wrapper_test;
+          Alcotest.test_case "error strings one-line" `Quick
+            error_strings_are_one_line;
+        ] );
+    ]

@@ -94,16 +94,32 @@ let test_file_roundtrip () =
         (bitwise_same_outputs g g' input))
 
 let test_rejects_garbage () =
+  (match Model_io.of_bytes_result (Bytes.of_string "NOTAMODELATALL") with
+  | Error (Ax_arith.Load_error.Bad_magic _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Bad_magic, got %s" (Ax_arith.Load_error.to_string e)
+  | Ok _ -> Alcotest.fail "garbage accepted");
   (match Model_io.of_bytes (Bytes.of_string "NOTAMODELATALL") with
-  | exception Failure msg ->
-    check_bool "bad magic reported" true (msg = "Model_io: bad magic")
-  | _ -> Alcotest.fail "garbage accepted");
+  | exception Ax_arith.Load_error.Error (Ax_arith.Load_error.Bad_magic _) -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "garbage accepted by raising API");
   (* Truncated but correctly-headed input. *)
   let good = Model_io.to_bytes (Resnet.build ~depth:8 ()) in
   let cut = Bytes.sub good 0 (Bytes.length good / 3) in
-  match Model_io.of_bytes cut with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "truncated input accepted"
+  (match Model_io.of_bytes_result cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input accepted");
+  (* One flipped payload bit: caught by the trailing CRC. *)
+  let flipped = Bytes.copy good in
+  let pos = Bytes.length good / 2 in
+  Bytes.set flipped pos
+    (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x01));
+  match Model_io.of_bytes_result flipped with
+  | Error (Ax_arith.Load_error.Bad_checksum _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Bad_checksum, got %s"
+      (Ax_arith.Load_error.to_string e)
+  | Ok _ -> Alcotest.fail "bit-flipped model accepted"
 
 let test_deterministic_encoding () =
   let g = Resnet.build ~depth:8 () in

@@ -1,0 +1,325 @@
+(* Ax_resilience: fault models, campaign determinism, artefact repair.
+
+   The load-bearing properties from the resilience design:
+   - fault sites are pure functions of (seed, site) — same seed, same
+     upsets, forever;
+   - a zero-fault campaign trial reproduces the baseline bit-for-bit;
+   - a campaign report is bit-identical for every worker-domain count;
+   - a checksum-corrupted LUT artefact is repaired from its registry
+     generator (or rejected with a typed error when it can't be). *)
+
+module Fault = Ax_resilience.Fault
+module Campaign = Ax_resilience.Campaign
+module Artefact = Ax_resilience.Artefact
+module Lut = Ax_arith.Lut
+module Load_error = Ax_arith.Load_error
+module Registry = Ax_arith.Registry
+module Graph = Ax_nn.Graph
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Emulator = Tfapprox.Emulator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let trunc8 = lazy (Registry.lut (Registry.find_exn "mul8u_trunc8"))
+
+(* --- bit surgery ------------------------------------------------------ *)
+
+let test_apply_int () =
+  check_int "flip sets a clear bit" 0b1010 (Fault.apply_int Fault.Bit_flip ~bit:1 0b1000);
+  check_int "flip clears a set bit" 0b1000 (Fault.apply_int Fault.Bit_flip ~bit:1 0b1010);
+  check_int "stuck-at-1 forces" 0b0001 (Fault.apply_int (Fault.Stuck_at true) ~bit:0 0b0000);
+  check_int "stuck-at-0 forces" 0b0000 (Fault.apply_int (Fault.Stuck_at false) ~bit:0 0b0001);
+  check_int "stuck-at idempotent" 0b0001
+    (Fault.apply_int (Fault.Stuck_at true) ~bit:0
+       (Fault.apply_int (Fault.Stuck_at true) ~bit:0 0b0001))
+
+let test_apply_float32 () =
+  (* Flipping the same mantissa bit twice restores the value. *)
+  let x = 1.337 in
+  let once = Fault.apply_float32 Fault.Bit_flip ~bit:7 x in
+  check_bool "flip changes the value" true (once <> x);
+  let twice = Fault.apply_float32 Fault.Bit_flip ~bit:7 once in
+  check_bool "double flip restores" true
+    (Int32.bits_of_float twice = Int32.bits_of_float x);
+  (* Sign-bit flip negates. *)
+  check_bool "sign flip negates" true
+    (Fault.apply_float32 Fault.Bit_flip ~bit:31 2.0 = -2.0);
+  (* Exponent-bit upsets may escape to infinity — that is hardware
+     truth, not a bug; the result must still be a float. *)
+  let blown = Fault.apply_float32 Fault.Bit_flip ~bit:30 1.0 in
+  check_bool "exponent flip is a float" true (Float.is_nan blown || not (Float.is_nan blown));
+  (match Fault.apply_float32 Fault.Bit_flip ~bit:32 1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bit 32 accepted")
+
+(* --- seeded site generation ------------------------------------------- *)
+
+let test_sites_deterministic () =
+  let a = Fault.random_lut_sites ~seed:7 ~count:64 in
+  let b = Fault.random_lut_sites ~seed:7 ~count:64 in
+  check_bool "same seed, same LUT sites" true (a = b);
+  let c = Fault.random_lut_sites ~seed:8 ~count:64 in
+  check_bool "different seed, different sites" true (a <> c);
+  List.iter
+    (function
+      | Fault.Lut_entry { index; bit } ->
+        check_bool "index in range" true (index >= 0 && index < Lut.entries);
+        check_bool "bit in range" true (bit >= 0 && bit < 16)
+      | _ -> Alcotest.fail "LUT generator produced a non-LUT site")
+    a;
+  let g = Ax_models.Lenet.build () in
+  let w = Fault.random_weight_sites ~seed:3 ~count:32 ~bit:23 g in
+  check_bool "weight sites deterministic" true
+    (w = Fault.random_weight_sites ~seed:3 ~count:32 ~bit:23 g);
+  let act = Fault.random_activation_sites ~seed:3 ~count:32 ~bit:23 g in
+  check_bool "activation sites deterministic" true
+    (act = Fault.random_activation_sites ~seed:3 ~count:32 ~bit:23 g)
+
+let test_random_flip_rate () =
+  let lut = Lazy.force trunc8 in
+  let total_bits = Lut.entries * 16 in
+  List.iter
+    (fun rate ->
+      let flipped = Fault.random_flip ~seed:11 ~rate lut in
+      let empirical = float_of_int (Fault.flip_count lut flipped) /. float_of_int total_bits in
+      (* ~1M Bernoulli draws: 3-sigma band around the rate. *)
+      let sigma = sqrt (rate *. (1. -. rate) /. float_of_int total_bits) in
+      check_bool
+        (Printf.sprintf "empirical %.6f within tolerance of %.6f" empirical rate)
+        true
+        (Float.abs (empirical -. rate) <= (3. *. sigma) +. 1e-9))
+    [ 0.0; 0.001; 0.01; 0.1 ];
+  check_bool "rate 0 flips nothing" true
+    (Fault.flip_count lut (Fault.random_flip ~seed:11 ~rate:0.0 lut) = 0);
+  check_bool "flip is seeded" true
+    (Lut.equal (Fault.random_flip ~seed:5 ~rate:0.01 lut)
+       (Fault.random_flip ~seed:5 ~rate:0.01 lut))
+
+(* --- fault application ------------------------------------------------ *)
+
+let test_corrupt_lut () =
+  let lut = Lazy.force trunc8 in
+  let fault = { Fault.site = Fault.Lut_entry { index = 1234; bit = 3 }; kind = Fault.Bit_flip } in
+  let bad = Fault.corrupt_lut lut [ fault ] in
+  check_bool "original untouched" true (Lut.equal lut (Lazy.force trunc8));
+  check_int "exactly one bit differs" 1 (Fault.flip_count lut bad);
+  check_int "the addressed bit differs" (Lut.get_raw lut 1234 lxor (1 lsl 3))
+    (Lut.get_raw bad 1234);
+  (* flipping the same site again restores the table *)
+  check_bool "self-inverse" true (Lut.equal lut (Fault.corrupt_lut bad [ fault ]));
+  (match
+     Fault.corrupt_lut lut
+       [ { Fault.site = Fault.Lut_entry { index = 0; bit = 16 }; kind = Fault.Bit_flip } ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bit 16 accepted for a 16-bit entry")
+
+let test_corrupt_graph () =
+  let g = Ax_models.Lenet.build () in
+  let node = "c1" in
+  let fault =
+    { Fault.site = Fault.Weight { node; index = 0; bit = 22 }; kind = Fault.Bit_flip }
+  in
+  let g' = Fault.corrupt_graph g [ fault ] in
+  let input = (Ax_data.Mnist.generate ~seed:1 ~n:2 ()).Ax_data.Mnist.images in
+  let before = Ax_nn.Exec.run g ~input in
+  let after = Ax_nn.Exec.run g' ~input in
+  check_bool "weight fault perturbs the output" true
+    (Tensor.max_abs_diff before after > 0.);
+  check_bool "source graph unchanged" true
+    (Tensor.max_abs_diff before (Ax_nn.Exec.run g ~input) = 0.);
+  (match
+     Fault.corrupt_graph g
+       [ { fault with Fault.site = Fault.Weight { node = "no_such_node"; index = 0; bit = 0 } } ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown node accepted")
+
+let test_tap () =
+  let g = Ax_models.Lenet.build () in
+  let node = (Graph.nodes g).(Graph.output g).Graph.name in
+  let t = Tensor.of_array (Shape.make ~n:2 ~h:1 ~w:1 ~c:4) (Array.init 8 float_of_int) in
+  let some_node = Option.get (Graph.find_by_name g node) in
+  (* No matching fault: the tensor passes through physically unchanged. *)
+  let id_tap = Fault.tap [] in
+  check_bool "empty tap is physical identity" true (id_tap some_node t == t);
+  let fault =
+    { Fault.site = Fault.Activation { node; index = 2; bit = 31 }; kind = Fault.Bit_flip }
+  in
+  let hit = Fault.tap [ fault ] some_node t in
+  check_bool "tap copies before writing" true (hit != t);
+  (* per-image offset 2 flipped in sign for BOTH images of the batch *)
+  check_bool "image 0 cell negated" true (Tensor.get_flat hit 2 = -2.);
+  check_bool "image 1 cell negated" true (Tensor.get_flat hit 6 = -6.);
+  check_int "only two cells touched" 2
+    (let d = ref 0 in
+     Tensor.iteri_flat (fun i v -> if v <> Tensor.get_flat t i then incr d) hit;
+     !d)
+
+(* --- campaign --------------------------------------------------------- *)
+
+let lenet_spec ~images =
+  let graph =
+    Emulator.approximate_model ~multiplier:"mul8u_trunc8"
+      (Ax_models.Lenet.build ())
+  in
+  { Campaign.graph;
+    dataset = Ax_data.Mnist.generate ~seed:4 ~n:images ();
+    backend = Emulator.Cpu_gemm }
+
+let mixed_trials spec =
+  Campaign.zero_fault_trial
+  :: Campaign.lut_bit_trials ~seed:42 ~sites:48 ~bits:[ 8; 14 ] ()
+  @ Campaign.weight_trials ~seed:42 ~trials:1 ~sites:6 ~bit:23 spec.Campaign.graph
+  @ Campaign.activation_trials ~seed:42 ~trials:1 ~sites:4 ~bit:23 spec.Campaign.graph
+
+let test_zero_fault_reproduces_baseline () =
+  let spec = lenet_spec ~images:6 in
+  let report = Campaign.run spec ~trials:[ Campaign.zero_fault_trial ] in
+  match report.Campaign.rows with
+  | [ row ] ->
+    check_bool "labelled fault_free" true (row.Campaign.label = "fault_free");
+    check_int "no faults" 0 row.Campaign.fault_count;
+    check_int "no top-1 flips" 0 row.Campaign.top1_flips;
+    check_bool "accuracy == baseline (bitwise)" true
+      (row.Campaign.accuracy = report.Campaign.baseline_accuracy);
+    check_bool "zero degradation (bitwise)" true (row.Campaign.degradation = 0.)
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_campaign_domain_invariance () =
+  let spec = lenet_spec ~images:6 in
+  let trials = mixed_trials spec in
+  let reference = Campaign.run ~domains:1 spec ~trials in
+  List.iter
+    (fun domains ->
+      let r = Campaign.run ~domains spec ~trials in
+      check_bool
+        (Printf.sprintf "report for %d domains == 1 domain (bitwise)" domains)
+        true
+        (r = reference))
+    [ 2; 4 ];
+  (* and the rendering is therefore stable too *)
+  check_bool "csv stable" true
+    (String.equal (Campaign.csv reference) (Campaign.csv (Campaign.run ~domains:4 spec ~trials)))
+
+let test_campaign_csv_shape () =
+  let spec = lenet_spec ~images:4 in
+  let report =
+    Campaign.run ~domains:2 spec
+      ~trials:[ Campaign.zero_fault_trial ]
+  in
+  let lines =
+    String.split_on_char '\n' (String.trim (Campaign.csv report))
+  in
+  (match lines with
+  | header :: rows ->
+    check_bool "header names the columns" true
+      (header = "label,faults,accuracy,degradation,top1_flips");
+    check_int "baseline + one trial" 2 (List.length rows);
+    check_bool "baseline row first" true
+      (String.length (List.hd rows) >= 8 && String.sub (List.hd rows) 0 8 = "baseline")
+  | [] -> Alcotest.fail "empty csv");
+  let empty = { spec with Campaign.dataset = { spec.Campaign.dataset with Ax_data.Cifar.labels = [||] } } in
+  (match Campaign.run ~domains:1 empty ~trials:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty dataset accepted")
+
+(* --- artefact repair -------------------------------------------------- *)
+
+let with_temp_lut f =
+  let path = Filename.temp_file "axlut" ".bin" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let corrupt_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let pos = len / 2 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_artefact_detects_corruption () =
+  with_temp_lut (fun path ->
+      Lut.save path (Lazy.force trunc8);
+      corrupt_file path;
+      (match Lut.load_result path with
+      | Error (Load_error.Bad_checksum _) -> ()
+      | Error e -> Alcotest.failf "expected Bad_checksum, got %s" (Load_error.to_string e)
+      | Ok _ -> Alcotest.fail "corrupted artefact loaded");
+      (* without a repair hint the typed error propagates *)
+      match Artefact.load_lut ~on_warning:ignore path with
+      | Error (Load_error.Bad_checksum _) -> ()
+      | Error e -> Alcotest.failf "expected Bad_checksum, got %s" (Load_error.to_string e)
+      | Ok _ -> Alcotest.fail "corrupted artefact loaded without repair")
+
+let test_artefact_repair () =
+  with_temp_lut (fun path ->
+      Lut.save path (Lazy.force trunc8);
+      corrupt_file path;
+      let warnings = ref [] in
+      (match
+         Artefact.load_lut ~repair_with:"mul8u_trunc8"
+           ~on_warning:(fun w -> warnings := w :: !warnings)
+           path
+       with
+      | Ok (lut, Artefact.Repaired (Load_error.Bad_checksum _)) ->
+        check_bool "repaired table == generator output" true
+          (Lut.equal lut (Lazy.force trunc8));
+        check_int "one warning emitted" 1 (List.length !warnings)
+      | Ok (_, Artefact.Repaired e) ->
+        Alcotest.failf "repair carried wrong error %s" (Load_error.to_string e)
+      | Ok (_, Artefact.Intact) -> Alcotest.fail "corruption not detected"
+      | Error e -> Alcotest.failf "repair failed: %s" (Load_error.to_string e));
+      (* the artefact was rewritten in place: a second load is clean *)
+      match Artefact.load_lut ~on_warning:ignore path with
+      | Ok (lut, Artefact.Intact) ->
+        check_bool "rewritten artefact verifies" true (Lut.equal lut (Lazy.force trunc8))
+      | Ok (_, Artefact.Repaired _) -> Alcotest.fail "rewrite did not stick"
+      | Error e -> Alcotest.failf "rewritten artefact broken: %s" (Load_error.to_string e))
+
+let test_artefact_unknown_generator () =
+  with_temp_lut (fun path ->
+      Lut.save path (Lazy.force trunc8);
+      corrupt_file path;
+      match Artefact.load_lut ~repair_with:"mul99_imaginary" ~on_warning:ignore path with
+      | Error (Load_error.Bad_checksum _) -> ()
+      | Error e -> Alcotest.failf "expected original error, got %s" (Load_error.to_string e)
+      | Ok _ -> Alcotest.fail "unknown generator repaired something")
+
+let () =
+  Alcotest.run "ax_resilience"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "apply_int" `Quick test_apply_int;
+          Alcotest.test_case "apply_float32" `Quick test_apply_float32;
+          Alcotest.test_case "seeded sites deterministic" `Quick test_sites_deterministic;
+          Alcotest.test_case "random_flip empirical rate" `Quick test_random_flip_rate;
+          Alcotest.test_case "corrupt_lut" `Quick test_corrupt_lut;
+          Alcotest.test_case "corrupt_graph" `Quick test_corrupt_graph;
+          Alcotest.test_case "activation tap" `Quick test_tap;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "zero-fault row == baseline" `Quick
+            test_zero_fault_reproduces_baseline;
+          Alcotest.test_case "bit-identical across domains" `Quick
+            test_campaign_domain_invariance;
+          Alcotest.test_case "csv shape + empty dataset" `Quick
+            test_campaign_csv_shape;
+        ] );
+      ( "artefact",
+        [
+          Alcotest.test_case "corruption detected" `Quick
+            test_artefact_detects_corruption;
+          Alcotest.test_case "repair from generator" `Quick test_artefact_repair;
+          Alcotest.test_case "unknown generator rejected" `Quick
+            test_artefact_unknown_generator;
+        ] );
+    ]
