@@ -95,6 +95,9 @@ let guarded f =
   | Ax_arith.Load_error.Error e ->
     Format.eprintf "tfapprox: %s@." (Ax_arith.Load_error.to_string e);
     exit 2
+  | Ax_nn.Nn_error.Error e ->
+    Format.eprintf "tfapprox: %s@." (Ax_nn.Nn_error.to_string e);
+    exit 2
 
 let int_list ~what s =
   try List.map int_of_string (String.split_on_char ',' (String.trim s))
@@ -424,6 +427,165 @@ let analyze_cmd =
        ~doc:"Per-layer error introduced by an approximate multiplier")
     Term.(const run $ depth $ multiplier_term $ images)
 
+let check_cmd =
+  let module D = Ax_analysis.Diagnostic in
+  let module Check = Ax_analysis.Check in
+  let run models luts mults suite multiplier input_s headroom json_out =
+    guarded @@ fun () ->
+    let input =
+      match int_list ~what:"--input" input_s with
+      | [ n; h; w; c ] -> Ax_tensor.Shape.make ~n ~h ~w ~c
+      | _ -> failwith "--input: expected N,H,W,C"
+    in
+    let explicit = models <> [] || luts <> [] || mults <> [] in
+    let do_models, do_mults =
+      match (explicit, suite) with
+      | true, _ -> (false, false)
+      | false, "models" -> (true, false)
+      | false, "multipliers" -> (false, true)
+      | false, "all" -> (true, true)
+      | false, other ->
+        failwith
+          (Printf.sprintf
+             "--suite: expected models, multipliers or all, got %s" other)
+    in
+    (* (unit name, findings, headroom rows) in analysis order *)
+    let units = ref [] in
+    let add name ds layers = units := (name, ds, layers) :: !units in
+    if do_models then
+      List.iter
+        (fun (name, g, shape) ->
+          let ds, layers = Check.graph ~input:shape g in
+          add name ds layers;
+          let approx =
+            Tfapprox.Emulator.approximate_model ~multiplier g
+          in
+          let ds, layers = Check.graph ~input:shape approx in
+          add (name ^ "+" ^ multiplier) ds layers)
+        [
+          ("lenet", Ax_models.Lenet.build (), Ax_models.Lenet.input_shape ~batch:1);
+          ( "mobilenet",
+            Ax_models.Mobilenet.build (),
+            Ax_models.Mobilenet.input_shape ~batch:1 );
+          ( "resnet-8",
+            Ax_models.Resnet.build ~depth:8 (),
+            Ax_models.Resnet.input_shape ~batch:1 );
+        ];
+    if do_mults then
+      List.iter
+        (fun e -> add e.Ax_arith.Registry.name (Check.registry_entry e) [])
+        (Ax_arith.Registry.all ());
+    List.iter
+      (fun path ->
+        let g = Ax_nn.Model_io.load path in
+        let ds, layers = Check.graph ~input g in
+        add path ds layers)
+      models;
+    List.iter
+      (fun path ->
+        let lut = Ax_arith.Lut.load path in
+        add path
+          (Ax_analysis.Quant_check.check_lut ~location:(D.Artefact path) lut)
+          [])
+      luts;
+    List.iter
+      (fun name ->
+        add name (Check.registry_entry (Ax_arith.Registry.find_exn name)) [])
+      mults;
+    let units = List.rev !units in
+    let all_findings = List.concat_map (fun (_, ds, _) -> ds) units in
+    (match json_out with
+    | Some path ->
+      let json =
+        Ax_obs.Json.Obj
+          [
+            ( "units",
+              Ax_obs.Json.List
+                (List.map
+                   (fun (name, ds, layers) ->
+                     Ax_obs.Json.Obj
+                       [
+                         ("name", Ax_obs.Json.String name);
+                         ("report", D.to_json ds);
+                         ( "headroom",
+                           Ax_analysis.Quant_check.layers_to_json layers );
+                       ])
+                   units) );
+            ( "errors",
+              Ax_obs.Json.Int (List.length (D.errors all_findings)) );
+          ]
+      in
+      let text = Ax_obs.Json.to_string json in
+      if path = "-" then print_endline text else write_file path text
+    | None ->
+      List.iter
+        (fun (name, ds, layers) ->
+          (match ds with
+          | [] -> Format.printf "%-28s ok@." name
+          | ds ->
+            Format.printf "%-28s@." name;
+            List.iter (fun d -> Format.printf "  %a@." D.pp d) (D.sort ds));
+          if headroom && layers <> [] then
+            Ax_analysis.Quant_check.pp_headroom Format.std_formatter layers)
+        units;
+      let count sel = List.length (sel all_findings) in
+      Format.printf "%d unit(s): %d error(s), %d warning(s)@."
+        (List.length units) (count D.errors) (count D.warnings));
+    if D.has_errors all_findings then exit 1
+  in
+  let models =
+    Arg.(
+      value & opt_all string []
+      & info [ "model" ] ~docv:"FILE" ~doc:"Check a serialized model file.")
+  in
+  let luts =
+    Arg.(
+      value & opt_all string []
+      & info [ "lut" ] ~docv:"FILE" ~doc:"Check a LUT file.")
+  in
+  let mults =
+    Arg.(
+      value & opt_all string []
+      & info [ "multiplier-name" ] ~docv:"NAME"
+          ~doc:"Check one registry multiplier (repeatable).")
+  in
+  let suite =
+    Arg.(
+      value & opt string "all"
+      & info [ "suite" ]
+          ~doc:
+            "With no explicit unit: which built-in suite to run — \
+             $(b,models), $(b,multipliers) or $(b,all).")
+  in
+  let input =
+    Arg.(
+      value & opt string "1,32,32,3"
+      & info [ "input" ] ~docv:"N,H,W,C"
+          ~doc:"Input shape for shape inference over --model files.")
+  in
+  let headroom =
+    Arg.(
+      value & flag
+      & info [ "headroom" ]
+          ~doc:"Print the per-layer accumulator headroom table.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON to $(docv) (\"-\" for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static verification: graph structure and Fig. 1 wiring, \
+          quantization/accumulator soundness, netlist-vs-LUT equivalence. \
+          Exits 1 on error-severity findings.")
+    Term.(
+      const run $ models $ luts $ mults $ suite $ multiplier_term $ input
+      $ headroom $ json_out)
+
 let resilience_cmd =
   let run net depth multiplier lut_file repair_with target bits sites trials
       rates images bit seed domains csv json_file =
@@ -601,5 +763,5 @@ let () =
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
             lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
-            resilience_cmd;
+            check_cmd; resilience_cmd;
           ]))

@@ -1,0 +1,174 @@
+type severity = Info | Warning | Error
+
+type location =
+  | Graph_node of { id : int; name : string }
+  | Netlist_signal of { index : int; label : string }
+  | Artefact of string
+  | Global
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+exception Rejected of t list
+
+(* The closed catalogue.  Every finding cites one of these ids, so the
+   golden tests and the README table can enumerate exactly what the
+   analyzers may say. *)
+let rules =
+  [
+    (* graph verifier *)
+    ("graph/arity", Error, "node input count differs from the op's arity");
+    ("graph/dangling-input", Error, "node references an unknown input id");
+    ("graph/dead-node", Warning, "node is unreachable from the graph output");
+    ("graph/no-input", Error, "graph has no Input placeholder node");
+    ("graph/multi-input", Warning, "graph has more than one Input node");
+    ( "graph/shape-mismatch",
+      Error,
+      "static shape inference failed (channels, dense rows, pool window, \
+       padding or residual-join mismatch)" );
+    ("graph/scalar-as-tensor", Error, "scalar-valued node feeds a tensor port");
+    ("graph/tensor-as-scalar", Error, "tensor-valued node feeds a scalar port");
+    ("graph/bias-arity", Error, "bias length differs from output channels");
+    ("graph/scalar-output", Error, "graph output is scalar-valued");
+    (* Fig. 1 wiring lint *)
+    ( "ax/min-feed",
+      Error,
+      "input-range minimum is not a Min reduction over the layer's data \
+       tensor (nor a constant)" );
+    ( "ax/max-feed",
+      Error,
+      "input-range maximum is not a Max reduction over the layer's data \
+       tensor (nor a constant)" );
+    ("ax/swapped-range", Error, "Min and Max range inputs are swapped");
+    ( "ax/wrong-tensor",
+      Error,
+      "range reduction reads a different tensor than the layer it feeds" );
+    ( "ax/const-input-range",
+      Warning,
+      "data range supplied as constants instead of Min/Max reductions \
+       (calibrated offline?)" );
+    ( "ax/filter-range-stale",
+      Warning,
+      "constant filter range does not cover the filter bank's actual \
+       weight range" );
+    ("ax/empty-range", Error, "constant range has min greater than max");
+    (* quantization soundness *)
+    ( "quant/lut-index",
+      Error,
+      "a quantized operand code can escape the 8x8 -> 16-bit LUT index \
+       space [0, 65535]" );
+    ( "quant/product-overflow",
+      Info,
+      "LUT entries decode outside the exact product range of the \
+       table's signedness (expected for overshooting designs such as \
+       DRUM; a smell for supposedly-exact ones)" );
+    ( "quant/acc-overflow",
+      Error,
+      "worst-case Eq. 4 accumulation exceeds the signed 32-bit \
+       accumulator the paper assumes" );
+    ( "quant/acc-saturate",
+      Warning,
+      "worst-case Eq. 4 accumulation can clip a saturating accumulator" );
+    ( "quant/acc-wrap",
+      Warning,
+      "worst-case Eq. 4 accumulation can wrap the configured \
+       narrow-width accumulator" );
+    ("quant/chunk-size", Error, "AxConv2D chunk size is not positive");
+    ("quant/accumulator-width", Error, "accumulator model width is invalid");
+    (* netlist analyzer *)
+    ("net/no-outputs", Error, "circuit registers no primary outputs");
+    ( "net/fanin-order",
+      Error,
+      "gate reads a node at or above its own position (not topologically \
+       ordered)" );
+    ( "net/width-mismatch",
+      Error,
+      "multiplier interface widths disagree with the declared operand or \
+       product widths" );
+    ("net/unused-input", Info, "primary input drives no gate");
+    ("net/dead-gate", Info, "combinational gate reaches no primary output");
+    ( "net/lut-mismatch",
+      Error,
+      "netlist function differs from the LUT truth table it claims to \
+       tabulate" );
+    (* artefacts *)
+    ("artefact/load", Error, "artefact failed to load (typed loader error)");
+  ]
+
+let severity_of_rule rule =
+  match List.find_opt (fun (id, _, _) -> id = rule) rules with
+  | Some (_, sev, _) -> sev
+  | None -> invalid_arg (Printf.sprintf "Diagnostic: unknown rule %s" rule)
+
+let make ~rule ?(location = Global) message =
+  { rule; severity = severity_of_rule rule; location; message }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let location_to_string = function
+  | Graph_node { id; name } -> Printf.sprintf "node %d (%s)" id name
+  | Netlist_signal { index; label } ->
+    if label = "" then Printf.sprintf "signal %d" index
+    else Printf.sprintf "signal %d (%s)" index label
+  | Artefact path -> path
+  | Global -> "-"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      String.compare (location_to_string a.location)
+        (location_to_string b.location)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let sort ds = List.stable_sort compare ds
+
+let pp ppf d =
+  Format.fprintf ppf "%-7s %-24s %-28s %s"
+    (severity_to_string d.severity)
+    d.rule
+    (location_to_string d.location)
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let pp_report ppf ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count Error)
+    (count Warning) (count Info)
+
+let to_json ds =
+  let ds = sort ds in
+  let finding d =
+    Ax_obs.Json.Obj
+      [
+        ("rule", Ax_obs.Json.String d.rule);
+        ("severity", Ax_obs.Json.String (severity_to_string d.severity));
+        ("location", Ax_obs.Json.String (location_to_string d.location));
+        ("message", Ax_obs.Json.String d.message);
+      ]
+  in
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  Ax_obs.Json.Obj
+    [
+      ("findings", Ax_obs.Json.List (List.map finding ds));
+      ("errors", Ax_obs.Json.Int (count Error));
+      ("warnings", Ax_obs.Json.Int (count Warning));
+      ("infos", Ax_obs.Json.Int (count Info));
+    ]

@@ -1,0 +1,68 @@
+(** Shared diagnostics engine of the static-analysis layer.
+
+    Every analyzer (graph verifier, quantization-soundness pass, netlist
+    checker) reports findings through one value type: a catalogued rule
+    id, a severity, a location (graph node, netlist signal, artefact or
+    whole-model) and a human message.  Reports render both as one-line
+    human text (the [tfapprox check] output) and as JSON (the [--json]
+    machine interface the CI gate consumes). *)
+
+type severity = Info | Warning | Error
+
+type location =
+  | Graph_node of { id : int; name : string }
+      (** a node of an {!Ax_nn.Graph.t} *)
+  | Netlist_signal of { index : int; label : string }
+      (** a node/signal of an {!Ax_netlist.Circuit.t}; [label] is the
+          circuit name or output label, [""] when unnamed *)
+  | Artefact of string  (** an on-disk file (model or LUT) *)
+  | Global  (** the whole unit under analysis *)
+
+type t = {
+  rule : string;  (** catalogued rule id, e.g. ["ax/wrong-tensor"] *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+exception Rejected of t list
+(** Raised by pre-flight verification ({!Check.assert_runnable}) when
+    error-severity findings exist; carries exactly those findings. *)
+
+val make : rule:string -> ?location:location -> string -> t
+(** Build one finding at the rule's catalogued severity (default
+    location {!Global}).  Raises [Invalid_argument] on a rule id absent
+    from {!rules} — the catalogue is closed. *)
+
+val severity_of_rule : string -> severity
+(** Catalogued severity; raises [Invalid_argument] on unknown ids. *)
+
+val rules : (string * severity * string) list
+(** The closed rule catalogue: id, severity, one-line description —
+    the table rendered in README's rule-catalogue section. *)
+
+val severity_to_string : severity -> string
+val location_to_string : location -> string
+
+val compare : t -> t -> int
+(** Severity-major order (errors first), then rule id, then location —
+    the stable order reports are rendered in. *)
+
+(** {1 Reports} *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+val sort : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity rule location: message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Sorted findings, one per line, then a one-line summary count. *)
+
+val to_json : t list -> Ax_obs.Json.t
+(** [{"findings": [...], "errors": n, "warnings": n, "infos": n}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Netlist analyzer: structural lint over {!Ax_netlist.Circuit.t} plus
+    a formal certification that a multiplier netlist computes exactly
+    the function tabulated in a 2{^16}-entry LUT.
+
+    The certification is BDD-based — the truth table is compiled
+    bottom-up into one BDD per product bit over the circuit's 16 input
+    variables and compared, node for node, against
+    {!Ax_netlist.Bdd.of_circuit} — so it shares no code with the
+    netlist {e simulator} that produced the LUT in the first place
+    (independent evidence, in the spirit of the repo's formal tests). *)
+
+val check_circuit : Ax_netlist.Circuit.t -> Diagnostic.t list
+(** Structural findings: no registered outputs, fan-in referencing a
+    node at or above its own position, primary inputs driving nothing
+    ([net/unused-input], Info — legitimate in truncated multipliers)
+    and combinational gates that reach no output ([net/dead-gate],
+    Info). *)
+
+val certify_lut :
+  lut:Ax_arith.Lut.t -> Ax_netlist.Multipliers.t -> Diagnostic.t list
+(** [certify_lut ~lut m] proves or refutes that [m]'s raw product bus
+    equals the raw 16-bit entries of [lut] on every operand pair.  One
+    [net/lut-mismatch] finding per differing product bit, with the
+    exact count of disagreeing operand pairs.  Emits
+    [net/width-mismatch] (and skips the proof) when [m] is not an
+    8x8 -> 16-bit multiplier. *)
+
+val check_multiplier :
+  ?lut:Ax_arith.Lut.t -> Ax_netlist.Multipliers.t -> Diagnostic.t list
+(** Circuit structure plus multiplier-interface width checks; when
+    [lut] is given, also {!certify_lut}. *)

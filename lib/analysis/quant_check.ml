@@ -1,0 +1,215 @@
+module Graph = Ax_nn.Graph
+module Filter = Ax_nn.Filter
+module Accumulator = Ax_nn.Accumulator
+module Axconv = Ax_nn.Axconv
+module Lut = Ax_arith.Lut
+module S = Ax_arith.Signedness
+module D = Diagnostic
+
+type layer = {
+  node_id : int;
+  name : string;
+  op : string;
+  signedness : S.t;
+  taps : int;
+  lut_lo : int;
+  lut_hi : int;
+  acc_lo : int;
+  acc_hi : int;
+  bits_needed : int;
+  headroom_bits : int;
+}
+
+let reference_width = 32
+
+(* --- interval arithmetic (exact in OCaml's 63-bit ints; every
+   quantity here is far below 2^62) --- *)
+
+let mul (alo, ahi) (blo, bhi) =
+  let c1 = alo * blo and c2 = alo * bhi and c3 = ahi * blo and c4 = ahi * bhi in
+  (min (min c1 c2) (min c3 c4), max (max c1 c2) (max c3 c4))
+
+let add (alo, ahi) (blo, bhi) = (alo + blo, ahi + bhi)
+let sub (alo, ahi) (blo, bhi) = (alo - bhi, ahi - blo)
+let union (alo, ahi) (blo, bhi) = (min alo blo, max ahi bhi)
+
+let bits_for (lo, hi) =
+  let fits b = lo >= -(1 lsl (b - 1)) && hi <= (1 lsl (b - 1)) - 1 in
+  let rec search b = if b >= 62 || fits b then b else search (b + 1) in
+  search 1
+
+(* The decoded product range of a table is a per-table constant; scan
+   each distinct table once (physical identity — configs share LUTs). *)
+let lut_range_cache : (Lut.t * (int * int)) list ref = ref []
+
+let lut_range lut =
+  match List.find_opt (fun (l, _) -> l == lut) !lut_range_cache with
+  | Some (_, r) -> r
+  | None ->
+    let lo = ref max_int and hi = ref min_int in
+    for ca = 0 to 255 do
+      for cb = 0 to 255 do
+        let v = Lut.lookup_code lut ca cb in
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      done
+    done;
+    let r = (!lo, !hi) in
+    if List.length !lut_range_cache > 32 then lut_range_cache := [];
+    lut_range_cache := (lut, r) :: !lut_range_cache;
+    r
+
+let exact_product_range s =
+  let vmin = S.min_value s and vmax = S.max_value s in
+  mul (vmin, vmax) (vmin, vmax)
+
+let check_lut ?(location = D.Global) lut =
+  let s = Lut.signedness lut in
+  let lut_lo, lut_hi = lut_range lut in
+  let exact_lo, exact_hi = exact_product_range s in
+  if lut_lo < exact_lo || lut_hi > exact_hi then
+    [
+      D.make ~rule:"quant/product-overflow" ~location
+        (Printf.sprintf
+           "LUT products span [%d, %d]; exact %s products span [%d, %d]"
+           lut_lo lut_hi (S.to_string s) exact_lo exact_hi);
+    ]
+  else []
+
+let analyze_layer ~node_id ~name ~op ~taps (config : Axconv.config) =
+  let diags = ref [] in
+  let emit ~rule msg =
+    diags :=
+      D.make ~rule ~location:(D.Graph_node { id = node_id; name }) msg :: !diags
+  in
+  let s = Lut.signedness config.Axconv.lut in
+  if config.Axconv.chunk_size <= 0 then
+    emit ~rule:"quant/chunk-size"
+      (Printf.sprintf "chunk size %d" config.Axconv.chunk_size);
+  (match Accumulator.validate config.Axconv.accumulator with
+  | () -> ()
+  | exception Invalid_argument msg -> emit ~rule:"quant/accumulator-width" msg);
+  (* Operand codes are clamped into the signedness's quantized range, so
+     the stitched index (ca << 8) | cb is bounded by the all-ones
+     pattern; re-derive the bound instead of assuming it. *)
+  let max_index = Lut.raw_index 0xff 0xff in
+  if max_index >= Lut.entries || Lut.raw_index 0 0 < 0 then
+    emit ~rule:"quant/lut-index"
+      (Printf.sprintf "operand codes reach index %d of a %d-entry table"
+         max_index Lut.entries);
+  let ((lut_lo, lut_hi) as lut_iv) = lut_range config.Axconv.lut in
+  let exact_lo, exact_hi = exact_product_range s in
+  if lut_lo < exact_lo || lut_hi > exact_hi then
+    emit ~rule:"quant/product-overflow"
+      (Printf.sprintf
+         "LUT products span [%d, %d]; exact %s products span [%d, %d]" lut_lo
+         lut_hi (S.to_string s) exact_lo exact_hi);
+  (* Worst-case Eq. 4 interval.  acc is a sum of exactly N table
+     values; the correction subtracts beta2*Sp and beta1*Sf and adds
+     N*beta1*beta2, with every beta a quantized-range scalar and every
+     S a sum of N quantized codes.  Partial sums before correction are
+     included so an accumulator that clips mid-reduction is caught. *)
+  let q = (S.min_value s, S.max_value s) in
+  let n_iv = (taps, taps) in
+  let acc = mul n_iv lut_iv in
+  let sums = mul n_iv q in
+  let corrected =
+    add (sub (sub acc (mul q sums)) (mul q sums)) (mul n_iv (mul q q))
+  in
+  let partial = union (0, 0) acc in
+  let ((acc_lo, acc_hi) as worst) = union partial corrected in
+  let bits_needed = bits_for worst in
+  let headroom_bits = reference_width - bits_needed in
+  let describe verb width =
+    Printf.sprintf
+      "worst-case corrected sum spans [%d, %d] (%d bits) and can %s the \
+       %d-bit accumulator"
+      acc_lo acc_hi bits_needed verb width
+  in
+  (match config.Axconv.accumulator with
+  | Accumulator.Wide ->
+    if bits_needed > reference_width then
+      emit ~rule:"quant/acc-overflow" (describe "overflow" reference_width)
+  | Accumulator.Saturating w ->
+    if bits_needed > w then emit ~rule:"quant/acc-saturate" (describe "clip" w)
+  | Accumulator.Wrapping w ->
+    if bits_needed > w then emit ~rule:"quant/acc-wrap" (describe "wrap" w)
+  | Accumulator.Lower_or { width; _ } ->
+    if bits_needed > width then
+      emit ~rule:"quant/acc-wrap" (describe "wrap" width));
+  ( List.rev !diags,
+    {
+      node_id;
+      name;
+      op;
+      signedness = s;
+      taps;
+      lut_lo;
+      lut_hi;
+      acc_lo;
+      acc_hi;
+      bits_needed;
+      headroom_bits;
+    } )
+
+let check g =
+  let diags = ref [] and layers = ref [] in
+  Array.iter
+    (fun node ->
+      let analyzed =
+        match node.Graph.op with
+        | Graph.Ax_conv2d { filter; config; _ } ->
+          Some (Filter.taps filter, config)
+        | Graph.Ax_depthwise_conv2d { filter; config; _ } ->
+          (* depthwise reduces one channel slice: N = kh*kw *)
+          Some (Filter.kh filter * Filter.kw filter, config)
+        | Graph.Input | Graph.Conv2d _ | Graph.Depthwise_conv2d _
+        | Graph.Min_reduce | Graph.Max_reduce | Graph.Const_scalar _
+        | Graph.Relu | Graph.Max_pool _ | Graph.Global_avg_pool
+        | Graph.Dense _ | Graph.Batch_norm _ | Graph.Add | Graph.Softmax
+        | Graph.Shortcut_pad _ ->
+          None
+      in
+      match analyzed with
+      | None -> ()
+      | Some (taps, config) ->
+        let ds, layer =
+          analyze_layer ~node_id:node.Graph.id ~name:node.Graph.name
+            ~op:(Graph.op_name node.Graph.op)
+            ~taps config
+        in
+        diags := List.rev_append ds !diags;
+        layers := layer :: !layers)
+    (Graph.nodes g);
+  (List.rev !diags, List.rev !layers)
+
+let pp_headroom ppf layers =
+  Format.fprintf ppf "%-24s %-18s %8s %6s %12s %6s %9s@." "layer" "op" "N"
+    "sign" "lut range" "bits" "headroom";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%-24s %-18s %8d %6s [%5d,%5d] %6d %9d@." l.name l.op
+        l.taps
+        (S.to_string l.signedness)
+        l.lut_lo l.lut_hi l.bits_needed l.headroom_bits)
+    layers
+
+let layers_to_json layers =
+  Ax_obs.Json.List
+    (List.map
+       (fun l ->
+         Ax_obs.Json.Obj
+           [
+             ("node", Ax_obs.Json.Int l.node_id);
+             ("name", Ax_obs.Json.String l.name);
+             ("op", Ax_obs.Json.String l.op);
+             ("signedness", Ax_obs.Json.String (S.to_string l.signedness));
+             ("taps", Ax_obs.Json.Int l.taps);
+             ("lut_lo", Ax_obs.Json.Int l.lut_lo);
+             ("lut_hi", Ax_obs.Json.Int l.lut_hi);
+             ("acc_lo", Ax_obs.Json.Int l.acc_lo);
+             ("acc_hi", Ax_obs.Json.Int l.acc_hi);
+             ("bits_needed", Ax_obs.Json.Int l.bits_needed);
+             ("headroom_bits", Ax_obs.Json.Int l.headroom_bits);
+           ])
+       layers)

@@ -1,0 +1,53 @@
+(** Quantization-soundness pass: interval analysis over the Eq. 4
+    arithmetic of every approximate convolution in a graph.
+
+    For each [Ax_conv2d] / [Ax_depthwise_conv2d] node the pass
+
+    - discharges the LUT-index proof obligation: quantized operand
+      codes, clamped into the signedness's 8-bit range, always stitch
+      to an index inside [[0, 65535]];
+    - scans the layer's 65 536-entry LUT once (cached per table) for
+      its decoded product range and flags entries no exact 8x8
+      multiplier of that signedness could produce;
+    - computes the worst-case signed accumulator interval of the
+      corrected sum [acc - beta2*Sp - beta1*Sf + N*beta1*beta2]
+      (including raw partial sums before correction) and from it the
+      {e headroom}: how many bits remain below the paper's 32-bit
+      accumulator.  Negative headroom is an overflow finding; narrow
+      saturating / wrapping accumulator models get their own
+      severities, since clipping there is a modelling choice rather
+      than a soundness bug. *)
+
+(** Per-layer analysis result (also the [--headroom] report rows). *)
+type layer = {
+  node_id : int;
+  name : string;
+  op : string;
+  signedness : Ax_arith.Signedness.t;
+  taps : int;  (** Eq. 4's [N]: reduction length of one output *)
+  lut_lo : int;  (** least decoded product in the layer's LUT *)
+  lut_hi : int;
+  acc_lo : int;  (** worst-case corrected-accumulator interval *)
+  acc_hi : int;
+  bits_needed : int;
+      (** two's-complement width that provably holds the interval *)
+  headroom_bits : int;  (** [reference_width - bits_needed] *)
+}
+
+val reference_width : int
+(** The paper's accumulator width: 32. *)
+
+val check : Ax_nn.Graph.t -> Diagnostic.t list * layer list
+(** Findings plus one {!layer} row per approximate convolution, in
+    graph order.  Graphs without approximate layers yield [([], [])]. *)
+
+val check_lut :
+  ?location:Diagnostic.location -> Ax_arith.Lut.t -> Diagnostic.t list
+(** Just the table-level checks (product range vs the exact multiplier
+    of the table's signedness), for LUTs outside any graph — registry
+    entries, [--lut] files. *)
+
+val pp_headroom : Format.formatter -> layer list -> unit
+(** The per-layer headroom table recorded in EXPERIMENTS.md. *)
+
+val layers_to_json : layer list -> Ax_obs.Json.t

@@ -6,10 +6,18 @@ type entry = {
   signedness : Signedness.t;
   provenance : provenance;
   multiply : int -> int -> int;
+  netlist : (unit -> Ax_netlist.Multipliers.t) option;
 }
 
 let behavioural name description signedness multiply =
-  { name; description; signedness; provenance = Behavioural; multiply }
+  {
+    name;
+    description;
+    signedness;
+    provenance = Behavioural;
+    multiply;
+    netlist = None;
+  }
 
 (* Netlist-backed entries: the gate-level circuit is built and
    exhaustively simulated on first use, then memoised inside
@@ -25,6 +33,7 @@ let netlist_unsigned name description make =
     signedness = Signedness.Unsigned;
     provenance = Netlist_derived;
     multiply = f;
+    netlist = Some make;
   }
 
 let netlist_signed name description make =
@@ -44,6 +53,7 @@ let netlist_signed name description make =
     signedness = Signedness.Signed;
     provenance = Netlist_derived;
     multiply = f;
+    netlist = Some make;
   }
 
 let truncated_u cut =

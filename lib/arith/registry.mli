@@ -17,6 +17,10 @@ type entry = {
   signedness : Signedness.t;
   provenance : provenance;
   multiply : int -> int -> int;  (** value-domain product *)
+  netlist : (unit -> Ax_netlist.Multipliers.t) option;
+      (** the gate-level source of a {!Netlist_derived} entry, exposed
+          so the static analyzer can certify the tabulated LUT against
+          the circuit itself ([None] for behavioural models) *)
 }
 
 val all : unit -> entry list

@@ -105,7 +105,9 @@ let run_sharded ?profile ?tap ~domains ~backend g input =
     Pool.publish pool (Profile.metrics p);
     out
 
-let run ?profile ?domains ?tap ~backend g input =
+let run ?(verify = true) ?profile ?domains ?tap ~backend g input =
+  if verify then
+    Ax_analysis.Check.assert_runnable ~input:(Tensor.shape input) g;
   match domains with
   | Some d -> run_sharded ?profile ?tap ~domains:d ~backend g input
   | None -> (
@@ -130,12 +132,13 @@ let run ?profile ?domains ?tap ~backend g input =
           (float_of_int images /. elapsed);
       out)
 
-let predictions ?profile ?domains ?tap g ~backend input =
-  Layers.argmax_channels (run ?profile ?domains ?tap ~backend g input)
+let predictions ?verify ?profile ?domains ?tap g ~backend input =
+  Layers.argmax_channels (run ?verify ?profile ?domains ?tap ~backend g input)
 
-let accuracy ?profile ?domains ?tap g ~backend dataset =
+let accuracy ?verify ?profile ?domains ?tap g ~backend dataset =
   let batch () =
-    predictions ?profile ?domains ?tap g ~backend dataset.Ax_data.Cifar.images
+    predictions ?verify ?profile ?domains ?tap g ~backend
+      dataset.Ax_data.Cifar.images
   in
   let preds =
     match profile with

@@ -29,6 +29,7 @@ val backend_name : backend -> string
 (** Stable label used in span attributes and reports. *)
 
 val run :
+  ?verify:bool ->
   ?profile:Ax_nn.Profile.t ->
   ?domains:int ->
   ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
@@ -41,6 +42,14 @@ val run :
     strategy, it does not undo the transform.  With a [profile] the run
     is wrapped in an ["emulator.run"] span (backend and batch size as
     attributes) and the profile's ["images_per_sec"] gauge is set.
+
+    Unless [verify:false] (or the [TFAPPROX_NO_CHECK] environment
+    variable) opts out, the graph is first passed through the static
+    verifier ({!Ax_analysis.Check.assert_runnable}): error-severity
+    findings — miswired Fig. 1 range inputs, shape mismatches,
+    accumulator overflow — raise {!Ax_analysis.Diagnostic.Rejected}
+    before any tensor is touched.  Verification is cached per graph, so
+    repeated runs pay it once.
 
     Without [domains] the whole batch runs as one graph evaluation, as
     in the original emulator.  With [domains:d] the batch is sharded
@@ -57,12 +66,12 @@ val run :
     hook of {!Ax_resilience}.  A pure tap keeps sharded runs
     deterministic across domain counts. *)
 
-val predictions : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+val predictions : ?verify:bool -> ?profile:Ax_nn.Profile.t -> ?domains:int ->
   ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Ax_nn.Graph.t -> backend:backend -> Ax_tensor.Tensor.t -> int array
 (** Class ids from the graph's softmax output. *)
 
-val accuracy : ?profile:Ax_nn.Profile.t -> ?domains:int ->
+val accuracy : ?verify:bool -> ?profile:Ax_nn.Profile.t -> ?domains:int ->
   ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
 (** Top-1 accuracy against dataset labels, in [0, 1].  [domains] and

@@ -75,13 +75,18 @@ let builder () = { rev_nodes = []; count = 0 }
 
 let add b ~name op inputs =
   if List.length inputs <> arity op then
-    invalid_arg
-      (Printf.sprintf "Graph.add: %s takes %d inputs, %d given" (op_name op)
-         (arity op) (List.length inputs));
+    Nn_error.(error
+      (Arity_mismatch
+         {
+           op = op_name op;
+           node = name;
+           expected = arity op;
+           got = List.length inputs;
+         }));
   List.iter
     (fun i ->
       if i < 0 || i >= b.count then
-        invalid_arg (Printf.sprintf "Graph.add: unknown input node %d" i))
+        Nn_error.(error (Unknown_input { op = op_name op; node = name; input = i })))
     inputs;
   let id = b.count in
   b.rev_nodes <- { id; name; op; inputs } :: b.rev_nodes;
@@ -90,8 +95,10 @@ let add b ~name op inputs =
 
 let finalize b ~output =
   if output < 0 || output >= b.count then
-    invalid_arg "Graph.finalize: unknown output node";
+    Nn_error.(error (Unknown_output { output; size = b.count }));
   { all = Array.of_list (List.rev b.rev_nodes); output_id = output }
+
+let of_nodes_unchecked ~output all = { all = Array.of_list all; output_id = output }
 
 let nodes t = t.all
 let output t = t.output_id
@@ -112,11 +119,9 @@ let map_ops f t =
       (fun n ->
         let op = f n in
         if arity op <> arity n.op then
-          invalid_arg
-            (Printf.sprintf
-               "Graph.map_ops: node %s rewritten from %s (arity %d) to %s \
-                (arity %d)"
-               n.name (op_name n.op) (arity n.op) (op_name op) (arity op));
+          Nn_error.(error
+            (Op_rewrite
+               { node = n.name; from_op = op_name n.op; to_op = op_name op }));
         { n with op })
       t.all
   in

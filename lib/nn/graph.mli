@@ -64,11 +64,20 @@ type builder
 val builder : unit -> builder
 
 val add : builder -> name:string -> op -> node_id list -> node_id
-(** Appends a node.  Raises [Invalid_argument] if an input id is unknown
-    (forward references are impossible by construction) or the arity is
-    wrong. *)
+(** Appends a node.  Raises {!Nn_error.Error} ([Unknown_input] /
+    [Arity_mismatch]) if an input id is unknown (forward references are
+    impossible by construction) or the arity is wrong. *)
 
 val finalize : builder -> output:node_id -> t
+(** Raises {!Nn_error.Error} ([Unknown_output]) when [output] names no
+    node. *)
+
+val of_nodes_unchecked : output:node_id -> node list -> t
+(** Assembles a graph from raw nodes with {e no} validation — ids,
+    arities and input references are taken as given.  Exists so the
+    static verifier (lib/analysis) and fuzzers can be exercised on
+    malformed graphs that the builder rightly refuses to construct.  Production code must use the builder; executing an
+    unchecked graph can raise anywhere. *)
 
 (** {1 Inspection} *)
 
@@ -86,7 +95,8 @@ val map_ops : (node -> op) -> t -> t
     [f node], keeping ids, names and wiring — the hook fault-injection
     and LUT-swapping tools use to substitute layer parameters (e.g. a
     corrupted multiplier table) without re-deriving the topology.
-    Raises [Invalid_argument] if [f] changes an op's arity. *)
+    Raises {!Nn_error.Error} ([Op_rewrite]) if [f] changes an op's
+    arity. *)
 
 val conv_layers : t -> node list
 (** All convolution nodes ([Conv2d], [Ax_conv2d] and their depthwise

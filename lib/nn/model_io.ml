@@ -379,6 +379,8 @@ let of_bytes_result data =
       match decode_payload data ~limit:(len - 4) with
       | g -> Ok g
       | exception Load_error.Error e -> Error e
+      | exception Nn_error.Error e ->
+        Error (Load_error.Malformed { what; detail = Nn_error.to_string e })
       | exception (Invalid_argument detail | Failure detail) ->
         Error (Load_error.Malformed { what; detail })
   end

@@ -1,0 +1,32 @@
+type t =
+  | Unknown_input of { op : string; node : string; input : int }
+  | Arity_mismatch of { op : string; node : string; expected : int; got : int }
+  | Unknown_output of { output : int; size : int }
+  | No_such_layer of { context : string; name : string }
+  | Not_a_conv of { context : string; name : string; op : string }
+  | Op_rewrite of { node : string; from_op : string; to_op : string }
+
+exception Error of t
+
+let to_string = function
+  | Unknown_input { op; node; input } ->
+    Printf.sprintf "%s: %s references unknown input node %d" node op input
+  | Arity_mismatch { op; node; expected; got } ->
+    Printf.sprintf "%s: %s takes %d inputs, %d given" node op expected got
+  | Unknown_output { output; size } ->
+    Printf.sprintf "output node %d does not exist (graph has %d nodes)" output
+      size
+  | No_such_layer { context; name } ->
+    Printf.sprintf "%s: no node named %s" context name
+  | Not_a_conv { context; name; op } ->
+    Printf.sprintf "%s: %s is a %s, not a convolution" context name op
+  | Op_rewrite { node; from_op; to_op } ->
+    Printf.sprintf "%s: cannot rewrite %s as %s (arity differs)" node from_op
+      to_op
+
+let error e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Ax_nn.Nn_error.Error(%s)" (to_string e))
+    | _ -> None)

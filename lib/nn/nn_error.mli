@@ -1,0 +1,30 @@
+(** Typed graph-construction errors.
+
+    The builder, the Fig. 1 transform and the serialised-model decoder
+    used to reject malformed graphs with stringly [Invalid_argument] /
+    [Failure] payloads; callers that want to react (the CLI, the
+    pre-flight verifier, the loader fuzz tests) had to pattern-match on
+    message text.  Every construction-time rejection now carries one of
+    these constructors instead. *)
+
+type t =
+  | Unknown_input of { op : string; node : string; input : int }
+      (** a node references an input id that does not exist yet *)
+  | Arity_mismatch of { op : string; node : string; expected : int; got : int }
+  | Unknown_output of { output : int; size : int }
+      (** [finalize ~output] names a node outside the graph *)
+  | No_such_layer of { context : string; name : string }
+      (** a per-layer selector names a node absent from the graph *)
+  | Not_a_conv of { context : string; name : string; op : string }
+      (** a per-layer selector names a node that is not a convolution *)
+  | Op_rewrite of { node : string; from_op : string; to_op : string }
+      (** [map_ops] attempted to change a node's arity *)
+
+exception Error of t
+
+val to_string : t -> string
+(** Human rendering, e.g.
+    ["conv1: AxConv2D takes 5 inputs, 3 given"]. *)
+
+val error : t -> 'a
+(** [error e] raises {!Error}[ e]. *)

@@ -71,11 +71,17 @@ let per_layer ~configs g =
     (fun (name, _) ->
       match Graph.find_by_name g name with
       | Some { Graph.op = Graph.Conv2d _ | Graph.Depthwise_conv2d _; _ } -> ()
-      | Some _ ->
-        invalid_arg
-          (Printf.sprintf "Transform.per_layer: %s is not a Conv2d" name)
+      | Some { Graph.op; _ } ->
+        Nn_error.(error
+          (Not_a_conv
+             {
+               context = "Transform.per_layer";
+               name;
+               op = Graph.op_name op;
+             }))
       | None ->
-        invalid_arg (Printf.sprintf "Transform.per_layer: no node named %s" name))
+        Nn_error.(error
+          (No_such_layer { context = "Transform.per_layer"; name })))
     configs;
   let config_for n =
     match n.Graph.op with

@@ -23,5 +23,5 @@ val per_layer :
   Graph.t
 (** ALWANN-style layer-wise assignment: each named convolution gets its
     own multiplier configuration; convolutions absent from the list stay
-    accurate.  Raises [Invalid_argument] if a name matches no [Conv2d]
-    node. *)
+    accurate.  Raises {!Nn_error.Error} ([No_such_layer] /
+    [Not_a_conv]) if a name matches no [Conv2d] node. *)

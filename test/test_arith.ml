@@ -372,6 +372,7 @@ let test_register_user_entry () =
       signedness = S.Unsigned;
       provenance = Registry.Behavioural;
       multiply = (fun a b -> a * b);
+      netlist = None;
     }
   in
   Registry.register entry;

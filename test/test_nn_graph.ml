@@ -7,6 +7,7 @@ module Rng = Ax_tensor.Rng
 module Filter = Ax_nn.Filter
 module Conv_spec = Ax_nn.Conv_spec
 module Graph = Ax_nn.Graph
+module Nn_error = Ax_nn.Nn_error
 module Transform = Ax_nn.Transform
 module Exec = Ax_nn.Exec
 module Layers = Ax_nn.Layers
@@ -122,11 +123,14 @@ let test_builder_validations () =
   let b = Graph.builder () in
   let i = Graph.add b ~name:"input" Graph.Input [] in
   Alcotest.check_raises "unknown input"
-    (Invalid_argument "Graph.add: unknown input node 5") (fun () ->
-      ignore (Graph.add b ~name:"r" Graph.Relu [ 5 ]));
+    (Nn_error.Error
+       (Nn_error.Unknown_input { op = "Relu"; node = "r"; input = 5 }))
+    (fun () -> ignore (Graph.add b ~name:"r" Graph.Relu [ 5 ]));
   Alcotest.check_raises "arity"
-    (Invalid_argument "Graph.add: Add takes 2 inputs, 1 given") (fun () ->
-      ignore (Graph.add b ~name:"a" Graph.Add [ i ]))
+    (Nn_error.Error
+       (Nn_error.Arity_mismatch
+          { op = "Add"; node = "a"; expected = 2; got = 1 }))
+    (fun () -> ignore (Graph.add b ~name:"a" Graph.Add [ i ]))
 
 let test_graph_inspection () =
   let g = single_conv_graph () in
@@ -239,7 +243,10 @@ let test_per_layer_transform () =
   | Graph.Ax_conv2d _ -> ()
   | _ -> Alcotest.fail "conv1 transformed");
   Alcotest.check_raises "unknown layer"
-    (Invalid_argument "Transform.per_layer: no node named nope") (fun () ->
+    (Nn_error.Error
+       (Nn_error.No_such_layer
+          { context = "Transform.per_layer"; name = "nope" }))
+    (fun () ->
       ignore (Transform.per_layer ~configs:[ ("nope", exact_config ()) ] g))
 
 (* --- executor --- *)

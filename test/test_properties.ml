@@ -207,6 +207,96 @@ let prop_model_io_roundtrip_random_graphs =
         (Ax_nn.Exec.run g' ~input)
       = 0.)
 
+(* --- Conv_spec geometry: Valid padding and dilation > 1 --- *)
+
+let eff_kernel k dilation = ((k - 1) * dilation) + 1
+
+let conv_geom =
+  QCheck.(quad (int_range 1 14) (int_range 1 4) (int_range 1 3) (int_range 1 3))
+
+let prop_valid_padding_closed_form =
+  QCheck.Test.make
+    ~name:"Conv_spec Valid: closed form, last window stays in bounds" ~count:300
+    conv_geom (fun (h, k, stride, dilation) ->
+      QCheck.assume (eff_kernel k dilation <= h);
+      let input = Shape.make ~n:1 ~h ~w:h ~c:2 in
+      let filter = Filter.create ~kh:k ~kw:k ~in_c:2 ~out_c:3 in
+      let spec = Conv_spec.make ~stride ~dilation ~padding:Conv_spec.Valid () in
+      let out = Conv_spec.output_shape spec input filter in
+      let expect = ((h - eff_kernel k dilation) / stride) + 1 in
+      Shape.(out.h) = expect
+      && Shape.(out.w) = expect
+      && Shape.(out.c) = 3
+      && Shape.(out.n) = 1
+      && ((Shape.(out.h) - 1) * stride) + eff_kernel k dilation <= h)
+
+let prop_dilation_equals_effective_kernel =
+  (* A dilated kernel covers the same receptive field as a dense kernel
+     of the effective size, so Valid-padding geometry must agree. *)
+  QCheck.Test.make
+    ~name:"Conv_spec: dilation d geometry = dense ((k-1)d+1) kernel" ~count:300
+    QCheck.(quad (int_range 1 14) (int_range 1 4) (int_range 1 3) (int_range 2 3))
+    (fun (h, k, stride, dilation) ->
+      QCheck.assume (eff_kernel k dilation <= h);
+      let input = Shape.make ~n:2 ~h ~w:h ~c:1 in
+      let dilated = Filter.create ~kh:k ~kw:k ~in_c:1 ~out_c:1 in
+      let dense =
+        Filter.create ~kh:(eff_kernel k dilation) ~kw:(eff_kernel k dilation)
+          ~in_c:1 ~out_c:1
+      in
+      let out_dilated =
+        Conv_spec.output_shape
+          (Conv_spec.make ~stride ~dilation ~padding:Conv_spec.Valid ())
+          input dilated
+      in
+      let out_dense =
+        Conv_spec.output_shape
+          (Conv_spec.make ~stride ~padding:Conv_spec.Valid ())
+          input dense
+      in
+      Shape.equal out_dilated out_dense)
+
+let prop_same_padding_ignores_kernel =
+  QCheck.Test.make
+    ~name:"Conv_spec Same: output is ceil(input/stride), any kernel/dilation"
+    ~count:300 conv_geom (fun (h, k, stride, dilation) ->
+      let input = Shape.make ~n:1 ~h ~w:h ~c:1 in
+      let filter = Filter.create ~kh:k ~kw:k ~in_c:1 ~out_c:1 in
+      let spec = Conv_spec.make ~stride ~dilation () in
+      let out = Conv_spec.output_shape spec input filter in
+      Shape.(out.h) = (h + stride - 1) / stride && Shape.(out.w) = Shape.(out.h))
+
+let prop_macs_counts_taps_per_output_element =
+  QCheck.Test.make
+    ~name:"Conv_spec.macs = output positions x taps, linear in batch"
+    ~count:300 conv_geom (fun (h, k, stride, dilation) ->
+      QCheck.assume (eff_kernel k dilation <= h);
+      let filter = Filter.create ~kh:k ~kw:k ~in_c:2 ~out_c:3 in
+      let per_image = Shape.make ~n:1 ~h ~w:h ~c:2 in
+      List.for_all
+        (fun padding ->
+          let spec = Conv_spec.make ~stride ~dilation ~padding () in
+          let out = Conv_spec.output_shape spec per_image filter in
+          let expect1 =
+            Shape.(out.h) * Shape.(out.w) * Filter.taps filter * 3
+          in
+          Conv_spec.macs spec per_image filter = expect1
+          && Conv_spec.macs spec (Shape.make ~n:4 ~h ~w:h ~c:2) filter
+             = 4 * expect1)
+        [ Conv_spec.Same; Conv_spec.Valid ])
+
+let prop_output_shape_rejects_channel_mismatch =
+  QCheck.Test.make ~name:"Conv_spec.output_shape rejects channel mismatch"
+    ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (c_in, c_filter) ->
+      QCheck.assume (c_in <> c_filter);
+      let input = Shape.make ~n:1 ~h:8 ~w:8 ~c:c_in in
+      let filter = Filter.create ~kh:3 ~kw:3 ~in_c:c_filter ~out_c:2 in
+      match Conv_spec.output_shape Conv_spec.default input filter with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+
 (* --- quantization robustness (failure injection) --- *)
 
 let prop_quantize_total_on_wild_floats =
@@ -268,6 +358,11 @@ let () =
         prop_axconv_batch_permutation_equivariant;
         prop_transform_node_arithmetic;
         prop_model_io_roundtrip_random_graphs;
+        prop_valid_padding_closed_form;
+        prop_dilation_equals_effective_kernel;
+        prop_same_padding_ignores_kernel;
+        prop_macs_counts_taps_per_output_element;
+        prop_output_shape_rejects_channel_mismatch;
         prop_quantize_total_on_wild_floats;
       ]
   in
