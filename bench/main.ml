@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- per-layer
      dune exec bench/main.exe -- device-sweep
      dune exec bench/main.exe -- pool    # sharded emulator, domains 1 vs N
+     dune exec bench/main.exe -- gemm    # hot-path throughput + alloc gate
      dune exec bench/main.exe -- trace   # Chrome trace + metrics JSON dump
      dune exec bench/main.exe -- resilience  # LUT-bit fault sensitivity
 
@@ -514,6 +515,155 @@ let run_pool () =
     (1000. *. s.Ax_pool.Pool.busy_seconds)
 
 (* ------------------------------------------------------------------ *)
+(* GEMM: hot-path throughput + allocation discipline                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Documented gate: steady-state per-chunk allocation of the AxConv2D
+   GEMM path, in heap words (Gc.allocated_bytes delta, which covers
+   both the minor heap and buffers large enough to go straight to the
+   major heap).  The scratch arena owns the mp/sp/acc buffers, so a
+   warmed-up chunk only allocates bookkeeping (a tuple, a couple of
+   closures) — 512 words is two orders of magnitude of headroom over
+   that, while any reintroduced per-chunk buffer (the smallest patch
+   matrix is tens of kilobytes) blows straight past it.  CI runs this
+   section in smoke mode and fails the leg if the gate trips. *)
+let alloc_words_per_chunk_threshold = 512
+
+let run_gemm () =
+  section "GEMM: ApproxGEMM hot path (ResNet-8 cpu-gemm + allocation gate)";
+  let images = max images_measured 4 in
+  let graph = Resnet.build ~depth:8 () in
+  let data = (Cifar.generate ~n:images ()).Cifar.images in
+  (* Throughput: un-sharded run; [domains] is the row-level split inside
+     the GEMM (config.domains), the axis the tiled kernel parallelizes. *)
+  let time_run ~domains =
+    let approx =
+      Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains
+        graph
+    in
+    let backend = Tfapprox.Emulator.Cpu_gemm in
+    ignore (Tfapprox.Emulator.run ~backend approx data);
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let o = Tfapprox.Emulator.run ~backend approx data in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some o
+    done;
+    (!best, Option.get !out)
+  in
+  let t1, out1 = time_run ~domains:1 in
+  let t4, out4 = time_run ~domains:4 in
+  let identical = Tensor.max_abs_diff out1 out4 = 0. in
+  Format.printf "%-8s %12s %12s %10s@." "domains" "best time" "images/s"
+    "bitwise";
+  List.iter
+    (fun (d, t) ->
+      Format.printf "%-8d %10.1f ms %12.2f %10s@." d (1000. *. t)
+        (float_of_int images /. t)
+        (if identical then "ok" else "DIFFERS"))
+    [ (1, t1); (4, t4) ];
+  (* Micro: one small conv (16x16x8 -> 16, 3x3 Same), ns per LUT MAC. *)
+  let input, filter, input_range, filter_range = conv_inputs () in
+  let config =
+    Axconv.make_config (Registry.lut (Registry.find_exn "mul8u_trunc8"))
+  in
+  let conv () =
+    Axconv.conv ~config ~input ~input_range ~filter ~filter_range
+      ~spec:Conv_spec.default ()
+  in
+  ignore (conv ());
+  let micro_best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    ignore (conv ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !micro_best then micro_best := dt
+  done;
+  let micro_macs = 16 * 16 * 16 * 72 in
+  let ns_per_mac = !micro_best *. 1e9 /. float_of_int micro_macs in
+  Format.printf "@.micro: %.3f ms/conv, %.2f ns/MAC (%d LUT MACs)@."
+    (1000. *. !micro_best) ns_per_mac micro_macs;
+  (* Allocation gate: the same conv over 12 images at chunk_size:1 (12
+     chunks) vs over 1 image (1 chunk).  The per-conv costs (filter
+     quantization, output tensor, dequant constants) cancel in the
+     subtraction, leaving 11 steady-state chunks' worth of allocation. *)
+  let big = Tensor.create (Shape.make ~n:12 ~h:16 ~w:16 ~c:8) in
+  Tensor.fill_uniform ~lo:(-1.) ~hi:1. (Rng.create 5) big;
+  let small = Tensor.slice_batch big ~start:0 ~count:1 in
+  let chunky =
+    Axconv.make_config ~chunk_size:1
+      (Registry.lut (Registry.find_exn "mul8u_trunc8"))
+  in
+  let conv_alloc input =
+    let range = Ax_quant.Range.of_tensor input in
+    ignore
+      (Axconv.conv ~config:chunky ~input ~input_range:range ~filter
+         ~filter_range ~spec:Conv_spec.default ());
+    (* [Gc.allocated_bytes] only advances at minor collections, so flush
+       before each read or the delta is quantized to whole minor heaps. *)
+    Gc.minor ();
+    let before = Gc.allocated_bytes () in
+    ignore
+      (Axconv.conv ~config:chunky ~input ~input_range:range ~filter
+         ~filter_range ~spec:Conv_spec.default ());
+    Gc.minor ();
+    Gc.allocated_bytes () -. before
+  in
+  let a1 = conv_alloc small in
+  let a12 = conv_alloc big in
+  let word = float_of_int (Sys.word_size / 8) in
+  let per_chunk_words = (a12 -. a1) /. 11. /. word in
+  let gate_ok = per_chunk_words <= float_of_int alloc_words_per_chunk_threshold in
+  Format.printf
+    "alloc: %.0f words/chunk steady-state (threshold %d): %s@."
+    per_chunk_words alloc_words_per_chunk_threshold
+    (if gate_ok then "ok" else "FAIL");
+  let open Ax_obs.Json in
+  let row d t =
+    Obj
+      [
+        ("domains", Int d);
+        ("seconds", Float t);
+        ("images_per_sec", Float (float_of_int images /. t));
+      ]
+  in
+  write_file "BENCH_gemm.json"
+    (to_string
+       (Obj
+          [
+            ("bench", String "gemm");
+            ("multiplier", String "mul8u_trunc8");
+            ("network", String "resnet-8");
+            ("images", Int images);
+            ("throughput", List [ row 1 t1; row 4 t4 ]);
+            ("bitwise_domains_1_vs_4", Bool identical);
+            ( "micro",
+              Obj
+                [
+                  ("macs", Int micro_macs);
+                  ("seconds", Float !micro_best);
+                  ("ns_per_mac", Float ns_per_mac);
+                ] );
+            ( "alloc_gate",
+              Obj
+                [
+                  ("steady_chunks", Int 11);
+                  ("per_chunk_words", Float per_chunk_words);
+                  ("threshold_words", Int alloc_words_per_chunk_threshold);
+                  ("pass", Bool gate_ok);
+                ] );
+          ]));
+  Format.printf "wrote BENCH_gemm.json@.";
+  if not gate_ok then begin
+    Format.eprintf
+      "gemm allocation gate FAILED: %.0f words/chunk > %d (see DESIGN.md)@."
+      per_chunk_words alloc_words_per_chunk_threshold;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Resilience: fault-injection sensitivity                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,6 +765,7 @@ let all_sections =
     ("per-layer", run_per_layer);
     ("device-sweep", run_device_sweep);
     ("pool", run_pool);
+    ("gemm", run_gemm);
     ("trace", run_trace);
     ("resilience", run_resilience);
   ]

@@ -360,9 +360,12 @@ let trace_cmd =
     let profile = Ax_nn.Profile.create ~trace:tracer () in
     ignore (Tfapprox.Emulator.run ~profile ?domains ~backend graph data);
     let metrics = Ax_nn.Profile.metrics profile in
-    ignore
-      (Tfapprox.Experiments.measured_lut_hit_rate ~metrics ~device ~graph
-         ~sample:data ());
+    (* Hit-rate sampling needs at least one image to stream codes from;
+       an empty batch still produces a (trivial) trace. *)
+    if images > 0 then
+      ignore
+        (Tfapprox.Experiments.measured_lut_hit_rate ~metrics ~device ~graph
+           ~sample:data ());
     dump_trace tracer trace_file;
     dump_metrics metrics metrics_file;
     if tree then Format.printf "%a@." Ax_obs.Trace.pp_tree tracer;
@@ -371,7 +374,13 @@ let trace_cmd =
     Format.printf "ResNet-%d, %d image(s), %s: %a@." depth images
       (Tfapprox.Emulator.backend_name backend)
       Ax_nn.Profile.pp_breakdown
-      (Ax_nn.Profile.breakdown profile)
+      (Ax_nn.Profile.breakdown profile);
+    (* The emulator sets this gauge on profiled runs; absent for an
+       empty batch, which returns without evaluating. *)
+    let snap = Ax_obs.Metrics.snapshot metrics in
+    match List.assoc_opt "images_per_sec" snap.Ax_obs.Metrics.gauges with
+    | Some ips -> Format.printf "throughput: %.2f images/sec@." ips
+    | None -> ()
   in
   let depth =
     Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.")

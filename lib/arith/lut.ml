@@ -41,6 +41,18 @@ let decode_product signedness raw =
 
 let lookup_code t ca cb = decode_product t.signedness t.table.{raw_index ca cb}
 
+(* Hot-path accessor pair for the tiled GEMM: the kernel reads operand
+   codes back out of quantized byte buffers, so both operands are 8-bit
+   by construction and the stitched index is provably in [0, entries) —
+   the bounds check is established once per buffer, not per lookup. *)
+let unsafe_raw t idx = Bigarray.Array1.unsafe_get t.table idx
+let table t = t.table
+
+let decode_correction t =
+  match t.signedness with
+  | Signedness.Unsigned -> 0
+  | Signedness.Signed -> 65536
+
 let lookup_value t a b =
   lookup_code t
     (Signedness.code_of_value t.signedness a)

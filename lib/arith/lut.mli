@@ -32,6 +32,29 @@ val lookup_code : t -> int -> int -> int
     emulator; bounds are the caller's responsibility (values are masked
     to 8 bits, never raising). *)
 
+val unsafe_raw : t -> int -> int
+(** [unsafe_raw t idx] reads the raw (undecoded) 16-bit entry at the
+    stitched index [idx] {e without} a bounds check.  Contract: the
+    caller establishes [0 <= idx < entries] once for the whole buffer
+    it draws indices from — operand codes stored as bytes are 8-bit by
+    construction, so [(ca lsl 8) lor cb] always qualifies.  Decode the
+    result branch-free as
+    [raw - ((raw lsr 15) * decode_correction t)], which equals
+    {!lookup_code} bit for bit. *)
+
+val decode_correction : t -> int
+(** [65536] for a signed table, [0] for an unsigned one: the constant
+    subtracted from a raw entry with bit 15 set to recover the two's
+    complement product value (see {!unsafe_raw}). *)
+
+val table :
+  t -> (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The raw 65536-entry table itself, for kernels that hoist it out of
+    their inner loop — without cross-module inlining even {!unsafe_raw}
+    costs a call per lookup.  The array aliases the LUT's storage:
+    reading it is {!unsafe_raw} without the accessor, and writing it is
+    {!set_raw} without the range checks — treat it as read-only. *)
+
 val lookup_value : t -> int -> int -> int
 (** [lookup_value t a b] converts operand values through
     {!Signedness.code_of_value} first; convenient and checked, but

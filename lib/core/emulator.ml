@@ -106,8 +106,22 @@ let run_sharded ?profile ?tap ~domains ~backend g input =
     out
 
 let run ?(verify = true) ?profile ?domains ?tap ~backend g input =
+  (* The one gate for a user-supplied domain count: [make_config]
+     already validates the per-layer count, and this keeps the sharded
+     path honest too — previously any value slid through to the pool,
+     which silently clamped it to a different parallelism than asked
+     for. *)
+  (match domains with
+  | Some d -> Pool.validate_domains ~what:"Emulator.run" d
+  | None -> ());
   if verify then
     Ax_analysis.Check.assert_runnable ~input:(Tensor.shape input) g;
+  if Shape.((Tensor.shape input).n) = 0 then
+    (* An empty batch has nothing to emulate, but it still has a
+       well-defined output shape — answer with the empty tensor instead
+       of letting per-image sharding fold over zero shards. *)
+    Tensor.create (Exec.output_shape g ~input:(Tensor.shape input))
+  else
   match domains with
   | Some d -> run_sharded ?profile ?tap ~domains:d ~backend g input
   | None -> (
@@ -154,6 +168,7 @@ let accuracy ?verify ?profile ?domains ?tap g ~backend dataset =
     | None -> batch ()
   in
   let labels = dataset.Ax_data.Cifar.labels in
+  if Array.length labels = 0 then invalid_arg "Emulator.accuracy: empty dataset";
   if Array.length preds <> Array.length labels then
     invalid_arg "Emulator.accuracy: prediction/label count mismatch";
   let correct = ref 0 in

@@ -64,7 +64,13 @@ val run :
     [tap] is forwarded to {!Ax_nn.Exec.run} on every evaluation
     (including each per-image shard) — the activation fault-injection
     hook of {!Ax_resilience}.  A pure tap keeps sharded runs
-    deterministic across domain counts. *)
+    deterministic across domain counts.
+
+    [domains] is validated up front ({!Ax_pool.Pool.validate_domains},
+    the same 1..64 gate as [Axconv.make_config]) — out-of-range counts
+    raise instead of being silently clamped by the pool.  A zero-image
+    batch returns the empty tensor of the graph's output shape
+    ({!Ax_nn.Exec.output_shape}) without evaluating anything. *)
 
 val predictions : ?verify:bool -> ?profile:Ax_nn.Profile.t -> ?domains:int ->
   ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
@@ -75,7 +81,8 @@ val accuracy : ?verify:bool -> ?profile:Ax_nn.Profile.t -> ?domains:int ->
   ?tap:(Ax_nn.Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Ax_nn.Graph.t -> backend:backend -> Ax_data.Cifar.t -> float
 (** Top-1 accuracy against dataset labels, in [0, 1].  [domains] and
-    [tap] as in {!run}. *)
+    [tap] as in {!run}.  Raises [Invalid_argument] on an empty dataset
+    (no accuracy exists over zero labels). *)
 
 val agreement : int array -> int array -> float
 (** Fraction of matching predictions — the "classification fidelity"

@@ -30,7 +30,7 @@ let class_pattern ~label ~phase ~h ~w ~c =
      *. cos ((fw *. float_of_int w) -. (0.5 *. phase))
 
 let generate ?(seed = 7) ~n () =
-  if n <= 0 then invalid_arg "Cifar.generate: n must be positive";
+  if n < 0 then invalid_arg "Cifar.generate: n must be non-negative";
   let images = Tensor.create (Shape.make ~n ~h:height ~w:width ~c:channels) in
   let labels = Array.init n (fun i -> i mod classes) in
   let rng = Rng.create seed in

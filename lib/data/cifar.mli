@@ -23,7 +23,9 @@ val image_bytes : int
 (** Size of one image in float32 bytes (for transfer-cost modelling). *)
 
 val generate : ?seed:int -> n:int -> unit -> t
-(** [n] images with labels cycling through the classes. *)
+(** [n] images with labels cycling through the classes.  [n = 0] yields
+    an empty dataset (empty-batch plumbing is exercisable end to end);
+    negative [n] raises [Invalid_argument]. *)
 
 val batches : ?seed:int -> total:int -> batch_size:int -> unit -> t list
 (** The paper's evaluation layout ([total = 10_000],

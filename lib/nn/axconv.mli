@@ -20,9 +20,12 @@ type granularity =
           from the supplied filter range — the paper's formulation *)
   | Per_channel
       (** one pair per output channel, derived from each filter's own
-          weight range (TF-style per-channel weight quantization); the
-          supplied filter range is ignored.  Eq. 4 factors out per
-          channel, so the correction algebra is unchanged. *)
+          weight range clipped to the supplied filter range (TF-style
+          per-channel weight quantization under the layer's range
+          contract); channels with unusable bounds — NaN or infinite
+          weights — fall back to the supplied range, so every
+          coefficient is finite.  Eq. 4 factors out per channel, so the
+          correction algebra is unchanged. *)
 
 type config = {
   lut : Ax_arith.Lut.t;
@@ -56,6 +59,7 @@ val make_config :
 val conv :
   ?profile:Profile.t ->
   ?pool:Ax_pool.Pool.t ->
+  ?scratch:Scratch.t ->
   config:config ->
   input:Ax_tensor.Tensor.t ->
   input_range:Ax_quant.Range.t ->
@@ -74,7 +78,15 @@ val conv :
     When [config.domains > 1] the Im2Cols and GEMM row loops run on
     [pool] (default: the grown process-wide pool,
     {!Ax_pool.Pool.ensure}); all counters and results are bit-identical
-    to the single-domain run. *)
+    to the single-domain run.
+
+    Chunk working buffers live in [scratch] (default: the calling
+    domain's arena, {!Scratch.domain_local}), and the GEMM accumulator
+    tile in the executing domain's own arena — so once the arenas have
+    grown to the layer's chunk geometry, steady-state chunks allocate
+    nothing (the CI [bench -- gemm] gate holds this at under 512 words
+    per chunk).  Rounding with the deterministic modes is likewise
+    allocation-free; [Stochastic] rounding boxes one float per tap. *)
 
 val filter_coeffs :
   granularity ->

@@ -58,7 +58,7 @@ let filter_matrix filter =
       Matrix.set m row k v);
   m
 
-let gemm ?profile ~input ~filter ?bias ~spec () =
+let gemm ?profile ?scratch ~input ~filter ?bias ~spec () =
   check_bias filter bias;
   let charge phase f =
     match profile with Some p -> Profile.time p phase f | None -> f ()
@@ -72,7 +72,9 @@ let gemm ?profile ~input ~filter ?bias ~spec () =
     charge Profile.Init (fun () ->
         (Tensor.create out_shape, filter_matrix filter))
   in
-  let patches = charge Profile.Other (fun () -> Im2col.to_matrix plan input) in
+  let patches =
+    charge Profile.Other (fun () -> Im2col.to_matrix ?scratch plan input)
+  in
   let product = charge Profile.Other (fun () -> Matrix.matmul patches fm) in
   charge Profile.Other (fun () ->
       let out_c = Filter.out_c filter in

@@ -18,9 +18,13 @@ val direct :
 
 val gemm :
   ?profile:Profile.t ->
+  ?scratch:Scratch.t ->
   input:Ax_tensor.Tensor.t ->
   filter:Filter.t ->
   ?bias:float array ->
   spec:Conv_spec.t ->
   unit ->
   Ax_tensor.Tensor.t
+(** With [scratch] the im2col patch matrix is built in the arena's float
+    buffer instead of a fresh allocation (the product matrix is still
+    allocated — it is the result of {!Ax_tensor.Matrix.matmul}). *)

@@ -16,6 +16,7 @@ type strategy =
 val run :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?scratch:Scratch.t ->
   ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
@@ -23,6 +24,11 @@ val run :
 (** Evaluate the graph on one input batch and return the output node's
     tensor.  Raises [Invalid_argument] when the output is scalar-valued
     or an op receives a value of the wrong kind.
+
+    [scratch] is the buffer arena the convolution hot paths draw their
+    chunk working buffers from (default: the calling domain's arena) —
+    reused across layers and across calls, so repeated batches run
+    allocation-free in steady state.
 
     [tap] is applied to every tensor-valued node output before its
     consumers read it; the returned tensor replaces the node's value.
@@ -35,6 +41,7 @@ val run :
 val run_value :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?scratch:Scratch.t ->
   ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
@@ -43,6 +50,7 @@ val run_value :
 val run_all :
   ?profile:Profile.t ->
   ?strategy:strategy ->
+  ?scratch:Scratch.t ->
   ?tap:(Graph.node -> Ax_tensor.Tensor.t -> Ax_tensor.Tensor.t) ->
   Graph.t ->
   input:Ax_tensor.Tensor.t ->
@@ -50,3 +58,12 @@ val run_all :
 (** Evaluate the whole graph and return every node's value, indexed by
     node id — the hook calibration and debugging tools use to observe
     intermediate activations. *)
+
+val output_shape :
+  Graph.t -> input:Ax_tensor.Shape.t -> Ax_tensor.Shape.t
+(** The shape {!run} would return for a batch of the given input shape,
+    computed without running any arithmetic — the same per-op rules the
+    executor realises.  This is how {!Ax_core.Emulator} shapes the
+    output of an empty (zero-image) batch.  Raises [Invalid_argument]
+    if the graph output is scalar-valued or an op's input is not a
+    tensor. *)

@@ -27,17 +27,21 @@ val make :
 val to_matrix :
   ?pool:Ax_pool.Pool.t ->
   ?domains:int ->
+  ?scratch:Scratch.t ->
   plan ->
   Ax_tensor.Tensor.t ->
   Ax_tensor.Matrix.t
 (** Float patch matrix; padding cells hold 0.  With a [pool] and
     [domains > 1] the rows are filled in parallel (each row touches
     disjoint output cells, so the result is bit-identical to the serial
-    fill for any split). *)
+    fill for any split).  With [scratch] the matrix data lives in the
+    arena's float buffer (oversized; valid cells are
+    [rows * patch_len]) instead of a fresh allocation. *)
 
 val to_codes :
   ?pool:Ax_pool.Pool.t ->
   ?domains:int ->
+  ?scratch:Scratch.t ->
   plan ->
   Ax_tensor.Tensor.t ->
   coeffs:Ax_quant.Quantization.coeffs ->
@@ -48,4 +52,26 @@ val to_codes :
     [rows * patch_len]) and the per-row sums of quantized {e values}
     ([Sp] in Algorithm 1).  Padding cells quantize the real value 0 —
     i.e. they hold the zero-point — so they participate in the LUT sum
-    and in [Sp] exactly as a hardware zero-padded accelerator would. *)
+    and in [Sp] exactly as a hardware zero-padded accelerator would.
+    With [scratch] the returned buffers are the arena's (oversized,
+    reused across calls); without, they are freshly allocated. *)
+
+val to_codes_range :
+  ?pool:Ax_pool.Pool.t ->
+  ?domains:int ->
+  scratch:Scratch.t ->
+  plan ->
+  Ax_tensor.Tensor.t ->
+  row_lo:int ->
+  row_hi:int ->
+  coeffs:Ax_quant.Quantization.coeffs ->
+  round_mode:Ax_quant.Round.t ->
+  signedness:Ax_arith.Signedness.t ->
+  Bytes.t * int array
+(** {!to_codes} restricted to patch rows [row_lo, row_hi) of the plan,
+    written to the arena's buffers indexed from 0 (plan row [r] lands at
+    buffer row [r - row_lo]).  This is how the chunked GEMM lowers one
+    chunk at a time against the whole-batch plan — no per-chunk batch
+    slice, no per-chunk allocation, bit-identical codes for any
+    chunking.  Raises [Invalid_argument] if the range leaves the
+    plan. *)

@@ -1,0 +1,46 @@
+(* Grow-only buffer arena for the convolution hot path.  Accessors hand
+   out a buffer at least as large as requested and remember the largest
+   demand, so the first (largest) chunk of a batch pays the allocation
+   and every later chunk — and every later batch through the same arena
+   — reuses it.  Buffers are handed out oversized: callers index by
+   their own row/tap arithmetic and must not rely on length. *)
+
+type t = {
+  mutable mp : Bytes.t;        (* quantized patch matrix codes *)
+  mutable sp : int array;      (* per-patch quantized-value sums *)
+  mutable acc : int array;     (* GEMM accumulator tile *)
+  mutable pf : Bytes.t;        (* tap-major packed filter codes *)
+  mutable fm : float array;    (* float patch matrix (Im2col.to_matrix) *)
+}
+
+let create () =
+  { mp = Bytes.empty; sp = [||]; acc = [||]; pf = Bytes.empty; fm = [||] }
+
+let mp t n =
+  if Bytes.length t.mp < n then t.mp <- Bytes.create n;
+  t.mp
+
+let sp t n =
+  if Array.length t.sp < n then t.sp <- Array.make n 0;
+  t.sp
+
+let acc t n =
+  if Array.length t.acc < n then t.acc <- Array.make n 0;
+  t.acc
+
+let pf t n =
+  if Bytes.length t.pf < n then t.pf <- Bytes.create n;
+  t.pf
+
+let fm t n =
+  if Array.length t.fm < n then t.fm <- Array.make n 0.;
+  t.fm
+
+(* One arena per domain: pool workers and the coordinator each get
+   their own, so a parallel GEMM needs no per-worker threading of
+   scratch state and two domains never share a buffer.  Within a
+   domain execution is sequential and each buffer's lifetime is a
+   single phase of a single conv call, so distinct fields never
+   overlap in use. *)
+let key = Domain.DLS.new_key create
+let domain_local () = Domain.DLS.get key

@@ -1,0 +1,39 @@
+(** Reusable buffer arena for the AxConv2D hot path.
+
+    Algorithm 1 processes a batch chunk by chunk; without reuse every
+    chunk of every layer re-allocates its patch matrix [mp], patch-sum
+    vector [sp] and accumulator tile.  An arena owns those buffers
+    grow-only: the largest chunk seen sizes them once and steady-state
+    chunks allocate nothing (the CI `bench -- gemm` gate enforces
+    this).
+
+    Buffers are returned {e oversized} — at least the requested length,
+    often longer.  Callers must index by their own geometry and never
+    use [Bytes.length]/[Array.length] of a scratch buffer.  Contents
+    are unspecified on acquisition except [acc]/[sp], which callers
+    overwrite or zero themselves. *)
+
+type t
+
+val create : unit -> t
+(** A fresh arena with empty buffers. *)
+
+val mp : t -> int -> Bytes.t
+(** Patch-matrix code buffer of at least the given length. *)
+
+val sp : t -> int -> int array
+(** Patch-sum buffer of at least the given length. *)
+
+val acc : t -> int -> int array
+(** Accumulator-tile buffer of at least the given length. *)
+
+val pf : t -> int -> Bytes.t
+(** Tap-major packed filter-code buffer of at least the given length. *)
+
+val fm : t -> int -> float array
+(** Float patch-matrix buffer of at least the given length. *)
+
+val domain_local : unit -> t
+(** The calling domain's own arena ([Domain.DLS]-backed).  This is what
+    the executor and the GEMM workers default to, so multi-domain runs
+    stay allocation-free without threading arenas across the pool. *)

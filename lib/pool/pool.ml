@@ -82,6 +82,16 @@ let env_var = "TFAPPROX_DOMAINS"
 
 let clamp_domains d = max 1 (min max_domains_limit d)
 
+(* The one domains-count validator: every API that accepts a user-given
+   count ([Pool.create], [Axconv.make_config], [Emulator.run ?domains])
+   routes through here, so the accepted range cannot drift between
+   layers.  [clamp_domains] stays for internally derived counts (env
+   var, [Domain.recommended_domain_count]). *)
+let validate_domains ~what d =
+  if d < 1 || d > max_domains_limit then
+    invalid_arg
+      (Printf.sprintf "%s: domains must be in 1..%d" what max_domains_limit)
+
 let recommended () =
   match Sys.getenv_opt env_var with
   | Some s -> (
@@ -94,10 +104,7 @@ let create ?domains () =
   let domains =
     match domains with
     | Some d ->
-      if d < 1 || d > max_domains_limit then
-        invalid_arg
-          (Printf.sprintf "Pool.create: domains must be in 1..%d"
-             max_domains_limit);
+      validate_domains ~what:"Pool.create" d;
       d
     | None -> recommended ()
   in
@@ -296,10 +303,7 @@ let ensure ~domains =
         p)
 
 let set_default_size domains =
-  if domains < 1 || domains > max_domains_limit then
-    invalid_arg
-      (Printf.sprintf "Pool.set_default_size: domains must be in 1..%d"
-         max_domains_limit);
+  validate_domains ~what:"Pool.set_default_size" domains;
   with_default_lock (fun () ->
       (match !default_pool with Some p -> shutdown p | None -> ());
       default_pool := Some (create ~domains ()))

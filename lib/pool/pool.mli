@@ -91,6 +91,13 @@ val publish : t -> Ax_obs.Metrics.t -> unit
 val env_var : string
 (** ["TFAPPROX_DOMAINS"] — overrides the default pool size. *)
 
+val validate_domains : what:string -> int -> unit
+(** Raise [Invalid_argument "<what>: domains must be in 1..64"] unless
+    the count is in range.  The single validator every layer that
+    accepts a user-supplied domains count routes through
+    ({!create}, {!set_default_size}, [Axconv.make_config],
+    [Emulator.run ?domains]) so the accepted range cannot drift. *)
+
 val recommended : unit -> int
 (** [$TFAPPROX_DOMAINS] when set (clamped to 1..64), otherwise
     [Domain.recommended_domain_count ()]. *)

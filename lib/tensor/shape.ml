@@ -1,9 +1,13 @@
 type t = { n : int; h : int; w : int; c : int }
 
+(* The batch extent may be zero — an empty batch is a legal input (the
+   emulator answers it with an empty output of the right shape) — but
+   the spatial/channel extents must stay positive: a 0-height image has
+   no geometry for a convolution plan to reason about. *)
 let make ~n ~h ~w ~c =
-  if n <= 0 || h <= 0 || w <= 0 || c <= 0 then
+  if n < 0 || h <= 0 || w <= 0 || c <= 0 then
     invalid_arg
-      (Printf.sprintf "Shape.make: non-positive extent %dx%dx%dx%d" n h w c);
+      (Printf.sprintf "Shape.make: bad extent %dx%dx%dx%d" n h w c);
   { n; h; w; c }
 
 let num_elements s = s.n * s.h * s.w * s.c

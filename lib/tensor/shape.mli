@@ -5,7 +5,10 @@
 type t = { n : int; h : int; w : int; c : int }
 
 val make : n:int -> h:int -> w:int -> c:int -> t
-(** Raises [Invalid_argument] on non-positive extents. *)
+(** Raises [Invalid_argument] on bad extents: [h]/[w]/[c] must be
+    positive, [n] non-negative — a zero-image batch is a legal shape
+    (the emulator returns an empty output for it), a zero-sized image
+    is not. *)
 
 val num_elements : t -> int
 val equal : t -> t -> bool

@@ -73,6 +73,7 @@ let fold f init t =
   !acc
 
 let min_max t =
+  if num_elements t = 0 then invalid_arg "Tensor.min_max: empty tensor";
   let mn = ref t.data.{0} and mx = ref t.data.{0} in
   for i = 1 to num_elements t - 1 do
     let v = t.data.{i} in

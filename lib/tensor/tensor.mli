@@ -37,8 +37,9 @@ val iteri_flat : (int -> float -> unit) -> t -> unit
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 
 val min_max : t -> float * float
-(** The (min, max) pair that the Fig. 1 [Min]/[Max] graph nodes compute;
-    of a zero-element tensor cannot happen (shapes are positive). *)
+(** The (min, max) pair that the Fig. 1 [Min]/[Max] graph nodes compute.
+    Raises [Invalid_argument] on a zero-element tensor (an empty batch
+    has no range — the emulator never evaluates range nodes for one). *)
 
 val add : t -> t -> t
 (** Elementwise sum; raises [Invalid_argument] on shape mismatch. *)

@@ -20,8 +20,14 @@ let test_shape_basics () =
 
 let test_shape_rejects_nonpositive () =
   Alcotest.check_raises "zero extent"
-    (Invalid_argument "Shape.make: non-positive extent 1x0x4x5") (fun () ->
-      ignore (Shape.make ~n:1 ~h:0 ~w:4 ~c:5))
+    (Invalid_argument "Shape.make: bad extent 1x0x4x5") (fun () ->
+      ignore (Shape.make ~n:1 ~h:0 ~w:4 ~c:5));
+  Alcotest.check_raises "negative batch"
+    (Invalid_argument "Shape.make: bad extent -1x2x4x5") (fun () ->
+      ignore (Shape.make ~n:(-1) ~h:2 ~w:4 ~c:5));
+  (* A zero-image batch is a legal shape (empty-batch plumbing). *)
+  check_int "empty batch" 0
+    (Shape.num_elements (Shape.make ~n:0 ~h:2 ~w:4 ~c:5))
 
 let test_shape_offset_layout () =
   (* NHWC: channels fastest-varying. *)
