@@ -14,7 +14,8 @@
      dune exec bench/main.exe -- per-layer
      dune exec bench/main.exe -- device-sweep
      dune exec bench/main.exe -- pool    # sharded emulator, domains 1 vs N
-     dune exec bench/main.exe -- gemm    # hot-path throughput + alloc gate
+     dune exec bench/main.exe -- gemm    # hot-path throughput + alloc/obs gates
+     dune exec bench/main.exe -- history # bench trajectory + regression gate
      dune exec bench/main.exe -- trace   # Chrome trace + metrics JSON dump
      dune exec bench/main.exe -- resilience  # LUT-bit fault sensitivity
 
@@ -512,7 +513,68 @@ let run_pool () =
     (Ax_pool.Pool.default_size ())
     s.Ax_pool.Pool.parallel_calls s.Ax_pool.Pool.inline_calls
     s.Ax_pool.Pool.tasks
-    (1000. *. s.Ax_pool.Pool.busy_seconds)
+    (1000. *. s.Ax_pool.Pool.busy_seconds);
+  (* Where does the d4 regression live?  One instrumented domains:4 run
+     with per-domain span attribution: busy/idle fraction per slot,
+     the imbalance gauge, per-image latency quantiles, and a Chrome
+     trace with one tid row per domain. *)
+  Format.printf "@.-- instrumented domains:4 run --@.";
+  let pool = Ax_pool.Pool.ensure ~domains:4 in
+  let before = Ax_pool.Pool.stats pool in
+  let tracer = Ax_obs.Trace.create () in
+  let profile = Ax_nn.Profile.create ~trace:tracer () in
+  let approx =
+    Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains:4
+      graph
+  in
+  ignore
+    (Tfapprox.Emulator.run ~profile ~domains:4
+       ~backend:Tfapprox.Emulator.Cpu_gemm approx data);
+  let after = Ax_pool.Pool.stats pool in
+  let delta =
+    {
+      after with
+      Ax_pool.Pool.fanout_wall_seconds =
+        after.Ax_pool.Pool.fanout_wall_seconds
+        -. before.Ax_pool.Pool.fanout_wall_seconds;
+      per_domain_busy_seconds =
+        Array.mapi
+          (fun i b -> b -. before.Ax_pool.Pool.per_domain_busy_seconds.(i))
+          after.Ax_pool.Pool.per_domain_busy_seconds;
+    }
+  in
+  let wall = delta.Ax_pool.Pool.fanout_wall_seconds in
+  Format.printf "%-8s %12s %8s %8s@." "domain" "busy" "busy%" "idle%";
+  Array.iteri
+    (fun i busy ->
+      let frac = if wall > 0. then Float.min 1. (busy /. wall) else 0. in
+      Format.printf "%-8d %10.1f ms %7.1f%% %7.1f%%@." i (1000. *. busy)
+        (100. *. frac)
+        (100. *. (1. -. frac)))
+    delta.Ax_pool.Pool.per_domain_busy_seconds;
+  Format.printf "imbalance (1 - mean/max busy): %.3f@."
+    (Ax_pool.Pool.imbalance delta);
+  let snap = Ax_obs.Metrics.snapshot (Ax_nn.Profile.metrics profile) in
+  (match Ax_obs.Metrics.find_histogram snap "emulator_image_seconds" with
+  | Some h ->
+    Format.printf
+      "per-image latency: n=%d p50=%.1f ms p90=%.1f ms p99=%.1f ms@."
+      h.Ax_obs.Metrics.count
+      (1000. *. h.Ax_obs.Metrics.p50)
+      (1000. *. h.Ax_obs.Metrics.p90)
+      (1000. *. h.Ax_obs.Metrics.p99)
+  | None -> ());
+  let trace_path = "tfapprox_trace_pool.json" in
+  write_file trace_path (Ax_obs.Trace.chrome_json_string tracer);
+  let tids =
+    List.sort_uniq compare
+      (List.map
+         (fun sp -> sp.Ax_obs.Trace.tid)
+         (Ax_obs.Trace.spans tracer))
+  in
+  Format.printf "wrote %s (%d spans on %d distinct tid rows)@." trace_path
+    (Ax_obs.Trace.span_count tracer)
+    (List.length tids)
 
 (* ------------------------------------------------------------------ *)
 (* GEMM: hot-path throughput + allocation discipline                   *)
@@ -620,6 +682,60 @@ let run_gemm () =
     "alloc: %.0f words/chunk steady-state (threshold %d): %s@."
     per_chunk_words alloc_words_per_chunk_threshold
     (if gate_ok then "ok" else "FAIL");
+  (* Observability overhead gate: the same ResNet-8 run with a full
+     profile (phases, histograms, spans) attached vs instrumentation
+     compiled in but disabled (no profile).  Best-of-N per side inside
+     each attempt, minimum overhead across attempts — both minimize the
+     influence of scheduler noise, which easily exceeds the 2% budget on
+     a busy CI host; a real per-event cost shows up in every attempt. *)
+  let overhead_threshold_pct =
+    match Sys.getenv_opt "TFAPPROX_OBS_OVERHEAD_PCT" with
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0. -> v
+      | Some _ | None -> 2.0)
+    | None -> 2.0
+  in
+  let approx_plain =
+    Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" graph
+  in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let run_disabled () =
+    ignore
+      (Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_gemm approx_plain
+         data)
+  in
+  let run_enabled () =
+    let profile =
+      Ax_nn.Profile.create ~trace:(Ax_obs.Trace.create ()) ()
+    in
+    ignore
+      (Tfapprox.Emulator.run ~profile ~backend:Tfapprox.Emulator.Cpu_gemm
+         approx_plain data)
+  in
+  run_disabled ();
+  run_enabled ();
+  let overhead_pct = ref infinity in
+  for _ = 1 to 3 do
+    let off = best_of 3 run_disabled in
+    let on = best_of 3 run_enabled in
+    let pct = Float.max 0. (100. *. ((on /. off) -. 1.)) in
+    if pct < !overhead_pct then overhead_pct := pct
+  done;
+  let obs_ok = !overhead_pct < overhead_threshold_pct in
+  Format.printf
+    "obs overhead: %.2f%% enabled-vs-disabled (threshold %.1f%%): %s@."
+    !overhead_pct overhead_threshold_pct
+    (if obs_ok then "ok" else "FAIL");
   let open Ax_obs.Json in
   let row d t =
     Obj
@@ -654,14 +770,87 @@ let run_gemm () =
                   ("threshold_words", Int alloc_words_per_chunk_threshold);
                   ("pass", Bool gate_ok);
                 ] );
+            ( "obs_overhead",
+              Obj
+                [
+                  ("percent", Float !overhead_pct);
+                  ("threshold_percent", Float overhead_threshold_pct);
+                  ("pass", Bool obs_ok);
+                ] );
           ]));
   Format.printf "wrote BENCH_gemm.json@.";
+  (* Append this run to the benchmark trajectory so [bench -- history]
+     can gate future runs against the best values ever reached. *)
+  let history_path =
+    Option.value ~default:"BENCH_history.jsonl"
+      (Sys.getenv_opt "TFAPPROX_BENCH_HISTORY")
+  in
+  Tfapprox.Perf.append_history history_path
+    {
+      Tfapprox.Perf.label = Tfapprox.Perf.utc_label ();
+      images;
+      throughput =
+        [
+          { Tfapprox.Perf.domains = 1; seconds = t1;
+            images_per_sec = float_of_int images /. t1 };
+          { Tfapprox.Perf.domains = 4; seconds = t4;
+            images_per_sec = float_of_int images /. t4 };
+        ];
+      ns_per_mac = Some ns_per_mac;
+    };
+  Format.printf "appended to %s@." history_path;
   if not gate_ok then begin
     Format.eprintf
       "gemm allocation gate FAILED: %.0f words/chunk > %d (see DESIGN.md)@."
       per_chunk_words alloc_words_per_chunk_threshold;
     exit 1
+  end;
+  if not obs_ok then begin
+    Format.eprintf
+      "observability overhead gate FAILED: %.2f%% > %.1f%% (see DESIGN.md \
+       \xc2\xa75d)@."
+      !overhead_pct overhead_threshold_pct;
+    exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* History: benchmark trajectory + regression gate                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_history () =
+  section "History: benchmark trajectory & regression gate";
+  let history_path =
+    Option.value ~default:"BENCH_history.jsonl"
+      (Sys.getenv_opt "TFAPPROX_BENCH_HISTORY")
+  in
+  let current_path = "BENCH_gemm.json" in
+  if not (Sys.file_exists current_path) then begin
+    Format.eprintf "no %s — run `bench -- gemm` first@." current_path;
+    exit 1
+  end;
+  let current = Tfapprox.Perf.of_file current_path in
+  let history = Tfapprox.Perf.load_history history_path in
+  if history = [] then
+    Format.printf "history %s is empty — recording only, nothing to gate@."
+      history_path
+  else begin
+    Format.printf "trajectory (%s, %d record(s)):@.@." history_path
+      (List.length history);
+    Format.printf "%a@." Tfapprox.Perf.pp_history history
+  end;
+  let threshold = Tfapprox.Perf.threshold_from_env () in
+  let verdicts = Tfapprox.Perf.gate ~threshold ~history ~current in
+  if verdicts <> [] then begin
+    Format.printf "current %s vs best of history (threshold %.0f%%):@.@."
+      current_path (100. *. threshold);
+    Format.printf "%a@." Tfapprox.Perf.pp_verdicts verdicts
+  end;
+  if Tfapprox.Perf.regressed verdicts then begin
+    Format.eprintf "perf regression gate FAILED (threshold %.0f%%)@."
+      (100. *. threshold);
+    exit 1
+  end
+  else Format.printf "perf regression gate: ok@."
 
 (* ------------------------------------------------------------------ *)
 (* Resilience: fault-injection sensitivity                             *)
@@ -766,6 +955,7 @@ let all_sections =
     ("device-sweep", run_device_sweep);
     ("pool", run_pool);
     ("gemm", run_gemm);
+    ("history", run_history);
     ("trace", run_trace);
     ("resilience", run_resilience);
   ]

@@ -114,15 +114,47 @@ let write_file path text =
   output_string oc text;
   close_out oc
 
-let dump_trace tracer = function
+module Log = Ax_obs.Log
+
+(* Progress/diagnostic chatter goes through the structured log (stderr,
+   honouring --quiet and $TFAPPROX_LOG); data output — tables, CSV,
+   "--json -" dumps — stays on stdout untouched, so pipes keep
+   working. *)
+let quiet_term =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ]
+        ~doc:
+          "Suppress informational chatter on stderr (raises the log \
+           threshold to warnings; data output on stdout is unaffected).  \
+           $(b,TFAPPROX_LOG) offers finer control, e.g. \
+           TFAPPROX_LOG=debug,json.")
+
+let apply_quiet quiet = if quiet then Log.set_threshold (Some Log.Warn)
+
+(* Every trace export surfaces ring-buffer eviction: a truncated Chrome
+   trace silently missing its earliest spans would mislead a profiling
+   session.  The drop count also lands in [metrics] as the
+   [trace.dropped] counter when a registry is at hand. *)
+let dump_trace ?metrics tracer = function
   | None -> ()
   | Some path ->
     write_file path (Ax_obs.Trace.chrome_json_string tracer);
-    Format.eprintf "wrote %s (%d spans%s)@." path
-      (Ax_obs.Trace.span_count tracer)
-      (match Ax_obs.Trace.dropped tracer with
-      | 0 -> ""
-      | n -> Printf.sprintf ", %d evicted" n)
+    let dropped = Ax_obs.Trace.dropped tracer in
+    (match metrics with
+    | Some m -> Ax_obs.Metrics.add m "trace.dropped" dropped
+    | None -> ());
+    if dropped > 0 then
+      Log.warn
+        ~fields:
+          [
+            ("file", Ax_obs.Json.String path);
+            ("dropped", Ax_obs.Json.Int dropped);
+          ]
+        "trace ring buffer overflowed; the exported trace is incomplete";
+    Log.info
+      ~fields:[ ("spans", Ax_obs.Json.Int (Ax_obs.Trace.span_count tracer)) ]
+      (Printf.sprintf "wrote %s" path)
 
 let dump_metrics metrics = function
   | None -> ()
@@ -134,7 +166,7 @@ let dump_metrics metrics = function
     if path = "-" then print_endline text
     else begin
       write_file path text;
-      Format.eprintf "wrote %s@." path
+      Log.info (Printf.sprintf "wrote %s" path)
     end
 
 let table1_cmd =
@@ -152,7 +184,8 @@ let table1_cmd =
       $ dataset_term $ csv_term)
 
 let fig2_cmd =
-  let run device multiplier depths images dataset csv trace_file =
+  let run device multiplier depths images dataset csv trace_file quiet =
+    apply_quiet quiet;
     let tracer =
       match trace_file with
       | Some _ -> Some (Ax_obs.Trace.create ())
@@ -174,7 +207,7 @@ let fig2_cmd =
   Cmd.v (Cmd.info "fig2" ~doc:"Regenerate the Fig. 2 time breakdown")
     Term.(
       const run $ device_term $ multiplier_term $ depths $ images_term
-      $ dataset_term $ csv_term $ trace_file_term)
+      $ dataset_term $ csv_term $ trace_file_term $ quiet_term)
 
 let sweep_cmd =
   let run depth images =
@@ -217,7 +250,8 @@ let multipliers_cmd =
     Term.(const run $ verbose)
 
 let verilog_cmd =
-  let run kind bits cut output =
+  let run kind bits cut output quiet =
+    apply_quiet quiet;
     let m =
       match kind with
       | "exact" -> Ax_netlist.Multipliers.unsigned_array ~bits
@@ -233,8 +267,10 @@ let verilog_cmd =
       let oc = open_out path in
       output_string oc text;
       close_out oc);
-    let r = Ax_netlist.Power.analyze m.Ax_netlist.Multipliers.circuit in
-    Format.eprintf "%a@." Ax_netlist.Power.pp_report r
+    if Log.enabled Log.Info then begin
+      let r = Ax_netlist.Power.analyze m.Ax_netlist.Multipliers.circuit in
+      Format.eprintf "%a@." Ax_netlist.Power.pp_report r
+    end
   in
   let kind =
     Arg.(
@@ -253,15 +289,17 @@ let verilog_cmd =
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Export a gate-level multiplier to Verilog")
-    Term.(const run $ kind $ bits $ cut $ output)
+    Term.(const run $ kind $ bits $ cut $ output $ quiet_term)
 
 let lut_cmd =
-  let run name output =
+  let run name output quiet =
+    apply_quiet quiet;
     guarded @@ fun () ->
     let lut = Tfapprox.Emulator.lut_of_multiplier name in
     Ax_arith.Lut.save output lut;
-    Format.printf "wrote %s (%d bytes payload)@." output
-      Ax_arith.Lut.size_bytes
+    Log.info
+      ~fields:[ ("bytes", Ax_obs.Json.Int Ax_arith.Lut.size_bytes) ]
+      (Printf.sprintf "wrote %s" output)
   in
   let mult_name =
     Arg.(
@@ -275,7 +313,7 @@ let lut_cmd =
       & info [ "o"; "output" ] ~doc:"Output path.")
   in
   Cmd.v (Cmd.info "lut" ~doc:"Tabulate a multiplier into a 128 kB LUT file")
-    Term.(const run $ mult_name $ output)
+    Term.(const run $ mult_name $ output $ quiet_term)
 
 let search_cmd =
   let run max_mae =
@@ -300,7 +338,8 @@ let search_cmd =
     Term.(const run $ max_mae)
 
 let model_cmd =
-  let run depth multiplier output =
+  let run depth multiplier output quiet =
+    apply_quiet quiet;
     guarded @@ fun () ->
     let graph = Ax_models.Resnet.build ~depth () in
     let graph =
@@ -309,7 +348,9 @@ let model_cmd =
       | Some m -> Tfapprox.Emulator.approximate_model ~multiplier:m graph
     in
     Ax_nn.Model_io.save output graph;
-    Format.printf "wrote %s (%d nodes)@." output (Ax_nn.Graph.size graph)
+    Log.info
+      ~fields:[ ("nodes", Ax_obs.Json.Int (Ax_nn.Graph.size graph)) ]
+      (Printf.sprintf "wrote %s" output)
   in
   let depth = Arg.(value & opt int 8 & info [ "depth" ] ~doc:"ResNet depth.") in
   let multiplier =
@@ -325,7 +366,7 @@ let model_cmd =
   Cmd.v
     (Cmd.info "save-model"
        ~doc:"Build (and optionally transform) a ResNet and serialize it")
-    Term.(const run $ depth $ multiplier $ output)
+    Term.(const run $ depth $ multiplier $ output $ quiet_term)
 
 (* [--domains N] wins; otherwise an exported TFAPPROX_DOMAINS opts in
    with its (clamped) value; otherwise the legacy un-sharded emulator. *)
@@ -338,7 +379,8 @@ let resolve_domains = function
 
 let trace_cmd =
   let run device depth multiplier images backend domains trace_file
-      metrics_file tree prometheus =
+      metrics_file tree prometheus quiet =
+    apply_quiet quiet;
     guarded @@ fun () ->
     let backend =
       match backend with
@@ -366,7 +408,7 @@ let trace_cmd =
       ignore
         (Tfapprox.Experiments.measured_lut_hit_rate ~metrics ~device ~graph
            ~sample:data ());
-    dump_trace tracer trace_file;
+    dump_trace ~metrics tracer trace_file;
     dump_metrics metrics metrics_file;
     if tree then Format.printf "%a@." Ax_obs.Trace.pp_tree tracer;
     if prometheus then
@@ -411,7 +453,7 @@ let trace_cmd =
     Term.(
       const run $ device_term $ depth $ multiplier_term $ images $ backend
       $ domains_term $ trace_file_term $ metrics_file_term $ tree
-      $ prometheus)
+      $ prometheus $ quiet_term)
 
 let analyze_cmd =
   let run depth multiplier images =
@@ -597,7 +639,8 @@ let check_cmd =
 
 let resilience_cmd =
   let run net depth multiplier lut_file repair_with target bits sites trials
-      rates images bit seed domains csv json_file =
+      rates images bit seed domains csv json_file quiet =
+    apply_quiet quiet;
     guarded @@ fun () ->
     let domains = resolve_domains domains in
     (match domains with
@@ -621,7 +664,9 @@ let resilience_cmd =
       | Some path -> (
         match Ax_resilience.Artefact.load_lut ?repair_with path with
         | Ok (lut, Ax_resilience.Artefact.Intact) ->
-          Format.eprintf "loaded %s (checksum ok)@." path;
+          Log.info
+            ~fields:[ ("file", Ax_obs.Json.String path) ]
+            (Printf.sprintf "loaded %s (checksum ok)" path);
           lut
         | Ok (lut, Ax_resilience.Artefact.Repaired _) ->
           (* the repair itself already warned on stderr *)
@@ -668,7 +713,7 @@ let resilience_cmd =
       if path = "-" then print_endline text
       else begin
         write_file path text;
-        Format.eprintf "wrote %s@." path
+        Log.info (Printf.sprintf "wrote %s" path)
       end
   in
   let net =
@@ -761,9 +806,97 @@ let resilience_cmd =
     Term.(
       const run $ net $ depth $ multiplier_term $ lut_file $ repair_with
       $ target $ bits $ sites $ trials $ rates $ images $ bit $ seed
-      $ domains_term $ csv_term $ json_file)
+      $ domains_term $ csv_term $ json_file $ quiet_term)
+
+let perf_cmd =
+  let module Perf = Tfapprox.Perf in
+  let run history_file current_file threshold json_out quiet =
+    apply_quiet quiet;
+    guarded @@ fun () ->
+    let threshold =
+      match threshold with
+      | Some t when t > 0. -> t
+      | Some _ -> failwith "--threshold: expected a positive fraction"
+      | None -> Perf.threshold_from_env ()
+    in
+    let history = Perf.load_history history_file in
+    if not (Sys.file_exists current_file) then
+      failwith
+        (Printf.sprintf
+           "%s not found — run `dune exec bench -- gemm` first" current_file);
+    let current = Perf.of_file current_file in
+    let verdicts = Perf.gate ~threshold ~history ~current in
+    (match json_out with
+    | Some path ->
+      let text =
+        Ax_obs.Json.to_string (Perf.report_to_json ~threshold verdicts)
+      in
+      if path = "-" then print_endline text
+      else begin
+        write_file path text;
+        Log.info (Printf.sprintf "wrote %s" path)
+      end
+    | None ->
+      if history <> [] then begin
+        Format.printf "benchmark history (%s):@." history_file;
+        Format.printf "%a@." Perf.pp_history history
+      end;
+      if verdicts = [] then
+        Format.printf
+          "no history baseline yet — current run accepted as-is@."
+      else begin
+        Format.printf "regression gate (threshold %.0f%%):@."
+          (100. *. threshold);
+        Format.printf "%a@." Perf.pp_verdicts verdicts
+      end);
+    if Perf.regressed verdicts then exit 1
+  in
+  let history_file =
+    let default =
+      Option.value ~default:"BENCH_history.jsonl"
+        (Sys.getenv_opt "TFAPPROX_BENCH_HISTORY")
+    in
+    Arg.(
+      value & opt string default
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "JSON-lines benchmark history to gate against (defaults to \
+             $(b,TFAPPROX_BENCH_HISTORY) or BENCH_history.jsonl).")
+  in
+  let current_file =
+    Arg.(
+      value & opt string "BENCH_gemm.json"
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:"Current benchmark snapshot to judge.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed regression fraction (e.g. 0.35); defaults to \
+             $(b,TFAPPROX_PERF_THRESHOLD) or the built-in default.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the verdicts as JSON to $(docv) (\"-\" for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Compare the current benchmark snapshot against the recorded \
+          trajectory; exits 1 when throughput or ns/MAC regressed past \
+          the threshold")
+    Term.(
+      const run $ history_file $ current_file $ threshold $ json_out
+      $ quiet_term)
 
 let () =
+  Log.init_from_env ();
   let doc = "TFApprox-style emulation of approximate DNN accelerators" in
   let info = Cmd.info "tfapprox" ~version:Tfapprox.Version.version ~doc in
   exit
@@ -772,5 +905,5 @@ let () =
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
             lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
-            check_cmd; resilience_cmd;
+            check_cmd; resilience_cmd; perf_cmd;
           ]))

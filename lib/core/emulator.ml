@@ -35,19 +35,28 @@ let backend_name = function
   | Cpu_direct -> "cpu-direct"
   | Cpu_gemm -> "cpu-gemm"
 
-(* Fold one shard's phase seconds and counters into the coordinator's
-   profile.  Phase seconds are float sums and counters integer sums, so
-   merging the shards in index order keeps every counter bit-identical
-   across pool sizes (the shards themselves never touch the coordinator
-   profile — [Ax_obs.Metrics] cells are not thread-safe). *)
+(* Fold one shard's phase seconds, GC deltas, counters and histograms
+   into the coordinator's profile.  Phase seconds are float sums,
+   counters and histogram buckets integer sums, so merging the shards in
+   index order keeps every counter bit-identical across pool sizes (the
+   shards themselves never touch the coordinator profile —
+   [Ax_obs.Metrics] cells are not thread-safe). *)
 let merge_shard_profile ~into part =
   List.iter
-    (fun ph -> Profile.add_seconds into ph (Profile.seconds part ph))
+    (fun ph ->
+      Profile.add_seconds into ph (Profile.seconds part ph);
+      let name = Profile.phase_name ph in
+      Ax_obs.Phases.add_gc (Profile.phases into) name
+        (Ax_obs.Phases.gc_delta (Profile.phases part) name))
     [ Profile.Init; Profile.Quantization; Profile.Lut; Profile.Other ];
   let snap = Ax_obs.Metrics.snapshot (Profile.metrics part) in
   List.iter
     (fun (name, v) -> if v > 0 then Ax_obs.Metrics.add (Profile.metrics into) name v)
-    snap.Ax_obs.Metrics.counters
+    snap.Ax_obs.Metrics.counters;
+  List.iter
+    (fun (name, h) ->
+      Ax_obs.Metrics.merge_histogram (Profile.metrics into) name h)
+    snap.Ax_obs.Metrics.histograms
 
 (* Batch-level sharding: one shard per image, regardless of the domain
    count, so the per-shard Min/Max range nodes see exactly the same data
@@ -59,13 +68,24 @@ let run_sharded ?profile ?tap ~domains ~backend g input =
   let strategy = strategy_of_backend backend in
   let images = Shape.((Tensor.shape input).n) in
   let pool = Pool.ensure ~domains in
+  let sink_tracer =
+    match profile with Some p -> Profile.trace p | None -> None
+  in
   let run_shard i =
     let shard = Tensor.slice_batch input ~start:i ~count:1 in
     let shard_profile =
       match profile with Some _ -> Some (Profile.create ()) | None -> None
     in
+    (* Each shard records its spans into a private fork stamped with
+       the executing domain's slot — single writer per buffer; the
+       coordinator merges the forks in shard order after the join. *)
+    (match (shard_profile, sink_tracer) with
+    | Some sp, Some sink ->
+      Profile.set_trace sp (Ax_obs.Trace.fork sink ~tid:(Pool.current_slot pool))
+    | (Some _ | None), _ -> ());
+    let start = Unix.gettimeofday () in
     let out = Exec.run ?profile:shard_profile ~strategy ?tap g ~input:shard in
-    (out, shard_profile)
+    (out, shard_profile, Unix.gettimeofday () -. start)
   in
   let batch () =
     let results =
@@ -75,34 +95,47 @@ let run_sharded ?profile ?tap ~domains ~backend g input =
     (match profile with
     | Some p ->
       Array.iter
-        (fun (_, sp) ->
+        (fun (_, sp, dur) ->
           match sp with
-          | Some sp -> merge_shard_profile ~into:p sp
+          | Some sp ->
+            merge_shard_profile ~into:p sp;
+            (match (Profile.trace sp, sink_tracer) with
+            | Some fork, Some sink -> Ax_obs.Trace.merge ~into:sink fork
+            | (Some _ | None), _ -> ());
+            Profile.observe p "emulator_image_seconds" dur
           | None -> ())
         results
     | None -> ());
-    Tensor.concat_batch (Array.to_list (Array.map fst results))
+    Tensor.concat_batch
+      (Array.to_list (Array.map (fun (out, _, _) -> out) results))
   in
   match profile with
   | None -> batch ()
   | Some p ->
+    (* Per-domain pool.task attribution for the batch fan-out; detached
+       afterwards so a later untraced run doesn't keep recording. *)
+    Pool.set_tracer pool sink_tracer;
     let start = Unix.gettimeofday () in
     let out =
-      Profile.span p ~name:"emulator.run"
-        ~attrs:
-          [
-            ("backend", backend_name backend);
-            ("images", string_of_int images);
-            ("domains", string_of_int domains);
-            ("sharding", "per-image");
-          ]
-        batch
+      Fun.protect
+        ~finally:(fun () -> Pool.set_tracer pool None)
+        (fun () ->
+          Profile.span p ~name:"emulator.run"
+            ~attrs:
+              [
+                ("backend", backend_name backend);
+                ("images", string_of_int images);
+                ("domains", string_of_int domains);
+                ("sharding", "per-image");
+              ]
+            batch)
     in
     let elapsed = Unix.gettimeofday () -. start in
     if elapsed > 0. then
       Ax_obs.Metrics.set_gauge (Profile.metrics p) "images_per_sec"
         (float_of_int images /. elapsed);
     Pool.publish pool (Profile.metrics p);
+    Profile.publish_gc p;
     out
 
 let run ?(verify = true) ?profile ?domains ?tap ~backend g input =
@@ -144,6 +177,8 @@ let run ?(verify = true) ?profile ?domains ?tap ~backend g input =
       if elapsed > 0. then
         Ax_obs.Metrics.set_gauge (Profile.metrics p) "images_per_sec"
           (float_of_int images /. elapsed);
+      Profile.observe p "emulator_run_seconds" elapsed;
+      Profile.publish_gc p;
       out)
 
 let predictions ?verify ?profile ?domains ?tap g ~backend input =

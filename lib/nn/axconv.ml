@@ -353,16 +353,20 @@ let conv ?profile ?pool ?scratch ~config ~input ~input_range ~filter
     in
     (* Only build the chunk span (and its attribute strings) when a
        profile is actually attached — the hot loop must not allocate per
-       chunk just to describe itself. *)
+       chunk just to describe itself.  The per-chunk latency histogram
+       rides the same guard. *)
     (match profile with
     | Some p ->
+      let chunk_start = Unix.gettimeofday () in
       Profile.span p ~name:"axconv.chunk"
         ~attrs:
           [
             ("chunk", string_of_int !chunk_idx);
             ("images", string_of_int count);
           ]
-        run_chunk
+        run_chunk;
+      Profile.observe p "gemm_chunk_seconds"
+        (Unix.gettimeofday () -. chunk_start)
     | None -> run_chunk ());
     start := !start + count;
     incr chunk_idx

@@ -123,11 +123,20 @@ let run_all ?profile ?(strategy = Cpu_gemm) ?scratch ?tap g ~input =
           invalid_arg
             (Printf.sprintf "Exec: arity mismatch at node %s" n.Graph.name)
       in
-      let result =
+      let timed () =
         span
           (Graph.op_name n.Graph.op)
           [ ("node", n.Graph.name); ("node_id", string_of_int n.Graph.id) ]
           eval
+      in
+      let result =
+        match profile with
+        | None -> timed ()
+        | Some p ->
+          let start = Unix.gettimeofday () in
+          let r = timed () in
+          Profile.observe p "exec_node_seconds" (Unix.gettimeofday () -. start);
+          r
       in
       (* The activation tap observes (and may rewrite) every
          tensor-valued node output before its consumers see it — the

@@ -38,7 +38,13 @@ let time t phase f = Phases.time t.phases (phase_name phase) f
 let count_lut_lookups t n = Metrics.incr t.lookups n
 let count_macs t n = Metrics.incr t.mac_counter n
 let count t name n = Metrics.add t.metrics name n
+let observe t name v = Metrics.observe_named t.metrics name v
 let seconds t phase = Phases.seconds t.phases (phase_name phase)
+let phases t = t.phases
+
+let publish_gc t =
+  Phases.publish_gc t.phases t.metrics;
+  Metrics.observe_gc t.metrics
 
 let total_seconds t =
   seconds t Init +. seconds t Quantization +. seconds t Lut +. seconds t Other

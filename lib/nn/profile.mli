@@ -39,6 +39,11 @@ val count : t -> string -> int -> unit
 (** Increment an arbitrary named counter in {!metrics} (im2col bytes,
     chunk count, ...). *)
 
+val observe : t -> string -> float -> unit
+(** Record one observation into a named latency histogram in {!metrics}
+    ([gemm_chunk_seconds], [emulator_image_seconds],
+    [exec_node_seconds]). *)
+
 val seconds : t -> phase -> float
 val total_seconds : t -> float
 val lut_lookups : t -> int
@@ -47,6 +52,15 @@ val macs : t -> int
 val metrics : t -> Ax_obs.Metrics.t
 (** The counter/gauge registry backing this profile ("lut_lookups" and
     "macs" plus whatever instrumented code added). *)
+
+val phases : t -> Ax_obs.Phases.t
+(** The phase partition backing {!time} / {!seconds} — exposed for
+    shard merging and per-phase GC readouts. *)
+
+val publish_gc : t -> unit
+(** Export the per-phase GC deltas ([Phases.publish_gc]) and the
+    process-lifetime GC readings ([Metrics.observe_gc]) into
+    {!metrics} as gauges. *)
 
 val trace : t -> Ax_obs.Trace.t option
 val set_trace : t -> Ax_obs.Trace.t -> unit

@@ -1,0 +1,100 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  level : level;
+  message : string;
+  fields : (string * Json.t) list;
+  time : float;  (* Unix seconds *)
+}
+
+type sink = event -> unit
+
+let event_to_json e =
+  Json.Obj
+    (("ts", Json.Float e.time)
+    :: ("level", Json.String (level_name e.level))
+    :: ("msg", Json.String e.message)
+    :: e.fields)
+
+let text_sink ?(channel = stderr) () e =
+  Printf.fprintf channel "[%s] %s" (level_name e.level) e.message;
+  List.iter
+    (fun (k, v) -> Printf.fprintf channel " %s=%s" k (Json.to_string v))
+    e.fields;
+  Printf.fprintf channel "\n%!"
+
+let json_sink ?(channel = stderr) () e =
+  Printf.fprintf channel "%s\n%!" (Json.to_string (event_to_json e))
+
+(* One process-wide logger: libraries and CLI share the threshold and
+   sink so TFAPPROX_LOG / --quiet govern everything uniformly.  Emission
+   is mutex-guarded — worker domains may warn concurrently. *)
+let emit_mutex = Mutex.create ()
+let threshold : level option ref = ref (Some Info)
+let current_sink : sink ref = ref (text_sink ())
+
+let set_threshold l = threshold := l
+let get_threshold () = !threshold
+let set_sink s = current_sink := s
+
+let enabled l =
+  match !threshold with
+  | None -> false
+  | Some t -> level_rank l >= level_rank t
+
+let log l ?(fields = []) message =
+  if enabled l then begin
+    let e = { level = l; message; fields; time = Unix.gettimeofday () } in
+    Mutex.lock emit_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_mutex)
+      (fun () -> !current_sink e)
+  end
+
+let debug ?fields msg = log Debug ?fields msg
+let info ?fields msg = log Info ?fields msg
+let warn ?fields msg = log Warn ?fields msg
+let error ?fields msg = log Error ?fields msg
+
+let logf l fmt = Printf.ksprintf (fun msg -> log l msg) fmt
+
+let env_var = "TFAPPROX_LOG"
+
+(* "warn", "debug,json", "off", "json" — comma-separated tokens, each
+   either a level name, "off"/"silent"/"quiet", or a format selector.
+   Unknown tokens are ignored so a typo degrades to defaults rather
+   than crashing at startup. *)
+let configure spec =
+  String.split_on_char ',' spec
+  |> List.iter (fun tok ->
+         let tok = String.lowercase_ascii (String.trim tok) in
+         match tok with
+         | "" -> ()
+         | "off" | "silent" | "quiet" | "none" -> set_threshold None
+         | "json" -> set_sink (json_sink ())
+         | "text" -> set_sink (text_sink ())
+         | tok -> (
+           match level_of_string tok with
+           | Some l -> set_threshold (Some l)
+           | None -> ()))
+
+let init_from_env () =
+  match Sys.getenv_opt env_var with
+  | Some spec -> configure spec
+  | None -> ()

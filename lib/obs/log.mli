@@ -1,0 +1,66 @@
+(** Process-wide structured, leveled event log.
+
+    The CLI's ad-hoc stderr chatter and library warnings route through
+    one logger, so verbosity is governed uniformly: [--quiet] and the
+    [TFAPPROX_LOG] environment variable ({!env_var}) change one
+    threshold and every subcommand obeys.  Events carry a level, a
+    message and JSON fields; the default sink renders
+    ["\[warn\] message k=v"] lines to stderr, and {!json_sink} switches
+    to JSON-lines for machine consumption.  Emission is mutex-guarded,
+    so worker domains may log concurrently; data output (metrics dumps,
+    [--json] reports) stays on stdout and never goes through here. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+type event = {
+  level : level;
+  message : string;
+  fields : (string * Json.t) list;
+  time : float;  (** Unix seconds *)
+}
+
+val event_to_json : event -> Json.t
+(** [{"ts":...,"level":"warn","msg":"...", <fields>...}]. *)
+
+type sink = event -> unit
+
+val text_sink : ?channel:out_channel -> unit -> sink
+(** ["\[level\] message k=v ..."] lines; default channel stderr. *)
+
+val json_sink : ?channel:out_channel -> unit -> sink
+(** One {!event_to_json} object per line; default channel stderr. *)
+
+val set_threshold : level option -> unit
+(** Minimum level that emits; [None] silences everything.  Default:
+    [Some Info]. *)
+
+val get_threshold : unit -> level option
+val set_sink : sink -> unit
+
+val enabled : level -> bool
+(** Whether an event at this level would emit — guard expensive field
+    construction with this. *)
+
+val log : level -> ?fields:(string * Json.t) list -> string -> unit
+val debug : ?fields:(string * Json.t) list -> string -> unit
+val info : ?fields:(string * Json.t) list -> string -> unit
+val warn : ?fields:(string * Json.t) list -> string -> unit
+val error : ?fields:(string * Json.t) list -> string -> unit
+
+val logf : level -> ('a, unit, string, unit) format4 -> 'a
+(** Printf-style convenience; the message is built even when disabled,
+    so keep hot paths on {!enabled} guards. *)
+
+val env_var : string
+(** ["TFAPPROX_LOG"]. *)
+
+val configure : string -> unit
+(** Apply a comma-separated spec: level names ([debug], [info], [warn],
+    [error]), [off]/[silent]/[quiet]/[none], and sink selectors [json] /
+    [text].  Unknown tokens are ignored.  E.g. ["debug,json"]. *)
+
+val init_from_env : unit -> unit
+(** {!configure} from [$TFAPPROX_LOG] when set; no-op otherwise. *)

@@ -1,12 +1,102 @@
 type counter = { mutable count : int }
 type gauge = { mutable level : float }
 
+(* ------------------------------------------------------------------ *)
+(* Log-bucketed histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One fixed bucket geometry for every histogram: [hist_buckets] log
+   buckets, [hist_per_octave] per factor of two, spanning [hist_lo] (a
+   nanosecond, when observations are seconds) up to ~1.8e4.  A shared
+   geometry is what makes {!diff} and {!merge_histogram} well-defined
+   bucket-by-bucket. *)
+let hist_lo = 1e-9
+let hist_per_octave = 4
+let hist_buckets = 176
+let hist_bucket_count = hist_buckets
+
+let bucket_index v =
+  if not (Float.is_finite v) || v <= hist_lo then 0
+  else
+    let i =
+      int_of_float (Float.log2 (v /. hist_lo) *. float_of_int hist_per_octave)
+    in
+    if i < 0 then 0 else if i >= hist_buckets then hist_buckets - 1 else i
+
+let bucket_upper_bound i =
+  if i >= hist_buckets - 1 then infinity
+  else hist_lo *. Float.pow 2. (float_of_int (i + 1) /. float_of_int hist_per_octave)
+
+let bucket_lower_bound i =
+  if i <= 0 then 0.
+  else hist_lo *. Float.pow 2. (float_of_int i /. float_of_int hist_per_octave)
+
+(* Geometric midpoint of bucket [i] — the quantile estimate for a rank
+   that lands in it, before clamping to the observed min/max. *)
+let bucket_mid i =
+  hist_lo *. Float.pow 2. ((float_of_int i +. 0.5) /. float_of_int hist_per_octave)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;  (* infinity when empty *)
+  mutable h_max : float;  (* neg_infinity when empty *)
+  h_bucket : int array;
+}
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.h_bucket.(i) <- h.h_bucket.(i) + 1
+
+let h_count h = h.h_count
+let h_sum h = h.h_sum
+
+(* Nearest-rank quantile over the buckets: the estimate is the
+   geometric midpoint of the bucket holding the rank-[ceil(q*n)]
+   smallest observation, clamped to the observed [min, max] — so it is
+   always within one bucket width (a factor of 2^(1/4)) of the
+   empirical nearest-rank quantile. *)
+let quantile_of_buckets ~count ~minv ~maxv bucket q =
+  if count = 0 then nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 0 (int_of_float (Float.ceil (q *. float_of_int count)) - 1) in
+    let i = ref 0 and cum = ref 0 in
+    (try
+       for j = 0 to hist_buckets - 1 do
+         cum := !cum + bucket.(j);
+         if !cum > rank then begin
+           i := j;
+           raise Exit
+         end
+       done;
+       i := hist_buckets - 1
+     with Exit -> ());
+    let est = bucket_mid !i in
+    let est = if Float.is_finite minv then Float.max est minv else est in
+    let est = if Float.is_finite maxv then Float.min est maxv else est in
+    est
+  end
+
+let quantile h q =
+  quantile_of_buckets ~count:h.h_count ~minv:h.h_min ~maxv:h.h_max h.h_bucket q
+
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 16; gauges = Hashtbl.create 16 }
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 8;
+  }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -35,26 +125,123 @@ let set g v = g.level <- v
 let gauge_value g = g.level
 let set_gauge t name v = set (gauge t name) v
 
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+        h_bucket = Array.make hist_buckets 0;
+      }
+    in
+    Hashtbl.add t.histograms name h;
+    h
+
+let observe_named t name v = observe (histogram t name) v
+
 let reset t =
   Hashtbl.iter (fun _ c -> c.count <- 0) t.counters;
-  Hashtbl.iter (fun _ g -> g.level <- 0.) t.gauges
+  Hashtbl.iter (fun _ g -> g.level <- 0.) t.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      Array.fill h.h_bucket 0 hist_buckets 0)
+    t.histograms
+
+(* Process-wide GC gauges — the always-on view of what PR 5's one-off
+   allocation gate measures.  Gauges, so repeated publication is
+   idempotent. *)
+let observe_gc t =
+  let s = Gc.quick_stat () in
+  set_gauge t "gc_minor_words" s.Gc.minor_words;
+  set_gauge t "gc_promoted_words" s.Gc.promoted_words;
+  set_gauge t "gc_major_words" s.Gc.major_words;
+  set_gauge t "gc_minor_collections" (float_of_int s.Gc.minor_collections);
+  set_gauge t "gc_major_collections" (float_of_int s.Gc.major_collections);
+  set_gauge t "gc_compactions" (float_of_int s.Gc.compactions);
+  set_gauge t "gc_heap_words" (float_of_int s.Gc.heap_words)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (* nan when empty *)
+  max : float;  (* nan when empty *)
+  p50 : float;  (* nan when empty *)
+  p90 : float;
+  p99 : float;
+  buckets : (int * int) list;  (* (bucket index, count), non-empty only *)
+}
 
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
 }
 
 let sorted_bindings table value =
   Hashtbl.fold (fun name cell acc -> (name, value cell) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let hist_snapshot_of_buckets ~count ~sum ~minv ~maxv buckets =
+  let bucket = Array.make hist_buckets 0 in
+  List.iter (fun (i, c) -> bucket.(i) <- c) buckets;
+  let q p = quantile_of_buckets ~count ~minv ~maxv bucket p in
+  {
+    count;
+    sum;
+    min = (if count = 0 then nan else minv);
+    max = (if count = 0 then nan else maxv);
+    p50 = q 0.50;
+    p90 = q 0.90;
+    p99 = q 0.99;
+    buckets;
+  }
+
+let snapshot_histogram h =
+  let buckets = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if h.h_bucket.(i) > 0 then buckets := (i, h.h_bucket.(i)) :: !buckets
+  done;
+  hist_snapshot_of_buckets ~count:h.h_count ~sum:h.h_sum ~minv:h.h_min
+    ~maxv:h.h_max !buckets
+
 let snapshot (t : t) =
   {
     counters = sorted_bindings t.counters (fun c -> c.count);
     gauges = sorted_bindings t.gauges (fun g -> g.level);
+    histograms = sorted_bindings t.histograms snapshot_histogram;
   }
 
 let diff ~before ~after =
+  let diff_hist name (h : hist_snapshot) =
+    match List.assoc_opt name before.histograms with
+    | None -> h
+    | Some prior ->
+      let bucket = Array.make hist_buckets 0 in
+      List.iter (fun (i, c) -> bucket.(i) <- c) h.buckets;
+      List.iter (fun (i, c) -> bucket.(i) <- max 0 (bucket.(i) - c)) prior.buckets;
+      let buckets = ref [] in
+      for i = hist_buckets - 1 downto 0 do
+        if bucket.(i) > 0 then buckets := (i, bucket.(i)) :: !buckets
+      done;
+      let count = max 0 (h.count - prior.count) in
+      (* The region's min/max are unrecoverable from two cumulative
+         snapshots; keep the [after] extremes, like gauges. *)
+      hist_snapshot_of_buckets ~count
+        ~sum:(Float.max 0. (h.sum -. prior.sum))
+        ~minv:h.min ~maxv:h.max !buckets
+  in
   {
     counters =
       List.map
@@ -67,16 +254,46 @@ let diff ~before ~after =
           (name, max 0 (v - prior)))
         after.counters;
     gauges = after.gauges;
+    histograms = List.map (fun (name, h) -> (name, diff_hist name h)) after.histograms;
   }
+
+(* Fold a histogram snapshot (a worker shard's, typically) into a live
+   registry.  Bucket counts are integer sums, so merging shards in
+   index order keeps the merged histogram bit-identical across pool
+   sizes; [sum] is a float sum in the caller's merge order. *)
+let merge_histogram t name (hs : hist_snapshot) =
+  if hs.count > 0 then begin
+    let h = histogram t name in
+    h.h_count <- h.h_count + hs.count;
+    h.h_sum <- h.h_sum +. hs.sum;
+    if hs.min < h.h_min then h.h_min <- hs.min;
+    if hs.max > h.h_max then h.h_max <- hs.max;
+    List.iter (fun (i, c) -> h.h_bucket.(i) <- h.h_bucket.(i) + c) hs.buckets
+  end
 
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
+let find_histogram s name = List.assoc_opt name s.histograms
+
+let hist_to_json (h : hist_snapshot) =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float h.min);
+      ("max", Json.Float h.max);
+      ("p50", Json.Float h.p50);
+      ("p90", Json.Float h.p90);
+      ("p99", Json.Float h.p99);
+    ]
 
 let to_json s =
   Json.Obj
     [
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
       ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.histograms) );
     ]
 
 let sanitize name =
@@ -87,21 +304,78 @@ let sanitize name =
       | _ -> '_')
     name
 
+let escape_help text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
 let to_prometheus ?(namespace = "tfapprox") s =
-  let buf = Buffer.create 256 in
-  let emit kind name line =
-    let full = sanitize (namespace ^ "_" ^ name) in
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" full kind);
-    Buffer.add_string buf (Printf.sprintf "%s %s\n" full line)
+  let buf = Buffer.create 512 in
+  (* Families sorted by raw name; sanitization can collide distinct raw
+     names (lut.hits vs lut/hits), so exposition names are picked
+     first-come over that sorted order — deterministic — with _2, _3,
+     ... suffixes for the collisions. *)
+  let families =
+    List.map (fun (n, v) -> (n, `Counter v)) s.counters
+    @ List.map (fun (n, v) -> (n, `Gauge v)) s.gauges
+    @ List.map (fun (n, h) -> (n, `Histogram h)) s.histograms
   in
-  List.iter (fun (name, v) -> emit "counter" name (string_of_int v)) s.counters;
+  let families = List.sort (fun (a, _) (b, _) -> compare a b) families in
+  let taken = Hashtbl.create 16 in
+  let resolve raw =
+    let base = sanitize (namespace ^ "_" ^ raw) in
+    let rec pick i =
+      let cand = if i = 1 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem taken cand then pick (i + 1)
+      else begin
+        Hashtbl.add taken cand ();
+        cand
+      end
+    in
+    pick 1
+  in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
   List.iter
-    (fun (name, v) -> emit "gauge" name (Printf.sprintf "%.9g" v))
-    s.gauges;
+    (fun (raw, family) ->
+      let name = resolve raw in
+      line "# HELP %s %s" name (escape_help raw);
+      (match family with
+      | `Counter v ->
+        line "# TYPE %s counter" name;
+        line "%s %d" name v
+      | `Gauge v ->
+        line "# TYPE %s gauge" name;
+        line "%s %.9g" name v
+      | `Histogram (h : hist_snapshot) ->
+        line "# TYPE %s histogram" name;
+        let cum = ref 0 in
+        List.iter
+          (fun (i, c) ->
+            cum := !cum + c;
+            (* The last bucket's upper bound is infinite — the +Inf
+               sample below already carries its cumulative count. *)
+            if i < hist_buckets - 1 then
+              line "%s_bucket{le=\"%.9g\"} %d" name (bucket_upper_bound i) !cum)
+          h.buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" name h.count;
+        line "%s_sum %.9g" name h.sum;
+        line "%s_count %d" name h.count))
+    families;
   Buffer.contents buf
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>";
   List.iter (fun (name, v) -> Format.fprintf ppf "%-24s %d@," name v) s.counters;
   List.iter (fun (name, v) -> Format.fprintf ppf "%-24s %.4g@," name v) s.gauges;
+  List.iter
+    (fun (name, (h : hist_snapshot)) ->
+      Format.fprintf ppf "%-24s n=%d p50=%.3g p90=%.3g p99=%.3g@," name h.count
+        h.p50 h.p90 h.p99)
+    s.histograms;
   Format.fprintf ppf "@]"

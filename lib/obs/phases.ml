@@ -1,44 +1,111 @@
+(* GC work attributed to a phase, with the same partition semantics as
+   seconds: inner phases charge, outer phases are refunded, so no
+   allocated word is counted twice. *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_zero =
+  {
+    minor_words = 0.;
+    promoted_words = 0.;
+    major_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let gc_add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    major_words = a.major_words +. b.major_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
+let gc_neg d =
+  {
+    minor_words = -.d.minor_words;
+    promoted_words = -.d.promoted_words;
+    major_words = -.d.major_words;
+    minor_collections = -d.minor_collections;
+    major_collections = -d.major_collections;
+  }
+
+let gc_between ~(before : Gc.stat) ~(after : Gc.stat) =
+  {
+    minor_words = after.Gc.minor_words -. before.Gc.minor_words;
+    promoted_words = after.Gc.promoted_words -. before.Gc.promoted_words;
+    major_words = after.Gc.major_words -. before.Gc.major_words;
+    minor_collections = after.Gc.minor_collections - before.Gc.minor_collections;
+    major_collections = after.Gc.major_collections - before.Gc.major_collections;
+  }
+
+type cell = { mutable secs : float; mutable gc : gc_delta }
+
 type t = {
-  table : (string, float ref) Hashtbl.t;
+  table : (string, cell) Hashtbl.t;
   mutable active : string option;  (* innermost running phase *)
 }
 
 let create () = { table = Hashtbl.create 8; active = None }
 
 let reset t =
-  Hashtbl.iter (fun _ cell -> cell := 0.) t.table;
+  Hashtbl.iter
+    (fun _ cell ->
+      cell.secs <- 0.;
+      cell.gc <- gc_zero)
+    t.table;
   t.active <- None
 
 let cell t name =
   match Hashtbl.find_opt t.table name with
   | Some c -> c
   | None ->
-    let c = ref 0. in
+    let c = { secs = 0.; gc = gc_zero } in
     Hashtbl.add t.table name c;
     c
 
 let add_seconds t name s =
   let c = cell t name in
-  c := !c +. s
+  c.secs <- c.secs +. s
+
+let add_gc t name d =
+  let c = cell t name in
+  c.gc <- gc_add c.gc d
 
 let time t name f =
   let outer = t.active in
   t.active <- Some name;
   let start = Unix.gettimeofday () in
+  let gc_start = Gc.quick_stat () in
   Fun.protect
     ~finally:(fun () ->
       let elapsed = Unix.gettimeofday () -. start in
+      let delta = gc_between ~before:gc_start ~after:(Gc.quick_stat ()) in
       add_seconds t name elapsed;
+      add_gc t name delta;
       (match outer with
-      | Some p -> add_seconds t p (-.elapsed)
+      | Some p ->
+        add_seconds t p (-.elapsed);
+        add_gc t p (gc_neg delta)
       | None -> ());
       t.active <- outer)
     f
 
 let seconds t name =
-  match Hashtbl.find_opt t.table name with Some c -> !c | None -> 0.
+  match Hashtbl.find_opt t.table name with Some c -> c.secs | None -> 0.
 
-let total t = Hashtbl.fold (fun _ c acc -> acc +. !c) t.table 0.
+let gc_delta t name =
+  match Hashtbl.find_opt t.table name with Some c -> c.gc | None -> gc_zero
+
+let total t = Hashtbl.fold (fun _ c acc -> acc +. c.secs) t.table 0.
+
+let gc_total t = Hashtbl.fold (fun _ c acc -> gc_add acc c.gc) t.table gc_zero
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
@@ -46,3 +113,32 @@ let names t =
 
 let to_json t =
   Json.Obj (List.map (fun name -> (name, Json.Float (seconds t name))) (names t))
+
+let gc_delta_to_json d =
+  Json.Obj
+    [
+      ("minor_words", Json.Float d.minor_words);
+      ("promoted_words", Json.Float d.promoted_words);
+      ("major_words", Json.Float d.major_words);
+      ("minor_collections", Json.Int d.minor_collections);
+      ("major_collections", Json.Int d.major_collections);
+    ]
+
+let gc_to_json t =
+  Json.Obj
+    (List.map (fun name -> (name, gc_delta_to_json (gc_delta t name))) (names t))
+
+let publish_gc t metrics =
+  List.iter
+    (fun name ->
+      let d = gc_delta t name in
+      let key suffix =
+        "phase_" ^ String.lowercase_ascii name ^ "_" ^ suffix
+      in
+      Metrics.set_gauge metrics (key "minor_words") d.minor_words;
+      Metrics.set_gauge metrics (key "major_words") d.major_words;
+      Metrics.set_gauge metrics (key "minor_collections")
+        (float_of_int d.minor_collections);
+      Metrics.set_gauge metrics (key "major_collections")
+        (float_of_int d.major_collections))
+    (names t)

@@ -3,8 +3,22 @@
     A generalization of the Fig. 2 accumulator: phases are identified by
     string and the timed totals always partition real elapsed time —
     a nested {!time} charges the inner phase and refunds the outer one,
-    so no second is counted twice.  {!Ax_nn.Profile} layers its
+    so no second is counted twice.  {!time} also captures
+    [Gc.quick_stat] deltas with the same partition semantics, so each
+    phase's allocation pressure (minor/major words, collection counts)
+    is attributed alongside its seconds.  {!Ax_nn.Profile} layers its
     four-phase view on top of this module. *)
+
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val gc_zero : gc_delta
+val gc_add : gc_delta -> gc_delta -> gc_delta
 
 type t
 
@@ -12,22 +26,43 @@ val create : unit -> t
 val reset : t -> unit
 
 val time : t -> string -> (unit -> 'a) -> 'a
-(** Charge a thunk's wall-clock time to a phase; nested calls charge
-    the inner phase and subtract the same amount from the outer one. *)
+(** Charge a thunk's wall-clock time and GC deltas to a phase; nested
+    calls charge the inner phase and subtract the same amounts from the
+    outer one. *)
 
 val add_seconds : t -> string -> float -> unit
 (** Charge externally measured time.  Negative values are accepted (the
     refund path uses them); consumers that render shares clamp at 0. *)
 
+val add_gc : t -> string -> gc_delta -> unit
+(** Charge an externally measured GC delta (the shard-merge path). *)
+
 val seconds : t -> string -> float
 (** [0.] for a phase never charged. *)
+
+val gc_delta : t -> string -> gc_delta
+(** {!gc_zero} for a phase never charged. *)
 
 val total : t -> float
 (** Sum over all phases (refunds included, so this tracks real elapsed
     time of the outermost [time] calls). *)
+
+val gc_total : t -> gc_delta
+(** GC deltas summed over all phases. *)
 
 val names : t -> string list
 (** Phases ever charged, sorted. *)
 
 val to_json : t -> Json.t
 (** [{"<phase>": seconds, ...}], sorted by phase name. *)
+
+val gc_delta_to_json : gc_delta -> Json.t
+
+val gc_to_json : t -> Json.t
+(** [{"<phase>": {minor_words, ...}, ...}], sorted by phase name. *)
+
+val publish_gc : t -> Metrics.t -> unit
+(** Export each phase's GC delta as gauges:
+    [phase_<name>_minor_words], [phase_<name>_major_words],
+    [phase_<name>_minor_collections], [phase_<name>_major_collections].
+    Gauges, so repeated publication is idempotent. *)

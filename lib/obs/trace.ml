@@ -4,6 +4,7 @@ type span = {
   start_us : float;
   dur_us : float;
   depth : int;
+  tid : int;
 }
 
 type t = {
@@ -13,11 +14,14 @@ type t = {
   mutable recorded : int;  (* completed spans ever, including evicted *)
   mutable depth : int;     (* currently open spans *)
   epoch : float;
+  tid : int;
+  mutable ext_dropped : int;  (* drops inherited from merged forks *)
 }
 
 let default_capacity = 65536
+let fork_capacity = 4096
 
-let create ?(capacity = default_capacity) () =
+let create_with ~capacity ~tid ~epoch =
   if capacity < 1 then invalid_arg "Trace.create: capacity";
   {
     capacity;
@@ -25,8 +29,21 @@ let create ?(capacity = default_capacity) () =
     next = 0;
     recorded = 0;
     depth = 0;
-    epoch = Unix.gettimeofday ();
+    epoch;
+    tid;
+    ext_dropped = 0;
   }
+
+let create ?(capacity = default_capacity) ?(tid = 0) () =
+  create_with ~capacity ~tid ~epoch:(Unix.gettimeofday ())
+
+(* A fork shares the parent's time origin, so merged spans line up on
+   one timeline, and stamps its own [tid] — one fork per worker slot is
+   the single-writer-per-domain discipline that keeps tracing safe
+   without locks.  Forks are deliberately small (spans, not bytes, and
+   a fan-out records few of them); drops are surfaced on merge. *)
+let fork ?(capacity = fork_capacity) t ~tid =
+  create_with ~capacity ~tid ~epoch:t.epoch
 
 let record t span =
   t.ring.(t.next) <- Some span;
@@ -45,7 +62,7 @@ let with_span t ~name ?(attrs = []) f =
       (* The float subtraction quantizes to ~0.1 us; floor the duration
          so no span exports as zero-length. *)
       let dur_us = Float.max ((stop -. start) *. 1e6) 0.001 in
-      record t { name; attrs; start_us; dur_us; depth })
+      record t { name; attrs; start_us; dur_us; depth; tid = t.tid })
     f
 
 let spans t =
@@ -57,12 +74,21 @@ let spans t =
       | None -> assert false)
 
 let span_count t = min t.recorded t.capacity
-let dropped t = max 0 (t.recorded - t.capacity)
+let dropped t = max 0 (t.recorded - t.capacity) + t.ext_dropped
+
+(* Coordinator-side, after the join: append [src]'s spans (their own
+   tids intact) and inherit its drop count.  Callers merge forks in
+   slot order, so the merged stream is deterministic for a fixed
+   split. *)
+let merge ~into src =
+  List.iter (fun s -> record into s) (spans src);
+  into.ext_dropped <- into.ext_dropped + dropped src
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.recorded <- 0
+  t.recorded <- 0;
+  t.ext_dropped <- 0
 
 let to_chrome_json t =
   let event s =
@@ -74,7 +100,7 @@ let to_chrome_json t =
         ("ts", Json.Float s.start_us);
         ("dur", Json.Float s.dur_us);
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int s.tid);
         ( "args",
           Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs) );
       ]
@@ -101,6 +127,7 @@ let pp_tree ppf t =
     (fun (s : span) ->
       Format.fprintf ppf "%s%s %.3f ms" (String.make (2 * s.depth) ' ')
         s.name (s.dur_us /. 1e3);
+      if s.tid <> 0 then Format.fprintf ppf " [d%d]" s.tid;
       List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) s.attrs;
       Format.fprintf ppf "@,")
     by_start;

@@ -5,7 +5,15 @@
     in a fixed-capacity ring buffer — a long emulation run keeps the
     most recent spans instead of growing without bound — and export as
     Chrome trace JSON (loadable in [chrome://tracing] or Perfetto) or a
-    plain-text tree. *)
+    plain-text tree.
+
+    {b Per-domain attribution.}  A tracer is single-writer: exactly one
+    domain records into it.  To trace a fan-out, the coordinator makes
+    one {!fork} per worker slot (sharing the parent's time origin,
+    stamping the slot id as [tid]), each worker writes only its own
+    fork, and after the join the coordinator {!merge}s the forks back in
+    slot order.  Chrome export places each domain's spans on its own
+    [tid] row. *)
 
 type span = {
   name : string;
@@ -13,13 +21,20 @@ type span = {
   start_us : float;  (** microseconds since the tracer was created *)
   dur_us : float;    (** never 0: floored at 1 ns to survive clock quantization *)
   depth : int;       (** nesting level at the time the span was open *)
+  tid : int;         (** recording domain's slot id (0 = coordinator) *)
 }
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Ring-buffer capacity in spans, default 65536.  Raises
-    [Invalid_argument] when [capacity < 1]. *)
+val create : ?capacity:int -> ?tid:int -> unit -> t
+(** Ring-buffer capacity in spans, default 65536; [tid] stamps every
+    recorded span (default 0).  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val fork : ?capacity:int -> t -> tid:int -> t
+(** A small tracer (default capacity 4096 spans) sharing [t]'s time
+    origin, for one worker slot to record into during a fan-out.  The
+    fork is independent — merging it back is explicit via {!merge}. *)
 
 val with_span :
   t -> name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
@@ -30,19 +45,29 @@ val spans : t -> span list
 (** Retained spans in completion order (children before their parent). *)
 
 val span_count : t -> int
+
 val dropped : t -> int
-(** Completed spans evicted by the ring buffer. *)
+(** Completed spans evicted by the ring buffer, plus drops inherited
+    from {!merge}d forks — if this is non-zero, an exported trace is
+    incomplete and should say so. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] appends [src]'s retained spans (their [tid]s
+    intact) and adds [src]'s {!dropped} count to [into]'s.  Called
+    coordinator-side after the join, in slot order, so the merged
+    stream is deterministic for a fixed split. *)
 
 val clear : t -> unit
-(** Drop retained spans and reset counters; the time origin and open
-    spans are untouched. *)
+(** Drop retained spans and reset counters (including inherited drops);
+    the time origin and open spans are untouched. *)
 
 val to_chrome_json : t -> Json.t
 (** [{"traceEvents":[...],"displayTimeUnit":"ms"}] with one complete
-    ("ph":"X") event per span, attributes in ["args"]. *)
+    ("ph":"X") event per span, attributes in ["args"], the recording
+    domain's slot as ["tid"]. *)
 
 val chrome_json_string : t -> string
 
 val pp_tree : Format.formatter -> t -> unit
-(** Indented start-time-ordered rendering with durations and
-    attributes. *)
+(** Indented start-time-ordered rendering with durations, non-zero
+    tids, and attributes. *)

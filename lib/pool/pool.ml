@@ -5,6 +5,8 @@ type stats = {
   inline_calls : int;
   tasks : int;
   busy_seconds : float;
+  fanout_wall_seconds : float;
+  per_domain_busy_seconds : float array;
 }
 
 type t = {
@@ -24,12 +26,21 @@ type t = {
   mutable shut_down : bool;
   mutable workers : unit Domain.t array;
   worker_ids : Domain.id array;
-  (* Utilization counters; [busy_ns] is the only field workers touch,
-     under [mutex]. *)
+  (* Utilization counters; [busy_s] / [per_slot_busy] are the only
+     fields workers touch, under [mutex]. *)
   mutable parallel_calls : int;
   mutable inline_calls : int;
   mutable tasks : int;
   mutable busy_s : float;
+  per_slot_busy : float array;
+  mutable fanout_wall_s : float;
+  (* Per-domain span attribution: when a sink tracer is attached, each
+     fan-out records a pool.task span per slot into that slot's private
+     fork (single writer per domain, no locks), and the coordinator
+     merges the forks back into [tracer] after the join, in slot
+     order — deterministic for a fixed split. *)
+  mutable tracer : Ax_obs.Trace.t option;
+  mutable forks : Ax_obs.Trace.t array;
 }
 
 let size t = t.size
@@ -37,6 +48,16 @@ let size t = t.size
 let is_worker t =
   let me = Domain.self () in
   Array.exists (fun id -> id = me) t.worker_ids
+
+(* Worker slot of the calling domain: worker i owns slot i + 1, any
+   other domain (the coordinator included) is slot 0. *)
+let current_slot t =
+  let me = Domain.self () in
+  let n = Array.length t.worker_ids in
+  let rec find i =
+    if i >= n then 0 else if t.worker_ids.(i) = me then i + 1 else find (i + 1)
+  in
+  find 0
 
 let record_failure t slot e bt =
   match t.failure with
@@ -69,6 +90,7 @@ let worker_body t slot () =
       let elapsed = Unix.gettimeofday () -. start in
       Mutex.lock t.mutex;
       t.busy_s <- t.busy_s +. elapsed;
+      t.per_slot_busy.(slot) <- t.per_slot_busy.(slot) +. elapsed;
       (match outcome with
       | Some (e, bt) -> record_failure t slot e bt
       | None -> ());
@@ -126,6 +148,10 @@ let create ?domains () =
       inline_calls = 0;
       tasks = 0;
       busy_s = 0.;
+      per_slot_busy = Array.make domains 0.;
+      fanout_wall_s = 0.;
+      tracer = None;
+      forks = [||];
     }
   in
   t.workers <-
@@ -146,6 +172,20 @@ let shutdown t =
     t.workers <- [||]
   end
 
+(* Attach (or detach, with [None]) a sink tracer for per-domain span
+   attribution.  Forks are created once per attach and reused across
+   fan-outs; a mid-job or on-worker call is a silent no-op — the caller
+   (a nested emulator run, say) simply doesn't get pool spans rather
+   than corrupting the in-flight fan-out's buffers. *)
+let set_tracer t tr =
+  if not (t.active || is_worker t) then begin
+    t.tracer <- tr;
+    t.forks <-
+      (match tr with
+      | None -> [||]
+      | Some sink -> Array.init t.size (fun s -> Ax_obs.Trace.fork sink ~tid:s))
+  end
+
 (* Run [task slot] once for each slot in [0 .. slots - 1]: slot 0 on the
    calling domain, the rest on workers.  Falls back to an inline loop
    when the pool cannot fan out (single worker, shut down, or called
@@ -162,6 +202,20 @@ let run_slots t ~slots task =
     t.active <- true;
     t.parallel_calls <- t.parallel_calls + 1;
     t.tasks <- t.tasks + slots;
+    (* Only the fan-out path records pool.task spans: each slot writes
+       into its own fork, so there is exactly one writer per buffer.
+       Inline (nested) calls stay unrecorded — a worker recording into a
+       shared sink would race with the other domains. *)
+    let task =
+      match t.tracer with
+      | None -> task
+      | Some _ ->
+        let forks = t.forks in
+        fun s ->
+          Ax_obs.Trace.with_span forks.(s) ~name:"pool.task"
+            ~attrs:[ ("slot", string_of_int s) ]
+            (fun () -> task s)
+    in
     Mutex.lock t.mutex;
     t.job <- Some (fun s -> if s < slots then task s);
     t.generation <- t.generation + 1;
@@ -179,6 +233,7 @@ let run_slots t ~slots task =
     let elapsed = Unix.gettimeofday () -. start in
     Mutex.lock t.mutex;
     t.busy_s <- t.busy_s +. elapsed;
+    t.per_slot_busy.(0) <- t.per_slot_busy.(0) +. elapsed;
     while t.pending > 0 do
       Condition.wait t.work_done t.mutex
     done;
@@ -186,7 +241,20 @@ let run_slots t ~slots task =
     let worker_failure = t.failure in
     t.failure <- None;
     Mutex.unlock t.mutex;
+    t.fanout_wall_s <- t.fanout_wall_s +. (Unix.gettimeofday () -. start);
     t.active <- false;
+    (* Workers are quiescent again: merge each slot's fork into the sink
+       in slot order, so the merged stream is deterministic for a fixed
+       split.  Merge even on failure — a trace of the failing fan-out is
+       exactly what a debugging session wants. *)
+    (match t.tracer with
+    | Some sink ->
+      Array.iter
+        (fun f ->
+          Ax_obs.Trace.merge ~into:sink f;
+          Ax_obs.Trace.clear f)
+        t.forks
+    | None -> ());
     (* Slot 0 is the lowest index, so the caller's own exception wins;
        otherwise the lowest failing worker slot.  Exactly one re-raise. *)
     match (own, worker_failure) with
@@ -255,7 +323,26 @@ let stats t =
     inline_calls = t.inline_calls;
     tasks = t.tasks;
     busy_seconds = t.busy_s;
+    fanout_wall_seconds = t.fanout_wall_s;
+    per_domain_busy_seconds = Array.copy t.per_slot_busy;
   }
+
+(* Busy fraction of a domain: its task seconds over the wall time the
+   pool spent inside fan-outs.  The imbalance gauge is 1 - mean/max
+   busy — 0 when every domain worked equally, approaching 1 when one
+   domain did all the work. *)
+let imbalance s =
+  let busy = s.per_domain_busy_seconds in
+  if Array.length busy = 0 then 0.
+  else begin
+    let maxv = Array.fold_left Float.max 0. busy in
+    if maxv <= 0. then 0.
+    else
+      let mean =
+        Array.fold_left ( +. ) 0. busy /. float_of_int (Array.length busy)
+      in
+      1. -. (mean /. maxv)
+  end
 
 let publish t metrics =
   let s = stats t in
@@ -265,7 +352,21 @@ let publish t metrics =
   Ax_obs.Metrics.set_gauge metrics "pool_inline_calls"
     (float_of_int s.inline_calls);
   Ax_obs.Metrics.set_gauge metrics "pool_tasks" (float_of_int s.tasks);
-  Ax_obs.Metrics.set_gauge metrics "pool_busy_seconds" s.busy_seconds
+  Ax_obs.Metrics.set_gauge metrics "pool_busy_seconds" s.busy_seconds;
+  Ax_obs.Metrics.set_gauge metrics "pool_fanout_wall_seconds"
+    s.fanout_wall_seconds;
+  Ax_obs.Metrics.set_gauge metrics "pool_imbalance" (imbalance s);
+  let wall = s.fanout_wall_seconds in
+  Array.iteri
+    (fun i busy ->
+      let frac = if wall > 0. then Float.min 1. (busy /. wall) else 0. in
+      Ax_obs.Metrics.set_gauge metrics
+        (Printf.sprintf "pool_busy_fraction_d%d" i)
+        frac;
+      Ax_obs.Metrics.set_gauge metrics
+        (Printf.sprintf "pool_idle_fraction_d%d" i)
+        (1. -. frac))
+    s.per_domain_busy_seconds
 
 (* ------------------------------------------------------------------ *)
 (* Default process-wide pool                                           *)

@@ -70,6 +70,12 @@ val map_array : t -> ?max_domains:int -> ('a -> 'b) -> 'a array -> 'b array
     whenever [f] is deterministic per element — the primitive backing
     per-image batch sharding. *)
 
+val current_slot : t -> int
+(** The calling domain's worker slot: worker [i] owns slot [i + 1]; the
+    coordinator (or any foreign domain) is slot 0.  Stable for the
+    lifetime of the pool — the shard-to-tid mapping trace attribution
+    uses. *)
+
 (** {1 Utilization} *)
 
 type stats = {
@@ -77,14 +83,37 @@ type stats = {
   inline_calls : int;    (** calls run entirely on the calling domain *)
   tasks : int;           (** non-empty sub-ranges executed *)
   busy_seconds : float;  (** summed task wall-clock across domains *)
+  fanout_wall_seconds : float;
+      (** coordinator wall-clock spent inside parallel fan-outs *)
+  per_domain_busy_seconds : float array;
+      (** task wall-clock per slot (index 0 = coordinator) *)
 }
 
 val stats : t -> stats
 
+val imbalance : stats -> float
+(** [1 - mean/max] over {!stats.per_domain_busy_seconds}: 0 when every
+    domain worked equally, approaching 1 when one domain did all the
+    work; 0 when nothing ran. *)
+
 val publish : t -> Ax_obs.Metrics.t -> unit
 (** Export utilization as gauges: [pool_domains], [pool_parallel_calls],
-    [pool_inline_calls], [pool_tasks], [pool_busy_seconds].  Gauges (not
-    counters) so repeated publication is idempotent. *)
+    [pool_inline_calls], [pool_tasks], [pool_busy_seconds],
+    [pool_fanout_wall_seconds], [pool_imbalance], and per slot [i] the
+    [pool_busy_fraction_d<i>] / [pool_idle_fraction_d<i>] pair (busy
+    seconds over fan-out wall seconds).  Gauges (not counters) so
+    repeated publication is idempotent. *)
+
+(** {1 Per-domain tracing} *)
+
+val set_tracer : t -> Ax_obs.Trace.t option -> unit
+(** Attach a sink tracer: every subsequent parallel fan-out records one
+    [pool.task] span per slot into a private per-slot fork
+    ([Trace.fork], [tid] = slot) and merges the forks back into the sink
+    in slot order after the join — single writer per domain, so no
+    locking on the record path.  Inline (nested or single-domain) calls
+    record nothing.  [None] detaches.  Calls made mid-fan-out or from a
+    worker are silently ignored. *)
 
 (** {1 The process-wide default pool} *)
 

@@ -4,7 +4,8 @@ module Registry = Ax_arith.Registry
 
 type outcome = Intact | Repaired of Load_error.t
 
-let default_warn msg = Format.eprintf "[resilience] %s@."  msg
+let default_warn msg =
+  Ax_obs.Log.warn ~fields:[ ("component", Ax_obs.Json.String "resilience") ] msg
 
 let load_lut ?repair_with ?(on_warning = default_warn) path =
   match Lut.load_result path with

@@ -134,6 +134,243 @@ let test_metrics_reset () =
   check_bool "gauge zeroed" true
     (Metrics.gauge_value (Metrics.gauge m "hit_rate") = 0.)
 
+(* --- histograms --- *)
+
+let test_hist_bucket_geometry () =
+  check_int "nan lands in bucket 0" 0 (Metrics.bucket_index nan);
+  check_int "infinity lands in bucket 0" 0 (Metrics.bucket_index infinity);
+  check_int "zero lands in bucket 0" 0 (Metrics.bucket_index 0.);
+  check_int "negative lands in bucket 0" 0 (Metrics.bucket_index (-3.));
+  check_int "overflow clamps to last"
+    (Metrics.hist_bucket_count - 1)
+    (Metrics.bucket_index 1e60);
+  (* Indexing is monotone and bounds bracket their bucket. *)
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let i = Metrics.bucket_index v in
+      check_bool (Printf.sprintf "monotone at %g" v) true (i >= !prev);
+      prev := i;
+      if i > 0 && i < Metrics.hist_bucket_count - 1 then begin
+        check_bool
+          (Printf.sprintf "lower bound < %g" v)
+          true
+          (Metrics.bucket_lower_bound i < v);
+        check_bool
+          (Printf.sprintf "%g <= upper bound" v)
+          true
+          (v <= Metrics.bucket_upper_bound i)
+      end)
+    [ 1e-9; 3e-9; 1e-6; 1e-3; 0.5; 1.0; 2.0; 100.; 1e4 ]
+
+let test_hist_observe_and_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  check_int "fresh histogram empty" 0 (Metrics.h_count h);
+  check_bool "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.008; 0.1 ];
+  check_int "count" 5 (Metrics.h_count h);
+  check_bool "sum" true (abs_float (Metrics.h_sum h -. 0.115) < 1e-12);
+  (* Nearest-rank p50 of 5 samples is the 3rd (0.004); the estimate is
+     the geometric bucket midpoint, so within one bucket width. *)
+  let p50 = Metrics.quantile h 0.5 in
+  check_bool
+    (Printf.sprintf "p50 %.6f within a bucket of 0.004" p50)
+    true
+    (p50 >= 0.004 /. 1.2 && p50 <= 0.004 *. 1.2);
+  (* Quantiles clamp to the observed extremes. *)
+  check_bool "p0 >= min" true (Metrics.quantile h 0. >= 0.001);
+  check_bool "p100 <= max" true (Metrics.quantile h 1. <= 0.1);
+  check_bool "same handle" true (Metrics.histogram m "lat" == h);
+  Metrics.observe_named m "lat" 0.2;
+  check_int "observe_named shares the cell" 6 (Metrics.h_count h)
+
+(* Nearest-rank with the same rank the implementation uses. *)
+let empirical_rank values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 0 (int_of_float (ceil (q *. float_of_int n)) - 1) in
+  List.nth sorted (min rank (n - 1))
+
+let prop_hist_quantiles =
+  QCheck.Test.make ~count:100 ~name:"histogram quantiles ordered and bracket"
+    QCheck.(list_of_size Gen.(1 -- 80) (float_range 1e-8 1e3))
+    (fun values ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "q" in
+      List.iter (Metrics.observe h) values;
+      let p50 = Metrics.quantile h 0.5
+      and p90 = Metrics.quantile h 0.9
+      and p99 = Metrics.quantile h 0.99 in
+      let lo = List.fold_left min infinity values
+      and hi = List.fold_left max neg_infinity values in
+      let median = empirical_rank values 0.5 in
+      p50 <= p90 && p90 <= p99
+      && lo <= p50 && p99 <= hi
+      && p50 >= median /. 1.2
+      && p50 <= median *. 1.2)
+
+let test_hist_snapshot_and_diff () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe_named m "lat") [ 0.01; 0.02 ];
+  let before = Metrics.snapshot m in
+  List.iter (Metrics.observe_named m "lat") [ 1.0; 2.0; 4.0 ];
+  let after = Metrics.snapshot m in
+  (match Metrics.find_histogram after "lat" with
+  | Some h ->
+    check_int "cumulative count" 5 h.Metrics.count;
+    check_bool "min tracked" true (h.Metrics.min = 0.01);
+    check_bool "max tracked" true (h.Metrics.max = 4.0)
+  | None -> Alcotest.fail "histogram missing from snapshot");
+  let d = Metrics.diff ~before ~after in
+  match Metrics.find_histogram d "lat" with
+  | Some h ->
+    check_int "diff counts only the region" 3 h.Metrics.count;
+    check_bool "diff sum" true (abs_float (h.Metrics.sum -. 7.0) < 1e-9);
+    (* Quantiles are recomputed from the diffed buckets: the region's
+       median is 2.0, far from the cumulative median. *)
+    check_bool
+      (Printf.sprintf "diff p50 %.3f reflects the region" h.Metrics.p50)
+      true
+      (h.Metrics.p50 >= 2.0 /. 1.2 && h.Metrics.p50 <= 2.0 *. 1.2)
+  | None -> Alcotest.fail "histogram missing from diff"
+
+let test_hist_merge () =
+  let shard = Metrics.create () in
+  List.iter (Metrics.observe_named shard "lat") [ 0.5; 1.0 ];
+  let into = Metrics.create () in
+  Metrics.observe_named into "lat" 2.0;
+  let snap = Metrics.snapshot shard in
+  (match Metrics.find_histogram snap "lat" with
+  | Some h ->
+    Metrics.merge_histogram into "lat" h;
+    (* Merging an empty snapshot must not disturb min/max. *)
+    Metrics.merge_histogram into "lat"
+      { h with Metrics.count = 0; buckets = []; sum = 0. }
+  | None -> Alcotest.fail "shard histogram missing");
+  match Metrics.find_histogram (Metrics.snapshot into) "lat" with
+  | Some h ->
+    check_int "counts summed" 3 h.Metrics.count;
+    check_bool "sum summed" true (abs_float (h.Metrics.sum -. 3.5) < 1e-9);
+    check_bool "min crosses shards" true (h.Metrics.min = 0.5);
+    check_bool "max crosses shards" true (h.Metrics.max = 2.0)
+  | None -> Alcotest.fail "merged histogram missing"
+
+let has_sub text needle =
+  let nl = String.length needle and hl = String.length text in
+  let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_collision_dedupe () =
+  let m = Metrics.create () in
+  Metrics.add m "lut.hits" 1;
+  Metrics.add m "lut/hits" 2;
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  (* Raw names sort "lut.hits" < "lut/hits", so the dot variant keeps
+     the base exposition name and the slash variant gets _2. *)
+  check_bool "first family keeps the base name" true
+    (has_sub text "# HELP tfapprox_lut_hits lut.hits");
+  check_bool "first sample" true (has_sub text "\ntfapprox_lut_hits 1\n");
+  check_bool "collision suffixed deterministically" true
+    (has_sub text "# HELP tfapprox_lut_hits_2 lut/hits");
+  check_bool "second sample" true (has_sub text "\ntfapprox_lut_hits_2 2\n")
+
+let test_prometheus_histogram_render () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe_named m "gemm_chunk_seconds") [ 0.001; 0.01; 0.01 ];
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  check_bool "histogram type line" true
+    (has_sub text "# TYPE tfapprox_gemm_chunk_seconds histogram");
+  check_bool "cumulative buckets" true
+    (has_sub text "tfapprox_gemm_chunk_seconds_bucket{le=\"");
+  check_bool "+Inf bucket carries the count" true
+    (has_sub text "tfapprox_gemm_chunk_seconds_bucket{le=\"+Inf\"} 3");
+  check_bool "sum sample" true (has_sub text "tfapprox_gemm_chunk_seconds_sum");
+  check_bool "count sample" true
+    (has_sub text "tfapprox_gemm_chunk_seconds_count 3")
+
+let test_hist_json_round_trip () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe_named m "lat") [ 0.25; 0.5 ];
+  let parsed = Json.parse (Json.to_string (Metrics.to_json (Metrics.snapshot m))) in
+  let field name =
+    Option.bind (Json.member "histograms" parsed) (fun h ->
+        Option.bind (Json.member "lat" h) (Json.member name))
+  in
+  check_bool "count exported" true
+    (Option.bind (field "count") Json.get_int = Some 2);
+  check_bool "sum exported" true
+    (Option.bind (field "sum") Json.get_float = Some 0.75);
+  check_bool "p50 numeric" true
+    (match Option.bind (field "p50") Json.get_float with
+    | Some v -> v > 0.
+    | None -> false)
+
+(* --- structured log --- *)
+
+module Log = Ax_obs.Log
+
+(* Capture events in-process; always restore the global logger state. *)
+let with_log_capture f =
+  let events = ref [] in
+  let old_threshold = Log.get_threshold () in
+  Log.set_sink (fun e -> events := e :: !events);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink (Log.text_sink ());
+      Log.set_threshold old_threshold)
+    (fun () -> f events)
+
+let test_log_threshold_filters () =
+  with_log_capture (fun events ->
+      Log.set_threshold (Some Log.Info);
+      Log.debug "too quiet";
+      Log.info ~fields:[ ("k", Json.Int 1) ] "hello";
+      Log.warn "watch out";
+      check_int "debug filtered at info" 2 (List.length !events);
+      check_bool "enabled agrees" true
+        (Log.enabled Log.Warn && not (Log.enabled Log.Debug));
+      Log.set_threshold (Some Log.Warn);
+      Log.info "dropped";
+      check_int "info filtered at warn" 2 (List.length !events);
+      Log.set_threshold None;
+      Log.error "silenced";
+      check_int "None silences everything" 2 (List.length !events);
+      match List.rev !events with
+      | [ i; w ] ->
+        check_string "info message" "hello" i.Log.message;
+        check_bool "fields kept" true (i.Log.fields = [ ("k", Json.Int 1) ]);
+        check_string "warn level" "warn" (Log.level_name w.Log.level)
+      | _ -> Alcotest.fail "expected two captured events")
+
+let test_log_configure_spec () =
+  with_log_capture (fun _ ->
+      Log.configure "debug";
+      check_bool "debug level" true (Log.get_threshold () = Some Log.Debug);
+      Log.configure "off";
+      check_bool "off silences" true (Log.get_threshold () = None);
+      Log.configure "warn,bogus-token";
+      check_bool "unknown tokens ignored" true
+        (Log.get_threshold () = Some Log.Warn))
+
+let test_log_event_json () =
+  let e =
+    {
+      Log.level = Log.Warn;
+      message = "boom";
+      fields = [ ("file", Json.String "x.json") ];
+      time = 12.5;
+    }
+  in
+  let parsed = Json.parse (Json.to_string (Log.event_to_json e)) in
+  check_bool "level exported" true
+    (Option.bind (Json.member "level" parsed) Json.get_string = Some "warn");
+  check_bool "message exported" true
+    (Option.bind (Json.member "msg" parsed) Json.get_string = Some "boom");
+  check_bool "fields inlined" true
+    (Option.bind (Json.member "file" parsed) Json.get_string = Some "x.json")
+
 (* --- trace --- *)
 
 let test_span_nesting_and_order () =
@@ -235,6 +472,48 @@ let test_tree_rendering () =
   check_bool "inner indented" true (has "  inner");
   check_bool "attrs printed" true (has "x=1")
 
+let test_fork_merge_and_tids () =
+  let parent = Trace.create () in
+  Trace.with_span parent ~name:"coordinator" (fun () -> ());
+  let fork1 = Trace.fork parent ~tid:1 in
+  let fork2 = Trace.fork parent ~tid:2 in
+  Trace.with_span fork1 ~name:"task-a" (fun () -> ());
+  Trace.with_span fork2 ~name:"task-b" (fun () -> ());
+  Trace.merge ~into:parent fork1;
+  Trace.merge ~into:parent fork2;
+  let tid_of name =
+    List.find_map
+      (fun (s : Trace.span) -> if s.Trace.name = name then Some s.Trace.tid else None)
+      (Trace.spans parent)
+  in
+  check_int "all spans merged" 3 (Trace.span_count parent);
+  check_bool "coordinator on tid 0" true (tid_of "coordinator" = Some 0);
+  check_bool "fork 1 stamped" true (tid_of "task-a" = Some 1);
+  check_bool "fork 2 stamped" true (tid_of "task-b" = Some 2);
+  (* Chrome export carries the tid per event. *)
+  let parsed = Json.parse (Trace.chrome_json_string parent) in
+  (match Option.bind (Json.member "traceEvents" parsed) Json.get_list with
+  | Some events ->
+    let tids =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun e -> Option.bind (Json.member "tid" e) Json.get_int)
+           events)
+    in
+    check_bool "distinct tid rows exported" true (tids = [ 0; 1; 2 ])
+  | None -> Alcotest.fail "traceEvents missing");
+  (* Drops travel with the merge: a tiny fork that evicted spans makes
+     the merged trace admit incompleteness. *)
+  let lossy = Trace.fork ~capacity:2 parent ~tid:3 in
+  for i = 1 to 5 do
+    Trace.with_span lossy ~name:(Printf.sprintf "l%d" i) (fun () -> ())
+  done;
+  check_int "fork drops counted" 3 (Trace.dropped lossy);
+  Trace.merge ~into:parent lossy;
+  check_int "drops inherited by the sink" 3 (Trace.dropped parent);
+  Trace.clear parent;
+  check_int "clear resets inherited drops" 0 (Trace.dropped parent)
+
 (* --- phases --- *)
 
 let busy () =
@@ -265,6 +544,66 @@ let test_phases_json_and_names () =
   let parsed = Json.parse (Json.to_string (Phases.to_json p)) in
   check_bool "phase exported" true
     (Option.bind (Json.member "lut" parsed) Json.get_float = Some 1.5)
+
+let allocate () =
+  (* Enough boxed floats to guarantee minor-heap traffic. *)
+  let l = List.init 50_000 (fun i -> float_of_int i +. 0.5) in
+  ignore (List.fold_left ( +. ) 0. l)
+
+let test_phases_gc_attribution () =
+  let p = Phases.create () in
+  Phases.time p "outer" (fun () ->
+      Phases.time p "alloc" allocate);
+  let inner = Phases.gc_delta p "alloc" in
+  check_bool "allocation charged to the allocating phase" true
+    (inner.Phases.minor_words > 0.);
+  (* Partition semantics: the outer phase is refunded, so the total
+     equals what one flat measurement would have seen. *)
+  let total = Phases.gc_total p in
+  let outer = Phases.gc_delta p "outer" in
+  check_bool "outer + inner = total" true
+    (abs_float
+       (outer.Phases.minor_words +. inner.Phases.minor_words
+       -. total.Phases.minor_words)
+    < 1.);
+  check_bool "never-charged phase reads zero" true
+    (Phases.gc_delta p "nope" = Phases.gc_zero);
+  let sum = Phases.gc_add inner Phases.gc_zero in
+  check_bool "gc_add identity" true (sum = inner);
+  (* External charging (the shard-merge path). *)
+  let q = Phases.create () in
+  Phases.add_gc q "alloc" inner;
+  check_bool "add_gc folds in" true
+    ((Phases.gc_delta q "alloc").Phases.minor_words
+    = inner.Phases.minor_words)
+
+let test_phases_gc_json_and_publish () =
+  let p = Phases.create () in
+  Phases.time p "alloc" allocate;
+  let parsed = Json.parse (Json.to_string (Phases.gc_to_json p)) in
+  check_bool "phase gc exported" true
+    (match
+       Option.bind (Json.member "alloc" parsed) (fun o ->
+           Option.bind (Json.member "minor_words" o) Json.get_float)
+     with
+    | Some v -> v > 0.
+    | None -> false);
+  let m = Metrics.create () in
+  Phases.publish_gc p m;
+  let snap = Metrics.snapshot m in
+  check_bool "per-phase gauge published" true
+    (match Metrics.find_gauge snap "phase_alloc_minor_words" with
+    | Some v -> v > 0.
+    | None -> false);
+  (* Process-lifetime readings are one observe_gc away. *)
+  Metrics.observe_gc m;
+  let snap = Metrics.snapshot m in
+  check_bool "gc_minor_words gauge" true
+    (match Metrics.find_gauge snap "gc_minor_words" with
+    | Some v -> v > 0.
+    | None -> false);
+  check_bool "gc_heap_words gauge" true
+    (Metrics.find_gauge snap "gc_heap_words" <> None)
 
 (* --- profile regression (the Fig. 2 view) --- *)
 
@@ -372,6 +711,23 @@ let test_traced_run_spans_and_counters () =
     (match Metrics.find_gauge snap "images_per_sec" with
     | Some v -> v > 0.
     | None -> false);
+  (* Latency distributions: per-chunk GEMM, per-node Exec, and the whole
+     run, each as a histogram with plausible quantiles. *)
+  List.iter
+    (fun name ->
+      match Metrics.find_histogram snap name with
+      | Some h ->
+        check_bool (name ^ " populated") true (h.Metrics.count > 0);
+        check_bool (name ^ " quantiles ordered") true
+          (h.Metrics.p50 <= h.Metrics.p90 && h.Metrics.p90 <= h.Metrics.p99)
+      | None -> Alcotest.failf "%s histogram missing" name)
+    [ "gemm_chunk_seconds"; "exec_node_seconds"; "emulator_run_seconds" ];
+  (* GC telemetry rides along on every profiled run. *)
+  check_bool "phase gc gauges published" true
+    (List.exists
+       (fun (n, _) ->
+         String.length n > 6 && String.sub n 0 6 = "phase_")
+       snap.Metrics.gauges);
   (* Chrome export of the real run parses back. *)
   let parsed = Json.parse (Trace.chrome_json_string tracer) in
   match Option.bind (Json.member "traceEvents" parsed) Json.get_list with
@@ -435,6 +791,28 @@ let () =
           Alcotest.test_case "prometheus" `Quick test_metrics_prometheus;
           Alcotest.test_case "reset" `Quick test_metrics_reset;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket geometry" `Quick test_hist_bucket_geometry;
+          Alcotest.test_case "observe and quantiles" `Quick
+            test_hist_observe_and_quantiles;
+          Alcotest.test_case "snapshot and diff" `Quick
+            test_hist_snapshot_and_diff;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "prometheus collision dedupe" `Quick
+            test_prometheus_collision_dedupe;
+          Alcotest.test_case "prometheus histogram render" `Quick
+            test_prometheus_histogram_render;
+          Alcotest.test_case "json round trip" `Quick test_hist_json_round_trip;
+          QCheck_alcotest.to_alcotest ~long:false prop_hist_quantiles;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "threshold filters" `Quick
+            test_log_threshold_filters;
+          Alcotest.test_case "configure spec" `Quick test_log_configure_spec;
+          Alcotest.test_case "event json" `Quick test_log_event_json;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "nesting and order" `Quick
@@ -445,12 +823,17 @@ let () =
           Alcotest.test_case "chrome export" `Quick
             test_chrome_export_well_formed;
           Alcotest.test_case "tree rendering" `Quick test_tree_rendering;
+          Alcotest.test_case "fork, merge and tids" `Quick
+            test_fork_merge_and_tids;
         ] );
       ( "phases",
         [
           Alcotest.test_case "partition" `Quick test_phases_partition;
           Alcotest.test_case "json and names" `Quick
             test_phases_json_and_names;
+          Alcotest.test_case "gc attribution" `Quick test_phases_gc_attribution;
+          Alcotest.test_case "gc json and publish" `Quick
+            test_phases_gc_json_and_publish;
         ] );
       ( "profile",
         [

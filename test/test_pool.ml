@@ -211,6 +211,156 @@ let test_stats_and_publish () =
       check_bool "pool_tasks gauge" true
         (Metrics.find_gauge snap "pool_tasks" <> None))
 
+let spin () =
+  let acc = ref 0 in
+  for i = 1 to 100_000 do
+    acc := !acc + i
+  done;
+  ignore !acc
+
+let test_per_domain_stats_and_imbalance () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Pool.parallel_for p ~lo:0 ~hi:300 (fun ~lo ~hi ->
+          for _ = lo to hi - 1 do
+            spin ()
+          done);
+      let s = Pool.stats p in
+      check_int "one busy cell per slot" 3
+        (Array.length s.Pool.per_domain_busy_seconds);
+      check_bool "fan-out wall clock measured" true
+        (s.Pool.fanout_wall_seconds > 0.);
+      check_bool "per-slot busy sums to the total" true
+        (abs_float
+           (Array.fold_left ( +. ) 0. s.Pool.per_domain_busy_seconds
+           -. s.Pool.busy_seconds)
+        < 1e-9);
+      (* Every slot ran a sub-range of this even split. *)
+      Array.iteri
+        (fun i b ->
+          check_bool (Printf.sprintf "slot %d busy" i) true (b > 0.))
+        s.Pool.per_domain_busy_seconds;
+      let imb = Pool.imbalance s in
+      check_bool
+        (Printf.sprintf "imbalance %.3f in [0,1)" imb)
+        true
+        (imb >= 0. && imb < 1.);
+      check_bool "no work means no imbalance" true
+        (Pool.imbalance
+           { s with Pool.per_domain_busy_seconds = [| 0.; 0.; 0. |] }
+        = 0.);
+      let m = Metrics.create () in
+      Pool.publish p m;
+      let snap = Metrics.snapshot m in
+      check_bool "imbalance gauge" true
+        (Metrics.find_gauge snap "pool_imbalance" <> None);
+      check_bool "fan-out wall gauge" true
+        (match Metrics.find_gauge snap "pool_fanout_wall_seconds" with
+        | Some v -> v > 0.
+        | None -> false);
+      List.iter
+        (fun slot ->
+          let busy =
+            Metrics.find_gauge snap
+              (Printf.sprintf "pool_busy_fraction_d%d" slot)
+          and idle =
+            Metrics.find_gauge snap
+              (Printf.sprintf "pool_idle_fraction_d%d" slot)
+          in
+          match (busy, idle) with
+          | Some b, Some i ->
+            check_bool
+              (Printf.sprintf "slot %d fractions partition (%.3f+%.3f)" slot
+                 b i)
+              true
+              (b >= 0. && i >= 0. && abs_float (b +. i -. 1.) < 1e-9)
+          | _ -> Alcotest.failf "slot %d fraction gauges missing" slot)
+        [ 0; 1; 2 ])
+
+let test_pool_tracer_attribution () =
+  Pool.with_pool ~domains:2 (fun p ->
+      let sink = Ax_obs.Trace.create () in
+      Pool.set_tracer p (Some sink);
+      Pool.parallel_for p ~lo:0 ~hi:20 (fun ~lo ~hi ->
+          for _ = lo to hi - 1 do
+            spin ()
+          done);
+      let tasks =
+        List.filter
+          (fun (s : Ax_obs.Trace.span) -> s.Ax_obs.Trace.name = "pool.task")
+          (Ax_obs.Trace.spans sink)
+      in
+      check_bool "one pool.task span per slot" true (List.length tasks = 2);
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun (s : Ax_obs.Trace.span) -> s.Ax_obs.Trace.tid) tasks)
+      in
+      Alcotest.(check (list int)) "coordinator and worker rows" [ 0; 1 ] tids;
+      (* The slot attribute matches the tid row. *)
+      List.iter
+        (fun (s : Ax_obs.Trace.span) ->
+          check_bool "slot attr = tid" true
+            (List.assoc_opt "slot" s.Ax_obs.Trace.attrs
+            = Some (string_of_int s.Ax_obs.Trace.tid)))
+        tasks;
+      (* Inline calls record nothing: a nested fan-out runs inline. *)
+      let before = Ax_obs.Trace.span_count sink in
+      Pool.parallel_for p ~lo:0 ~hi:4 (fun ~lo:_ ~hi:_ ->
+          Pool.parallel_for p ~lo:0 ~hi:4 (fun ~lo:_ ~hi:_ -> ()));
+      let after = Ax_obs.Trace.span_count sink in
+      check_bool "nested inline calls add no inner spans" true
+        (after - before <= 2);
+      (* Detaching stops recording. *)
+      Pool.set_tracer p None;
+      let detached = Ax_obs.Trace.span_count sink in
+      Pool.parallel_for p ~lo:0 ~hi:8 (fun ~lo:_ ~hi:_ -> ());
+      check_int "detached sink untouched" detached
+        (Ax_obs.Trace.span_count sink))
+
+(* The acceptance bar for the whole instrumentation stack: with tracing
+   and profiling on, outputs stay bit-identical across domain counts,
+   and the merged trace is deterministic in shape (names x tids). *)
+let traced_sharded_run ~domains =
+  let graph =
+    Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains
+      (Resnet.build ~depth:8 ())
+  in
+  let data = (Cifar.generate ~n:3 ()).Cifar.images in
+  let tracer = Ax_obs.Trace.create () in
+  let profile = Profile.create ~trace:tracer () in
+  let out =
+    Emulator.run ~profile ~domains ~backend:Emulator.Cpu_gemm graph data
+  in
+  let shape =
+    List.sort compare
+      (List.map
+         (fun (s : Ax_obs.Trace.span) -> (s.Ax_obs.Trace.name, s.Ax_obs.Trace.tid))
+         (Ax_obs.Trace.spans tracer))
+  in
+  (out, shape)
+
+let test_traced_sharded_deterministic () =
+  let reference, _ = traced_sharded_run ~domains:1 in
+  List.iter
+    (fun domains ->
+      let out, shape = traced_sharded_run ~domains in
+      check_bool
+        (Printf.sprintf "domains=%d traced output bit-identical" domains)
+        true
+        (Ax_tensor.Tensor.max_abs_diff reference out = 0.);
+      let _, shape' = traced_sharded_run ~domains in
+      check_bool
+        (Printf.sprintf "domains=%d trace shape deterministic" domains)
+        true (shape = shape');
+      if domains >= 3 then begin
+        let tids = List.sort_uniq compare (List.map snd shape) in
+        check_bool
+          (Printf.sprintf "domains=%d distinct tid rows (%d)" domains
+             (List.length tids))
+          true
+          (List.length tids >= 2)
+      end)
+    (List.filter (fun d -> d <= 4) domain_counts)
+
 (* qcheck fuzz: coverage holds for arbitrary range/width combinations. *)
 let prop_coverage =
   QCheck.Test.make ~count:60 ~name:"parallel_for covers any range"
@@ -356,6 +506,10 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent_and_inline;
           Alcotest.test_case "stats and publish" `Quick test_stats_and_publish;
+          Alcotest.test_case "per-domain stats and imbalance" `Quick
+            test_per_domain_stats_and_imbalance;
+          Alcotest.test_case "tracer attribution" `Quick
+            test_pool_tracer_attribution;
         ] );
       ( "determinism",
         [
@@ -363,6 +517,8 @@ let () =
             test_conv_bit_identical_across_domains;
           Alcotest.test_case "sharded emulator deterministic" `Quick
             test_emulator_sharded_deterministic;
+          Alcotest.test_case "traced sharded deterministic" `Quick
+            test_traced_sharded_deterministic;
         ] );
       ( "accounting",
         [
