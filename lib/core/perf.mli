@@ -10,11 +10,21 @@
 
 type sample = { domains : int; seconds : float; images_per_sec : float }
 
+type compression = {
+  multiplier : string;  (** registry name the kernel ran with *)
+  comp_mode : string;   (** [Ax_quant.Lut_compressed.mode_name] label *)
+  comp_bytes : int;     (** encoded working set in bytes *)
+  comp_ratio : float;   (** 131072 / bytes *)
+}
+
 type record = {
   label : string;
   images : int;
   throughput : sample list;
   ns_per_mac : float option;
+  lut_compression : compression option;
+      (** how compressed the benchmarked multiplier's LUT was — absent
+          in pre-compression history lines, which still parse *)
 }
 
 val record_of_json : ?label:string -> Ax_obs.Json.t -> record

@@ -75,13 +75,13 @@ let iter_patch plan ~n ~oh ~ow ~inside ~padded =
    domain independently; the fill loops inline the division to avoid a
    per-row coordinate tuple. *)
 
-let parallelize ?pool ?(domains = 1) ~lo ~hi body =
+let parallelize ?pool ?(domains = 1) ?schedule ~lo ~hi body =
   match pool with
   | Some p when domains > 1 && hi - lo > 1 ->
-    Pool.parallel_for p ~max_domains:domains ~lo ~hi body
+    Pool.parallel_for p ~max_domains:domains ?schedule ~lo ~hi body
   | Some _ | None -> if lo < hi then body ~lo ~hi
 
-let to_matrix ?pool ?domains ?scratch plan input =
+let to_matrix ?pool ?domains ?schedule ?scratch plan input =
   if not (Shape.equal (Tensor.shape input) plan.input_shape) then
     invalid_arg "Im2col.to_matrix: input shape differs from plan";
   let m =
@@ -113,7 +113,7 @@ let to_matrix ?pool ?domains ?scratch plan input =
         ~inside ~padded
     done
   in
-  parallelize ?pool ?domains ~lo:0 ~hi:plan.rows fill_rows;
+  parallelize ?pool ?domains ?schedule ~lo:0 ~hi:plan.rows fill_rows;
   m
 
 (* Quantize rows [row_lo, row_hi) of the plan into [mp]/[sp], row [r]
@@ -122,8 +122,8 @@ let to_matrix ?pool ?domains ?scratch plan input =
    (including the hash-based stochastic rounding) is a pure function of
    the input value — so any row split, and any chunking of the full row
    range, produces bit-identical codes. *)
-let fill_codes ?pool ?domains plan input mp sp ~row_lo ~row_hi ~coeffs
-    ~round_mode ~signedness =
+let fill_codes ?pool ?domains ?schedule plan input mp sp ~row_lo ~row_hi
+    ~coeffs ~round_mode ~signedness =
   let buf = Tensor.buffer input in
   let inv_alpha = 1. /. coeffs.Q.alpha in
   let betaf = float_of_int coeffs.Q.beta in
@@ -182,9 +182,9 @@ let fill_codes ?pool ?domains plan input mp sp ~row_lo ~row_hi ~coeffs
       sp.(row - row_lo) <- !acc
     done
   in
-  parallelize ?pool ?domains ~lo:row_lo ~hi:row_hi fill_rows
+  parallelize ?pool ?domains ?schedule ~lo:row_lo ~hi:row_hi fill_rows
 
-let to_codes ?pool ?domains ?scratch plan input ~coeffs ~round_mode
+let to_codes ?pool ?domains ?schedule ?scratch plan input ~coeffs ~round_mode
     ~signedness =
   if not (Shape.equal (Tensor.shape input) plan.input_shape) then
     invalid_arg "Im2col.to_codes: input shape differs from plan";
@@ -193,12 +193,12 @@ let to_codes ?pool ?domains ?scratch plan input ~coeffs ~round_mode
     | None -> (Bytes.create (plan.rows * plan.patch_len), Array.make plan.rows 0)
     | Some s -> (Scratch.mp s (plan.rows * plan.patch_len), Scratch.sp s plan.rows)
   in
-  fill_codes ?pool ?domains plan input mp sp ~row_lo:0 ~row_hi:plan.rows
-    ~coeffs ~round_mode ~signedness;
+  fill_codes ?pool ?domains ?schedule plan input mp sp ~row_lo:0
+    ~row_hi:plan.rows ~coeffs ~round_mode ~signedness;
   (mp, sp)
 
-let to_codes_range ?pool ?domains ~scratch plan input ~row_lo ~row_hi ~coeffs
-    ~round_mode ~signedness =
+let to_codes_range ?pool ?domains ?schedule ~scratch plan input ~row_lo
+    ~row_hi ~coeffs ~round_mode ~signedness =
   if not (Shape.equal (Tensor.shape input) plan.input_shape) then
     invalid_arg "Im2col.to_codes_range: input shape differs from plan";
   if row_lo < 0 || row_hi < row_lo || row_hi > plan.rows then
@@ -206,6 +206,6 @@ let to_codes_range ?pool ?domains ~scratch plan input ~row_lo ~row_hi ~coeffs
   let rows = row_hi - row_lo in
   let mp = Scratch.mp scratch (rows * plan.patch_len) in
   let sp = Scratch.sp scratch rows in
-  fill_codes ?pool ?domains plan input mp sp ~row_lo ~row_hi ~coeffs
-    ~round_mode ~signedness;
+  fill_codes ?pool ?domains ?schedule plan input mp sp ~row_lo ~row_hi
+    ~coeffs ~round_mode ~signedness;
   (mp, sp)

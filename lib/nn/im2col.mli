@@ -27,6 +27,7 @@ val make :
 val to_matrix :
   ?pool:Ax_pool.Pool.t ->
   ?domains:int ->
+  ?schedule:Ax_pool.Pool.schedule ->
   ?scratch:Scratch.t ->
   plan ->
   Ax_tensor.Tensor.t ->
@@ -34,13 +35,15 @@ val to_matrix :
 (** Float patch matrix; padding cells hold 0.  With a [pool] and
     [domains > 1] the rows are filled in parallel (each row touches
     disjoint output cells, so the result is bit-identical to the serial
-    fill for any split).  With [scratch] the matrix data lives in the
+    fill for any split and either schedule; [schedule] defaults to the
+    pool's static partitioning).  With [scratch] the matrix data lives in the
     arena's float buffer (oversized; valid cells are
     [rows * patch_len]) instead of a fresh allocation. *)
 
 val to_codes :
   ?pool:Ax_pool.Pool.t ->
   ?domains:int ->
+  ?schedule:Ax_pool.Pool.schedule ->
   ?scratch:Scratch.t ->
   plan ->
   Ax_tensor.Tensor.t ->
@@ -59,6 +62,7 @@ val to_codes :
 val to_codes_range :
   ?pool:Ax_pool.Pool.t ->
   ?domains:int ->
+  ?schedule:Ax_pool.Pool.schedule ->
   scratch:Scratch.t ->
   plan ->
   Ax_tensor.Tensor.t ->

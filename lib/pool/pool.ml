@@ -1,8 +1,14 @@
 let max_domains_limit = 64
 
+type schedule = Static | Dynamic of { grain : int }
+
+let dynamic ?(grain = 0) () = Dynamic { grain }
+
 type stats = {
   parallel_calls : int;
   inline_calls : int;
+  dynamic_calls : int;
+  claims : int;
   tasks : int;
   busy_seconds : float;
   fanout_wall_seconds : float;
@@ -30,6 +36,8 @@ type t = {
      fields workers touch, under [mutex]. *)
   mutable parallel_calls : int;
   mutable inline_calls : int;
+  mutable dynamic_calls : int;
+  mutable claims : int;
   mutable tasks : int;
   mutable busy_s : float;
   per_slot_busy : float array;
@@ -146,6 +154,8 @@ let create ?domains () =
       worker_ids = Array.make (max 0 (domains - 1)) (Domain.self ());
       parallel_calls = 0;
       inline_calls = 0;
+      dynamic_calls = 0;
+      claims = 0;
       tasks = 0;
       busy_s = 0.;
       per_slot_busy = Array.make domains 0.;
@@ -279,36 +289,116 @@ let slot_range ~lo ~hi ~slots s =
   let shi = min hi (slo + per) in
   (slo, shi)
 
-let parallel_for t ?max_domains ~lo ~hi body =
+(* A grain of 0 (or below) means "auto": a few claims per slot, so a
+   skewed tail can rebalance without paying a claim per index. *)
+let resolve_grain ~n ~slots grain =
+  if grain >= 1 then grain else max 1 (n / (slots * 4))
+
+(* Dynamic range claiming: the range [lo, hi) is cut into fixed
+   [grain]-sized claims and every participating domain grabs the next
+   unclaimed one off an atomic counter until none are left.  WHICH
+   domain runs a claim varies run to run; WHAT each claim covers never
+   does — claim [c] is always [lo + c*grain, min hi (lo + (c+1)*grain)).
+   Any task whose claims touch disjoint state is therefore bit-identical
+   to the static split, and reductions stay deterministic by combining
+   per-claim results in ascending claim order (see [map_reduce]).
+
+   Exceptions: a failing claim is recorded (lowest claim index wins) and
+   the counter is short-circuited so no further claims are handed out;
+   in-flight claims finish.  Claim hand-out is in ascending order, so
+   every claim below a failing one has already been dispatched — the
+   minimum over executed failing claims equals the global minimum
+   failing claim, and the re-raise is deterministic.  Exactly one
+   re-raise, after the join. *)
+let run_dynamic t ~slots ~lo ~hi ~grain task =
+  let n = hi - lo in
+  let claims = (n + grain - 1) / grain in
+  let slots = min slots claims in
+  t.dynamic_calls <- t.dynamic_calls + 1;
+  t.claims <- t.claims + claims;
+  let fail_mutex = Mutex.create () in
+  let failure = ref None in
+  let next = Atomic.make 0 in
+  let claim_loop _slot =
+    let continue_ = ref true in
+    while !continue_ do
+      let c = Atomic.fetch_and_add next 1 in
+      if c >= claims then continue_ := false
+      else begin
+        let clo = lo + (c * grain) in
+        let chi = min hi (clo + grain) in
+        try task ~lo:clo ~hi:chi
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock fail_mutex;
+          (match !failure with
+          | Some (c0, _, _) when c0 <= c -> ()
+          | Some _ | None -> failure := Some (c, e, bt));
+          Mutex.unlock fail_mutex;
+          (* Stop handing out further claims; in-flight ones finish. *)
+          let rec drain () =
+            let cur = Atomic.get next in
+            if cur < claims && not (Atomic.compare_and_set next cur claims)
+            then drain ()
+          in
+          drain ()
+      end
+    done
+  in
+  run_slots t ~slots claim_loop;
+  match !failure with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_for t ?max_domains ?(schedule = Static) ~lo ~hi body =
   let n = hi - lo in
   if n <= 0 then ()
   else begin
     let slots = split_count t ?max_domains n in
-    run_slots t ~slots (fun s ->
-        let slo, shi = slot_range ~lo ~hi ~slots s in
-        if slo < shi then body ~lo:slo ~hi:shi)
+    match schedule with
+    | Static ->
+      run_slots t ~slots (fun s ->
+          let slo, shi = slot_range ~lo ~hi ~slots s in
+          if slo < shi then body ~lo:slo ~hi:shi)
+    | Dynamic { grain } ->
+      let grain = resolve_grain ~n ~slots grain in
+      run_dynamic t ~slots ~lo ~hi ~grain body
   end
 
-let map_reduce t ?max_domains ~lo ~hi ~map ~reduce init =
+let map_reduce t ?max_domains ?(schedule = Static) ~lo ~hi ~map ~reduce init =
   let n = hi - lo in
   if n <= 0 then init
   else begin
     let slots = split_count t ?max_domains n in
-    let results = Array.make slots None in
-    run_slots t ~slots (fun s ->
-        let slo, shi = slot_range ~lo ~hi ~slots s in
-        if slo < shi then results.(s) <- Some (map ~lo:slo ~hi:shi));
-    Array.fold_left
-      (fun acc r -> match r with Some v -> reduce acc v | None -> acc)
-      init results
+    let fold results =
+      Array.fold_left
+        (fun acc r -> match r with Some v -> reduce acc v | None -> acc)
+        init results
+    in
+    match schedule with
+    | Static ->
+      let results = Array.make slots None in
+      run_slots t ~slots (fun s ->
+          let slo, shi = slot_range ~lo ~hi ~slots s in
+          if slo < shi then results.(s) <- Some (map ~lo:slo ~hi:shi));
+      fold results
+    | Dynamic { grain } ->
+      (* Claim [c]'s result always lands in cell [c], so the ascending
+         fold is independent of which domain claimed what. *)
+      let grain = resolve_grain ~n ~slots grain in
+      let claims = (n + grain - 1) / grain in
+      let results = Array.make claims None in
+      run_dynamic t ~slots ~lo ~hi ~grain (fun ~lo:clo ~hi:chi ->
+          results.((clo - lo) / grain) <- Some (map ~lo:clo ~hi:chi));
+      fold results
   end
 
-let map_array t ?max_domains f items =
+let map_array t ?max_domains ?schedule f items =
   let n = Array.length items in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    parallel_for t ?max_domains ~lo:0 ~hi:n (fun ~lo ~hi ->
+    parallel_for t ?max_domains ?schedule ~lo:0 ~hi:n (fun ~lo ~hi ->
         for i = lo to hi - 1 do
           results.(i) <- Some (f items.(i))
         done);
@@ -321,6 +411,8 @@ let stats t =
   {
     parallel_calls = t.parallel_calls;
     inline_calls = t.inline_calls;
+    dynamic_calls = t.dynamic_calls;
+    claims = t.claims;
     tasks = t.tasks;
     busy_seconds = t.busy_s;
     fanout_wall_seconds = t.fanout_wall_s;
@@ -351,6 +443,9 @@ let publish t metrics =
     (float_of_int s.parallel_calls);
   Ax_obs.Metrics.set_gauge metrics "pool_inline_calls"
     (float_of_int s.inline_calls);
+  Ax_obs.Metrics.set_gauge metrics "pool_dynamic_calls"
+    (float_of_int s.dynamic_calls);
+  Ax_obs.Metrics.set_gauge metrics "pool_claims" (float_of_int s.claims);
   Ax_obs.Metrics.set_gauge metrics "pool_tasks" (float_of_int s.tasks);
   Ax_obs.Metrics.set_gauge metrics "pool_busy_seconds" s.busy_seconds;
   Ax_obs.Metrics.set_gauge metrics "pool_fanout_wall_seconds"

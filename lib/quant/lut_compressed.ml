@@ -1,0 +1,442 @@
+(* Compressed representation of an approximate-multiplier LUT.
+
+   The paper keeps the full 128 kB truth table fast by binding it to the
+   GPU texture cache; on a CPU the analogue is making the table small
+   enough to *live* in L1/L2.  Most catalogued approximate multipliers
+   are structured errors on top of the exact product, so instead of the
+   product itself we encode the per-entry delta
+
+     delta(ca, cb) = lut(ca, cb) - value(ca) * value(cb)
+
+   and pick, per LUT, the cheapest encoding that reproduces every one of
+   the 65,536 entries exactly.  Every candidate below is verified
+   exhaustively at construction time — the mode lattice is a size
+   optimisation, never a semantics change — and when nothing pays we
+   fall back to the raw table rather than lie about the footprint. *)
+
+type table16 =
+  (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type bytes8 =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type index16 =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type view =
+  | Exact_view
+  | Masked_view of { mask : int; decode_correction : int }
+  | Low_view of { shift : int; amask : int; bmask : int; tbl : table16 }
+  | Split_view of {
+      s : int;
+      low_mask : int;  (* 2^s - 1 *)
+      high_mask : int;  (* 2^(8-s) - 1 *)
+      high_shift : int;  (* 8 - s *)
+      d1 : table16;
+      d2 : table16;
+    }
+  | Nibble_view of { hi : table16; lo : table16 }
+  | Sparse_view of {
+      sym : bool;
+      bitmap : bytes8;
+      bases : index16;
+      pop : bytes8;
+      corr : table16;
+    }
+  | Raw_view of
+      (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mode =
+  | Exact_product
+  | Masked of int
+  | Low_factored of { ka : int; kb : int }
+  | Split_factored of { s : int }
+  | Nibble_split
+  | Sparse of { sym : bool; nnz : int }
+  | Raw
+
+type t = {
+  lut : Ax_arith.Lut.t;
+  mode : mode;
+  view : view;
+  bytes : int;
+  values : int array;  (* code -> operand value, 256 entries *)
+}
+
+let lut t = t.lut
+let mode t = t.mode
+let view t = t.view
+let bytes t = t.bytes
+let values t = t.values
+let ratio t = float_of_int Ax_arith.Lut.size_bytes /. float_of_int (max 1 t.bytes)
+
+let mode_name t =
+  match t.mode with
+  | Exact_product -> "exact"
+  | Masked _ -> "masked"
+  | Low_factored _ -> "low-factored"
+  | Split_factored _ -> "split-factored"
+  | Nibble_split -> "nibble-split"
+  | Sparse _ -> "sparse"
+  | Raw -> "raw"
+
+let budget_bytes = 16384
+let in_int16 d = d >= -32768 && d <= 32767
+
+let make16 n = Bigarray.Array1.create Bigarray.int16_signed Bigarray.c_layout n
+let make16u n =
+  Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout n
+let make8 n = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n
+
+(* ---------- construction ---------- *)
+
+(* [delta] is indexed by the stitched code [(ca lsl 8) lor cb]. *)
+
+let try_masked lut values delta =
+  let dcorr = Ax_arith.Lut.decode_correction lut in
+  (* A result-masking multiplier satisfies raw = raw_exact land m.  Bits
+     the LUT ever sets must be kept (and present in the exact raw); bits
+     it drops while the exact raw has them must be cleared — a conflict
+     between the two kills the candidate.  [m] is then forced, and the
+     exhaustive re-check below covers entries the bit argument missed. *)
+  let keep = ref 0 and drop = ref 0 in
+  (try
+     for ca = 0 to 255 do
+       for cb = 0 to 255 do
+         let exact_raw = values.(ca) * values.(cb) land 0xffff in
+         let raw = (delta.((ca lsl 8) lor cb) + (values.(ca) * values.(cb)))
+                   land 0xffff in
+         if raw land lnot exact_raw land 0xffff <> 0 then raise_notrace Exit;
+         keep := !keep lor raw;
+         drop := !drop lor (exact_raw land lnot raw)
+       done
+     done
+   with Exit -> drop := -1);
+  if !drop < 0 || !keep land !drop <> 0 then None
+  else begin
+    let m = !keep in
+    let ok = ref true in
+    for ca = 0 to 255 do
+      for cb = 0 to 255 do
+        let r = values.(ca) * values.(cb) land m in
+        let v = r - ((r lsr 15) * dcorr) in
+        if v - (values.(ca) * values.(cb)) <> delta.((ca lsl 8) lor cb) then
+          ok := false
+      done
+    done;
+    if !ok then
+      Some (Masked m, Masked_view { mask = m; decode_correction = dcorr }, 2)
+    else None
+  end
+
+let try_low_factored delta =
+  (* Minimal ka: delta ignores the high [8-ka] bits of [ca] for every
+     [cb]; dually for kb.  Independence in each operand separately
+    implies joint independence, so the minimal pair needs no second
+    exhaustive pass, but we range-check while filling the table. *)
+  let depends_only_low_a k =
+    let m = (1 lsl k) - 1 in
+    let ok = ref true in
+    for ca = 0 to 255 do
+      let rep = (ca land m) lsl 8 in
+      let row = ca lsl 8 in
+      for cb = 0 to 255 do
+        if delta.(row lor cb) <> delta.(rep lor cb) then ok := false
+      done
+    done;
+    !ok
+  in
+  let depends_only_low_b k =
+    let m = (1 lsl k) - 1 in
+    let ok = ref true in
+    for ca = 0 to 255 do
+      let row = ca lsl 8 in
+      for cb = 0 to 255 do
+        if delta.(row lor cb) <> delta.(row lor (cb land m)) then ok := false
+      done
+    done;
+    !ok
+  in
+  let rec minimal f k = if k >= 8 then 8 else if f k then k else minimal f (k + 1) in
+  let ka = minimal depends_only_low_a 0 in
+  let kb = minimal depends_only_low_b 0 in
+  let size = 1 lsl (ka + kb) in
+  if ka >= 8 && kb >= 8 then None
+  else if 2 * size > budget_bytes then None
+  else begin
+    let tbl = make16 size in
+    let ok = ref true in
+    for al = 0 to (1 lsl ka) - 1 do
+      for bl = 0 to (1 lsl kb) - 1 do
+        let d = delta.((al lsl 8) lor bl) in
+        if not (in_int16 d) then ok := false
+        else tbl.{(al lsl kb) lor bl} <- d
+      done
+    done;
+    if !ok then
+      Some
+        ( Low_factored { ka; kb },
+          Low_view
+            {
+              shift = kb;
+              amask = (1 lsl ka) - 1;
+              bmask = (1 lsl kb) - 1;
+              tbl;
+            },
+          2 * size )
+    else None
+  end
+
+let try_split delta s =
+  let nl = 1 lsl s and nh = 1 lsl (8 - s) in
+  let low_mask = nl - 1 and high_mask = nh - 1 in
+  let d1 = make16 (256 * nl) and d2 = make16 (nh * nh) in
+  let ok = ref true in
+  for ca = 0 to 255 do
+    for bl = 0 to nl - 1 do
+      let d = delta.((ca lsl 8) lor bl) in
+      if not (in_int16 d) then ok := false else d1.{(ca lsl s) lor bl} <- d
+    done
+  done;
+  for al = 0 to nh - 1 do
+    let base = delta.(al lsl 8) in
+    for bh = 0 to nh - 1 do
+      let d = delta.((al lsl 8) lor (bh lsl s)) - base in
+      if not (in_int16 d) then ok := false
+      else d2.{(al lsl (8 - s)) lor bh} <- d
+    done
+  done;
+  if not !ok then None
+  else begin
+    let verified = ref true in
+    for ca = 0 to 255 do
+      let row = ca lsl 8 in
+      let a1 = ca lsl s and a2 = (ca land high_mask) lsl (8 - s) in
+      for cb = 0 to 255 do
+        let got = d1.{a1 lor (cb land low_mask)} + d2.{a2 lor (cb lsr s)} in
+        if got <> delta.(row lor cb) then verified := false
+      done
+    done;
+    if !verified then
+      Some
+        ( Split_factored { s },
+          Split_view { s; low_mask; high_mask; high_shift = 8 - s; d1; d2 },
+          2 * ((256 * nl) + (nh * nh)) )
+    else None
+  end
+
+let try_nibble delta =
+  let hi = make16 (16 * 256) and lo = make16 (16 * 256) in
+  let ok = ref true in
+  for ah = 0 to 15 do
+    for cb = 0 to 255 do
+      let d = delta.((ah lsl 4) lsl 8 lor cb) in
+      if not (in_int16 d) then ok := false else hi.{(ah lsl 8) lor cb} <- d
+    done
+  done;
+  for al = 0 to 15 do
+    for cb = 0 to 255 do
+      let d = delta.((al lsl 8) lor cb) in
+      if not (in_int16 d) then ok := false else lo.{(al lsl 8) lor cb} <- d
+    done
+  done;
+  if not !ok then None
+  else begin
+    let verified = ref true in
+    for ca = 0 to 255 do
+      let row = ca lsl 8 in
+      let h = (ca lsr 4) lsl 8 and l = (ca land 15) lsl 8 in
+      for cb = 0 to 255 do
+        if hi.{h lor cb} + lo.{l lor cb} <> delta.(row lor cb) then
+          verified := false
+      done
+    done;
+    if !verified then
+      Some (Nibble_split, Nibble_view { hi; lo }, 2 * 2 * 16 * 256)
+    else None
+  end
+
+let popcount_table =
+  lazy
+    (let pop = make8 256 in
+     for b = 0 to 255 do
+       let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+       pop.{b} <- count b
+     done;
+     pop)
+
+let try_sparse delta =
+  (* Sign symmetry: negating both operand codes negates both values, so
+     the exact product — and for many signed designs the whole entry —
+    is unchanged.  When delta inherits that symmetry only rows
+    [ca <= 128] need storing (row 128 is its own image). *)
+  let sym = ref true in
+  (try
+     for ca = 0 to 255 do
+       for cb = 0 to 255 do
+         let m_ca = (256 - ca) land 0xff and m_cb = (256 - cb) land 0xff in
+         if delta.((ca lsl 8) lor cb) <> delta.((m_ca lsl 8) lor m_cb) then begin
+           sym := false;
+           raise_notrace Exit
+         end
+       done
+     done
+   with Exit -> ());
+  let sym = !sym in
+  let rows = if sym then 129 else 256 in
+  let total = rows * 256 in
+  let nnz = ref 0 and fits = ref true in
+  for ca = 0 to rows - 1 do
+    for cb = 0 to 255 do
+      let d = delta.((ca lsl 8) lor cb) in
+      if d <> 0 then begin
+        incr nnz;
+        if not (in_int16 d) then fits := false
+      end
+    done
+  done;
+  let nnz = !nnz in
+  let bitmap_bytes = (total + 7) / 8 in
+  let groups = (total + 31) / 32 in
+  let size = bitmap_bytes + (2 * groups) + 256 + (2 * nnz) in
+  if (not !fits) || nnz = 0 || size > budget_bytes then None
+  else begin
+    let bitmap = make8 bitmap_bytes in
+    Bigarray.Array1.fill bitmap 0;
+    let bases = make16u groups in
+    let corr = make16 (max 1 nnz) in
+    let rank = ref 0 in
+    for idx = 0 to total - 1 do
+      if idx land 31 = 0 then bases.{idx lsr 5} <- !rank;
+      let d = delta.(idx) in
+      if d <> 0 then begin
+        bitmap.{idx lsr 3} <- bitmap.{idx lsr 3} lor (1 lsl (idx land 7));
+        corr.{!rank} <- d;
+        incr rank
+      end
+    done;
+    Some
+      ( Sparse { sym; nnz },
+        Sparse_view
+          { sym; bitmap; bases; pop = Lazy.force popcount_table; corr },
+        size )
+  end
+
+let sparse_delta ~sym ~(bitmap : bytes8) ~(bases : index16) ~(pop : bytes8)
+    ~(corr : table16) ca cb =
+  let ca, cb =
+    if sym && ca > 128 then (256 - ca, (256 - cb) land 0xff) else (ca, cb)
+  in
+  let idx = (ca lsl 8) lor cb in
+  let byte = Bigarray.Array1.unsafe_get bitmap (idx lsr 3) in
+  let bit = idx land 7 in
+  if (byte lsr bit) land 1 = 0 then 0
+  else begin
+    let g = idx lsr 5 in
+    let j = (idx land 31) lsr 3 in
+    let base = ref (Bigarray.Array1.unsafe_get bases g) in
+    for t = 0 to j - 1 do
+      base :=
+        !base
+        + Bigarray.Array1.unsafe_get pop
+            (Bigarray.Array1.unsafe_get bitmap ((g lsl 2) + t))
+    done;
+    Bigarray.Array1.unsafe_get corr
+      (!base + Bigarray.Array1.unsafe_get pop (byte land ((1 lsl bit) - 1)))
+  end
+
+let build lut =
+  let sgn = Ax_arith.Lut.signedness lut in
+  let values = Array.init 256 (Ax_arith.Signedness.value_of_code sgn) in
+  let delta = Array.make Ax_arith.Lut.entries 0 in
+  let zero = ref true in
+  for ca = 0 to 255 do
+    let va = values.(ca) in
+    let row = ca lsl 8 in
+    for cb = 0 to 255 do
+      let d = Ax_arith.Lut.lookup_code lut ca cb - (va * values.(cb)) in
+      delta.(row lor cb) <- d;
+      if d <> 0 then zero := false
+    done
+  done;
+  let mode, view, bytes =
+    if !zero then (Exact_product, Exact_view, 0)
+    else
+      let candidates =
+        List.filter_map
+          (fun f -> f ())
+          [
+            (fun () -> try_masked lut values delta);
+            (fun () -> try_low_factored delta);
+            (fun () -> try_split delta 3);
+            (fun () -> try_split delta 4);
+            (fun () -> try_split delta 2);
+            (fun () -> try_nibble delta);
+            (fun () -> try_sparse delta);
+          ]
+      in
+      match
+        List.sort (fun (_, _, a) (_, _, b) -> compare a b) candidates
+      with
+      | (m, v, b) :: _ when b <= budget_bytes -> (m, v, b)
+      | _ -> (Raw, Raw_view (Ax_arith.Lut.table lut), Ax_arith.Lut.size_bytes)
+  in
+  { lut; mode; view; bytes; values }
+
+(* ---------- memo cache ---------- *)
+
+(* Keyed by physical identity: [Registry.lut] already memoises one table
+   per multiplier name, so configs sharing a multiplier share the
+   compression.  Bounded so adversarial churn (fault-injected copies)
+   cannot leak. *)
+let cache : (Ax_arith.Lut.t * t) list ref = ref []
+let cache_limit = 32
+let cache_mutex = Mutex.create ()
+
+let of_lut lut_ =
+  Mutex.lock cache_mutex;
+  let hit = List.find_opt (fun (l, _) -> l == lut_) !cache in
+  Mutex.unlock cache_mutex;
+  match hit with
+  | Some (_, t) -> t
+  | None ->
+    let t = build lut_ in
+    Mutex.lock cache_mutex;
+    let result =
+      match List.find_opt (fun (l, _) -> l == lut_) !cache with
+      | Some (_, t') -> t'
+      | None ->
+        let kept =
+          if List.length !cache >= cache_limit then
+            List.filteri (fun i _ -> i < cache_limit - 1) !cache
+          else !cache
+        in
+        cache := (lut_, t) :: kept;
+        t
+    in
+    Mutex.unlock cache_mutex;
+    result
+
+(* ---------- generic accessor ---------- *)
+
+let lookup_code t ca cb =
+  let ca = ca land 0xff and cb = cb land 0xff in
+  let e = t.values.(ca) * t.values.(cb) in
+  match t.view with
+  | Exact_view -> e
+  | Masked_view { mask; decode_correction } ->
+    let r = e land mask in
+    r - ((r lsr 15) * decode_correction)
+  | Low_view { shift; amask; bmask; tbl } ->
+    e + tbl.{((ca land amask) lsl shift) lor (cb land bmask)}
+  | Split_view { s; low_mask; high_mask; high_shift; d1; d2 } ->
+    e
+    + d1.{(ca lsl s) lor (cb land low_mask)}
+    + d2.{((ca land high_mask) lsl high_shift) lor (cb lsr s)}
+  | Nibble_view { hi; lo } ->
+    e + hi.{((ca lsr 4) lsl 8) lor cb} + lo.{((ca land 15) lsl 8) lor cb}
+  | Sparse_view { sym; bitmap; bases; pop; corr } ->
+    e + sparse_delta ~sym ~bitmap ~bases ~pop ~corr ca cb
+  | Raw_view table ->
+    let raw = Bigarray.Array1.unsafe_get table ((ca lsl 8) lor cb) in
+    raw - ((raw lsr 15) * Ax_arith.Lut.decode_correction t.lut)

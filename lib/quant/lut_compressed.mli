@@ -1,0 +1,140 @@
+(** Cache-resident compressed form of an approximate-multiplier LUT.
+
+    The paper's accelerator keeps the full 128 kB truth table fast by
+    fetching it through the GPU texture cache (Sec. III); the CPU
+    emulator's analogue is shrinking the table until it fits in L1/L2.
+    Because catalogued approximate multipliers are structured errors on
+    an exact product, the per-entry {e delta}
+
+    {[ delta(ca, cb) = lut(ca, cb) - value(ca) * value(cb) ]}
+
+    is highly compressible: partial-product truncation makes it a
+    bilinear form of a few operand bits, near-exact designs make it
+    sparse.  {!of_lut} tries a lattice of encodings cheapest-first and
+    {b verifies each candidate exhaustively over all 65,536 entries} —
+    compression never changes a single entry, a contract the
+    differential suite [test_lut_compressed.ml] pins down per registry
+    multiplier.  When no encoding fits the {!budget_bytes} working-set
+    budget the raw table is used and reported honestly. *)
+
+type t
+
+type mode =
+  | Exact_product  (** delta is identically zero (exact + certified
+                       netlist-exact multipliers); 0 bytes *)
+  | Masked of int  (** raw entry = exact raw entry [land] mask; 2 bytes *)
+  | Low_factored of { ka : int; kb : int }
+      (** delta depends only on [(ca mod 2^ka, cb mod 2^kb)] — e.g.
+          partial products below [2^cut] dropped ⇒ [ka = kb = cut];
+          one [2^(ka+kb)]-entry int16 table *)
+  | Split_factored of { s : int }
+      (** [delta(a,b) = D1[a][b mod 2^s] + D2[a mod 2^(8-s)][b / 2^s]]
+          — truncation/broken-array deltas whose high-[b] terms only
+          reach low [a] bits; [2(256*2^s + 4^(8-s))] bytes *)
+  | Nibble_split
+      (** [delta(a,b) = HI[a / 16][b] + LO[a mod 16][b]] — exact for
+          {e any} bilinear partial-product delta; 16 kB, the budget
+          boundary (catches [trunc10], which the narrower modes miss) *)
+  | Sparse of { sym : bool; nnz : int }
+      (** zero-delta bitmap + per-32-entry rank bases + packed int16
+          corrections; [sym] halves storage to rows [ca <= 128] when
+          delta is invariant under negating both operand codes *)
+  | Raw  (** no encoding paid; the original 128 kB table *)
+
+val of_lut : Ax_arith.Lut.t -> t
+(** Compress (memoised by physical table identity — [Registry.lut]
+    already hands out one table per multiplier, so configs sharing a
+    multiplier share one compression; bounded cache, thread-safe). *)
+
+val lut : t -> Ax_arith.Lut.t
+val mode : t -> mode
+
+val mode_name : t -> string
+(** Short stable label for benchmarks/JSON: ["exact"], ["masked"],
+    ["low-factored"], ["split-factored"], ["nibble-split"], ["sparse"],
+    ["raw"]. *)
+
+val bytes : t -> int
+(** Working-set payload of the encoding in bytes ([Ax_arith.Lut.size_bytes] for
+    {!Raw}, 0 for {!Exact_product}). *)
+
+val ratio : t -> float
+(** [Ax_arith.Lut.size_bytes / max 1 (bytes t)] — the compression factor. *)
+
+val budget_bytes : int
+(** [16384]: encodings larger than this lose to {!Raw} — past 16 kB the
+    table no longer fits alongside the GEMM tiles in L1/L2 and
+    compression stops paying. *)
+
+val lookup_code : t -> int -> int -> int
+(** Decoded product by operand bit patterns; bit-identical to
+    [Ax_arith.Lut.lookup_code (lut t)] for every code pair — the exhaustive
+    equivalence the test suite asserts.  Generic (one branch per mode);
+    kernels that need per-MAC speed should match {!view} once and
+    specialise. *)
+
+(** {1 Kernel-facing representation}
+
+    The tiled GEMM kernel hoists the arrays out of its inner loop and
+    specialises per mode; treat all arrays as read-only. *)
+
+type table16 =
+  (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type bytes8 =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type index16 =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type view =
+  | Exact_view  (** product = [va * vb] *)
+  | Masked_view of { mask : int; decode_correction : int }
+      (** raw = [(va * vb) land mask]; decode with
+          [raw - (raw lsr 15) * decode_correction] *)
+  | Low_view of { shift : int; amask : int; bmask : int; tbl : table16 }
+      (** delta = [tbl.{((ca land amask) lsl shift) lor (cb land bmask)}] *)
+  | Split_view of {
+      s : int;
+      low_mask : int;
+      high_mask : int;
+      high_shift : int;
+      d1 : table16;
+      d2 : table16;
+    }
+      (** delta = [d1.{(ca lsl s) lor (cb land low_mask)}
+                   + d2.{((ca land high_mask) lsl high_shift)
+                         lor (cb lsr s)}] *)
+  | Nibble_view of { hi : table16; lo : table16 }
+      (** delta = [hi.{((ca lsr 4) lsl 8) lor cb}
+                   + lo.{((ca land 15) lsl 8) lor cb}] *)
+  | Sparse_view of {
+      sym : bool;
+      bitmap : bytes8;
+      bases : index16;
+      pop : bytes8;
+      corr : table16;
+    }
+      (** see {!sparse_delta} for the reference decode *)
+  | Raw_view of
+      (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+      (** the original table ([Ax_arith.Lut.table]) *)
+
+val view : t -> view
+
+val values : t -> int array
+(** 256-entry code→value table for the LUT's signedness, shared by every
+    mode's [va * vb] base term. *)
+
+val sparse_delta :
+  sym:bool ->
+  bitmap:bytes8 ->
+  bases:index16 ->
+  pop:bytes8 ->
+  corr:table16 ->
+  int ->
+  int ->
+  int
+(** Reference sparse decode: symmetry remap, one bitmap byte probe (zero
+    delta exits with a single load — the common case for near-exact
+    multipliers), rank = per-32-entry base + byte popcounts on hit. *)

@@ -1,0 +1,269 @@
+(* Locks down PR "dynamic scheduling + compressed cache-resident LUT":
+   the compression side.
+
+   - exhaustive 65,536-entry equivalence of the compressed accessor
+     against the raw table, for every multiplier in the registry, plus
+     mode/size expectations (every truncation-style design must land in
+     the 16 kB budget);
+   - synthetic tables hitting the encodings the catalogue happens to
+     miss (Masked, non-symmetric Sparse) and pinning the sign-symmetry
+     halving on a table built to be symmetric;
+   - a 50-shape differential conv sweep asserting the compressed kernel
+     is bit-identical to the raw-table tiled kernel for every
+     accumulator model;
+   - memoisation by physical table identity. *)
+
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Rng = Ax_tensor.Rng
+module Filter = Ax_nn.Filter
+module Conv_spec = Ax_nn.Conv_spec
+module Axconv = Ax_nn.Axconv
+module Accumulator = Ax_nn.Accumulator
+module Range = Ax_quant.Range
+module Lc = Ax_quant.Lut_compressed
+module S = Ax_arith.Signedness
+module Lut = Ax_arith.Lut
+module Registry = Ax_arith.Registry
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Exhaustive equivalence: every code pair, compressed vs raw. *)
+let assert_equivalent ~name c =
+  let lut = Lc.lut c in
+  let bad = ref 0 in
+  for ca = 0 to 255 do
+    for cb = 0 to 255 do
+      if Lc.lookup_code c ca cb <> Lut.lookup_code lut ca cb then incr bad
+    done
+  done;
+  check_int (Printf.sprintf "%s: compressed == raw over 65536 entries" name)
+    0 !bad
+
+(* --- every registry multiplier --- *)
+
+let test_registry_exhaustive () =
+  List.iter
+    (fun entry ->
+      let name = entry.Registry.name in
+      let c = Lc.of_lut (Registry.lut entry) in
+      assert_equivalent ~name c;
+      (* Structural invariants of the encoding report. *)
+      let bytes = Lc.bytes c in
+      (match Lc.mode c with
+      | Lc.Raw ->
+        check_int (name ^ ": raw bytes = table size") Lut.size_bytes bytes
+      | Lc.Exact_product -> check_int (name ^ ": exact is free") 0 bytes
+      | Lc.Masked _ | Lc.Low_factored _ | Lc.Split_factored _
+      | Lc.Nibble_split | Lc.Sparse _ ->
+        check_bool
+          (Printf.sprintf "%s: %s (%d B) within budget" name (Lc.mode_name c)
+             bytes)
+          true
+          (bytes > 0 && bytes <= Lc.budget_bytes));
+      check_bool (name ^ ": ratio consistent") true
+        (abs_float
+           (Lc.ratio c
+           -. (float_of_int Lut.size_bytes /. float_of_int (max 1 bytes)))
+        < 1e-9))
+    (Registry.all ())
+
+(* The acceptance bar names truncation-style designs: all of them must
+   actually compress (no Raw fallback), inside the cache budget.  The
+   expected encodings are pinned so a regression in the candidate
+   lattice (e.g. split-factored silently losing to raw) fails loudly,
+   with the observed mode in the message. *)
+let test_trunc_style_budget () =
+  List.iter
+    (fun (name, want_mode) ->
+      let c = Lc.of_lut (Registry.lut (Registry.find_exn name)) in
+      check_bool
+        (Printf.sprintf "%s: got %s (%d B), want %s within %d B" name
+           (Lc.mode_name c) (Lc.bytes c) want_mode Lc.budget_bytes)
+        true
+        (Lc.mode_name c = want_mode && Lc.bytes c <= Lc.budget_bytes))
+    [
+      ("mul8u_trunc4", "low-factored");
+      ("mul8u_trunc6", "split-factored");
+      ("mul8u_trunc8", "split-factored");
+      ("mul8u_trunc10", "nibble-split");
+      ("mul8u_bam_h2_v6", "split-factored");
+      ("mul8u_bam_h3_v8", "split-factored");
+      ("mul8u_nl_trunc8", "split-factored");
+      ("mul8u_nl_bam_h2_v6", "split-factored");
+      ("mul8u_kulkarni", "nibble-split");
+      ("mul8u_flip14_1e-3", "sparse");
+      ("mul8u_exact", "exact");
+      ("mul8s_exact", "exact");
+      ("mul8u_nl_exact", "exact");
+      ("mul8s_nl_exact", "exact");
+    ]
+
+(* --- synthetic tables for the modes the catalogue misses --- *)
+
+let test_masked () =
+  let mask = 0xFF80 in
+  let lut = Lut.make ~signedness:S.Unsigned (fun a b -> a * b land mask) in
+  let c = Lc.of_lut lut in
+  check_bool
+    (Printf.sprintf "masked table detected (got %s)" (Lc.mode_name c))
+    true
+    (match Lc.mode c with Lc.Masked m -> m = mask | _ -> false);
+  check_int "masked payload is one int16" 2 (Lc.bytes c);
+  assert_equivalent ~name:"masked" c
+
+let test_sparse_symmetric () =
+  (* Two defective entries placed at code pairs that are images of each
+     other under negating both operands: (1,1) and (255,255).  The
+     sign-symmetry test must hold and halve the correction storage. *)
+  let f a b =
+    if (a = 1 && b = 1) || (a = 255 && b = 255) then (a * b) + 3 else a * b
+  in
+  let c = Lc.of_lut (Lut.make ~signedness:S.Unsigned f) in
+  check_bool
+    (Printf.sprintf "symmetric sparse detected (got %s)" (Lc.mode_name c))
+    true
+    (match Lc.mode c with Lc.Sparse { sym; _ } -> sym | _ -> false);
+  check_bool "sparse fits the budget" true (Lc.bytes c <= Lc.budget_bytes);
+  assert_equivalent ~name:"sparse-sym" c
+
+let test_sparse_asymmetric () =
+  (* One defective entry whose negated-pair image is clean: symmetry
+     must NOT be claimed, and decode must still be exact. *)
+  let f a b = if a = 3 && b = 5 then (a * b) + 7 else a * b in
+  let c = Lc.of_lut (Lut.make ~signedness:S.Unsigned f) in
+  check_bool
+    (Printf.sprintf "asymmetric sparse detected (got %s)" (Lc.mode_name c))
+    true
+    (match Lc.mode c with
+    | Lc.Sparse { sym; _ } -> not sym
+    | _ -> false);
+  assert_equivalent ~name:"sparse-asym" c
+
+let test_raw_fallback () =
+  (* A structureless dense delta defeats every encoding; the honest
+     answer is the raw table, at full size, decoding exactly. *)
+  let f a b =
+    (a * b) + ((((a * 2654435761) lxor (b * 40503)) land 0xFF) - 128)
+  in
+  let c = Lc.of_lut (Lut.make ~signedness:S.Unsigned f) in
+  check_bool
+    (Printf.sprintf "dense noise stays raw (got %s)" (Lc.mode_name c))
+    true
+    (Lc.mode c = Lc.Raw);
+  check_int "raw keeps full size" Lut.size_bytes (Lc.bytes c);
+  assert_equivalent ~name:"raw-fallback" c
+
+let test_memoised () =
+  let lut = Registry.lut (Registry.find_exn "mul8u_trunc8") in
+  check_bool "same physical table compresses once" true
+    (Lc.of_lut lut == Lc.of_lut lut);
+  (* A physically distinct copy is a different cache key. *)
+  let copy = Lut.copy lut in
+  check_bool "a copy is compressed separately" true
+    (not (Lc.of_lut copy == Lc.of_lut lut));
+  check_bool "but to the same encoding" true
+    (Lc.mode (Lc.of_lut copy) = Lc.mode (Lc.of_lut lut))
+
+(* --- differential conv sweep: compressed kernel vs raw-table kernel --- *)
+
+let accumulators =
+  [
+    Accumulator.Wide;
+    Accumulator.Saturating 16;
+    Accumulator.Wrapping 16;
+    Accumulator.Lower_or { width = 20; approx_low = 4 };
+  ]
+
+(* One multiplier per compression mode the kernel specialises on, so
+   every decode loop (exact, low-factored, split-factored, nibble-split,
+   sparse, and the raw fallback) sees the sweep. *)
+let sweep_multipliers =
+  [|
+    "mul8u_exact";
+    "mul8u_trunc4";
+    "mul8u_trunc8";
+    "mul8u_trunc10";
+    "mul8u_flip14_1e-3";
+    "mul8u_drum4";
+  |]
+
+let test_conv_sweep () =
+  let cases = ref 0 in
+  for id = 0 to 49 do
+    let rng = Rng.create (1000 + id) in
+    let pick lo hi = lo + Rng.int rng (hi - lo + 1) in
+    let n = pick 1 3 in
+    let h = pick 4 10 and w = pick 4 10 in
+    let c = pick 1 6 and out_c = pick 1 10 in
+    let kh = pick 1 3 and kw = pick 1 3 in
+    let stride = pick 1 2 in
+    let padding =
+      if Rng.int rng 2 = 0 then Conv_spec.Same else Conv_spec.Valid
+    in
+    let spec = Conv_spec.make ~stride ~padding () in
+    let chunk_size = pick 1 n in
+    let input = Tensor.create (Shape.make ~n ~h ~w ~c) in
+    Tensor.fill_uniform ~lo:(-1.2) ~hi:1.2 rng input;
+    let filter = Filter.create ~kh ~kw ~in_c:c ~out_c in
+    Filter.fill_he_normal rng filter;
+    let input_range = Range.of_tensor input in
+    let fmin, fmax = Filter.min_max filter in
+    let filter_range = Range.make ~min:fmin ~max:fmax in
+    let mul_name = sweep_multipliers.(id mod Array.length sweep_multipliers) in
+    let lut = Registry.lut (Registry.find_exn mul_name) in
+    let bias =
+      if id mod 2 = 0 then
+        Some (Array.init out_c (fun k -> 0.01 *. float_of_int k))
+      else None
+    in
+    List.iter
+      (fun accumulator ->
+        let run compress =
+          let config =
+            Axconv.make_config ~chunk_size ~accumulator ~compress lut
+          in
+          Axconv.conv ~config ~input ~input_range ~filter ~filter_range
+            ?bias ~spec ()
+        in
+        let want = run false and got = run true in
+        incr cases;
+        check_bool
+          (Printf.sprintf "case %d (%s, %s): compressed == raw kernel" id
+             mul_name
+             (Accumulator.to_string accumulator))
+          true
+          (Tensor.max_abs_diff want got = 0.))
+      accumulators
+  done;
+  check_bool "sweep ran 200 comparisons" true (!cases = 200)
+
+let () =
+  Alcotest.run "lut_compressed"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case
+            "every registry multiplier, all 65536 entries" `Quick
+            test_registry_exhaustive;
+          Alcotest.test_case "truncation-style modes and budget" `Quick
+            test_trunc_style_budget;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "masked" `Quick test_masked;
+          Alcotest.test_case "sparse symmetric" `Quick test_sparse_symmetric;
+          Alcotest.test_case "sparse asymmetric" `Quick test_sparse_asymmetric;
+          Alcotest.test_case "raw fallback" `Quick test_raw_fallback;
+          Alcotest.test_case "memoised by table identity" `Quick
+            test_memoised;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case
+            "conv sweep: compressed == raw kernel (50 shapes x 4 \
+             accumulators)"
+            `Quick test_conv_sweep;
+        ] );
+    ]

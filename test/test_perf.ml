@@ -20,6 +20,7 @@ let record ?(label = "r") ?(images = 2) ?ns_per_mac throughput =
           { Perf.domains; seconds = 1.0; images_per_sec = ips })
         throughput;
     ns_per_mac;
+    lut_compression = None;
   }
 
 (* --- parsing --- *)
@@ -55,7 +56,27 @@ let test_record_json_round_trip () =
   let no_mac' =
     Perf.record_of_json (Json.parse (Json.to_string (Perf.record_to_json no_mac)))
   in
-  check_bool "absent ns/MAC stays absent" true (no_mac'.Perf.ns_per_mac = None)
+  check_bool "absent ns/MAC stays absent" true (no_mac'.Perf.ns_per_mac = None);
+  let comp =
+    {
+      (record ~ns_per_mac:2.2 [ (1, 3.0) ]) with
+      Perf.lut_compression =
+        Some
+          {
+            Perf.multiplier = "mul8u_trunc8";
+            comp_mode = "split-factored";
+            comp_bytes = 6144;
+            comp_ratio = 21.3;
+          };
+    }
+  in
+  let comp' =
+    Perf.record_of_json (Json.parse (Json.to_string (Perf.record_to_json comp)))
+  in
+  check_bool "lut compression round trips" true (comp = comp');
+  (* Pre-compression history lines keep parsing: the member is optional. *)
+  check_bool "absent compression stays absent" true
+    (no_mac'.Perf.lut_compression = None)
 
 let test_utc_label_shape () =
   let l = Perf.utc_label () in

@@ -8,7 +8,11 @@
      for the per-image sharded [Emulator.run]/[Emulator.accuracy],
      including the merged LUT/MAC counters;
    - per-chunk metric accounting: a 3-chunk batch reports exactly the
-     summed counters, whatever the row split.
+     summed counters and chunk-timing observations, whatever the row
+     split;
+   - dynamic claiming: exactly-once coverage, grain alignment,
+     bit-identity with static partitioning, deterministic exceptions and
+     claim stats under adversarially skewed chunk costs.
 
    The CI matrix exports TFAPPROX_DOMAINS=4; the suite folds that value
    into the domain counts under test. *)
@@ -317,8 +321,11 @@ let test_pool_tracer_attribution () =
         (Ax_obs.Trace.span_count sink))
 
 (* The acceptance bar for the whole instrumentation stack: with tracing
-   and profiling on, outputs stay bit-identical across domain counts,
-   and the merged trace is deterministic in shape (names x tids). *)
+   and profiling on, outputs stay bit-identical across domain counts and
+   the merged trace is deterministic in the span names it contains.
+   Which slot (tid row) a shard lands on is schedule-dependent under
+   dynamic claiming — the one trace property work stealing gives up —
+   so tids are only checked to be valid slots. *)
 let traced_sharded_run ~domains =
   let graph =
     Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains
@@ -330,36 +337,225 @@ let traced_sharded_run ~domains =
   let out =
     Emulator.run ~profile ~domains ~backend:Emulator.Cpu_gemm graph data
   in
-  let shape =
+  let spans = Ax_obs.Trace.spans tracer in
+  let names =
     List.sort compare
-      (List.map
-         (fun (s : Ax_obs.Trace.span) -> (s.Ax_obs.Trace.name, s.Ax_obs.Trace.tid))
-         (Ax_obs.Trace.spans tracer))
+      (List.map (fun (s : Ax_obs.Trace.span) -> s.Ax_obs.Trace.name) spans)
   in
-  (out, shape)
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun (s : Ax_obs.Trace.span) -> s.Ax_obs.Trace.tid) spans)
+  in
+  (out, names, tids)
 
 let test_traced_sharded_deterministic () =
-  let reference, _ = traced_sharded_run ~domains:1 in
+  let reference, _, _ = traced_sharded_run ~domains:1 in
   List.iter
     (fun domains ->
-      let out, shape = traced_sharded_run ~domains in
+      let out, names, tids = traced_sharded_run ~domains in
       check_bool
         (Printf.sprintf "domains=%d traced output bit-identical" domains)
         true
         (Ax_tensor.Tensor.max_abs_diff reference out = 0.);
-      let _, shape' = traced_sharded_run ~domains in
+      let _, names', _ = traced_sharded_run ~domains in
       check_bool
-        (Printf.sprintf "domains=%d trace shape deterministic" domains)
-        true (shape = shape');
-      if domains >= 3 then begin
-        let tids = List.sort_uniq compare (List.map snd shape) in
-        check_bool
-          (Printf.sprintf "domains=%d distinct tid rows (%d)" domains
-             (List.length tids))
-          true
-          (List.length tids >= 2)
-      end)
+        (Printf.sprintf "domains=%d trace names deterministic" domains)
+        true (names = names');
+      check_bool
+        (Printf.sprintf "domains=%d tids are valid slots" domains)
+        true
+        (tids <> [] && List.for_all (fun t -> t >= 0 && t < domains) tids))
     (List.filter (fun d -> d <= 4) domain_counts)
+
+(* --- dynamic claiming --- *)
+
+(* Exactly-once coverage is schedule-independent: under work stealing
+   every index is still visited once, whatever the grain, pool size or
+   claim/domain interleaving. *)
+let prop_dynamic_coverage =
+  QCheck.Test.make ~count:60
+    ~name:"dynamic parallel_for covers any range exactly once"
+    QCheck.(
+      quad (int_range 1 8) (int_range (-20) 20) (int_range 0 50)
+        (int_range 0 7))
+    (fun (domains, lo, len, grain) ->
+      Pool.with_pool ~domains (fun p ->
+          let hi = lo + len in
+          let hits = Array.init (max len 1) (fun _ -> Atomic.make 0) in
+          Pool.parallel_for p ~schedule:(Pool.Dynamic { grain }) ~lo ~hi
+            (fun ~lo:slo ~hi:shi ->
+              for i = slo to shi - 1 do
+                Atomic.incr hits.(i - lo)
+              done);
+          len = 0
+          || Array.for_all
+               (fun c -> Atomic.get c = 1)
+               (Array.init len (fun i -> hits.(i)))))
+
+(* Claimed sub-ranges never straddle a grain boundary, and every claim
+   is a sub-range of [lo, hi): the fixed claim->range map the
+   determinism argument rests on. *)
+let prop_dynamic_grain_alignment =
+  QCheck.Test.make ~count:60 ~name:"dynamic claims are grain-aligned"
+    QCheck.(triple (int_range 1 6) (int_range 1 40) (int_range 1 9))
+    (fun (domains, len, grain) ->
+      Pool.with_pool ~domains (fun p ->
+          let ok = Atomic.make true in
+          Pool.parallel_for p ~schedule:(Pool.Dynamic { grain }) ~lo:3
+            ~hi:(3 + len) (fun ~lo ~hi ->
+              if
+                (lo - 3) mod grain <> 0
+                || hi - lo > grain
+                || lo < 3
+                || hi > 3 + len
+              then Atomic.set ok false);
+          Atomic.get ok))
+
+(* Ordered-concatenation map_reduce is the strongest determinism probe:
+   any fold in completion order (rather than claim order) scrambles the
+   list.  Static and dynamic must agree exactly, for every domain count
+   and grain. *)
+let test_dynamic_matches_static () =
+  let run p schedule =
+    Pool.map_reduce p ~schedule ~lo:0 ~hi:37
+      ~map:(fun ~lo ~hi -> [ (lo, hi) ])
+      ~reduce:(fun a b -> a @ b)
+      []
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let static = run p Pool.Static in
+          let flat =
+            List.concat_map
+              (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i))
+              static
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "domains=%d static ascending" domains)
+            (List.init 37 Fun.id) flat;
+          List.iter
+            (fun grain ->
+              let dyn = run p (Pool.Dynamic { grain }) in
+              let flat' =
+                List.concat_map
+                  (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i))
+                  dyn
+              in
+              Alcotest.(check (list int))
+                (Printf.sprintf "domains=%d grain=%d dynamic ascending"
+                   domains grain)
+                (List.init 37 Fun.id) flat')
+            [ 0; 1; 2; 5; 100 ];
+          (* Exact integer reduction agrees bit-for-bit. *)
+          let sum schedule =
+            Pool.map_reduce p ~schedule ~lo:1 ~hi:101
+              ~map:(fun ~lo ~hi ->
+                let s = ref 0 in
+                for i = lo to hi - 1 do
+                  s := !s + i
+                done;
+                !s)
+              ~reduce:( + ) 0
+          in
+          check_int
+            (Printf.sprintf "domains=%d dynamic sum" domains)
+            (sum Pool.Static)
+            (sum (Pool.dynamic ()))))
+    [ 1; 2; 4 ]
+
+(* Adversarially skewed chunk costs: index i spins i times, so a static
+   split gives the last domain almost all the work while dynamic
+   claiming rebalances.  Whatever the timing, results stay identical. *)
+let test_dynamic_skewed_costs () =
+  let weighted_sum p schedule =
+    Pool.map_reduce p ~schedule ~lo:0 ~hi:64
+      ~map:(fun ~lo ~hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          (* Cost grows quadratically with the index. *)
+          for _ = 1 to i * i do
+            ignore (Sys.opaque_identity i)
+          done;
+          s := !s + (i * i)
+        done;
+        !s)
+      ~reduce:( + ) 0
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let want = weighted_sum p Pool.Static in
+          List.iter
+            (fun grain ->
+              check_int
+                (Printf.sprintf "domains=%d grain=%d skewed" domains grain)
+                want
+                (weighted_sum p (Pool.Dynamic { grain })))
+            [ 1; 3; 16 ]))
+    [ 1; 2; 4 ]
+
+let test_dynamic_exception_deterministic () =
+  Pool.with_pool ~domains:4 (fun p ->
+      (* Unconditional failure: claim 0 always executes, so the lowest
+         failing claim — and with it the payload — is pinned. *)
+      let raised = ref 0 in
+      (try
+         Pool.parallel_for p ~schedule:(Pool.Dynamic { grain = 3 }) ~lo:0
+           ~hi:40 (fun ~lo ~hi:_ -> raise (Boom lo))
+       with Boom lo ->
+         incr raised;
+         check_int "lowest claim wins" 0 lo);
+      check_int "re-raised exactly once" 1 !raised;
+      (* Conditional failure: claims are handed out in ascending order,
+         so the first claim whose range crosses the threshold is always
+         dispatched before any later one — Boom 12 is deterministic. *)
+      (try
+         Pool.parallel_for p ~schedule:(Pool.Dynamic { grain = 3 }) ~lo:0
+           ~hi:40 (fun ~lo ~hi:_ -> if lo >= 10 then raise (Boom lo))
+       with Boom lo -> check_int "lowest failing claim wins" 12 lo);
+      (* The pool survives and later dynamic calls still cover fully. *)
+      let hits = Array.init 20 (fun _ -> Atomic.make 0) in
+      Pool.parallel_for p ~schedule:(Pool.dynamic ()) ~lo:0 ~hi:20
+        (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            Atomic.incr hits.(i)
+          done);
+      check_bool "pool reusable after dynamic failure" true
+        (Array.for_all (fun c -> Atomic.get c = 1) hits))
+
+let test_dynamic_map_array_order () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let items = Array.init 23 (fun i -> i) in
+          let out =
+            Pool.map_array p ~schedule:(Pool.Dynamic { grain = 1 })
+              (fun i -> (i * i) + 1)
+              items
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d dynamic map_array" domains)
+            (Array.map (fun i -> (i * i) + 1) items)
+            out))
+    [ 1; 2; 4 ]
+
+let test_dynamic_stats () =
+  Pool.with_pool ~domains:2 (fun p ->
+      let before = Pool.stats p in
+      Pool.parallel_for p ~schedule:(Pool.Dynamic { grain = 5 }) ~lo:0
+        ~hi:40 (fun ~lo:_ ~hi:_ -> ());
+      let s = Pool.stats p in
+      check_int "one dynamic call" 1
+        (s.Pool.dynamic_calls - before.Pool.dynamic_calls);
+      check_int "ceil(40/5) claims" 8 (s.Pool.claims - before.Pool.claims);
+      let m = Metrics.create () in
+      Pool.publish p m;
+      let snap = Metrics.snapshot m in
+      check_bool "pool_dynamic_calls gauge" true
+        (Metrics.find_gauge snap "pool_dynamic_calls" <> None);
+      check_bool "pool_claims gauge" true
+        (Metrics.find_gauge snap "pool_claims" <> None))
 
 (* qcheck fuzz: coverage holds for arbitrary range/width combinations. *)
 let prop_coverage =
@@ -477,11 +673,19 @@ let test_three_chunk_accounting () =
       check_int
         (tag ^ " im2col bytes")
         (rows * taps)
-        (counter "im2col_bytes"))
+        (counter "im2col_bytes");
+      (* Per-chunk timing stays coordinator-side: exactly one
+         gemm_chunk_seconds observation per chunk, whatever the domain
+         count or claim interleaving. *)
+      (match Metrics.find_histogram snap "gemm_chunk_seconds" with
+      | Some h -> check_int (tag ^ " chunk timing observations") 3 h.Metrics.count
+      | None -> Alcotest.failf "%s gemm_chunk_seconds histogram missing" tag))
     domain_counts
 
 let qsuite =
-  List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_coverage ]
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_coverage; prop_dynamic_coverage; prop_dynamic_grain_alignment ]
 
 let () =
   Alcotest.run "tfapprox_pool"
@@ -510,6 +714,18 @@ let () =
             test_per_domain_stats_and_imbalance;
           Alcotest.test_case "tracer attribution" `Quick
             test_pool_tracer_attribution;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "matches static partitioning" `Quick
+            test_dynamic_matches_static;
+          Alcotest.test_case "skewed chunk costs" `Quick
+            test_dynamic_skewed_costs;
+          Alcotest.test_case "deterministic exception" `Quick
+            test_dynamic_exception_deterministic;
+          Alcotest.test_case "map_array order under claiming" `Quick
+            test_dynamic_map_array_order;
+          Alcotest.test_case "claim stats" `Quick test_dynamic_stats;
         ] );
       ( "determinism",
         [
