@@ -978,6 +978,267 @@ let run_resilience () =
   Format.printf "@.-- csv --@.%s" (Ax_resilience.Campaign.csv report)
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon throughput + torture                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Ax_serve.Server
+module Store = Ax_serve.Store
+module Sclient = Ax_serve.Client
+module Protocol = Ax_serve.Protocol
+module Admission = Ax_serve.Admission
+
+let temp_socket tag =
+  let path = Filename.temp_file ("tfapprox_" ^ tag) ".sock" in
+  Sys.remove path;
+  path
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* Sustained load + exact client-side latency quantiles: [threads]
+   concurrent clients, each issuing [per_thread] single-image requests
+   back to back, every response checked bit-identical against a local
+   one-shot [Emulator.predictions ~domains:1] of the same tensor. *)
+let serve_throughput ~server ~address ~graph ~threads ~per_thread =
+  let latencies = Array.make (threads * per_thread) 0. in
+  let mismatches = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  let worker i () =
+    let data =
+      (Cifar.generate ~seed:(1000 + i) ~n:1 ()).Cifar.images
+    in
+    let expected =
+      Tfapprox.Emulator.predictions ~verify:false ~domains:1 graph
+        ~backend:Tfapprox.Emulator.Cpu_gemm data
+    in
+    let c = Sclient.connect address in
+    for j = 0 to per_thread - 1 do
+      let t0 = Unix.gettimeofday () in
+      (match Sclient.infer c ~id:((i * per_thread) + j) ~model:"resnet8" data with
+      | Ok classes -> if classes <> expected then Atomic.incr mismatches
+      | Error _ -> Atomic.incr failures);
+      latencies.((i * per_thread) + j) <- Unix.gettimeofday () -. t0
+    done;
+    Sclient.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let ts = List.init threads (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join ts;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let n = threads * per_thread in
+  Format.printf
+    "%d clients x %d requests: %.1f req/s sustained (%.2f s wall)@." threads
+    per_thread
+    (float_of_int n /. wall)
+    wall;
+  Format.printf "request latency: p50 %.1f ms  p99 %.1f ms  max %.1f ms@."
+    (1000. *. percentile latencies 0.50)
+    (1000. *. percentile latencies 0.99)
+    (1000. *. latencies.(n - 1));
+  let st = Admission.stats (Server.admission server) in
+  Format.printf
+    "admission: %d submitted, %d batches (%.2f jobs/batch), max depth %d@."
+    st.Admission.submitted st.Admission.batches
+    (if st.Admission.batches = 0 then 0.
+     else float_of_int st.Admission.batched_jobs /. float_of_int st.Admission.batches)
+    st.Admission.max_depth;
+  (Atomic.get mismatches, Atomic.get failures)
+
+(* Overload + corrupt artefacts + a garbage-spraying client, all at
+   once, against a deliberately tiny queue.  The daemon must survive
+   with bounded queue depth, typed rejections, and bit-identical
+   answers for every request it accepted. *)
+let serve_torture () =
+  let dir = Filename.temp_file "tfapprox_torture" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let lut_path name =  Filename.concat dir name in
+  (* two corrupt LUT artefacts: one repairable (spec names a registry
+     multiplier to re-tabulate), one not *)
+  let corrupt path =
+    Ax_arith.Lut.save path
+      (Tfapprox.Emulator.lut_of_multiplier "mul8u_trunc8");
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+    ignore (Unix.lseek fd 4096 Unix.SEEK_SET);
+    ignore (Unix.write fd (Bytes.make 16 '\xff') 0 16);
+    Unix.close fd
+  in
+  corrupt (lut_path "repairable.axlut");
+  corrupt (lut_path "lost.axlut");
+  let store =
+    Store.load ~domains:1
+      (List.map Store.parse_spec
+         [
+           "resnet8=resnet8+mul8u_trunc8";
+           Printf.sprintf "repaired=resnet8+mul8u_trunc8@%s"
+             (lut_path "repairable.axlut");
+           Printf.sprintf "lost=resnet8@%s" (lut_path "lost.axlut");
+         ])
+  in
+  let address = Server.Unix_sock (temp_socket "torture") in
+  let capacity = 4 in
+  let server =
+    Server.start
+      {
+        (Server.default_config ~store ~address ()) with
+        Server.queue_capacity = capacity;
+        max_batch = 2;
+        linger = 0.05;
+      }
+  in
+  (* the one-shot reference for the good model *)
+  let graph =
+    match Store.find store "resnet8" with
+    | Some { Store.status = Store.Ready r; _ } -> r.Store.graph
+    | _ -> assert false
+  in
+  let data = (Cifar.generate ~seed:7 ~n:1 ()).Cifar.images in
+  let expected =
+    Tfapprox.Emulator.predictions ~verify:false ~domains:1 graph
+      ~backend:Tfapprox.Emulator.Cpu_gemm data
+  in
+  (* 1. overload: pipeline 3x capacity requests in one burst inside the
+     50 ms linger window, so the queue must fill and refuse *)
+  let burst = 3 * capacity in
+  let c = Sclient.connect address in
+  let req_frame id =
+    Protocol.frame
+      (Protocol.encode_request
+         (Protocol.Infer { id; model = "resnet8"; deadline_ms = None; input = data }))
+  in
+  for id = 0 to burst - 1 do
+    Sclient.send_raw c (req_frame id)
+  done;
+  let accepted = ref 0 and overloaded = ref 0 and odd = ref 0 in
+  for _ = 1 to burst do
+    match Sclient.read_response c with
+    | Ok (Protocol.Predictions { classes; _ }) ->
+      incr accepted;
+      if classes <> expected then begin
+        Format.eprintf "torture: accepted request not bit-identical@.";
+        exit 1
+      end
+    | Ok (Protocol.Error { code = Protocol.Overloaded; retry_after_ms; _ }) ->
+      incr overloaded;
+      if retry_after_ms <= 0 then begin
+        Format.eprintf "torture: Overloaded without a retry hint@.";
+        exit 1
+      end
+    | Ok _ | Error _ -> incr odd
+  done;
+  Sclient.close c;
+  (* 2. concurrently: a garbage client and requests against the
+     degraded + repaired models *)
+  let garbage_ok = ref false in
+  let g =
+    Thread.create
+      (fun () ->
+        let st = Random.State.make [| 0xbeef |] in
+        for _ = 1 to 5 do
+          let c = Sclient.connect address in
+          Sclient.send_raw c
+            (Bytes.init 256 (fun _ -> Char.chr (Random.State.int st 256)));
+          (match Sclient.read_response c with _ -> () | exception _ -> ());
+          Sclient.close c
+        done;
+        let c = Sclient.connect address in
+        (match Sclient.ping c with Ok () -> garbage_ok := true | Error _ -> ());
+        Sclient.close c)
+      ()
+  in
+  let c = Sclient.connect address in
+  let unavailable_typed =
+    match Sclient.infer c ~model:"lost" data with
+    | Error (Sclient.Refused { code = Protocol.Model_unavailable; _ }) -> true
+    | _ -> false
+  in
+  let repaired_ok =
+    match Sclient.infer c ~model:"repaired" data with
+    | Ok classes -> classes = expected
+    | Error _ -> false
+  in
+  (* an expired deadline is answered typed, never scheduled *)
+  let deadline_typed =
+    match Sclient.infer c ~deadline_ms:0 ~model:"resnet8" data with
+    | Error (Sclient.Refused { code = Protocol.Deadline_exceeded; _ }) -> true
+    | Ok _ -> true (* scheduler won the race; acceptable, not a crash *)
+    | Error _ -> false
+  in
+  Sclient.close c;
+  Thread.join g;
+  let st = Admission.stats (Server.admission server) in
+  Server.stop server;
+  Format.printf
+    "burst of %d vs capacity %d: %d accepted (all bit-identical), %d \
+     refused Overloaded@."
+    burst capacity !accepted !overloaded;
+  Format.printf
+    "max queue depth %d (bound %d); %d expired at the batch boundary@."
+    st.Admission.max_depth capacity st.Admission.expired;
+  Format.printf
+    "degraded model -> typed Model_unavailable: %b; repaired LUT serves \
+     bit-identically: %b@."
+    unavailable_typed repaired_ok;
+  Format.printf "garbage client contained, daemon alive: %b@." !garbage_ok;
+  let ok =
+    !overloaded > 0 && !odd = 0
+    && st.Admission.max_depth <= capacity
+    && unavailable_typed && repaired_ok && deadline_typed && !garbage_ok
+  in
+  if not ok then begin
+    Format.eprintf "serve torture section FAILED@.";
+    exit 1
+  end;
+  Format.printf "torture: ok — zero daemon crashes@."
+
+let run_serve () =
+  section "Serve: inference daemon under concurrent load (+ torture)";
+  let address = Server.Unix_sock (temp_socket "serve") in
+  let store = Store.load ~domains:1 [ Store.parse_spec "resnet8=resnet8+mul8u_trunc8" ] in
+  let graph =
+    match Store.find store "resnet8" with
+    | Some { Store.status = Store.Ready r; _ } -> r.Store.graph
+    | _ -> assert false
+  in
+  let metrics = Ax_obs.Metrics.create () in
+  let server =
+    Server.start
+      {
+        (Server.default_config ~store ~address ()) with
+        Server.queue_capacity = 64;
+        max_batch = 8;
+        linger = 0.001;
+        metrics;
+      }
+  in
+  let mismatches, failures =
+    serve_throughput ~server ~address ~graph ~threads:4
+      ~per_thread:(max 2 (images_measured / 2))
+  in
+  (* the server-side histogram view of the same traffic *)
+  let snap = Ax_obs.Metrics.snapshot metrics in
+  (match Ax_obs.Metrics.find_histogram snap "serve_request_seconds" with
+  | Some h ->
+    Format.printf
+      "server-side serve_request_seconds: n=%d p50=%.1f ms p99=%.1f ms@."
+      h.Ax_obs.Metrics.count
+      (1000. *. h.Ax_obs.Metrics.p50)
+      (1000. *. h.Ax_obs.Metrics.p99)
+  | None -> ());
+  Server.stop server;
+  if mismatches > 0 || failures > 0 then begin
+    Format.eprintf "serve bench FAILED: %d mismatches, %d failed requests@."
+      mismatches failures;
+    exit 1
+  end;
+  Format.printf "all responses bit-identical to one-shot Emulator runs@.@.";
+  Format.printf "-- torture: overload + corrupt LUTs + garbage client --@.";
+  serve_torture ()
+
+(* ------------------------------------------------------------------ *)
 (* Device sweep                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1024,6 +1285,7 @@ let all_sections =
     ("per-layer", run_per_layer);
     ("device-sweep", run_device_sweep);
     ("pool", run_pool);
+    ("serve", run_serve);
     ("gemm", run_gemm);
     ("history", run_history);
     ("trace", run_trace);

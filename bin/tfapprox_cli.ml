@@ -81,23 +81,45 @@ let metrics_file_term =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a metrics snapshot JSON to $(docv) (\"-\" for stdout).")
 
-(* Operator-error hardening: anything a user can get wrong at the shell
-   — a missing or corrupt artefact file, a registry-name typo, a
-   malformed comma-separated list — must exit with code 2 and one line
-   on stderr, never a backtrace.  cmdliner's own converter errors exit
-   with its reserved code 124, so list parsing happens inside the run
-   functions, under this wrapper. *)
+(* Operator-error hardening and the exit-code contract (see the README
+   table): anything the operator typed wrong — a registry-name typo, a
+   malformed comma-separated list, a bad spec — exits 2; anything that
+   went wrong at runtime despite a well-formed invocation — a missing
+   or corrupt artefact, a graph the verifier rejects, an unreachable
+   daemon — exits 1.  Both print one line on stderr, never a backtrace.
+   cmdliner's own converter errors exit with its reserved code 124, so
+   list parsing happens inside the run functions, under this wrapper. *)
+let usage_error msg =
+  Format.eprintf "tfapprox: %s@." msg;
+  exit 2
+
+let runtime_error msg =
+  Format.eprintf "tfapprox: %s@." msg;
+  exit 1
+
 let guarded f =
   try f () with
-  | Failure msg | Sys_error msg | Invalid_argument msg ->
-    Format.eprintf "tfapprox: %s@." msg;
-    exit 2
+  | Failure msg | Invalid_argument msg -> usage_error msg
+  | Sys_error msg -> runtime_error msg
+  | Unix.Unix_error (err, fn, arg) ->
+    runtime_error
+      (Printf.sprintf "%s%s: %s" fn
+         (if arg = "" then "" else " " ^ arg)
+         (Unix.error_message err))
   | Ax_arith.Load_error.Error e ->
-    Format.eprintf "tfapprox: %s@." (Ax_arith.Load_error.to_string e);
-    exit 2
-  | Ax_nn.Nn_error.Error e ->
-    Format.eprintf "tfapprox: %s@." (Ax_nn.Nn_error.to_string e);
-    exit 2
+    runtime_error (Ax_arith.Load_error.to_string e)
+  | Ax_nn.Nn_error.Error e -> runtime_error (Ax_nn.Nn_error.to_string e)
+  | Ax_analysis.Diagnostic.Rejected ds ->
+    List.iter
+      (fun d -> Format.eprintf "tfapprox: %a@." Ax_analysis.Diagnostic.pp d)
+      ds;
+    runtime_error "graph rejected by static verification"
+
+let backend_of_string = function
+  | "accurate" -> Tfapprox.Emulator.Cpu_accurate
+  | "direct" -> Tfapprox.Emulator.Cpu_direct
+  | "gemm" -> Tfapprox.Emulator.Cpu_gemm
+  | other -> failwith (Printf.sprintf "unknown backend %s" other)
 
 let int_list ~what s =
   try List.map int_of_string (String.split_on_char ',' (String.trim s))
@@ -171,6 +193,7 @@ let dump_metrics metrics = function
 
 let table1_cmd =
   let run device multiplier depths images dataset csv =
+    guarded @@ fun () ->
     let rows =
       Tfapprox.Experiments.table1 ~device ~multiplier ~depths
         ~images_measured:images ~dataset_images:dataset ()
@@ -186,6 +209,7 @@ let table1_cmd =
 let fig2_cmd =
   let run device multiplier depths images dataset csv trace_file quiet =
     apply_quiet quiet;
+    guarded @@ fun () ->
     let tracer =
       match trace_file with
       | Some _ -> Some (Ax_obs.Trace.create ())
@@ -211,6 +235,7 @@ let fig2_cmd =
 
 let sweep_cmd =
   let run depth images =
+    guarded @@ fun () ->
     let rows = Tfapprox.Experiments.accuracy_sweep ~depth ~images () in
     Tfapprox.Report.print_accuracy_sweep Format.std_formatter rows
   in
@@ -227,6 +252,7 @@ let sweep_cmd =
 
 let multipliers_cmd =
   let run verbose =
+    guarded @@ fun () ->
     List.iter
       (fun e ->
         if verbose then begin
@@ -252,6 +278,7 @@ let multipliers_cmd =
 let verilog_cmd =
   let run kind bits cut output quiet =
     apply_quiet quiet;
+    guarded @@ fun () ->
     let m =
       match kind with
       | "exact" -> Ax_netlist.Multipliers.unsigned_array ~bits
@@ -317,6 +344,7 @@ let lut_cmd =
 
 let search_cmd =
   let run max_mae =
+    guarded @@ fun () ->
     let trajectory = Ax_arith.Search.greedy_prune ~max_mae () in
     Format.printf "%-8s %10s %8s %10s@." "kept" "MAE" "WCE" "area proxy";
     List.iter
@@ -382,13 +410,7 @@ let trace_cmd =
       metrics_file tree prometheus quiet =
     apply_quiet quiet;
     guarded @@ fun () ->
-    let backend =
-      match backend with
-      | "accurate" -> Tfapprox.Emulator.Cpu_accurate
-      | "direct" -> Tfapprox.Emulator.Cpu_direct
-      | "gemm" -> Tfapprox.Emulator.Cpu_gemm
-      | other -> failwith (Printf.sprintf "unknown backend %s" other)
-    in
+    let backend = backend_of_string backend in
     let domains = resolve_domains domains in
     (match domains with
     | Some d -> Ax_pool.Pool.set_default_size d
@@ -671,7 +693,8 @@ let resilience_cmd =
         | Ok (lut, Ax_resilience.Artefact.Repaired _) ->
           (* the repair itself already warned on stderr *)
           lut
-        | Error e -> failwith (Ax_arith.Load_error.to_string e))
+        (* a corrupt artefact is a runtime failure, not a usage error *)
+        | Error e -> raise (Ax_arith.Load_error.Error e))
     in
     let graph = Tfapprox.Emulator.approximate_model ~lut ?domains graph in
     let trial_list =
@@ -821,9 +844,10 @@ let perf_cmd =
     in
     let history = Perf.load_history history_file in
     if not (Sys.file_exists current_file) then
-      failwith
-        (Printf.sprintf
-           "%s not found — run `dune exec bench -- gemm` first" current_file);
+      raise
+        (Sys_error
+           (Printf.sprintf "%s not found — run `dune exec bench -- gemm` first"
+              current_file));
     let current = Perf.of_file current_file in
     let verdicts = Perf.gate ~threshold ~history ~current in
     (match json_out with
@@ -895,6 +919,334 @@ let perf_cmd =
       const run $ history_file $ current_file $ threshold $ json_out
       $ quiet_term)
 
+let serve_cmd =
+  let run listen models backend domains queue_capacity max_batch linger_ms
+      retry_after_ms trace_file metrics_file quiet =
+    apply_quiet quiet;
+    guarded @@ fun () ->
+    let address = Ax_serve.Server.parse_address listen in
+    let backend = backend_of_string backend in
+    let domains = Option.value ~default:1 (resolve_domains domains) in
+    Ax_pool.Pool.set_default_size domains;
+    if queue_capacity <= 0 then failwith "--queue-capacity: expected > 0";
+    if max_batch <= 0 then failwith "--max-batch: expected > 0";
+    if linger_ms < 0. then failwith "--linger-ms: expected >= 0";
+    if retry_after_ms < 0 then failwith "--retry-after-ms: expected >= 0";
+    let specs =
+      List.map Ax_serve.Store.parse_spec
+        (match models with
+        | [] -> [ "resnet8=resnet8+mul8u_trunc8" ]
+        | ms -> ms)
+    in
+    let metrics = Ax_obs.Metrics.create () in
+    let tracer = Option.map (fun _ -> Ax_obs.Trace.create ()) trace_file in
+    let store = Ax_serve.Store.load ~metrics ~domains specs in
+    let config =
+      {
+        (Ax_serve.Server.default_config ~store ~address ()) with
+        backend;
+        domains;
+        queue_capacity;
+        max_batch;
+        linger = linger_ms /. 1000.;
+        retry_after_ms;
+        metrics;
+        trace = tracer;
+      }
+    in
+    let server = Ax_serve.Server.start config in
+    List.iter
+      (fun s ->
+        Sys.set_signal s
+          (Sys.Signal_handle (fun _ -> Ax_serve.Server.request_stop server)))
+      [ Sys.sigint; Sys.sigterm ];
+    (* parseable by scripts: resolves an ephemeral tcp port *)
+    Printf.printf "listening on %s\n%!"
+      (Ax_serve.Server.address_to_string
+         (Ax_serve.Server.bound_address server));
+    Ax_serve.Server.wait server;
+    Option.iter (fun t -> dump_trace ~metrics t trace_file) tracer;
+    dump_metrics metrics metrics_file
+  in
+  let listen =
+    Arg.(
+      value
+      & opt string "unix:/tmp/tfapprox.sock"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: unix:PATH, tcp:HOST:PORT (port 0 binds an \
+             ephemeral port, echoed on stdout) or a bare socket path.")
+  in
+  let models =
+    Arg.(
+      value & opt_all string []
+      & info [ "model" ] ~docv:"SPEC"
+          ~doc:
+            "Model to serve (repeatable): NAME=ARCH[+MULTIPLIER][\\@LUTFILE] \
+             with ARCH one of lenet, mobilenet, resnetD — or NAME=FILE.axmdl.  \
+             Defaults to resnet8=resnet8+mul8u_trunc8.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "gemm"
+      & info [ "backend" ] ~doc:"accurate, direct or gemm.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; requests beyond it are refused with a \
+             typed Overloaded error and a retry hint.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Requests coalesced into one scheduled batch.")
+  in
+  let linger_ms =
+    Arg.(
+      value & opt float 2.
+      & info [ "linger-ms" ] ~docv:"MS"
+          ~doc:
+            "How long the scheduler lets concurrent requests coalesce \
+             before forming a batch.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Hint returned with Overloaded refusals.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived inference daemon: batches concurrent requests over a \
+          bounded admission queue; corrupt artefacts degrade single models, \
+          malformed frames are typed per-connection errors")
+    Term.(
+      const run $ listen $ models $ backend $ domains_term $ queue_capacity
+      $ max_batch $ linger_ms $ retry_after_ms $ trace_file_term
+      $ metrics_file_term $ quiet_term)
+
+let client_cmd =
+  let run action connect model input_kind images seed count deadline_ms
+      retries check_local backend timeout quiet =
+    apply_quiet quiet;
+    guarded @@ fun () ->
+    let address = Ax_serve.Server.parse_address connect in
+    let connect () = Ax_serve.Client.connect ~timeout address in
+    let fail e = runtime_error (Ax_serve.Client.error_to_string e) in
+    match action with
+    | "ping" -> (
+      let c = connect () in
+      match Ax_serve.Client.ping c with
+      | Ok () ->
+        print_endline "pong";
+        Ax_serve.Client.close c
+      | Error e -> fail e)
+    | "models" -> (
+      let c = connect () in
+      match Ax_serve.Client.list_models c with
+      | Ok models ->
+        List.iter
+          (fun (name, st) ->
+            match st with
+            | `Ready -> Printf.printf "%-24s ready\n" name
+            | `Unavailable reason ->
+              Printf.printf "%-24s unavailable: %s\n" name reason)
+          models;
+        Ax_serve.Client.close c
+      | Error e -> fail e)
+    | "metrics" -> (
+      let c = connect () in
+      match Ax_serve.Client.metrics c with
+      | Ok text ->
+        print_string text;
+        Ax_serve.Client.close c
+      | Error e -> fail e)
+    | "shutdown" -> (
+      let c = connect () in
+      match Ax_serve.Client.shutdown c with
+      | Ok () ->
+        print_endline "daemon stopping";
+        Ax_serve.Client.close c
+      | Error e -> fail e)
+    | "garbage" -> (
+      (* Containment probe: pour random bytes down one connection, then
+         prove the daemon is still alive from a fresh one. *)
+      let c = connect () in
+      let st = Random.State.make [| seed; 0x6a72 |] in
+      let junk =
+        Bytes.init 512 (fun _ -> Char.chr (Random.State.int st 256))
+      in
+      Ax_serve.Client.send_raw c junk;
+      (match Ax_serve.Client.read_response c with
+      | _ -> ()
+      | exception _ -> ());
+      Ax_serve.Client.close c;
+      let c2 = connect () in
+      match Ax_serve.Client.ping c2 with
+      | Ok () ->
+        print_endline "daemon survived garbage";
+        Ax_serve.Client.close c2
+      | Error e -> fail e)
+    | "infer" ->
+      let data =
+        match input_kind with
+        | "cifar" ->
+          (Ax_data.Cifar.generate ~seed ~n:images ()).Ax_data.Cifar.images
+        | "mnist" ->
+          (Ax_data.Mnist.generate ~seed ~n:images ()).Ax_data.Mnist.images
+        | other ->
+          failwith
+            (Printf.sprintf "unknown input kind %s (cifar or mnist)" other)
+      in
+      let c = connect () in
+      let infer_once id =
+        let rec attempt tries =
+          match Ax_serve.Client.infer c ~id ?deadline_ms ~model data with
+          | Ok classes -> classes
+          | Error
+              (Ax_serve.Client.Refused
+                { code = Ax_serve.Protocol.Overloaded; retry_after_ms; _ })
+            when tries < retries ->
+            (* same request id on the wire: inference is stateless, so
+               the retry is idempotent by construction *)
+            Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.);
+            attempt (tries + 1)
+          | Error e -> fail e
+        in
+        attempt 0
+      in
+      let first = infer_once 0 in
+      for id = 1 to count - 1 do
+        if infer_once id <> first then
+          runtime_error "non-deterministic responses across repeats"
+      done;
+      Ax_serve.Client.close c;
+      print_endline
+        (String.concat " " (Array.to_list (Array.map string_of_int first)));
+      (match check_local with
+      | None -> ()
+      | Some spec_text -> (
+        let spec = Ax_serve.Store.parse_spec spec_text in
+        let store = Ax_serve.Store.load ~domains:1 [ spec ] in
+        match Ax_serve.Store.find store spec.Ax_serve.Store.name with
+        | Some { status = Ax_serve.Store.Ready ready; _ } ->
+          let local =
+            Tfapprox.Emulator.predictions ~verify:false ~domains:1
+              ready.Ax_serve.Store.graph
+              ~backend:(backend_of_string backend)
+              data
+          in
+          if local = first then
+            print_endline "check-local: bit-identical to one-shot emulator"
+          else
+            runtime_error
+              "daemon predictions differ from the local one-shot run"
+        | Some { status = Ax_serve.Store.Unavailable reason; _ } ->
+          runtime_error ("check-local model unavailable: " ^ reason)
+        | None -> assert false))
+    | other ->
+      failwith
+        (Printf.sprintf
+           "unknown action %s (ping, models, metrics, infer, garbage or \
+            shutdown)"
+           other)
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:"ping, models, metrics, infer, garbage or shutdown.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt string "unix:/tmp/tfapprox.sock"
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Daemon address: unix:PATH, tcp:HOST:PORT or a socket path.")
+  in
+  let model =
+    Arg.(
+      value & opt string "resnet8"
+      & info [ "model" ] ~docv:"NAME" ~doc:"Served model name for infer.")
+  in
+  let input_kind =
+    Arg.(
+      value & opt string "cifar"
+      & info [ "input" ] ~doc:"Generated request images: cifar or mnist.")
+  in
+  let images =
+    Arg.(
+      value & opt int 1
+      & info [ "images" ] ~doc:"Images per inference request.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~doc:"Seed for generated images / garbage bytes.")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ]
+          ~doc:
+            "Repeat the identical infer request this many times and verify \
+             the responses agree.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline; expired requests are answered \
+             Deadline_exceeded at the batch boundary, never scheduled.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "Idempotent retries on a typed Overloaded refusal, sleeping \
+             the server's retry hint between attempts.")
+  in
+  let check_local =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-local" ] ~docv:"SPEC"
+          ~doc:
+            "Load the same model spec in-process and verify the daemon's \
+             predictions are bit-identical to a one-shot emulator run; \
+             exits 1 on mismatch.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "gemm"
+      & info [ "backend" ]
+          ~doc:"Backend for the $(b,--check-local) run: accurate, direct \
+                or gemm.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Socket receive timeout.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running tfapprox serve daemon over the length-prefixed \
+          binary protocol")
+    Term.(
+      const run $ action $ connect $ model $ input_kind $ images $ seed
+      $ count $ deadline_ms $ retries $ check_local $ backend $ timeout
+      $ quiet_term)
+
 let () =
   Log.init_from_env ();
   let doc = "TFApprox-style emulation of approximate DNN accelerators" in
@@ -905,5 +1257,5 @@ let () =
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
             lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
-            check_cmd; resilience_cmd; perf_cmd;
+            check_cmd; resilience_cmd; perf_cmd; serve_cmd; client_cmd;
           ]))

@@ -1,0 +1,214 @@
+module Metrics = Ax_obs.Metrics
+
+type outcome =
+  | Done of int array
+  | Expired
+  | Failed of string
+  | Cancelled
+
+type job = {
+  model : string;
+  input : Ax_tensor.Tensor.t;
+  images : int;
+  enqueued : float;
+  deadline : float option;
+  deliver : outcome -> unit;
+}
+
+type rejection = Queue_full of { retry_after_ms : int } | Closed
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  expired : int;
+  batches : int;
+  batched_jobs : int;
+  max_depth : int;
+}
+
+type t = {
+  capacity : int;
+  max_batch : int;
+  retry_after_ms : int;
+  clock : unit -> float;
+  metrics : Metrics.t option;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  (* every field below is guarded by [lock] *)
+  queue : job Queue.t;
+  mutable closed : bool;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable expired : int;
+  mutable batches : int;
+  mutable batched_jobs : int;
+  mutable max_depth : int;
+}
+
+let create ?metrics ?(now = Unix.gettimeofday) ?(retry_after_ms = 50)
+    ~capacity ~max_batch () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  if max_batch < 1 then invalid_arg "Admission.create: max_batch must be >= 1";
+  if retry_after_ms < 1 then
+    invalid_arg "Admission.create: retry_after_ms must be >= 1";
+  (match metrics with
+  | Some m -> Metrics.set_gauge m "serve_queue_capacity" (float_of_int capacity)
+  | None -> ());
+  {
+    capacity;
+    max_batch;
+    retry_after_ms;
+    clock = now;
+    metrics;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+    submitted = 0;
+    rejected = 0;
+    expired = 0;
+    batches = 0;
+    batched_jobs = 0;
+    max_depth = 0;
+  }
+
+let now t = t.clock ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let set_depth_gauge t depth =
+  match t.metrics with
+  | Some m -> Metrics.set_gauge m "serve_queue_depth" (float_of_int depth)
+  | None -> ()
+
+let count t name n =
+  match t.metrics with Some m -> Metrics.add m name n | None -> ()
+
+let submit t job =
+  let verdict =
+    locked t @@ fun () ->
+    if t.closed then Error Closed
+    else begin
+      let depth = Queue.length t.queue in
+      if depth >= t.capacity then begin
+        t.rejected <- t.rejected + 1;
+        Error (Queue_full { retry_after_ms = t.retry_after_ms })
+      end
+      else begin
+        Queue.add job t.queue;
+        t.submitted <- t.submitted + 1;
+        if depth + 1 > t.max_depth then t.max_depth <- depth + 1;
+        Condition.signal t.nonempty;
+        Ok (depth + 1)
+      end
+    end
+  in
+  match verdict with
+  | Ok depth ->
+    set_depth_gauge t depth;
+    count t "serve_accepted" 1;
+    Ok ()
+  | Error Closed -> Error Closed
+  | Error (Queue_full _ as r) ->
+    count t "serve_rejected" 1;
+    Error r
+
+let depth t = locked t @@ fun () -> Queue.length t.queue
+
+let overdue ~at job =
+  match job.deadline with None -> false | Some d -> at > d
+
+(* Sweep + pop under the lock; deliver outside it. *)
+let form_batch t =
+  let at = t.clock () in
+  let swept, batch =
+    locked t @@ fun () ->
+    let keep = Queue.create () in
+    let swept = ref [] in
+    Queue.iter
+      (fun job ->
+        if overdue ~at job then swept := job :: !swept else Queue.add job keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    t.expired <- t.expired + List.length !swept;
+    let batch =
+      match Queue.peek_opt t.queue with
+      | None -> None
+      | Some head ->
+        let model = head.model in
+        let taken = ref [] in
+        let keep = Queue.create () in
+        Queue.iter
+          (fun job ->
+            if job.model = model && List.length !taken < t.max_batch then
+              taken := job :: !taken
+            else Queue.add job keep)
+          t.queue;
+        Queue.clear t.queue;
+        Queue.transfer keep t.queue;
+        let jobs = List.rev !taken in
+        t.batches <- t.batches + 1;
+        t.batched_jobs <- t.batched_jobs + List.length jobs;
+        Some (model, jobs)
+    in
+    (List.rev !swept, batch)
+  in
+  set_depth_gauge t (depth t);
+  if swept <> [] then count t "serve_expired" (List.length swept);
+  List.iter (fun job -> job.deliver Expired) swept;
+  match batch with
+  | None -> `Empty
+  | Some (model, jobs) ->
+    (match t.metrics with
+    | Some m ->
+      Metrics.observe_named m "serve_batch_size"
+        (float_of_int (List.length jobs))
+    | None -> ());
+    `Batch (model, jobs)
+
+let wait_ready t =
+  locked t @@ fun () ->
+  let rec go () =
+    if not (Queue.is_empty t.queue) then `Ready
+    else if t.closed then `Closed
+    else begin
+      Condition.wait t.nonempty t.lock;
+      go ()
+    end
+  in
+  go ()
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let drain t =
+  let jobs =
+    locked t @@ fun () ->
+    let jobs = List.of_seq (Queue.to_seq t.queue) in
+    Queue.clear t.queue;
+    jobs
+  in
+  set_depth_gauge t 0;
+  List.iter (fun job -> job.deliver Cancelled) jobs
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    submitted = t.submitted;
+    rejected = t.rejected;
+    expired = t.expired;
+    batches = t.batches;
+    batched_jobs = t.batched_jobs;
+    max_depth = t.max_depth;
+  }

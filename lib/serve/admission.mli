@@ -1,0 +1,97 @@
+(** Admission control and batch formation for the inference daemon.
+
+    A bounded FIFO of accepted requests sits between the connection
+    threads and the batch scheduler.  Boundedness is the overload
+    contract: once [capacity] jobs are queued, {!submit} refuses with
+    {!Queue_full} (and a retry-after hint) instead of growing — memory
+    stays bounded no matter how many clients pile on, and the refusal
+    is explicit so a well-behaved client can back off and retry (the
+    protocol is idempotent, see {!Protocol}).
+
+    Deadlines are enforced {e at batch boundaries}: {!form_batch} first
+    sweeps expired jobs out of the queue (delivering {!Expired} without
+    ever scheduling them — compute is never spent on an answer nobody
+    is waiting for), then pops up to [max_batch] same-model jobs in
+    FIFO order.
+
+    The clock is injected ([?now]) so overload and deadline behaviour
+    are deterministically testable without sleeping; delivery callbacks
+    always run outside the internal lock, so they may do I/O or
+    re-submit freely. *)
+
+type outcome =
+  | Done of int array  (** per-image class ids, in request image order *)
+  | Expired  (** deadline passed while queued; never scheduled *)
+  | Failed of string  (** the executor raised; the daemon survived *)
+  | Cancelled  (** daemon shutting down before the job was scheduled *)
+
+type job = {
+  model : string;
+  input : Ax_tensor.Tensor.t;
+  images : int;  (** batch-dimension size of [input] *)
+  enqueued : float;  (** {!now}-clock arrival time *)
+  deadline : float option;  (** absolute, same clock *)
+  deliver : outcome -> unit;  (** called exactly once, outside the lock *)
+}
+
+type rejection =
+  | Queue_full of { retry_after_ms : int }
+  | Closed
+
+type t
+
+val create :
+  ?metrics:Ax_obs.Metrics.t ->
+  ?now:(unit -> float) ->
+  ?retry_after_ms:int ->
+  capacity:int ->
+  max_batch:int ->
+  unit ->
+  t
+(** [capacity >= 1] bounds the queue; [max_batch >= 1] caps batch size
+    (size it to the GEMM chunk geometry).  [now] defaults to
+    [Unix.gettimeofday]; [retry_after_ms] (default 50) scales the
+    {!Queue_full} hint.  Raises [Invalid_argument] on a non-positive
+    capacity or batch size. *)
+
+val now : t -> float
+(** The injected clock, so callers compute deadlines on the same
+    timeline. *)
+
+val submit : t -> job -> (unit, rejection) result
+(** O(1); never blocks.  On [Ok] the job's [deliver] will be called
+    exactly once, eventually. *)
+
+val depth : t -> int
+
+val form_batch : t -> [ `Batch of string * job list | `Empty ]
+(** Sweep expired jobs (delivering {!Expired}), then pop up to
+    [max_batch] jobs sharing the oldest surviving job's model.  Jobs
+    for other models keep their queue positions. *)
+
+val wait_ready : t -> [ `Ready | `Closed ]
+(** Block until the queue is non-empty or the admission is closed —
+    the scheduler thread's idle wait.  No timeout: {!close} wakes it. *)
+
+val close : t -> unit
+(** Refuse further submissions ({!Closed}) and wake {!wait_ready}
+    waiters.  Idempotent. *)
+
+val drain : t -> unit
+(** Deliver {!Cancelled} to every queued job and empty the queue —
+    graceful-shutdown cleanup after {!close}. *)
+
+type stats = {
+  submitted : int;  (** accepted jobs *)
+  rejected : int;   (** {!Queue_full} refusals *)
+  expired : int;    (** deadline sweeps *)
+  batches : int;    (** batches formed *)
+  batched_jobs : int;  (** jobs scheduled through batches *)
+  max_depth : int;  (** high-water queue depth — bounded by capacity *)
+}
+
+val stats : t -> stats
+(** Also mirrored into the metrics registry when one was given:
+    [serve_queue_depth] / [serve_queue_capacity] gauges,
+    [serve_accepted] / [serve_rejected] / [serve_expired] counters and
+    the [serve_batch_size] histogram. *)

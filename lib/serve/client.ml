@@ -1,0 +1,114 @@
+module Load_error = Ax_arith.Load_error
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?timeout address =
+  let fd =
+    match (address : Server.address) with
+    | Server.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd
+    | Server.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd
+  in
+  (match timeout with
+  | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+  | None -> ());
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+type error =
+  | Refused of {
+      code : Protocol.error_code;
+      retry_after_ms : int;
+      message : string;
+    }
+  | Protocol_error of Load_error.t
+  | Unexpected of Protocol.response
+  | Disconnected
+
+let error_to_string = function
+  | Refused { code; retry_after_ms; message } ->
+    Printf.sprintf "refused (%s%s): %s"
+      (Protocol.error_code_name code)
+      (if retry_after_ms > 0 then Printf.sprintf ", retry after %d ms" retry_after_ms
+       else "")
+      message
+  | Protocol_error e -> "protocol error: " ^ Load_error.to_string e
+  | Unexpected _ -> "unexpected response kind"
+  | Disconnected -> "connection closed by daemon"
+
+let read_response t =
+  match Protocol.read_frame t.fd with
+  | `Eof -> Error Disconnected
+  | `Err e -> Error (Protocol_error e)
+  | `Payload payload -> (
+    match Protocol.decode_response payload with
+    | Error e -> Error (Protocol_error e)
+    | Ok r -> Ok r)
+
+let roundtrip t request =
+  Protocol.write_frame t.fd (Protocol.encode_request request);
+  read_response t
+
+let refused (e : Protocol.response) =
+  match e with
+  | Protocol.Error { code; retry_after_ms; message; _ } ->
+    Error (Refused { code; retry_after_ms; message })
+  | other -> Error (Unexpected other)
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok other -> refused other
+  | Error _ as e -> e
+
+let list_models t =
+  match roundtrip t Protocol.List_models with
+  | Ok (Protocol.Models models) -> Ok models
+  | Ok other -> refused other
+  | Error _ as e -> e
+
+let infer t ?(id = 0) ?deadline_ms ~model input =
+  match
+    roundtrip t (Protocol.Infer { id; model; deadline_ms = deadline_ms; input })
+  with
+  | Ok (Protocol.Predictions { classes; _ }) -> Ok classes
+  | Ok other -> refused other
+  | Error _ as e -> e
+
+let metrics t =
+  match roundtrip t Protocol.Metrics with
+  | Ok (Protocol.Metrics_dump text) -> Ok text
+  | Ok other -> refused other
+  | Error _ as e -> e
+
+let shutdown t =
+  match roundtrip t Protocol.Shutdown with
+  | Ok Protocol.Shutdown_ack -> Ok ()
+  | Ok other -> refused other
+  | Error _ as e -> e
+
+let send_raw t bytes =
+  let len = Bytes.length bytes in
+  let rec go sent =
+    if sent < len then
+      match Unix.single_write t.fd bytes sent (len - sent) with
+      | n -> go (sent + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go sent
+  in
+  go 0

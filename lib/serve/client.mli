@@ -1,0 +1,59 @@
+(** Minimal blocking client for the inference daemon — the CLI's
+    [tfapprox client], the serve bench's load generators and the CI
+    smoke script all drive the daemon through this module.
+
+    One request/response exchange at a time per connection; retries are
+    safe because the protocol is idempotent (see {!Protocol}). *)
+
+type t
+
+val connect : ?timeout:float -> Server.address -> t
+(** Blocking connect.  [timeout] (seconds) bounds each subsequent read
+    — a hung daemon surfaces as [Unix.Unix_error (EAGAIN, _, _)] rather
+    than a client stuck forever.  Raises [Unix.Unix_error] when the
+    daemon is not there. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+type error =
+  | Refused of {
+      code : Protocol.error_code;
+      retry_after_ms : int;
+      message : string;
+    }  (** the daemon answered with a typed error *)
+  | Protocol_error of Ax_arith.Load_error.t
+      (** the daemon's bytes did not decode *)
+  | Unexpected of Protocol.response
+      (** decoded, but not the response kind this request awaits *)
+  | Disconnected  (** stream ended mid-exchange *)
+
+val error_to_string : error -> string
+
+val roundtrip : t -> Protocol.request -> (Protocol.response, error) result
+(** Send one request, read one response.  Never [Unexpected]. *)
+
+val ping : t -> (unit, error) result
+val list_models : t -> ((string * [ `Ready | `Unavailable of string ]) list, error) result
+
+val infer :
+  t ->
+  ?id:int ->
+  ?deadline_ms:int ->
+  model:string ->
+  Ax_tensor.Tensor.t ->
+  (int array, error) result
+(** Class ids for each image of the input batch. *)
+
+val metrics : t -> (string, error) result
+(** Prometheus text dump. *)
+
+val shutdown : t -> (unit, error) result
+(** Ask for graceful daemon shutdown (ack'd before the daemon exits). *)
+
+val send_raw : t -> Bytes.t -> unit
+(** Write arbitrary bytes on the wire — the misbehaving-client hook the
+    robustness tests and the CI smoke's garbage client use. *)
+
+val read_response : t -> (Protocol.response, error) result
+(** Read one framed response without sending anything first. *)

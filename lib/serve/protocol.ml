@@ -1,0 +1,480 @@
+module Load_error = Ax_arith.Load_error
+module Checksum = Ax_arith.Checksum
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+
+let magic = "AXS1"
+let max_payload_bytes = 16 * 1024 * 1024
+let header_bytes = 8
+
+(* Dimension sanity bounds: a corrupted shape field must not multiply
+   into an overflowing or absurd allocation before the byte-budget
+   check ([need]) can catch it. *)
+let max_batch_dim = 65_536
+let max_spatial_dim = 4_096
+let max_string_bytes = 65_536
+let max_model_list = 4_096
+
+type error_code =
+  | Bad_request
+  | Unknown_model
+  | Model_unavailable
+  | Overloaded
+  | Deadline_exceeded
+  | Internal
+  | Shutting_down
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Unknown_model -> "unknown-model"
+  | Model_unavailable -> "model-unavailable"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Internal -> "internal"
+  | Shutting_down -> "shutting-down"
+
+let error_code_tag = function
+  | Bad_request -> 0
+  | Unknown_model -> 1
+  | Model_unavailable -> 2
+  | Overloaded -> 3
+  | Deadline_exceeded -> 4
+  | Internal -> 5
+  | Shutting_down -> 6
+
+let error_code_of_tag = function
+  | 0 -> Some Bad_request
+  | 1 -> Some Unknown_model
+  | 2 -> Some Model_unavailable
+  | 3 -> Some Overloaded
+  | 4 -> Some Deadline_exceeded
+  | 5 -> Some Internal
+  | 6 -> Some Shutting_down
+  | _ -> None
+
+type request =
+  | Ping
+  | List_models
+  | Infer of {
+      id : int;
+      model : string;
+      deadline_ms : int option;
+      input : Tensor.t;
+    }
+  | Metrics
+  | Shutdown
+
+type response =
+  | Pong
+  | Models of (string * [ `Ready | `Unavailable of string ]) list
+  | Predictions of { id : int; classes : int array }
+  | Metrics_dump of string
+  | Shutdown_ack
+  | Error of {
+      id : int option;
+      code : error_code;
+      retry_after_ms : int;
+      message : string;
+    }
+
+let tensor_equal a b =
+  Shape.equal (Tensor.shape a) (Tensor.shape b)
+  &&
+  let n = Tensor.num_elements a in
+  let rec go i =
+    i >= n
+    || (Float.equal (Tensor.get_flat a i) (Tensor.get_flat b i) && go (i + 1))
+  in
+  go 0
+
+let request_equal a b =
+  match (a, b) with
+  | Ping, Ping | List_models, List_models | Metrics, Metrics
+  | Shutdown, Shutdown ->
+    true
+  | Infer a, Infer b ->
+    a.id = b.id && a.model = b.model && a.deadline_ms = b.deadline_ms
+    && tensor_equal a.input b.input
+  | _ -> false
+
+let response_equal a b =
+  match (a, b) with
+  | Pong, Pong | Shutdown_ack, Shutdown_ack -> true
+  | Models a, Models b -> a = b
+  | Predictions a, Predictions b -> a.id = b.id && a.classes = b.classes
+  | Metrics_dump a, Metrics_dump b -> a = b
+  | Error a, Error b ->
+    a.id = b.id && a.code = b.code && a.retry_after_ms = b.retry_after_ms
+    && a.message = b.message
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let u32_mask = 0xFFFF_FFFF
+let no_deadline = u32_mask
+let no_id = u32_mask
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+let add_u32 b v = Checksum.append_u32_le b (v land u32_mask)
+
+let add_string b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_f32 b v = Buffer.add_int32_le b (Int32.bits_of_float v)
+
+let add_tensor b t =
+  let s = Tensor.shape t in
+  add_u32 b s.Shape.n;
+  add_u32 b s.Shape.h;
+  add_u32 b s.Shape.w;
+  add_u32 b s.Shape.c;
+  let n = Tensor.num_elements t in
+  for i = 0 to n - 1 do
+    add_f32 b (Tensor.get_flat t i)
+  done
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Ping -> add_u8 b 1
+  | List_models -> add_u8 b 2
+  | Infer { id; model; deadline_ms; input } ->
+    add_u8 b 3;
+    add_u32 b id;
+    add_u32 b (match deadline_ms with None -> no_deadline | Some ms -> ms);
+    add_string b model;
+    add_tensor b input
+  | Metrics -> add_u8 b 4
+  | Shutdown -> add_u8 b 5);
+  Buffer.to_bytes b
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Pong -> add_u8 b 10
+  | Models models ->
+    add_u8 b 11;
+    add_u32 b (List.length models);
+    List.iter
+      (fun (name, status) ->
+        add_string b name;
+        match status with
+        | `Ready ->
+          add_u8 b 0;
+          add_string b ""
+        | `Unavailable reason ->
+          add_u8 b 1;
+          add_string b reason)
+      models
+  | Predictions { id; classes } ->
+    add_u8 b 12;
+    add_u32 b id;
+    add_u32 b (Array.length classes);
+    Array.iter (fun c -> add_u32 b c) classes
+  | Metrics_dump text ->
+    add_u8 b 13;
+    add_string b text
+  | Shutdown_ack -> add_u8 b 14
+  | Error { id; code; retry_after_ms; message } ->
+    add_u8 b 15;
+    add_u32 b (match id with None -> no_id | Some id -> id);
+    add_u8 b (error_code_tag code);
+    add_u32 b retry_after_ms;
+    add_string b message);
+  Buffer.to_bytes b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of Load_error.t
+
+type cursor = { buf : Bytes.t; mutable pos : int; limit : int }
+
+let need c ~what n =
+  if n < 0 || c.pos + n > c.limit then
+    raise
+      (Fail
+         (Load_error.Truncated
+            { what; needed = c.pos + n; available = c.limit }))
+
+let malformed ~what detail = raise (Fail (Load_error.Malformed { what; detail }))
+
+let get_u8 c ~what =
+  need c ~what 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c ~what =
+  need c ~what 4;
+  let v = Checksum.read_u32_le c.buf ~pos:c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let get_bounded_string c ~what ~bound =
+  let len = get_u32 c ~what in
+  if len > bound then
+    malformed ~what (Printf.sprintf "string length %d exceeds %d" len bound);
+  need c ~what len;
+  let s = Bytes.sub_string c.buf c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_string c ~what = get_bounded_string c ~what ~bound:max_string_bytes
+
+let get_f32 c ~what =
+  need c ~what 4;
+  let v = Int32.float_of_bits (Bytes.get_int32_le c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_tensor c ~what =
+  let n = get_u32 c ~what in
+  let h = get_u32 c ~what in
+  let w = get_u32 c ~what in
+  let cc = get_u32 c ~what in
+  if n < 1 || n > max_batch_dim then
+    malformed ~what (Printf.sprintf "batch dimension %d outside 1..%d" n max_batch_dim);
+  let dim name v =
+    if v < 1 || v > max_spatial_dim then
+      malformed ~what
+        (Printf.sprintf "%s dimension %d outside 1..%d" name v max_spatial_dim)
+  in
+  dim "height" h;
+  dim "width" w;
+  dim "channel" cc;
+  let elems = n * h * w * cc in
+  need c ~what (4 * elems);
+  let t = Tensor.create (Shape.make ~n ~h ~w ~c:cc) in
+  for i = 0 to elems - 1 do
+    Tensor.set_flat t i (get_f32 c ~what)
+  done;
+  t
+
+let finish c ~what v =
+  if c.pos <> c.limit then
+    malformed ~what (Printf.sprintf "%d trailing byte(s)" (c.limit - c.pos))
+  else v
+
+let decoding ~what buf go =
+  let c = { buf; pos = 0; limit = Bytes.length buf } in
+  match finish c ~what (go c) with
+  | v -> Ok v
+  | exception Fail e -> Stdlib.Error e
+  | exception Invalid_argument detail ->
+    (* belt and braces: a decoder bug must still surface as a typed
+       error, never crash a connection *)
+    Stdlib.Error (Load_error.Malformed { what; detail })
+
+let decode_request buf =
+  let what = "serve request" in
+  decoding ~what buf @@ fun c ->
+  match get_u8 c ~what with
+  | 1 -> Ping
+  | 2 -> List_models
+  | 3 ->
+    let id = get_u32 c ~what in
+    let deadline = get_u32 c ~what in
+    let model = get_string c ~what in
+    let input = get_tensor c ~what in
+    Infer
+      {
+        id;
+        model;
+        deadline_ms = (if deadline = no_deadline then None else Some deadline);
+        input;
+      }
+  | 4 -> Metrics
+  | 5 -> Shutdown
+  | tag -> raise (Fail (Load_error.Bad_tag { what; field = "request kind"; tag }))
+
+let decode_response buf =
+  let what = "serve response" in
+  decoding ~what buf @@ fun c ->
+  match get_u8 c ~what with
+  | 10 -> Pong
+  | 11 ->
+    let count = get_u32 c ~what in
+    if count > max_model_list then
+      malformed ~what (Printf.sprintf "model count %d exceeds %d" count max_model_list);
+    let models =
+      List.init count (fun _ ->
+          let name = get_string c ~what in
+          let status_tag = get_u8 c ~what in
+          let detail = get_string c ~what in
+          match status_tag with
+          | 0 -> (name, `Ready)
+          | 1 -> (name, `Unavailable detail)
+          | tag ->
+            raise
+              (Fail (Load_error.Bad_tag { what; field = "model status"; tag })))
+    in
+    Models models
+  | 12 ->
+    let id = get_u32 c ~what in
+    let count = get_u32 c ~what in
+    if count > max_batch_dim then
+      malformed ~what (Printf.sprintf "prediction count %d exceeds %d" count max_batch_dim);
+    need c ~what (4 * count);
+    let classes = Array.init count (fun _ -> get_u32 c ~what) in
+    Predictions { id; classes }
+  | 13 ->
+    (* Prometheus dumps routinely outgrow model-name-sized strings;
+       bound them by the frame budget instead. *)
+    Metrics_dump (get_bounded_string c ~what ~bound:max_payload_bytes)
+  | 14 -> Shutdown_ack
+  | 15 ->
+    let id = get_u32 c ~what in
+    let code_tag = get_u8 c ~what in
+    let retry_after_ms = get_u32 c ~what in
+    let message = get_string c ~what in
+    (match error_code_of_tag code_tag with
+    | None ->
+      raise (Fail (Load_error.Bad_tag { what; field = "error code"; tag = code_tag }))
+    | Some code ->
+      Error
+        { id = (if id = no_id then None else Some id); code; retry_after_ms; message })
+  | tag -> raise (Fail (Load_error.Bad_tag { what; field = "response kind"; tag }))
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let len = Bytes.length payload in
+  if len > max_payload_bytes then
+    invalid_arg
+      (Printf.sprintf "Protocol.frame: payload %d exceeds %d bytes" len
+         max_payload_bytes);
+  let out = Bytes.create (header_bytes + len + 4) in
+  Bytes.blit_string magic 0 out 0 4;
+  Checksum.write_u32_le out ~pos:4 len;
+  Bytes.blit payload 0 out header_bytes len;
+  Checksum.write_u32_le out ~pos:(header_bytes + len)
+    (Checksum.of_bytes payload ~pos:0 ~len);
+  out
+
+let what_frame = "serve frame"
+
+let check_header buf =
+  let available = Bytes.length buf in
+  if available < header_bytes then
+    Stdlib.Error
+      (Load_error.Truncated { what = what_frame; needed = header_bytes; available })
+  else
+    let actual = Bytes.sub_string buf 0 4 in
+    if actual <> magic then
+      Stdlib.Error
+        (Load_error.Bad_magic { what = what_frame; expected = magic; actual })
+    else
+      let len = Checksum.read_u32_le buf ~pos:4 in
+      if len > max_payload_bytes then
+        Stdlib.Error
+          (Load_error.Malformed
+             {
+               what = what_frame;
+               detail =
+                 Printf.sprintf "oversized frame: %d > %d payload bytes" len
+                   max_payload_bytes;
+             })
+      else Ok len
+
+let check_crc ~payload ~expected =
+  let actual = Checksum.of_bytes payload ~pos:0 ~len:(Bytes.length payload) in
+  if actual <> expected then
+    Stdlib.Error (Load_error.Bad_checksum { what = what_frame; expected; actual })
+  else Ok payload
+
+let parse_frame buf =
+  match check_header buf with
+  | Error _ as e -> e
+  | Ok len ->
+    let total = header_bytes + len + 4 in
+    let available = Bytes.length buf in
+    if available < total then
+      Stdlib.Error
+        (Load_error.Truncated { what = what_frame; needed = total; available })
+    else if available > total then
+      Stdlib.Error
+        (Load_error.Malformed
+           {
+             what = what_frame;
+             detail = Printf.sprintf "%d trailing byte(s)" (available - total);
+           })
+    else
+      check_crc
+        ~payload:(Bytes.sub buf header_bytes len)
+        ~expected:(Checksum.read_u32_le buf ~pos:(header_bytes + len))
+
+let recoverable = function Load_error.Bad_checksum _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Blocking I/O                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A peer that vanishes mid-stream (RST instead of FIN) is the same
+   condition as a clean close for framing purposes: the stream ended. *)
+let rec read_retry fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf pos len
+  | exception
+      Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED), _, _)
+    -> 0
+
+(* [`All] when [len] bytes arrived, [`Short n] when the stream ended
+   after [n] of them. *)
+let really_read fd buf ~pos ~len =
+  let rec go got =
+    if got >= len then `All
+    else
+      match read_retry fd buf (pos + got) (len - got) with
+      | 0 -> `Short got
+      | n -> go (got + n)
+  in
+  go 0
+
+let read_frame fd =
+  let header = Bytes.create header_bytes in
+  match really_read fd header ~pos:0 ~len:header_bytes with
+  | `Short 0 -> `Eof
+  | `Short available ->
+    `Err (Load_error.Truncated { what = what_frame; needed = header_bytes; available })
+  | `All -> (
+    match check_header header with
+    | Error e -> `Err e
+    | Ok len -> (
+      let rest = Bytes.create (len + 4) in
+      match really_read fd rest ~pos:0 ~len:(len + 4) with
+      | `Short available ->
+        `Err
+          (Load_error.Truncated
+             {
+               what = what_frame;
+               needed = header_bytes + len + 4;
+               available = header_bytes + available;
+             })
+      | `All -> (
+        match
+          check_crc
+            ~payload:(Bytes.sub rest 0 len)
+            ~expected:(Checksum.read_u32_le rest ~pos:len)
+        with
+        | Ok payload -> `Payload payload
+        | Error e -> `Err e)))
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go sent =
+    if sent < len then
+      match Unix.single_write fd buf sent (len - sent) with
+      | n -> go (sent + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go sent
+  in
+  go 0
+
+let write_frame fd payload = write_all fd (frame payload)

@@ -1,0 +1,132 @@
+(** Wire protocol of the inference daemon: length-prefixed, CRC-trailered
+    binary frames over a byte stream (Unix or TCP socket).
+
+    {b Framing.}  Every message travels as one frame:
+
+    {v
+      offset  size  field
+      0       4     magic "AXS1"
+      4       4     payload length N, u32 little-endian (N <= 16 MiB)
+      8       N     payload (one encoded request or response)
+      8+N     4     CRC-32 (IEEE 802.3) of the payload, little-endian
+    v}
+
+    The CRC makes in-flight corruption {e detectable}: a frame whose
+    header parsed but whose payload was damaged yields
+    {!Ax_arith.Load_error.Bad_checksum} — and because the length prefix
+    was intact the stream is still in sync, so the connection survives
+    ({!recoverable}).  A damaged {e header} (bad magic, oversized or
+    truncated length) loses framing sync, so the only safe reaction is
+    closing the connection — but never crashing the daemon.  Every
+    decode failure, at either layer, is a typed
+    {!Ax_arith.Load_error.t}; the fuzz suite ([test/test_serve.ml])
+    pins totality the same way [test_loader_fuzz.ml] does for the
+    artefact loaders.
+
+    {b Idempotent retries.}  Inference is a pure function of the model
+    artefact and the input tensor, and the server holds no per-request
+    state once it has responded, so a client that times out may simply
+    resend the same [Infer] (same [id] or not) — at-least-once retries
+    can only cost duplicate work, never wrong answers. *)
+
+val magic : string
+(** ["AXS1"]. *)
+
+val max_payload_bytes : int
+(** Hard ceiling on the payload length field (16 MiB).  A frame
+    announcing more is rejected before any allocation — a 4-byte
+    corruption must not become a multi-gigabyte [Bytes.create]. *)
+
+val header_bytes : int
+(** Bytes before the payload: magic + length prefix (8). *)
+
+(** {1 Messages} *)
+
+(** Why a request was refused.  Wire-stable one-byte codes. *)
+type error_code =
+  | Bad_request        (** malformed payload, shape mismatch, ... *)
+  | Unknown_model      (** no model of that name is served *)
+  | Model_unavailable  (** the model failed to load / degrade-repaired *)
+  | Overloaded         (** admission queue full — retry after the hint *)
+  | Deadline_exceeded  (** expired in the queue; never reached the scheduler *)
+  | Internal           (** the executor raised; the daemon survived *)
+  | Shutting_down      (** graceful shutdown in progress *)
+
+val error_code_name : error_code -> string
+
+type request =
+  | Ping
+  | List_models
+  | Infer of {
+      id : int;  (** client-chosen echo token, [0 .. 2{^32}-1] *)
+      model : string;
+      deadline_ms : int option;
+          (** relative time budget; expired requests are answered
+              [Deadline_exceeded] at the next batch boundary instead of
+              being scheduled *)
+      input : Ax_tensor.Tensor.t;  (** NHWC, n >= 1 images *)
+    }
+  | Metrics  (** Prometheus text dump of the daemon's registry *)
+  | Shutdown  (** graceful stop (ack'd before the daemon exits) *)
+
+type response =
+  | Pong
+  | Models of (string * [ `Ready | `Unavailable of string ]) list
+  | Predictions of { id : int; classes : int array }
+  | Metrics_dump of string
+  | Shutdown_ack
+  | Error of {
+      id : int option;  (** echo of the [Infer] id when request-bound *)
+      code : error_code;
+      retry_after_ms : int;  (** meaningful for [Overloaded]; else 0 *)
+      message : string;
+    }
+
+val request_equal : request -> request -> bool
+(** Structural equality (tensors compared element-wise) — the
+    round-trip oracle of the property tests. *)
+
+val response_equal : response -> response -> bool
+
+(** {1 Payload codec} *)
+
+val encode_request : request -> Bytes.t
+val encode_response : response -> Bytes.t
+
+val decode_request : Bytes.t -> (request, Ax_arith.Load_error.t) result
+(** Total over arbitrary byte strings: truncated, bit-flipped and
+    garbage payloads all map to [Error], never to an unchecked
+    exception or a silently wrong message. *)
+
+val decode_response : Bytes.t -> (response, Ax_arith.Load_error.t) result
+
+(** {1 Framing} *)
+
+val frame : Bytes.t -> Bytes.t
+(** Wrap a payload into a complete frame.  Raises [Invalid_argument]
+    past {!max_payload_bytes}. *)
+
+val parse_frame : Bytes.t -> (Bytes.t, Ax_arith.Load_error.t) result
+(** Strict whole-buffer deframe (trailing bytes are a [Malformed]
+    error) — the in-memory counterpart of {!read_frame} the fuzz tests
+    drive. *)
+
+val recoverable : Ax_arith.Load_error.t -> bool
+(** Whether a connection that produced this {e framing} error is still
+    in sync and may keep serving ([Bad_checksum]: yes — the length
+    prefix already walked the stream past the damaged payload;
+    everything else: no). *)
+
+(** {1 Blocking I/O} *)
+
+val read_frame :
+  Unix.file_descr ->
+  [ `Payload of Bytes.t | `Eof | `Err of Ax_arith.Load_error.t ]
+(** Read one frame.  [`Eof] on a clean end-of-stream between frames; a
+    mid-frame end-of-stream is [`Err (Truncated _)].  Never raises on
+    malformed input (I/O errors still raise [Unix.Unix_error]). *)
+
+val write_frame : Unix.file_descr -> Bytes.t -> unit
+(** Frame and send a payload ([single_write] until done).  Raises
+    [Unix.Unix_error] when the peer is gone ([EPIPE] — the daemon
+    ignores SIGPIPE so a dead client is an exception, not a death). *)

@@ -1,0 +1,541 @@
+module Emulator = Tfapprox.Emulator
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+module Metrics = Ax_obs.Metrics
+module Trace = Ax_obs.Trace
+module Log = Ax_obs.Log
+module Json = Ax_obs.Json
+module Load_error = Ax_arith.Load_error
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse_address text =
+  let bad () =
+    failwith
+      (Printf.sprintf
+         "address %S: expected unix:PATH, tcp:HOST:PORT or a socket path" text)
+  in
+  match String.index_opt text ':' with
+  | None -> if text = "" then bad () else Unix_sock text
+  | Some i -> (
+    let scheme = String.sub text 0 i in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    match scheme with
+    | "unix" -> if rest = "" then bad () else Unix_sock rest
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> bad ()
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Tcp (host, p)
+        | _ -> bad ()))
+    | _ -> bad ())
+
+type config = {
+  address : address;
+  store : Store.t;
+  backend : Emulator.backend;
+  domains : int;
+  queue_capacity : int;
+  max_batch : int;
+  linger : float;
+  retry_after_ms : int;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+}
+
+let default_config ~store ~address () =
+  {
+    address;
+    store;
+    backend = Emulator.Cpu_gemm;
+    domains = 1;
+    queue_capacity = 64;
+    max_batch = 8;
+    linger = 0.002;
+    retry_after_ms = 50;
+    metrics = Metrics.create ();
+    trace = None;
+  }
+
+type conn = {
+  conn_id : int;
+  fd : Unix.file_descr;
+  write_lock : Mutex.t;
+  mutable peer_gone : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  adm : Admission.t;
+  (* wake pipe: [stop] writes one byte so the accept loop's select
+     returns without racing a close against a blocking accept *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  lock : Mutex.t;
+  mutable running : bool;  (** accepting + scheduling *)
+  mutable stop_requested : bool;  (** a client sent [Shutdown] / a signal *)
+  mutable stopped : bool;  (** fully shut down *)
+  mutable conns : conn list;
+  mutable conn_threads : Thread.t list;
+  mutable next_conn_id : int;
+  mutable accept_thread : Thread.t option;
+  mutable scheduler_thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count t name = Metrics.add t.config.metrics name 1
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Best-effort: a client that vanished mid-response costs a counter and
+   a debug line, never an exception escaping a server thread. *)
+let send t conn response =
+  if not conn.peer_gone then begin
+    let payload = Protocol.encode_response response in
+    Mutex.lock conn.write_lock;
+    let result =
+      try Ok (Protocol.write_frame conn.fd payload) with e -> Result.error e
+    in
+    Mutex.unlock conn.write_lock;
+    match result with
+    | Ok () -> ()
+    | Error e ->
+      conn.peer_gone <- true;
+      count t "serve_dropped_responses";
+      if Log.enabled Log.Debug then
+        Log.debug
+          ~fields:
+            [
+              ("conn", Json.Int conn.conn_id);
+              ("error", Json.String (Printexc.to_string e));
+            ]
+          "serve: client gone mid-response"
+  end
+
+let error_response ?id ?(retry_after_ms = 0) code message =
+  Protocol.Error { id; code; retry_after_ms; message }
+
+let outcome_response ~id = function
+  | Admission.Done classes -> Protocol.Predictions { id; classes }
+  | Admission.Expired ->
+    error_response ~id Protocol.Deadline_exceeded
+      "deadline expired before the request reached the scheduler"
+  | Admission.Failed msg ->
+    error_response ~id Protocol.Internal ("execution failed: " ^ msg)
+  | Admission.Cancelled ->
+    error_response ~id Protocol.Shutting_down "daemon shutting down"
+
+(* ------------------------------------------------------------------ *)
+(* Batch scheduler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let split_predictions jobs classes =
+  let rec go offset = function
+    | [] -> []
+    | (job : Admission.job) :: rest ->
+      Array.sub classes offset job.images :: go (offset + job.images) rest
+  in
+  go 0 jobs
+
+let deliver_all t jobs outcomes =
+  let metrics = t.config.metrics in
+  List.iter2
+    (fun (job : Admission.job) outcome ->
+      let latency = Admission.now t.adm -. job.enqueued in
+      Metrics.observe_named metrics "serve_request_seconds" latency;
+      let record () = job.deliver outcome in
+      match t.config.trace with
+      | None -> record ()
+      | Some tr ->
+        Trace.with_span tr ~name:"serve.request"
+          ~attrs:
+            [
+              ("model", job.model);
+              ("images", string_of_int job.images);
+              ("latency_s", Printf.sprintf "%.6f" latency);
+              ( "outcome",
+                match outcome with
+                | Admission.Done _ -> "ok"
+                | Admission.Expired -> "expired"
+                | Admission.Failed _ -> "failed"
+                | Admission.Cancelled -> "cancelled" );
+            ]
+          record)
+    jobs outcomes
+
+let execute_batch t model jobs =
+  let metrics = t.config.metrics in
+  let run () =
+    let started = Unix.gettimeofday () in
+    let outcomes =
+      match Store.find t.config.store model with
+      | Some { status = Store.Ready ready; _ } -> (
+        let inputs = List.map (fun (j : Admission.job) -> j.input) jobs in
+        let batch =
+          match inputs with [ one ] -> one | many -> Tensor.concat_batch many
+        in
+        (* Per-image sharding (any domains >= 1) quantizes each image
+           against its own range, so every request's classes are
+           bit-identical to a one-shot run of that request alone —
+           verified at load, so no per-batch analyzer pass. *)
+        match
+          Emulator.predictions ~verify:false ~domains:t.config.domains
+            ready.Store.graph ~backend:t.config.backend batch
+        with
+        | classes ->
+          List.map (fun c -> Admission.Done c) (split_predictions jobs classes)
+        | exception e ->
+          count t "serve_internal_errors";
+          Log.error
+            ~fields:
+              [
+                ("model", Json.String model);
+                ("error", Json.String (Printexc.to_string e));
+              ]
+            "serve: batch execution failed; daemon continues";
+          List.map (fun _ -> Admission.Failed (Printexc.to_string e)) jobs)
+      | Some _ | None ->
+        (* submit-time validation makes this unreachable for a live
+           store; answered typed anyway rather than trusted *)
+        List.map (fun _ -> Admission.Failed ("model not servable: " ^ model)) jobs
+    in
+    Metrics.observe_named metrics "serve_batch_seconds"
+      (Unix.gettimeofday () -. started);
+    deliver_all t jobs outcomes
+  in
+  match t.config.trace with
+  | None -> run ()
+  | Some tr ->
+    Trace.with_span tr ~name:"serve.batch"
+      ~attrs:
+        [
+          ("model", model);
+          ("requests", string_of_int (List.length jobs));
+          ( "images",
+            string_of_int
+              (List.fold_left
+                 (fun acc (j : Admission.job) -> acc + j.images)
+                 0 jobs) );
+        ]
+      run
+
+let scheduler_loop t =
+  let rec go () =
+    match Admission.wait_ready t.adm with
+    | `Closed -> ()
+    | `Ready ->
+      if locked t (fun () -> t.running) then begin
+        if t.config.linger > 0. then Thread.delay t.config.linger;
+        (match Admission.form_batch t.adm with
+        | `Empty -> ()
+        | `Batch (model, jobs) -> execute_batch t model jobs);
+        go ()
+      end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_infer t conn ~id ~model ~deadline_ms input =
+  let shape = Tensor.shape input in
+  match Store.find t.config.store model with
+  | None ->
+    send t conn
+      (error_response ~id Protocol.Unknown_model
+         (Printf.sprintf "unknown model %S (serving: %s)" model
+            (String.concat ", "
+               (List.map
+                  (fun (e : Store.entry) -> e.Store.spec.Store.name)
+                  (Store.list t.config.store)))))
+  | Some { status = Store.Unavailable reason; _ } ->
+    send t conn
+      (error_response ~id Protocol.Model_unavailable
+         (Printf.sprintf "model %S unavailable: %s" model reason))
+  | Some { status = Store.Ready ready; _ }
+    when shape.Shape.h <> ready.Store.input.Shape.h
+         || shape.Shape.w <> ready.Store.input.Shape.w
+         || shape.Shape.c <> ready.Store.input.Shape.c ->
+    send t conn
+      (error_response ~id Protocol.Bad_request
+         (Printf.sprintf "input %s does not match model geometry %s"
+            (Shape.to_string shape)
+            (Shape.to_string ready.Store.input)))
+  | Some { status = Store.Ready _; _ } ->
+    let now = Admission.now t.adm in
+    let job =
+      {
+        Admission.model;
+        input;
+        images = shape.Shape.n;
+        enqueued = now;
+        deadline =
+          Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) deadline_ms;
+        deliver = (fun outcome -> send t conn (outcome_response ~id outcome));
+      }
+    in
+    (match Admission.submit t.adm job with
+    | Ok () -> ()
+    | Error (Admission.Queue_full { retry_after_ms }) ->
+      send t conn
+        (error_response ~id ~retry_after_ms Protocol.Overloaded
+           (Printf.sprintf "admission queue full (capacity %d); retry in %d ms"
+              t.config.queue_capacity retry_after_ms))
+    | Error Admission.Closed ->
+      send t conn
+        (error_response ~id Protocol.Shutting_down "daemon shutting down"))
+
+(* Lock-free on purpose: callable from a signal handler (the CLI's
+   SIGINT/SIGTERM hooks) as well as from connection threads.  [wait]
+   polls the flag. *)
+let request_stop t = t.stop_requested <- true
+
+let metrics_dump t =
+  let metrics = t.config.metrics in
+  Metrics.set_gauge metrics "serve_queue_depth"
+    (float_of_int (Admission.depth t.adm));
+  Metrics.set_gauge metrics "serve_connections"
+    (float_of_int (locked t (fun () -> List.length t.conns)));
+  Metrics.observe_gc metrics;
+  Metrics.to_prometheus (Metrics.snapshot metrics)
+
+(* One request; [`Continue] unless the connection must wind down. *)
+let handle_request t conn = function
+  | Protocol.Ping ->
+    send t conn Protocol.Pong;
+    `Continue
+  | Protocol.List_models ->
+    send t conn (Protocol.Models (Store.statuses t.config.store));
+    `Continue
+  | Protocol.Metrics ->
+    send t conn (Protocol.Metrics_dump (metrics_dump t));
+    `Continue
+  | Protocol.Shutdown ->
+    send t conn Protocol.Shutdown_ack;
+    request_stop t;
+    `Close
+  | Protocol.Infer { id; model; deadline_ms; input } ->
+    handle_infer t conn ~id ~model ~deadline_ms input;
+    `Continue
+
+let conn_loop t conn =
+  let rec go () =
+    match Protocol.read_frame conn.fd with
+    | `Eof -> ()
+    | `Err e when Protocol.recoverable e ->
+      (* the length prefix walked the stream past the damaged payload:
+         answer typed and keep serving this connection *)
+      count t "serve_protocol_errors";
+      send t conn
+        (error_response Protocol.Bad_request (Load_error.to_string e));
+      go ()
+    | `Err e ->
+      (* framing desync (bad magic / oversized / truncated): answer
+         typed best-effort, then close — the stream position is
+         unknowable, but the daemon and every other connection live on *)
+      count t "serve_protocol_errors";
+      send t conn
+        (error_response Protocol.Bad_request (Load_error.to_string e))
+    | `Payload payload -> (
+      count t "serve_requests";
+      match Protocol.decode_request payload with
+      | Error e ->
+        (* well-framed but malformed payload: typed error, stream still
+           in sync, connection survives *)
+        count t "serve_protocol_errors";
+        send t conn
+          (error_response Protocol.Bad_request (Load_error.to_string e));
+        go ()
+      | Ok req -> (
+        match handle_request t conn req with
+        | `Continue -> go ()
+        | `Close -> ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked t (fun () ->
+          t.conns <- List.filter (fun c -> c != conn) t.conns);
+      Metrics.set_gauge t.config.metrics "serve_connections"
+        (float_of_int (locked t (fun () -> List.length t.conns)));
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try go ()
+      with e ->
+        (* a connection thread must never take the daemon down *)
+        count t "serve_internal_errors";
+        Log.error
+          ~fields:
+            [
+              ("conn", Json.Int conn.conn_id);
+              ("error", Json.String (Printexc.to_string e));
+            ]
+          "serve: connection handler failed; connection dropped")
+
+let accept_loop t =
+  let rec go () =
+    let continue_ = locked t (fun () -> t.running) in
+    if continue_ then begin
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | readable, _, _ ->
+        if List.mem t.stop_r readable then ()
+        else begin
+          (match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _peer ->
+            count t "serve_connections_total";
+            let conn =
+              locked t (fun () ->
+                  let conn =
+                    {
+                      conn_id = t.next_conn_id;
+                      fd;
+                      write_lock = Mutex.create ();
+                      peer_gone = false;
+                    }
+                  in
+                  t.next_conn_id <- t.next_conn_id + 1;
+                  t.conns <- conn :: t.conns;
+                  conn)
+            in
+            let thread = Thread.create (fun () -> conn_loop t conn) () in
+            locked t (fun () -> t.conn_threads <- thread :: t.conn_threads));
+          go ()
+        end
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen address =
+  match address with
+  | Unix_sock path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    Unix.listen fd 64;
+    (fd, Unix_sock path)
+  | Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+      | _ -> Tcp (host, port)
+    in
+    (fd, bound)
+
+let start config =
+  if config.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
+  (* a client closing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd, bound = bind_listen config.address in
+  let stop_r, stop_w = Unix.pipe () in
+  let adm =
+    Admission.create ~metrics:config.metrics
+      ~retry_after_ms:config.retry_after_ms ~capacity:config.queue_capacity
+      ~max_batch:config.max_batch ()
+  in
+  let t =
+    {
+      config;
+      listen_fd;
+      bound;
+      adm;
+      stop_r;
+      stop_w;
+      lock = Mutex.create ();
+      running = true;
+      stop_requested = false;
+      stopped = false;
+      conns = [];
+      conn_threads = [];
+      next_conn_id = 0;
+      accept_thread = None;
+      scheduler_thread = None;
+    }
+  in
+  t.scheduler_thread <- Some (Thread.create (fun () -> scheduler_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  Log.info
+    ~fields:
+      [
+        ("address", Json.String (address_to_string bound));
+        ("models", Json.Int (List.length (Store.list config.store)));
+        ("capacity", Json.Int config.queue_capacity);
+        ("max_batch", Json.Int config.max_batch);
+      ]
+    "serve: daemon listening";
+  t
+
+let bound_address t = t.bound
+let admission t = t.adm
+
+let stop t =
+  let first =
+    locked t (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          t.running <- false;
+          true
+        end)
+  in
+  if first then begin
+    (* wake the accept loop, then starve it of new work *)
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    Admission.close t.adm;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.scheduler_thread with Some th -> Thread.join th | None -> ());
+    (* queued-but-never-scheduled jobs answer Shutting_down *)
+    Admission.drain t.adm;
+    (* unblock connection readers; each thread closes its own fd *)
+    List.iter
+      (fun conn ->
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      (locked t (fun () -> t.conns));
+    List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+    (match t.bound with
+    | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    Log.info "serve: daemon stopped"
+  end
+
+let wait t =
+  while not (t.stopped || t.stop_requested) do
+    Thread.delay 0.05
+  done;
+  stop t

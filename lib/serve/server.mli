@@ -1,0 +1,87 @@
+(** The long-lived inference daemon: accept loop, per-connection
+    protocol handling, and the batch scheduler.
+
+    {b Request lifecycle.}  A connection thread reads frames
+    ({!Protocol.read_frame}) and decodes requests; an [Infer] becomes a
+    job in the bounded {!Admission} queue (or an immediate typed
+    [Overloaded] / [Unknown_model] / [Model_unavailable] / [Bad_request]
+    refusal).  One scheduler thread pops same-model batches, coalesces
+    the request tensors along the batch dimension, runs them through
+    {!Tfapprox.Emulator.predictions} with {e per-image sharding} on the
+    process-wide {!Ax_pool.Pool}, splits the class ids back per request
+    and delivers each response on the request's own connection.
+    Per-image sharding is what makes batching sound: every image is
+    quantized against its own Min/Max range, so a request's predictions
+    are bit-identical to a one-shot [Emulator.run ~domains:1] of that
+    request alone, no matter which requests it was batched with.
+
+    {b Failure containment.}  Malformed, truncated or oversized frames
+    are typed per-connection errors (the connection survives a CRC
+    mismatch, closes on a framing desync — see {!Protocol.recoverable});
+    an executor exception answers the affected requests with [Internal]
+    and the daemon keeps serving; a dead client mid-response is logged
+    and dropped (SIGPIPE is ignored).  Nothing a client sends can bring
+    the process down. *)
+
+type address =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+
+val address_to_string : address -> string
+
+val parse_address : string -> address
+(** [unix:PATH], [tcp:HOST:PORT], or a bare [PATH].  Raises [Failure]
+    on bad syntax — a usage error. *)
+
+type config = {
+  address : address;
+  store : Store.t;
+  backend : Tfapprox.Emulator.backend;  (** default [Cpu_gemm] *)
+  domains : int;
+      (** pool width for per-image batch sharding, >= 1; results are
+          bit-identical for every value *)
+  queue_capacity : int;
+  max_batch : int;
+  linger : float;
+      (** seconds the scheduler waits after the queue becomes non-empty
+          before forming a batch, letting concurrent requests coalesce *)
+  retry_after_ms : int;  (** the [Overloaded] hint *)
+  metrics : Ax_obs.Metrics.t;
+  trace : Ax_obs.Trace.t option;
+      (** scheduler-side spans: [serve.batch] per executed batch with
+          one [serve.request] child per delivered response (queue and
+          service seconds as attributes) *)
+}
+
+val default_config : store:Store.t -> address:address -> unit -> config
+(** [Cpu_gemm], [domains = 1], capacity 64, max batch 8, 2 ms linger,
+    50 ms retry hint, a fresh metrics registry, no tracer. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and spawn the accept + scheduler threads; returns once
+    the socket is live.  Raises [Unix.Unix_error] when the address
+    cannot be bound (a runtime failure).  An existing socket file at a
+    [Unix_sock] path is replaced. *)
+
+val bound_address : t -> address
+(** The actual address — resolves an ephemeral TCP port 0. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, refuse new work
+    ([Shutting_down]), cancel queued jobs, join every thread, close the
+    socket (and unlink a Unix socket file).  Idempotent. *)
+
+val request_stop : t -> unit
+(** Flag the daemon for shutdown without blocking — safe to call from a
+    signal handler (the CLI's SIGINT/SIGTERM hooks) or a connection
+    thread.  {!wait} notices and performs the actual {!stop}. *)
+
+val wait : t -> unit
+(** Block until {!stop} runs or a stop is requested (a client
+    [Shutdown] frame, {!request_stop}), then finish the shutdown —
+    the daemon main loop of [tfapprox serve]. *)
+
+val admission : t -> Admission.t
+(** The live queue (stats / depth introspection for benches). *)

@@ -1,0 +1,224 @@
+module Emulator = Tfapprox.Emulator
+module Artefact = Ax_resilience.Artefact
+module Model_io = Ax_nn.Model_io
+module Load_error = Ax_arith.Load_error
+module Registry = Ax_arith.Registry
+module Check = Ax_analysis.Check
+module Diagnostic = Ax_analysis.Diagnostic
+module Shape = Ax_tensor.Shape
+module Metrics = Ax_obs.Metrics
+module Log = Ax_obs.Log
+module Json = Ax_obs.Json
+
+type arch = Lenet | Resnet of int | Mobilenet
+
+type source =
+  | Builtin of {
+      arch : arch;
+      multiplier : string option;
+      lut_file : string option;
+    }
+  | Model_file of string
+
+type spec = { name : string; source : source }
+
+let arch_to_string = function
+  | Lenet -> "lenet"
+  | Resnet d -> Printf.sprintf "resnet%d" d
+  | Mobilenet -> "mobilenet"
+
+let arch_of_string s =
+  match s with
+  | "lenet" -> Some Lenet
+  | "mobilenet" -> Some Mobilenet
+  | _ ->
+    if String.length s > 6 && String.sub s 0 6 = "resnet" then
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some d when d > 2 -> Some (Resnet d)
+      | _ -> None
+    else None
+
+let source_to_string = function
+  | Model_file path -> path
+  | Builtin { arch; multiplier; lut_file } ->
+    arch_to_string arch
+    ^ (match multiplier with None -> "" | Some m -> "+" ^ m)
+    ^ (match lut_file with None -> "" | Some f -> "@" ^ f)
+
+let spec_to_string s =
+  if s.name = source_to_string s.source then s.name
+  else s.name ^ "=" ^ source_to_string s.source
+
+(* [NAME=WHAT] or bare [WHAT]; WHAT = path.axmdl | ARCH[+MULT][@LUT]. *)
+let parse_spec text =
+  let bad detail =
+    failwith
+      (Printf.sprintf
+         "model spec %S: %s (expected NAME=ARCH[+MULTIPLIER][@LUTFILE] or \
+          NAME=FILE.axmdl)"
+         text detail)
+  in
+  let name, what =
+    match String.index_opt text '=' with
+    | Some i ->
+      ( String.sub text 0 i,
+        String.sub text (i + 1) (String.length text - i - 1) )
+    | None -> ("", text)
+  in
+  if what = "" then bad "empty source";
+  let source =
+    if Filename.check_suffix what ".axmdl" then Model_file what
+    else begin
+      let what, lut_file =
+        match String.index_opt what '@' with
+        | Some i ->
+          ( String.sub what 0 i,
+            Some (String.sub what (i + 1) (String.length what - i - 1)) )
+        | None -> (what, None)
+      in
+      let what, multiplier =
+        match String.index_opt what '+' with
+        | Some i ->
+          ( String.sub what 0 i,
+            Some (String.sub what (i + 1) (String.length what - i - 1)) )
+        | None -> (what, None)
+      in
+      match arch_of_string what with
+      | Some arch -> Builtin { arch; multiplier; lut_file }
+      | None -> bad (Printf.sprintf "unknown architecture %S" what)
+    end
+  in
+  let name =
+    if name <> "" then name
+    else
+      match source with
+      | Model_file path -> Filename.remove_extension (Filename.basename path)
+      | Builtin _ -> source_to_string source
+  in
+  { name; source }
+
+type ready = { graph : Ax_nn.Graph.t; input : Shape.t; classes : int }
+type status = Ready of ready | Unavailable of string
+type entry = { spec : spec; status : status }
+
+type t = { entries : entry list; by_name : (string, entry) Hashtbl.t }
+
+let build_arch = function
+  | Lenet -> (Ax_models.Lenet.build (), Ax_models.Lenet.input_shape ~batch:1)
+  | Resnet depth ->
+    (Ax_models.Resnet.build ~depth (), Ax_models.Resnet.input_shape ~batch:1)
+  | Mobilenet ->
+    (Ax_models.Mobilenet.build (), Ax_models.Mobilenet.input_shape ~batch:1)
+
+let diagnostics_summary ds =
+  let errors = Diagnostic.errors ds in
+  String.concat "; " (List.map Diagnostic.to_string errors)
+
+(* Pre-flight once at load: a model that would be rejected per-request
+   is rejected here instead, so the request path never pays the
+   analyzer and a broken artefact cannot produce silently wrong
+   predictions. *)
+let preflight ~input graph =
+  match Check.assert_runnable ~input graph with
+  | () -> None
+  | exception Diagnostic.Rejected ds -> Some (diagnostics_summary ds)
+
+let load_one ?metrics ?domains spec =
+  let count name =
+    match metrics with None -> () | Some m -> Metrics.add m name 1
+  in
+  let unavailable reason =
+    Log.warn
+      ~fields:
+        [
+          ("model", Json.String spec.name);
+          ("reason", Json.String reason);
+        ]
+      "serve: model degraded to unavailable";
+    { spec; status = Unavailable reason }
+  in
+  let finish graph input =
+    match preflight ~input graph with
+    | Some reason -> unavailable ("rejected by static verifier: " ^ reason)
+    | None ->
+      let classes = (Ax_nn.Exec.output_shape graph ~input).Shape.c in
+      { spec; status = Ready { graph; input; classes } }
+  in
+  match spec.source with
+  | Model_file path -> (
+    match Model_io.load_result path with
+    | Ok graph -> finish graph (Shape.make ~n:1 ~h:32 ~w:32 ~c:3)
+    | Error e -> unavailable (Load_error.to_string e)
+    | exception Sys_error msg -> unavailable msg)
+  | Builtin { arch; multiplier; lut_file } -> (
+    let graph, input = build_arch arch in
+    let lut =
+      match lut_file with
+      | None -> (
+        match multiplier with
+        | None -> Ok None
+        (* a registry typo is a configuration error, not a degradation:
+           let the [Failure] listing known names propagate *)
+        | Some m -> Ok (Some (Emulator.lut_of_multiplier m)))
+      | Some path -> (
+        match Artefact.load_lut ?repair_with:multiplier path with
+        | Ok (lut, Artefact.Intact) -> Ok (Some lut)
+        | Ok (lut, Artefact.Repaired e) ->
+          count "serve_lut_repaired";
+          Log.warn
+            ~fields:
+              [
+                ("model", Json.String spec.name);
+                ("file", Json.String path);
+                ("error", Json.String (Load_error.to_string e));
+              ]
+            "serve: corrupt LUT artefact repaired from registry generator";
+          Ok (Some lut)
+        | Error e -> Error (Load_error.to_string e)
+        | exception Sys_error msg -> Error msg)
+    in
+    match lut with
+    | Error reason -> unavailable reason
+    | Ok None -> finish graph input
+    | Ok (Some lut) ->
+      finish (Emulator.approximate_model ~lut ?domains graph) input)
+
+let publish ?metrics entries =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    let ready, down =
+      List.partition (fun e -> match e.status with Ready _ -> true | _ -> false)
+        entries
+    in
+    Metrics.set_gauge m "serve_models_ready" (float_of_int (List.length ready));
+    Metrics.set_gauge m "serve_models_unavailable"
+      (float_of_int (List.length down))
+
+let load ?metrics ?domains specs =
+  let by_name = Hashtbl.create 16 in
+  let entries =
+    List.map
+      (fun spec ->
+        if Hashtbl.mem by_name spec.name then
+          invalid_arg
+            (Printf.sprintf "Store.load: duplicate model name %S" spec.name);
+        let entry = load_one ?metrics ?domains spec in
+        Hashtbl.replace by_name spec.name entry;
+        entry)
+      specs
+  in
+  publish ?metrics entries;
+  { entries; by_name }
+
+let find t name = Hashtbl.find_opt t.by_name name
+let list t = t.entries
+
+let statuses t =
+  List.map
+    (fun e ->
+      ( e.spec.name,
+        match e.status with
+        | Ready _ -> `Ready
+        | Unavailable reason -> `Unavailable reason ))
+    t.entries

@@ -1,0 +1,78 @@
+(** Hot artefact cache of the inference daemon.
+
+    Every served model is loaded, integrity-checked and statically
+    verified {e once}, at daemon start-up: steady-state requests touch
+    no disk, no CRC and no analyzer — they look up a [Ready] entry and
+    run it.  Failures degrade instead of killing the process:
+
+    - a corrupt LUT artefact ([Bad_checksum], truncation, ...) first
+      goes through the {!Ax_resilience.Artefact.load_lut} repair path
+      (re-tabulating the named registry multiplier and rewriting the
+      file); only when repair is impossible does the model degrade to
+      {!Unavailable};
+    - a corrupt model artefact degrades directly (weights are not
+      re-derivable);
+    - a model the static verifier rejects ({!Ax_analysis.Check})
+      degrades with the findings as the reason.
+
+    An [Unavailable] model stays addressable — requests for it get a
+    typed [Model_unavailable] response with the reason, and
+    [List_models] reports it — so one bad artefact never takes the
+    daemon or its healthy models down. *)
+
+type arch = Lenet | Resnet of int | Mobilenet
+
+type source =
+  | Builtin of {
+      arch : arch;
+      multiplier : string option;  (** registry name to transform with *)
+      lut_file : string option;
+          (** load the LUT from an "AXLUT1" artefact instead of
+              tabulating [multiplier]; [multiplier] then doubles as the
+              repair generator for a corrupt file *)
+    }
+  | Model_file of string  (** a serialized "AXMDL1" artefact *)
+
+type spec = { name : string; source : source }
+
+val parse_spec : string -> spec
+(** Parse a CLI model spec — [NAME=WHAT] or bare [WHAT], where [WHAT]
+    is a path ending in [.axmdl], or [ARCH\[+MULTIPLIER\]\[\@LUTFILE\]]
+    with [ARCH] one of [lenet], [mobilenet], [resnetD] (e.g.
+    [resnet8+mul8u_trunc8], [m=resnet8+mul8u_trunc8\@table.axlut]).
+    Raises [Failure] on bad syntax — a usage error. *)
+
+val spec_to_string : spec -> string
+
+type ready = {
+  graph : Ax_nn.Graph.t;
+  input : Ax_tensor.Shape.t;  (** expected single-image geometry, n = 1 *)
+  classes : int;
+}
+
+type status = Ready of ready | Unavailable of string
+
+type entry = { spec : spec; status : status }
+
+type t
+
+val load :
+  ?metrics:Ax_obs.Metrics.t ->
+  ?domains:int ->
+  spec list ->
+  t
+(** Load every spec (duplicate names raise [Invalid_argument] — a
+    configuration error, not a degradation).  [domains] is threaded to
+    {!Tfapprox.Emulator.approximate_model} so the AxConv2D row loops
+    match the daemon's pool geometry.  Publishes
+    [serve_models_ready] / [serve_models_unavailable] gauges and the
+    [serve_lut_repaired] counter when [metrics] is given.  An unknown
+    registry multiplier name raises [Failure] (usage error); artefact
+    and verifier failures degrade to {!Unavailable}. *)
+
+val find : t -> string -> entry option
+val list : t -> entry list
+(** In spec order. *)
+
+val statuses : t -> (string * [ `Ready | `Unavailable of string ]) list
+(** The [List_models] response body. *)

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving stack: one daemon, concurrent scripted
+# clients (one of them spraying garbage), predictions checked
+# bit-identical against the one-shot emulator path (--check-local), a
+# Prometheus metrics scrape, and a graceful client-initiated shutdown.
+# Any failure — daemon crash, non-zero client exit, missing metric —
+# fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLI="${CLI:-_build/default/bin/tfapprox_cli.exe}"
+if [ ! -x "$CLI" ]; then
+  dune build bin/tfapprox_cli.exe
+fi
+
+SOCK="${TMPDIR:-/tmp}/tfapprox_smoke_$$.sock"
+LOG="${TMPDIR:-/tmp}/tfapprox_smoke_$$.log"
+
+cleanup() {
+  [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$LOG"
+}
+trap cleanup EXIT
+
+"$CLI" serve --listen "unix:$SOCK" \
+  --model resnet8=resnet8+mul8u_trunc8 --model lenet=lenet+mul8u_trunc8 \
+  --queue-capacity 16 --max-batch 4 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "daemon died at startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "socket never appeared" >&2; cat "$LOG" >&2; exit 1; }
+
+"$CLI" client ping --connect "unix:$SOCK"
+"$CLI" client models --connect "unix:$SOCK"
+
+# Concurrent clients: two checked inference workers (one per model,
+# retrying on typed Overloaded refusals), one unchecked load generator,
+# and one garbage sender — all against the same daemon at once.
+pids=()
+"$CLI" client infer --connect "unix:$SOCK" --model resnet8 --images 2 \
+  --count 3 --retries 10 --check-local resnet8+mul8u_trunc8 &
+pids+=($!)
+"$CLI" client infer --connect "unix:$SOCK" --model lenet --input mnist \
+  --images 2 --count 3 --retries 10 --check-local lenet+mul8u_trunc8 &
+pids+=($!)
+"$CLI" client infer --connect "unix:$SOCK" --model resnet8 --images 1 \
+  --seed 9 --count 3 --retries 10 &
+pids+=($!)
+"$CLI" client garbage --connect "unix:$SOCK" &
+pids+=($!)
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+# The daemon survived and accounted for the traffic.
+metrics="$("$CLI" client metrics --connect "unix:$SOCK")"
+for metric in tfapprox_serve_requests tfapprox_serve_protocol_errors \
+  tfapprox_serve_request_seconds_count tfapprox_serve_queue_capacity; do
+  echo "$metrics" | grep -q "^$metric" || {
+    echo "metrics scrape missing $metric" >&2
+    exit 1
+  }
+done
+
+"$CLI" client shutdown --connect "unix:$SOCK"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve smoke: ok"

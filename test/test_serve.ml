@@ -1,0 +1,511 @@
+(* The serving stack: wire-protocol totality, deterministic admission
+   control, and a live daemon on a temp Unix socket.
+
+   The protocol promise mirrors the artefact loaders (test_loader_fuzz):
+   any byte string — truncated, bit-flipped, oversized, pure garbage —
+   decodes to a typed [Ax_arith.Load_error.t], never an unchecked
+   exception.  On a live connection a CRC mismatch is recoverable (the
+   length prefix already walked the stream past the damage) while a
+   framing desync closes that connection — and neither brings the
+   daemon down. *)
+
+module Protocol = Ax_serve.Protocol
+module Admission = Ax_serve.Admission
+module Server = Ax_serve.Server
+module Store = Ax_serve.Store
+module Client = Ax_serve.Client
+module Load_error = Ax_arith.Load_error
+module Tensor = Ax_tensor.Tensor
+module Shape = Ax_tensor.Shape
+
+let seed = 0x5EE7
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol: round-trips                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_tensor ~n ~h ~w ~c ~vseed =
+  let t = Tensor.create (Shape.make ~n ~h ~w ~c) in
+  let total = n * h * w * c in
+  for i = 0 to total - 1 do
+    Tensor.set_flat t i (sin (float_of_int (i + vseed)))
+  done;
+  t
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Protocol.Ping;
+        return Protocol.List_models;
+        return Protocol.Metrics;
+        return Protocol.Shutdown;
+        ( int_range 1 3 >>= fun n ->
+          int_range 1 4 >>= fun h ->
+          int_range 1 4 >>= fun w ->
+          int_range 1 3 >>= fun c ->
+          int_range 0 1000 >>= fun vseed ->
+          int_range 0 100_000 >>= fun id ->
+          oneof [ return None; (int_range 0 60_000 >|= Option.some) ]
+          >>= fun deadline_ms ->
+          string_size ~gen:(char_range 'a' 'z') (int_range 1 12)
+          >|= fun model ->
+          Protocol.Infer
+            { id; model; deadline_ms; input = mk_tensor ~n ~h ~w ~c ~vseed } );
+      ])
+
+let request_arb = QCheck.make ~print:(fun _ -> "<request>") request_gen
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Protocol.Pong;
+        return Protocol.Shutdown_ack;
+        ( list_size (int_range 0 5)
+            (pair
+               (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+               (oneof
+                  [
+                    return `Ready;
+                    ( string_size ~gen:(char_range 'a' 'z') (int_range 0 20)
+                    >|= fun r -> `Unavailable r );
+                  ]))
+        >|= fun models -> Protocol.Models models );
+        ( int_range 0 100_000 >>= fun id ->
+          list_size (int_range 0 8) (int_range 0 9) >|= fun classes ->
+          Protocol.Predictions { id; classes = Array.of_list classes } );
+        (string_size (int_range 0 200) >|= fun s -> Protocol.Metrics_dump s);
+        ( oneof [ return None; (int_range 0 1000 >|= Option.some) ]
+        >>= fun id ->
+          oneofl
+            Protocol.
+              [
+                Bad_request; Unknown_model; Model_unavailable; Overloaded;
+                Deadline_exceeded; Internal; Shutting_down;
+              ]
+          >>= fun code ->
+          int_range 0 5000 >>= fun retry_after_ms ->
+          string_size (int_range 0 60) >|= fun message ->
+          Protocol.Error { id; code; retry_after_ms; message } );
+      ])
+
+let response_arb = QCheck.make ~print:(fun _ -> "<response>") response_gen
+
+let roundtrip_request =
+  QCheck.Test.make ~count:300 ~name:"request survives encode/frame/decode"
+    request_arb (fun req ->
+      let framed = Protocol.frame (Protocol.encode_request req) in
+      match Protocol.parse_frame framed with
+      | Error e -> QCheck.Test.fail_reportf "frame rejected: %s" (Load_error.to_string e)
+      | Ok payload -> (
+        match Protocol.decode_request payload with
+        | Error e ->
+          QCheck.Test.fail_reportf "decode failed: %s" (Load_error.to_string e)
+        | Ok req' -> Protocol.request_equal req req'))
+
+let roundtrip_response =
+  QCheck.Test.make ~count:300 ~name:"response survives encode/frame/decode"
+    response_arb (fun resp ->
+      let framed = Protocol.frame (Protocol.encode_response resp) in
+      match Protocol.parse_frame framed with
+      | Error _ -> false
+      | Ok payload -> (
+        match Protocol.decode_response payload with
+        | Error _ -> false
+        | Ok resp' -> Protocol.response_equal resp resp'))
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol: corruption fuzz                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pristine_frame =
+  lazy
+    (Protocol.frame
+       (Protocol.encode_request
+          (Protocol.Infer
+             {
+               id = 7;
+               model = "resnet8";
+               deadline_ms = Some 250;
+               input = mk_tensor ~n:1 ~h:4 ~w:4 ~c:3 ~vseed:9;
+             })))
+
+let total_or_fail ~what f =
+  match f () with
+  | Ok _ | Error _ -> true
+  | exception e ->
+    Alcotest.failf "%s: unchecked exception %s" what (Printexc.to_string e)
+
+let frame_then_decode bytes =
+  match Protocol.parse_frame bytes with
+  | Error _ as e -> e
+  | Ok payload -> Protocol.decode_request payload
+
+let truncation_fuzz =
+  QCheck.Test.make ~count:200 ~name:"truncated frame is a typed error"
+    QCheck.(int_range 0 (Bytes.length (Lazy.force pristine_frame) - 1))
+    (fun len ->
+      let cut = Bytes.sub (Lazy.force pristine_frame) 0 len in
+      total_or_fail ~what:"truncation" (fun () -> frame_then_decode cut)
+      && match frame_then_decode cut with Error _ -> true | Ok _ -> false)
+
+let bitflip_fuzz =
+  QCheck.Test.make ~count:300 ~name:"any single bit flip is detected"
+    QCheck.(
+      pair
+        (int_range 0 (Bytes.length (Lazy.force pristine_frame) - 1))
+        (int_range 0 7))
+    (fun (pos, bit) ->
+      let b = Bytes.copy (Lazy.force pristine_frame) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      total_or_fail ~what:"bitflip" (fun () -> frame_then_decode b)
+      && match frame_then_decode b with Error _ -> true | Ok _ -> false)
+
+let garbage_fuzz =
+  QCheck.Test.make ~count:300 ~name:"garbage bytes are a typed error"
+    QCheck.(string_of_size (Gen.int_range 0 2048))
+    (fun s ->
+      let b = Bytes.of_string s in
+      total_or_fail ~what:"garbage" (fun () -> frame_then_decode b)
+      && match frame_then_decode b with Error _ -> true | Ok _ -> false)
+
+(* Random payloads behind a well-formed frame: correct magic, length and
+   CRC, garbage inside — exercises the request decoder past the framing
+   gates.  (Empty payloads are rejected as having no tag.) *)
+let framed_garbage_fuzz =
+  QCheck.Test.make ~count:300
+    ~name:"well-framed garbage payload is a typed decode error"
+    QCheck.(string_of_size (Gen.int_range 1 2048))
+    (fun s ->
+      let framed = Protocol.frame (Bytes.of_string s) in
+      match Protocol.parse_frame framed with
+      | Error _ -> false (* we framed it correctly; framing must pass *)
+      | Ok payload ->
+        total_or_fail ~what:"framed garbage" (fun () ->
+            Protocol.decode_request payload)
+        &&
+        (* a random payload that decodes must at least have had a valid
+           tag byte; reject only exceptions and silent success on junk *)
+        (match Protocol.decode_request payload with
+        | Error _ -> true
+        | Ok _ -> String.length s > 0))
+
+let oversized_rejected () =
+  (* a header announcing more than max_payload_bytes must be refused
+     without allocating the announced buffer *)
+  let b = Bytes.create Protocol.header_bytes in
+  Bytes.blit_string Protocol.magic 0 b 0 4;
+  Ax_arith.Checksum.write_u32_le b ~pos:4 (Protocol.max_payload_bytes + 1);
+  (match Protocol.parse_frame b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  match
+    Protocol.parse_frame
+      (Protocol.frame (Bytes.make 8 'x'))
+  with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "well-formed frame rejected: %s" (Load_error.to_string e)
+
+let recoverable_classification () =
+  let bc =
+    Load_error.Bad_checksum { what = "AXS1 frame"; expected = 1; actual = 2 }
+  in
+  Alcotest.(check bool) "checksum is recoverable" true (Protocol.recoverable bc);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Load_error.to_string e ^ " loses sync")
+        false (Protocol.recoverable e))
+    [
+      Load_error.Bad_magic
+        { what = "AXS1 frame"; expected = "AXS1"; actual = "junk" };
+      Load_error.Truncated { what = "AXS1 frame"; needed = 8; available = 2 };
+      Load_error.Malformed { what = "AXS1 frame"; detail = "oversized" };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Admission control: deterministic, manual clock                      *)
+(* ------------------------------------------------------------------ *)
+
+let job ?(model = "m") ?deadline ~clock ~outcomes id =
+  {
+    Admission.model;
+    input = mk_tensor ~n:1 ~h:1 ~w:1 ~c:1 ~vseed:id;
+    images = 1;
+    enqueued = !clock;
+    deadline;
+    deliver = (fun o -> outcomes := (id, o) :: !outcomes);
+  }
+
+let overload_is_bounded () =
+  let clock = ref 0. in
+  let adm =
+    Admission.create ~now:(fun () -> !clock) ~retry_after_ms:17 ~capacity:2
+      ~max_batch:8 ()
+  in
+  let outcomes = ref [] in
+  Alcotest.(check bool)
+    "first accepted" true
+    (Admission.submit adm (job ~clock ~outcomes 0) = Ok ());
+  Alcotest.(check bool)
+    "second accepted" true
+    (Admission.submit adm (job ~clock ~outcomes 1) = Ok ());
+  (match Admission.submit adm (job ~clock ~outcomes 2) with
+  | Error (Admission.Queue_full { retry_after_ms }) ->
+    Alcotest.(check int) "retry hint" 17 retry_after_ms
+  | Ok () -> Alcotest.fail "queue exceeded its bound"
+  | Error Admission.Closed -> Alcotest.fail "queue reported closed");
+  Alcotest.(check int) "depth bounded" 2 (Admission.depth adm);
+  let st = Admission.stats adm in
+  Alcotest.(check int) "max_depth bounded" 2 st.Admission.max_depth;
+  Alcotest.(check int) "one rejection" 1 st.Admission.rejected;
+  (* rejected jobs are never delivered — memory for them is the
+     caller's typed error response, nothing queued *)
+  Alcotest.(check int) "no deliveries yet" 0 (List.length !outcomes);
+  Admission.close adm;
+  (match Admission.submit adm (job ~clock ~outcomes 3) with
+  | Error Admission.Closed -> ()
+  | _ -> Alcotest.fail "closed queue accepted work");
+  Admission.drain adm;
+  let cancelled =
+    List.for_all (fun (_, o) -> o = Admission.Cancelled) !outcomes
+  in
+  Alcotest.(check bool) "drain cancels queued jobs" true cancelled;
+  Alcotest.(check int) "both queued jobs cancelled" 2 (List.length !outcomes)
+
+let expired_never_scheduled () =
+  let clock = ref 100. in
+  let adm =
+    Admission.create ~now:(fun () -> !clock) ~capacity:8 ~max_batch:8 ()
+  in
+  let outcomes = ref [] in
+  ignore (Admission.submit adm (job ~clock ~outcomes ~deadline:100.5 0));
+  ignore (Admission.submit adm (job ~clock ~outcomes 1));
+  clock := 101.;
+  (match Admission.form_batch adm with
+  | `Batch (model, jobs) ->
+    Alcotest.(check string) "batch model" "m" model;
+    Alcotest.(check int) "only the live job scheduled" 1 (List.length jobs);
+    List.iter (fun j -> j.Admission.deliver (Admission.Done [| 0 |])) jobs
+  | `Empty -> Alcotest.fail "live job not scheduled");
+  (match List.assoc 0 !outcomes with
+  | Admission.Expired -> ()
+  | _ -> Alcotest.fail "expired job was not answered Expired");
+  (match List.assoc 1 !outcomes with
+  | Admission.Done _ -> ()
+  | _ -> Alcotest.fail "live job lost");
+  let st = Admission.stats adm in
+  Alcotest.(check int) "expired counted" 1 st.Admission.expired;
+  Alcotest.(check int) "one batch" 1 st.Admission.batches;
+  Admission.close adm
+
+let batches_are_per_model_fifo () =
+  let clock = ref 0. in
+  let adm =
+    Admission.create ~now:(fun () -> !clock) ~capacity:8 ~max_batch:2 ()
+  in
+  let outcomes = ref [] in
+  ignore (Admission.submit adm (job ~model:"a" ~clock ~outcomes 0));
+  ignore (Admission.submit adm (job ~model:"b" ~clock ~outcomes 1));
+  ignore (Admission.submit adm (job ~model:"a" ~clock ~outcomes 2));
+  ignore (Admission.submit adm (job ~model:"a" ~clock ~outcomes 3));
+  let pop () =
+    match Admission.form_batch adm with
+    | `Batch (model, jobs) ->
+      List.iter (fun j -> j.Admission.deliver (Admission.Done [| 0 |])) jobs;
+      (model, List.length jobs)
+    | `Empty -> ("empty", 0)
+  in
+  (* head is model a: coalesce a-jobs up to max_batch, b keeps its seat *)
+  Alcotest.(check (pair string int)) "first batch" ("a", 2) (pop ());
+  Alcotest.(check (pair string int)) "second batch" ("b", 1) (pop ());
+  Alcotest.(check (pair string int)) "third batch" ("a", 1) (pop ());
+  Alcotest.(check int) "all delivered" 4 (List.length !outcomes);
+  Admission.close adm
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon on a temp Unix socket                                   *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "tfapprox_test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_daemon ?(linger = 0.002) f =
+  let store =
+    Store.load ~domains:1 [ Store.parse_spec "lenet=lenet+mul8u_trunc8" ]
+  in
+  let address = Server.Unix_sock (temp_socket ()) in
+  let server =
+    Server.start
+      {
+        (Server.default_config ~store ~address ()) with
+        Server.queue_capacity = 8;
+        max_batch = 4;
+        linger;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () ->
+      f ~server ~store ~address)
+
+let mnist_image = lazy (Ax_data.Mnist.generate ~seed:3 ~n:1 ()).Ax_data.Mnist.images
+
+let daemon_ping_and_infer () =
+  with_daemon (fun ~server:_ ~store ~address ->
+      let c = Client.connect address in
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+      let data = Lazy.force mnist_image in
+      let graph =
+        match Store.find store "lenet" with
+        | Some { Store.status = Store.Ready r; _ } -> r.Store.graph
+        | _ -> Alcotest.fail "lenet not ready"
+      in
+      let expected =
+        Tfapprox.Emulator.predictions ~verify:false ~domains:1 graph
+          ~backend:Tfapprox.Emulator.Cpu_gemm data
+      in
+      (match Client.infer c ~model:"lenet" data with
+      | Ok classes ->
+        Alcotest.(check (array int))
+          "bit-identical to one-shot emulator" expected classes
+      | Error e -> Alcotest.failf "infer: %s" (Client.error_to_string e));
+      (match Client.infer c ~model:"nope" data with
+      | Error (Client.Refused { code = Protocol.Unknown_model; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unknown model accepted"
+      | Error e ->
+        Alcotest.failf "unknown model: wrong error %s"
+          (Client.error_to_string e));
+      Client.close c)
+
+let daemon_survives_crc_flip () =
+  with_daemon (fun ~server:_ ~store:_ ~address ->
+      let c = Client.connect address in
+      let framed = Protocol.frame (Protocol.encode_request Protocol.Ping) in
+      (* flip a payload bit: CRC catches it; stream stays in sync *)
+      let broken = Bytes.copy framed in
+      let pos = Protocol.header_bytes in
+      Bytes.set broken pos
+        (Char.chr (Char.code (Bytes.get broken pos) lxor 1));
+      Client.send_raw c broken;
+      (match Client.read_response c with
+      | Ok (Protocol.Error { code = Protocol.Bad_request; _ }) -> ()
+      | Ok r ->
+        Alcotest.failf "expected Bad_request, got %s"
+          (match r with Protocol.Pong -> "Pong" | _ -> "other")
+      | Error e -> Alcotest.failf "read: %s" (Client.error_to_string e));
+      (* the same connection still works afterwards *)
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "connection died after recoverable error: %s"
+          (Client.error_to_string e));
+      Client.close c)
+
+let daemon_survives_desync () =
+  with_daemon (fun ~server:_ ~store:_ ~address ->
+      (* bad magic: the server answers typed (best effort) and closes
+         that connection — and only that connection *)
+      let c = Client.connect address in
+      Client.send_raw c (Bytes.of_string "XXXXXXXXXXXXXXXX");
+      (match Client.read_response c with
+      | Ok (Protocol.Error { code = Protocol.Bad_request; _ }) -> ()
+      | Ok _ -> Alcotest.fail "desync answered non-error"
+      | Error Client.Disconnected -> ()
+      | Error e -> Alcotest.failf "read: %s" (Client.error_to_string e));
+      (match Client.read_response c with
+      | Error Client.Disconnected -> ()
+      | Ok _ -> Alcotest.fail "connection not closed after desync"
+      | Error _ -> () (* reset also counts as closed *));
+      Client.close c;
+      let c2 = Client.connect address in
+      (match Client.ping c2 with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "daemon died with the connection: %s"
+          (Client.error_to_string e));
+      Client.close c2)
+
+let daemon_expires_deadlines () =
+  (* a long linger guarantees the deadline sweep sees the job expired
+     before any batch forms *)
+  with_daemon ~linger:0.05 (fun ~server ~store:_ ~address ->
+      let c = Client.connect address in
+      let data = Lazy.force mnist_image in
+      (match Client.infer c ~deadline_ms:0 ~model:"lenet" data with
+      | Error (Client.Refused { code = Protocol.Deadline_exceeded; _ }) -> ()
+      | Ok _ -> Alcotest.fail "deadline 0 was scheduled"
+      | Error e ->
+        Alcotest.failf "deadline: wrong error %s" (Client.error_to_string e));
+      let st = Admission.stats (Server.admission server) in
+      Alcotest.(check int) "expired at the batch boundary" 1
+        st.Admission.expired;
+      Alcotest.(check int) "never scheduled" 0 st.Admission.batched_jobs;
+      Client.close c)
+
+let daemon_rejects_bad_geometry () =
+  with_daemon (fun ~server:_ ~store:_ ~address ->
+      let c = Client.connect address in
+      (* 32x32x3 against a 28x28x1 model: typed Bad_request, no crash *)
+      let data =
+        (Ax_data.Cifar.generate ~seed:1 ~n:1 ()).Ax_data.Cifar.images
+      in
+      (match Client.infer c ~model:"lenet" data with
+      | Error (Client.Refused { code = Protocol.Bad_request; _ }) -> ()
+      | Ok _ -> Alcotest.fail "wrong geometry accepted"
+      | Error e ->
+        Alcotest.failf "geometry: wrong error %s" (Client.error_to_string e));
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "connection died: %s" (Client.error_to_string e));
+      Client.close c)
+
+let qsuite name tests =
+  ( name,
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]))
+      tests )
+
+let () =
+  Alcotest.run "serve"
+    [
+      qsuite "protocol"
+        [
+          roundtrip_request; roundtrip_response; truncation_fuzz;
+          bitflip_fuzz; garbage_fuzz; framed_garbage_fuzz;
+        ];
+      ( "framing",
+        [
+          Alcotest.test_case "oversized frame refused" `Quick
+            oversized_rejected;
+          Alcotest.test_case "recoverable classification" `Quick
+            recoverable_classification;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload is bounded and typed" `Quick
+            overload_is_bounded;
+          Alcotest.test_case "expired jobs never reach the scheduler" `Quick
+            expired_never_scheduled;
+          Alcotest.test_case "per-model FIFO batching" `Quick
+            batches_are_per_model_fifo;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ping + bit-identical infer" `Quick
+            daemon_ping_and_infer;
+          Alcotest.test_case "CRC flip: typed error, connection lives" `Quick
+            daemon_survives_crc_flip;
+          Alcotest.test_case "desync closes connection, daemon lives" `Quick
+            daemon_survives_desync;
+          Alcotest.test_case "deadline 0 expires at the batch boundary" `Quick
+            daemon_expires_deadlines;
+          Alcotest.test_case "wrong geometry is a typed refusal" `Quick
+            daemon_rejects_bad_geometry;
+        ] );
+    ]
