@@ -921,7 +921,8 @@ let perf_cmd =
 
 let serve_cmd =
   let run listen models backend domains queue_capacity max_batch linger_ms
-      retry_after_ms trace_file metrics_file quiet =
+      retry_after_ms max_connections idle_timeout trace_file metrics_file
+      quiet =
     apply_quiet quiet;
     guarded @@ fun () ->
     let address = Ax_serve.Server.parse_address listen in
@@ -932,6 +933,8 @@ let serve_cmd =
     if max_batch <= 0 then failwith "--max-batch: expected > 0";
     if linger_ms < 0. then failwith "--linger-ms: expected >= 0";
     if retry_after_ms < 0 then failwith "--retry-after-ms: expected >= 0";
+    if max_connections <= 0 then failwith "--max-connections: expected > 0";
+    if idle_timeout < 0. then failwith "--idle-timeout: expected >= 0";
     let specs =
       List.map Ax_serve.Store.parse_spec
         (match models with
@@ -950,6 +953,8 @@ let serve_cmd =
         max_batch;
         linger = linger_ms /. 1000.;
         retry_after_ms;
+        max_connections;
+        idle_timeout;
         metrics;
         trace = tracer;
       }
@@ -983,8 +988,11 @@ let serve_cmd =
       & info [ "model" ] ~docv:"SPEC"
           ~doc:
             "Model to serve (repeatable): NAME=ARCH[+MULTIPLIER][\\@LUTFILE] \
-             with ARCH one of lenet, mobilenet, resnetD — or NAME=FILE.axmdl.  \
-             Defaults to resnet8=resnet8+mul8u_trunc8.")
+             with ARCH one of lenet, mobilenet, resnetD — or \
+             NAME=FILE.axmdl[\\@HxWxC] (the .axmdl format stores no input \
+             geometry; without \\@HxWxC the 32x32x3 CIFAR default is \
+             assumed and verified at load).  Defaults to \
+             resnet8=resnet8+mul8u_trunc8.")
   in
   let backend =
     Arg.(
@@ -1019,6 +1027,24 @@ let serve_cmd =
       & info [ "retry-after-ms" ] ~docv:"MS"
           ~doc:"Hint returned with Overloaded refusals.")
   in
+  let max_connections =
+    Arg.(
+      value & opt int 256
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection cap; accepts past it are refused with \
+             a typed Overloaded frame and closed without spawning a \
+             thread.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a connection that delivers no complete frame for this \
+             long (a stalled or silent peer must not pin a server thread \
+             forever); 0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1027,8 +1053,8 @@ let serve_cmd =
           malformed frames are typed per-connection errors")
     Term.(
       const run $ listen $ models $ backend $ domains_term $ queue_capacity
-      $ max_batch $ linger_ms $ retry_after_ms $ trace_file_term
-      $ metrics_file_term $ quiet_term)
+      $ max_batch $ linger_ms $ retry_after_ms $ max_connections
+      $ idle_timeout $ trace_file_term $ metrics_file_term $ quiet_term)
 
 let client_cmd =
   let run action connect model input_kind images seed count deadline_ms

@@ -201,15 +201,29 @@ let set_tracer t tr =
    when the pool cannot fan out (single worker, shut down, or called
    from inside a task of this very pool). *)
 let run_slots t ~slots task =
-  if slots <= 1 || t.size = 1 || t.shut_down || t.active || is_worker t then begin
+  let inline () =
     t.inline_calls <- t.inline_calls + 1;
     t.tasks <- t.tasks + slots;
     for s = 0 to slots - 1 do
       task s
     done
-  end
+  in
+  (* The coordinator role is acquired under [t.mutex]: two systhreads
+     fanning out at once would otherwise both observe [active = false]
+     and install [t.job] over each other, corrupting both fan-outs.
+     The loser of the race simply runs inline, same as a nested call. *)
+  let acquired =
+    (not (slots <= 1 || t.size = 1 || is_worker t))
+    && begin
+         Mutex.lock t.mutex;
+         let ok = (not t.active) && not t.shut_down in
+         if ok then t.active <- true;
+         Mutex.unlock t.mutex;
+         ok
+       end
+  in
+  if not acquired then inline ()
   else begin
-    t.active <- true;
     t.parallel_calls <- t.parallel_calls + 1;
     t.tasks <- t.tasks + slots;
     (* Only the fan-out path records pool.task spans: each slot writes
@@ -252,11 +266,12 @@ let run_slots t ~slots task =
     t.failure <- None;
     Mutex.unlock t.mutex;
     t.fanout_wall_s <- t.fanout_wall_s +. (Unix.gettimeofday () -. start);
-    t.active <- false;
     (* Workers are quiescent again: merge each slot's fork into the sink
        in slot order, so the merged stream is deterministic for a fixed
        split.  Merge even on failure — a trace of the failing fan-out is
-       exactly what a debugging session wants. *)
+       exactly what a debugging session wants.  The coordinator role is
+       released only after the merge — a new coordinator writing fresh
+       spans into the forks would race it. *)
     (match t.tracer with
     | Some sink ->
       Array.iter
@@ -265,6 +280,9 @@ let run_slots t ~slots task =
           Ax_obs.Trace.clear f)
         t.forks
     | None -> ());
+    Mutex.lock t.mutex;
+    t.active <- false;
+    Mutex.unlock t.mutex;
     (* Slot 0 is the lowest index, so the caller's own exception wins;
        otherwise the lowest failing worker slot.  Exactly one re-raise. *)
     match (own, worker_failure) with

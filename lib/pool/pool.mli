@@ -30,7 +30,14 @@
 
     Nested calls — a task that itself calls into the same pool — run
     their tasks inline on the current domain rather than deadlocking, so
-    batch-level sharding can sit above row-level GEMM parallelism. *)
+    batch-level sharding can sit above row-level GEMM parallelism.  The
+    coordinator role is taken under the pool lock, so two systhreads
+    fanning out concurrently never corrupt each other: one wins the
+    workers, the loser runs inline.  (Note this makes concurrent calls
+    {e safe}, not parallel — and layers above the pool, e.g. the
+    {!Ax_nn.Scratch} arenas, are per-domain, so concurrent emulator
+    runs from multiple systhreads of one domain are still unsupported;
+    serialize at the caller as the serve scheduler does.) *)
 
 type t
 

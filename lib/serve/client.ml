@@ -40,6 +40,7 @@ type error =
   | Protocol_error of Load_error.t
   | Unexpected of Protocol.response
   | Disconnected
+  | Timed_out
 
 let error_to_string = function
   | Refused { code; retry_after_ms; message } ->
@@ -51,10 +52,12 @@ let error_to_string = function
   | Protocol_error e -> "protocol error: " ^ Load_error.to_string e
   | Unexpected _ -> "unexpected response kind"
   | Disconnected -> "connection closed by daemon"
+  | Timed_out -> "timed out waiting for the daemon's response"
 
 let read_response t =
   match Protocol.read_frame t.fd with
   | `Eof -> Error Disconnected
+  | `Timeout -> Error Timed_out
   | `Err e -> Error (Protocol_error e)
   | `Payload payload -> (
     match Protocol.decode_response payload with
@@ -87,7 +90,13 @@ let infer t ?(id = 0) ?deadline_ms ~model input =
   match
     roundtrip t (Protocol.Infer { id; model; deadline_ms = deadline_ms; input })
   with
-  | Ok (Protocol.Predictions { classes; _ }) -> Ok classes
+  (* a stale or stray frame (a previous exchange's late reply) must not
+     be accepted as this request's answer: the echoed id has to match *)
+  | Ok (Protocol.Predictions { id = echoed; classes }) when echoed = id ->
+    Ok classes
+  (* a request-bound error for some *other* id is equally stale *)
+  | Ok (Protocol.Error { id = Some echoed; _ } as r) when echoed <> id ->
+    Error (Unexpected r)
   | Ok other -> refused other
   | Error _ as e -> e
 

@@ -9,9 +9,9 @@ type t
 
 val connect : ?timeout:float -> Server.address -> t
 (** Blocking connect.  [timeout] (seconds) bounds each subsequent read
-    — a hung daemon surfaces as [Unix.Unix_error (EAGAIN, _, _)] rather
-    than a client stuck forever.  Raises [Unix.Unix_error] when the
-    daemon is not there. *)
+    — a hung daemon surfaces as [Error Timed_out] rather than a client
+    stuck forever.  Raises [Unix.Unix_error] when the daemon is not
+    there. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -25,8 +25,12 @@ type error =
   | Protocol_error of Ax_arith.Load_error.t
       (** the daemon's bytes did not decode *)
   | Unexpected of Protocol.response
-      (** decoded, but not the response kind this request awaits *)
+      (** decoded, but not the response this request awaits — a wrong
+          kind, or a [Predictions]/request-bound [Error] echoing a
+          different id than the one just sent (a stale frame is never
+          silently accepted as the current request's answer) *)
   | Disconnected  (** stream ended mid-exchange *)
+  | Timed_out  (** the [connect] read timeout expired mid-exchange *)
 
 val error_to_string : error -> string
 
@@ -43,7 +47,9 @@ val infer :
   model:string ->
   Ax_tensor.Tensor.t ->
   (int array, error) result
-(** Class ids for each image of the input batch. *)
+(** Class ids for each image of the input batch.  The response must
+    echo [id] (default 0); a [Predictions] or request-bound [Error]
+    carrying any other id is rejected as [Unexpected]. *)
 
 val metrics : t -> (string, error) result
 (** Prometheus text dump. *)

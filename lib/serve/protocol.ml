@@ -113,8 +113,25 @@ let response_equal a b =
 (* ------------------------------------------------------------------ *)
 
 let u32_mask = 0xFFFF_FFFF
+
+(* 0xFFFFFFFF is the on-wire [None] for the optional deadline and the
+   optional error id.  To keep encode/decode a bijection the sentinel is
+   *reserved*: user-supplied values are rejected at encode time and a
+   hand-crafted frame carrying it is a typed decode error, so [Some
+   0xFFFFFFFF] can never silently turn into [None] on the far side. *)
 let no_deadline = u32_mask
 let no_id = u32_mask
+let max_id = u32_mask - 1
+
+let check_u32 ~what v =
+  if v < 0 || v > u32_mask then
+    invalid_arg (Printf.sprintf "Protocol: %s %d outside 0..%d" what v u32_mask)
+
+let check_reserved ~what v =
+  if v < 0 || v > max_id then
+    invalid_arg
+      (Printf.sprintf "Protocol: %s %d outside 0..%d (0x%X is reserved)" what v
+         max_id u32_mask)
 
 let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
 let add_u32 b v = Checksum.append_u32_le b (v land u32_mask)
@@ -143,6 +160,8 @@ let encode_request r =
   | List_models -> add_u8 b 2
   | Infer { id; model; deadline_ms; input } ->
     add_u8 b 3;
+    check_reserved ~what:"Infer id" id;
+    Option.iter (check_reserved ~what:"deadline_ms") deadline_ms;
     add_u32 b id;
     add_u32 b (match deadline_ms with None -> no_deadline | Some ms -> ms);
     add_string b model;
@@ -171,6 +190,7 @@ let encode_response r =
       models
   | Predictions { id; classes } ->
     add_u8 b 12;
+    check_u32 ~what:"Predictions id" id;
     add_u32 b id;
     add_u32 b (Array.length classes);
     Array.iter (fun c -> add_u32 b c) classes
@@ -180,6 +200,8 @@ let encode_response r =
   | Shutdown_ack -> add_u8 b 14
   | Error { id; code; retry_after_ms; message } ->
     add_u8 b 15;
+    Option.iter (check_reserved ~what:"Error id") id;
+    check_u32 ~what:"retry_after_ms" retry_after_ms;
     add_u32 b (match id with None -> no_id | Some id -> id);
     add_u8 b (error_code_tag code);
     add_u32 b retry_after_ms;
@@ -278,6 +300,9 @@ let decode_request buf =
   | 2 -> List_models
   | 3 ->
     let id = get_u32 c ~what in
+    if id = no_id then
+      malformed ~what
+        (Printf.sprintf "request id 0x%X is reserved" no_id);
     let deadline = get_u32 c ~what in
     let model = get_string c ~what in
     let input = get_tensor c ~what in
@@ -418,10 +443,18 @@ let recoverable = function Load_error.Bad_checksum _ -> true | _ -> false
 
 (* A peer that vanishes mid-stream (RST instead of FIN) is the same
    condition as a clean close for framing purposes: the stream ended. *)
+
+(* [SO_RCVTIMEO] expiring surfaces as [EAGAIN]/[EWOULDBLOCK]; the frame
+   readers turn it into [`Timeout] so a stalled peer is a policy
+   decision of the caller, not a stuck thread. *)
+exception Read_timed_out
+
 let rec read_retry fd buf pos len =
   match Unix.read fd buf pos len with
   | n -> n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    raise Read_timed_out
   | exception
       Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED), _, _)
     -> 0
@@ -438,7 +471,7 @@ let really_read fd buf ~pos ~len =
   in
   go 0
 
-let read_frame fd =
+let read_frame_blocking fd =
   let header = Bytes.create header_bytes in
   match really_read fd header ~pos:0 ~len:header_bytes with
   | `Short 0 -> `Eof
@@ -466,6 +499,11 @@ let read_frame fd =
         with
         | Ok payload -> `Payload payload
         | Error e -> `Err e)))
+
+let read_frame fd =
+  match read_frame_blocking fd with
+  | r -> (r :> [ `Payload of Bytes.t | `Eof | `Err of Load_error.t | `Timeout ])
+  | exception Read_timed_out -> `Timeout
 
 let write_all fd buf =
   let len = Bytes.length buf in

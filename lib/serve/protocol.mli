@@ -58,12 +58,18 @@ type request =
   | Ping
   | List_models
   | Infer of {
-      id : int;  (** client-chosen echo token, [0 .. 2{^32}-1] *)
+      id : int;
+          (** client-chosen echo token, [0 .. 2{^32}-2]; [0xFFFFFFFF]
+              is the reserved on-wire [None] of the optional response
+              id, so {!encode_request} raises [Invalid_argument] on it
+              and {!decode_request} rejects it as a typed error — the
+              codec stays a bijection at the sentinel boundary *)
       model : string;
       deadline_ms : int option;
-          (** relative time budget; expired requests are answered
-              [Deadline_exceeded] at the next batch boundary instead of
-              being scheduled *)
+          (** relative time budget, [0 .. 2{^32}-2] ([0xFFFFFFFF] is the
+              on-wire [None] and reserved, as for [id]); expired
+              requests are answered [Deadline_exceeded] at the next
+              batch boundary instead of being scheduled *)
       input : Ax_tensor.Tensor.t;  (** NHWC, n >= 1 images *)
     }
   | Metrics  (** Prometheus text dump of the daemon's registry *)
@@ -91,7 +97,12 @@ val response_equal : response -> response -> bool
 (** {1 Payload codec} *)
 
 val encode_request : request -> Bytes.t
+(** Raises [Invalid_argument] when an [Infer] id or deadline lies
+    outside [0 .. 2{^32}-2] — [0xFFFFFFFF] encodes the absent option and
+    may not be supplied as a value. *)
+
 val encode_response : response -> Bytes.t
+(** Same reservation for [Error.id]; [Invalid_argument] past it. *)
 
 val decode_request : Bytes.t -> (request, Ax_arith.Load_error.t) result
 (** Total over arbitrary byte strings: truncated, bit-flipped and
@@ -121,10 +132,14 @@ val recoverable : Ax_arith.Load_error.t -> bool
 
 val read_frame :
   Unix.file_descr ->
-  [ `Payload of Bytes.t | `Eof | `Err of Ax_arith.Load_error.t ]
+  [ `Payload of Bytes.t | `Eof | `Err of Ax_arith.Load_error.t | `Timeout ]
 (** Read one frame.  [`Eof] on a clean end-of-stream between frames; a
-    mid-frame end-of-stream is [`Err (Truncated _)].  Never raises on
-    malformed input (I/O errors still raise [Unix.Unix_error]). *)
+    mid-frame end-of-stream is [`Err (Truncated _)]; an expired
+    [SO_RCVTIMEO] ([EAGAIN]/[EWOULDBLOCK]) is [`Timeout] — the daemon
+    treats it as a desync-close so a stalled or silent peer cannot pin a
+    connection thread forever, and the client surfaces it as
+    [Timed_out].  Never raises on malformed input (other I/O errors
+    still raise [Unix.Unix_error]). *)
 
 val write_frame : Unix.file_descr -> Bytes.t -> unit
 (** Frame and send a payload ([single_write] until done).  Raises

@@ -46,6 +46,8 @@ type config = {
   max_batch : int;
   linger : float;
   retry_after_ms : int;
+  max_connections : int;
+  idle_timeout : float;
   metrics : Metrics.t;
   trace : Trace.t option;
 }
@@ -60,15 +62,29 @@ let default_config ~store ~address () =
     max_batch = 8;
     linger = 0.002;
     retry_after_ms = 50;
+    max_connections = 256;
+    idle_timeout = 300.;
     metrics = Metrics.create ();
     trace = None;
   }
 
+(* Every mutable field is guarded by [write_lock].  The fd's lifetime
+   is the subtle part: the reader thread exiting must NOT close it
+   while admission jobs still hold [deliver] closures for this
+   connection — a closed fd number is recycled by [accept], so a late
+   write would land in another client's stream.  Instead the reader
+   marks [reader_done] (+ [peer_gone]: an EOF'd peer gets no further
+   responses) and the fd closes only when [inflight] drains to zero,
+   with the [peer_gone]/[closed] checks and the close itself serialized
+   under [write_lock]. *)
 type conn = {
   conn_id : int;
   fd : Unix.file_descr;
   write_lock : Mutex.t;
-  mutable peer_gone : bool;
+  mutable peer_gone : bool;  (** no further writes (EOF'd or write failed) *)
+  mutable inflight : int;  (** admission jobs holding [deliver] for us *)
+  mutable reader_done : bool;  (** the connection thread's read loop exited *)
+  mutable closed : bool;  (** [fd] actually closed; never reached again *)
 }
 
 type t = {
@@ -85,7 +101,13 @@ type t = {
   mutable stop_requested : bool;  (** a client sent [Shutdown] / a signal *)
   mutable stopped : bool;  (** fully shut down *)
   mutable conns : conn list;
-  mutable conn_threads : Thread.t list;
+  (* conn_id -> thread, self-reaped: each connection thread removes its
+     own entry on exit (under [lock]), so the table tracks live threads
+     instead of growing monotonically under connection churn.  [dead]
+     marks ids whose thread finished before the accept loop registered
+     it (the registration then drops the stale entry). *)
+  conn_threads : (int, Thread.t) Hashtbl.t;
+  dead_conn_ids : (int, unit) Hashtbl.t;
   mutable next_conn_id : int;
   mutable accept_thread : Thread.t option;
   mutable scheduler_thread : Thread.t option;
@@ -101,30 +123,56 @@ let count t name = Metrics.add t.config.metrics name 1
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Best-effort: a client that vanished mid-response costs a counter and
-   a debug line, never an exception escaping a server thread. *)
-let send t conn response =
-  if not conn.peer_gone then begin
-    let payload = Protocol.encode_response response in
-    Mutex.lock conn.write_lock;
-    let result =
-      try Ok (Protocol.write_frame conn.fd payload) with e -> Result.error e
-    in
-    Mutex.unlock conn.write_lock;
-    match result with
-    | Ok () -> ()
-    | Error e ->
-      conn.peer_gone <- true;
-      count t "serve_dropped_responses";
-      if Log.enabled Log.Debug then
-        Log.debug
-          ~fields:
-            [
-              ("conn", Json.Int conn.conn_id);
-              ("error", Json.String (Printexc.to_string e));
-            ]
-          "serve: client gone mid-response"
+(* Must be called with [conn.write_lock] held. *)
+let conn_close_if_idle conn =
+  if conn.reader_done && conn.inflight = 0 && not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
+
+(* Bracket an admission job's lifetime: the fd stays open (and its
+   number un-recyclable) until every outstanding [deliver] has run. *)
+let conn_job_begin conn =
+  Mutex.lock conn.write_lock;
+  conn.inflight <- conn.inflight + 1;
+  Mutex.unlock conn.write_lock
+
+let conn_job_end conn =
+  Mutex.lock conn.write_lock;
+  conn.inflight <- conn.inflight - 1;
+  conn_close_if_idle conn;
+  Mutex.unlock conn.write_lock
+
+(* Best-effort: a client that vanished mid-response costs a counter and
+   a debug line, never an exception escaping a server thread.  The
+   [peer_gone]/[closed] check and the write happen under [write_lock] —
+   the same lock serializing the close — so a delivery can never write
+   to a closed (possibly recycled) fd. *)
+let send t conn response =
+  let payload = Protocol.encode_response response in
+  Mutex.lock conn.write_lock;
+  let result =
+    if conn.peer_gone || conn.closed then Ok ()
+    else
+      match Protocol.write_frame conn.fd payload with
+      | () -> Ok ()
+      | exception e ->
+        conn.peer_gone <- true;
+        Result.error e
+  in
+  Mutex.unlock conn.write_lock;
+  match result with
+  | Ok () -> ()
+  | Error e ->
+    count t "serve_dropped_responses";
+    if Log.enabled Log.Debug then
+      Log.debug
+        ~fields:
+          [
+            ("conn", Json.Int conn.conn_id);
+            ("error", Json.String (Printexc.to_string e));
+          ]
+        "serve: client gone mid-response"
 
 let error_response ?id ?(retry_after_ms = 0) code message =
   Protocol.Error { id; code; retry_after_ms; message }
@@ -286,17 +334,23 @@ let handle_infer t conn ~id ~model ~deadline_ms input =
         enqueued = now;
         deadline =
           Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) deadline_ms;
-        deliver = (fun outcome -> send t conn (outcome_response ~id outcome));
+        deliver =
+          (fun outcome ->
+            send t conn (outcome_response ~id outcome);
+            conn_job_end conn);
       }
     in
+    conn_job_begin conn;
     (match Admission.submit t.adm job with
     | Ok () -> ()
     | Error (Admission.Queue_full { retry_after_ms }) ->
+      conn_job_end conn;
       send t conn
         (error_response ~id ~retry_after_ms Protocol.Overloaded
            (Printf.sprintf "admission queue full (capacity %d); retry in %d ms"
               t.config.queue_capacity retry_after_ms))
     | Error Admission.Closed ->
+      conn_job_end conn;
       send t conn
         (error_response ~id Protocol.Shutting_down "daemon shutting down"))
 
@@ -337,6 +391,16 @@ let conn_loop t conn =
   let rec go () =
     match Protocol.read_frame conn.fd with
     | `Eof -> ()
+    | `Timeout ->
+      (* [idle_timeout] expired with no (complete) frame: a silent or
+         stalled peer must not pin this thread forever.  Treated as a
+         desync-close — mid-frame the stream position is unknowable
+         anyway. *)
+      count t "serve_read_timeouts";
+      if Log.enabled Log.Debug then
+        Log.debug
+          ~fields:[ ("conn", Json.Int conn.conn_id) ]
+          "serve: connection idle/stalled past the read timeout; closing"
     | `Err e when Protocol.recoverable e ->
       (* the length prefix walked the stream past the damaged payload:
          answer typed and keep serving this connection *)
@@ -369,10 +433,27 @@ let conn_loop t conn =
   Fun.protect
     ~finally:(fun () ->
       locked t (fun () ->
-          t.conns <- List.filter (fun c -> c != conn) t.conns);
+          t.conns <- List.filter (fun c -> c != conn) t.conns;
+          (* self-reap: this thread's registry entry dies with it; the
+             tombstone covers losing the race against registration *)
+          if not (Hashtbl.mem t.conn_threads conn.conn_id) then
+            Hashtbl.replace t.dead_conn_ids conn.conn_id ();
+          Hashtbl.remove t.conn_threads conn.conn_id);
       Metrics.set_gauge t.config.metrics "serve_connections"
         (float_of_int (locked t (fun () -> List.length t.conns)));
-      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      (* the reader is done: no more responses for this peer, shut the
+         socket down now — but only [conn_close_if_idle] may close the
+         fd, once no in-flight job holds a [deliver] for it, so the fd
+         number cannot be recycled under a pending delivery *)
+      Mutex.lock conn.write_lock;
+      conn.reader_done <- true;
+      conn.peer_gone <- true;
+      if not conn.closed then begin
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ()
+      end;
+      conn_close_if_idle conn;
+      Mutex.unlock conn.write_lock)
     (fun () ->
       try go ()
       with e ->
@@ -399,22 +480,61 @@ let accept_loop t =
           | exception Unix.Unix_error _ -> ()
           | fd, _peer ->
             count t "serve_connections_total";
-            let conn =
+            let at_cap =
               locked t (fun () ->
-                  let conn =
-                    {
-                      conn_id = t.next_conn_id;
-                      fd;
-                      write_lock = Mutex.create ();
-                      peer_gone = false;
-                    }
-                  in
-                  t.next_conn_id <- t.next_conn_id + 1;
-                  t.conns <- conn :: t.conns;
-                  conn)
+                  List.length t.conns >= t.config.max_connections)
             in
-            let thread = Thread.create (fun () -> conn_loop t conn) () in
-            locked t (fun () -> t.conn_threads <- thread :: t.conn_threads));
+            if at_cap then begin
+              (* bounded thread count under connection churn: refuse
+                 typed (best effort — the tiny frame fits the socket
+                 buffer) and hang up without spawning a thread *)
+              count t "serve_connections_refused";
+              (try
+                 Protocol.write_frame fd
+                   (Protocol.encode_response
+                      (error_response
+                         ~retry_after_ms:t.config.retry_after_ms
+                         Protocol.Overloaded
+                         (Printf.sprintf
+                            "connection limit reached (%d); retry in %d ms"
+                            t.config.max_connections t.config.retry_after_ms)))
+               with _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end
+            else begin
+              (* a silent/stalled peer surfaces as [`Timeout] in the
+                 read loop instead of pinning the thread forever *)
+              if t.config.idle_timeout > 0. then begin
+                try
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+                    t.config.idle_timeout
+                with Unix.Unix_error _ -> ()
+              end;
+              let conn =
+                locked t (fun () ->
+                    let conn =
+                      {
+                        conn_id = t.next_conn_id;
+                        fd;
+                        write_lock = Mutex.create ();
+                        peer_gone = false;
+                        inflight = 0;
+                        reader_done = false;
+                        closed = false;
+                      }
+                    in
+                    t.next_conn_id <- t.next_conn_id + 1;
+                    t.conns <- conn :: t.conns;
+                    conn)
+              in
+              let thread = Thread.create (fun () -> conn_loop t conn) () in
+              locked t (fun () ->
+                  (* the thread may already have finished and left a
+                     tombstone — don't register an entry nobody reaps *)
+                  if Hashtbl.mem t.dead_conn_ids conn.conn_id then
+                    Hashtbl.remove t.dead_conn_ids conn.conn_id
+                  else Hashtbl.replace t.conn_threads conn.conn_id thread)
+            end);
           go ()
         end
     end
@@ -454,6 +574,8 @@ let bind_listen address =
 
 let start config =
   if config.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
+  if config.max_connections < 1 then
+    invalid_arg "Server.start: max_connections must be >= 1";
   (* a client closing mid-write must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -477,7 +599,8 @@ let start config =
       stop_requested = false;
       stopped = false;
       conns = [];
-      conn_threads = [];
+      conn_threads = Hashtbl.create 64;
+      dead_conn_ids = Hashtbl.create 16;
       next_conn_id = 0;
       accept_thread = None;
       scheduler_thread = None;
@@ -518,13 +641,22 @@ let stop t =
     (match t.scheduler_thread with Some th -> Thread.join th | None -> ());
     (* queued-but-never-scheduled jobs answer Shutting_down *)
     Admission.drain t.adm;
-    (* unblock connection readers; each thread closes its own fd *)
+    (* unblock connection readers; each connection's fd closes once its
+       reader exited and its in-flight deliveries drained.  The
+       shutdown is serialized against sends and the close under
+       [write_lock] — never touches a closed (recyclable) fd. *)
     List.iter
       (fun conn ->
-        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-        with Unix.Unix_error _ -> ())
+        Mutex.lock conn.write_lock;
+        if not conn.closed then begin
+          try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ()
+        end;
+        Mutex.unlock conn.write_lock)
       (locked t (fun () -> t.conns));
-    List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    List.iter Thread.join
+      (locked t (fun () ->
+           Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads []));
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_w with Unix.Unix_error _ -> ());

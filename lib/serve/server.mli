@@ -20,8 +20,20 @@
     mismatch, closes on a framing desync — see {!Protocol.recoverable});
     an executor exception answers the affected requests with [Internal]
     and the daemon keeps serving; a dead client mid-response is logged
-    and dropped (SIGPIPE is ignored).  Nothing a client sends can bring
-    the process down. *)
+    and dropped (SIGPIPE is ignored).  A silent or stalled peer is
+    closed after [idle_timeout] instead of pinning its thread forever,
+    and connections past [max_connections] are refused with a typed
+    [Overloaded] frame before a thread is spawned, so slow-loris churn
+    cannot grow the thread count without bound.  Nothing a client sends
+    can bring the process down.
+
+    {b Connection close protocol.}  A connection's fd is closed only
+    once its reader thread has exited {e and} every admission job still
+    holding a [deliver] closure for it has run; writes, the
+    [peer_gone] check and the close are serialized under the
+    connection's write lock.  This makes fd-number recycling safe: a
+    late delivery for a vanished client is dropped, never written into
+    another client's stream. *)
 
 type address =
   | Unix_sock of string  (** filesystem path *)
@@ -46,6 +58,14 @@ type config = {
       (** seconds the scheduler waits after the queue becomes non-empty
           before forming a batch, letting concurrent requests coalesce *)
   retry_after_ms : int;  (** the [Overloaded] hint *)
+  max_connections : int;
+      (** concurrent connection cap (>= 1); further accepts are
+          answered with a typed [Overloaded] frame and closed without
+          spawning a thread *)
+  idle_timeout : float;
+      (** seconds a connection may sit without delivering a complete
+          frame ([SO_RCVTIMEO]) before it is closed as stalled;
+          [0.] disables the timeout *)
   metrics : Ax_obs.Metrics.t;
   trace : Ax_obs.Trace.t option;
       (** scheduler-side spans: [serve.batch] per executed batch with
@@ -55,7 +75,8 @@ type config = {
 
 val default_config : store:Store.t -> address:address -> unit -> config
 (** [Cpu_gemm], [domains = 1], capacity 64, max batch 8, 2 ms linger,
-    50 ms retry hint, a fresh metrics registry, no tracer. *)
+    50 ms retry hint, 256 connections, 300 s idle timeout, a fresh
+    metrics registry, no tracer. *)
 
 type t
 

@@ -18,7 +18,7 @@ type source =
       multiplier : string option;
       lut_file : string option;
     }
-  | Model_file of string
+  | Model_file of { path : string; input : Shape.t option }
 
 type spec = { name : string; source : source }
 
@@ -38,8 +38,12 @@ let arch_of_string s =
       | _ -> None
     else None
 
+let geometry_to_string (s : Shape.t) =
+  Printf.sprintf "%dx%dx%d" s.Shape.h s.Shape.w s.Shape.c
+
 let source_to_string = function
-  | Model_file path -> path
+  | Model_file { path; input = None } -> path
+  | Model_file { path; input = Some s } -> path ^ "@" ^ geometry_to_string s
   | Builtin { arch; multiplier; lut_file } ->
     arch_to_string arch
     ^ (match multiplier with None -> "" | Some m -> "+" ^ m)
@@ -49,14 +53,24 @@ let spec_to_string s =
   if s.name = source_to_string s.source then s.name
   else s.name ^ "=" ^ source_to_string s.source
 
-(* [NAME=WHAT] or bare [WHAT]; WHAT = path.axmdl | ARCH[+MULT][@LUT]. *)
+(* [NAME=WHAT] or bare [WHAT];
+   WHAT = path.axmdl[@HxWxC] | ARCH[+MULT][@LUT]. *)
 let parse_spec text =
   let bad detail =
     failwith
       (Printf.sprintf
          "model spec %S: %s (expected NAME=ARCH[+MULTIPLIER][@LUTFILE] or \
-          NAME=FILE.axmdl)"
+          NAME=FILE.axmdl[@HxWxC])"
          text detail)
+  in
+  let parse_geometry g =
+    match String.split_on_char 'x' g with
+    | [ h; w; c ] -> (
+      match (int_of_string_opt h, int_of_string_opt w, int_of_string_opt c) with
+      | Some h, Some w, Some c when h > 0 && w > 0 && c > 0 ->
+        Shape.make ~n:1 ~h ~w ~c
+      | _ -> bad (Printf.sprintf "bad input geometry %S (expected HxWxC)" g))
+    | _ -> bad (Printf.sprintf "bad input geometry %S (expected HxWxC)" g)
   in
   let name, what =
     match String.index_opt text '=' with
@@ -66,9 +80,21 @@ let parse_spec text =
     | None -> ("", text)
   in
   if what = "" then bad "empty source";
+  (* a model file's '@' suffix is input geometry, a builtin's is a LUT
+     path — disambiguated by the ".axmdl" extension before the '@' *)
+  let model_file =
+    if Filename.check_suffix what ".axmdl" then Some (what, None)
+    else
+      match String.rindex_opt what '@' with
+      | Some i when Filename.check_suffix (String.sub what 0 i) ".axmdl" ->
+        let geom = String.sub what (i + 1) (String.length what - i - 1) in
+        Some (String.sub what 0 i, Some (parse_geometry geom))
+      | _ -> None
+  in
   let source =
-    if Filename.check_suffix what ".axmdl" then Model_file what
-    else begin
+    match model_file with
+    | Some (path, input) -> Model_file { path; input }
+    | None -> begin
       let what, lut_file =
         match String.index_opt what '@' with
         | Some i ->
@@ -92,7 +118,8 @@ let parse_spec text =
     if name <> "" then name
     else
       match source with
-      | Model_file path -> Filename.remove_extension (Filename.basename path)
+      | Model_file { path; _ } ->
+        Filename.remove_extension (Filename.basename path)
       | Builtin _ -> source_to_string source
   in
   { name; source }
@@ -137,17 +164,31 @@ let load_one ?metrics ?domains spec =
       "serve: model degraded to unavailable";
     { spec; status = Unavailable reason }
   in
-  let finish graph input =
+  let finish ?(note = "") graph input =
     match preflight ~input graph with
-    | Some reason -> unavailable ("rejected by static verifier: " ^ reason)
+    | Some reason ->
+      unavailable ("rejected by static verifier: " ^ reason ^ note)
     | None ->
       let classes = (Ax_nn.Exec.output_shape graph ~input).Shape.c in
       { spec; status = Ready { graph; input; classes } }
   in
   match spec.source with
-  | Model_file path -> (
+  | Model_file { path; input } -> (
     match Model_io.load_result path with
-    | Ok graph -> finish graph (Shape.make ~n:1 ~h:32 ~w:32 ~c:3)
+    | Ok graph -> (
+      (* the AXMDL1 format carries no input geometry; without an
+         explicit @HxWxC in the spec we assume the CIFAR default and
+         let the pre-flight degrade (never mis-advertise) a model that
+         does not actually run on it *)
+      match input with
+      | Some shape -> finish graph shape
+      | None ->
+        let assumed = Shape.make ~n:1 ~h:32 ~w:32 ~c:3 in
+        finish graph assumed
+          ~note:
+            (Printf.sprintf
+               " (input geometry assumed %s; spec it as NAME=%s@HxWxC)"
+               (geometry_to_string assumed) path))
     | Error e -> unavailable (Load_error.to_string e)
     | exception Sys_error msg -> unavailable msg)
   | Builtin { arch; multiplier; lut_file } -> (

@@ -31,16 +31,28 @@ type source =
               tabulating [multiplier]; [multiplier] then doubles as the
               repair generator for a corrupt file *)
     }
-  | Model_file of string  (** a serialized "AXMDL1" artefact *)
+  | Model_file of {
+      path : string;  (** a serialized "AXMDL1" artefact *)
+      input : Ax_tensor.Shape.t option;
+          (** single-image input geometry ([n = 1]).  The "AXMDL1"
+              format stores no geometry (the graph IR is
+              shape-polymorphic until its Dense layer), so the spec
+              carries it: [None] assumes the 32x32x3 CIFAR default and
+              relies on the load-time pre-flight to degrade the model —
+              with a hint to spec [\@HxWxC] — when that assumption is
+              wrong, rather than serving a wrong advertised geometry. *)
+    }
 
 type spec = { name : string; source : source }
 
 val parse_spec : string -> spec
 (** Parse a CLI model spec — [NAME=WHAT] or bare [WHAT], where [WHAT]
-    is a path ending in [.axmdl], or [ARCH\[+MULTIPLIER\]\[\@LUTFILE\]]
-    with [ARCH] one of [lenet], [mobilenet], [resnetD] (e.g.
-    [resnet8+mul8u_trunc8], [m=resnet8+mul8u_trunc8\@table.axlut]).
-    Raises [Failure] on bad syntax — a usage error. *)
+    is a path ending in [.axmdl] with an optional [\@HxWxC] input
+    geometry (e.g. [m=model.axmdl\@28x28x1]), or
+    [ARCH\[+MULTIPLIER\]\[\@LUTFILE\]] with [ARCH] one of [lenet],
+    [mobilenet], [resnetD] (e.g. [resnet8+mul8u_trunc8],
+    [m=resnet8+mul8u_trunc8\@table.axlut]).  Raises [Failure] on bad
+    syntax — a usage error. *)
 
 val spec_to_string : spec -> string
 

@@ -196,6 +196,33 @@ let test_shutdown_idempotent_and_inline () =
   Alcotest.(check (array int)) "runs inline after shutdown"
     (Array.make 5 1) hits
 
+(* Two systhreads fanning out at once must never corrupt each other:
+   the coordinator role is acquired under the pool lock, so one wins
+   the workers and the loser runs inline.  Pure tasks make a clobbered
+   [job] surface as a wrong element, not a heisenbug. *)
+let test_concurrent_coordinators () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let errors = Atomic.make 0 in
+      let worker seed () =
+        for round = 1 to 50 do
+          let n = 32 + seed in
+          let out =
+            Pool.map_array p
+              ~schedule:(Pool.Dynamic { grain = 1 })
+              (fun i -> (i * seed) + round)
+              (Array.init n Fun.id)
+          in
+          if Array.length out <> n then Atomic.incr errors
+          else
+            Array.iteri
+              (fun i v -> if v <> (i * seed) + round then Atomic.incr errors)
+              out
+        done
+      in
+      let ts = List.init 4 (fun i -> Thread.create (worker (i + 1)) ()) in
+      List.iter Thread.join ts;
+      Alcotest.(check int) "no corrupted fan-outs" 0 (Atomic.get errors))
+
 let test_stats_and_publish () =
   Pool.with_pool ~domains:2 (fun p ->
       Pool.parallel_for p ~lo:0 ~hi:100 (fun ~lo:_ ~hi:_ -> ());
@@ -707,6 +734,8 @@ let () =
             test_worker_exception_reraised_once;
           Alcotest.test_case "nested calls inline" `Quick
             test_nested_calls_run_inline;
+          Alcotest.test_case "concurrent coordinators safe" `Quick
+            test_concurrent_coordinators;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent_and_inline;
           Alcotest.test_case "stats and publish" `Quick test_stats_and_publish;

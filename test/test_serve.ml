@@ -334,7 +334,8 @@ let temp_socket () =
   Sys.remove path;
   path
 
-let with_daemon ?(linger = 0.002) f =
+let with_daemon ?(linger = 0.002) ?(max_connections = 256)
+    ?(idle_timeout = 300.) f =
   let store =
     Store.load ~domains:1 [ Store.parse_spec "lenet=lenet+mul8u_trunc8" ]
   in
@@ -346,6 +347,8 @@ let with_daemon ?(linger = 0.002) f =
         Server.queue_capacity = 8;
         max_batch = 4;
         linger;
+        max_connections;
+        idle_timeout;
       }
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () ->
@@ -465,6 +468,179 @@ let daemon_rejects_bad_geometry () =
         Alcotest.failf "connection died: %s" (Client.error_to_string e));
       Client.close c)
 
+(* 0xFFFFFFFF is the on-wire None of the optional deadline / error id:
+   it must be unencodable as a *value* (else Some 0xFFFFFFFF silently
+   decodes as None — the codec would not be a bijection) and a typed
+   error when hand-crafted on the wire. *)
+let sentinel_is_reserved () =
+  let input = mk_tensor ~n:1 ~h:2 ~w:2 ~c:1 ~vseed:1 in
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "deadline 0xFFFFFFFF unencodable" true
+    (raises (fun () ->
+         Protocol.encode_request
+           (Protocol.Infer
+              { id = 0; model = "m"; deadline_ms = Some 0xFFFFFFFF; input })));
+  Alcotest.(check bool) "id 0xFFFFFFFF unencodable" true
+    (raises (fun () ->
+         Protocol.encode_request
+           (Protocol.Infer
+              { id = 0xFFFFFFFF; model = "m"; deadline_ms = None; input })));
+  Alcotest.(check bool) "error id 0xFFFFFFFF unencodable" true
+    (raises (fun () ->
+         Protocol.encode_response
+           (Protocol.Error
+              {
+                id = Some 0xFFFFFFFF;
+                code = Protocol.Internal;
+                retry_after_ms = 0;
+                message = "";
+              })));
+  (* the boundary value below the sentinel round-trips exactly *)
+  let req =
+    Protocol.Infer
+      { id = 0xFFFFFFFE; model = "m"; deadline_ms = Some 0xFFFFFFFE; input }
+  in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+  | Ok req' ->
+    Alcotest.(check bool) "max-1 round-trips" true
+      (Protocol.request_equal req req')
+  | Error e -> Alcotest.failf "max-1 rejected: %s" (Load_error.to_string e));
+  (* a hand-crafted frame carrying the reserved id is a typed error *)
+  let crafted =
+    Protocol.encode_request
+      (Protocol.Infer { id = 0; model = "m"; deadline_ms = None; input })
+  in
+  Bytes.fill crafted 1 4 '\xff';
+  match Protocol.decode_request crafted with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reserved wire id decoded"
+
+(* The use-after-close race: a client EOFs while its requests are still
+   in the admission queue; the pending deliveries must be dropped (the
+   fd must not be closed out from under them and recycled) and every
+   other connection must keep getting bit-identical answers. *)
+let daemon_survives_vanishing_clients () =
+  (* a long linger keeps jobs queued while their client disconnects *)
+  with_daemon ~linger:0.05 (fun ~server:_ ~store ~address ->
+      let data = Lazy.force mnist_image in
+      for round = 0 to 4 do
+        let c = Client.connect address in
+        Client.send_raw c
+          (Protocol.frame
+             (Protocol.encode_request
+                (Protocol.Infer
+                   { id = round; model = "lenet"; deadline_ms = None;
+                     input = data })));
+        (* vanish before the response can possibly be delivered *)
+        Client.close c
+      done;
+      let graph =
+        match Store.find store "lenet" with
+        | Some { Store.status = Store.Ready r; _ } -> r.Store.graph
+        | _ -> Alcotest.fail "lenet not ready"
+      in
+      let expected =
+        Tfapprox.Emulator.predictions ~verify:false ~domains:1 graph
+          ~backend:Tfapprox.Emulator.Cpu_gemm data
+      in
+      let c = Client.connect address in
+      (match Client.infer c ~id:9 ~model:"lenet" data with
+      | Ok classes ->
+        Alcotest.(check (array int))
+          "survivor still bit-identical" expected classes
+      | Error e -> Alcotest.failf "infer: %s" (Client.error_to_string e));
+      Client.close c)
+
+(* A stalled peer (partial frame, then silence) must be closed by the
+   idle timeout instead of pinning its server thread forever. *)
+let idle_timeout_closes_stalled_conn () =
+  with_daemon ~idle_timeout:0.2 (fun ~server:_ ~store:_ ~address ->
+      let c = Client.connect address in
+      Client.send_raw c (Bytes.of_string "AXS1");
+      (* partial header, then nothing: the server must hang up *)
+      (match Client.read_response c with
+      | Error Client.Disconnected -> ()
+      | Error _ -> () (* reset also counts as closed *)
+      | Ok _ -> Alcotest.fail "stalled connection got a response");
+      Client.close c;
+      let c2 = Client.connect address in
+      (match Client.ping c2 with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "daemon died with the stalled conn: %s"
+          (Client.error_to_string e));
+      Client.close c2)
+
+let connection_cap_refuses_typed () =
+  with_daemon ~max_connections:1 (fun ~server:_ ~store:_ ~address ->
+      let c1 = Client.connect address in
+      (match Client.ping c1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+      let c2 = Client.connect address in
+      (match Client.read_response c2 with
+      | Ok (Protocol.Error { code = Protocol.Overloaded; retry_after_ms; _ })
+        ->
+        Alcotest.(check bool) "cap refusal carries a retry hint" true
+          (retry_after_ms > 0)
+      | Ok _ -> Alcotest.fail "over-cap connection got a non-error"
+      | Error e ->
+        Alcotest.failf "over-cap read: %s" (Client.error_to_string e));
+      Client.close c2;
+      Client.close c1;
+      (* the seat frees up once c1 is gone *)
+      let deadline = Unix.gettimeofday () +. 2. in
+      let rec retry () =
+        let c3 = Client.connect address in
+        match Client.ping c3 with
+        | Ok () -> Client.close c3
+        | Error _ ->
+          Client.close c3;
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "capacity never freed after close"
+          else begin
+            Thread.delay 0.02;
+            retry ()
+          end
+      in
+      retry ())
+
+(* A response echoing the wrong id must never be accepted as the
+   current request's answer.  Driven against a fake daemon that replies
+   off-by-one. *)
+let stale_id_is_rejected () =
+  let path = temp_socket () in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 1;
+  let fake =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen_fd in
+        (match Protocol.read_frame fd with
+        | `Payload _ ->
+          Protocol.write_frame fd
+            (Protocol.encode_response
+               (Protocol.Predictions { id = 8; classes = [| 1 |] }))
+        | _ -> ());
+        Unix.close fd)
+      ()
+  in
+  let c = Client.connect (Server.Unix_sock path) in
+  let input = mk_tensor ~n:1 ~h:2 ~w:2 ~c:1 ~vseed:2 in
+  (match Client.infer c ~id:7 ~model:"m" input with
+  | Error (Client.Unexpected (Protocol.Predictions { id = 8; _ })) -> ()
+  | Ok _ -> Alcotest.fail "mismatched Predictions id accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Client.error_to_string e));
+  Client.close c;
+  Thread.join fake;
+  Unix.close listen_fd;
+  (try Sys.remove path with Sys_error _ -> ())
+
 let qsuite name tests =
   ( name,
     List.map
@@ -485,6 +661,8 @@ let () =
             oversized_rejected;
           Alcotest.test_case "recoverable classification" `Quick
             recoverable_classification;
+          Alcotest.test_case "0xFFFFFFFF sentinel is reserved" `Quick
+            sentinel_is_reserved;
         ] );
       ( "admission",
         [
@@ -507,5 +685,13 @@ let () =
             daemon_expires_deadlines;
           Alcotest.test_case "wrong geometry is a typed refusal" `Quick
             daemon_rejects_bad_geometry;
+          Alcotest.test_case "vanishing clients never corrupt others" `Quick
+            daemon_survives_vanishing_clients;
+          Alcotest.test_case "idle timeout unpins stalled connections" `Quick
+            idle_timeout_closes_stalled_conn;
+          Alcotest.test_case "connection cap refuses typed" `Quick
+            connection_cap_refuses_typed;
+          Alcotest.test_case "stale response id is rejected" `Quick
+            stale_id_is_rejected;
         ] );
     ]
