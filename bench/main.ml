@@ -775,6 +775,77 @@ let run_gemm () =
     "obs overhead: %.2f%% enabled-vs-disabled (threshold %.1f%%): %s@."
     !overhead_pct overhead_threshold_pct
     (if obs_ok then "ok" else "FAIL");
+  (* Checked-wrapper overhead gate: the pool and daemon route every
+     lock/condvar/atomic through the Ax_conc shims, whose off-mode path
+     adds one atomic flag load per operation.  That cost is far below
+     run-to-run noise on the full inference, so a direct off-vs-raw
+     macro timing cannot resolve it; instead the gate (a) counts the
+     workload's actual shim operations by running the same inference
+     once under record mode, (b) microbenchmarks the per-operation
+     passthrough delta (shim lock/unlock in off mode vs a raw Stdlib
+     mutex), and (c) gates their product against the off-mode run time.
+     Findings from the counting run are discarded ([reset], no
+     [collect]) — flipping modes while pool workers idle inside an
+     off-mode wait can produce bookkeeping artefacts, which is fine
+     here because only the op count is of interest. *)
+  let conc_threshold_pct =
+    match Sys.getenv_opt "TFAPPROX_CONC_OVERHEAD_PCT" with
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0. -> v
+      | Some _ | None -> 2.0)
+    | None -> 2.0
+  in
+  (* The 4-domain GEMM split is the path that actually goes through the
+     pool's checked locks; the 1-domain run stays inline and performs
+     no shim operations at all. *)
+  let approx_pool =
+    Tfapprox.Emulator.approximate_model ~multiplier:"mul8u_trunc8" ~domains:4
+      graph
+  in
+  let run_pool () =
+    ignore
+      (Tfapprox.Emulator.run ~backend:Tfapprox.Emulator.Cpu_gemm approx_pool
+         data)
+  in
+  let saved_mode = Ax_conc.Conc.mode () in
+  Ax_conc.Conc.set_mode Ax_conc.Conc.Off;
+  let t_off = best_of 3 run_pool in
+  Ax_conc.Conc.reset ();
+  Ax_conc.Conc.set_mode Ax_conc.Conc.Record;
+  run_pool ();
+  let conc_ops = Ax_conc.Conc.ops () in
+  Ax_conc.Conc.set_mode Ax_conc.Conc.Off;
+  Ax_conc.Conc.reset ();
+  let shim = Ax_conc.Mutex.create ~name:"bench.gate" () in
+  let raw = Stdlib.Mutex.create () in
+  let iters = 200_000 in
+  let t_shim =
+    best_of 3 (fun () ->
+        for _ = 1 to iters do
+          Ax_conc.Mutex.lock shim;
+          Ax_conc.Mutex.unlock shim
+        done)
+  in
+  let t_raw =
+    best_of 3 (fun () ->
+        for _ = 1 to iters do
+          Stdlib.Mutex.lock raw;
+          Stdlib.Mutex.unlock raw
+        done)
+  in
+  Ax_conc.Conc.set_mode saved_mode;
+  (* lock + unlock are two shim operations per iteration *)
+  let per_op_s =
+    Float.max 0. ((t_shim -. t_raw) /. float_of_int (2 * iters))
+  in
+  let conc_pct = 100. *. (float_of_int conc_ops *. per_op_s /. t_off) in
+  let conc_ok = conc_pct < conc_threshold_pct in
+  Format.printf
+    "conc overhead: %d shim ops x %.1f ns passthrough = %.4f%% of the \
+     off-mode run (threshold %.1f%%): %s@."
+    conc_ops (per_op_s *. 1e9) conc_pct conc_threshold_pct
+    (if conc_ok then "ok" else "FAIL");
   let open Ax_obs.Json in
   let row d t =
     Obj
@@ -832,6 +903,13 @@ let run_gemm () =
                   ("threshold_percent", Float overhead_threshold_pct);
                   ("pass", Bool obs_ok);
                 ] );
+            ( "conc_overhead",
+              Obj
+                [
+                  ("percent", Float conc_pct);
+                  ("threshold_percent", Float conc_threshold_pct);
+                  ("pass", Bool conc_ok);
+                ] );
           ]));
   Format.printf "wrote BENCH_gemm.json@.";
   (* Append this run to the benchmark trajectory so [bench -- history]
@@ -873,6 +951,13 @@ let run_gemm () =
       "observability overhead gate FAILED: %.2f%% > %.1f%% (see DESIGN.md \
        \xc2\xa75d)@."
       !overhead_pct overhead_threshold_pct;
+    exit 1
+  end;
+  if not conc_ok then begin
+    Format.eprintf
+      "checked-wrapper overhead gate FAILED: %.2f%% > %.1f%% (see DESIGN.md \
+       \xc2\xa75g)@."
+      conc_pct conc_threshold_pct;
     exit 1
   end;
   if not scaling_ok then begin

@@ -511,16 +511,18 @@ let check_cmd =
       | _ -> failwith "--input: expected N,H,W,C"
     in
     let explicit = models <> [] || luts <> [] || mults <> [] in
-    let do_models, do_mults =
+    let do_models, do_mults, do_conc =
       match (explicit, suite) with
-      | true, _ -> (false, false)
-      | false, "models" -> (true, false)
-      | false, "multipliers" -> (false, true)
-      | false, "all" -> (true, true)
+      | true, _ -> (false, false, false)
+      | false, "models" -> (true, false, false)
+      | false, "multipliers" -> (false, true, false)
+      | false, "concurrency" -> (false, false, true)
+      | false, "all" -> (true, true, false)
       | false, other ->
         failwith
           (Printf.sprintf
-             "--suite: expected models, multipliers or all, got %s" other)
+             "--suite: expected models, multipliers, concurrency or all, \
+              got %s" other)
     in
     (* (unit name, findings, headroom rows) in analysis order *)
     let units = ref [] in
@@ -548,6 +550,10 @@ let check_cmd =
       List.iter
         (fun e -> add e.Ax_arith.Registry.name (Check.registry_entry e) [])
         (Ax_arith.Registry.all ());
+    if do_conc then
+      List.iter
+        (fun (name, ds) -> add name ds [])
+        (Ax_analysis.Conc_check.suite () @ Ax_serve.Conc_scenarios.suite ());
     List.iter
       (fun path ->
         let g = Ax_nn.Model_io.load path in
@@ -628,7 +634,10 @@ let check_cmd =
       & info [ "suite" ]
           ~doc:
             "With no explicit unit: which built-in suite to run — \
-             $(b,models), $(b,multipliers) or $(b,all).")
+             $(b,models), $(b,multipliers), $(b,concurrency) (lock \
+             discipline, race detection and schedule exploration over \
+             the pool and daemon) or $(b,all) (the static suites: \
+             models + multipliers).")
   in
   let input =
     Arg.(

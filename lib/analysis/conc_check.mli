@@ -1,0 +1,30 @@
+(** The CONC rule family: concurrency findings as catalogued
+    diagnostics, and the check units behind
+    [tfapprox check --suite concurrency].
+
+    Two kinds of unit.  Checks of the {e real} code — the migrated
+    pool under record-mode discipline tracking, the fixed coordinator
+    protocol under deterministic exploration — must come back clean.
+    Seeded-defect self-tests (a deliberately racy counter, a
+    deliberate lock-order inversion, the pre-fix [run_slots]
+    coordinator race) must be {e flagged}: the expected finding is
+    consumed as proof the detector still sees, and a missed one is
+    reported as [conc/blind-detector] (CONC009), so a regression in
+    the checkers themselves fails the suite instead of silently
+    passing everything. *)
+
+val to_diagnostic : Ax_conc.Conc.finding -> Diagnostic.t
+(** Map a raw finding onto its CONC catalogue rule (the lock or cell
+    name becomes the [Artefact] location). *)
+
+val to_diagnostics : Ax_conc.Conc.finding list -> Diagnostic.t list
+
+val diagnostics_of_outcome :
+  subject:string -> Ax_conc.Explore.outcome -> Diagnostic.t list
+(** An exploration outcome as diagnostics: no violation is an empty
+    report; a violation is a [conc/explore-deadlock] or
+    [conc/explore-violation] error carrying the replay schedule. *)
+
+val suite : unit -> (string * Diagnostic.t list) list
+(** All pool-side concurrency check units, as [(unit name, findings)]
+    pairs — the serve-side units live in [Ax_serve.Conc_scenarios]. *)

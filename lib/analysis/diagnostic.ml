@@ -97,6 +97,42 @@ let rules =
        tabulate" );
     (* artefacts *)
     ("artefact/load", Error, "artefact failed to load (typed loader error)");
+    (* concurrency layer (CONC001-CONC009) *)
+    ( "conc/lock-cycle",
+      Error,
+      "CONC001: locks acquired in conflicting orders across the run \
+       (deadlock potential)" );
+    ( "conc/rank-violation",
+      Error,
+      "CONC002: lock acquired while holding a lock of equal or higher \
+       declared rank (hierarchy in DESIGN §5g)" );
+    ( "conc/relock",
+      Error,
+      "CONC003: mutex re-acquired by the thread already holding it \
+       (self-deadlock)" );
+    ( "conc/unlock-unheld",
+      Error,
+      "CONC004: mutex released by a thread that does not hold it" );
+    ( "conc/bare-section",
+      Warning,
+      "CONC005: critical section entered via bare lock/unlock instead of \
+       with_lock (an exception inside the section leaks the lock)" );
+    ( "conc/data-race",
+      Error,
+      "CONC006: conflicting unsynchronized accesses to an annotated \
+       shared cell (FastTrack happens-before violation)" );
+    ( "conc/explore-deadlock",
+      Error,
+      "CONC007: deterministic exploration found a schedule under which \
+       no thread can make progress" );
+    ( "conc/explore-violation",
+      Error,
+      "CONC008: deterministic exploration found a schedule violating a \
+       scenario invariant (race, lost update, failed check)" );
+    ( "conc/blind-detector",
+      Error,
+      "CONC009: a seeded-defect self-test fixture was NOT flagged — the \
+       concurrency checkers have gone blind" );
   ]
 
 let severity_of_rule rule =

@@ -1,0 +1,43 @@
+(* Checked drop-in for Stdlib.Atomic.  Atomics synchronize: every
+   operation joins the per-atomic sync clock into the thread's clock
+   and publishes back, so values passed through an atomic establish
+   happens-before for the race detector (matching the release/acquire
+   semantics OCaml atomics actually have). *)
+
+type 'a t = {
+  a : 'a Stdlib.Atomic.t;
+  id : int;
+  name : string;
+}
+
+let make ~name v = { a = Stdlib.Atomic.make v; id = Conc.fresh_id (); name }
+let name t = t.name
+
+let sync t =
+  if Conc.enabled () then
+    match Conc.explore_for_me () with
+    | Some h -> h.Conc.x_sync ~id:t.id
+    | None -> if Conc.tracking () then Conc.on_sync ~id:t.id
+
+let get t =
+  sync t;
+  Stdlib.Atomic.get t.a
+
+let set t v =
+  sync t;
+  Stdlib.Atomic.set t.a v
+
+let exchange t v =
+  sync t;
+  Stdlib.Atomic.exchange t.a v
+
+let compare_and_set t seen v =
+  sync t;
+  Stdlib.Atomic.compare_and_set t.a seen v
+
+let fetch_and_add t n =
+  sync t;
+  Stdlib.Atomic.fetch_and_add t.a n
+
+let incr t = ignore (fetch_and_add t 1)
+let decr t = ignore (fetch_and_add t (-1))

@@ -1,0 +1,16 @@
+(** Checked drop-in for [Stdlib.Atomic].  Operations are synchronizing
+    for the race detector: each joins the per-atomic clock into the
+    thread's clock and publishes back, mirroring the release/acquire
+    semantics OCaml atomics provide. *)
+
+type 'a t
+
+val make : name:string -> 'a -> 'a t
+val name : 'a t -> string
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val exchange : 'a t -> 'a -> 'a
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int
+val incr : int t -> unit
+val decr : int t -> unit

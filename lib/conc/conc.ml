@@ -1,0 +1,331 @@
+(* The hub of the checked-synchronization layer: run mode, thread
+   keys, the finding registry, and the record-mode bookkeeping that the
+   Mutex/Condition/Atomic/Race shims feed (per-thread held-lock stacks,
+   the lock-order graph, vector clocks, FastTrack cells).
+
+   Three modes:
+   - passthrough ([Off], the default and the [TFAPPROX_CONC=off]
+     setting): every shim operation is the underlying Stdlib operation
+     plus one atomic load and a branch — the zero-cost contract the
+     gemm bench gates at < 2%.
+   - [Record]: operations additionally update the global discipline
+     state under one internal lock.  This serializes lock operations
+     process-wide, which is exactly what a checking mode wants (and
+     costs nothing on the hot paths, which take locks per fan-out, not
+     per MAC).
+   - explore: while {!set_explore} hooks are installed, operations on
+     the installing thread are routed to the deterministic scheduler
+     instead of touching real synchronization at all. *)
+
+type mode = Off | Record
+
+(* bit 0: record mode; bit 1: explore hooks installed.  One word so the
+   passthrough fast path is a single load + compare with 0. *)
+let flags = Stdlib.Atomic.make 0
+
+let mode_of_env () =
+  match Sys.getenv_opt "TFAPPROX_CONC" with
+  | None -> Off
+  | Some v -> (
+    match String.lowercase_ascii (String.trim v) with
+    | "" | "off" | "0" | "false" | "no" -> Off
+    | _ -> Record)
+
+let set_mode m =
+  let rec update () =
+    let cur = Stdlib.Atomic.get flags in
+    let next =
+      match m with Off -> cur land lnot 1 | Record -> cur lor 1
+    in
+    if not (Stdlib.Atomic.compare_and_set flags cur next) then update ()
+  in
+  update ()
+
+let mode () = if Stdlib.Atomic.get flags land 1 <> 0 then Record else Off
+let () = set_mode (mode_of_env ())
+let enabled () = Stdlib.Atomic.get flags <> 0
+let tracking () = Stdlib.Atomic.get flags land 1 <> 0
+
+(* A process-unique key for the current systhread: OCaml 5 runs threads
+   inside domains and [Thread.id] is only guaranteed unique within one,
+   so fold the domain id in. *)
+let thread_key () =
+  (((Domain.self () :> int) land 0xffff) lsl 16)
+  lor (Thread.id (Thread.self ()) land 0xffff)
+
+(* ------------------------------------------------------------------ *)
+(* Explore hooks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type explore_hooks = {
+  owner : int;  (** {!thread_key} of the exploring thread *)
+  x_lock : id:int -> name:string -> unit;
+  x_unlock : id:int -> name:string -> unit;
+  x_wait : cond:int -> cname:string -> m:int -> mname:string -> unit;
+  x_signal : cond:int -> unit;
+  x_broadcast : cond:int -> unit;
+  x_cell : id:int -> name:string -> write:bool -> unit;
+  x_sync : id:int -> unit;
+}
+
+let explore_hooks : explore_hooks option ref = ref None
+
+let set_explore h =
+  explore_hooks := h;
+  let rec update () =
+    let cur = Stdlib.Atomic.get flags in
+    let next =
+      match h with None -> cur land lnot 2 | Some _ -> cur lor 2
+    in
+    if not (Stdlib.Atomic.compare_and_set flags cur next) then update ()
+  in
+  update ()
+
+(* Only the thread that installed the hooks is rerouted: an idle pool
+   worker waking up mid-exploration must keep its real mutex. *)
+let explore_for_me () =
+  match !explore_hooks with
+  | Some h when h.owner = thread_key () -> Some h
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type finding = { code : string; subject : string; detail : string }
+
+let finding_to_string f =
+  Printf.sprintf "[conc/%s] %s: %s" f.code f.subject f.detail
+
+(* ------------------------------------------------------------------ *)
+(* Record-mode state (all under [state_lock])                          *)
+(* ------------------------------------------------------------------ *)
+
+type held = {
+  h_id : int;
+  h_name : string;
+  h_order : int option;
+  h_protected : bool;
+}
+
+type thread_state = { mutable tstack : held list; mutable clock : Vclock.t }
+
+let state_lock = Stdlib.Mutex.create ()
+let threads : (int, thread_state) Hashtbl.t = Hashtbl.create 64
+let lock_clocks : (int, Vclock.t) Hashtbl.t = Hashtbl.create 64
+let sync_clocks : (int, Vclock.t) Hashtbl.t = Hashtbl.create 64
+
+(* Lock-order graph over lock NAMES (classes), lockdep-style: an edge
+   a -> b whenever b was acquired while a was held, no matter by which
+   thread or on which instance.  Cycle detection then covers orderings
+   established by different threads at different times. *)
+let edges : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 32
+let bare_locks : (string, unit) Hashtbl.t = Hashtbl.create 16
+let cells : (int, string * Vclock.cell) Hashtbl.t = Hashtbl.create 32
+let findings_rev : finding list ref = ref []
+let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 32
+
+let next_id = Stdlib.Atomic.make 1
+let fresh_id () = Stdlib.Atomic.fetch_and_add next_id 1
+
+(* Shim operations seen in record mode — the gemm bench multiplies this
+   count by the microbenchmarked passthrough cost per operation to gate
+   the off-mode overhead of a real workload. *)
+let op_count = Stdlib.Atomic.make 0
+let count_op () = Stdlib.Atomic.incr op_count
+let ops () = Stdlib.Atomic.get op_count
+
+let report_unlocked ~code ~subject detail =
+  if not (Hashtbl.mem seen (code, subject)) then begin
+    Hashtbl.replace seen (code, subject) ();
+    findings_rev := { code; subject; detail } :: !findings_rev
+  end
+
+let locked f =
+  Stdlib.Mutex.lock state_lock;
+  Fun.protect ~finally:(fun () -> Stdlib.Mutex.unlock state_lock) f
+
+let report ~code ~subject detail =
+  locked (fun () -> report_unlocked ~code ~subject detail)
+
+let thread_state_unlocked key =
+  match Hashtbl.find_opt threads key with
+  | Some ts -> ts
+  | None ->
+    (* a fresh component > 0 so this thread's epochs are distinguishable
+       from the never-seen time 0 *)
+    let ts = { tstack = []; clock = Vclock.tick Vclock.empty key } in
+    Hashtbl.replace threads key ts;
+    ts
+
+let add_edge from_name to_name =
+  if from_name <> to_name then begin
+    let tbl =
+      match Hashtbl.find_opt edges from_name with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace edges from_name t;
+        t
+    in
+    Hashtbl.replace tbl to_name ()
+  end
+
+(* Pre-acquire: discipline checks that must run before the real lock
+   call (which would raise on a relock before we could say why). *)
+let on_pre_acquire ~id ~name ~order ~protected =
+  count_op ();
+  locked @@ fun () ->
+  let ts = thread_state_unlocked (thread_key ()) in
+  if List.exists (fun h -> h.h_id = id) ts.tstack then
+    report_unlocked ~code:"relock" ~subject:name
+      "mutex re-acquired by the thread already holding it (self-deadlock)";
+  (match order with
+  | Some o ->
+    List.iter
+      (fun h ->
+        match h.h_order with
+        | Some ho when ho >= o && h.h_id <> id ->
+          report_unlocked ~code:"rank-violation" ~subject:name
+            (Printf.sprintf
+               "lock '%s' (rank %d) acquired while holding '%s' (rank %d); \
+                the declared hierarchy requires strictly increasing ranks"
+               name o h.h_name ho)
+        | Some _ | None -> ())
+      ts.tstack
+  | None -> ());
+  List.iter (fun h -> add_edge h.h_name name) ts.tstack;
+  if not protected then Hashtbl.replace bare_locks name ()
+
+(* Post-acquire: the lock is really held now; pull its clock. *)
+let on_acquire ~id ~name ~order ~protected =
+  locked @@ fun () ->
+  let ts = thread_state_unlocked (thread_key ()) in
+  (match Hashtbl.find_opt lock_clocks id with
+  | Some lc -> ts.clock <- Vclock.join ts.clock lc
+  | None -> ());
+  ts.tstack <- { h_id = id; h_name = name; h_order = order; h_protected = protected } :: ts.tstack
+
+let on_release ~id ~name =
+  count_op ();
+  locked @@ fun () ->
+  let key = thread_key () in
+  let ts = thread_state_unlocked key in
+  if not (List.exists (fun h -> h.h_id = id) ts.tstack) then
+    report_unlocked ~code:"unlock-unheld" ~subject:name
+      "mutex released by a thread that does not hold it"
+  else begin
+    ts.tstack <- List.filter (fun h -> h.h_id <> id) ts.tstack;
+    Hashtbl.replace lock_clocks id ts.clock;
+    ts.clock <- Vclock.tick ts.clock key
+  end
+
+(* The protected flag of the held entry for [id] on this thread — a
+   Condition.wait reacquire inherits it instead of looking bare. *)
+let held_protected ~id =
+  locked @@ fun () ->
+  let ts = thread_state_unlocked (thread_key ()) in
+  match List.find_opt (fun h -> h.h_id = id) ts.tstack with
+  | Some h -> h.h_protected
+  | None -> true
+
+let on_sync ~id =
+  count_op ();
+  locked @@ fun () ->
+  let key = thread_key () in
+  let ts = thread_state_unlocked key in
+  (match Hashtbl.find_opt sync_clocks id with
+  | Some sc -> ts.clock <- Vclock.join ts.clock sc
+  | None -> ());
+  Hashtbl.replace sync_clocks id ts.clock;
+  ts.clock <- Vclock.tick ts.clock key
+
+let on_cell_access ~id ~name kind =
+  count_op ();
+  locked @@ fun () ->
+  let key = thread_key () in
+  let ts = thread_state_unlocked key in
+  let cell =
+    match Hashtbl.find_opt cells id with
+    | Some (_, c) -> c
+    | None ->
+      let c = Vclock.cell () in
+      Hashtbl.replace cells id (name, c);
+      c
+  in
+  match Vclock.access cell ~tid:key ~clock:ts.clock kind with
+  | None -> ()
+  | Some race ->
+    report_unlocked ~code:"data-race" ~subject:name
+      (Printf.sprintf "happens-before violation: %s (no synchronization \
+                       orders the two accesses)"
+         (Vclock.race_to_string race))
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycle detection over the name graph: DFS with a persistent path; a
+   back edge to a node on the current path is a cycle.  Each cycle is
+   reported once, keyed by its sorted member set. *)
+let check_cycles_unlocked () =
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let done_ : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec dfs path node =
+    if Hashtbl.mem visiting node then begin
+      (* the cycle is the path suffix from [node] *)
+      let rec suffix = function
+        | [] -> []
+        | x :: rest -> if x = node then [ x ] else x :: suffix rest
+      in
+      let cycle = node :: List.rev (suffix path) in
+      let key = String.concat "," (List.sort_uniq compare cycle) in
+      if not (Hashtbl.mem reported key) then begin
+        Hashtbl.replace reported key ();
+        report_unlocked ~code:"lock-cycle" ~subject:(List.hd cycle)
+          (Printf.sprintf
+             "lock-order cycle %s: these locks have been acquired in \
+              conflicting orders (deadlock potential)"
+             (String.concat " -> " cycle))
+      end
+    end
+    else if not (Hashtbl.mem done_ node) then begin
+      Hashtbl.replace visiting node ();
+      (match Hashtbl.find_opt edges node with
+      | Some succs -> Hashtbl.iter (fun s () -> dfs (node :: path) s) succs
+      | None -> ());
+      Hashtbl.remove visiting node;
+      Hashtbl.replace done_ node ()
+    end
+  in
+  let nodes =
+    Hashtbl.fold (fun n _ acc -> n :: acc) edges []
+    |> List.sort_uniq compare
+  in
+  List.iter (fun n -> dfs [] n) nodes
+
+let collect () =
+  locked @@ fun () ->
+  check_cycles_unlocked ();
+  Hashtbl.iter
+    (fun name () ->
+      report_unlocked ~code:"bare-section" ~subject:name
+        "critical section entered via bare lock/unlock instead of \
+         with_lock (an exception inside the section leaks the lock)")
+    bare_locks;
+  List.rev !findings_rev
+
+let findings () = locked (fun () -> List.rev !findings_rev)
+
+let reset () =
+  locked @@ fun () ->
+  Hashtbl.reset threads;
+  Hashtbl.reset lock_clocks;
+  Hashtbl.reset sync_clocks;
+  Hashtbl.reset edges;
+  Hashtbl.reset bare_locks;
+  Hashtbl.reset cells;
+  Hashtbl.reset seen;
+  Stdlib.Atomic.set op_count 0;
+  findings_rev := []

@@ -1,0 +1,102 @@
+(** Run mode, thread keys and the finding registry of the checked
+    synchronization layer ([Ax_conc]).
+
+    The shims ({!Mutex}, {!Condition}, {!Atomic}, {!Race}) call into
+    this module in [Record] mode; {!Explore} reroutes them through
+    {!set_explore} hooks instead.  In [Off] mode (the default, and the
+    [TFAPPROX_CONC=off] setting) every shim operation is the underlying
+    Stdlib operation behind a single atomic load — the zero-cost
+    passthrough contract the gemm bench gates.
+
+    Findings use a small closed code set; {!Ax_analysis.Conc_check}
+    maps them onto the CONC rule family of the diagnostics catalogue:
+    ["lock-cycle"], ["rank-violation"], ["relock"], ["unlock-unheld"],
+    ["bare-section"], ["data-race"]. *)
+
+type mode = Off | Record
+
+val mode_of_env : unit -> mode
+(** [TFAPPROX_CONC]: unset/[off]/[0]/[false]/[no] -> [Off], anything
+    else ([on], [record], [1]) -> [Record].  Read once at module
+    initialization; {!set_mode} overrides at runtime. *)
+
+val set_mode : mode -> unit
+val mode : unit -> mode
+
+val enabled : unit -> bool
+(** Any slow path active (record mode or explore hooks installed)? *)
+
+val tracking : unit -> bool
+(** Record mode specifically. *)
+
+val thread_key : unit -> int
+(** Process-unique key of the calling systhread (domain id folded in,
+    since [Thread.id] is only unique within one domain). *)
+
+(** {1 Findings} *)
+
+type finding = {
+  code : string;  (** closed code set, see module docstring *)
+  subject : string;  (** lock or cell name *)
+  detail : string;
+}
+
+val finding_to_string : finding -> string
+val report : code:string -> subject:string -> string -> unit
+
+val findings : unit -> finding list
+(** Findings reported so far, oldest first, without running the
+    collection-time passes. *)
+
+val collect : unit -> finding list
+(** Run the collection-time passes (lock-order cycle detection over the
+    acquisition graph, bare-section lint) and return all findings. *)
+
+val reset : unit -> unit
+(** Clear findings and all dynamic discipline state (held stacks,
+    clocks, the acquisition graph, cells, the op counter).  Call
+    between independent checking sections. *)
+
+val ops : unit -> int
+(** Shim operations seen in record mode since the last {!reset} — the
+    bench runs a workload once under [Record] to count its
+    synchronization operations, then multiplies by the microbenchmarked
+    per-operation passthrough cost to gate the off-mode overhead. *)
+
+(** {1 Shim hooks (internal)}
+
+    Called by the sibling shim modules in record mode; exposed because
+    the library is split across files, not for external use. *)
+
+val fresh_id : unit -> int
+
+val on_pre_acquire :
+  id:int -> name:string -> order:int option -> protected:bool -> unit
+
+val on_acquire :
+  id:int -> name:string -> order:int option -> protected:bool -> unit
+
+val on_release : id:int -> name:string -> unit
+val held_protected : id:int -> bool
+val on_sync : id:int -> unit
+val on_cell_access : id:int -> name:string -> Vclock.access -> unit
+
+(** {1 Explore rerouting (internal)} *)
+
+type explore_hooks = {
+  owner : int;  (** {!thread_key} of the exploring thread *)
+  x_lock : id:int -> name:string -> unit;
+  x_unlock : id:int -> name:string -> unit;
+  x_wait : cond:int -> cname:string -> m:int -> mname:string -> unit;
+  x_signal : cond:int -> unit;
+  x_broadcast : cond:int -> unit;
+  x_cell : id:int -> name:string -> write:bool -> unit;
+  x_sync : id:int -> unit;
+}
+
+val set_explore : explore_hooks option -> unit
+
+val explore_for_me : unit -> explore_hooks option
+(** The installed hooks iff the calling thread installed them — other
+    threads (idle pool workers, say) keep their real synchronization
+    mid-exploration. *)

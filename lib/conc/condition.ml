@@ -1,0 +1,49 @@
+(* Checked drop-in for Stdlib.Condition, paired with Ax_conc.Mutex.
+   In record mode a wait is modelled as release + reacquire of the
+   mutex (which is what it is), keeping the held stack truthful and
+   giving the wakeup a happens-before edge through the mutex clock.
+   Under exploration the whole operation goes to the scheduler. *)
+
+type t = {
+  c : Stdlib.Condition.t;
+  id : int;
+  name : string;
+}
+
+let create ~name () =
+  { c = Stdlib.Condition.create (); id = Conc.fresh_id (); name }
+
+let name t = t.name
+
+let wait t (m : Mutex.t) =
+  if not (Conc.enabled ()) then Stdlib.Condition.wait t.c (Mutex.real m)
+  else
+    match Conc.explore_for_me () with
+    | Some h ->
+      h.Conc.x_wait ~cond:t.id ~cname:t.name ~m:(Mutex.id m)
+        ~mname:(Mutex.name m)
+    | None ->
+      if Conc.tracking () then begin
+        (* The reacquire inherits the protection of the original
+           acquisition: a with_lock body that waits is still covered. *)
+        let protected = Conc.held_protected ~id:(Mutex.id m) in
+        Conc.on_release ~id:(Mutex.id m) ~name:(Mutex.name m);
+        Stdlib.Condition.wait t.c (Mutex.real m);
+        Conc.on_acquire ~id:(Mutex.id m) ~name:(Mutex.name m) ~order:None
+          ~protected
+      end
+      else Stdlib.Condition.wait t.c (Mutex.real m)
+
+let signal t =
+  (if Conc.enabled () then
+     match Conc.explore_for_me () with
+     | Some h -> h.Conc.x_signal ~cond:t.id
+     | None -> Stdlib.Condition.signal t.c
+   else Stdlib.Condition.signal t.c)
+
+let broadcast t =
+  (if Conc.enabled () then
+     match Conc.explore_for_me () with
+     | Some h -> h.Conc.x_broadcast ~cond:t.id
+     | None -> Stdlib.Condition.broadcast t.c
+   else Stdlib.Condition.broadcast t.c)

@@ -1,0 +1,12 @@
+(** Checked drop-in for [Stdlib.Condition], paired with
+    {!Ax_conc.Mutex}.  A [wait] in record mode is modelled as release +
+    reacquire of the mutex, keeping the held stack truthful and giving
+    wakeups a happens-before edge through the mutex clock. *)
+
+type t
+
+val create : name:string -> unit -> t
+val name : t -> string
+val wait : t -> Mutex.t -> unit
+val signal : t -> unit
+val broadcast : t -> unit

@@ -1,0 +1,554 @@
+(* Deterministic cooperative scheduler for small multi-thread
+   scenarios.  Scenario "threads" are plain thunks run as effect-based
+   coroutines on the calling thread: every operation on an Ax_conc
+   shim (and on {!var} cells) performs a [Sched] effect, handing
+   control to the scheduler, which enumerates interleavings by
+   depth-first search over the choice points.
+
+   Continuations are one-shot, so the search is stateless: each
+   schedule re-runs the scenario from scratch with a forced choice
+   prefix, which also gives seeded replay for free (a schedule is just
+   the list of chosen thread indices).  Preemption bounding follows
+   the usual definition — switching away from a thread that is still
+   runnable costs one preemption; switching off a blocked or finished
+   thread is free.
+
+   The per-run model covers mutexes (a pending lock on a busy mutex is
+   simply not enabled, so no equivalent schedules are wasted on
+   spinning), condition variables (FIFO waiters; a signal converts the
+   waiter into a pending reacquire), synchronizing atomics, and
+   FastTrack race detection over the same {!Vclock} algebra the
+   record-mode detector uses.  Violations: a failed {!check}, a data
+   race on a tracked cell, a deadlock (unfinished threads, none
+   enabled), a lock still held at scenario end, an uncaught exception
+   in a body, or an invalid replay schedule. *)
+
+type req =
+  | R_lock of int * string
+  | R_unlock of int * string
+  | R_wait of { cond : int; cname : string; m : int; mname : string }
+  | R_signal of int
+  | R_broadcast of int
+  | R_cell of { id : int; cname : string; write : bool; track : bool }
+  | R_sync of int
+  | R_yield
+
+type _ Effect.t += Sched : req -> unit Effect.t
+
+exception Violation_exn of string
+exception Killed
+
+type k = (unit, unit) Effect.Deep.continuation
+
+type status =
+  | Not_started of (unit -> unit)
+  | Paused of k * req
+  | Wait_blocked of k * int * string  (* continuation, mutex id, mutex name *)
+  | Finished
+
+type thr = {
+  idx : int;
+  mutable status : status;
+  mutable clock : Vclock.t;
+}
+
+type lrec = {
+  l_name : string;
+  mutable owner : int option;  (* thread idx; -1 = the direct section *)
+  mutable lclock : Vclock.t;
+}
+
+type point = {
+  p_enabled : int list;  (* sorted *)
+  p_prev : int option;
+  p_preempt_before : int;
+  p_chosen : int;
+}
+
+type run_state = {
+  locks : (int, lrec) Hashtbl.t;
+  conds : (int, int Queue.t) Hashtbl.t;
+  r_cells : (int, Vclock.cell) Hashtbl.t;
+  syncs : (int, Vclock.t) Hashtbl.t;
+  mutable thrs : thr array;
+  mutable viol : string option;
+  mutable preempts : int;
+  mutable prev : int option;
+  mutable trail : point list;  (* reversed *)
+}
+
+(* All coroutines run on the one real thread driving [explore], so
+   plain refs are enough for the dispatch plumbing. *)
+let current_run : run_state option ref = ref None
+let in_coop = ref false
+
+let set_viol rs msg = if rs.viol = None then rs.viol <- Some msg
+
+let get_lock rs id name =
+  match Hashtbl.find_opt rs.locks id with
+  | Some l -> l
+  | None ->
+    let l = { l_name = name; owner = None; lclock = Vclock.empty } in
+    Hashtbl.replace rs.locks id l;
+    l
+
+let get_cond rs id =
+  match Hashtbl.find_opt rs.conds id with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace rs.conds id q;
+    q
+
+let get_cell rs id =
+  match Hashtbl.find_opt rs.r_cells id with
+  | Some c -> c
+  | None ->
+    let c = Vclock.cell () in
+    Hashtbl.replace rs.r_cells id c;
+    c
+
+let wake_one rs cond =
+  let q = get_cond rs cond in
+  if not (Queue.is_empty q) then begin
+    let j = Queue.pop q in
+    match rs.thrs.(j).status with
+    | Wait_blocked (k, m, mname) ->
+      rs.thrs.(j).status <- Paused (k, R_lock (m, mname))
+    | _ -> ()
+  end
+
+let wake_all rs cond =
+  let q = get_cond rs cond in
+  while not (Queue.is_empty q) do
+    let j = Queue.pop q in
+    match rs.thrs.(j).status with
+    | Wait_blocked (k, m, mname) ->
+      rs.thrs.(j).status <- Paused (k, R_lock (m, mname))
+    | _ -> ()
+  done
+
+(* Operations performed outside any coroutine — the scenario setup
+   thunk and the [after] checks — apply immediately: they run alone,
+   before the threads start / after they all finish, so they are
+   happens-before-ordered against everything and need no race
+   modelling. *)
+let direct_apply rs = function
+  | R_lock (id, name) ->
+    let l = get_lock rs id name in
+    if l.owner <> None then
+      raise
+        (Violation_exn
+           (Printf.sprintf
+              "direct (setup/after) section would deadlock on '%s'" name));
+    l.owner <- Some (-1)
+  | R_unlock (id, name) -> (get_lock rs id name).owner <- None
+  | R_wait { cname; _ } ->
+    raise
+      (Violation_exn
+         (Printf.sprintf
+            "Condition.wait on '%s' in a direct (setup/after) section" cname))
+  | R_signal cond -> wake_one rs cond
+  | R_broadcast cond -> wake_all rs cond
+  | R_cell _ | R_sync _ | R_yield -> ()
+
+let dispatch req =
+  if !in_coop then Effect.perform (Sched req)
+  else
+    match !current_run with Some rs -> direct_apply rs req | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Coroutine driving                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handler_of rs thr =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        in_coop := false;
+        thr.status <- Finished);
+    exnc =
+      (fun e ->
+        in_coop := false;
+        thr.status <- Finished;
+        match e with
+        | Killed -> ()
+        | Violation_exn msg -> set_viol rs msg
+        | e ->
+          set_viol rs
+            (Printf.sprintf "thread %d raised: %s" thr.idx
+               (Printexc.to_string e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sched req ->
+          Some
+            (fun (cont : (a, _) Effect.Deep.continuation) ->
+              in_coop := false;
+              thr.status <- Paused (cont, req))
+        | _ -> None);
+  }
+
+let start_thread rs thr body =
+  in_coop := true;
+  Effect.Deep.match_with body () (handler_of rs thr)
+
+let resume cont =
+  in_coop := true;
+  Effect.Deep.continue cont ()
+
+(* Tear down any coroutine still holding a continuation.  Finalizers
+   ([Fun.protect] in with_lock bodies) may perform further effects on
+   the way out; the handler re-parks them, so keep killing until the
+   thread is really finished. *)
+let rec kill thr =
+  match thr.status with
+  | Paused (cont, _) | Wait_blocked (cont, _, _) ->
+    thr.status <- Finished;
+    in_coop := true;
+    (try Effect.Deep.discontinue cont Killed with _ -> ());
+    in_coop := false;
+    kill thr
+  | Not_started _ -> thr.status <- Finished
+  | Finished -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lock_free rs id name = (get_lock rs id name).owner = None
+
+let thread_enabled rs thr =
+  match thr.status with
+  | Not_started _ -> true
+  | Paused (_, R_lock (m, mname)) -> lock_free rs m mname
+  | Paused _ -> true
+  | Wait_blocked _ | Finished -> false
+
+let enabled_list rs =
+  Array.to_list rs.thrs
+  |> List.filter (thread_enabled rs)
+  |> List.map (fun t -> t.idx)
+  |> List.sort compare
+
+(* Candidate order at a choice point: the previously-running thread
+   first if still runnable (the free, non-preemptive continuation),
+   then the rest in index order. *)
+let candidates ~enabled ~prev =
+  match prev with
+  | Some q when List.mem q enabled -> q :: List.filter (fun i -> i <> q) enabled
+  | _ -> enabled
+
+let switch_cost ~prev ~enabled c =
+  match prev with
+  | Some q when List.mem q enabled && c <> q -> 1
+  | _ -> 0
+
+let budget_ok ~max_preemptions ~prev ~enabled ~before c =
+  match max_preemptions with
+  | None -> true
+  | Some mp -> before + switch_cost ~prev ~enabled c <= mp
+
+let apply_simple rs thr req =
+  let i = thr.idx in
+  match req with
+  | R_lock (m, mname) ->
+    let l = get_lock rs m mname in
+    l.owner <- Some i;
+    thr.clock <- Vclock.join thr.clock l.lclock
+  | R_unlock (m, mname) ->
+    let l = get_lock rs m mname in
+    if l.owner <> Some i then
+      set_viol rs
+        (Printf.sprintf "thread %d released '%s' without holding it" i mname)
+    else begin
+      l.owner <- None;
+      l.lclock <- thr.clock;
+      thr.clock <- Vclock.tick thr.clock i
+    end
+  | R_signal cond -> wake_one rs cond
+  | R_broadcast cond -> wake_all rs cond
+  | R_cell { id; cname; write; track } ->
+    if track then begin
+      let cell = get_cell rs id in
+      match
+        Vclock.access cell ~tid:i ~clock:thr.clock
+          (if write then Vclock.Write else Vclock.Read)
+      with
+      | Some r ->
+        set_viol rs
+          (Printf.sprintf "data race on '%s': %s" cname
+             (Vclock.race_to_string r))
+      | None -> ()
+    end
+  | R_sync id ->
+    (match Hashtbl.find_opt rs.syncs id with
+    | Some sc -> thr.clock <- Vclock.join thr.clock sc
+    | None -> ());
+    Hashtbl.replace rs.syncs id thr.clock;
+    thr.clock <- Vclock.tick thr.clock i
+  | R_yield | R_wait _ -> ()
+
+let step rs i =
+  let thr = rs.thrs.(i) in
+  match thr.status with
+  | Not_started body -> start_thread rs thr body
+  | Paused (cont, R_wait { cond; cname; m; mname }) ->
+    let l = get_lock rs m mname in
+    if l.owner <> Some i then
+      set_viol rs
+        (Printf.sprintf "thread %d waits on '%s' without holding '%s'" i cname
+           mname)
+    else begin
+      l.owner <- None;
+      l.lclock <- thr.clock;
+      thr.clock <- Vclock.tick thr.clock i;
+      Queue.push i (get_cond rs cond);
+      thr.status <- Wait_blocked (cont, m, mname)
+    end
+  | Paused (cont, req) ->
+    apply_simple rs thr req;
+    if rs.viol = None then resume cont
+  | Wait_blocked _ | Finished -> assert false
+
+(* One complete run under a forced choice prefix; policy choices take
+   over once the prefix is exhausted.  Returns the trail (in order)
+   and the violation, if any. *)
+let run_one ~max_preemptions ~forced ~after scenario =
+  let rs =
+    {
+      locks = Hashtbl.create 8;
+      conds = Hashtbl.create 8;
+      r_cells = Hashtbl.create 8;
+      syncs = Hashtbl.create 8;
+      thrs = [||];
+      viol = None;
+      preempts = 0;
+      prev = None;
+      trail = [];
+    }
+  in
+  current_run := Some rs;
+  let hooks =
+    {
+      Conc.owner = Conc.thread_key ();
+      x_lock = (fun ~id ~name -> dispatch (R_lock (id, name)));
+      x_unlock = (fun ~id ~name -> dispatch (R_unlock (id, name)));
+      x_wait =
+        (fun ~cond ~cname ~m ~mname -> dispatch (R_wait { cond; cname; m; mname }));
+      x_signal = (fun ~cond -> dispatch (R_signal cond));
+      x_broadcast = (fun ~cond -> dispatch (R_broadcast cond));
+      x_cell =
+        (fun ~id ~name ~write ->
+          dispatch (R_cell { id; cname = name; write; track = true }));
+      x_sync = (fun ~id -> dispatch (R_sync id));
+    }
+  in
+  Conc.set_explore (Some hooks);
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter kill rs.thrs;
+      Conc.set_explore None;
+      current_run := None;
+      in_coop := false)
+    (fun () ->
+      (try
+         let bodies = scenario () in
+         rs.thrs <-
+           Array.of_list
+             (List.mapi
+                (fun i b ->
+                  { idx = i; status = Not_started b; clock = Vclock.tick Vclock.empty i })
+                bodies);
+         let forced = ref forced in
+         let step_no = ref 0 in
+         let running = ref true in
+         while !running && rs.viol = None do
+           let enabled = enabled_list rs in
+           if enabled = [] then begin
+             if Array.exists (fun t -> t.status <> Finished) rs.thrs then begin
+               let stuck =
+                 Array.to_list rs.thrs
+                 |> List.filter (fun t -> t.status <> Finished)
+                 |> List.map (fun t -> string_of_int t.idx)
+                 |> String.concat ", "
+               in
+               set_viol rs
+                 (Printf.sprintf
+                    "deadlock: threads [%s] blocked with no runnable thread"
+                    stuck)
+             end;
+             running := false
+           end
+           else begin
+             let chosen =
+               match !forced with
+               | c :: rest ->
+                 forced := rest;
+                 if List.mem c enabled then c
+                 else begin
+                   set_viol rs
+                     (Printf.sprintf
+                        "replay: thread %d is not enabled at step %d \
+                         (enabled: [%s])"
+                        c !step_no
+                        (String.concat ", " (List.map string_of_int enabled)));
+                   -1
+                 end
+               | [] -> (
+                 let cands = candidates ~enabled ~prev:rs.prev in
+                 match
+                   List.find_opt
+                     (budget_ok ~max_preemptions ~prev:rs.prev ~enabled
+                        ~before:rs.preempts)
+                     cands
+                 with
+                 | Some c -> c
+                 | None -> List.hd cands)
+             in
+             if chosen >= 0 then begin
+               rs.trail <-
+                 {
+                   p_enabled = enabled;
+                   p_prev = rs.prev;
+                   p_preempt_before = rs.preempts;
+                   p_chosen = chosen;
+                 }
+                 :: rs.trail;
+               rs.preempts <-
+                 rs.preempts + switch_cost ~prev:rs.prev ~enabled chosen;
+               rs.prev <- Some chosen;
+               step rs chosen
+             end
+           end;
+           incr step_no
+         done;
+         if rs.viol = None then begin
+           Hashtbl.iter
+             (fun _ l ->
+               if l.owner <> None then
+                 set_viol rs
+                   (Printf.sprintf "lock '%s' still held at scenario end"
+                      l.l_name))
+             rs.locks;
+           if rs.viol = None then
+             match after with
+             | None -> ()
+             | Some f -> f ()
+         end
+       with Violation_exn msg -> set_viol rs msg);
+      (List.rev rs.trail, rs.viol))
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | No_violation of { schedules : int; complete : bool }
+  | Violation of { schedule : int list; message : string }
+
+let schedule_of_trail trail = List.map (fun p -> p.p_chosen) trail
+
+(* Deepest choice point with an untried budget-respecting alternative;
+   the next schedule prefix replays everything above it and diverges
+   there. *)
+let next_prefix ~max_preemptions trail =
+  let arr = Array.of_list trail in
+  let rec after_chosen chosen = function
+    | [] -> []
+    | x :: rest -> if x = chosen then rest else after_chosen chosen rest
+  in
+  let rec scan d =
+    if d < 0 then None
+    else
+      let p = arr.(d) in
+      let cands = candidates ~enabled:p.p_enabled ~prev:p.p_prev in
+      let alts = after_chosen p.p_chosen cands in
+      match
+        List.find_opt
+          (budget_ok ~max_preemptions ~prev:p.p_prev ~enabled:p.p_enabled
+             ~before:p.p_preempt_before)
+          alts
+      with
+      | Some c ->
+        let prefix = Array.to_list (Array.sub arr 0 d) in
+        Some (schedule_of_trail prefix @ [ c ])
+      | None -> scan (d - 1)
+  in
+  scan (Array.length arr - 1)
+
+let default_max_schedules = 4000
+
+let explore ?max_preemptions ?(max_schedules = default_max_schedules) ?after
+    scenario =
+  let rec dfs forced count =
+    let trail, viol = run_one ~max_preemptions ~forced ~after scenario in
+    let count = count + 1 in
+    match viol with
+    | Some message -> Violation { schedule = schedule_of_trail trail; message }
+    | None ->
+      if count >= max_schedules then
+        No_violation { schedules = count; complete = false }
+      else (
+        match next_prefix ~max_preemptions trail with
+        | None -> No_violation { schedules = count; complete = true }
+        | Some forced' -> dfs forced' count)
+  in
+  dfs [] 0
+
+let replay ?after ~schedule scenario =
+  let trail, viol =
+    run_one ~max_preemptions:None ~forced:schedule ~after scenario
+  in
+  match viol with
+  | Some message -> Violation { schedule = schedule_of_trail trail; message }
+  | None -> No_violation { schedules = 1; complete = false }
+
+let schedule_to_string s = String.concat "," (List.map string_of_int s)
+
+let schedule_of_string s =
+  match String.trim s with
+  | "" -> []
+  | s ->
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match int_of_string_opt (String.trim tok) with
+           | Some n -> n
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Explore.schedule_of_string: bad token %S" tok))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-side helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+type 'a var = {
+  mutable v : 'a;
+  cell_id : int;
+  vname : string;
+  track : bool;
+}
+
+let var ?(track = true) ~name v =
+  { v; cell_id = Conc.fresh_id (); vname = name; track }
+
+let get var =
+  dispatch (R_cell { id = var.cell_id; cname = var.vname; write = false; track = var.track });
+  var.v
+
+let set var x =
+  dispatch (R_cell { id = var.cell_id; cname = var.vname; write = true; track = var.track });
+  var.v <- x
+
+let check ok msg = if not ok then raise (Violation_exn msg)
+let yield () = dispatch R_yield
+
+let outcome_to_string = function
+  | No_violation { schedules; complete } ->
+    Printf.sprintf "no violation in %d schedule%s%s" schedules
+      (if schedules = 1 then "" else "s")
+      (if complete then " (state space exhausted)" else " (search capped)")
+  | Violation { schedule; message } ->
+    Printf.sprintf "violation under schedule [%s]: %s"
+      (schedule_to_string schedule)
+      message

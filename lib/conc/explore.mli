@@ -1,0 +1,78 @@
+(** Deterministic cooperative scheduler: model-check small multi-thread
+    scenarios by exhaustively (or preemption-boundedly) exploring the
+    interleavings of their {!Ax_conc} synchronization operations.
+
+    A scenario is a setup thunk returning the thread bodies:
+
+    {[
+      Explore.explore (fun () ->
+          let m = Mutex.create ~name:"m" () in
+          let hits = Explore.var ~name:"hits" 0 in
+          let body () =
+            Mutex.with_lock m (fun () ->
+                Explore.set hits (Explore.get hits + 1))
+          in
+          [ body; body ])
+    ]}
+
+    The setup thunk and the [?after] checks run directly (no
+    interleaving — they are ordered before/after all threads); the
+    bodies run as effect-based coroutines on the calling thread, so no
+    real threads are involved and every run is deterministic.  Each
+    operation on a shim ({!Mutex}, {!Condition}, {!Atomic}, {!Race}) or
+    a {!var} is a scheduling point.
+
+    Violations reported: a failed {!check}, a data race on a tracked
+    cell/var (FastTrack over {!Vclock}), deadlock, a lock still held at
+    scenario end, an uncaught exception in a body, or an invalid
+    replay schedule. *)
+
+type outcome =
+  | No_violation of { schedules : int; complete : bool }
+      (** [complete] is false when the [max_schedules] cap stopped the
+          search before exhausting the (bounded) state space. *)
+  | Violation of { schedule : int list; message : string }
+      (** [schedule] replays the failure deterministically via
+          {!replay}. *)
+
+val outcome_to_string : outcome -> string
+
+val explore :
+  ?max_preemptions:int ->
+  ?max_schedules:int ->
+  ?after:(unit -> unit) ->
+  (unit -> (unit -> unit) list) ->
+  outcome
+(** Run the scenario under every schedule (depth-first over choice
+    points).  [max_preemptions] bounds the number of context switches
+    away from a still-runnable thread (omit for full exploration);
+    [max_schedules] caps the number of runs (default 4000).  The
+    scenario must be deterministic apart from scheduling. *)
+
+val replay :
+  ?after:(unit -> unit) -> schedule:int list -> (unit -> (unit -> unit) list) -> outcome
+(** Re-run one specific schedule (e.g. the one a {!Violation}
+    reported); policy choices take over past the end of the list. *)
+
+val schedule_to_string : int list -> string
+
+val schedule_of_string : string -> int list
+(** Inverse of {!schedule_to_string}; raises [Invalid_argument] on a
+    malformed token. *)
+
+(** {1 Scenario-side helpers} *)
+
+type 'a var
+(** A shared variable whose accesses are scheduling points; with
+    [track] (the default) they also feed the per-run race detector. *)
+
+val var : ?track:bool -> name:string -> 'a -> 'a var
+val get : 'a var -> 'a
+val set : 'a var -> 'a -> unit
+
+val check : bool -> string -> unit
+(** Assert a scenario invariant; a failure is a violation attributed to
+    the current schedule.  Usable from bodies and from [?after]. *)
+
+val yield : unit -> unit
+(** An explicit scheduling point with no other effect. *)

@@ -1,0 +1,52 @@
+(* Checked drop-in for Stdlib.Mutex.  Passthrough when the layer is
+   off; in record mode every acquisition feeds the per-thread held
+   stack, the lock-order graph and the vector clocks; under an active
+   exploration the operation is rerouted to the cooperative scheduler
+   and the real mutex is never touched. *)
+
+type t = {
+  m : Stdlib.Mutex.t;
+  id : int;
+  name : string;
+  order : int option;
+}
+
+let create ?order ~name () =
+  { m = Stdlib.Mutex.create (); id = Conc.fresh_id (); name; order }
+
+let name t = t.name
+let real t = t.m
+let id t = t.id
+
+let lock_aux ~protected t =
+  if not (Conc.enabled ()) then Stdlib.Mutex.lock t.m
+  else
+    match Conc.explore_for_me () with
+    | Some h -> h.Conc.x_lock ~id:t.id ~name:t.name
+    | None ->
+      if Conc.tracking () then begin
+        Conc.on_pre_acquire ~id:t.id ~name:t.name ~order:t.order ~protected;
+        Stdlib.Mutex.lock t.m;
+        Conc.on_acquire ~id:t.id ~name:t.name ~order:t.order ~protected
+      end
+      else Stdlib.Mutex.lock t.m
+
+let lock t = lock_aux ~protected:false t
+
+let unlock t =
+  if not (Conc.enabled ()) then Stdlib.Mutex.unlock t.m
+  else
+    match Conc.explore_for_me () with
+    | Some h -> h.Conc.x_unlock ~id:t.id ~name:t.name
+    | None ->
+      if Conc.tracking () then begin
+        (* record while still holding: the release updates the lock's
+           clock from the releasing thread's *)
+        Conc.on_release ~id:t.id ~name:t.name;
+        Stdlib.Mutex.unlock t.m
+      end
+      else Stdlib.Mutex.unlock t.m
+
+let with_lock t f =
+  lock_aux ~protected:true t;
+  Fun.protect ~finally:(fun () -> unlock t) f

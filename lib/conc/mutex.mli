@@ -1,0 +1,29 @@
+(** Checked drop-in for [Stdlib.Mutex].
+
+    [Off] mode: one atomic load + branch, then the real operation.
+    [Record] mode: acquisitions feed the lock-order graph, the
+    per-thread held stack (relock / unlock-unheld / rank checks) and
+    the vector clocks used for race detection.  Under an active
+    {!Explore} run, operations on the exploring thread are routed to
+    the cooperative scheduler and the real mutex is never touched. *)
+
+type t
+
+val create : ?order:int -> name:string -> unit -> t
+(** [order] is the lock's rank in the declared hierarchy (DESIGN §5g);
+    when given, acquiring it while holding a lock of equal or higher
+    rank is a [conc/rank-violation] finding. *)
+
+val name : t -> string
+val id : t -> int
+
+val real : t -> Stdlib.Mutex.t
+(** The underlying mutex — needed to pair with [Stdlib.Condition] in
+    code not yet migrated; prefer {!Condition}. *)
+
+val lock : t -> unit
+val unlock : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Exception-safe critical section ([Fun.protect]); sections entered
+    this way never trip the [conc/bare-section] lint. *)

@@ -1,0 +1,22 @@
+(* Shared-cell annotations for the race detector.  A cell names one
+   logical shared location (a mutable field, a counter); annotated
+   reads/writes flow into the FastTrack state in record mode and into
+   the explorer's per-run detector during exploration.  Cells are
+   per-INSTANCE (fresh id), so two pools' job slots never alias. *)
+
+type cell = {
+  id : int;
+  name : string;
+}
+
+let cell name = { id = Conc.fresh_id (); name }
+let name c = c.name
+
+let touch c kind =
+  if Conc.enabled () then
+    match Conc.explore_for_me () with
+    | Some h -> h.Conc.x_cell ~id:c.id ~name:c.name ~write:(kind = Vclock.Write)
+    | None -> if Conc.tracking () then Conc.on_cell_access ~id:c.id ~name:c.name kind
+
+let read c = touch c Vclock.Read
+let write c = touch c Vclock.Write

@@ -1,0 +1,13 @@
+(** Shared-cell annotations for the race detector.  A cell names one
+    logical shared location; call {!read}/{!write} next to the actual
+    access.  Zero-cost when the layer is off; in record mode accesses
+    feed the FastTrack vector-clock detector, and during exploration
+    the explorer's per-run detector.  Cells are per-instance: two pools
+    annotating "pool.job" get independent detector state. *)
+
+type cell
+
+val cell : string -> cell
+val name : cell -> string
+val read : cell -> unit
+val write : cell -> unit

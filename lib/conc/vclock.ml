@@ -1,0 +1,96 @@
+(* Vector clocks and the FastTrack-style per-cell access state.  Pure
+   and storage-agnostic: the record-mode detector (Race, over real
+   systhreads/domains) and the deterministic explorer (Explore, over
+   cooperative threads) both drive the same epoch algebra, so a race is
+   defined identically in both worlds. *)
+
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+let get vc tid = match Imap.find_opt tid vc with Some n -> n | None -> 0
+let tick vc tid = Imap.add tid (get vc tid + 1) vc
+
+let join a b =
+  Imap.union (fun _ x y -> Some (max x y)) a b
+
+(* An epoch (tid, time) happened-before the observer iff the observer's
+   clock has advanced at least to [time] in component [tid]. *)
+let epoch_leq ~tid ~time vc = time <= get vc tid
+
+type access = Read | Write
+
+let access_to_string = function Read -> "read" | Write -> "write"
+
+(* FastTrack cell state: the last write epoch plus the set of reads
+   since that write.  Reads are kept as a full map rather than the
+   FastTrack single-epoch fast path — cells are annotations on a
+   handful of shared fields, not every memory access, so clarity wins
+   over the O(1) trick. *)
+type cell = {
+  mutable write : (int * int) option;  (** last write epoch (tid, time) *)
+  mutable reads : int Imap.t;  (** tid -> time of reads since that write *)
+}
+
+let cell () = { write = None; reads = Imap.empty }
+
+type race = {
+  access : access;  (** the access that completed the race *)
+  tid : int;
+  prev_access : access;
+  prev_tid : int;
+}
+
+let race_to_string r =
+  Printf.sprintf "%s by thread %d races with earlier %s by thread %d"
+    (access_to_string r.access) r.tid
+    (access_to_string r.prev_access)
+    r.prev_tid
+
+(* Check one access and fold it into the cell state.  [clock] is the
+   accessing thread's vector clock; the access's own epoch is
+   [(tid, get clock tid)].  Returns the first race found (if any); the
+   state is updated either way so one broken pair does not cascade into
+   a finding per subsequent access. *)
+let access cell ~tid ~clock kind =
+  let stale_write =
+    match cell.write with
+    | Some (wt, wk) when wt <> tid && not (epoch_leq ~tid:wt ~time:wk clock) ->
+      Some (wt, Write)
+    | _ -> None
+  in
+  let race =
+    match kind with
+    | Read -> (
+      match stale_write with
+      | Some (pt, pa) -> Some { access = Read; tid; prev_access = pa; prev_tid = pt }
+      | None -> None)
+    | Write -> (
+      match stale_write with
+      | Some (pt, pa) ->
+        Some { access = Write; tid; prev_access = pa; prev_tid = pt }
+      | None -> (
+        (* write-read race: any read since the last write that the
+           writer has not observed *)
+        let stale_read =
+          Imap.fold
+            (fun rt rk acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if rt <> tid && not (epoch_leq ~tid:rt ~time:rk clock) then
+                  Some rt
+                else None)
+            cell.reads None
+        in
+        match stale_read with
+        | Some rt -> Some { access = Write; tid; prev_access = Read; prev_tid = rt }
+        | None -> None))
+  in
+  (match kind with
+  | Read -> cell.reads <- Imap.add tid (get clock tid) cell.reads
+  | Write ->
+    cell.write <- Some (tid, get clock tid);
+    cell.reads <- Imap.empty);
+  race

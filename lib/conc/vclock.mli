@@ -1,0 +1,42 @@
+(** Vector clocks and the FastTrack-style per-cell access state.
+
+    Pure epoch algebra shared by the two race-detection worlds: the
+    record-mode detector ({!Race}, over real systhreads and domains)
+    and the deterministic explorer ({!Explore}, over cooperative
+    threads).  A race means the same thing in both: two accesses to the
+    same cell, at least one a write, with neither epoch
+    happened-before the other thread's clock. *)
+
+type t
+(** A vector clock: thread key -> logical time. *)
+
+val empty : t
+val get : t -> int -> int
+val tick : t -> int -> t
+val join : t -> t -> t
+
+val epoch_leq : tid:int -> time:int -> t -> bool
+(** Did epoch [(tid, time)] happen before the observer clock? *)
+
+type access = Read | Write
+
+val access_to_string : access -> string
+
+type cell
+(** Per-cell detector state: last write epoch + reads since. *)
+
+val cell : unit -> cell
+
+type race = {
+  access : access;  (** the access that completed the race *)
+  tid : int;
+  prev_access : access;
+  prev_tid : int;
+}
+
+val race_to_string : race -> string
+
+val access : cell -> tid:int -> clock:t -> access -> race option
+(** Check one access against the cell state and fold it in.  Returns
+    the first race this access completes, if any; state updates either
+    way so one broken pair does not cascade. *)

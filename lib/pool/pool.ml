@@ -1,3 +1,10 @@
+(* Synchronization goes through the Ax_conc checked shims (lock names
+   and ranks per the DESIGN §5g hierarchy); with TFAPPROX_CONC unset
+   they are passthrough Stdlib operations. *)
+module Cmutex = Ax_conc.Mutex
+module Ccond = Ax_conc.Condition
+module Catomic = Ax_conc.Atomic
+
 let max_domains_limit = 64
 
 type schedule = Static | Dynamic of { grain : int }
@@ -17,23 +24,26 @@ type stats = {
 
 type t = {
   size : int;
-  mutex : Mutex.t;
-  work_ready : Condition.t;
-  work_done : Condition.t;
+  mutex : Cmutex.t;
+  work_ready : Ccond.t;
+  work_done : Ccond.t;
   (* One job at a time: the coordinator installs [job] and bumps
      [generation]; each worker runs the job for its own slot exactly
      once per generation.  Static slot assignment — no queue, no
      stealing — is what makes the execution deterministic. *)
   mutable generation : int;
   mutable job : (int -> unit) option;
+  job_cell : Ax_conc.Race.cell;
+      (** race-detector annotation on the [job] slot: written by the
+          coordinator installing/clearing a job, read by workers *)
   mutable pending : int;
   mutable failure : (int * exn * Printexc.raw_backtrace) option;
   mutable active : bool;  (** coordinator is inside a fan-out *)
   mutable shut_down : bool;
   mutable workers : unit Domain.t array;
   worker_ids : Domain.id array;
-  (* Utilization counters; [busy_s] / [per_slot_busy] are the only
-     fields workers touch, under [mutex]. *)
+  (* Utilization counters, all under [mutex] — they are also bumped by
+     concurrent systhread callers taking the inline path. *)
   mutable parallel_calls : int;
   mutable inline_calls : int;
   mutable dynamic_calls : int;
@@ -76,18 +86,22 @@ let worker_body t slot () =
   let my_gen = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    Mutex.lock t.mutex;
-    while (not t.shut_down) && t.generation = !my_gen do
-      Condition.wait t.work_ready t.mutex
-    done;
-    if t.shut_down then begin
-      Mutex.unlock t.mutex;
-      continue_ := false
-    end
-    else begin
-      my_gen := t.generation;
-      let job = match t.job with Some f -> f | None -> fun _ -> () in
-      Mutex.unlock t.mutex;
+    let action =
+      Cmutex.with_lock t.mutex (fun () ->
+          while (not t.shut_down) && t.generation = !my_gen do
+            Ccond.wait t.work_ready t.mutex
+          done;
+          if t.shut_down then `Stop
+          else begin
+            my_gen := t.generation;
+            Ax_conc.Race.read t.job_cell;
+            let job = match t.job with Some f -> f | None -> fun _ -> () in
+            `Run job
+          end)
+    in
+    match action with
+    | `Stop -> continue_ := false
+    | `Run job ->
       let start = Unix.gettimeofday () in
       let outcome =
         try
@@ -96,16 +110,14 @@ let worker_body t slot () =
         with e -> Some (e, Printexc.get_raw_backtrace ())
       in
       let elapsed = Unix.gettimeofday () -. start in
-      Mutex.lock t.mutex;
-      t.busy_s <- t.busy_s +. elapsed;
-      t.per_slot_busy.(slot) <- t.per_slot_busy.(slot) +. elapsed;
-      (match outcome with
-      | Some (e, bt) -> record_failure t slot e bt
-      | None -> ());
-      t.pending <- t.pending - 1;
-      if t.pending = 0 then Condition.signal t.work_done;
-      Mutex.unlock t.mutex
-    end
+      Cmutex.with_lock t.mutex (fun () ->
+          t.busy_s <- t.busy_s +. elapsed;
+          t.per_slot_busy.(slot) <- t.per_slot_busy.(slot) +. elapsed;
+          (match outcome with
+          | Some (e, bt) -> record_failure t slot e bt
+          | None -> ());
+          t.pending <- t.pending - 1;
+          if t.pending = 0 then Ccond.signal t.work_done)
   done
 
 let env_var = "TFAPPROX_DOMAINS"
@@ -141,11 +153,12 @@ let create ?domains () =
   let t =
     {
       size = domains;
-      mutex = Mutex.create ();
-      work_ready = Condition.create ();
-      work_done = Condition.create ();
+      mutex = Cmutex.create ~order:20 ~name:"pool.mutex" ();
+      work_ready = Ccond.create ~name:"pool.work-ready" ();
+      work_done = Ccond.create ~name:"pool.work-done" ();
       generation = 0;
       job = None;
+      job_cell = Ax_conc.Race.cell "pool.job";
       pending = 0;
       failure = None;
       active = false;
@@ -173,11 +186,16 @@ let create ?domains () =
   t
 
 let shutdown t =
-  if not t.shut_down then begin
-    Mutex.lock t.mutex;
-    t.shut_down <- true;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.mutex;
+  let first =
+    Cmutex.with_lock t.mutex (fun () ->
+        let first = not t.shut_down in
+        if first then begin
+          t.shut_down <- true;
+          Ccond.broadcast t.work_ready
+        end;
+        first)
+  in
+  if first then begin
     Array.iter Domain.join t.workers;
     t.workers <- [||]
   end
@@ -202,8 +220,9 @@ let set_tracer t tr =
    from inside a task of this very pool). *)
 let run_slots t ~slots task =
   let inline () =
-    t.inline_calls <- t.inline_calls + 1;
-    t.tasks <- t.tasks + slots;
+    Cmutex.with_lock t.mutex (fun () ->
+        t.inline_calls <- t.inline_calls + 1;
+        t.tasks <- t.tasks + slots);
     for s = 0 to slots - 1 do
       task s
     done
@@ -214,18 +233,13 @@ let run_slots t ~slots task =
      The loser of the race simply runs inline, same as a nested call. *)
   let acquired =
     (not (slots <= 1 || t.size = 1 || is_worker t))
-    && begin
-         Mutex.lock t.mutex;
-         let ok = (not t.active) && not t.shut_down in
-         if ok then t.active <- true;
-         Mutex.unlock t.mutex;
-         ok
-       end
+    && Cmutex.with_lock t.mutex (fun () ->
+           let ok = (not t.active) && not t.shut_down in
+           if ok then t.active <- true;
+           ok)
   in
   if not acquired then inline ()
   else begin
-    t.parallel_calls <- t.parallel_calls + 1;
-    t.tasks <- t.tasks + slots;
     (* Only the fan-out path records pool.task spans: each slot writes
        into its own fork, so there is exactly one writer per buffer.
        Inline (nested) calls stay unrecorded — a worker recording into a
@@ -240,13 +254,15 @@ let run_slots t ~slots task =
             ~attrs:[ ("slot", string_of_int s) ]
             (fun () -> task s)
     in
-    Mutex.lock t.mutex;
-    t.job <- Some (fun s -> if s < slots then task s);
-    t.generation <- t.generation + 1;
-    t.pending <- t.size - 1;
-    t.failure <- None;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.mutex;
+    Cmutex.with_lock t.mutex (fun () ->
+        t.parallel_calls <- t.parallel_calls + 1;
+        t.tasks <- t.tasks + slots;
+        Ax_conc.Race.write t.job_cell;
+        t.job <- Some (fun s -> if s < slots then task s);
+        t.generation <- t.generation + 1;
+        t.pending <- t.size - 1;
+        t.failure <- None;
+        Ccond.broadcast t.work_ready);
     let start = Unix.gettimeofday () in
     let own =
       try
@@ -255,17 +271,20 @@ let run_slots t ~slots task =
       with e -> Some (e, Printexc.get_raw_backtrace ())
     in
     let elapsed = Unix.gettimeofday () -. start in
-    Mutex.lock t.mutex;
-    t.busy_s <- t.busy_s +. elapsed;
-    t.per_slot_busy.(0) <- t.per_slot_busy.(0) +. elapsed;
-    while t.pending > 0 do
-      Condition.wait t.work_done t.mutex
-    done;
-    t.job <- None;
-    let worker_failure = t.failure in
-    t.failure <- None;
-    Mutex.unlock t.mutex;
-    t.fanout_wall_s <- t.fanout_wall_s +. (Unix.gettimeofday () -. start);
+    let worker_failure =
+      Cmutex.with_lock t.mutex (fun () ->
+          t.busy_s <- t.busy_s +. elapsed;
+          t.per_slot_busy.(0) <- t.per_slot_busy.(0) +. elapsed;
+          while t.pending > 0 do
+            Ccond.wait t.work_done t.mutex
+          done;
+          Ax_conc.Race.write t.job_cell;
+          t.job <- None;
+          let worker_failure = t.failure in
+          t.failure <- None;
+          worker_failure)
+    in
+    let wall = Unix.gettimeofday () -. start in
     (* Workers are quiescent again: merge each slot's fork into the sink
        in slot order, so the merged stream is deterministic for a fixed
        split.  Merge even on failure — a trace of the failing fan-out is
@@ -280,9 +299,9 @@ let run_slots t ~slots task =
           Ax_obs.Trace.clear f)
         t.forks
     | None -> ());
-    Mutex.lock t.mutex;
-    t.active <- false;
-    Mutex.unlock t.mutex;
+    Cmutex.with_lock t.mutex (fun () ->
+        t.fanout_wall_s <- t.fanout_wall_s +. wall;
+        t.active <- false);
     (* Slot 0 is the lowest index, so the caller's own exception wins;
        otherwise the lowest failing worker slot.  Exactly one re-raise. *)
     match (own, worker_failure) with
@@ -332,15 +351,16 @@ let run_dynamic t ~slots ~lo ~hi ~grain task =
   let n = hi - lo in
   let claims = (n + grain - 1) / grain in
   let slots = min slots claims in
-  t.dynamic_calls <- t.dynamic_calls + 1;
-  t.claims <- t.claims + claims;
-  let fail_mutex = Mutex.create () in
+  Cmutex.with_lock t.mutex (fun () ->
+      t.dynamic_calls <- t.dynamic_calls + 1;
+      t.claims <- t.claims + claims);
+  let fail_mutex = Cmutex.create ~order:30 ~name:"pool.claim-failure" () in
   let failure = ref None in
-  let next = Atomic.make 0 in
+  let next = Catomic.make ~name:"pool.dynamic-next" 0 in
   let claim_loop _slot =
     let continue_ = ref true in
     while !continue_ do
-      let c = Atomic.fetch_and_add next 1 in
+      let c = Catomic.fetch_and_add next 1 in
       if c >= claims then continue_ := false
       else begin
         let clo = lo + (c * grain) in
@@ -348,15 +368,14 @@ let run_dynamic t ~slots ~lo ~hi ~grain task =
         try task ~lo:clo ~hi:chi
         with e ->
           let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock fail_mutex;
-          (match !failure with
-          | Some (c0, _, _) when c0 <= c -> ()
-          | Some _ | None -> failure := Some (c, e, bt));
-          Mutex.unlock fail_mutex;
+          Cmutex.with_lock fail_mutex (fun () ->
+              match !failure with
+              | Some (c0, _, _) when c0 <= c -> ()
+              | Some _ | None -> failure := Some (c, e, bt));
           (* Stop handing out further claims; in-flight ones finish. *)
           let rec drain () =
-            let cur = Atomic.get next in
-            if cur < claims && not (Atomic.compare_and_set next cur claims)
+            let cur = Catomic.get next in
+            if cur < claims && not (Catomic.compare_and_set next cur claims)
             then drain ()
           in
           drain ()
@@ -426,16 +445,17 @@ let map_array t ?max_domains ?schedule f items =
   end
 
 let stats t =
-  {
-    parallel_calls = t.parallel_calls;
-    inline_calls = t.inline_calls;
-    dynamic_calls = t.dynamic_calls;
-    claims = t.claims;
-    tasks = t.tasks;
-    busy_seconds = t.busy_s;
-    fanout_wall_seconds = t.fanout_wall_s;
-    per_domain_busy_seconds = Array.copy t.per_slot_busy;
-  }
+  Cmutex.with_lock t.mutex (fun () ->
+      {
+        parallel_calls = t.parallel_calls;
+        inline_calls = t.inline_calls;
+        dynamic_calls = t.dynamic_calls;
+        claims = t.claims;
+        tasks = t.tasks;
+        busy_seconds = t.busy_s;
+        fanout_wall_seconds = t.fanout_wall_s;
+        per_domain_busy_seconds = Array.copy t.per_slot_busy;
+      })
 
 (* Busy fraction of a domain: its task seconds over the wall time the
    pool spent inside fan-outs.  The imbalance gauge is 1 - mean/max
@@ -485,12 +505,11 @@ let publish t metrics =
 (* Default process-wide pool                                           *)
 (* ------------------------------------------------------------------ *)
 
-let default_mutex = Mutex.create ()
+(* Rank 10: the registry lock is held while creating/shutting down a
+   pool, whose own mutex is rank 20 — registry first, always. *)
+let default_mutex = Cmutex.create ~order:10 ~name:"pool.registry" ()
 let default_pool : t option ref = ref None
-
-let with_default_lock f =
-  Mutex.lock default_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock default_mutex) f
+let with_default_lock f = Cmutex.with_lock default_mutex f
 
 let default () =
   with_default_lock (fun () ->

@@ -32,8 +32,12 @@ type t = {
   retry_after_ms : int;
   clock : unit -> float;
   metrics : Metrics.t option;
-  lock : Mutex.t;
-  nonempty : Condition.t;
+  lock : Ax_conc.Mutex.t;
+  nonempty : Ax_conc.Condition.t;
+  depth_cell : Ax_conc.Race.cell;
+      (** race-detector annotation on the queue depth: every queue
+          mutation writes it, every inspection reads it — all under
+          [lock], which is what the detector verifies *)
   (* every field below is guarded by [lock] *)
   queue : job Queue.t;
   mutable closed : bool;
@@ -60,8 +64,9 @@ let create ?metrics ?(now = Unix.gettimeofday) ?(retry_after_ms = 50)
     retry_after_ms;
     clock = now;
     metrics;
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
+    lock = Ax_conc.Mutex.create ~order:50 ~name:"serve.admission" ();
+    nonempty = Ax_conc.Condition.create ~name:"serve.admission.nonempty" ();
+    depth_cell = Ax_conc.Race.cell "serve.admission.depth";
     queue = Queue.create ();
     closed = false;
     submitted = 0;
@@ -74,15 +79,7 @@ let create ?metrics ?(now = Unix.gettimeofday) ?(retry_after_ms = 50)
 
 let now t = t.clock ()
 
-let locked t f =
-  Mutex.lock t.lock;
-  match f () with
-  | v ->
-    Mutex.unlock t.lock;
-    v
-  | exception e ->
-    Mutex.unlock t.lock;
-    raise e
+let locked t f = Ax_conc.Mutex.with_lock t.lock f
 
 let set_depth_gauge t depth =
   match t.metrics with
@@ -97,16 +94,18 @@ let submit t job =
     locked t @@ fun () ->
     if t.closed then Error Closed
     else begin
+      Ax_conc.Race.read t.depth_cell;
       let depth = Queue.length t.queue in
       if depth >= t.capacity then begin
         t.rejected <- t.rejected + 1;
         Error (Queue_full { retry_after_ms = t.retry_after_ms })
       end
       else begin
+        Ax_conc.Race.write t.depth_cell;
         Queue.add job t.queue;
         t.submitted <- t.submitted + 1;
         if depth + 1 > t.max_depth then t.max_depth <- depth + 1;
-        Condition.signal t.nonempty;
+        Ax_conc.Condition.signal t.nonempty;
         Ok (depth + 1)
       end
     end
@@ -121,7 +120,10 @@ let submit t job =
     count t "serve_rejected" 1;
     Error r
 
-let depth t = locked t @@ fun () -> Queue.length t.queue
+let depth t =
+  locked t @@ fun () ->
+  Ax_conc.Race.read t.depth_cell;
+  Queue.length t.queue
 
 let overdue ~at job =
   match job.deadline with None -> false | Some d -> at > d
@@ -131,6 +133,7 @@ let form_batch t =
   let at = t.clock () in
   let swept, batch =
     locked t @@ fun () ->
+    Ax_conc.Race.write t.depth_cell;
     let keep = Queue.create () in
     let swept = ref [] in
     Queue.iter
@@ -178,10 +181,11 @@ let form_batch t =
 let wait_ready t =
   locked t @@ fun () ->
   let rec go () =
+    Ax_conc.Race.read t.depth_cell;
     if not (Queue.is_empty t.queue) then `Ready
     else if t.closed then `Closed
     else begin
-      Condition.wait t.nonempty t.lock;
+      Ax_conc.Condition.wait t.nonempty t.lock;
       go ()
     end
   in
@@ -190,11 +194,12 @@ let wait_ready t =
 let close t =
   locked t (fun () ->
       t.closed <- true;
-      Condition.broadcast t.nonempty)
+      Ax_conc.Condition.broadcast t.nonempty)
 
 let drain t =
   let jobs =
     locked t @@ fun () ->
+    Ax_conc.Race.write t.depth_cell;
     let jobs = List.of_seq (Queue.to_seq t.queue) in
     Queue.clear t.queue;
     jobs

@@ -1,0 +1,234 @@
+(* Serve-side concurrency check units for [check --suite concurrency]:
+   record-mode discipline soaks of the real admission queue and model
+   store over real systhreads, plus deterministic explorations driving
+   the REAL [Admission] module through the cooperative scheduler (its
+   locks and condition variable are Ax_conc shims, so under explore
+   hooks every operation is a scheduling point) and a model of the
+   store's corrupt-artefact repair path.  Same contract as
+   [Ax_analysis.Conc_check]: real-code units must be clean, seeded
+   defects must be flagged (else [conc/blind-detector]). *)
+
+module D = Ax_analysis.Diagnostic
+module Conc_check = Ax_analysis.Conc_check
+module Conc = Ax_conc.Conc
+module Cmutex = Ax_conc.Mutex
+module Explore = Ax_conc.Explore
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+
+let with_record f =
+  let saved = Conc.mode () in
+  Conc.reset ();
+  Conc.set_mode Conc.Record;
+  Fun.protect
+    ~finally:(fun () ->
+      Conc.set_mode saved;
+      Conc.reset ())
+    (fun () ->
+      f ();
+      Conc.collect ())
+
+let blind ~subject detail =
+  [ D.make ~rule:"conc/blind-detector" ~location:(D.Artefact subject) detail ]
+
+(* [seq] rides in the job's [images] field so FIFO order per model is
+   observable from the formed batches. *)
+let job ~model ~seq deliver =
+  {
+    Admission.model;
+    input = Tensor.create (Shape.make ~n:1 ~h:1 ~w:1 ~c:1);
+    images = seq;
+    enqueued = 0.;
+    deadline = None;
+    deliver;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Admission: record-mode soak over real systhreads                    *)
+(* ------------------------------------------------------------------ *)
+
+let admission_discipline () =
+  Conc_check.to_diagnostics
+    (with_record (fun () ->
+         let adm =
+           Admission.create ~now:(fun () -> 0.) ~capacity:8 ~max_batch:4 ()
+         in
+         let submitter m () =
+           for i = 1 to 8 do
+             ignore (Admission.submit adm (job ~model:m ~seq:i ignore))
+           done
+         in
+         let rec batcher () =
+           match Admission.wait_ready adm with
+           | `Closed -> ()
+           | `Ready ->
+             ignore (Admission.form_batch adm);
+             batcher ()
+         in
+         let t1 = Thread.create (submitter "a") () in
+         let t2 = Thread.create (submitter "b") () in
+         let t3 = Thread.create batcher () in
+         Thread.join t1;
+         Thread.join t2;
+         Admission.close adm;
+         Thread.join t3;
+         Admission.drain adm;
+         ignore (Admission.stats adm)))
+
+(* ------------------------------------------------------------------ *)
+(* Admission: deterministic exploration of the real module             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two submitters (different models) race a batcher through the real
+   queue under every interleaving of its lock/condvar operations.
+   Checked after each schedule: per-model FIFO across the formed
+   batch, queue depth bounded by capacity, and job conservation
+   (every accepted job is either batched or still queued).  The
+   per-schedule check closure is handed out through a ref because the
+   scenario state is rebuilt by the setup thunk on every run. *)
+let admission_explore () =
+  let after_hook = ref (fun () -> ()) in
+  let outcome =
+    Explore.explore ~max_schedules:3000
+      ~after:(fun () -> !after_hook ())
+      (fun () ->
+        let adm =
+          Admission.create ~now:(fun () -> 0.) ~capacity:2 ~max_batch:2 ()
+        in
+        let batched = ref [] in
+        let accepted = ref 0 in
+        let submitter m n () =
+          for i = 1 to n do
+            match Admission.submit adm (job ~model:m ~seq:i ignore) with
+            | Ok () -> incr accepted
+            | Error _ -> ()
+          done
+        in
+        let batcher () =
+          match Admission.wait_ready adm with
+          | `Closed -> ()
+          | `Ready -> (
+            match Admission.form_batch adm with
+            | `Empty -> ()
+            | `Batch (model, jobs) ->
+              batched :=
+                !batched
+                @ List.map (fun (j : Admission.job) -> (model, j.images)) jobs)
+        in
+        (after_hook :=
+           fun () ->
+             let stats = Admission.stats adm in
+             Explore.check
+               (stats.Admission.max_depth <= 2)
+               (Printf.sprintf "queue depth %d exceeded capacity 2"
+                  stats.Admission.max_depth);
+             let seen = Hashtbl.create 4 in
+             List.iter
+               (fun (m, seq) ->
+                 let last =
+                   match Hashtbl.find_opt seen m with Some s -> s | None -> 0
+                 in
+                 Explore.check (seq > last)
+                   (Printf.sprintf
+                      "model %s batched out of FIFO order (seq %d after %d)" m
+                      seq last);
+                 Hashtbl.replace seen m seq)
+               !batched;
+             let remaining = Admission.depth adm in
+             Explore.check
+               (List.length !batched + remaining = !accepted)
+               (Printf.sprintf "jobs lost: accepted %d, batched %d, queued %d"
+                  !accepted (List.length !batched) remaining));
+        [ submitter "a" 2; submitter "b" 1; batcher ])
+  in
+  Conc_check.diagnostics_of_outcome ~subject:"serve.admission" outcome
+
+(* ------------------------------------------------------------------ *)
+(* Store: record-mode soak of the hit-count cache                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A missing-file spec degrades to a cheap Unavailable entry at load,
+   so the unit exercises only the store's concurrency surface: [find]
+   bumping the hit cache from several threads.  The exact-count match
+   doubles as a lost-update check on the cache itself. *)
+let store_discipline () =
+  Conc_check.to_diagnostics
+    (with_record (fun () ->
+         let store =
+           Store.load [ Store.parse_spec "m=conc_check_missing.axmdl" ]
+         in
+         let finder () =
+           for _ = 1 to 16 do
+             ignore (Store.find store "m");
+             ignore (Store.find store "absent")
+           done
+         in
+         let t1 = Thread.create finder () in
+         let t2 = Thread.create finder () in
+         Thread.join t1;
+         Thread.join t2;
+         match Store.hit_counts store with
+         | [ ("m", 32) ] -> ()
+         | other ->
+           failwith
+             (Printf.sprintf "conc_scenarios: hit cache lost updates (%s)"
+                (String.concat ","
+                   (List.map
+                      (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+                      other)))))
+
+(* ------------------------------------------------------------------ *)
+(* Store repair path: exploration model                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The corrupt-artefact repair path as a model: two loaders hit the
+   same corrupt entry; repair must happen exactly once.  The guarded
+   variant (check-and-repair under one lock) must explore clean. *)
+let repair_model_guarded () =
+  Conc_check.diagnostics_of_outcome ~subject:"serve.store.repair"
+    (Explore.explore (fun () ->
+         let m = Cmutex.create ~name:"store.cache-model" () in
+         let status = Explore.var ~track:false ~name:"store.status" `Corrupt in
+         let repairs = ref 0 in
+         let loader () =
+           Cmutex.with_lock m (fun () ->
+               if Explore.get status = `Corrupt then begin
+                 incr repairs;
+                 Explore.check (!repairs <= 1) "artefact repaired twice";
+                 Explore.set status `Ready
+               end)
+         in
+         [ loader; loader ]))
+
+(* Seeded defect: the same path with the check-then-repair OUTSIDE the
+   lock — a schedule with two repairs must be found, else the explorer
+   has gone blind. *)
+let selftest_repair_race () =
+  let outcome =
+    Explore.explore (fun () ->
+        let status = Explore.var ~track:false ~name:"store.status" `Corrupt in
+        let repairs = ref 0 in
+        let loader () =
+          if Explore.get status = `Corrupt then begin
+            incr repairs;
+            Explore.check (!repairs <= 1) "artefact repaired twice";
+            Explore.set status `Ready
+          end
+        in
+        [ loader; loader ])
+  in
+  match outcome with
+  | Explore.Violation _ -> []
+  | Explore.No_violation _ ->
+    blind ~subject:"serve.store.repair"
+      "the unguarded check-then-repair model passed the single-repair \
+       invariant under every explored schedule"
+
+let suite () =
+  [
+    ("conc.serve.admission-discipline", admission_discipline ());
+    ("conc.serve.admission-explore", admission_explore ());
+    ("conc.serve.store-discipline", store_discipline ());
+    ("conc.serve.repair-guarded", repair_model_guarded ());
+    ("conc.serve.selftest.repair-race", selftest_repair_race ());
+  ]

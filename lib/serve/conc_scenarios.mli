@@ -1,0 +1,11 @@
+(** Serve-side concurrency check units for
+    [tfapprox check --suite concurrency] — the counterpart of
+    [Ax_analysis.Conc_check.suite].
+
+    Real-code units (record-mode discipline soaks of the admission
+    queue and model store, deterministic exploration of the real
+    {!Admission} module, the guarded repair-path model) must come back
+    clean; the seeded unguarded repair race must be flagged, else it
+    is reported as a [conc/blind-detector] error. *)
+
+val suite : unit -> (string * Ax_analysis.Diagnostic.t list) list

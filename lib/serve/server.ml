@@ -80,7 +80,13 @@ let default_config ~store ~address () =
 type conn = {
   conn_id : int;
   fd : Unix.file_descr;
-  write_lock : Mutex.t;
+  write_lock : Ax_conc.Mutex.t;
+  (* race-detector annotations: [peer_cell] covers the lifecycle flags
+     ([peer_gone]/[reader_done]/[closed]), [inflight_cell] the job
+     counter — every access below must hold [write_lock], which is
+     exactly what the annotations let the detector verify *)
+  peer_cell : Ax_conc.Race.cell;
+  inflight_cell : Ax_conc.Race.cell;
   mutable peer_gone : bool;  (** no further writes (EOF'd or write failed) *)
   mutable inflight : int;  (** admission jobs holding [deliver] for us *)
   mutable reader_done : bool;  (** the connection thread's read loop exited *)
@@ -96,9 +102,13 @@ type t = {
      returns without racing a close against a blocking accept *)
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
-  lock : Mutex.t;
+  lock : Ax_conc.Mutex.t;
   mutable running : bool;  (** accepting + scheduling *)
-  mutable stop_requested : bool;  (** a client sent [Shutdown] / a signal *)
+  stop_requested : bool Atomic.t;
+      (** a client sent [Shutdown] / a signal.  A plain [Stdlib.Atomic]
+          rather than the checked shim on purpose: {!request_stop} must
+          stay callable from a signal handler, so it cannot risk taking
+          the checker's internal lock in record mode. *)
   mutable stopped : bool;  (** fully shut down *)
   mutable conns : conn list;
   (* conn_id -> thread, self-reaped: each connection thread removes its
@@ -113,9 +123,7 @@ type t = {
   mutable scheduler_thread : Thread.t option;
 }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Ax_conc.Mutex.with_lock t.lock f
 
 let count t name = Metrics.add t.config.metrics name 1
 
@@ -125,7 +133,9 @@ let count t name = Metrics.add t.config.metrics name 1
 
 (* Must be called with [conn.write_lock] held. *)
 let conn_close_if_idle conn =
+  Ax_conc.Race.read conn.inflight_cell;
   if conn.reader_done && conn.inflight = 0 && not conn.closed then begin
+    Ax_conc.Race.write conn.peer_cell;
     conn.closed <- true;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
@@ -133,15 +143,15 @@ let conn_close_if_idle conn =
 (* Bracket an admission job's lifetime: the fd stays open (and its
    number un-recyclable) until every outstanding [deliver] has run. *)
 let conn_job_begin conn =
-  Mutex.lock conn.write_lock;
-  conn.inflight <- conn.inflight + 1;
-  Mutex.unlock conn.write_lock
+  Ax_conc.Mutex.with_lock conn.write_lock (fun () ->
+      Ax_conc.Race.write conn.inflight_cell;
+      conn.inflight <- conn.inflight + 1)
 
 let conn_job_end conn =
-  Mutex.lock conn.write_lock;
-  conn.inflight <- conn.inflight - 1;
-  conn_close_if_idle conn;
-  Mutex.unlock conn.write_lock
+  Ax_conc.Mutex.with_lock conn.write_lock (fun () ->
+      Ax_conc.Race.write conn.inflight_cell;
+      conn.inflight <- conn.inflight - 1;
+      conn_close_if_idle conn)
 
 (* Best-effort: a client that vanished mid-response costs a counter and
    a debug line, never an exception escaping a server thread.  The
@@ -150,17 +160,18 @@ let conn_job_end conn =
    to a closed (possibly recycled) fd. *)
 let send t conn response =
   let payload = Protocol.encode_response response in
-  Mutex.lock conn.write_lock;
   let result =
-    if conn.peer_gone || conn.closed then Ok ()
-    else
-      match Protocol.write_frame conn.fd payload with
-      | () -> Ok ()
-      | exception e ->
-        conn.peer_gone <- true;
-        Result.error e
+    Ax_conc.Mutex.with_lock conn.write_lock (fun () ->
+        Ax_conc.Race.read conn.peer_cell;
+        if conn.peer_gone || conn.closed then Ok ()
+        else
+          match Protocol.write_frame conn.fd payload with
+          | () -> Ok ()
+          | exception e ->
+            Ax_conc.Race.write conn.peer_cell;
+            conn.peer_gone <- true;
+            Result.error e)
   in
-  Mutex.unlock conn.write_lock;
   match result with
   | Ok () -> ()
   | Error e ->
@@ -357,7 +368,7 @@ let handle_infer t conn ~id ~model ~deadline_ms input =
 (* Lock-free on purpose: callable from a signal handler (the CLI's
    SIGINT/SIGTERM hooks) as well as from connection threads.  [wait]
    polls the flag. *)
-let request_stop t = t.stop_requested <- true
+let request_stop t = Atomic.set t.stop_requested true
 
 let metrics_dump t =
   let metrics = t.config.metrics in
@@ -445,15 +456,15 @@ let conn_loop t conn =
          socket down now — but only [conn_close_if_idle] may close the
          fd, once no in-flight job holds a [deliver] for it, so the fd
          number cannot be recycled under a pending delivery *)
-      Mutex.lock conn.write_lock;
-      conn.reader_done <- true;
-      conn.peer_gone <- true;
-      if not conn.closed then begin
-        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-        with Unix.Unix_error _ -> ()
-      end;
-      conn_close_if_idle conn;
-      Mutex.unlock conn.write_lock)
+      Ax_conc.Mutex.with_lock conn.write_lock (fun () ->
+          Ax_conc.Race.write conn.peer_cell;
+          conn.reader_done <- true;
+          conn.peer_gone <- true;
+          if not conn.closed then begin
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()
+          end;
+          conn_close_if_idle conn))
     (fun () ->
       try go ()
       with e ->
@@ -516,7 +527,11 @@ let accept_loop t =
                       {
                         conn_id = t.next_conn_id;
                         fd;
-                        write_lock = Mutex.create ();
+                        write_lock =
+                          Ax_conc.Mutex.create ~order:60
+                            ~name:"serve.conn.write" ();
+                        peer_cell = Ax_conc.Race.cell "serve.conn.peer-gone";
+                        inflight_cell = Ax_conc.Race.cell "serve.conn.inflight";
                         peer_gone = false;
                         inflight = 0;
                         reader_done = false;
@@ -594,9 +609,9 @@ let start config =
       adm;
       stop_r;
       stop_w;
-      lock = Mutex.create ();
+      lock = Ax_conc.Mutex.create ~order:40 ~name:"serve.server" ();
       running = true;
-      stop_requested = false;
+      stop_requested = Atomic.make false;
       stopped = false;
       conns = [];
       conn_threads = Hashtbl.create 64;
@@ -647,12 +662,12 @@ let stop t =
        [write_lock] — never touches a closed (recyclable) fd. *)
     List.iter
       (fun conn ->
-        Mutex.lock conn.write_lock;
-        if not conn.closed then begin
-          try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-          with Unix.Unix_error _ -> ()
-        end;
-        Mutex.unlock conn.write_lock)
+        Ax_conc.Mutex.with_lock conn.write_lock (fun () ->
+            Ax_conc.Race.read conn.peer_cell;
+            if not conn.closed then begin
+              try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ()
+            end))
       (locked t (fun () -> t.conns));
     List.iter Thread.join
       (locked t (fun () ->
@@ -667,7 +682,7 @@ let stop t =
   end
 
 let wait t =
-  while not (t.stopped || t.stop_requested) do
+  while not (t.stopped || Atomic.get t.stop_requested) do
     Thread.delay 0.05
   done;
   stop t

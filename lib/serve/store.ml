@@ -128,7 +128,18 @@ type ready = { graph : Ax_nn.Graph.t; input : Shape.t; classes : int }
 type status = Ready of ready | Unavailable of string
 type entry = { spec : spec; status : status }
 
-type t = { entries : entry list; by_name : (string, entry) Hashtbl.t }
+type t = {
+  entries : entry list;
+  by_name : (string, entry) Hashtbl.t;  (** immutable after [load] *)
+  (* The hit-count cache is the store's only post-load mutable state:
+     connection threads bump it concurrently on every lookup, so it
+     gets its own lock — rank 70, the bottom of the hierarchy, since
+     [find] is called while serving a request with upper locks long
+     released. *)
+  cache_lock : Ax_conc.Mutex.t;
+  hits : (string, int) Hashtbl.t;
+  hits_cell : Ax_conc.Race.cell;
+}
 
 let build_arch = function
   | Lenet -> (Ax_models.Lenet.build (), Ax_models.Lenet.input_shape ~batch:1)
@@ -250,9 +261,33 @@ let load ?metrics ?domains specs =
       specs
   in
   publish ?metrics entries;
-  { entries; by_name }
+  {
+    entries;
+    by_name;
+    cache_lock = Ax_conc.Mutex.create ~order:70 ~name:"serve.store.cache" ();
+    hits = Hashtbl.create 16;
+    hits_cell = Ax_conc.Race.cell "serve.store.hits";
+  }
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | None -> None
+  | Some entry ->
+    Ax_conc.Mutex.with_lock t.cache_lock (fun () ->
+        Ax_conc.Race.write t.hits_cell;
+        let n = match Hashtbl.find_opt t.hits name with
+          | Some n -> n
+          | None -> 0
+        in
+        Hashtbl.replace t.hits name (n + 1));
+    Some entry
+
+let hit_counts t =
+  Ax_conc.Mutex.with_lock t.cache_lock (fun () ->
+      Ax_conc.Race.read t.hits_cell;
+      Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.hits []
+      |> List.sort compare)
+
 let list t = t.entries
 
 let statuses t =

@@ -83,6 +83,13 @@ val load :
     and verifier failures degrade to {!Unavailable}. *)
 
 val find : t -> string -> entry option
+(** Lookup by name; a hit also bumps the model's hit counter (under
+    the store's cache lock — safe from concurrent connection
+    threads). *)
+
+val hit_counts : t -> (string * int) list
+(** Per-model {!find}-hit counts, sorted by name. *)
+
 val list : t -> entry list
 (** In spec order. *)
 

@@ -1,0 +1,453 @@
+(* The concurrency correctness layer, pinned:
+
+   - [Vclock]: vector-clock algebra and the FastTrack cell state
+     machine (ordered accesses stay silent, unordered ones race);
+   - record-mode discipline: lock-order cycles (positive AND negative
+     golden), relock, unlock of an unheld mutex, bare critical
+     sections, declared-rank violations, [with_lock] exception safety,
+     and the race detector over [Race] cells (racy vs locked);
+   - [Explore]: the pre-fix PR-8 [run_slots] coordinator race is
+     found, the fixed protocol explores clean, opposite-order lock
+     acquisition deadlocks, violations replay deterministically from
+     their schedule, and schedule strings round-trip;
+   - a qcheck property: the real admission queue preserves per-model
+     FIFO and never exceeds capacity under every explored bounded
+     interleaving of submitters and a batcher;
+   - [check --suite concurrency] end-to-end: every pool-side and
+     serve-side unit reports zero error findings — the seeded-defect
+     self-tests inside the suite fail it (via conc/blind-detector) if
+     a detector ever goes blind, so this one assertion also pins
+     detector liveness. *)
+
+module Conc = Ax_conc.Conc
+module Cmutex = Ax_conc.Mutex
+module Ccond = Ax_conc.Condition
+module Race = Ax_conc.Race
+module Vclock = Ax_conc.Vclock
+module Explore = Ax_conc.Explore
+module D = Ax_analysis.Diagnostic
+module Shape = Ax_tensor.Shape
+module Tensor = Ax_tensor.Tensor
+module Admission = Ax_serve.Admission
+module Store = Ax_serve.Store
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run [f] in record mode on a clean slate; return collected findings
+   with mode and state restored either way. *)
+let record f =
+  let saved = Conc.mode () in
+  Conc.reset ();
+  Conc.set_mode Conc.Record;
+  Fun.protect
+    ~finally:(fun () ->
+      Conc.set_mode saved;
+      Conc.reset ())
+    (fun () ->
+      f ();
+      Conc.collect ())
+
+let has code findings =
+  List.exists (fun (f : Conc.finding) -> f.Conc.code = code) findings
+
+(* --- Vclock --- *)
+
+let test_vclock_algebra () =
+  let c = Vclock.empty in
+  check_int "empty reads 0" 0 (Vclock.get c 7);
+  let c1 = Vclock.tick (Vclock.tick c 7) 7 in
+  check_int "tick twice" 2 (Vclock.get c1 7);
+  let c2 = Vclock.tick c 9 in
+  let j = Vclock.join c1 c2 in
+  check_int "join keeps 7" 2 (Vclock.get j 7);
+  check_int "join keeps 9" 1 (Vclock.get j 9)
+
+let test_vclock_fasttrack () =
+  (* unordered write-write: second writer's clock does not include the
+     first writer's epoch *)
+  let cell = Vclock.cell () in
+  let c1 = Vclock.tick Vclock.empty 1 in
+  check_bool "first write silent" true
+    (Vclock.access cell ~tid:1 ~clock:c1 Vclock.Write = None);
+  let c2 = Vclock.tick Vclock.empty 2 in
+  check_bool "unordered write races" true
+    (Vclock.access cell ~tid:2 ~clock:c2 Vclock.Write <> None);
+  (* ordered via join: no race *)
+  let cell2 = Vclock.cell () in
+  let c1 = Vclock.tick Vclock.empty 1 in
+  ignore (Vclock.access cell2 ~tid:1 ~clock:c1 Vclock.Write);
+  let c2 = Vclock.join (Vclock.tick Vclock.empty 2) c1 in
+  check_bool "ordered write silent" true
+    (Vclock.access cell2 ~tid:2 ~clock:c2 Vclock.Write = None)
+
+(* --- record-mode discipline goldens --- *)
+
+let test_lock_cycle_positive () =
+  let findings =
+    record (fun () ->
+        let a = Cmutex.create ~name:"t.A" () in
+        let b = Cmutex.create ~name:"t.B" () in
+        Cmutex.with_lock a (fun () -> Cmutex.with_lock b (fun () -> ()));
+        Cmutex.with_lock b (fun () -> Cmutex.with_lock a (fun () -> ())))
+  in
+  check_bool "A->B / B->A is a cycle" true (has "lock-cycle" findings)
+
+let test_lock_cycle_negative () =
+  let findings =
+    record (fun () ->
+        let a = Cmutex.create ~name:"t.A" () in
+        let b = Cmutex.create ~name:"t.B" () in
+        for _ = 1 to 3 do
+          Cmutex.with_lock a (fun () -> Cmutex.with_lock b (fun () -> ()))
+        done)
+  in
+  check_bool "consistent A->B is not a cycle" false (has "lock-cycle" findings);
+  check_bool "and nothing else" true (findings = [])
+
+let test_relock () =
+  let findings =
+    record (fun () ->
+        let m = Cmutex.create ~name:"t.relock" () in
+        Cmutex.lock m;
+        (* the shim reports first; the real errorcheck mutex then raises *)
+        (try Cmutex.lock m with Sys_error _ -> ());
+        Cmutex.unlock m)
+  in
+  check_bool "relock flagged" true (has "relock" findings)
+
+let test_unlock_unheld () =
+  let findings =
+    record (fun () ->
+        let m = Cmutex.create ~name:"t.unheld" () in
+        try Cmutex.unlock m with Sys_error _ -> ())
+  in
+  check_bool "unlock of unheld mutex flagged" true
+    (has "unlock-unheld" findings)
+
+let test_bare_section () =
+  let findings =
+    record (fun () ->
+        let m = Cmutex.create ~name:"t.bare" () in
+        Cmutex.lock m;
+        Cmutex.unlock m)
+  in
+  check_bool "bare lock/unlock flagged" true (has "bare-section" findings);
+  let clean =
+    record (fun () ->
+        let m = Cmutex.create ~name:"t.protected" () in
+        Cmutex.with_lock m (fun () -> ()))
+  in
+  check_bool "with_lock is not bare" false (has "bare-section" clean)
+
+let test_rank_violation () =
+  let findings =
+    record (fun () ->
+        let hi = Cmutex.create ~order:20 ~name:"t.rank-hi" () in
+        let lo = Cmutex.create ~order:10 ~name:"t.rank-lo" () in
+        Cmutex.with_lock hi (fun () -> Cmutex.with_lock lo (fun () -> ())))
+  in
+  check_bool "descending ranks flagged" true (has "rank-violation" findings);
+  let clean =
+    record (fun () ->
+        let hi = Cmutex.create ~order:20 ~name:"t.rank-hi" () in
+        let lo = Cmutex.create ~order:10 ~name:"t.rank-lo" () in
+        Cmutex.with_lock lo (fun () -> Cmutex.with_lock hi (fun () -> ())))
+  in
+  check_bool "ascending ranks clean" false (has "rank-violation" clean)
+
+let test_with_lock_exception_safety () =
+  let m = Cmutex.create ~name:"t.exn" () in
+  let findings =
+    record (fun () ->
+        (try Cmutex.with_lock m (fun () -> failwith "boom")
+         with Failure _ -> ());
+        (* the lock was released on the exception path: this would
+           self-deadlock otherwise *)
+        Cmutex.with_lock m (fun () -> ()))
+  in
+  check_bool "no findings after exception" true (findings = [])
+
+let test_race_detected () =
+  let findings =
+    record (fun () ->
+        let cell = Race.cell "t.counter" in
+        let n = ref 0 in
+        let bump () =
+          for _ = 1 to 8 do
+            Race.write cell;
+            incr n
+          done
+        in
+        let t1 = Thread.create bump () in
+        let t2 = Thread.create bump () in
+        Thread.join t1;
+        Thread.join t2)
+  in
+  check_bool "unsynchronized writes race" true (has "data-race" findings)
+
+let test_race_absent_when_locked () =
+  let findings =
+    record (fun () ->
+        let cell = Race.cell "t.counter" in
+        let m = Cmutex.create ~name:"t.counter-lock" () in
+        let n = ref 0 in
+        let bump () =
+          for _ = 1 to 8 do
+            Cmutex.with_lock m (fun () ->
+                Race.write cell;
+                incr n)
+          done
+        in
+        let t1 = Thread.create bump () in
+        let t2 = Thread.create bump () in
+        Thread.join t1;
+        Thread.join t2)
+  in
+  check_bool "lock-ordered writes do not race" false (has "data-race" findings)
+
+let test_off_mode_is_silent () =
+  let saved = Conc.mode () in
+  Conc.reset ();
+  Conc.set_mode Conc.Off;
+  Fun.protect
+    ~finally:(fun () ->
+      Conc.set_mode saved;
+      Conc.reset ())
+    (fun () ->
+      let m = Cmutex.create ~name:"t.off" () in
+      Cmutex.lock m;
+      Cmutex.unlock m;
+      check_bool "off mode records nothing" true (Conc.collect () = []);
+      check_int "off mode counts nothing" 0 (Conc.ops ()))
+
+(* --- Explore: the pinned PR-8 run_slots regression --- *)
+
+let prefix_coordinator () =
+  let active = Explore.var ~track:false ~name:"pool.active" false in
+  let coordinators = ref 0 in
+  let body () =
+    if not (Explore.get active) then begin
+      Explore.set active true;
+      incr coordinators;
+      Explore.check (!coordinators <= 1) "two coordinators";
+      Explore.set active false;
+      decr coordinators
+    end
+  in
+  [ body; body ]
+
+let fixed_coordinator () =
+  let m = Cmutex.create ~name:"pool.mutex-model" () in
+  let active = Explore.var ~track:false ~name:"pool.active" false in
+  let coordinators = ref 0 in
+  let body () =
+    let got =
+      Cmutex.with_lock m (fun () ->
+          if not (Explore.get active) then begin
+            Explore.set active true;
+            true
+          end
+          else false)
+    in
+    if got then begin
+      incr coordinators;
+      Explore.check (!coordinators <= 1) "two coordinators";
+      Explore.yield ();
+      decr coordinators;
+      Cmutex.with_lock m (fun () -> Explore.set active false)
+    end
+  in
+  [ body; body ]
+
+let test_prefix_run_slots_race_found () =
+  match Explore.explore prefix_coordinator with
+  | Explore.Violation _ -> ()
+  | Explore.No_violation _ ->
+    Alcotest.fail "pre-fix run_slots coordinator race not found"
+
+let test_fixed_run_slots_clean () =
+  match Explore.explore fixed_coordinator with
+  | Explore.No_violation { complete; _ } ->
+    check_bool "state space exhausted" true complete
+  | Explore.Violation { message; _ } ->
+    Alcotest.fail ("fixed coordinator protocol violated: " ^ message)
+
+let test_explore_deadlock () =
+  let scenario () =
+    let a = Cmutex.create ~name:"x.A" () in
+    let b = Cmutex.create ~name:"x.B" () in
+    let t1 () = Cmutex.with_lock a (fun () -> Cmutex.with_lock b ignore) in
+    let t2 () = Cmutex.with_lock b (fun () -> Cmutex.with_lock a ignore) in
+    [ t1; t2 ]
+  in
+  match Explore.explore scenario with
+  | Explore.Violation { message; _ } ->
+    check_bool "reported as deadlock" true
+      (String.length message >= 8 && String.sub message 0 8 = "deadlock")
+  | Explore.No_violation _ ->
+    Alcotest.fail "opposite-order lock acquisition did not deadlock"
+
+let test_replay_reproduces () =
+  match Explore.explore prefix_coordinator with
+  | Explore.No_violation _ -> Alcotest.fail "no violation to replay"
+  | Explore.Violation { schedule; message } -> (
+    match Explore.replay ~schedule prefix_coordinator with
+    | Explore.Violation { message = m2; _ } ->
+      Alcotest.(check string) "same violation" message m2
+    | Explore.No_violation _ ->
+      Alcotest.fail "replay of a violating schedule found no violation")
+
+let test_schedule_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (list int))
+        "round-trip" s
+        (Explore.schedule_of_string (Explore.schedule_to_string s)))
+    [ []; [ 0 ]; [ 0; 1; 2; 1; 0 ] ]
+
+let test_explore_deterministic () =
+  let once () = Explore.outcome_to_string (Explore.explore prefix_coordinator) in
+  Alcotest.(check string) "same outcome twice" (once ()) (once ())
+
+(* --- qcheck: admission FIFO + capacity under explored interleavings --- *)
+
+let job ~model ~seq =
+  {
+    Admission.model;
+    input = Tensor.create (Shape.make ~n:1 ~h:1 ~w:1 ~c:1);
+    images = seq;
+    enqueued = 0.;
+    deadline = None;
+    deliver = ignore;
+  }
+
+(* One submitter per model plus a batcher, under bounded-preemption
+   exploration; the after-check asserts per-model FIFO, the capacity
+   bound on max_depth, and job conservation. *)
+let admission_property capacity jobs_a jobs_b =
+  let after_hook = ref (fun () -> ()) in
+  let outcome =
+    Explore.explore ~max_preemptions:2 ~max_schedules:300
+      ~after:(fun () -> !after_hook ())
+      (fun () ->
+        let adm =
+          Admission.create ~now:(fun () -> 0.) ~capacity ~max_batch:2 ()
+        in
+        let batched = ref [] in
+        let accepted = ref 0 in
+        let submitter m n () =
+          for i = 1 to n do
+            match Admission.submit adm (job ~model:m ~seq:i) with
+            | Ok () -> incr accepted
+            | Error _ -> ()
+          done
+        in
+        let batcher () =
+          match Admission.wait_ready adm with
+          | `Closed -> ()
+          | `Ready -> (
+            match Admission.form_batch adm with
+            | `Empty -> ()
+            | `Batch (model, jobs) ->
+              batched :=
+                !batched
+                @ List.map (fun (j : Admission.job) -> (model, j.images)) jobs)
+        in
+        (after_hook :=
+           fun () ->
+             Explore.check
+               ((Admission.stats adm).Admission.max_depth <= capacity)
+               "capacity exceeded";
+             let seen = Hashtbl.create 4 in
+             List.iter
+               (fun (m, seq) ->
+                 let last =
+                   match Hashtbl.find_opt seen m with Some s -> s | None -> 0
+                 in
+                 Explore.check (seq > last) "FIFO order broken";
+                 Hashtbl.replace seen m seq)
+               !batched;
+             Explore.check
+               (List.length !batched + Admission.depth adm = !accepted)
+               "jobs lost");
+        [ submitter "a" jobs_a; submitter "b" jobs_b; batcher ])
+  in
+  match outcome with
+  | Explore.No_violation _ -> true
+  | Explore.Violation { message; schedule } ->
+    QCheck.Test.fail_reportf "admission violation: %s under %s" message
+      (Explore.schedule_to_string schedule)
+
+let qcheck_admission =
+  QCheck.Test.make ~name:"admission FIFO/capacity under exploration" ~count:25
+    QCheck.(
+      triple (int_range 1 3) (int_range 1 3) (int_range 0 2))
+    (fun (capacity, jobs_a, jobs_b) ->
+      admission_property capacity jobs_a jobs_b)
+
+(* --- store hit counters --- *)
+
+let test_store_hit_counts () =
+  let store = Store.load [ Store.parse_spec "m=test_conc_missing.axmdl" ] in
+  check_bool "entry addressable" true (Store.find store "m" <> None);
+  check_bool "absent is absent" true (Store.find store "absent" = None);
+  ignore (Store.find store "m");
+  Alcotest.(check (list (pair string int)))
+    "two hits counted" [ ("m", 2) ] (Store.hit_counts store)
+
+(* --- the full suite reports zero errors --- *)
+
+let test_suite_zero_errors () =
+  List.iter
+    (fun (name, ds) ->
+      check_int (name ^ " has no error findings") 0 (List.length (D.errors ds)))
+    (Ax_analysis.Conc_check.suite () @ Ax_serve.Conc_scenarios.suite ())
+
+let () =
+  Alcotest.run "conc"
+    [
+      ( "vclock",
+        [
+          Alcotest.test_case "algebra" `Quick test_vclock_algebra;
+          Alcotest.test_case "fasttrack" `Quick test_vclock_fasttrack;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "lock cycle positive" `Quick
+            test_lock_cycle_positive;
+          Alcotest.test_case "lock cycle negative" `Quick
+            test_lock_cycle_negative;
+          Alcotest.test_case "relock" `Quick test_relock;
+          Alcotest.test_case "unlock unheld" `Quick test_unlock_unheld;
+          Alcotest.test_case "bare section" `Quick test_bare_section;
+          Alcotest.test_case "rank violation" `Quick test_rank_violation;
+          Alcotest.test_case "with_lock exception safety" `Quick
+            test_with_lock_exception_safety;
+          Alcotest.test_case "race detected" `Quick test_race_detected;
+          Alcotest.test_case "race absent when locked" `Quick
+            test_race_absent_when_locked;
+          Alcotest.test_case "off mode silent" `Quick test_off_mode_is_silent;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "pre-fix run_slots race found" `Quick
+            test_prefix_run_slots_race_found;
+          Alcotest.test_case "fixed run_slots clean" `Quick
+            test_fixed_run_slots_clean;
+          Alcotest.test_case "deadlock detected" `Quick test_explore_deadlock;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+          Alcotest.test_case "schedule round-trip" `Quick
+            test_schedule_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_explore_deterministic;
+        ] );
+      ( "admission",
+        [ QCheck_alcotest.to_alcotest qcheck_admission ] );
+      ( "store",
+        [ Alcotest.test_case "hit counts" `Quick test_store_hit_counts ] );
+      ( "suite",
+        [
+          Alcotest.test_case "check --suite concurrency is clean" `Slow
+            test_suite_zero_errors;
+        ] );
+    ]
