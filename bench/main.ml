@@ -921,6 +921,7 @@ let run_gemm () =
   Tfapprox.Perf.append_history history_path
     {
       Tfapprox.Perf.label = Tfapprox.Perf.utc_label ();
+      bench = Tfapprox.Perf.default_bench;
       images;
       throughput =
         [
@@ -1405,6 +1406,60 @@ let run_device_sweep () =
     [ Device.gtx_1080; Device.jetson_class; Device.datacenter_class ]
 
 (* ------------------------------------------------------------------ *)
+(* Explore: certified design-space search throughput                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One tiny seeded search, timed end-to-end.  The unit is candidate
+   evaluations per second: each evaluation is the full admission
+   pipeline (strip-dead, 2^16 tabulation, BDD certification, accuracy
+   through the emulator, energy/power analysis), so this is the number
+   that bounds how large a design-space sweep the machine can afford.
+   Recorded under bench kind "explore" so the history gate compares it
+   only against other explore runs. *)
+let run_explore () =
+  section "Explore: certified candidate evaluation throughput";
+  let module Search = Ax_explore.Search in
+  let config =
+    {
+      Search.default_config with
+      Search.seed = 7;
+      generations = 1;
+      population = 3;
+      images = 2;
+      model = Search.Lenet;
+    }
+  in
+  let result = Search.run config in
+  let evals = result.Search.evaluated in
+  let secs = result.Search.wall_seconds in
+  let evals_per_sec = float_of_int evals /. secs in
+  Format.printf
+    "seed %d: %d evaluation(s) (%d rejected, %d cached) in %.2f s — %.2f \
+     candidate evals/s, front size %d@."
+    config.Search.seed evals result.Search.rejected result.Search.cache_hits
+    secs evals_per_sec
+    (List.length result.Search.front);
+  let history_path =
+    Option.value ~default:"BENCH_history.jsonl"
+      (Sys.getenv_opt "TFAPPROX_BENCH_HISTORY")
+  in
+  Tfapprox.Perf.append_history history_path
+    {
+      Tfapprox.Perf.label = Tfapprox.Perf.utc_label ();
+      bench = "explore";
+      images = config.Search.images;
+      throughput =
+        [
+          { Tfapprox.Perf.domains = 1; seconds = secs;
+            images_per_sec = evals_per_sec };
+        ];
+      ns_per_mac = None;
+      lut_compression = None;
+    };
+  Format.printf "appended to %s (bench kind explore, evals/s as throughput)@."
+    history_path
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1422,6 +1477,7 @@ let all_sections =
     ("pool", run_pool);
     ("serve", run_serve);
     ("gemm", run_gemm);
+    ("explore", run_explore);
     ("history", run_history);
     ("trace", run_trace);
     ("resilience", run_resilience);

@@ -1282,6 +1282,110 @@ let client_cmd =
       $ count $ deadline_ms $ retries $ check_local $ backend $ timeout
       $ quiet_term)
 
+let explore_cmd =
+  let module Search = Ax_explore.Search in
+  let run seed generations population budget images model mutations domains
+      json_out csv_out quiet =
+    apply_quiet quiet;
+    guarded @@ fun () ->
+    let model = Search.model_of_string model in
+    let domains = resolve_domains domains in
+    (match domains with
+    | Some d -> Ax_pool.Pool.set_default_size d
+    | None -> ());
+    let config =
+      {
+        Search.seed;
+        generations;
+        population;
+        budget;
+        images;
+        model;
+        mutations;
+        max_domains = domains;
+      }
+    in
+    let result = Search.run config in
+    let emit out text =
+      match out with
+      | None -> ()
+      | Some "-" -> print_string text
+      | Some path -> write_file path text
+    in
+    emit json_out (Search.front_json_string result);
+    emit csv_out (Search.front_csv_string result);
+    Format.printf "%a@." Search.pp_front result;
+    (* A search that certified nothing has no usable outcome: that is a
+       runtime failure of the run, not an operator typo. *)
+    if result.Search.front = [] then
+      runtime_error "search produced an empty Pareto front"
+  in
+  let seed =
+    Arg.(
+      value & opt int Search.default_config.Search.seed
+      & info [ "seed" ] ~doc:"Mutation RNG seed; the run is a pure \
+                              function of the flags and this seed.")
+  in
+  let generations =
+    Arg.(
+      value & opt int Search.default_config.Search.generations
+      & info [ "generations" ]
+          ~doc:"Mutation rounds after the seeded generation 0.")
+  in
+  let population =
+    Arg.(
+      value & opt int Search.default_config.Search.population
+      & info [ "population" ] ~doc:"Candidates per generation.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ]
+          ~doc:
+            "Cap on candidate evaluations across the whole run; 0 means \
+             population * (generations + 1).")
+  in
+  let images =
+    Arg.(
+      value & opt int Search.default_config.Search.images
+      & info [ "images" ] ~doc:"Dataset size for the accuracy objective.")
+  in
+  let model =
+    Arg.(
+      value & opt string (Search.model_name Search.default_config.Search.model)
+      & info [ "model" ] ~doc:"Scoring network: resnet8 or lenet.")
+  in
+  let mutations =
+    Arg.(
+      value & opt int Search.default_config.Search.mutations
+      & info [ "mutations" ] ~doc:"Mutation operations applied per child.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the Pareto front as deterministic JSON to $(docv) \
+             (\"-\" for stdout); byte-identical across reruns and \
+             $(b,--domains) settings.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the Pareto front as CSV to $(docv) (\"-\" for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Seeded evolutionary search over certified 8x8 multiplier \
+          netlists, Pareto-optimal in accuracy vs relative MAC energy")
+    Term.(
+      const run $ seed $ generations $ population $ budget $ images $ model
+      $ mutations $ domains_term $ json_out $ csv_out $ quiet_term)
+
 let () =
   Log.init_from_env ();
   let doc = "TFApprox-style emulation of approximate DNN accelerators" in
@@ -1291,6 +1395,7 @@ let () =
        (Cmd.group info
           [
             table1_cmd; fig2_cmd; sweep_cmd; multipliers_cmd; verilog_cmd;
-            lut_cmd; search_cmd; model_cmd; analyze_cmd; trace_cmd;
-            check_cmd; resilience_cmd; perf_cmd; serve_cmd; client_cmd;
+            lut_cmd; search_cmd; explore_cmd; model_cmd; analyze_cmd;
+            trace_cmd; check_cmd; resilience_cmd; perf_cmd; serve_cmd;
+            client_cmd;
           ]))

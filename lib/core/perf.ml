@@ -11,11 +11,14 @@ type compression = {
 
 type record = {
   label : string;
+  bench : string;
   images : int;
   throughput : sample list;
   ns_per_mac : float option;
   lut_compression : compression option;
 }
+
+let default_bench = "gemm"
 
 let int_field name j = Option.bind (Json.member name j) Json.get_int
 let float_field name j = Option.bind (Json.member name j) Json.get_float
@@ -30,6 +33,9 @@ let sample_of_json j =
 
 let record_of_json ?(label = "") j =
   let label = Option.value ~default:label (string_field "label" j) in
+  (* Pre-partitioning history lines carry no [bench] member; they were
+     all gemm runs, so that is the backward-compatible default. *)
+  let bench = Option.value ~default:default_bench (string_field "bench" j) in
   let images = Option.value ~default:0 (int_field "images" j) in
   let throughput =
     match Option.bind (Json.member "throughput" j) Json.get_list with
@@ -53,7 +59,7 @@ let record_of_json ?(label = "") j =
         })
       (Json.member "lut_compression" j)
   in
-  { label; images; throughput; ns_per_mac; lut_compression }
+  { label; bench; images; throughput; ns_per_mac; lut_compression }
 
 let sample_to_json s =
   Json.Obj
@@ -67,6 +73,7 @@ let record_to_json r =
   Json.Obj
     ([
        ("label", Json.String r.label);
+       ("bench", Json.String r.bench);
        ("images", Json.Int r.images);
        ("throughput", Json.List (List.map sample_to_json r.throughput));
      ]
@@ -224,7 +231,12 @@ let best_of history =
     in
     Some (List.fold_left merge { first with label = "best-of-history" } rest)
 
+(* The gate is per benchmark kind: an explore evaluations/s record in
+   the shared history file must never become the gemm throughput
+   baseline (and vice versa), so only records of the current run's
+   [bench] participate in the best-of baseline. *)
 let gate ~threshold ~history ~current =
+  let history = List.filter (fun r -> r.bench = current.bench) history in
   match best_of history with
   | None -> []
   | Some baseline -> compare_records ~threshold ~baseline ~current

@@ -19,6 +19,10 @@ type compression = {
 
 type record = {
   label : string;
+  bench : string;
+      (** which benchmark produced the record ([default_bench] = "gemm",
+          or "explore"); the regression gate only compares records of
+          the same kind *)
   images : int;
   throughput : sample list;
   ns_per_mac : float option;
@@ -27,10 +31,15 @@ type record = {
           in pre-compression history lines, which still parse *)
 }
 
+val default_bench : string
+(** ["gemm"] — the benchmark kind assumed for history lines written
+    before records carried a [bench] member. *)
+
 val record_of_json : ?label:string -> Ax_obs.Json.t -> record
 (** Parse a [BENCH_gemm.json]-shaped document ([throughput] sample list
     plus [micro.ns_per_mac]); missing fields degrade to empty/[None].
-    [label] is the fallback when the document carries none. *)
+    [label] is the fallback when the document carries none; a missing
+    [bench] member parses as {!default_bench}. *)
 
 val record_to_json : record -> Ax_obs.Json.t
 
@@ -83,8 +92,11 @@ val best_of : record list -> record option
     min ns/MAC); [None] on an empty history. *)
 
 val gate : threshold:float -> history:record list -> current:record -> verdict list
-(** [compare_records] against {!best_of} the history; an empty history
-    yields no verdicts (first run always passes). *)
+(** [compare_records] against {!best_of} of the history records whose
+    [bench] matches [current.bench] — the shared JSON-lines file can
+    interleave gemm and explore records without either poisoning the
+    other's baseline.  An empty (filtered) history yields no verdicts
+    (first run of a kind always passes). *)
 
 val regressed : verdict list -> bool
 

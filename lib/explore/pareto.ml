@@ -1,0 +1,37 @@
+type point = {
+  name : string;
+  generation : int;
+  accuracy : float;
+  energy : float;
+  area : float;
+  delay : float;
+  power : float;
+  pdp : float;
+  gates : int;
+  mae : float;
+  wce : int;
+  certified : bool;
+}
+
+let finite p = Float.is_finite p.accuracy && Float.is_finite p.energy
+
+(* Every arm of the comparison is written so a NaN objective yields
+   [false]: a non-finite point neither dominates nor blocks anything. *)
+let dominates a b =
+  finite a && finite b
+  && a.accuracy >= b.accuracy
+  && a.energy <= b.energy
+  && (a.accuracy > b.accuracy || a.energy < b.energy)
+
+let compare_points a b =
+  let c = Float.compare a.energy b.energy in
+  if c <> 0 then c
+  else
+    let c = Float.compare b.accuracy a.accuracy in
+    if c <> 0 then c else String.compare a.name b.name
+
+let front points =
+  let points = List.filter finite points in
+  points
+  |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
+  |> List.sort_uniq compare_points

@@ -1,0 +1,40 @@
+(** Pareto bookkeeping for the accuracy/energy trade-off.
+
+    Two objectives, following the paper's framing: end-to-end top-1
+    accuracy (maximise) and MAC energy relative to the exact multiplier
+    (minimise).  Every comparison is NaN-safe by construction: a point
+    with a non-finite objective can neither dominate nor survive into a
+    front — a single poisoned score must not silently eat the archive
+    (the failure mode the {!Ax_gpusim.Energy} guard closes from the
+    other side). *)
+
+type point = {
+  name : string;
+  generation : int;
+  accuracy : float;       (** top-1 accuracy in [0, 1] — maximised *)
+  energy : float;         (** relative MAC energy — minimised *)
+  area : float;
+  delay : float;
+  power : float;
+  pdp : float;
+  gates : int;
+  mae : float;
+  wce : int;
+  certified : bool;       (** BDD-certified against its tabulated LUT *)
+}
+
+val finite : point -> bool
+(** Both objectives are finite floats. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is at least as good on both objectives and
+    strictly better on one.  [false] whenever either point has a
+    non-finite objective. *)
+
+val compare_points : point -> point -> int
+(** Deterministic display order: energy ascending, then accuracy
+    descending, then name. *)
+
+val front : point list -> point list
+(** Non-dominated subset of the finite points, in {!compare_points}
+    order (duplicates under that order collapsed). *)

@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.logxor (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Srng.int: bound must be positive";
+  (* Top bit dropped so the value is non-negative on conversion; modulo
+     bias is irrelevant for mutation-operator selection. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,19 @@
+(** Seeded deterministic random stream for the evolutionary search.
+
+    splitmix64 over [int64] — every operation is exact 64-bit integer
+    arithmetic, so the stream (and therefore a whole seeded search) is
+    byte-identical across platforms and word sizes, which the
+    determinism contract of {!Search.run} depends on.  Deliberately not
+    [Stdlib.Random]: its default state seeding and float path make
+    cross-run reproducibility harder to pin down. *)
+
+type t
+
+val create : int -> t
+(** A stream determined entirely by the seed (any int, including 0). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [0, bound); raises
+    [Invalid_argument] when [bound <= 0]. *)
+
+val bool : t -> bool

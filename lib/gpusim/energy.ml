@@ -31,7 +31,33 @@ let exact_mac =
 
 let total p = p.multiplier_energy +. p.accumulator_energy
 
-let relative_mac_energy p = total p /. total (Lazy.force exact_mac)
+(* A degenerate mutant (all Buf/Const logic) legitimately reaches
+   multiplier_energy = 0 — the accumulator share keeps the MAC total
+   positive — but a hand-built or corrupted profile can carry NaN or a
+   negative component, and NaN silently poisons every downstream Pareto
+   dominance comparison.  Reject those profiles with a typed error at
+   the division instead. *)
+let check_profile ~what p =
+  if
+    (not (Float.is_finite p.multiplier_energy))
+    || (not (Float.is_finite p.accumulator_energy))
+    || p.multiplier_energy < 0.
+    || p.accumulator_energy < 0.
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Energy.relative_mac_energy: %s profile is not finite and \
+          non-negative (multiplier=%h accumulator=%h)"
+         what p.multiplier_energy p.accumulator_energy)
+
+let relative_mac_energy p =
+  check_profile ~what:"candidate" p;
+  let reference = Lazy.force exact_mac in
+  check_profile ~what:"reference" reference;
+  let denominator = total reference in
+  if denominator <= 0. then
+    invalid_arg "Energy.relative_mac_energy: exact reference MAC has no energy";
+  total p /. denominator
 
 let network_energy p ~macs =
   if macs < 0. then invalid_arg "Energy.network_energy: negative macs";

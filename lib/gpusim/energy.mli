@@ -24,8 +24,16 @@ val mac_of_circuit : Ax_netlist.Circuit.t -> mac_profile
 (** A MAC built around the given multiplier circuit (accumulator share
     taken from the exact reference). *)
 
+val total : mac_profile -> float
+(** [multiplier_energy + accumulator_energy]. *)
+
 val relative_mac_energy : mac_profile -> float
-(** Energy of one MAC relative to {!exact_mac} (1.0 = no saving). *)
+(** Energy of one MAC relative to {!exact_mac} (1.0 = no saving).
+    Always finite: a profile with a NaN, infinite or negative component
+    raises [Invalid_argument] instead of leaking a NaN into Pareto
+    dominance comparisons.  A degenerate all-Buf/Const multiplier is
+    {e not} an error — its multiplier energy is 0 and the accumulator
+    share keeps the ratio positive. *)
 
 val network_energy :
   mac_profile -> macs:float -> float

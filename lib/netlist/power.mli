@@ -22,8 +22,36 @@ val delay_of_gate : Gate.t -> float
 
 val signal_probabilities : Circuit.t -> float array
 (** Probability of each node being logic-1 under independent uniform
-    inputs (independence approximation at reconvergent fan-out). *)
+    inputs, by closed-form propagation (independence approximation:
+    {e wrong} at reconvergent fan-out — e.g. [x AND (NOT x)] propagates
+    to 0.25 instead of 0).  Kept as the cheap width-independent
+    estimator and as the documented foil the formal tests measure. *)
 
-val analyze : Circuit.t -> report
+val exact_inputs_limit : int
+(** [20] — the widest circuit {!exact_signal_probabilities} accepts
+    (2{^20} patterns, 16 384 bit-parallel sweeps). *)
+
+val exact_signal_probabilities : Circuit.t -> float array
+(** Exact per-node signal probabilities by exhaustive bit-parallel
+    simulation of all [2^inputs] patterns.  No independence
+    approximation; this is what {!analyze} uses for circuits of at most
+    {!exact_inputs_limit} inputs.  Raises [Invalid_argument] on wider
+    circuits. *)
+
+val monte_carlo_signal_probabilities :
+  seed:int -> samples:int -> Circuit.t -> float array
+(** Per-node probabilities estimated from [samples] seeded uniform
+    random vectors through the bit-parallel simulator (rounded up to a
+    multiple of 64) — the independent cross-check the switching-activity
+    tests compare {!exact_signal_probabilities} and
+    {!signal_probabilities} against.  Deterministic per [seed]. *)
+
+val analyze : ?probabilities:float array -> Circuit.t -> report
+(** Cost report.  Switching activity is computed from per-node signal
+    probabilities: by default {!exact_signal_probabilities} when the
+    circuit has at most {!exact_inputs_limit} inputs (so the power and
+    PDP figures the explore scorer ranks by are free of the
+    reconvergent-fanout error), else {!signal_probabilities}.
+    [probabilities] overrides the estimate (length-checked). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -4,6 +4,9 @@
 module Device = Ax_gpusim.Device
 module Texcache = Ax_gpusim.Texcache
 module Cost = Ax_gpusim.Cost
+module Energy = Ax_gpusim.Energy
+module Multipliers = Ax_netlist.Multipliers
+module Netlist_circuit = Ax_netlist.Circuit
 module Shape = Ax_tensor.Shape
 module Rng = Ax_tensor.Rng
 module Resnet = Ax_models.Resnet
@@ -245,6 +248,71 @@ let test_smaller_device_is_slower () =
   check_bool "jetson slower than gtx1080" true (small > big);
   check_bool "datacenter faster than gtx1080" true (fast < big)
 
+(* --- energy --- *)
+
+let test_energy_relative_sane () =
+  let exact =
+    Energy.mac_of_circuit
+      (Multipliers.unsigned_array ~bits:8).Multipliers.circuit
+  in
+  check_bool "exact MAC is the unit" true
+    (abs_float (Energy.relative_mac_energy exact -. 1.0) < 1e-9);
+  check_float "total is the component sum" 3.0
+    (Energy.total { Energy.multiplier_energy = 1.0; accumulator_energy = 2.0 });
+  let trunc =
+    Energy.mac_of_circuit
+      (Multipliers.truncated ~bits:8 ~cut:8).Multipliers.circuit
+  in
+  let r = Energy.relative_mac_energy trunc in
+  check_bool "truncation saves energy" true (r > 0. && r < 1.);
+  check_bool "savings percent consistent" true
+    (abs_float (Energy.savings_percent trunc -. (100. *. (1. -. r))) < 1e-9)
+
+(* The legitimate edge the guard must NOT reject: an all-constant
+   "multiplier" has zero switching power of its own, but the MAC ratio
+   stays finite and positive through the accumulator share.  Exactly
+   the shape an aggressive const-folding mutation produces in the
+   explore search. *)
+let test_energy_degenerate_multiplier_ok () =
+  let c = Netlist_circuit.create ~name:"all_const" () in
+  for i = 0 to 7 do
+    ignore (Netlist_circuit.input c (Printf.sprintf "a%d" i))
+  done;
+  for i = 0 to 7 do
+    ignore (Netlist_circuit.input c (Printf.sprintf "b%d" i))
+  done;
+  let zero = Netlist_circuit.const c false in
+  for i = 0 to 15 do
+    Netlist_circuit.output c (Printf.sprintf "p%d" i) zero
+  done;
+  let r = Energy.relative_mac_energy (Energy.mac_of_circuit c) in
+  check_bool "finite, positive, below the exact MAC" true
+    (Float.is_finite r && r > 0. && r < 1.)
+
+(* A NaN, infinite or negative component must be a typed error at the
+   division, never a NaN leaking into Pareto dominance comparisons. *)
+let test_energy_rejects_poisoned_profiles () =
+  let rejects p =
+    match Energy.relative_mac_energy p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "nan multiplier energy" true
+    (rejects { Energy.multiplier_energy = Float.nan; accumulator_energy = 0. });
+  check_bool "infinite accumulator energy" true
+    (rejects
+       { Energy.multiplier_energy = 0.; accumulator_energy = Float.infinity });
+  check_bool "negative component" true
+    (rejects { Energy.multiplier_energy = -1.; accumulator_energy = 1. });
+  check_bool "network energy goes through the same guard" true
+    (match
+       Energy.network_energy
+         { Energy.multiplier_energy = Float.nan; accumulator_energy = 0. }
+         ~macs:10.
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "ax_gpusim"
     [
@@ -281,5 +349,14 @@ let () =
           Alcotest.test_case "device peaks" `Quick test_device_peaks;
           Alcotest.test_case "device sweep ordering" `Quick
             test_smaller_device_is_slower;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "relative MAC energy sane" `Quick
+            test_energy_relative_sane;
+          Alcotest.test_case "degenerate multiplier accepted" `Quick
+            test_energy_degenerate_multiplier_ok;
+          Alcotest.test_case "poisoned profiles rejected" `Quick
+            test_energy_rejects_poisoned_profiles;
         ] );
     ]

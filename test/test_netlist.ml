@@ -10,6 +10,8 @@ module Adders = Ax_netlist.Adders
 module Multipliers = Ax_netlist.Multipliers
 module Power = Ax_netlist.Power
 module Verilog = Ax_netlist.Verilog
+module Opt = Ax_netlist.Opt
+module Bdd = Ax_netlist.Bdd
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -322,6 +324,152 @@ let test_delay_monotone_in_depth () =
   let rd = Power.analyze deep.Multipliers.circuit in
   check_bool "wider multiplier is slower" true (rd.Power.delay > rs.Power.delay)
 
+(* --- dead-logic sweep --- *)
+
+let strip_subjects () =
+  [
+    ("mul8u_exact", Multipliers.unsigned_array ~bits:8);
+    ("mul8u_trunc4", Multipliers.truncated ~bits:8 ~cut:4);
+    ("mul8u_trunc8", Multipliers.truncated ~bits:8 ~cut:8);
+    ("mul8u_bam_h3v8", Multipliers.broken_array ~bits:8 ~hbl:3 ~vbl:8);
+    ("mul8s_bw", Multipliers.baugh_wooley_signed ~bits:8);
+  ]
+
+(* The contract every explore candidate (and the LUT extraction path)
+   leans on: strip_dead keeps primary inputs and registered outputs in
+   their original order — downstream code addresses operand bits by
+   creation order — and the swept circuit is BDD-equivalent to the
+   original, proven per output over all input assignments. *)
+let test_strip_dead_interface_and_equivalence () =
+  let interface c =
+    ( List.map fst (Circuit.inputs c),
+      List.map fst (Circuit.outputs c) )
+  in
+  List.iter
+    (fun (name, m) ->
+      let c = m.Multipliers.circuit in
+      let c' = Opt.strip_dead c in
+      check_bool (name ^ ": interface order preserved") true
+        (interface c = interface c');
+      check_bool (name ^ ": no growth") true
+        (Circuit.node_count c' <= Circuit.node_count c);
+      check_bool (name ^ ": BDD-equivalent") true (Bdd.equivalent c c');
+      check_bool (name ^ ": idempotent") true
+        (Circuit.node_count (Opt.strip_dead c') = Circuit.node_count c'))
+    (strip_subjects ())
+
+(* Synthetic fixture with a deep dead cone and an input that drives
+   only dead logic: the cone goes, the input interface stays intact. *)
+let test_strip_dead_fixture () =
+  let c = Circuit.create () in
+  let a = Circuit.input c "a" in
+  let b = Circuit.input c "b" in
+  let u = Circuit.input c "u" in
+  let live = Circuit.xor_ c a b in
+  let dead1 = Circuit.nand_ c live u in
+  let dead2 = Circuit.or_ c dead1 u in
+  ignore (Circuit.xnor_ c dead2 a);
+  Circuit.output c "y" live;
+  let c' = Opt.strip_dead c in
+  Alcotest.(check (list string))
+    "inputs preserved, including the dead-cone-only one" [ "a"; "b"; "u" ]
+    (List.map fst (Circuit.inputs c'));
+  Alcotest.(check (list string))
+    "outputs preserved" [ "y" ]
+    (List.map fst (Circuit.outputs c'));
+  check_bool "dead cone removed" true
+    (Circuit.node_count c' < Circuit.node_count c);
+  check_int "only the live gate survives" 1 (Circuit.gate_count c');
+  check_bool "function preserved" true (Bdd.equivalent c c')
+
+(* --- power cross-checks --- *)
+
+(* The textbook reconvergent-fanout counterexample: under the analytic
+   independence approximation p(x AND NOT x) = 0.25, while the true
+   probability is 0.  The exact and Monte-Carlo estimators must both
+   get this right — it is the error that motivated replacing the
+   analytic default in Power.analyze. *)
+let test_power_reconvergent_fanout () =
+  let c = Circuit.create () in
+  let x = Circuit.input c "x" in
+  let nx = Circuit.not_ c x in
+  let y = Circuit.and_ c x nx in
+  Circuit.output c "y" y;
+  let i = Circuit.index y in
+  let analytic = Power.signal_probabilities c in
+  let exact = Power.exact_signal_probabilities c in
+  let mc = Power.monte_carlo_signal_probabilities ~seed:1 ~samples:4096 c in
+  Alcotest.(check (float 1e-9)) "analytic foil gets 0.25" 0.25 analytic.(i);
+  Alcotest.(check (float 1e-9)) "exact gets 0" 0.0 exact.(i);
+  Alcotest.(check (float 1e-9)) "monte-carlo gets 0" 0.0 mc.(i)
+
+(* Monte-Carlo vs exhaustive cross-check over the multiplier generators.
+   Tolerance: 16384 Bernoulli samples give a standard error of at most
+   0.5/sqrt(16384) ~ 0.004 per node; 0.02 is 5 sigma.  Measured drift
+   on these circuits is <= 0.011.  The analytic estimator, by contrast,
+   must sit well outside that band somewhere on every multiplier (they
+   all reconverge) — pinning both sides keeps the cross-check honest. *)
+let test_power_monte_carlo_cross_check () =
+  let max_diff a b =
+    let d = ref 0. in
+    Array.iteri (fun i x -> d := max !d (abs_float (x -. b.(i)))) a;
+    !d
+  in
+  List.iter
+    (fun (name, m) ->
+      let c = m.Multipliers.circuit in
+      let exact = Power.exact_signal_probabilities c in
+      let mc =
+        Power.monte_carlo_signal_probabilities ~seed:42 ~samples:16384 c
+      in
+      let analytic = Power.signal_probabilities c in
+      check_bool (name ^ ": MC within 0.02 of exact") true
+        (max_diff exact mc <= 0.02);
+      check_bool (name ^ ": analytic diverges beyond the MC band") true
+        (max_diff exact analytic > 0.05))
+    (strip_subjects ())
+
+(* The figure of merit the explore scorer ranks candidates by.  Deeper
+   truncation must cost strictly less PDP, and the ranking (plus the
+   values, within 1%) must be identical whether switching activity
+   comes from the exhaustive or the Monte-Carlo estimator. *)
+let test_power_pdp_ranking_pinned () =
+  let pdp probabilities c = (Power.analyze ~probabilities c).Power.pdp in
+  let measure m =
+    let c = m.Multipliers.circuit in
+    ( pdp (Power.exact_signal_probabilities c) c,
+      pdp (Power.monte_carlo_signal_probabilities ~seed:7 ~samples:16384 c) c
+    )
+  in
+  let e_exact, m_exact = measure (Multipliers.unsigned_array ~bits:8) in
+  let e_t6, m_t6 = measure (Multipliers.truncated ~bits:8 ~cut:6) in
+  let e_t8, m_t8 = measure (Multipliers.truncated ~bits:8 ~cut:8) in
+  check_bool "exact > trunc6 > trunc8 (exhaustive)" true
+    (e_exact > e_t6 && e_t6 > e_t8);
+  check_bool "exact > trunc6 > trunc8 (monte-carlo)" true
+    (m_exact > m_t6 && m_t6 > m_t8);
+  List.iter
+    (fun (e, m) ->
+      check_bool "MC PDP within 1% of exhaustive" true
+        (abs_float (m -. e) /. e < 0.01))
+    [ (e_exact, m_exact); (e_t6, m_t6); (e_t8, m_t8) ]
+
+let test_power_analyze_guards () =
+  let m = Multipliers.unsigned_array ~bits:4 in
+  Alcotest.check_raises "probability vector length checked"
+    (Invalid_argument "Power.analyze: probabilities length <> node count")
+    (fun () ->
+      ignore (Power.analyze ~probabilities:[| 0.5 |] m.Multipliers.circuit));
+  (* The default estimator for a small circuit is the exact one: the
+     report must match an explicit exact-probability analysis. *)
+  let r = Power.analyze m.Multipliers.circuit in
+  let r' =
+    Power.analyze
+      ~probabilities:(Power.exact_signal_probabilities m.Multipliers.circuit)
+      m.Multipliers.circuit
+  in
+  check_bool "analyze defaults to exact probabilities" true (r = r')
+
 (* --- verilog --- *)
 
 let test_verilog_structure () =
@@ -459,6 +607,21 @@ let () =
             test_signal_probabilities;
           Alcotest.test_case "delay monotone in width" `Quick
             test_delay_monotone_in_depth;
+          Alcotest.test_case "reconvergent fanout" `Quick
+            test_power_reconvergent_fanout;
+          Alcotest.test_case "monte-carlo cross-check" `Slow
+            test_power_monte_carlo_cross_check;
+          Alcotest.test_case "pdp ranking pinned" `Slow
+            test_power_pdp_ranking_pinned;
+          Alcotest.test_case "analyze guards" `Quick
+            test_power_analyze_guards;
+        ] );
+      ( "opt",
+        [
+          Alcotest.test_case "strip_dead interface & equivalence" `Slow
+            test_strip_dead_interface_and_equivalence;
+          Alcotest.test_case "strip_dead dead-cone fixture" `Quick
+            test_strip_dead_fixture;
         ] );
       ( "verilog",
         [

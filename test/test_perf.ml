@@ -10,9 +10,11 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 
-let record ?(label = "r") ?(images = 2) ?ns_per_mac throughput =
+let record ?(label = "r") ?(bench = Perf.default_bench) ?(images = 2)
+    ?ns_per_mac throughput =
   {
     Perf.label;
+    bench;
     images;
     throughput =
       List.map
@@ -162,6 +164,33 @@ let test_gate_against_history () =
   let ok = Perf.gate ~threshold:0.2 ~history:[ record [ (1, 5.5) ] ] ~current in
   check_bool "within threshold passes" false (Perf.regressed ok)
 
+(* The shared history file interleaves gemm and explore records; the
+   gate must only baseline against records of the current run's kind,
+   or a fast explore evals/s line would permanently "regress" every
+   subsequent gemm run (and vice versa). *)
+let test_gate_partitions_by_bench () =
+  let r = Perf.record_of_json (Json.parse bench_gemm_json) in
+  check_string "missing bench member parses as gemm" Perf.default_bench
+    r.Perf.bench;
+  let explore = record ~bench:"explore" ~label:"e" [ (1, 500.0) ] in
+  let explore' =
+    Perf.record_of_json (Json.parse (Json.to_string (Perf.record_to_json explore)))
+  in
+  check_string "bench member round trips" "explore" explore'.Perf.bench;
+  let history =
+    [ record ~label:"gemm-base" [ (1, 10.0) ]; explore ]
+  in
+  let current_gemm = record ~label:"gemm-now" [ (1, 9.0) ] in
+  check_bool "gemm gated against gemm only" false
+    (Perf.regressed (Perf.gate ~threshold:0.2 ~history ~current:current_gemm));
+  let slow_explore = record ~bench:"explore" ~label:"e2" [ (1, 100.0) ] in
+  check_bool "explore gated against explore only" true
+    (Perf.regressed (Perf.gate ~threshold:0.2 ~history ~current:slow_explore));
+  (* First record of a new kind: nothing to gate against. *)
+  let novel = record ~bench:"novel" [ (1, 1.0) ] in
+  check_bool "unknown kind has empty baseline" true
+    (Perf.gate ~threshold:0.2 ~history ~current:novel = [])
+
 let test_report_json () =
   let baseline = record [ (1, 10.0) ] in
   let current = record [ (1, 2.0) ] in
@@ -220,6 +249,8 @@ let () =
           Alcotest.test_case "best of history" `Quick test_best_of_history;
           Alcotest.test_case "gate against history" `Quick
             test_gate_against_history;
+          Alcotest.test_case "bench partition" `Quick
+            test_gate_partitions_by_bench;
           Alcotest.test_case "report json" `Quick test_report_json;
           Alcotest.test_case "threshold from env" `Quick
             test_threshold_from_env;
